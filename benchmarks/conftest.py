@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Benchmarks measure the wall-clock cost of running the *simulation*
+(pytest-benchmark) while asserting the *simulated* shapes the paper
+reports. Expensive testbeds are session-scoped; benchmarks that mutate
+guest load reset it afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.guest import build_catalog
+
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return build_catalog(seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def tb15():
+    """The paper's 15-clone cloud (clean)."""
+    return build_testbed(15, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def tb6():
+    """A smaller clean pool for per-iteration benchmarks."""
+    return build_testbed(6, seed=SEED)

@@ -1,0 +1,79 @@
+"""A4 — majority-vote behaviour as infection spreads (§III-B).
+
+Charts the detection regimes the paper discusses: exact localisation
+while the clean cluster holds a strict majority, pool-wide alarms in
+the contested band, inverted votes when the worm wins the majority, and
+the all-infected blind spot ("provided that at least one virtual
+machine runs the original module").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.guest import build_catalog
+
+SEED = 42
+POOL = 9
+
+
+def spread_outcome(n_infected, pool=POOL):
+    """(#flagged, victims_all_flagged, any_discrepancy) after infecting
+    n_infected clones with one identical rootkit."""
+    attack, module = attack_for_experiment("E1")
+    catalog = build_catalog(seed=SEED)
+    infected_bp = attack.apply(catalog[module]).infected
+    victims = [f"Dom{i}" for i in range(1, n_infected + 1)]
+    tb = build_testbed(pool, seed=SEED,
+                       infected={v: {module: infected_bp} for v in victims})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    report = mc.check_pool(module).report
+    flagged = set(report.flagged())
+    return (len(flagged),
+            set(victims) <= flagged,
+            not report.all_clean)
+
+
+def test_majority_sweep(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: [spread_outcome(k) for k in range(0, POOL + 1)],
+        rounds=1, iterations=1)
+
+    # k=0: silent. k in 1..3 (clean cluster >= 6 of 9): exact.
+    assert outcomes[0] == (0, True, False)
+    for k in (1, 2, 3):
+        n_flagged, victims_flagged, discrepancy = outcomes[k]
+        assert (n_flagged, victims_flagged, discrepancy) == (k, True, True)
+
+    # contested band (k=4): everyone flagged, discrepancy loud.
+    assert outcomes[4][2]
+    assert outcomes[4][0] >= POOL - 1
+
+    # inverted band (k in 6..8): the clean minority gets flagged, but a
+    # discrepancy is still raised — the paper's false-alarm case.
+    for k in (6, 7, 8):
+        n_flagged, victims_flagged, discrepancy = outcomes[k]
+        assert discrepancy
+        assert n_flagged == POOL - k
+        assert not victims_flagged
+
+    # blind spot: all 9 identically infected, no signal at all.
+    n_flagged, _victims_flagged, discrepancy = outcomes[POOL]
+    assert n_flagged == 0 and not discrepancy
+
+
+@pytest.mark.parametrize("pool", [5, 9, 15])
+def test_single_infection_always_localised(pool):
+    n_flagged, victims_flagged, discrepancy = spread_outcome(1, pool)
+    assert (n_flagged, victims_flagged, discrepancy) == (1, True, True)
+
+
+def test_detection_boundary_formula():
+    """Exact localisation holds iff clean VMs match > (t-1)/2 others,
+    i.e. clean_count - 1 > (t-1)/2. Verify the boundary at t=9: k=3
+    keeps it (5 > 4), k=4 loses it (4 > 4 fails)."""
+    assert spread_outcome(3)[0] == 3
+    assert spread_outcome(4)[0] > 4

@@ -1,0 +1,62 @@
+"""A6 — pool-check algorithm ablation: pairwise O(t²) vs canonical O(t).
+
+The paper's Integrity-Checker compares pairs; its majority vote over a
+whole pool therefore costs C(t,2) comparisons. Because RVA adjustment
+canonicalises clean copies, one reference pass plus digest clustering
+gives the same verdicts in t-1 comparisons. This bench shows the
+checker-phase cost scaling and verdict equivalence across pool sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import linear_fit
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+
+SEED = 42
+MODULE = "http.sys"
+
+
+@pytest.mark.parametrize("mode", ["pairwise", "canonical"])
+def test_pool_mode_wall_clock(benchmark, tb15, mode):
+    mc = ModChecker(tb15.hypervisor, tb15.profile)
+    out = benchmark(lambda: mc.check_pool(MODULE, mode=mode))
+    assert out.report.all_clean
+
+
+def test_checker_phase_scaling():
+    """Pairwise checker time grows ~quadratically, canonical ~linearly."""
+    tb = build_testbed(15, seed=SEED)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    sizes = [4, 8, 12, 15]
+    pairwise, canonical = [], []
+    for t in sizes:
+        vms = tb.vm_names[:t]
+        pairwise.append(mc.check_pool(MODULE, vms,
+                                      mode="pairwise").timings.checker)
+        canonical.append(mc.check_pool(MODULE, vms,
+                                       mode="canonical").timings.checker)
+    # canonical stays linear (R^2 of the line near 1)
+    assert linear_fit(sizes, canonical).r_squared > 0.99
+    # pairwise grows super-linearly: per-VM cost increases with t
+    per_vm_pairwise = [p / t for p, t in zip(pairwise, sizes)]
+    assert per_vm_pairwise[-1] > 2.0 * per_vm_pairwise[0]
+    # at t=15 the canonical checker is at least 3x cheaper
+    assert canonical[-1] < pairwise[-1] / 3
+
+
+def test_equivalent_verdicts_across_sizes():
+    from repro.attacks import attack_for_experiment
+    from repro.guest import build_catalog
+    attack, module = attack_for_experiment("E2")
+    catalog = build_catalog(seed=SEED)
+    infected = attack.apply(catalog[module]).infected
+    for t in (4, 9, 15):
+        tb = build_testbed(t, seed=SEED,
+                           infected={"Dom2": {module: infected}})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        a = mc.check_pool(module, mode="pairwise").report
+        b = mc.check_pool(module, mode="canonical").report
+        assert a.flagged() == b.flagged() == ["Dom2"], t

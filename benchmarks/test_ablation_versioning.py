@@ -1,0 +1,81 @@
+"""A7 — version-drift ablation: rolling updates vs the majority vote.
+
+The paper's premise is a pool of identical clones; its own motivation
+(hash dictionaries are painful *because modules update*) predicts the
+failure mode when that premise slips: a rolling driver update makes the
+naive cross-check flag healthy VMs. The versioned checker partitions
+the pool by module fingerprint first and votes within cohorts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker, check_pool_versioned
+from repro.guest.catalog import STANDARD_CATALOG
+from repro.pe import PEBuilder
+from repro.rng import derive_seed
+
+SEED = 42
+MODULE = "hal.dll"
+
+
+def updated_driver(name=MODULE):
+    spec = next(s for s in STANDARD_CATALOG if s.name == name)
+    kwargs = dict(seed=derive_seed(777, "update", name),
+                  n_functions=spec.n_functions,
+                  avg_function_size=spec.avg_function_size,
+                  data_size=spec.data_size, timestamp=0x5150_0000)
+    if spec.imports is not None:
+        kwargs["imports"] = spec.imports
+    return PEBuilder(name, **kwargs).build()
+
+
+def rollout_pool(n_vms: int, n_updated: int):
+    updated = updated_driver()
+    victims = [f"Dom{n_vms - i}" for i in range(n_updated)]
+    tb = build_testbed(n_vms, seed=SEED,
+                       infected={vm: {MODULE: updated} for vm in victims})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    parsed, _, _ = mc.fetch_modules(MODULE, tb.vm_names)
+    return mc, parsed, victims
+
+
+@pytest.mark.parametrize("n_updated", [0, 2, 4])
+def test_versioned_check_stays_clean_through_rollout(benchmark, n_updated):
+    mc, parsed, _victims = rollout_pool(9, n_updated)
+    report = benchmark(lambda: check_pool_versioned(parsed, mc.checker))
+    assert report.all_clean
+    assert len(report.groups) == (1 if n_updated == 0 else 2)
+
+
+def test_false_positive_rate_naive_vs_versioned():
+    rows = []
+    for n_updated in range(0, 9):
+        mc, parsed, _ = rollout_pool(9, n_updated)
+        naive = mc.checker.check_pool(parsed)
+        versioned = check_pool_versioned(parsed, mc.checker)
+        rows.append((n_updated, len(naive.flagged()),
+                     len(versioned.flagged())))
+    # versioned: no false positives once a cohort has >= 2 members; a
+    # single-VM "version" is deliberately reported as a suspicious
+    # singleton (indistinguishable from header tampering).
+    assert all(v == 0 for n, _naive, v in rows if 2 <= n <= 7)
+    assert all(v == 1 for n, _naive, v in rows if n in (1, 8))
+    # naive: false positives as soon as the pool mixes
+    assert all(naive > 0 for n, naive, _v in rows if 0 < n < 9)
+
+
+def test_versioned_check_still_detects_real_infection():
+    from repro.attacks import RuntimeCodePatchAttack
+    updated = updated_driver()
+    tb = build_testbed(8, seed=SEED,
+                       infected={vm: {MODULE: updated}
+                                 for vm in ("Dom7", "Dom8")})
+    RuntimeCodePatchAttack().apply(
+        tb.hypervisor.domain("Dom3").kernel, tb.catalog[MODULE])
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    parsed, _, _ = mc.fetch_modules(MODULE, tb.vm_names)
+    report = check_pool_versioned(parsed, mc.checker)
+    assert report.flagged() == ["Dom3"]

@@ -1,0 +1,79 @@
+"""Capacity planning: what a deployed ModChecker daemon can sustain.
+
+Not a paper figure — the operational question a cloud team asks before
+adopting: how much simulated Dom0 time does one protective sweep cost,
+and how does the daemon's coverage interval scale with pool size and
+catalog size?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import CheckDaemon, ModChecker, RoundRobinPolicy
+
+SEED = 42
+
+
+def test_full_catalog_sweep_cost_at_paper_scale(benchmark):
+    """One complete all-modules pass over the 15-clone cloud."""
+    tb = build_testbed(15, seed=SEED)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+
+    def sweep():
+        with tb.clock.span() as span:
+            outcomes = mc.check_all_modules()
+        return outcomes, span.elapsed
+
+    outcomes, elapsed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert len(outcomes) == 10
+    assert all(o.report.all_clean for o in outcomes.values())
+    # 10 modules x 15 VMs stays under 2 simulated seconds: a daemon can
+    # sweep the whole cloud many times a minute.
+    assert elapsed < 2.0
+
+
+def test_sweep_cost_scales_with_catalog_and_pool():
+    tb = build_testbed(15, seed=SEED)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    costs = {}
+    for t in (5, 10, 15):
+        with tb.clock.span() as span:
+            mc.check_all_modules(vms=tb.vm_names[:t])
+        costs[t] = span.elapsed
+    assert costs[5] < costs[10] < costs[15]
+    # roughly linear in pool size (searcher-dominated)
+    assert costs[15] / costs[5] < 4.5
+
+
+def test_daemon_coverage_interval():
+    """With a 3-modules-per-cycle policy and 60 s cycles, every module
+    is re-checked within ceil(10/3)*60 = 240 simulated seconds."""
+    tb = build_testbed(6, seed=SEED)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
+                         interval=60.0, carve=False)
+    seen: dict[str, float] = {}
+    policy = daemon.policy
+    modules = daemon._discover_modules()
+    for cycle in range(4):
+        now = tb.clock.now
+        for module in policy.select(cycle, modules, daemon.log):
+            seen.setdefault(module, now)
+        daemon.run_cycle()
+    assert set(seen) == set(modules)
+    assert max(seen.values()) - min(seen.values()) <= 240.0
+
+
+def test_dom0_cpu_budget_accounting():
+    """The hypervisor's CPU ledger matches the clock on an idle host
+    (factor 1): an operator can budget Dom0 CPU from the model."""
+    tb = build_testbed(8, seed=SEED)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    cpu0 = tb.hypervisor.dom0_cpu_seconds
+    t0 = tb.clock.now
+    mc.check_pool("http.sys")
+    cpu = tb.hypervisor.dom0_cpu_seconds - cpu0
+    elapsed = tb.clock.now - t0
+    assert cpu == pytest.approx(elapsed, rel=1e-6)

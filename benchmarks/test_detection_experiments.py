@@ -1,0 +1,74 @@
+"""E1–E4 — the paper's §V-B detection experiments, as benchmarks.
+
+Each benchmark stages the paper's infection on one clone of a 6-VM
+pool, runs a full ModChecker cross-check, and asserts the detection
+outcome matches the paper byte-for-byte in *which PE components*
+mismatch. The benchmark value is the wall-clock cost of one full
+pool check over the simulated cloud.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.guest import build_catalog
+
+SEED = 42
+VICTIM = "Dom3"
+POOL = 6
+
+#: Paper-reported mismatch signatures (§V-B-1..4). E4 lists our
+#: region names; the paper's "all SECTION_HEADER's" expands to the five
+#: original sections plus the injected one our naming makes visible.
+PAPER_SIGNATURES = {
+    "E1": {".text"},
+    "E2": {".text"},
+    "E3": {"IMAGE_DOS_HEADER"},
+    "E4": {"IMAGE_NT_HEADER", "IMAGE_OPTIONAL_HEADER",
+           "SECTION_HEADER[.text]", "SECTION_HEADER[.rdata]",
+           "SECTION_HEADER[.data]", "SECTION_HEADER[INIT]",
+           "SECTION_HEADER[.reloc]", "SECTION_HEADER[.ninj]", ".text"},
+}
+
+
+def _stage(exp_id):
+    attack, module = attack_for_experiment(exp_id)
+    catalog = build_catalog(seed=SEED)
+    result = attack.apply(catalog[module])
+    tb = build_testbed(POOL, seed=SEED,
+                       infected={VICTIM: {module: result.infected}})
+    return tb, module, result
+
+
+@pytest.mark.parametrize("exp_id", ["E1", "E2", "E3", "E4"])
+def test_detection_experiment(benchmark, exp_id):
+    tb, module, staged = _stage(exp_id)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+
+    outcome = benchmark(lambda: mc.check_pool(module))
+
+    report = outcome.report
+    assert report.flagged() == [VICTIM], exp_id
+    assert set(report.mismatched_regions(VICTIM)) == \
+        PAPER_SIGNATURES[exp_id], exp_id
+    assert set(report.mismatched_regions(VICTIM)) == \
+        set(staged.expected_regions)
+
+
+def test_clean_pool_no_false_positives(benchmark, tb6):
+    """Control run: the same check on an uninfected pool stays silent."""
+    mc = ModChecker(tb6.hypervisor, tb6.profile)
+    outcome = benchmark(lambda: mc.check_pool("hal.dll"))
+    assert outcome.report.all_clean
+
+
+def test_full_catalog_sweep(benchmark, tb6):
+    """Sweeping every loaded module across the pool (the deployment
+    mode a cloud operator would schedule)."""
+    mc = ModChecker(tb6.hypervisor, tb6.profile)
+    outcomes = benchmark(lambda: mc.check_all_modules())
+    assert all(o.report.all_clean for o in outcomes.values())
+    assert len(outcomes) == 10

@@ -1,0 +1,67 @@
+"""Fig. 7 — runtime of ModChecker and its components vs #VMs, idle.
+
+Reproduces the paper's series: check ``http.sys`` on a target VM
+against pools of 2..15 mostly-idle VMs, recording simulated
+Searcher/Parser/Checker times. Assertions encode the paper's findings:
+linear total growth, Module-Searcher both dominant and itself linear,
+Parser/Checker comparatively flat.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import detect_knee, linear_fit
+from repro.core import ModChecker
+from repro.perf.timing import RunTiming
+
+MODULE = "http.sys"
+
+
+def sweep_idle(tb, module=MODULE):
+    """The Fig. 7 sweep; returns one RunTiming per pool size."""
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    tb.set_guest_loads(0.0)
+    rows = []
+    for t in range(2, len(tb.vm_names) + 1):
+        vms = tb.vm_names[:t]
+        out = mc.check_on_vm(module, vms[0], vms)
+        rows.append(RunTiming(n_vms=t, loaded=False, timings=out.timings,
+                              per_vm_searcher=list(
+                                  out.per_vm_searcher.values())))
+    return rows
+
+
+def test_fig7_idle_runtime(benchmark, tb15):
+    rows = benchmark(lambda: sweep_idle(tb15))
+
+    xs = [r.n_vms for r in rows]
+    total = [r.timings.total for r in rows]
+    searcher = [r.timings.searcher for r in rows]
+    parser = [r.timings.parser for r in rows]
+    checker = [r.timings.checker for r in rows]
+
+    # Paper: "a linear increment in the runtime as we increase the
+    # number of VM for comparison".
+    fit_total = linear_fit(xs, total)
+    assert fit_total.r_squared > 0.995
+    assert fit_total.slope > 0
+    assert detect_knee(xs, total) is None
+
+    # Paper: "the linear increment is also shown by Module-Searcher
+    # that significantly effects the overall runtime performance".
+    fit_searcher = linear_fit(xs, searcher)
+    assert fit_searcher.r_squared > 0.995
+    for s, tot in zip(searcher, total):
+        assert s / tot > 0.5
+
+    # Parser and Checker stay minor components.
+    assert max(parser) < max(searcher)
+    assert max(checker) < max(searcher)
+
+
+def test_fig7_per_vm_search_cost_stable(tb15):
+    """Each additional VM contributes a near-constant search cost —
+    the mechanism behind the linearity."""
+    rows = sweep_idle(tb15)
+    per_vm = rows[-1].per_vm_searcher
+    mean = sum(per_vm) / len(per_vm)
+    assert all(abs(v - mean) / mean < 0.25 for v in per_vm)

@@ -1,0 +1,71 @@
+"""Fig. 8 — runtime vs #VMs with HeavyLoad on every guest.
+
+Reproduces the paper's worst case: every pool VM runs the HeavyLoad
+stand-in while Dom0 checks ``http.sys``. Assertions encode the paper's
+findings: strictly costlier than idle at every size, and "a sudden
+nonlinear growth in the ModChecker's runtime when the number of heavily
+loaded VMs exceeded the number of available virtual cores" (8 on the
+modelled quad-core-HT i7).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import detect_knee, growth_ratios, linear_fit
+from repro.core import ModChecker
+from repro.perf import HEAVY_LOAD, apply_workload
+from repro.perf.timing import RunTiming
+
+MODULE = "http.sys"
+
+
+def sweep_loaded(tb, module=MODULE):
+    """The Fig. 8 sweep: pool VMs run HeavyLoad during their check."""
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    rows = []
+    for t in range(2, len(tb.vm_names) + 1):
+        vms = tb.vm_names[:t]
+        tb.set_guest_loads(0.0)
+        for name in vms:
+            apply_workload(tb.hypervisor.domain(name), HEAVY_LOAD)
+        out = mc.check_on_vm(module, vms[0], vms)
+        rows.append(RunTiming(n_vms=t, loaded=True, timings=out.timings))
+    tb.set_guest_loads(0.0)
+    return rows
+
+
+def test_fig8_loaded_runtime(benchmark, tb15):
+    rows = benchmark(lambda: sweep_loaded(tb15))
+    from benchmarks.test_fig7_idle_runtime import sweep_idle
+    idle_rows = sweep_idle(tb15)
+
+    xs = [r.n_vms for r in rows]
+    loaded_total = [r.timings.total for r in rows]
+    idle_total = [r.timings.total for r in idle_rows]
+
+    # Worst case costs more than best case at every pool size.
+    for idle_t, loaded_t in zip(idle_total, loaded_total):
+        assert loaded_t > idle_t
+
+    # The knee: nonlinear growth once loaded vCPUs exceed the 8 pCPUs.
+    knee = detect_knee(xs, loaded_total)
+    cores = tb15.hypervisor.cpu.logical_cpus
+    assert knee is not None
+    assert cores - 3 <= knee <= cores + 2
+
+    # Pre-knee region is still near-linear; post-knee slope is much
+    # steeper ("sudden" growth).
+    pre = [t for x, t in zip(xs, loaded_total) if x <= cores - 1]
+    post = [t for x, t in zip(xs, loaded_total) if x >= cores]
+    slope_pre = linear_fit(range(len(pre)), pre).slope
+    slope_post = linear_fit(range(len(post)), post).slope
+    assert slope_post > 2.0 * slope_pre
+
+    # Growth ratios jump at the saturation point.
+    ratios = growth_ratios(loaded_total)
+    assert max(ratios) > min(ratios) * 1.2
+
+
+def test_fig8_searcher_still_dominates_under_load(tb15):
+    rows = sweep_loaded(tb15)
+    last = rows[-1].timings
+    assert last.searcher / last.total > 0.5

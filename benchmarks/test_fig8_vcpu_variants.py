@@ -1,0 +1,78 @@
+"""Fig. 8 variants — the knee tracks total loaded vCPUs, not VM count.
+
+The paper attributes the nonlinear growth to "the number of heavily
+loaded VMs exceed[ing] the number of available virtual cores". If that
+causal story is right, doubling each guest's vCPUs must halve the
+VM-count knee, and halving per-VM load must push it out. These sweeps
+confirm the model encodes the mechanism, not a hard-coded shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import detect_knee
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.guest import build_catalog
+from repro.hypervisor import Hypervisor
+from repro.vmi import OSProfile
+
+SEED = 42
+MODULE = "http.sys"
+
+
+def _sweep_with(vcpus_per_guest: int, per_vcpu_load: float,
+                n_vms: int = 15):
+    hv = Hypervisor()
+    catalog = build_catalog(seed=SEED)
+    names = []
+    for i in range(1, n_vms + 1):
+        hv.create_guest(f"Dom{i}", catalog, seed=SEED,
+                        vcpus=vcpus_per_guest)
+        names.append(f"Dom{i}")
+    profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+    mc = ModChecker(hv, profile)
+    xs, ys = [], []
+    for t in range(2, n_vms + 1):
+        vms = names[:t]
+        for name in names:
+            hv.domain(name).set_load(cpu=0.0)
+        for name in vms:
+            hv.domain(name).set_load(cpu=per_vcpu_load)
+        out = mc.check_on_vm(MODULE, vms[0], vms)
+        xs.append(t)
+        ys.append(out.timings.total)
+    return xs, ys
+
+
+def test_one_vcpu_full_load_knee_near_8(benchmark):
+    xs, ys = benchmark.pedantic(lambda: _sweep_with(1, 1.0),
+                                rounds=1, iterations=1)
+    knee = detect_knee(xs, ys)
+    assert knee is not None and 5 <= knee <= 10
+
+
+def test_two_vcpus_halve_the_knee():
+    xs, ys = _sweep_with(2, 1.0)
+    knee = detect_knee(xs, ys)
+    # saturation at ~4 loaded VMs (8 vCPUs + Dom0 > 8 pCPUs)
+    assert knee is not None and 2 <= knee <= 6
+
+
+def test_half_load_pushes_knee_out():
+    xs, ys = _sweep_with(1, 0.5)
+    knee_half = detect_knee(xs, ys)
+    xs_full, ys_full = _sweep_with(1, 1.0)
+    knee_full = detect_knee(xs_full, ys_full)
+    assert knee_full is not None
+    # 0.5 load per VM: saturation needs ~15 VMs; knee late or absent.
+    assert knee_half is None or knee_half > knee_full
+
+
+def test_knee_ordering_is_monotonic_in_demand():
+    knees = {}
+    for vcpus, load, key in ((2, 1.0, "2x1.0"), (1, 1.0, "1x1.0")):
+        xs, ys = _sweep_with(vcpus, load)
+        knees[key] = detect_knee(xs, ys)
+    assert knees["2x1.0"] < knees["1x1.0"]

@@ -1,0 +1,80 @@
+"""H1 — hidden-module (anti-DKOM) experiment.
+
+Not in the paper (its searcher trusts ``PsLoadedModuleList``); this is
+the natural hardening the paper's related-work section motivates.
+Scenario: a rootkit patches ``dummy.sys`` in memory and unlinks its LDR
+entry. The list-walking searcher goes blind; the carving sweep finds
+the image, fingerprints it back to its name, and the integrity check
+convicts it. The benchmark prices the carving sweep, which is the cost
+of closing the gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker, ModuleCarver
+from repro.errors import ModuleNotLoadedError
+
+SEED = 42
+
+
+def _staged():
+    tb = build_testbed(4, seed=SEED)
+    kernel = tb.hypervisor.domain("Dom2").kernel
+    mod = kernel.module("dummy.sys")
+    text = tb.catalog["dummy.sys"].section(".text")
+    kernel.aspace.write(mod.base + text.virtual_address + 0x18, b"\xCC\xCC")
+    kernel.unload_module("dummy.sys")          # DKOM unlink
+    return tb
+
+
+def test_hidden_infected_module_end_to_end(benchmark):
+    tb = _staged()
+    mc = ModChecker(tb.hypervisor, tb.profile)
+
+    # The paper's searcher is blind now:
+    from repro.core import ModuleSearcher
+    with pytest.raises(ModuleNotLoadedError):
+        ModuleSearcher(mc.vmi_for("Dom2")).find("dummy.sys")
+
+    hidden = benchmark(lambda: mc.detect_hidden_modules("Dom2"))
+    assert len(hidden) == 1
+    carved, name = hidden[0]
+    assert name == "dummy.sys"
+
+    report = mc.check_carved_module(carved, name)
+    assert not report.clean
+    assert ".text" in report.mismatched_regions()
+
+
+def test_carving_sweep_cost(benchmark, tb6):
+    """Simulated cost of one arena sweep vs one module check — carving
+    is heavier (it touches every mapped arena page) but stays within
+    an order of magnitude, cheap enough for daemon rotation."""
+    mc = ModChecker(tb6.hypervisor, tb6.profile)
+    vmi = mc.vmi_for("Dom1")
+
+    def sweep():
+        vmi.flush_caches()
+        with tb6.hypervisor.clock.span() as span:
+            ModuleCarver(vmi).carve()
+        return span.elapsed
+
+    carve_elapsed = benchmark(sweep)
+
+    vmi.flush_caches()
+    with tb6.hypervisor.clock.span() as span:
+        mc.check_on_vm("http.sys", "Dom1", tb6.vm_names[:2])
+    check_elapsed = span.elapsed
+    assert carve_elapsed < 40 * check_elapsed
+
+
+def test_carver_finds_everything_searcher_does(tb6):
+    mc = ModChecker(tb6.hypervisor, tb6.profile)
+    from repro.core import ModuleSearcher
+    searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+    listed = {e.dll_base for e in searcher.list_modules()}
+    carved = {m.base for m in ModuleCarver(mc.vmi_for("Dom1")).carve()}
+    assert carved == listed

@@ -1,0 +1,65 @@
+"""Cloud-scale stress: beyond the paper's 15 clones.
+
+The paper's linear-searcher result implies large pools are feasible;
+these benches actually run 50-VM pools and verify (a) the linear law
+holds an order of magnitude past the paper's range, (b) detection still
+localises a single infection at scale, and (c) host memory stays sane
+thanks to sparse guest frames.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import linear_fit
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.guest import build_catalog
+
+SEED = 42
+BIG = 50
+
+
+@pytest.fixture(scope="module")
+def tb50():
+    return build_testbed(BIG, seed=SEED)
+
+
+def test_build_50_vm_cloud(benchmark):
+    tb = benchmark.pedantic(lambda: build_testbed(BIG, seed=SEED),
+                            rounds=1, iterations=1)
+    assert len(tb.vm_names) == BIG
+
+
+def test_linearity_holds_to_50(tb50):
+    mc = ModChecker(tb50.hypervisor, tb50.profile)
+    xs, ys = [], []
+    for t in range(5, BIG + 1, 5):
+        vms = tb50.vm_names[:t]
+        out = mc.check_on_vm("http.sys", vms[0], vms)
+        xs.append(t)
+        ys.append(out.timings.total)
+    fit = linear_fit(xs, ys)
+    assert fit.r_squared > 0.999
+
+
+def test_detection_at_scale(benchmark):
+    attack, module = attack_for_experiment("E1")
+    catalog = build_catalog(seed=SEED)
+    infected = attack.apply(catalog[module]).infected
+    tb = build_testbed(BIG, seed=SEED,
+                       infected={"Dom37": {module: infected}})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    out = benchmark.pedantic(lambda: mc.check_pool(module),
+                             rounds=1, iterations=1)
+    assert out.report.flagged() == ["Dom37"]
+    assert out.report.verdicts["Dom37"].comparisons == BIG - 1
+
+
+def test_memory_footprint_stays_sparse(tb50):
+    resident = sum(
+        d.kernel.memory.resident_bytes()
+        for d in tb50.hypervisor.guests())
+    # 50 guests x 64 MiB addressable, but well under 50 MiB resident.
+    assert resident < 50 * 1024 * 1024

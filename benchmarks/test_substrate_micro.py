@@ -1,0 +1,64 @@
+"""Substrate micro-benchmarks: the building blocks' real wall-clock cost.
+
+Not a paper figure — engineering telemetry for the simulation itself:
+how fast we can build drivers, boot clones, introspect memory and hash
+modules. Useful when scaling experiments up (e.g. 100-VM pools).
+"""
+
+from __future__ import annotations
+
+from repro.core import ModChecker, ModuleSearcher
+from repro.guest import GuestKernel, build_catalog
+from repro.hypervisor import Hypervisor
+from repro.pe import build_driver, map_file_to_memory
+from repro.vmi import OSProfile, VMIInstance
+
+SEED = 42
+
+
+def test_bench_build_driver(benchmark):
+    bp = benchmark(lambda: build_driver("bench.sys", seed=SEED))
+    assert bp.file_bytes[:2] == b"MZ"
+
+
+def test_bench_build_catalog(benchmark):
+    catalog = benchmark(lambda: build_catalog(seed=SEED))
+    assert len(catalog) == 10
+
+
+def test_bench_boot_guest(benchmark, catalog):
+    counter = iter(range(10_000))
+
+    def boot():
+        kernel = GuestKernel(f"bench{next(counter)}", seed=1)
+        kernel.boot(catalog)
+        return kernel
+
+    kernel = benchmark(boot)
+    assert kernel.list_entry_count() == 10
+
+
+def test_bench_map_file_to_memory(benchmark, catalog):
+    bp = catalog["ntoskrnl.exe"]
+    image = benchmark(lambda: map_file_to_memory(bp.file_bytes))
+    assert len(image) == bp.size_of_image
+
+
+def test_bench_vmi_module_copy(benchmark, catalog):
+    hv = Hypervisor()
+    hv.create_guest("Dom1", catalog, seed=1)
+    profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+
+    def copy():
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=False)
+        return ModuleSearcher(vmi).copy_module("ntoskrnl.exe")
+
+    result = benchmark(copy)
+    assert result.image[:2] == b"MZ"
+
+
+def test_bench_pool_check_scales(benchmark, tb15):
+    """One full 15-VM pool check — the paper-scale operation."""
+    mc = ModChecker(tb15.hypervisor, tb15.profile)
+    out = benchmark(lambda: mc.check_pool("http.sys"))
+    assert out.report.all_clean

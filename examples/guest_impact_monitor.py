@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""In-guest impact monitoring: regenerate the paper's Fig. 9 experiment.
+
+Runs the paper's light-weight resource recorder inside an idle guest
+while ModChecker introspects it four times from Dom0, then compares the
+CPU/memory series inside vs outside the introspection windows. Because
+ModChecker is entirely out-of-VM, the guest never notices — contrast
+with the in-guest scanner at the end.
+
+Run:  python examples/guest_impact_monitor.py
+"""
+
+from repro import GuestResourceMonitor, ModChecker, build_testbed
+
+SEED = 2012
+
+
+def main() -> None:
+    tb = build_testbed(3, seed=SEED)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    victim = tb.hypervisor.domain("Dom1")
+
+    monitor = GuestResourceMonitor(victim, tb.clock, seed=7)
+    check = lambda: mc.check_pool("http.sys")
+    trace = monitor.run(duration=120.0, interval=0.5,
+                        events=[(t, check) for t in (20, 50, 80, 110)])
+
+    print(f"{len(trace.samples)} samples over 120 simulated seconds; "
+          f"{len(trace.introspection_windows)} introspection windows:")
+    for t0, t1 in trace.introspection_windows:
+        print(f"  [{t0:8.3f}s .. {t1:8.3f}s]  "
+              f"({(t1 - t0) * 1e3:.1f} ms of introspection)")
+
+    print(f"\n{'series':<24} {'outside':>9} {'inside':>9} {'|z|':>6}")
+    for attr in ("cpu_idle_pct", "cpu_user_pct", "cpu_privileged_pct",
+                 "mem_free_physical_pct", "page_faults_per_s"):
+        inside, outside = trace.split_by_window(attr)
+        z = trace.perturbation(attr)
+        print(f"{attr:<24} {outside.mean():>9.2f} {inside.mean():>9.2f} "
+              f"{z:>6.2f}")
+        assert z < 3.0, "out-of-VM introspection must not perturb"
+
+    print("\nconclusion (matches paper): no significant perturbation "
+          "while ModChecker reads guest memory.")
+
+    # Contrast: a hypothetical in-guest scanner IS visible.
+    from repro.hypervisor.clock import SimClock
+    clock2 = SimClock()
+    monitor2 = GuestResourceMonitor(tb.hypervisor.domain("Dom2"), clock2,
+                                    seed=8)
+
+    def in_guest_scan():
+        monitor2.agent_overhead = 0.35     # 35% CPU burned in-guest
+        clock2.advance(2.0)
+        monitor2.sample()
+        monitor2.agent_overhead = 0.0
+
+    trace2 = monitor2.run(duration=120.0, interval=0.5,
+                          events=[(t, in_guest_scan) for t in (30, 60, 90)])
+    z = trace2.perturbation("cpu_idle_pct")
+    print(f"\nin-guest scanner contrast: cpu_idle_pct |z| = {z:.1f} "
+          f"(clearly perturbed) — the monitor is sensitive; the "
+          f"flat ModChecker series is real.")
+
+
+if __name__ == "__main__":
+    main()

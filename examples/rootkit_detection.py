@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Rootkit detection walkthrough: stage all four paper attacks and
+watch ModChecker localise each one.
+
+For every technique of the paper's §V-B evaluation this script:
+  1. infects one catalog driver the way the rootkit would (file-level
+     byte surgery),
+  2. boots a cloud where one clone (Dom3) loads the infected file,
+  3. runs a full cross-VM integrity check, and
+  4. prints which VM was flagged and which PE components betrayed it —
+     then remediates by reverting the VM to a clean snapshot.
+
+Run:  python examples/rootkit_detection.py
+"""
+
+from repro import ModChecker, build_testbed
+from repro.attacks import attack_for_experiment
+from repro.guest import build_catalog
+
+SEED = 2012
+VICTIM = "Dom3"
+
+
+def stage_and_detect(exp_id: str) -> None:
+    attack, module = attack_for_experiment(exp_id)
+    print(f"\n--- {exp_id}: {attack.name} against {module} ---")
+
+    catalog = build_catalog(seed=SEED)
+    infection = attack.apply(catalog[module])
+    print(f"infection: {infection.bytes_changed} byte(s) of the file "
+          f"modified; details: {infection.details}")
+
+    tb = build_testbed(6, seed=SEED,
+                       infected={VICTIM: {module: infection.infected}})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+
+    report = mc.check_pool(module).report
+    flagged = report.flagged()
+    print(f"flagged VMs: {flagged}")
+    print(f"mismatching components on {VICTIM}: "
+          f"{', '.join(report.mismatched_regions(VICTIM))}")
+    assert flagged == [VICTIM]
+    assert set(report.mismatched_regions(VICTIM)) == \
+        set(infection.expected_regions), "signature drifted from paper"
+
+    # Remediation (paper §III-B): revert the flagged VM to a clean
+    # snapshot and re-check. Here we simulate by rebooting the victim
+    # from the pristine catalog in a fresh pool.
+    clean_tb = build_testbed(6, seed=SEED)
+    clean_report = ModChecker(clean_tb.hypervisor,
+                              clean_tb.profile).check_pool(module).report
+    print(f"after remediation: all clean = {clean_report.all_clean}")
+
+
+def main() -> None:
+    for exp_id in ("E1", "E2", "E3", "E4"):
+        stage_and_detect(exp_id)
+    print("\nall four paper attacks detected and localised.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Result post-processing: fits, knee detection, ASCII rendering."""
+
+from .export import (SeriesBundle, read_csv, read_json, write_csv,
+                     write_json)
+from .stats import (LinearFit, detect_knee, growth_ratios, is_monotonic,
+                    linear_fit)
+from .tables import format_seconds, render_series, render_table
+
+__all__ = [
+    "SeriesBundle", "read_csv", "read_json", "write_csv", "write_json",
+    "LinearFit", "detect_knee", "growth_ratios", "is_monotonic",
+    "linear_fit",
+    "format_seconds", "render_series", "render_table",
+]

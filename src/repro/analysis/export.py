@@ -1,0 +1,96 @@
+"""Figure-data export: CSV/JSON series for external plotting.
+
+The harness prints ASCII; anyone regenerating the paper's figures in
+matplotlib/gnuplot wants the raw series. These helpers write
+column-oriented CSV and a JSON bundle with experiment metadata, and
+read them back (round-trip tested) so downstream notebooks can diff
+runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SeriesBundle", "write_csv", "read_csv", "write_json",
+           "read_json"]
+
+
+@dataclass
+class SeriesBundle:
+    """Named columns of equal length plus free-form metadata."""
+
+    name: str
+    columns: dict[str, list] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def add_column(self, label: str, values: list) -> None:
+        if self.columns:
+            expected = len(next(iter(self.columns.values())))
+            if len(values) != expected:
+                raise ValueError(
+                    f"column {label!r} has {len(values)} rows, "
+                    f"expected {expected}")
+        self.columns[label] = list(values)
+
+    @property
+    def n_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def rows(self) -> list[tuple]:
+        labels = list(self.columns)
+        return list(zip(*(self.columns[label] for label in labels)))
+
+
+def write_csv(bundle: SeriesBundle, path: str | Path) -> Path:
+    """Write one bundle as a CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(bundle.columns))
+        for row in bundle.rows():
+            writer.writerow(row)
+    return path
+
+
+def read_csv(path: str | Path, name: str | None = None) -> SeriesBundle:
+    """Read a CSV written by :func:`write_csv` (numbers parsed back)."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader)
+        columns: dict[str, list] = {label: [] for label in header}
+        for row in reader:
+            for label, cell in zip(header, row):
+                columns[label].append(_parse_cell(cell))
+    return SeriesBundle(name=name or path.stem, columns=columns)
+
+
+def _parse_cell(cell: str):
+    for caster in (int, float):
+        try:
+            return caster(cell)
+        except ValueError:
+            continue
+    return cell
+
+
+def write_json(bundles: list[SeriesBundle], path: str | Path) -> Path:
+    """Write several bundles as one JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {b.name: {"columns": b.columns, "meta": b.meta} for b in bundles}
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True))
+    return path
+
+
+def read_json(path: str | Path) -> list[SeriesBundle]:
+    doc = json.loads(Path(path).read_text())
+    return [SeriesBundle(name=name, columns=body["columns"],
+                         meta=body.get("meta", {}))
+            for name, body in sorted(doc.items())]

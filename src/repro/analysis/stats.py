@@ -1,0 +1,78 @@
+"""Series statistics for validating the experiment shapes.
+
+The reproduction criteria are qualitative shapes, so these helpers turn
+"looks linear" / "has a knee at 8" / "no perturbation" into numbers the
+tests can assert: least-squares fits with R², growth-ratio knee
+detection, and simple two-sample comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LinearFit", "linear_fit", "detect_knee", "growth_ratios",
+           "is_monotonic"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y ≈ slope·x + intercept with goodness of fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def linear_fit(xs, ys) -> LinearFit:
+    """Least-squares line through (xs, ys)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2:
+        raise ValueError("need at least two points")
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(slope), float(intercept), r2)
+
+
+def growth_ratios(ys) -> np.ndarray:
+    """Successive ratios y[i+1]/y[i] (NaN where y[i] == 0)."""
+    y = np.asarray(ys, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(y[:-1] != 0, y[1:] / y[:-1], np.nan)
+
+
+def detect_knee(xs, ys, *, window: int = 2, threshold: float = 1.5) -> float | None:
+    """x position where local slope jumps by ``threshold`` × the early slope.
+
+    Compares the slope over each trailing ``window`` against the slope
+    of the first ``window`` points; returns the first x where the ratio
+    exceeds ``threshold`` — the Fig. 8 "sudden nonlinear growth" point.
+    Returns None when the series stays (near-)linear.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size < 2 * window + 1:
+        return None
+    base = linear_fit(x[:window + 1], y[:window + 1]).slope
+    if base <= 0:
+        base = max(base, 1e-12)
+    for i in range(window, x.size - window):
+        local = linear_fit(x[i:i + window + 1], y[i:i + window + 1]).slope
+        if local > threshold * base:
+            return float(x[i])
+    return None
+
+
+def is_monotonic(ys, *, strict: bool = False) -> bool:
+    """True when the series never decreases (or strictly increases)."""
+    y = np.asarray(ys, dtype=float)
+    d = np.diff(y)
+    return bool((d > 0).all()) if strict else bool((d >= 0).all())

@@ -1,0 +1,55 @@
+"""ASCII rendering of experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "render_series", "format_seconds"]
+
+
+def format_seconds(value: float) -> str:
+    """Human-scale formatting for simulated durations."""
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 *, title: str | None = None) -> str:
+    """Fixed-width table with a header rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(xs: Sequence[float], ys: Sequence[float], *,
+                  title: str = "", width: int = 60,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """A crude horizontal bar chart: one bar per (x, y) point."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys differ in length")
+    top = max(ys) if ys else 0.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>8} | {y_label}")
+    for x, y in zip(xs, ys):
+        bar = "#" * (int(round(width * y / top)) if top > 0 else 0)
+        lines.append(f"{x:>8g} | {bar} {y:.4g}")
+    return "\n".join(lines)

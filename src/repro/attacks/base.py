@@ -1,0 +1,73 @@
+"""Attack framework: file-level module infections.
+
+The paper's evaluation (§V-B) infects modules the way real rootkits do
+— by modifying the module *file* and letting the OS load the infected
+image ("Upon system restart, the newly modified hal.dll file was loaded
+into memory"). Each attack here is therefore a transformation
+``DriverBlueprint -> infected DriverBlueprint``: the returned blueprint
+carries patched ``file_bytes`` and is swapped into one VM's catalog
+before boot.
+
+Every attack records which file offsets it touched and which hash
+regions it *expects* ModChecker to flag — the ground truth the E1–E4
+experiments assert against.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..pe.builder import DriverBlueprint
+
+__all__ = ["InfectionResult", "Attack"]
+
+
+@dataclass
+class InfectionResult:
+    """An infected blueprint plus ground truth about the infection."""
+
+    attack_name: str
+    original: DriverBlueprint
+    infected: DriverBlueprint
+    #: file offsets whose bytes changed
+    modified_offsets: tuple[int, ...]
+    #: hash-region names ModChecker is expected to flag
+    expected_regions: tuple[str, ...]
+    details: dict = field(default_factory=dict)
+
+    @property
+    def bytes_changed(self) -> int:
+        return len(self.modified_offsets)
+
+
+class Attack(abc.ABC):
+    """One infection technique."""
+
+    #: short identifier, e.g. ``"opcode-replacement"``
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        """Produce an infected copy of ``blueprint``."""
+
+    # -- helpers shared by the concrete attacks ---------------------------------
+
+    @staticmethod
+    def _with_file_bytes(blueprint: DriverBlueprint,
+                         new_bytes: bytes) -> DriverBlueprint:
+        """Blueprint copy with replaced file bytes (metadata retained)."""
+        return dataclasses.replace(blueprint, file_bytes=bytes(new_bytes))
+
+    @staticmethod
+    def _diff_offsets(old: bytes, new: bytes) -> tuple[int, ...]:
+        """Offsets where two same-length files differ (for ground truth)."""
+        if len(old) == len(new):
+            return tuple(i for i, (a, b) in enumerate(zip(old, new))
+                         if a != b)
+        # Length change: report the shorter-common-prefix divergence point
+        # onwards; precise per-byte attribution is meaningless then.
+        n = min(len(old), len(new))
+        first = next((i for i in range(n) if old[i] != new[i]), n)
+        return tuple(range(first, max(len(old), len(new))))

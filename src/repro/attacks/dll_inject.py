@@ -1,0 +1,296 @@
+"""E4 — PE-header modification via DLL hooking (paper §V-B-4).
+
+Models the CFF Explorer procedure from the paper: a sample
+``inject.dll`` (exporting ``callMessageBox``) is attached to
+``dummy.sys``. Consequences the paper enumerates, all reproduced here
+by direct byte surgery on the file:
+
+* the injected code is made visible to the module, "increasing the
+  VirtualSize value in the section header" — we grow ``.text`` by the
+  inject blob (> one page, so the in-memory layout must move);
+* "injecting extra code into the kernel module shifts the locations of
+  subsequent section headers" — ``.rdata``/``.data``/``INIT``/``.reloc``
+  all move up by the page-aligned growth, raw pointers likewise;
+* "also modifies the .text section data" — the entry function gets a
+  5-byte ``JMP`` into the injected code (the inline-hook mechanism
+  reused when caves are too small);
+* "the pointers that reference these new header locations will be
+  adjusted appropriately" — SizeOfImage, SizeOfCode, BaseOfData and the
+  import data directory are updated, a new section holding import
+  descriptors for ``inject.dll`` is appended, and NumberOfSections is
+  incremented; ``.reloc`` is rebuilt so fixups still land on their
+  (shifted) slots and the driver still loads.
+
+Expected ModChecker signature (matches the paper's): mismatches in
+``IMAGE_NT_HEADER``, ``IMAGE_OPTIONAL_HEADER``, **all** section
+headers and ``.text`` — plus the structurally-new
+``SECTION_HEADER[.ninj]`` our region naming makes visible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from ..errors import AttackError
+from ..pe import constants as C
+from ..pe.builder import DriverBlueprint
+from ..pe.relocations import build_reloc_section, parse_reloc_section
+from ..pe.structures import (DosHeader, FileHeader, OptionalHeader,
+                             SectionHeader)
+from .base import Attack, InfectionResult
+
+__all__ = ["DllInjectionAttack", "INJECT_DLL_NAME", "INJECT_EXPORT"]
+
+INJECT_DLL_NAME = "inject.dll"
+INJECT_EXPORT = "callMessageBox"
+NEW_SECTION_NAME = ".ninj"
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+def _build_inject_blob(min_size: int) -> bytes:
+    """The attached DLL's code: marker strings + a callable stub."""
+    blob = bytearray()
+    blob += bytes([0x55, 0x8B, 0xEC])              # push ebp; mov ebp, esp
+    blob += b"\x90" * 16                            # MessageBox elided
+    blob += bytes([0x5D, 0xC3])                     # pop ebp; ret
+    blob += INJECT_DLL_NAME.encode() + b"\x00"
+    blob += INJECT_EXPORT.encode() + b"\x00"
+    if len(blob) < min_size:
+        blob += bytes((0xCC for _ in range(min_size - len(blob))))
+    return bytes(blob)
+
+
+class DllInjectionAttack(Attack):
+    """Attach inject.dll to the target driver via header surgery."""
+
+    name = "dll-injection"
+
+    def __init__(self, min_inject_size: int = 0x1100) -> None:
+        # > one page guarantees the section layout actually shifts.
+        if min_inject_size <= C.PAGE_SIZE:
+            raise ValueError("inject blob must exceed one page to force "
+                             "a layout shift")
+        self.min_inject_size = min_inject_size
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        data = bytes(blueprint.file_bytes)
+        dos = DosHeader.unpack(data)
+        e_lfanew = dos.e_lfanew
+        fh = FileHeader.unpack(data[e_lfanew + 4:])
+        opt_off = e_lfanew + 4 + FileHeader.SIZE
+        opt = OptionalHeader.unpack(data[opt_off:])
+        sec_table_off = opt_off + fh.size_of_optional_header
+        sections = [SectionHeader.unpack(
+            data[sec_table_off + i * SectionHeader.SIZE:])
+            for i in range(fh.number_of_sections)]
+        if sections[0].name != ".text":
+            raise AttackError("first section is not .text")
+        if sec_table_off + (len(sections) + 1) * SectionHeader.SIZE \
+                > opt.size_of_headers:
+            raise AttackError("no room in headers for an extra section")
+
+        text = sections[0]
+        blob = _build_inject_blob(self.min_inject_size)
+        inject_text_off = text.virtual_size        # blob goes at .text end
+
+        new_text_vsize = text.virtual_size + len(blob)
+        new_text_raw = _align(new_text_vsize, opt.file_alignment)
+        va_shift = (_align(new_text_vsize, opt.section_alignment)
+                    - _align(text.virtual_size, opt.section_alignment))
+        raw_shift = new_text_raw - text.size_of_raw_data
+        if va_shift <= 0:
+            raise AttackError("inject blob failed to shift layout")
+
+        shift_va_from = sections[1].virtual_address
+
+        # --- rebuild .reloc with shifted fixup RVAs so the driver loads ----
+        reloc = next(s for s in sections if s.name == ".reloc")
+        old_fixups = parse_reloc_section(
+            data[reloc.pointer_to_raw_data:
+                 reloc.pointer_to_raw_data + reloc.virtual_size])
+        new_fixups = [rva + va_shift if rva >= shift_va_from else rva
+                      for rva in old_fixups]
+        new_reloc_data = build_reloc_section(new_fixups)
+
+        # --- new section headers -------------------------------------------------
+        new_sections: list[SectionHeader] = []
+        new_sections.append(dataclasses.replace(
+            text, virtual_size=new_text_vsize, size_of_raw_data=new_text_raw))
+        for sec in sections[1:]:
+            updated = dataclasses.replace(
+                sec,
+                virtual_address=sec.virtual_address + va_shift,
+                pointer_to_raw_data=sec.pointer_to_raw_data + raw_shift)
+            if sec.name == ".reloc":
+                updated = dataclasses.replace(
+                    updated,
+                    virtual_size=len(new_reloc_data),
+                    size_of_raw_data=_align(len(new_reloc_data),
+                                            opt.file_alignment))
+            new_sections.append(updated)
+
+        # Import-descriptor section for inject.dll, appended at the end.
+        last = new_sections[-1]
+        ninj_va = _align(last.virtual_address + last.virtual_size,
+                         opt.section_alignment)
+        ninj_data = self._build_import_stub(ninj_va)
+        prev_raw_end = (new_sections[-1].pointer_to_raw_data
+                        + new_sections[-1].size_of_raw_data)
+        ninj = SectionHeader(
+            name=NEW_SECTION_NAME, virtual_size=len(ninj_data),
+            virtual_address=ninj_va,
+            size_of_raw_data=_align(len(ninj_data), opt.file_alignment),
+            pointer_to_raw_data=prev_raw_end,
+            characteristics=C.RDATA_CHARACTERISTICS)
+        new_sections.append(ninj)
+
+        # --- headers ----------------------------------------------------------------
+        new_fh = dataclasses.replace(
+            fh, number_of_sections=len(new_sections))
+        new_opt = dataclasses.replace(
+            opt,
+            size_of_code=opt.size_of_code + raw_shift,
+            base_of_data=opt.base_of_data + va_shift,
+            size_of_image=_align(ninj_va + len(ninj_data),
+                                 opt.section_alignment))
+        exp = opt.data_directories[C.DIR_EXPORT]
+        if exp.size:
+            new_opt = new_opt.with_directory(
+                C.DIR_EXPORT, exp.virtual_address + va_shift, exp.size)
+        imp = opt.data_directories[C.DIR_IMPORT]
+        new_opt = new_opt.with_directory(
+            C.DIR_IMPORT, imp.virtual_address + va_shift, imp.size)
+        rel = opt.data_directories[C.DIR_BASERELOC]
+        new_opt = new_opt.with_directory(
+            C.DIR_BASERELOC, rel.virtual_address + va_shift,
+            len(new_reloc_data))
+
+        # --- assemble the infected file -----------------------------------------------
+        out = bytearray()
+        out += data[:e_lfanew + 4]
+        out += new_fh.pack()
+        out += new_opt.pack()
+        for sec in new_sections:
+            out += sec.pack()
+        out += b"\x00" * (opt.size_of_headers - len(out))
+
+        # .text: original raw data + blob, padded to the new raw size.
+        text_raw = bytearray(
+            data[text.pointer_to_raw_data:
+                 text.pointer_to_raw_data + text.size_of_raw_data])
+        if len(text_raw) < new_text_vsize:
+            text_raw += b"\x00" * (new_text_vsize - len(text_raw))
+        text_raw[inject_text_off:inject_text_off + len(blob)] = blob
+        # Hook the entry function into the injected code.
+        entry = blueprint.entry_function()
+        rel32 = inject_text_off - (entry.offset + 5)
+        text_raw[entry.offset:entry.offset + 5] = (
+            b"\xE9" + struct.pack("<i", rel32))
+        out += bytes(text_raw).ljust(new_text_raw, b"\x00")
+
+        for old, new in zip(sections[1:], new_sections[1:-1]):
+            if new.name == ".reloc":
+                payload = new_reloc_data
+            else:
+                payload = data[old.pointer_to_raw_data:
+                               old.pointer_to_raw_data + old.size_of_raw_data]
+            assert len(out) == new.pointer_to_raw_data, new.name
+            out += bytes(payload).ljust(new.size_of_raw_data, b"\x00")
+        assert len(out) == ninj.pointer_to_raw_data
+        out += ninj_data.ljust(ninj.size_of_raw_data, b"\x00")
+
+        # The import block also moved with .rdata: descriptors carry
+        # absolute RVAs (OFT, Name, FirstThunk) and the thunk arrays
+        # carry hint/name RVAs — all .rdata-relative, all += va_shift.
+        old_rdata = sections[1]
+
+        def _rdata_raw(new_rva: int) -> int:
+            return (new_sections[1].pointer_to_raw_data
+                    + (new_rva - va_shift - old_rdata.virtual_address))
+
+        imp_raw = _rdata_raw(imp.virtual_address + va_shift)
+        pos = imp_raw
+        while True:
+            oft, _st, _fw, name_rva, iat = struct.unpack_from("<IIIII",
+                                                              out, pos)
+            if oft == 0 and name_rva == 0 and iat == 0:
+                break
+            for field_off, value in ((0, oft), (12, name_rva), (16, iat)):
+                struct.pack_into("<I", out, pos + field_off,
+                                 value + va_shift)
+            for array_rva in {oft, iat}:
+                cursor = _rdata_raw(array_rva + va_shift)
+                while True:
+                    thunk, = struct.unpack_from("<I", out, cursor)
+                    if thunk == 0:
+                        break
+                    if not thunk & 0x8000_0000:
+                        struct.pack_into("<I", out, cursor,
+                                         thunk + va_shift)
+                    cursor += 4
+            pos += 20
+
+        # The export block moved with .rdata, so its *internal* RVAs
+        # (table positions and name strings, all .rdata-relative) must
+        # shift too — function RVAs point into .text and stay put. A
+        # real CFF-Explorer rebuild performs the same pointer fixups.
+        if exp.size:
+            old_rdata = sections[1]
+            exp_raw = (new_sections[1].pointer_to_raw_data
+                       + (exp.virtual_address - old_rdata.virtual_address))
+            for field_off in (12, 28, 32, 36):   # Name, AoF, AoN, AoNO
+                value = struct.unpack_from("<I", out, exp_raw + field_off)[0]
+                struct.pack_into("<I", out, exp_raw + field_off,
+                                 value + va_shift)
+            n_names = struct.unpack_from("<I", out, exp_raw + 24)[0]
+            names_table = struct.unpack_from("<I", out, exp_raw + 32)[0]
+            names_raw = (new_sections[1].pointer_to_raw_data
+                         + (names_table - va_shift
+                            - old_rdata.virtual_address))
+            for i in range(n_names):
+                rva = struct.unpack_from("<I", out, names_raw + 4 * i)[0]
+                struct.pack_into("<I", out, names_raw + 4 * i,
+                                 rva + va_shift)
+
+        # --- fix blueprint metadata the loader consumes -------------------------------
+        new_iat_slots = [(dll, sym, rva + va_shift if rva >= shift_va_from
+                          else rva)
+                         for dll, sym, rva in blueprint.iat_slots]
+        infected = dataclasses.replace(
+            blueprint, file_bytes=bytes(out), iat_slots=new_iat_slots,
+            sections=new_sections, optional_header=new_opt)
+
+        expected = ["IMAGE_NT_HEADER", "IMAGE_OPTIONAL_HEADER"]
+        expected += [f"SECTION_HEADER[{s.name}]" for s in new_sections]
+        expected += [".text"]
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=tuple(expected),
+            details={
+                "inject_dll": INJECT_DLL_NAME,
+                "export": INJECT_EXPORT,
+                "blob_bytes": len(blob),
+                "va_shift": va_shift,
+                "raw_shift": raw_shift,
+                "new_section": NEW_SECTION_NAME,
+            })
+
+    @staticmethod
+    def _build_import_stub(section_va: int) -> bytes:
+        """A minimal import descriptor block naming inject.dll."""
+        name_off = 40                    # after 2 descriptors (1 + null)
+        thunk_off = name_off + len(INJECT_DLL_NAME) + 1
+        desc = struct.pack("<IIIII", section_va + thunk_off, 0, 0,
+                           section_va + name_off, section_va + thunk_off)
+        out = bytearray(desc)
+        out += b"\x00" * 20              # null descriptor
+        out += INJECT_DLL_NAME.encode() + b"\x00"
+        out += struct.pack("<I", 0)      # empty thunk list
+        out += INJECT_EXPORT.encode() + b"\x00"
+        return bytes(out)

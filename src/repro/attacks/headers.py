@@ -1,0 +1,137 @@
+"""Header-field attacks beyond the paper's four: small, surgical edits
+to single PE header fields, each with a crisp expected signature.
+
+These extend the evaluation matrix: the paper shows header integrity
+matters (E3/E4); these probe *which* header region catches *which*
+field, including the classic rootkit preparation steps (making code
+writable, redirecting the entry point).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+
+from ..errors import AttackError, NoOpcodeCave
+from ..pe import constants as C
+from ..pe.builder import DriverBlueprint
+from ..pe.structures import FileHeader, SectionHeader
+from .base import Attack, InfectionResult
+
+__all__ = ["SectionCharacteristicsAttack", "EntryPointRedirectAttack",
+           "TimestampForgeryAttack"]
+
+
+class SectionCharacteristicsAttack(Attack):
+    """Flip ``.text`` writable — step one of many self-patching rootkits.
+
+    Touches exactly 4 bytes of one section header. Expected signature:
+    ``SECTION_HEADER[.text]`` only (the code bytes are untouched).
+    """
+
+    name = "characteristics-flip"
+
+    def __init__(self, section: str = ".text",
+                 add_flags: int = C.SCN_MEM_WRITE) -> None:
+        self.section = section
+        self.add_flags = add_flags
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        data = bytearray(blueprint.file_bytes)
+        sec_table = (blueprint.e_lfanew + 4 + FileHeader.SIZE
+                     + blueprint.file_header.size_of_optional_header)
+        for i, sec in enumerate(blueprint.sections):
+            if sec.name == self.section:
+                off = (sec_table + i * SectionHeader.SIZE + 36)
+                old = struct.unpack_from("<I", data, off)[0]
+                struct.pack_into("<I", data, off, old | self.add_flags)
+                break
+        else:
+            raise AttackError(f"no section {self.section!r}")
+        infected = self._with_file_bytes(blueprint, bytes(data))
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=(f"SECTION_HEADER[{self.section}]",),
+            details={"section": self.section,
+                     "flags_added": f"{self.add_flags:#010x}"})
+
+
+class EntryPointRedirectAttack(Attack):
+    """Point ``AddressOfEntryPoint`` at a payload hidden in a cave.
+
+    The oldest file-infector trick: the driver starts executing the
+    virus body, which then jumps to the original entry. Expected
+    signature: ``IMAGE_OPTIONAL_HEADER`` (the redirected field) and
+    ``.text`` (the payload written into the cave).
+    """
+
+    name = "entrypoint-redirect"
+
+    def __init__(self, payload: bytes = b"\x60\x90\x90\x61") -> None:
+        self.payload = bytes(payload)
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        layout = blueprint.code_layout
+        needed = len(self.payload) + 5
+        cave = next((c for c in sorted(layout.caves, key=lambda c: -c.size)
+                     if c.size >= needed), None)
+        if cave is None:
+            raise NoOpcodeCave(f"no cave >= {needed} bytes")
+
+        data = bytearray(blueprint.file_bytes)
+        text = blueprint.section(".text")
+        raw = text.pointer_to_raw_data
+
+        entry_rva = blueprint.optional_header.address_of_entry_point
+        entry_off = entry_rva - text.virtual_address
+        # payload then jmp to the original entry point
+        cursor = cave.offset
+        data[raw + cursor:raw + cursor + len(self.payload)] = self.payload
+        cursor += len(self.payload)
+        rel = entry_off - (cursor + 5)
+        data[raw + cursor:raw + cursor + 5] = b"\xE9" + struct.pack("<i", rel)
+
+        # AddressOfEntryPoint is at optional-header offset 16.
+        opt_off = blueprint.e_lfanew + 4 + FileHeader.SIZE
+        struct.pack_into("<I", data, opt_off + 16,
+                         text.virtual_address + cave.offset)
+
+        infected = self._with_file_bytes(blueprint, bytes(data))
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=("IMAGE_OPTIONAL_HEADER", ".text"),
+            details={"new_entry_rva": text.virtual_address + cave.offset,
+                     "original_entry_rva": entry_rva,
+                     "cave_offset": cave.offset})
+
+
+class TimestampForgeryAttack(Attack):
+    """Forge ``TimeDateStamp`` (timestomping, an anti-forensics staple).
+
+    Touches 4 bytes of the FILE header. Expected signature:
+    ``IMAGE_NT_HEADER`` only.
+    """
+
+    name = "timestamp-forgery"
+
+    def __init__(self, new_timestamp: int = 0x2A2A2A2A) -> None:
+        self.new_timestamp = new_timestamp
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        data = bytearray(blueprint.file_bytes)
+        off = blueprint.e_lfanew + 4 + 4      # FileHeader.TimeDateStamp
+        old = struct.unpack_from("<I", data, off)[0]
+        if old == self.new_timestamp:
+            raise AttackError("forged timestamp equals the original")
+        struct.pack_into("<I", data, off, self.new_timestamp)
+        infected = self._with_file_bytes(blueprint, bytes(data))
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=("IMAGE_NT_HEADER",),
+            details={"old": old, "new": self.new_timestamp})

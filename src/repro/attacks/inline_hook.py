@@ -1,0 +1,121 @@
+"""E2 — inline hooking via an opcode cave (paper §V-B-2, Fig. 5).
+
+The classic rootkit control-flow diversion (TCPIRPHOOK, Win32.Chatter):
+
+1. find an **opcode cave** — a run of ``00`` padding inside ``.text``
+   large enough for the payload;
+2. copy the victim function's first instructions (the bytes the hook
+   will clobber) into the cave, preceded by the malicious payload;
+3. overwrite the function entry with ``JMP rel32`` to the cave;
+4. end the cave with ``JMP rel32`` back to the instruction after the
+   hook — "sanitation of overwritten bytes before returning to the
+   original entry function".
+
+Everything happens inside ``.text``: headers and other sections remain
+byte-identical, so the expected ModChecker signature is **only the
+.text hash mismatches** — but unlike E1 the change is semantic-
+preserving for the caller, which is what makes inline hooks stealthy
+against in-guest tools.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import NoOpcodeCave
+from ..pe.builder import DriverBlueprint
+from ..pe.disasm import instructions_covering
+from .base import Attack, InfectionResult
+
+__all__ = ["InlineHookAttack", "DEFAULT_PAYLOAD"]
+
+#: A recognisable stand-in for malicious code: push/pop NOP-sled plus a
+#: marker the tests can look for. Real payloads would, e.g., filter
+#: network-query results.
+DEFAULT_PAYLOAD = bytes([0x60,                    # pushad
+                         0x90, 0x90, 0x90, 0x90,  # payload body (elided)
+                         0x61])                   # popad
+
+_JMP_LEN = 5                                      # E9 rel32
+
+
+def _jmp_rel32(from_off: int, to_off: int) -> bytes:
+    """Encode ``JMP rel32`` placed at section offset ``from_off``."""
+    return b"\xE9" + struct.pack("<i", to_off - (from_off + _JMP_LEN))
+
+
+class InlineHookAttack(Attack):
+    """Hook the entry function through the largest available cave."""
+
+    name = "inline-hook"
+
+    def __init__(self, payload: bytes = DEFAULT_PAYLOAD,
+                 victim_function: str | None = None) -> None:
+        self.payload = bytes(payload)
+        self.victim_function = victim_function
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        layout = blueprint.code_layout
+        victim = (layout.function(self.victim_function)
+                  if self.victim_function else layout.functions[0])
+
+        # Bytes we must preserve: whole instructions covering the first
+        # _JMP_LEN bytes of the victim — computed from the raw bytes
+        # with the length decoder, as a real hooking engine must.
+        text = blueprint.section(".text")
+        code = blueprint.file_bytes[
+            text.pointer_to_raw_data:
+            text.pointer_to_raw_data + text.size_of_raw_data]
+        saved_len = instructions_covering(code, victim.offset, victim.end,
+                                          _JMP_LEN)
+        needed = len(self.payload) + saved_len + _JMP_LEN
+
+        cave = None
+        for candidate in sorted(layout.caves, key=lambda c: -c.size):
+            if candidate.size >= needed:
+                cave = candidate
+                break
+        if cave is None:
+            raise NoOpcodeCave(
+                f"{blueprint.name}: no cave >= {needed} bytes "
+                f"(largest: {max((c.size for c in layout.caves), default=0)})")
+
+        text = blueprint.section(".text")
+        data = bytearray(blueprint.file_bytes)
+        base_raw = text.pointer_to_raw_data
+
+        saved = bytes(data[base_raw + victim.offset:
+                           base_raw + victim.offset + saved_len])
+
+        # Cave: payload | saved instructions | jmp back.
+        cave_cursor = cave.offset
+        data[base_raw + cave_cursor:
+             base_raw + cave_cursor + len(self.payload)] = self.payload
+        cave_cursor += len(self.payload)
+        data[base_raw + cave_cursor:
+             base_raw + cave_cursor + saved_len] = saved
+        cave_cursor += saved_len
+        back = _jmp_rel32(cave_cursor, victim.offset + saved_len)
+        data[base_raw + cave_cursor:
+             base_raw + cave_cursor + _JMP_LEN] = back
+
+        # Entry: jmp to cave, residue of clobbered instructions NOP'd.
+        hook = _jmp_rel32(victim.offset, cave.offset)
+        data[base_raw + victim.offset:
+             base_raw + victim.offset + _JMP_LEN] = hook
+        for i in range(_JMP_LEN, saved_len):
+            data[base_raw + victim.offset + i] = 0x90
+
+        infected = self._with_file_bytes(blueprint, bytes(data))
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=(".text",),
+            details={
+                "victim": victim.name,
+                "cave_offset": cave.offset,
+                "cave_size": cave.size,
+                "payload_bytes": len(self.payload),
+                "saved_instruction_bytes": saved_len,
+            })

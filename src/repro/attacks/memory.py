@@ -1,0 +1,173 @@
+"""Memory-resident attacks: infections applied to a *running* guest.
+
+The paper infects files and reboots; real rootkits more often patch the
+live kernel. A :class:`MemoryAttack` operates on a booted
+:class:`~repro.guest.kernel.GuestKernel` through its own address space
+(the attacker runs *inside* the guest at ring 0) — no file is touched,
+so disk-comparing tools like SVV see nothing, which is exactly the
+scenario where cross-VM comparison shines (paper §II).
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import AttackError
+from ..guest.kernel import GuestKernel
+from ..pe.builder import DriverBlueprint
+
+__all__ = ["MemoryInfectionResult", "MemoryAttack", "IATHookAttack",
+           "LdrDecoyAttack", "RuntimeCodePatchAttack"]
+
+
+@dataclass
+class MemoryInfectionResult:
+    """Record of an in-memory infection."""
+
+    attack_name: str
+    vm_name: str
+    module_name: str
+    #: VAs whose bytes changed
+    modified_vas: tuple[int, ...]
+    #: hash-region names ModChecker is expected to flag ('()' == blind spot)
+    expected_regions: tuple[str, ...]
+    details: dict = field(default_factory=dict)
+
+    @property
+    def expected_detected(self) -> bool:
+        return bool(self.expected_regions)
+
+
+class MemoryAttack(abc.ABC):
+    """An infection of a live guest's kernel memory."""
+
+    name: str = "abstract-memory"
+
+    @abc.abstractmethod
+    def apply(self, kernel: GuestKernel, blueprint: DriverBlueprint,
+              ) -> MemoryInfectionResult:
+        """Infect ``blueprint.name`` as loaded in ``kernel``."""
+
+
+class IATHookAttack(MemoryAttack):
+    """Overwrite one IAT slot so an imported call lands on attacker code.
+
+    The IAT lives in ``.rdata`` — *not* executable — so ModChecker,
+    which hashes only headers and executable sections (by design, since
+    writable data legitimately differs), does **not** see this. The
+    paper inherits this blind spot; the test suite pins it down
+    honestly (``expected_regions == ()``).
+    """
+
+    name = "iat-hook"
+
+    def __init__(self, slot_index: int = 0) -> None:
+        self.slot_index = slot_index
+
+    def apply(self, kernel: GuestKernel, blueprint: DriverBlueprint,
+              ) -> MemoryInfectionResult:
+        module = kernel.module(blueprint.name)
+        if not blueprint.iat_slots:
+            raise AttackError(f"{blueprint.name} imports nothing to hook")
+        dll, symbol, slot_rva = blueprint.iat_slots[
+            self.slot_index % len(blueprint.iat_slots)]
+        slot_va = module.base + slot_rva
+        original = struct.unpack("<I", kernel.aspace.read(slot_va, 4))[0]
+        # Point the import at an attacker-chosen address (here: the
+        # module's own entry point — any diversion works for the test).
+        evil_target = module.entry_point
+        kernel.aspace.write(slot_va, struct.pack("<I", evil_target))
+        return MemoryInfectionResult(
+            attack_name=self.name, vm_name=kernel.name,
+            module_name=blueprint.name,
+            modified_vas=tuple(range(slot_va, slot_va + 4)),
+            expected_regions=(),           # the documented blind spot
+            details={"import": f"{dll}!{symbol}",
+                     "slot_va": slot_va,
+                     "original": original,
+                     "hooked_to": evil_target})
+
+
+class LdrDecoyAttack(MemoryAttack):
+    """Plant a fake ``LDR_DATA_TABLE_ENTRY`` in the module list.
+
+    The inverse of DKOM hiding: a bogus entry whose ``DllBase`` points
+    at unbacked kernel VA space. List-walking tools (including the
+    paper's Module-Searcher) enumerate it and either fault or report a
+    phantom module; the cross-view comparison exposes it as
+    *listed-only*. The searcher's fault-tolerant copy path must also
+    survive it — tested in the cross-view suite.
+    """
+
+    name = "ldr-decoy"
+
+    def __init__(self, decoy_name: str = "ghost.sys",
+                 decoy_base: int = 0xFBAD_0000,
+                 decoy_size: int = 0x8000) -> None:
+        self.decoy_name = decoy_name
+        self.decoy_base = decoy_base
+        self.decoy_size = decoy_size
+
+    def apply(self, kernel: GuestKernel, blueprint: DriverBlueprint | None = None,
+              ) -> MemoryInfectionResult:
+        from ..guest.ldr import LdrDataTableEntry, ListEntry, link_tail
+        from ..guest.unicode_string import UnicodeString
+
+        layout = kernel.layout          # the attacker knows the build
+        head_va = kernel.symbols["PsLoadedModuleList"]
+        stub = UnicodeString.for_text(self.decoy_name, 0)[1]
+        node_va = kernel.aspace.alloc_fixed(
+            layout.entry_size + len(stub), f"decoy:{self.decoy_name}")
+        name_va = node_va + layout.entry_size
+        us, payload = UnicodeString.for_text(self.decoy_name, name_va)
+        entry = LdrDataTableEntry(
+            in_load_order=ListEntry(0, 0),
+            in_memory_order=ListEntry(0, 0),
+            in_init_order=ListEntry(0, 0),
+            dll_base=self.decoy_base, entry_point=self.decoy_base + 0x100,
+            size_of_image=self.decoy_size,
+            full_dll_name=us, base_dll_name=us)
+        kernel.aspace.write(node_va, entry.pack(layout))
+        kernel.aspace.write(name_va, payload)
+        link_tail(kernel.aspace.write, kernel.aspace.read, head_va, node_va)
+        return MemoryInfectionResult(
+            attack_name=self.name, vm_name=kernel.name,
+            module_name=self.decoy_name,
+            modified_vas=tuple(range(node_va, node_va + layout.entry_size)),
+            expected_regions=(),       # not an image modification
+            details={"node_va": node_va, "decoy_base": self.decoy_base})
+
+
+class RuntimeCodePatchAttack(MemoryAttack):
+    """Patch executable bytes of a loaded module in place.
+
+    The memory-resident twin of E1: the on-disk file stays pristine
+    (defeating disk-comparison tools) but the ``.text`` hash diverges
+    from every other clone.
+    """
+
+    name = "runtime-code-patch"
+
+    def __init__(self, offset_in_text: int = 0x20,
+                 patch: bytes = b"\xEB\xFE") -> None:    # jmp $ (hang)
+        self.offset_in_text = offset_in_text
+        self.patch = bytes(patch)
+
+    def apply(self, kernel: GuestKernel, blueprint: DriverBlueprint,
+              ) -> MemoryInfectionResult:
+        module = kernel.module(blueprint.name)
+        text = blueprint.section(".text")
+        if self.offset_in_text + len(self.patch) > text.virtual_size:
+            raise AttackError("patch exceeds .text")
+        va = module.base + text.virtual_address + self.offset_in_text
+        original = kernel.aspace.read(va, len(self.patch))
+        kernel.aspace.write(va, self.patch)
+        return MemoryInfectionResult(
+            attack_name=self.name, vm_name=kernel.name,
+            module_name=blueprint.name,
+            modified_vas=tuple(range(va, va + len(self.patch))),
+            expected_regions=(".text",),
+            details={"va": va, "original": original.hex(),
+                     "patch": self.patch.hex()})

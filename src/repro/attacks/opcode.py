@@ -1,0 +1,61 @@
+"""E1 — single opcode replacement (paper §V-B-1).
+
+The paper opens ``hal.dll`` in OllyDbg and rewrites one instruction in
+the ``.text`` section: ``DEC ECX`` (opcode ``49``) becomes its
+semantically-equivalent ``SUB ECX, 1`` (``83 E9 01``). The 1→3 byte
+rewrite overwrites the two bytes that follow (OllyDbg's in-place
+assemble), so the section's size and all header fields are untouched —
+the minimal possible code change. Expected ModChecker signature:
+**only the .text hash mismatches**.
+
+This models malware's smallest move: "insertion of a specially crafted
+jump instruction or modification of the pointer that references a
+legitimate function".
+"""
+
+from __future__ import annotations
+
+from ..errors import AttackError
+from ..pe.builder import DriverBlueprint
+from ..pe.codegen import OPC_DEC_ECX, PROLOGUE
+from .base import Attack, InfectionResult
+
+__all__ = ["OpcodeReplacementAttack", "SUB_ECX_1"]
+
+#: ``SUB ECX, 1`` — the replacement instruction.
+SUB_ECX_1 = bytes([0x83, 0xE9, 0x01])
+
+
+class OpcodeReplacementAttack(Attack):
+    """Rewrite the entry function's ``DEC ECX`` to ``SUB ECX, 1``."""
+
+    name = "opcode-replacement"
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        entry = blueprint.entry_function()
+        # The code generator plants DEC ECX right after the prologue of
+        # the entry function, followed by two NOPs the wider encoding
+        # may spill into.
+        code_off = entry.offset + len(PROLOGUE)
+        text = blueprint.section(".text")
+        file_off = text.pointer_to_raw_data + code_off
+
+        data = bytearray(blueprint.file_bytes)
+        if data[file_off] != OPC_DEC_ECX:
+            raise AttackError(
+                f"{blueprint.name}: expected DEC ECX ({OPC_DEC_ECX:#04x}) at "
+                f"file offset {file_off:#x}, found {data[file_off]:#04x}")
+        data[file_off:file_off + len(SUB_ECX_1)] = SUB_ECX_1
+
+        infected = self._with_file_bytes(blueprint, bytes(data))
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=(".text",),
+            details={
+                "function": entry.name,
+                "text_offset": code_off,
+                "old_opcode": f"{OPC_DEC_ECX:02X}",
+                "new_opcode": SUB_ECX_1.hex().upper(),
+            })

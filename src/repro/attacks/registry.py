@@ -1,0 +1,67 @@
+"""Attack registry: experiment id / name → attack factory.
+
+The experiment harness addresses attacks by the paper's experiment
+numbers (E1–E4); library users can also register their own techniques
+to test detection coverage beyond the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import Attack
+from .dll_inject import DllInjectionAttack
+from .headers import (EntryPointRedirectAttack, SectionCharacteristicsAttack,
+                      TimestampForgeryAttack)
+from .inline_hook import InlineHookAttack
+from .opcode import OpcodeReplacementAttack
+from .stub import StubModificationAttack
+
+__all__ = ["ATTACKS", "EXPERIMENTS", "make_attack", "attack_for_experiment"]
+
+#: name -> zero-arg factory. The first four are the paper's §V-B
+#: techniques; the rest extend the evaluation matrix (file-level).
+ATTACKS: dict[str, Callable[[], Attack]] = {
+    OpcodeReplacementAttack.name: OpcodeReplacementAttack,
+    InlineHookAttack.name: InlineHookAttack,
+    StubModificationAttack.name: StubModificationAttack,
+    DllInjectionAttack.name: DllInjectionAttack,
+    SectionCharacteristicsAttack.name: SectionCharacteristicsAttack,
+    EntryPointRedirectAttack.name: EntryPointRedirectAttack,
+    TimestampForgeryAttack.name: TimestampForgeryAttack,
+}
+
+#: paper experiment id -> (attack name, the module the paper infects)
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "E1": (OpcodeReplacementAttack.name, "hal.dll"),
+    "E2": (InlineHookAttack.name, "hal.dll"),
+    "E3": (StubModificationAttack.name, "dummy.sys"),
+    "E4": (DllInjectionAttack.name, "dummy.sys"),
+}
+
+
+def make_attack(name: str) -> Attack:
+    try:
+        factory = ATTACKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown attack {name!r}; known: {sorted(ATTACKS)}") from None
+    return factory()
+
+
+def attack_for_experiment(exp_id: str) -> tuple[Attack, str]:
+    """(attack instance, target module name) for a paper experiment id."""
+    try:
+        attack_name, module = EXPERIMENTS[exp_id.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return make_attack(attack_name), module
+
+
+def register_attack(name: str, factory: Callable[[], Attack]) -> None:
+    """Add a user-defined technique to the registry."""
+    if name in ATTACKS:
+        raise ValueError(f"attack {name!r} already registered")
+    ATTACKS[name] = factory

@@ -1,0 +1,49 @@
+"""E3 — trivial DOS-stub modification (paper §V-B-3, Fig. 6).
+
+Three characters of the dummy driver's stub message are replaced —
+"This program cannot be run in **DOS** mode" becomes "... **CHK**
+mode" — without changing alignment or any code byte. The point of the
+experiment: ModChecker's DOS-header hash covers the stub bytes before
+``e_lfanew``, so even a content change invisible to every loader and
+signature check ("other sections ... were left intact") is flagged, and
+*only* there. Expected signature: **only IMAGE_DOS_HEADER mismatches**.
+"""
+
+from __future__ import annotations
+
+from ..errors import AttackError
+from ..pe.builder import DriverBlueprint
+from .base import Attack, InfectionResult
+
+__all__ = ["StubModificationAttack"]
+
+
+class StubModificationAttack(Attack):
+    """Patch bytes inside the DOS stub message."""
+
+    name = "stub-modification"
+
+    def __init__(self, old: bytes = b"DOS", new: bytes = b"CHK") -> None:
+        if len(old) != len(new):
+            raise ValueError("replacement must preserve length/alignment")
+        self.old = bytes(old)
+        self.new = bytes(new)
+
+    def apply(self, blueprint: DriverBlueprint) -> InfectionResult:
+        data = bytearray(blueprint.file_bytes)
+        stub_region = bytes(data[:blueprint.e_lfanew])
+        pos = stub_region.find(self.old)
+        if pos < 0:
+            raise AttackError(
+                f"{blueprint.name}: {self.old!r} not found in the DOS stub")
+        data[pos:pos + len(self.new)] = self.new
+
+        infected = self._with_file_bytes(blueprint, bytes(data))
+        return InfectionResult(
+            attack_name=self.name, original=blueprint, infected=infected,
+            modified_offsets=self._diff_offsets(blueprint.file_bytes,
+                                                infected.file_bytes),
+            expected_regions=("IMAGE_DOS_HEADER",),
+            details={"stub_offset": pos,
+                     "old": self.old.decode("ascii"),
+                     "new": self.new.decode("ascii")})

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro.cli`` (or ``modchecker``).
+
+Drives the whole reproduction from a shell::
+
+    modchecker check --module hal.dll --vms 6
+    modchecker check --module hal.dll --vms 6 --infect E1 --victim Dom3
+    modchecker sweep --vms 4
+    modchecker hidden --vms 3 --hide dummy.sys --victim Dom2
+    modchecker daemon --vms 4 --cycles 5 --infect E2 --victim Dom2
+    modchecker experiment e1 fig7 ...      # the benchmark harness
+
+Exit status: 0 = no discrepancy, 1 = discrepancy detected (so the tool
+scripts cleanly into cron-style monitoring), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_seconds, render_table
+from .attacks import attack_for_experiment
+from .cloud import build_testbed
+from .core import ModChecker
+from .core.daemon import CheckDaemon, RoundRobinPolicy
+from .guest import build_catalog
+
+__all__ = ["main", "build_arg_parser"]
+
+DEFAULT_SEED = 2012
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="modchecker",
+        description="ModChecker reproduction: cross-VM kernel-module "
+                    "integrity checking on a simulated cloud.")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="deterministic testbed seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--vms", type=int, default=6,
+                       help="number of cloned guests")
+        p.add_argument("--infect", metavar="EXP",
+                       help="stage a paper experiment (E1..E4) first")
+        p.add_argument("--victim", default="Dom3",
+                       help="VM that boots the infected module")
+
+    p_check = sub.add_parser("check", help="cross-check one module")
+    add_common(p_check)
+    p_check.add_argument("--module", default="hal.dll")
+    p_check.add_argument("--rva-mode", default="robust",
+                         choices=["faithful", "robust", "vectorized"])
+    p_check.add_argument("--hash", default="md5",
+                         choices=["md5", "sha1", "sha256"])
+    p_check.add_argument("--pool-mode", default="pairwise",
+                         choices=["pairwise", "canonical"],
+                         help="pairwise = paper's O(t^2) vote; canonical "
+                              "= O(t) fingerprint clustering")
+
+    p_sweep = sub.add_parser("sweep", help="check every loaded module")
+    add_common(p_sweep)
+
+    p_hidden = sub.add_parser("hidden", help="carve for DKOM-hidden modules")
+    p_hidden.add_argument("--vms", type=int, default=3)
+    p_hidden.add_argument("--hide", metavar="MODULE",
+                          help="unlink MODULE on the victim first (demo)")
+    p_hidden.add_argument("--victim", default="Dom2")
+
+    p_cross = sub.add_parser("crossview",
+                             help="compare listed vs carved module views")
+    p_cross.add_argument("--vms", type=int, default=3)
+    p_cross.add_argument("--hide", metavar="MODULE",
+                         help="demo: unlink MODULE on the victim")
+    p_cross.add_argument("--decoy", action="store_true",
+                         help="demo: plant a fake LDR entry on the victim")
+    p_cross.add_argument("--victim", default="Dom2")
+
+    p_dump = sub.add_parser("dump",
+                            help="acquire memory dumps and check offline")
+    add_common(p_dump)
+    p_dump.add_argument("--module", default="hal.dll")
+
+    p_daemon = sub.add_parser("daemon", help="run periodic checking cycles")
+    add_common(p_daemon)
+    p_daemon.add_argument("--cycles", type=int, default=5)
+    p_daemon.add_argument("--interval", type=float, default=60.0)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run paper experiments (harness)")
+    p_exp.add_argument("targets", nargs="*",
+                       help="e1 e2 e3 e4 fig4 fig7 fig8 fig9 a1..a7 h1 rw "
+                            "(default: all)")
+    return parser
+
+
+def _build(args, module: str | None = None):
+    infected = None
+    if getattr(args, "infect", None):
+        attack, target_module = attack_for_experiment(args.infect)
+        if module is not None and target_module != module:
+            # the experiment dictates its own module; tell the user
+            print(f"note: {args.infect} targets {target_module}; "
+                  f"checking that instead of {module}")
+        module = target_module
+        catalog = build_catalog(seed=args.seed)
+        result = attack.apply(catalog[module])
+        infected = {args.victim: {module: result.infected}}
+    tb = build_testbed(args.vms, seed=args.seed, infected=infected)
+    return tb, module
+
+
+def cmd_check(args) -> int:
+    tb, module = _build(args, args.module)
+    module = module or args.module
+    mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
+                    hash_algorithm=args.hash)
+    out = mc.check_pool(module, mode=args.pool_mode)
+    report = out.report
+    rows = [[vm, f"{v.matches}/{v.comparisons}",
+             "CLEAN" if v.clean else "FLAGGED",
+             ", ".join(v.mismatched_regions) or "-"]
+            for vm, v in report.verdicts.items()]
+    print(render_table(["VM", "matches", "verdict", "mismatched"], rows,
+                       title=f"{module} across {len(report.vm_names)} VMs "
+                             f"({args.hash}, {args.rva_mode})"))
+    print(f"simulated runtime: {format_seconds(out.timings.total)} "
+          f"(searcher {format_seconds(out.timings.searcher)})")
+    return 0 if report.all_clean else 1
+
+
+def cmd_sweep(args) -> int:
+    tb, _ = _build(args)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    outcomes = mc.check_all_modules()
+    rows = []
+    dirty = False
+    for name, outcome in outcomes.items():
+        flagged = outcome.report.flagged()
+        dirty |= bool(flagged)
+        rows.append([name, "CLEAN" if not flagged else "FLAGGED",
+                     ",".join(flagged) or "-"])
+    print(render_table(["module", "verdict", "flagged VMs"], rows,
+                       title=f"catalog sweep over {args.vms} VMs"))
+    return 1 if dirty else 0
+
+
+def cmd_hidden(args) -> int:
+    tb, _ = _build(args)
+    if args.hide:
+        tb.hypervisor.domain(args.victim).kernel.unload_module(args.hide)
+        print(f"(demo) unlinked {args.hide} from {args.victim}'s "
+              f"PsLoadedModuleList")
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    dirty = False
+    for vm in tb.vm_names:
+        hidden = mc.detect_hidden_modules(vm)
+        for carved, name in hidden:
+            dirty = True
+            print(f"{vm}: HIDDEN module at {carved.base:#010x} "
+                  f"({len(carved.image)} bytes) -> "
+                  f"identified as {name or 'unknown'}")
+            if name:
+                report = mc.check_carved_module(carved, name)
+                verdict = "clean" if report.clean else "TAMPERED"
+                print(f"        integrity vs pool: {verdict}")
+        if not hidden:
+            print(f"{vm}: no hidden modules")
+    return 1 if dirty else 0
+
+
+def cmd_crossview(args) -> int:
+    from .attacks import LdrDecoyAttack
+    from .core import cross_view
+    tb, _ = _build(args)
+    if args.hide:
+        tb.hypervisor.domain(args.victim).kernel.unload_module(args.hide)
+        print(f"(demo) unlinked {args.hide} on {args.victim}")
+    if args.decoy:
+        LdrDecoyAttack().apply(tb.hypervisor.domain(args.victim).kernel)
+        print(f"(demo) planted ghost.sys decoy entry on {args.victim}")
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    dirty = False
+    for vm in tb.vm_names:
+        report = cross_view(mc.vmi_for(vm))
+        print(report.summary())
+        for m in report.carved_only:
+            print(f"    hidden image at {m.base:#010x} "
+                  f"({len(m.image)} bytes)")
+        for e in report.listed_only:
+            print(f"    decoy entry {e.name!r} -> DllBase "
+                  f"{e.dll_base:#010x} (unbacked)")
+        dirty |= not report.consistent
+    return 1 if dirty else 0
+
+
+def cmd_dump(args) -> int:
+    from .core import IntegrityChecker, ModuleParser, ModuleSearcher
+    from .vmi import DumpAnalyzer, acquire_dump
+    tb, module = _build(args, args.module)
+    module = module or args.module
+    dumps = [acquire_dump(tb.hypervisor, vm, tb.profile)
+             for vm in tb.vm_names]
+    total = sum(d.resident_bytes for d in dumps) // 1024
+    print(f"acquired {len(dumps)} dumps ({total} KiB resident); "
+          f"analysing offline ...")
+    parsed = []
+    for dump in dumps:
+        copy = ModuleSearcher(DumpAnalyzer(dump)).copy_module(module)
+        parsed.append(ModuleParser().parse(copy))
+    report = IntegrityChecker().check_pool(parsed)
+    rows = [[vm, f"{v.matches}/{v.comparisons}",
+             "CLEAN" if v.clean else "FLAGGED",
+             ", ".join(v.mismatched_regions) or "-"]
+            for vm, v in report.verdicts.items()]
+    print(render_table(["dump", "matches", "verdict", "mismatched"], rows,
+                       title=f"{module}: offline cross-check of "
+                             f"{len(dumps)} dumps"))
+    return 0 if report.all_clean else 1
+
+
+def cmd_daemon(args) -> int:
+    tb, _ = _build(args)
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
+                         interval=args.interval)
+    for cycle in range(args.cycles):
+        alerts = daemon.run_cycle()
+        stamp = tb.clock.now
+        if alerts:
+            for alert in alerts:
+                print(str(alert))
+        else:
+            print(f"[{stamp:10.3f}s] cycle {cycle}: quiet")
+    print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
+    return 1 if len(daemon.log) else 0
+
+
+def cmd_experiment(args) -> int:
+    # Reuse the benchmark harness (import lazily: it adds its own path).
+    import importlib.util
+    from pathlib import Path
+    harness_path = Path(__file__).resolve().parents[2] / "benchmarks" \
+        / "harness.py"
+    if not harness_path.exists():
+        print("benchmarks/harness.py not found (installed without the "
+              "repository checkout)")
+        return 2
+    spec = importlib.util.spec_from_file_location("_harness", harness_path)
+    harness = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(harness)
+    return harness.main(args.targets)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "check": cmd_check,
+        "sweep": cmd_sweep,
+        "hidden": cmd_hidden,
+        "crossview": cmd_crossview,
+        "dump": cmd_dump,
+        "daemon": cmd_daemon,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

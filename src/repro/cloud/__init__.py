@@ -1,0 +1,9 @@
+"""Cloud testbed assembly (the paper's experimental environment)."""
+
+from .scenarios import (StagedScenario, stage_attack, stage_experiment,
+                        stage_hidden_module)
+from .testbed import PAPER_VM_COUNT, Testbed, build_testbed
+
+__all__ = ["PAPER_VM_COUNT", "Testbed", "build_testbed",
+           "StagedScenario", "stage_attack", "stage_experiment",
+           "stage_hidden_module"]

@@ -1,0 +1,87 @@
+"""Canned experiment scenarios: one call stages a whole situation.
+
+The evaluation, examples, CLI and benches all repeat the same dance —
+build a catalog, infect a driver, boot a cloud with the victim swapped
+in, attach a checker. These helpers make the dance one line and return
+everything the caller might assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attacks import attack_for_experiment, make_attack
+from ..attacks.base import InfectionResult
+from ..core import ModChecker
+from ..guest import build_catalog
+from .testbed import Testbed, build_testbed
+
+__all__ = ["StagedScenario", "stage_experiment", "stage_attack",
+           "stage_hidden_module"]
+
+
+@dataclass
+class StagedScenario:
+    """A booted cloud with (optionally) one infected clone."""
+
+    testbed: Testbed
+    checker: ModChecker
+    module: str
+    victim: str | None = None
+    infection: InfectionResult | None = None
+
+    @property
+    def expected_regions(self) -> tuple[str, ...]:
+        return self.infection.expected_regions if self.infection else ()
+
+    def run_pool_check(self, **kwargs):
+        """Convenience: full cross-check of the staged module."""
+        return self.checker.check_pool(self.module, **kwargs)
+
+
+def stage_experiment(exp_id: str, *, n_vms: int = 6, victim: str = "Dom3",
+                     seed: int | None = 42, os_flavor: str = "xp-sp2",
+                     **checker_kwargs) -> StagedScenario:
+    """Stage one of the paper's E1–E4 experiments end to end."""
+    attack, module = attack_for_experiment(exp_id)
+    return _stage(attack, module, n_vms=n_vms, victim=victim, seed=seed,
+                  os_flavor=os_flavor, **checker_kwargs)
+
+
+def stage_attack(attack_name: str, module: str, *, n_vms: int = 6,
+                 victim: str = "Dom3", seed: int | None = 42,
+                 os_flavor: str = "xp-sp2",
+                 **checker_kwargs) -> StagedScenario:
+    """Stage any registered file-level attack against ``module``."""
+    return _stage(make_attack(attack_name), module, n_vms=n_vms,
+                  victim=victim, seed=seed, os_flavor=os_flavor,
+                  **checker_kwargs)
+
+
+def _stage(attack, module, *, n_vms, victim, seed, os_flavor,
+           **checker_kwargs) -> StagedScenario:
+    catalog = build_catalog(seed=seed)
+    infection = attack.apply(catalog[module])
+    tb = build_testbed(n_vms, seed=seed, os_flavor=os_flavor,
+                       infected={victim: {module: infection.infected}})
+    checker = ModChecker(tb.hypervisor, tb.profile, **checker_kwargs)
+    return StagedScenario(testbed=tb, checker=checker, module=module,
+                          victim=victim, infection=infection)
+
+
+def stage_hidden_module(*, module: str = "dummy.sys", n_vms: int = 4,
+                        victim: str = "Dom2", seed: int | None = 42,
+                        patch_text: bool = True,
+                        **checker_kwargs) -> StagedScenario:
+    """Stage the H1 scenario: patch (optionally) + DKOM-unlink a module."""
+    tb = build_testbed(n_vms, seed=seed)
+    kernel = tb.hypervisor.domain(victim).kernel
+    if patch_text:
+        text = tb.catalog[module].section(".text")
+        mod = kernel.module(module)
+        kernel.aspace.write(mod.base + text.virtual_address + 0x18,
+                            b"\xCC\xCC")
+    kernel.unload_module(module)
+    checker = ModChecker(tb.hypervisor, tb.profile, **checker_kwargs)
+    return StagedScenario(testbed=tb, checker=checker, module=module,
+                          victim=victim)

@@ -1,0 +1,84 @@
+"""The experimental cloud: the paper's §V-A testbed in one call.
+
+"a Quad Core i7 (2.67 GHz * 8) server with HyperThreading enabled and
+18 GB of RAM … 15 VM clones (DomU: Dom1–Dom15) in Xen from a single
+32-bit Windows XP (SP2) installation"
+
+:func:`build_testbed` assembles exactly that: one hypervisor with the
+8-logical-CPU model, a shared driver catalog built once (the "single
+installation"), N cloned guests named ``Dom1..DomN``, and the OS
+profile extracted from the first clone. Infected variants of the
+catalog can be supplied per-VM to stage the E1–E4 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..guest.catalog import build_catalog
+from ..hypervisor.scheduler import CpuModel
+from ..hypervisor.xen import Hypervisor
+from ..pe.builder import DriverBlueprint
+from ..vmi.symbols import OSProfile
+
+__all__ = ["Testbed", "build_testbed", "PAPER_VM_COUNT"]
+
+#: The paper instantiates 15 clones.
+PAPER_VM_COUNT = 15
+
+
+@dataclass
+class Testbed:
+    """A built cloud: hypervisor + clones + shared catalog + profile."""
+
+    hypervisor: Hypervisor
+    catalog: dict[str, DriverBlueprint]
+    profile: OSProfile
+    vm_names: list[str] = field(default_factory=list)
+
+    @property
+    def clock(self):
+        return self.hypervisor.clock
+
+    def guest(self, name: str):
+        return self.hypervisor.domain(name)
+
+    def set_guest_loads(self, cpu: float, vms: list[str] | None = None) -> None:
+        """Set CPU demand on guests (0 = idle, 1 = HeavyLoad)."""
+        for name in (vms or self.vm_names):
+            self.hypervisor.domain(name).set_load(cpu=cpu)
+
+
+def build_testbed(n_vms: int = PAPER_VM_COUNT, *, seed: int | None = None,
+                  cpu: CpuModel | None = None,
+                  os_flavor: str = "xp-sp2",
+                  infected: dict[str, dict[str, DriverBlueprint]] | None = None,
+                  ) -> Testbed:
+    """Build the cloud.
+
+    ``infected`` maps VM name → replacement blueprints by module name;
+    the named VM boots with those modules swapped in (the paper's
+    "manually infect a module, restart the VM" procedure). All other
+    VMs boot the pristine catalog.
+    """
+    if n_vms < 1:
+        raise ValueError("need at least one guest")
+    hv = Hypervisor(cpu=cpu)
+    catalog = build_catalog(seed=seed)
+    vm_names: list[str] = []
+    for i in range(1, n_vms + 1):
+        name = f"Dom{i}"
+        guest_catalog = catalog
+        if infected and name in infected:
+            guest_catalog = dict(catalog)
+            for mod_name, blueprint in infected[name].items():
+                if mod_name not in guest_catalog:
+                    raise KeyError(
+                        f"{mod_name!r} not in the catalog; cannot infect")
+                guest_catalog[mod_name] = blueprint
+        hv.create_guest(name, guest_catalog, seed=seed,
+                        os_flavor=os_flavor)
+        vm_names.append(name)
+    profile = OSProfile.from_guest(hv.domain(vm_names[0]).kernel)
+    return Testbed(hypervisor=hv, catalog=catalog, profile=profile,
+                   vm_names=vm_names)

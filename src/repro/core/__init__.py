@@ -1,0 +1,39 @@
+"""ModChecker core: Searcher, Parser, Integrity-Checker, orchestration,
+plus the carving (anti-DKOM) and daemon extensions."""
+
+from .baselines import BaselineVerdict, DictionaryChecker, SVVChecker
+from .carver import (CarvedModule, ModuleCarver, identify_carved,
+                     module_fingerprint)
+from .crossview import CrossViewReport, cross_view
+from .versioning import (VersionGroup, VersionedPoolReport,
+                         check_pool_versioned, partition_by_version)
+from .daemon import (AdaptivePolicy, Alert, AlertLog, CheckDaemon,
+                     PriorityPolicy, RoundRobinPolicy)
+from .integrity import SUPPORTED_HASHES, IntegrityChecker, md5_hex
+from .modchecker import CheckOutcome, ModChecker, PoolOutcome
+from .parallel import ParallelModChecker, makespan
+from .parser import ModuleParser, ParsedModule
+from .report import (PairComparison, PoolReport, VMCheckReport, VMVerdict)
+from .rva import (ADJUSTERS, RvaAdjustStats, adjust_rva_faithful,
+                  adjust_rva_robust, adjust_rva_vectorized,
+                  first_differing_base_byte)
+from .searcher import ModuleCopy, ModuleListEntry, ModuleSearcher
+
+__all__ = [
+    "BaselineVerdict", "DictionaryChecker", "SVVChecker",
+    "CarvedModule", "ModuleCarver", "identify_carved", "module_fingerprint",
+    "CrossViewReport", "cross_view",
+    "VersionGroup", "VersionedPoolReport", "check_pool_versioned",
+    "partition_by_version",
+    "AdaptivePolicy", "Alert", "AlertLog", "CheckDaemon", "PriorityPolicy",
+    "RoundRobinPolicy",
+    "SUPPORTED_HASHES", "IntegrityChecker", "md5_hex",
+    "CheckOutcome", "ModChecker", "PoolOutcome",
+    "ParallelModChecker", "makespan",
+    "ModuleParser", "ParsedModule",
+    "PairComparison", "PoolReport", "VMCheckReport", "VMVerdict",
+    "ADJUSTERS", "RvaAdjustStats", "adjust_rva_faithful",
+    "adjust_rva_robust", "adjust_rva_vectorized",
+    "first_differing_base_byte",
+    "ModuleCopy", "ModuleListEntry", "ModuleSearcher",
+]

@@ -1,0 +1,177 @@
+"""Baseline detectors from the paper's related work (§II), as code.
+
+The paper argues for cross-VM comparison by contrast with two existing
+approaches; both are implemented here so the comparison is a runnable
+experiment rather than prose:
+
+``SVVChecker`` — Rutkowska's System Virginity Verifier style:
+    compare each VM's *in-memory* executable sections against the
+    expectation derived from that VM's **own disk file** (map the file,
+    apply its relocations at the observed base). Catches runtime
+    patches; by construction cannot see infections that reached the
+    disk file first — "most malware infects files on disk first, and
+    then loads the infected file into memory", the paper's §II point.
+
+``DictionaryChecker`` — Livewire / signed-modules style:
+    a database of known-good hashes built from a trusted reference
+    catalog; each VM's in-memory module is relocated *back* to its
+    canonical file form and every hashed region compared against the
+    database. Catches both disk- and memory-level infections — but
+    needs the database the paper calls "cumbersome": any legitimate
+    update not in the DB is a false alarm, which is the scenario
+    ModChecker's dictionary-free design removes.
+
+Both run per-VM, so (unlike ModChecker) neither needs a pool — and
+neither benefits from one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pe.builder import DriverBlueprint
+from ..pe.constants import DIR_BASERELOC
+from ..pe.parser import PEImage, map_file_to_memory
+from ..pe.relocations import apply_relocations, parse_reloc_section
+from ..vmi.core import VMIInstance
+from .integrity import IntegrityChecker
+from .parser import ModuleParser
+from .searcher import ModuleSearcher
+
+__all__ = ["BaselineVerdict", "SVVChecker", "DictionaryChecker"]
+
+
+@dataclass(frozen=True)
+class BaselineVerdict:
+    """One baseline detector's verdict on one VM's module."""
+
+    detector: str
+    vm_name: str
+    module_name: str
+    clean: bool
+    mismatched_regions: tuple[str, ...] = ()
+    note: str = ""
+
+
+def _relocated_expectation(file_bytes: bytes, base: int) -> bytes:
+    """The memory image a clean load of ``file_bytes`` at ``base`` yields
+    (imports unresolved — callers must not compare IAT-bearing regions).
+    """
+    image = map_file_to_memory(file_bytes)
+    pe = PEImage(bytes(image))
+    reloc = pe.optional_header.data_directories[DIR_BASERELOC]
+    if reloc.size:
+        fixups = parse_reloc_section(
+            bytes(image[reloc.virtual_address:
+                        reloc.virtual_address + reloc.size]))
+        apply_relocations(image, fixups,
+                          (base - pe.optional_header.image_base)
+                          & 0xFFFFFFFF)
+    return bytes(image)
+
+
+class SVVChecker:
+    """Disk-vs-memory comparison, per VM (System Virginity Verifier)."""
+
+    name = "svv"
+
+    def __init__(self, vmi: VMIInstance,
+                 disk_catalog: dict[str, DriverBlueprint | bytes]) -> None:
+        """``disk_catalog`` is **this VM's own disk** — on an infected
+        machine it contains the infected file, which is the point.
+        Values may be blueprints or raw file bytes (e.g. read straight
+        from a :class:`~repro.guest.filesystem.GuestFilesystem`)."""
+        self.vmi = vmi
+        self.disk = disk_catalog
+
+    def check_module(self, module_name: str) -> BaselineVerdict:
+        searcher = ModuleSearcher(self.vmi)
+        copy = searcher.copy_module(module_name)
+        entry = self.disk[module_name]
+        file_bytes = entry if isinstance(entry, (bytes, bytearray)) \
+            else entry.file_bytes
+        expected = _relocated_expectation(bytes(file_bytes), copy.base)
+
+        in_memory = PEImage(copy.image)
+        mismatched: list[str] = []
+        # SVV verifies code sections (plus we include headers, which are
+        # equally base-independent).
+        for region in in_memory.header_regions() + in_memory.code_regions():
+            got = region.slice(copy.image)
+            want = expected[region.start:region.end]
+            if got != want:
+                mismatched.append(region.name)
+        return BaselineVerdict(
+            detector=self.name, vm_name=copy.vm_name,
+            module_name=module_name, clean=not mismatched,
+            mismatched_regions=tuple(mismatched),
+            note="compares memory against this VM's own disk file")
+
+
+class DictionaryChecker:
+    """Known-good hash database, per VM (Livewire / signed modules)."""
+
+    name = "dictionary"
+
+    def __init__(self, reference_catalog: dict[str, DriverBlueprint],
+                 *, hash_algorithm: str = "md5") -> None:
+        """``reference_catalog`` is the trusted golden build — the
+        database the paper says is cumbersome to maintain."""
+        self._digester = IntegrityChecker(hash_algorithm=hash_algorithm)
+        self._parser = ModuleParser()
+        self.database: dict[str, dict[str, str]] = {}
+        self.reference = reference_catalog
+        for name, blueprint in reference_catalog.items():
+            image = bytes(map_file_to_memory(blueprint.file_bytes))
+            pe = PEImage(image)
+            self.database[name] = {
+                region.name: self._digester.digest(region.slice(image))
+                for region in pe.header_regions() + pe.code_regions()}
+
+    def check_module(self, vmi: VMIInstance,
+                     module_name: str) -> BaselineVerdict:
+        searcher = ModuleSearcher(vmi)
+        copy = searcher.copy_module(module_name)
+        known = self.database.get(module_name)
+        if known is None:
+            return BaselineVerdict(
+                detector=self.name, vm_name=copy.vm_name,
+                module_name=module_name, clean=False,
+                mismatched_regions=("<module not in database>",),
+                note="unknown module")
+
+        # Undo relocation using the *reference* file's fixup list, then
+        # hash each region against the database.
+        blueprint = self.reference[module_name]
+        image = bytearray(copy.image)
+        reloc = blueprint.optional_header.data_directories[DIR_BASERELOC]
+        if reloc.size and len(image) >= reloc.virtual_address + reloc.size:
+            delta = (copy.base - blueprint.image_base) & 0xFFFFFFFF
+            try:
+                fixups = blueprint.fixup_rvas
+                apply_relocations(image, fixups, (-delta) & 0xFFFFFFFF)
+            except Exception:
+                pass                     # corrupted image: hashes differ
+        mismatched: list[str] = []
+        try:
+            pe = PEImage(bytes(image))
+            regions = {r.name: r
+                       for r in pe.header_regions() + pe.code_regions()}
+        except Exception:
+            return BaselineVerdict(
+                detector=self.name, vm_name=copy.vm_name,
+                module_name=module_name, clean=False,
+                mismatched_regions=("<unparseable image>",))
+        for name, digest in known.items():
+            region = regions.get(name)
+            if region is None or \
+                    self._digester.digest(region.slice(bytes(image))) != digest:
+                mismatched.append(name)
+        for name in regions:
+            if name not in known:
+                mismatched.append(name)
+        return BaselineVerdict(
+            detector=self.name, vm_name=copy.vm_name,
+            module_name=module_name, clean=not mismatched,
+            mismatched_regions=tuple(mismatched),
+            note="hashes vs trusted reference database")

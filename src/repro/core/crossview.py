@@ -1,0 +1,69 @@
+"""Cross-view comparison: the module list vs the carved ground truth.
+
+Classic cross-view detection (the idea behind Rutkowska's SVV and
+Volatility's ``psxview``) compares two independent enumerations of the
+same objects; a rootkit must fool *both* to stay invisible. Here the
+views are:
+
+* **listed** — what ``PsLoadedModuleList`` claims (Module-Searcher);
+* **carved** — what is actually mapped in the driver arena
+  (:class:`~repro.core.carver.ModuleCarver`).
+
+Discrepancies in either direction are attack signals:
+
+* *carved-only* (mapped image, no list entry) — DKOM hiding;
+* *listed-only* (list entry, no valid image at ``DllBase``) — a decoy
+  entry planted to confuse list-walking tools, or an entry whose image
+  was unmapped out from under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .carver import CarvedModule, ModuleCarver
+from .searcher import ModuleListEntry, ModuleSearcher
+from ..vmi.core import VMIInstance
+
+__all__ = ["CrossViewReport", "cross_view"]
+
+
+@dataclass
+class CrossViewReport:
+    """Outcome of one guest's listed-vs-carved comparison."""
+
+    vm_name: str
+    #: entries whose DllBase is backed by a carved image
+    confirmed: list[ModuleListEntry] = field(default_factory=list)
+    #: carved images with no list entry (DKOM hiding)
+    carved_only: list[CarvedModule] = field(default_factory=list)
+    #: list entries with no carvable image at DllBase (decoys)
+    listed_only: list[ModuleListEntry] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.carved_only and not self.listed_only
+
+    def summary(self) -> str:
+        return (f"{self.vm_name}: {len(self.confirmed)} confirmed, "
+                f"{len(self.carved_only)} hidden, "
+                f"{len(self.listed_only)} decoy")
+
+
+def cross_view(vmi: VMIInstance) -> CrossViewReport:
+    """Compare the guest's two module views."""
+    searcher = ModuleSearcher(vmi)
+    listed = searcher.list_modules()
+    carved = ModuleCarver(vmi).carve()
+    carved_by_base = {m.base: m for m in carved}
+
+    report = CrossViewReport(vm_name=vmi.domain.name)
+    listed_bases = set()
+    for entry in listed:
+        listed_bases.add(entry.dll_base)
+        if entry.dll_base in carved_by_base:
+            report.confirmed.append(entry)
+        else:
+            report.listed_only.append(entry)
+    report.carved_only = [m for m in carved if m.base not in listed_bases]
+    return report

@@ -1,0 +1,215 @@
+"""Continuous checking daemon — ModChecker as a cloud service.
+
+The paper positions ModChecker as "initial light-weight consistency
+checks" that trigger deeper analysis on discrepancy (§VI). This module
+supplies the missing operational loop: a scheduler that sweeps modules
+across the pool on the simulated clock, an alert log, and scheduling
+policies:
+
+``RoundRobinPolicy``
+    every module, in list order, one per cycle slot;
+``PriorityPolicy``
+    a critical list (e.g. ``hal.dll``, ``ntoskrnl.exe``) every cycle,
+    the long tail rotated one-per-cycle;
+``AdaptivePolicy``
+    like round-robin, but any module that ever alarmed is re-checked
+    every cycle until it has been clean for ``cooldown`` cycles —
+    the "flag → watch closely" behaviour an operator wants.
+
+Each cycle also runs the anti-DKOM carving sweep on one VM (rotating),
+so hidden modules surface within ``len(pool)`` cycles.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientPool
+from .modchecker import ModChecker
+from .searcher import ModuleSearcher
+
+__all__ = ["Alert", "AlertLog", "SchedulingPolicy", "RoundRobinPolicy",
+           "PriorityPolicy", "AdaptivePolicy", "CheckDaemon"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One discrepancy event."""
+
+    time: float
+    module: str
+    flagged_vms: tuple[str, ...]
+    regions: tuple[str, ...]
+    kind: str = "integrity"          # or "hidden-module"
+
+    def __str__(self) -> str:
+        return (f"[{self.time:10.3f}s] {self.kind}: {self.module} on "
+                f"{','.join(self.flagged_vms)} ({', '.join(self.regions)})")
+
+
+@dataclass
+class AlertLog:
+    """Append-only alert store with simple queries."""
+
+    alerts: list[Alert] = field(default_factory=list)
+
+    def add(self, alert: Alert) -> None:
+        self.alerts.append(alert)
+
+    def for_module(self, module: str) -> list[Alert]:
+        return [a for a in self.alerts if a.module == module]
+
+    def for_vm(self, vm: str) -> list[Alert]:
+        return [a for a in self.alerts if vm in a.flagged_vms]
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses which modules to check in each cycle."""
+
+    @abc.abstractmethod
+    def select(self, cycle: int, modules: list[str],
+               log: AlertLog) -> list[str]:
+        """Modules to check this cycle."""
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """``per_cycle`` modules per cycle, rotating through the list."""
+
+    def __init__(self, per_cycle: int = 2) -> None:
+        if per_cycle < 1:
+            raise ValueError("per_cycle must be >= 1")
+        self.per_cycle = per_cycle
+
+    def select(self, cycle: int, modules: list[str],
+               log: AlertLog) -> list[str]:
+        if not modules:
+            return []
+        start = (cycle * self.per_cycle) % len(modules)
+        picked = [modules[(start + i) % len(modules)]
+                  for i in range(min(self.per_cycle, len(modules)))]
+        return list(dict.fromkeys(picked))
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Critical modules every cycle; the rest round-robin."""
+
+    def __init__(self, critical: list[str], tail_per_cycle: int = 1) -> None:
+        self.critical = list(critical)
+        self.tail = RoundRobinPolicy(tail_per_cycle)
+
+    def select(self, cycle: int, modules: list[str],
+               log: AlertLog) -> list[str]:
+        tail_modules = [m for m in modules if m not in self.critical]
+        picked = [m for m in self.critical if m in modules]
+        picked += self.tail.select(cycle, tail_modules, log)
+        return picked
+
+
+class AdaptivePolicy(SchedulingPolicy):
+    """Round-robin plus every-cycle re-checks of recent offenders."""
+
+    def __init__(self, per_cycle: int = 2, cooldown: int = 3) -> None:
+        self.base = RoundRobinPolicy(per_cycle)
+        self.cooldown = cooldown
+        self._watch: dict[str, int] = {}     # module -> cycles left
+
+    def note_outcome(self, module: str, alarmed: bool) -> None:
+        if alarmed:
+            self._watch[module] = self.cooldown
+        elif module in self._watch:
+            self._watch[module] -= 1
+            if self._watch[module] <= 0:
+                del self._watch[module]
+
+    def select(self, cycle: int, modules: list[str],
+               log: AlertLog) -> list[str]:
+        picked = [m for m in self._watch if m in modules]
+        for m in self.base.select(cycle, modules, log):
+            if m not in picked:
+                picked.append(m)
+        return picked
+
+
+class CheckDaemon:
+    """Periodic integrity sweeps over the cloud."""
+
+    def __init__(self, checker: ModChecker, policy: SchedulingPolicy | None = None,
+                 *, interval: float = 60.0, carve: bool = True) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.checker = checker
+        self.policy = policy or RoundRobinPolicy()
+        self.interval = interval
+        self.carve = carve
+        self.log = AlertLog()
+        self.cycles_run = 0
+        self._modules: list[str] | None = None
+
+    def _discover_modules(self) -> list[str]:
+        if self._modules is None:
+            vms = self.checker.pool_vm_names()
+            searcher = ModuleSearcher(self.checker.vmi_for(vms[0]))
+            self._modules = [e.name for e in searcher.list_modules()]
+        return self._modules
+
+    def run_cycle(self) -> list[Alert]:
+        """One daemon cycle: scheduled checks + one carving sweep."""
+        clock = self.checker.hv.clock
+        modules = self._discover_modules()
+        new_alerts: list[Alert] = []
+
+        for module in self.policy.select(self.cycles_run, modules, self.log):
+            try:
+                report = self.checker.check_pool(module).report
+            except InsufficientPool:
+                continue
+            alarmed = not report.all_clean
+            if isinstance(self.policy, AdaptivePolicy):
+                self.policy.note_outcome(module, alarmed)
+            if alarmed:
+                flagged = tuple(report.flagged())
+                regions: list[str] = []
+                for vm in flagged:
+                    for region in report.mismatched_regions(vm):
+                        if region not in regions:
+                            regions.append(region)
+                alert = Alert(clock.now, module, flagged, tuple(regions))
+                self.log.add(alert)
+                new_alerts.append(alert)
+
+        if self.carve:
+            from .crossview import cross_view
+            vms = self.checker.pool_vm_names()
+            target = vms[self.cycles_run % len(vms)]
+            vmi = self.checker.vmi_for(target)
+            if self.checker.flush_caches_each_round:
+                vmi.flush_caches()
+            view = cross_view(vmi)
+            for carved, name in self.checker.detect_hidden_modules(target) \
+                    if view.carved_only else []:
+                alert = Alert(clock.now, name or f"<unknown@{carved.base:#x}>",
+                              (target,), ("unlinked from PsLoadedModuleList",),
+                              kind="hidden-module")
+                self.log.add(alert)
+                new_alerts.append(alert)
+            for entry in view.listed_only:
+                alert = Alert(clock.now, entry.name, (target,),
+                              (f"DllBase {entry.dll_base:#x} not backed "
+                               f"by a module image",),
+                              kind="decoy-entry")
+                self.log.add(alert)
+                new_alerts.append(alert)
+
+        self.cycles_run += 1
+        clock.advance(self.interval)
+        return new_alerts
+
+    def run(self, cycles: int) -> AlertLog:
+        """Run ``cycles`` sweeps; returns the accumulated alert log."""
+        for _ in range(cycles):
+            self.run_cycle()
+        return self.log

@@ -1,0 +1,241 @@
+"""ModChecker — orchestration of Searcher → Parser → Integrity-Checker.
+
+The top-level object a Dom0 operator uses (paper Fig. 1): attach to a
+pool of guests through VMI, then either
+
+* :meth:`check_on_vm` — verify one VM's copy of a module against the
+  other ``t-1`` VMs (the linear-cost mode whose runtime the paper's
+  Figs. 7/8 measure), or
+* :meth:`check_pool` — cross-check every VM against every other and
+  majority-vote each one (the detection experiments E1–E4), or
+* :meth:`check_all_modules` — sweep the whole loaded-module list.
+
+Component timings are taken from the simulated clock around each phase,
+yielding the Searcher/Parser/Checker breakdown the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InsufficientPool, ModuleNotLoadedError
+from ..hypervisor.xen import Hypervisor
+from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..perf.timing import ComponentTimings
+from ..vmi.core import VMIInstance
+from ..vmi.symbols import OSProfile
+from .integrity import IntegrityChecker
+from .parser import ModuleParser, ParsedModule
+from .report import PoolReport, VMCheckReport
+from .searcher import ModuleSearcher
+
+__all__ = ["ModChecker", "CheckOutcome", "PoolOutcome"]
+
+
+@dataclass
+class CheckOutcome:
+    """A single-target check plus its component timing breakdown."""
+
+    report: VMCheckReport
+    timings: ComponentTimings
+    per_vm_searcher: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class PoolOutcome:
+    """A full pool cross-check plus its timing breakdown."""
+
+    report: PoolReport
+    timings: ComponentTimings
+    per_vm_searcher: dict[str, float] = field(default_factory=dict)
+
+
+class ModChecker:
+    """Kernel-module integrity checker over a pool of cloned guests."""
+
+    def __init__(self, hypervisor: Hypervisor,
+                 profile: OSProfile | None = None, *,
+                 rva_mode: str = "robust",
+                 hash_algorithm: str = "md5",
+                 enable_caches: bool = True,
+                 flush_caches_each_round: bool = True,
+                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.hv = hypervisor
+        if profile is None:
+            guests = hypervisor.guests()
+            if not guests:
+                raise InsufficientPool("no guests to derive a profile from")
+            profile = OSProfile.from_guest(guests[0].kernel)
+        self.profile = profile
+        self.costs = cost_model
+        self.enable_caches = enable_caches
+        self.flush_caches_each_round = flush_caches_each_round
+        self._vmis: dict[str, VMIInstance] = {}
+        self.parser = ModuleParser(cost_model=cost_model,
+                                   charge=self._charge)
+        self.checker = IntegrityChecker(rva_mode=rva_mode,
+                                        hash_algorithm=hash_algorithm,
+                                        cost_model=cost_model,
+                                        charge=self._charge)
+
+    def _charge(self, cpu_seconds: float) -> None:
+        self.hv.charge_dom0(cpu_seconds)
+
+    # -- VMI session management ------------------------------------------------------
+
+    def vmi_for(self, vm_name: str) -> VMIInstance:
+        vmi = self._vmis.get(vm_name)
+        if vmi is None:
+            vmi = VMIInstance(self.hv, vm_name, self.profile,
+                              cost_model=self.costs,
+                              enable_caches=self.enable_caches)
+            self._vmis[vm_name] = vmi
+        return vmi
+
+    def pool_vm_names(self, vms: list[str] | None = None) -> list[str]:
+        if vms is not None:
+            return list(vms)
+        return [d.name for d in self.hv.guests()]
+
+    # -- acquisition phase -------------------------------------------------------------
+
+    def fetch_modules(self, module_name: str, vm_names: list[str],
+                      ) -> tuple[list[ParsedModule], ComponentTimings,
+                                 dict[str, float]]:
+        """Run Searcher + Parser for every VM; returns parsed copies.
+
+        VMs where the module is not loaded are skipped (the paper only
+        compares "modules actually loaded in memory").
+        """
+        timings = ComponentTimings()
+        per_vm: dict[str, float] = {}
+        parsed: list[ParsedModule] = []
+        for vm_name in vm_names:
+            vmi = self.vmi_for(vm_name)
+            if self.flush_caches_each_round:
+                vmi.flush_caches()
+            searcher = ModuleSearcher(vmi)
+            with self.hv.clock.span() as span:
+                try:
+                    copy = searcher.copy_module(module_name)
+                except ModuleNotLoadedError:
+                    continue
+            timings.searcher += span.elapsed
+            per_vm[vm_name] = span.elapsed
+            with self.hv.clock.span() as span:
+                parsed.append(self.parser.parse(copy))
+            timings.parser += span.elapsed
+        return parsed, timings, per_vm
+
+    # -- checking modes -----------------------------------------------------------------
+
+    def check_on_vm(self, module_name: str, target_vm: str,
+                    vms: list[str] | None = None) -> CheckOutcome:
+        """Verify ``target_vm``'s copy against the rest of the pool."""
+        names = self.pool_vm_names(vms)
+        if target_vm not in names:
+            names = [target_vm] + names
+        parsed, timings, per_vm = self.fetch_modules(module_name, names)
+        by_vm = {p.vm_name: p for p in parsed}
+        if target_vm not in by_vm:
+            raise ModuleNotLoadedError(
+                f"{module_name!r} not loaded on target {target_vm}")
+        others = [p for p in parsed if p.vm_name != target_vm]
+        if not others:
+            raise InsufficientPool(
+                f"no other VM exposes {module_name!r} for comparison")
+        with self.hv.clock.span() as span:
+            report = self.checker.check_target(by_vm[target_vm], others)
+        timings.checker = span.elapsed
+        return CheckOutcome(report=report, timings=timings,
+                            per_vm_searcher=per_vm)
+
+    def check_pool(self, module_name: str,
+                   vms: list[str] | None = None, *,
+                   mode: str = "pairwise") -> PoolOutcome:
+        """Cross-check the module on every VM (detection experiments).
+
+        ``mode="pairwise"`` is the paper's O(t²) all-pairs vote;
+        ``mode="canonical"`` is the O(t) clustering variant
+        (:meth:`IntegrityChecker.check_pool_canonical`).
+        """
+        if mode not in ("pairwise", "canonical"):
+            raise ValueError(f"unknown pool mode {mode!r}")
+        names = self.pool_vm_names(vms)
+        parsed, timings, per_vm = self.fetch_modules(module_name, names)
+        if len(parsed) < 2:
+            raise InsufficientPool(
+                f"{module_name!r} present on {len(parsed)} VM(s); "
+                "need at least 2")
+        with self.hv.clock.span() as span:
+            if mode == "canonical":
+                report = self.checker.check_pool_canonical(parsed)
+            else:
+                report = self.checker.check_pool(parsed)
+        timings.checker = span.elapsed
+        return PoolOutcome(report=report, timings=timings,
+                           per_vm_searcher=per_vm)
+
+    # -- carving extension (defeats DKOM hiding) ------------------------------------
+
+    def detect_hidden_modules(self, vm_name: str,
+                              reference_vm: str | None = None,
+                              ) -> list[tuple["CarvedModule", str | None]]:
+        """Carve the guest's driver arena and report unlisted modules.
+
+        Returns ``[(carved module, identified name or None)]`` — images
+        mapped in kernel space but absent from ``PsLoadedModuleList``
+        (DKOM hiding). Identification fingerprints the carved image
+        against the modules a reference clone lists.
+        """
+        from .carver import ModuleCarver, identify_carved
+        vmi = self.vmi_for(vm_name)
+        if self.flush_caches_each_round:
+            vmi.flush_caches()
+        searcher = ModuleSearcher(vmi)
+        listed = {e.dll_base for e in searcher.list_modules()}
+        hidden = ModuleCarver(vmi).find_hidden(listed)
+        if not hidden:
+            return []
+        ref = reference_vm or next(
+            (n for n in self.pool_vm_names() if n != vm_name), None)
+        named: dict[str, bytes] = {}
+        if ref is not None:
+            from ..errors import IntrospectionFault
+            ref_searcher = ModuleSearcher(self.vmi_for(ref))
+            for entry in ref_searcher.list_modules():
+                try:
+                    named[entry.name] = \
+                        ref_searcher.copy_module(entry.name).image
+                except IntrospectionFault:
+                    # The reference VM may itself carry decoy entries
+                    # whose DllBase is unbacked; skip them.
+                    continue
+        return [(m, identify_carved(m, named)) for m in hidden]
+
+    def check_carved_module(self, carved: "CarvedModule", name: str,
+                            vms: list[str] | None = None) -> VMCheckReport:
+        """Integrity-check a carved (hidden) module against the pool."""
+        names = [n for n in self.pool_vm_names(vms)
+                 if n != carved.vm_name]
+        parsed, _, _ = self.fetch_modules(name, names)
+        if not parsed:
+            raise InsufficientPool(
+                f"no other VM exposes {name!r} for comparison")
+        target = self.parser.parse(carved.as_module_copy(name))
+        return self.checker.check_target(target, parsed)
+
+    def check_all_modules(self, vms: list[str] | None = None,
+                          ) -> dict[str, PoolOutcome]:
+        """Sweep every module present in the first pool VM's list."""
+        names = self.pool_vm_names(vms)
+        if not names:
+            raise InsufficientPool("empty VM pool")
+        searcher = ModuleSearcher(self.vmi_for(names[0]))
+        outcomes: dict[str, PoolOutcome] = {}
+        for entry in searcher.list_modules():
+            try:
+                outcomes[entry.name] = self.check_pool(entry.name, names)
+            except InsufficientPool:
+                continue
+        return outcomes

@@ -1,0 +1,132 @@
+"""Parallel introspection — the paper's explicitly-invited extension.
+
+§V-C-1: "The modular design of ModChecker can support parallel access
+of virtual machines' memory which would considerably enhance the
+runtime performance." This module implements that: the per-VM
+Searcher/Parser work is gathered with the hypervisor clock *deferred*,
+then the clock is advanced once with a makespan model —
+
+* the per-VM work items are packed onto ``threads`` Dom0 workers with a
+  longest-processing-time greedy (the classic multiprocessor-schedule
+  bound);
+* each worker is stretched by the contention factor for ``threads``
+  busy Dom0 vCPUs, so the speedup saturates once Dom0 threads + guest
+  load exceed the physical CPUs — parallelism is *not* free on a
+  saturated host, which the A1 ablation bench demonstrates.
+
+The integrity-check phase also parallelises (comparisons are
+independent); the same makespan treatment applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InsufficientPool, ModuleNotLoadedError
+from ..perf.timing import ComponentTimings
+from .modchecker import CheckOutcome, ModChecker
+from .report import VMCheckReport
+
+__all__ = ["ParallelModChecker", "makespan"]
+
+
+def makespan(work_items: list[float], workers: int) -> float:
+    """LPT greedy makespan of ``work_items`` over ``workers`` bins."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if not work_items:
+        return 0.0
+    bins = [0.0] * min(workers, len(work_items))
+    for item in sorted(work_items, reverse=True):
+        i = min(range(len(bins)), key=bins.__getitem__)
+        bins[i] += item
+    return max(bins)
+
+
+@dataclass
+class ParallelTimings:
+    """Sequential-equivalent CPU seconds vs parallel wall seconds."""
+
+    cpu: ComponentTimings
+    wall: ComponentTimings
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu.total / self.wall.total if self.wall.total else 1.0
+
+
+class ParallelModChecker(ModChecker):
+    """ModChecker with ``threads``-way concurrent guest access."""
+
+    def __init__(self, hypervisor, profile=None, *, threads: int = 4,
+                 **kwargs) -> None:
+        super().__init__(hypervisor, profile, **kwargs)
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+
+    def check_on_vm(self, module_name: str, target_vm: str,
+                    vms: list[str] | None = None) -> CheckOutcome:
+        names = self.pool_vm_names(vms)
+        if target_vm not in names:
+            names = [target_vm] + names
+
+        # Phase 1+2: fetch/parse each VM with charges deferred, cutting
+        # the accumulator at VM boundaries to get per-VM work items.
+        per_vm_work: dict[str, float] = {}
+        parsed = []
+        with self.hv.deferred_charges() as acc:
+            for vm_name in names:
+                vmi = self.vmi_for(vm_name)
+                if self.flush_caches_each_round:
+                    vmi.flush_caches()
+                before = acc.total
+                from .searcher import ModuleSearcher
+                searcher = ModuleSearcher(vmi)
+                try:
+                    copy = searcher.copy_module(module_name)
+                except ModuleNotLoadedError:
+                    continue
+                parsed.append(self.parser.parse(copy))
+                per_vm_work[vm_name] = acc.total - before
+
+        by_vm = {p.vm_name: p for p in parsed}
+        if target_vm not in by_vm:
+            raise ModuleNotLoadedError(
+                f"{module_name!r} not loaded on target {target_vm}")
+        others = [p for p in parsed if p.vm_name != target_vm]
+        if not others:
+            raise InsufficientPool(
+                f"no other VM exposes {module_name!r} for comparison")
+
+        # Phase 3: pairwise comparisons, also deferred per pair.
+        pair_work: list[float] = []
+        pairs = []
+        with self.hv.deferred_charges() as acc:
+            for other in others:
+                before = acc.total
+                pairs.append(self.checker.compare_pair(by_vm[target_vm],
+                                                       other))
+                pair_work.append(acc.total - before)
+
+        # Advance the clock with the makespan model.
+        factor = self.hv.scheduler.dom0_slowdown(self.hv.guest_demand(),
+                                                 dom0_threads=self.threads)
+        fetch_wall = makespan(list(per_vm_work.values()), self.threads) * factor
+        check_wall = makespan(pair_work, self.threads) * factor
+        self.hv.clock.advance(fetch_wall + check_wall)
+
+        matches = sum(1 for p in pairs if p.matched)
+        report = VMCheckReport(
+            module_name=module_name, target_vm=target_vm,
+            pairs=tuple(pairs), matches=matches, comparisons=len(pairs))
+        fetch_cpu = sum(per_vm_work.values())
+        timings = ComponentTimings(searcher=fetch_wall, parser=0.0,
+                                   checker=check_wall)
+        outcome = CheckOutcome(report=report, timings=timings,
+                               per_vm_searcher=dict(per_vm_work))
+        outcome.parallel = ParallelTimings(   # type: ignore[attr-defined]
+            cpu=ComponentTimings(searcher=fetch_cpu, parser=0.0,
+                                 checker=sum(pair_work)),
+            wall=timings)
+        return outcome

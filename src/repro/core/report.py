@@ -1,0 +1,112 @@
+"""Result records: pair comparisons, per-VM verdicts, pool reports.
+
+The paper reports results in two forms — which PE *components*
+mismatched (e.g. E4: "IMAGE_NT_HEADER, IMAGE_OPTIONAL_HEADER, all
+SECTION_HEADER's and .text") and which VM fails the majority vote
+(§III-B: clean iff ``n > (t-1)/2`` successful matches). Both live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rva import RvaAdjustStats
+
+__all__ = ["PairComparison", "VMVerdict", "PoolReport"]
+
+
+@dataclass(frozen=True)
+class PairComparison:
+    """Outcome of comparing one module between two VMs."""
+
+    vm_a: str
+    vm_b: str
+    mismatched_regions: tuple[str, ...]
+    rva_stats: dict[str, RvaAdjustStats] = field(default_factory=dict)
+
+    @property
+    def matched(self) -> bool:
+        """True when every header and code hash agreed."""
+        return not self.mismatched_regions
+
+    def involves(self, vm: str) -> bool:
+        return vm in (self.vm_a, self.vm_b)
+
+    def other(self, vm: str) -> str:
+        if vm == self.vm_a:
+            return self.vm_b
+        if vm == self.vm_b:
+            return self.vm_a
+        raise ValueError(f"{vm} not in pair ({self.vm_a}, {self.vm_b})")
+
+
+@dataclass(frozen=True)
+class VMVerdict:
+    """Majority-vote verdict for the module on one VM."""
+
+    vm_name: str
+    matches: int                 # n successful full matches
+    comparisons: int             # t - 1
+    clean: bool                  # n > (t-1)/2
+    mismatched_regions: tuple[str, ...]   # vs the majority cluster
+
+
+@dataclass
+class PoolReport:
+    """Full cross-VM check of one module."""
+
+    module_name: str
+    vm_names: list[str]
+    pairs: list[PairComparison]
+    verdicts: dict[str, VMVerdict]
+
+    def flagged(self) -> list[str]:
+        """VMs whose module failed the majority vote."""
+        return [name for name, v in self.verdicts.items() if not v.clean]
+
+    def clean_vms(self) -> list[str]:
+        return [name for name, v in self.verdicts.items() if v.clean]
+
+    def pair(self, vm_a: str, vm_b: str) -> PairComparison:
+        for p in self.pairs:
+            if {p.vm_a, p.vm_b} == {vm_a, vm_b}:
+                return p
+        raise KeyError((vm_a, vm_b))
+
+    def mismatched_regions(self, vm: str) -> tuple[str, ...]:
+        """The PE components that flagged this VM (paper's reporting)."""
+        return self.verdicts[vm].mismatched_regions
+
+    @property
+    def all_clean(self) -> bool:
+        return not self.flagged()
+
+
+@dataclass(frozen=True)
+class VMCheckReport:
+    """Single-target check: one VM's module against the rest of the pool.
+
+    This is the linear-cost mode (t-1 comparisons) whose runtime the
+    paper plots in Figs. 7/8.
+    """
+
+    module_name: str
+    target_vm: str
+    pairs: tuple[PairComparison, ...]
+    matches: int
+    comparisons: int
+
+    @property
+    def clean(self) -> bool:
+        return self.matches > (self.comparisons) / 2
+
+    def mismatched_regions(self) -> tuple[str, ...]:
+        out: list[str] = []
+        for p in self.pairs:
+            for region in p.mismatched_regions:
+                if region not in out:
+                    out.append(region)
+        return tuple(out)
+
+
+__all__.append("VMCheckReport")

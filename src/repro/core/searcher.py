@@ -1,0 +1,123 @@
+"""Module-Searcher — the only component that touches guest memory.
+
+Walks the guest's ``PsLoadedModuleList`` (paper Fig. 2, §IV-A): obtain
+the head from the OS profile's exported global, follow ``FLINK``
+pointers through ``LDR_DATA_TABLE_ENTRY`` nodes, resolve each node's
+``BaseDllName`` UNICODE_STRING, and on a (case-insensitive) name match
+copy the whole module image — ``SizeOfImage`` bytes from ``DllBase`` —
+page by page into a local Dom0 buffer.
+
+Defences a real introspection tool needs are kept: a traversal bound
+(a malicious guest could loop the list), pointer sanity checks, and a
+fault-tolerant name read (an unmapped name page skips the node rather
+than crashing the checker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import IntrospectionFault, ModuleNotLoadedError
+from ..guest.unicode_string import UnicodeString
+from ..vmi.core import VMIInstance
+
+__all__ = ["ModuleListEntry", "ModuleCopy", "ModuleSearcher"]
+
+#: Bound on list traversal; XP loads well under this many modules.
+MAX_LIST_WALK = 1024
+#: Bound on a single module image; a corrupted SizeOfImage must not
+#: make Dom0 copy gigabytes.
+MAX_IMAGE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ModuleListEntry:
+    """One decoded node of the loaded-module list."""
+
+    name: str
+    dll_base: int
+    entry_point: int
+    size_of_image: int
+    ldr_entry_va: int
+
+
+@dataclass(frozen=True)
+class ModuleCopy:
+    """A module image copied out of one guest."""
+
+    vm_name: str
+    module_name: str
+    base: int
+    image: bytes
+    ldr_entry_va: int
+
+
+class ModuleSearcher:
+    """Finds and extracts in-memory modules from one guest via VMI."""
+
+    def __init__(self, vmi: VMIInstance) -> None:
+        self.vmi = vmi
+
+    # -- list walking -----------------------------------------------------------
+
+    def list_modules(self) -> list[ModuleListEntry]:
+        """Decode every node of PsLoadedModuleList, in load order."""
+        profile = self.vmi.profile
+        head = self.vmi.symbol("PsLoadedModuleList")
+        off_base = profile.offset("LDR_DATA_TABLE_ENTRY.DllBase")
+        off_entry = profile.offset("LDR_DATA_TABLE_ENTRY.EntryPoint")
+        off_size = profile.offset("LDR_DATA_TABLE_ENTRY.SizeOfImage")
+        off_name = profile.offset("LDR_DATA_TABLE_ENTRY.BaseDllName")
+
+        entries: list[ModuleListEntry] = []
+        cursor = self.vmi.read_u32(head)            # head.FLINK
+        steps = 0
+        while cursor != head:
+            steps += 1
+            if steps > MAX_LIST_WALK:
+                raise IntrospectionFault(
+                    "PsLoadedModuleList walk exceeded bound "
+                    f"({MAX_LIST_WALK}); list may be cyclic or corrupted")
+            if cursor == 0:
+                raise IntrospectionFault("NULL FLINK in module list")
+            dll_base = self.vmi.read_u32(cursor + off_base)
+            entry_point = self.vmi.read_u32(cursor + off_entry)
+            size = self.vmi.read_u32(cursor + off_size)
+            name = self._read_name(cursor + off_name)
+            if name is not None:
+                entries.append(ModuleListEntry(name, dll_base, entry_point,
+                                               size, cursor))
+            cursor = self.vmi.read_u32(cursor)      # node.FLINK
+        return entries
+
+    def _read_name(self, us_va: int) -> str | None:
+        try:
+            us = UnicodeString.unpack(self.vmi.read_va(us_va,
+                                                       UnicodeString.SIZE))
+            if us.buffer == 0 or us.length == 0 or us.length > 512:
+                return None
+            return us.decode(self.vmi.read_va(us.buffer, us.length))
+        except IntrospectionFault:
+            return None
+
+    # -- extraction ----------------------------------------------------------------
+
+    def find(self, module_name: str) -> ModuleListEntry:
+        """Locate a module by BaseDllName (case-insensitive)."""
+        wanted = module_name.lower()
+        for entry in self.list_modules():
+            if entry.name.lower() == wanted:
+                return entry
+        raise ModuleNotLoadedError(
+            f"{module_name!r} not in {self.vmi.domain.name}'s module list")
+
+    def copy_module(self, module_name: str) -> ModuleCopy:
+        """Find the module and copy its whole image into a local buffer."""
+        entry = self.find(module_name)
+        if not (0 < entry.size_of_image <= MAX_IMAGE_BYTES):
+            raise IntrospectionFault(
+                f"{module_name}: implausible SizeOfImage "
+                f"{entry.size_of_image:#x}")
+        image = self.vmi.read_va(entry.dll_base, entry.size_of_image)
+        return ModuleCopy(self.vmi.domain.name, entry.name, entry.dll_base,
+                          image, entry.ldr_entry_va)

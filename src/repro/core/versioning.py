@@ -1,0 +1,110 @@
+"""Version-drift handling: mixed-version pools.
+
+The paper assumes every VM runs "the same version of the operating
+system"; its motivation section notes hash dictionaries are cumbersome
+precisely because modules update. In a live cloud the two collide: a
+rolling driver update leaves the pool split between versions, and a
+naive cross-check would flag every updated VM as infected.
+
+The fix reuses the carver's insight: clones of one module *version*
+share a base-independent header fingerprint (link timestamp, image
+size, section geometry). :func:`partition_by_version` groups parsed
+copies by fingerprint, and :func:`check_pool_versioned` runs the
+majority vote *within* each version group — updated VMs compare
+against updated VMs. A tampered copy fingerprints either into its
+version group (code tamper: caught by the in-group hash vote) or into
+a group of its own (header tamper: caught as a singleton, since no
+legitimate rollout produces a unique version on exactly one VM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .carver import module_fingerprint
+from .integrity import IntegrityChecker
+from .parser import ParsedModule
+from .report import PoolReport
+
+__all__ = ["VersionGroup", "VersionedPoolReport", "partition_by_version",
+           "check_pool_versioned"]
+
+
+@dataclass
+class VersionGroup:
+    """Copies of one module sharing a version fingerprint."""
+
+    fingerprint: tuple
+    members: list[ParsedModule] = field(default_factory=list)
+
+    @property
+    def vm_names(self) -> list[str]:
+        return [m.vm_name for m in self.members]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class VersionedPoolReport:
+    """Per-version-group reports plus singleton suspicion."""
+
+    module_name: str
+    groups: list[VersionGroup]
+    group_reports: list[PoolReport]
+    #: VMs whose copy's fingerprint is unique in the pool — either a
+    #: mid-rollout straggler or a header-tampered module; always worth
+    #: an operator's look.
+    singletons: list[str]
+
+    def flagged(self) -> list[str]:
+        out: list[str] = list(self.singletons)
+        for report in self.group_reports:
+            for vm in report.flagged():
+                if vm not in out:
+                    out.append(vm)
+        return out
+
+    @property
+    def all_clean(self) -> bool:
+        return not self.flagged()
+
+    def group_of(self, vm: str) -> VersionGroup | None:
+        for group in self.groups:
+            if vm in group.vm_names:
+                return group
+        return None
+
+
+def partition_by_version(modules: list[ParsedModule]) -> list[VersionGroup]:
+    """Group module copies by version fingerprint (largest first)."""
+    by_fp: dict[tuple, VersionGroup] = {}
+    for mod in modules:
+        fp = module_fingerprint(mod.image)
+        group = by_fp.get(fp)
+        if group is None:
+            group = by_fp[fp] = VersionGroup(fingerprint=fp)
+        group.members.append(mod)
+    return sorted(by_fp.values(), key=lambda g: -g.size)
+
+
+def check_pool_versioned(modules: list[ParsedModule],
+                         checker: IntegrityChecker | None = None,
+                         ) -> VersionedPoolReport:
+    """Majority-vote each version group independently.
+
+    Groups of one cannot be voted on; they are reported as singletons.
+    """
+    checker = checker or IntegrityChecker()
+    groups = partition_by_version(modules)
+    reports: list[PoolReport] = []
+    singletons: list[str] = []
+    for group in groups:
+        if group.size == 1:
+            singletons.extend(group.vm_names)
+            continue
+        reports.append(checker.check_pool(group.members))
+    name = modules[0].module_name if modules else ""
+    return VersionedPoolReport(module_name=name, groups=groups,
+                               group_reports=reports, singletons=singletons)

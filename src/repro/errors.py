@@ -1,0 +1,151 @@
+"""Exception hierarchy for the ModChecker reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch the whole family with one clause while still being able to
+distinguish, say, a guest page fault from a malformed PE image.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PEError", "PEFormatError", "PEBuildError", "RelocationError",
+    "MemoryError_", "PhysicalAddressError", "PageFault",
+    "AddressSpaceExhausted",
+    "GuestError", "ModuleLoadError", "ModuleNotLoadedError",
+    "HypervisorError", "DomainNotFound", "DomainStateError",
+    "VMIError", "VMIInitError", "SymbolNotFound", "IntrospectionFault",
+    "AttackError", "NoOpcodeCave",
+    "ModCheckerError", "InsufficientPool",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# PE format
+# ---------------------------------------------------------------------------
+
+class PEError(ReproError):
+    """Base class for Portable Executable format errors."""
+
+
+class PEFormatError(PEError):
+    """The byte stream does not parse as a valid PE32 image."""
+
+
+class PEBuildError(PEError):
+    """Inconsistent parameters were supplied to the PE builder."""
+
+
+class RelocationError(PEError):
+    """A base-relocation block is malformed or out of range."""
+
+
+# ---------------------------------------------------------------------------
+# Guest memory
+# ---------------------------------------------------------------------------
+
+class MemoryError_(ReproError):
+    """Base class for simulated-memory errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class PhysicalAddressError(MemoryError_):
+    """A physical address falls outside the machine's installed frames."""
+
+
+class PageFault(MemoryError_):
+    """Virtual address translation failed (not-present PTE/PDE).
+
+    Carries the faulting virtual address in :attr:`address`.
+    """
+
+    def __init__(self, address: int, message: str | None = None) -> None:
+        self.address = address
+        super().__init__(message or f"page fault at VA {address:#010x}")
+
+
+class AddressSpaceExhausted(MemoryError_):
+    """The kernel virtual address allocator ran out of room."""
+
+
+# ---------------------------------------------------------------------------
+# Guest OS
+# ---------------------------------------------------------------------------
+
+class GuestError(ReproError):
+    """Base class for guest-kernel simulator errors."""
+
+
+class ModuleLoadError(GuestError):
+    """The guest module loader could not load a PE image."""
+
+
+class ModuleNotLoadedError(GuestError):
+    """A requested module is not present in PsLoadedModuleList."""
+
+
+# ---------------------------------------------------------------------------
+# Hypervisor
+# ---------------------------------------------------------------------------
+
+class HypervisorError(ReproError):
+    """Base class for VMM errors."""
+
+
+class DomainNotFound(HypervisorError):
+    """No domain with the given id/name exists."""
+
+
+class DomainStateError(HypervisorError):
+    """Operation is invalid for the domain's current lifecycle state."""
+
+
+# ---------------------------------------------------------------------------
+# VMI
+# ---------------------------------------------------------------------------
+
+class VMIError(ReproError):
+    """Base class for introspection errors."""
+
+
+class VMIInitError(VMIError):
+    """The VMI instance could not attach to the target domain."""
+
+
+class SymbolNotFound(VMIError):
+    """A kernel symbol was not found in the symbol table."""
+
+
+class IntrospectionFault(VMIError):
+    """Reading guest memory failed (e.g. unmapped page)."""
+
+
+# ---------------------------------------------------------------------------
+# Attacks
+# ---------------------------------------------------------------------------
+
+class AttackError(ReproError):
+    """An attack could not be applied to the target module."""
+
+
+class NoOpcodeCave(AttackError):
+    """Inline hooking found no opcode cave large enough for the payload."""
+
+
+# ---------------------------------------------------------------------------
+# ModChecker core
+# ---------------------------------------------------------------------------
+
+class ModCheckerError(ReproError):
+    """Base class for checker-level errors."""
+
+
+class InsufficientPool(ModCheckerError):
+    """Fewer than two VMs expose the module, so no comparison is possible."""

@@ -1,0 +1,18 @@
+"""Windows-like guest OS simulator: kernel, loader, module list."""
+
+from .catalog import STANDARD_CATALOG, DriverSpec, build_catalog
+from .filesystem import DRIVER_DIR, FileNotFound, GuestFilesystem
+from .kernel import GuestKernel
+from .ldr import (LDR_ENTRY_SIZE, LIST_ENTRY_SIZE, LdrDataTableEntry,
+                  ListEntry)
+from .loader import LoadedModule, ModuleLoader
+from .unicode_string import UnicodeString
+
+__all__ = [
+    "STANDARD_CATALOG", "DriverSpec", "build_catalog",
+    "DRIVER_DIR", "FileNotFound", "GuestFilesystem",
+    "GuestKernel",
+    "LDR_ENTRY_SIZE", "LIST_ENTRY_SIZE", "LdrDataTableEntry", "ListEntry",
+    "LoadedModule", "ModuleLoader",
+    "UnicodeString",
+]

@@ -1,0 +1,72 @@
+"""The driver catalog: the "single 32-bit Windows XP SP2 installation".
+
+The paper clones all 15 DomUs from one installation so every VM holds
+byte-identical module *files*. We reproduce that by building each
+driver blueprint **once** per cloud (fixed seed) and handing the same
+blueprints to every guest — only load addresses then differ.
+
+The set mirrors the modules the paper exercises (``hal.dll`` for E1/E2,
+``http.sys`` for the performance runs, ``dummy.sys`` — the "Hello
+World" driver — for E3/E4) plus enough bystanders that
+Module-Searcher's list walk is non-trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..pe.builder import DriverBlueprint, ImportSpec, PEBuilder
+from ..rng import derive_seed
+
+__all__ = ["DriverSpec", "STANDARD_CATALOG", "build_catalog"]
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """Build parameters for one catalog driver."""
+
+    name: str
+    n_functions: int
+    avg_function_size: int
+    data_size: int
+    imports: tuple[ImportSpec, ...] | None = None   # None = builder default
+
+
+#: Load order matters: exporters (ntoskrnl, hal) come first so imports
+#: resolve, mirroring the boot-driver ordering.
+STANDARD_CATALOG: tuple[DriverSpec, ...] = (
+    DriverSpec("ntoskrnl.exe", 48, 220, 0x2000, imports=()),
+    DriverSpec("hal.dll", 24, 180, 0x1000,
+               imports=(ImportSpec("ntoskrnl.exe",
+                                   ("KeBugCheckEx", "ExAllocatePoolWithTag")),)),
+    DriverSpec("ndis.sys", 32, 190, 0x1800),
+    DriverSpec("tcpip.sys", 40, 200, 0x1800),
+    DriverSpec("http.sys", 36, 210, 0x1400),
+    DriverSpec("ntfs.sys", 40, 200, 0x1800),
+    DriverSpec("win32k.sys", 44, 210, 0x2000),
+    DriverSpec("disk.sys", 12, 140, 0x800),
+    DriverSpec("atapi.sys", 12, 140, 0x800),
+    DriverSpec("dummy.sys", 6, 100, 0x400),   # the paper's Hello-World driver
+)
+
+
+def build_catalog(seed: int | None = None,
+                  specs: tuple[DriverSpec, ...] = STANDARD_CATALOG,
+                  ) -> dict[str, DriverBlueprint]:
+    """Build every driver once; returns name -> blueprint, in load order.
+
+    The per-driver seed is derived from the catalog seed and the driver
+    name, so adding a driver never perturbs the others' bytes.
+    """
+    catalog: dict[str, DriverBlueprint] = {}
+    for spec in specs:
+        kwargs = dict(
+            seed=derive_seed(seed, "catalog", spec.name),
+            n_functions=spec.n_functions,
+            avg_function_size=spec.avg_function_size,
+            data_size=spec.data_size,
+        )
+        if spec.imports is not None:
+            kwargs["imports"] = spec.imports
+        catalog[spec.name] = PEBuilder(spec.name, **kwargs).build()
+    return catalog

@@ -1,0 +1,74 @@
+"""The guest's disk: a minimal driver filesystem.
+
+The paper's infections modify the module *file* and reboot ("Upon
+system restart, the newly modified hal.dll file was loaded into
+memory"). Giving each guest its own file store makes that a real code
+path: attacks write infected bytes to the victim's disk, the kernel
+(re)loads modules *from its own filesystem*, and the SVV baseline reads
+the same disk the guest booted from — which is exactly why SVV cannot
+see disk-first infections.
+
+Only what the experiments need: flat driver paths, whole-file
+read/write, no directories/permissions/journaling.
+"""
+
+from __future__ import annotations
+
+from ..errors import GuestError
+
+__all__ = ["FileNotFound", "GuestFilesystem", "DRIVER_DIR"]
+
+DRIVER_DIR = "system32/drivers"
+
+
+class FileNotFound(GuestError):
+    """No such file on the guest disk."""
+
+
+class GuestFilesystem:
+    """Per-guest file store (name -> bytes)."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytes] = {}
+        self.writes = 0          # forensic counter: disk activity
+
+    @staticmethod
+    def driver_path(name: str) -> str:
+        return f"{DRIVER_DIR}/{name.lower()}"
+
+    # -- file operations ---------------------------------------------------------
+
+    def write(self, path: str, data: bytes) -> None:
+        self._files[path.lower()] = bytes(data)
+        self.writes += 1
+
+    def read(self, path: str) -> bytes:
+        try:
+            return self._files[path.lower()]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def exists(self, path: str) -> bool:
+        return path.lower() in self._files
+
+    def delete(self, path: str) -> None:
+        try:
+            del self._files[path.lower()]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def listdir(self, prefix: str = "") -> list[str]:
+        prefix = prefix.lower()
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    # -- driver conveniences -------------------------------------------------------
+
+    def install_driver(self, name: str, file_bytes: bytes) -> None:
+        self.write(self.driver_path(name), file_bytes)
+
+    def read_driver(self, name: str) -> bytes:
+        return self.read(self.driver_path(name))
+
+    def drivers(self) -> list[str]:
+        n = len(DRIVER_DIR) + 1
+        return [p[n:] for p in self.listdir(DRIVER_DIR + "/")]

@@ -1,0 +1,153 @@
+"""Guest kernel simulator: boot, module list, loading, symbols.
+
+One :class:`GuestKernel` stands in for a running 32-bit Windows XP SP2
+instance. ``boot()`` lays the kernel globals (including the
+``PsLoadedModuleList`` head) into guest physical memory and loads the
+driver catalog; afterwards everything ModChecker needs is discoverable
+*purely from the guest's memory bytes plus CR3* — the kernel object
+keeps Python-side records only for tests and ground truth.
+
+The exported symbol map plays the role of the OS profile libvmi needs
+(``PsLoadedModuleList``'s VA); it is identical across clones because
+the fixed kernel area is allocated deterministically before any
+per-VM-randomised driver placement happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ModuleNotLoadedError
+from ..mem.address_space import KernelAddressSpace
+from ..mem.physical import PhysicalMemory
+from ..pe.builder import DriverBlueprint
+from ..rng import derive_seed
+from .filesystem import GuestFilesystem
+from .ldr import LDR_LAYOUTS, LIST_ENTRY_SIZE, XP_SP2_LAYOUT, ListEntry
+from .loader import LoadedModule, ModuleLoader
+
+__all__ = ["GuestKernel"]
+
+#: Default guest RAM. The paper gives each XP guest ~1 GiB; our guests
+#: only ever touch kernel structures and modules, so 64 MiB of
+#: *addressable* space is plenty and the sparse backing keeps actual
+#: usage to a few hundred KiB.
+DEFAULT_GUEST_RAM = 64 * 1024 * 1024
+
+
+@dataclass
+class GuestKernel:
+    """A booted guest: physical memory + kernel structures + modules."""
+
+    name: str
+    seed: int | None = None
+    ram_bytes: int = DEFAULT_GUEST_RAM
+    randomize_module_bases: bool = True
+    os_flavor: str = "xp-sp2"     # key into LDR_LAYOUTS
+
+    memory: PhysicalMemory = field(init=False)
+    fs: GuestFilesystem = field(init=False)
+    aspace: KernelAddressSpace = field(init=False)
+    loader: ModuleLoader = field(init=False)
+    symbols: dict[str, int] = field(init=False, default_factory=dict)
+    modules: dict[str, LoadedModule] = field(init=False, default_factory=dict)
+    booted: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        try:
+            self.layout = LDR_LAYOUTS[self.os_flavor]
+        except KeyError:
+            raise ValueError(
+                f"unknown os_flavor {self.os_flavor!r}; "
+                f"known: {sorted(LDR_LAYOUTS)}") from None
+        self.memory = PhysicalMemory(self.ram_bytes)
+        self.fs = GuestFilesystem()
+        self.aspace = KernelAddressSpace(
+            self.memory,
+            seed=derive_seed(self.seed, "aspace", self.name),
+            randomize_module_bases=self.randomize_module_bases)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def boot(self, catalog: dict[str, DriverBlueprint] | None = None) -> None:
+        """Install the catalog on disk, lay out kernel globals, load.
+
+        The catalog plays the role of the installation media: its files
+        land on this guest's own filesystem first, and every module is
+        then loaded *from that disk* — so later disk infections +
+        reloads follow the same path the paper's evaluation used.
+        """
+        if self.booted:
+            raise RuntimeError(f"{self.name} already booted")
+        for name, blueprint in (catalog or {}).items():
+            self.fs.install_driver(name, blueprint.file_bytes)
+        globals_va = self.aspace.alloc_fixed(0x1000, "kernel-globals")
+        head_va = globals_va        # PsLoadedModuleList at the page start
+        # Empty list: head points at itself.
+        self.aspace.write(head_va, ListEntry(head_va, head_va).pack())
+        self.symbols["PsLoadedModuleList"] = head_va
+        self.loader = ModuleLoader(self.aspace, head_va, self.layout)
+        self.booted = True
+        for name in (catalog or {}):
+            self.load_module_from_disk(name)
+
+    @property
+    def cr3(self) -> int:
+        return self.aspace.cr3
+
+    # -- modules -----------------------------------------------------------------
+
+    def load_module(self, blueprint: DriverBlueprint) -> LoadedModule:
+        """Install the blueprint's file on disk and load it."""
+        if not self.booted:
+            raise RuntimeError("boot() first")
+        self.fs.install_driver(blueprint.name, blueprint.file_bytes)
+        return self.load_module_from_disk(blueprint.name)
+
+    def load_module_from_disk(self, name: str) -> LoadedModule:
+        """Load a driver from this guest's own filesystem."""
+        if not self.booted:
+            raise RuntimeError("boot() first")
+        module = self.loader.load_bytes(name, self.fs.read_driver(name))
+        self.modules[name] = module
+        return module
+
+    def reload_module(self, name: str) -> LoadedModule:
+        """Unload and re-load from disk — the paper's 'system restart'
+        for one module (picks up any disk infection)."""
+        self.unload_module(name)
+        return self.load_module_from_disk(name)
+
+    def unload_module(self, name: str) -> None:
+        module = self.modules.pop(name, None)
+        if module is None:
+            raise ModuleNotLoadedError(f"{name} not loaded in {self.name}")
+        self.loader.unload(module)
+
+    def module(self, name: str) -> LoadedModule:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise ModuleNotLoadedError(
+                f"{name} not loaded in {self.name}") from None
+
+    # -- ground-truth helpers (tests/examples only) ----------------------------------
+
+    def read_module_image(self, name: str) -> bytes:
+        """The module's current in-memory image (ground truth view)."""
+        module = self.module(name)
+        return self.aspace.read(module.base, module.size_of_image)
+
+    def list_entry_count(self) -> int:
+        """Walk the list the slow way; used to validate invariants."""
+        head_va = self.symbols["PsLoadedModuleList"]
+        count = 0
+        cursor = ListEntry.unpack(
+            self.aspace.read(head_va, LIST_ENTRY_SIZE)).flink
+        while cursor != head_va:
+            count += 1
+            if count > 4096:
+                raise RuntimeError("loaded-module list does not terminate")
+            cursor = ListEntry.unpack(
+                self.aspace.read(cursor, LIST_ENTRY_SIZE)).flink
+        return count

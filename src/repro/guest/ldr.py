@@ -1,0 +1,217 @@
+"""``PsLoadedModuleList`` and ``LDR_DATA_TABLE_ENTRY``.
+
+The kernel maintains its loaded-module list as a doubly linked list of
+``LDR_DATA_TABLE_ENTRY`` nodes (paper Fig. 2). The list head is a bare
+``LIST_ENTRY`` at the VA of the exported global ``PsLoadedModuleList``;
+each node's *first* field is its ``InLoadOrderLinks`` LIST_ENTRY, so a
+link pointer is also the address of the owning structure — the property
+Module-Searcher relies on when walking FLINK pointers.
+
+Field offsets match 32-bit Windows XP::
+
+    +0x00 InLoadOrderLinks            LIST_ENTRY (Flink, Blink)
+    +0x08 InMemoryOrderLinks          LIST_ENTRY
+    +0x10 InInitializationOrderLinks  LIST_ENTRY
+    +0x18 DllBase                     PVOID
+    +0x1c EntryPoint                  PVOID
+    +0x20 SizeOfImage                 ULONG
+    +0x24 FullDllName                 UNICODE_STRING
+    +0x2c BaseDllName                 UNICODE_STRING
+    +0x34 Flags                       ULONG
+    +0x38 LoadCount                   USHORT
+    +0x3a TlsIndex                    USHORT
+    ...                               (padded to 0x50 here)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .unicode_string import UnicodeString
+
+__all__ = [
+    "LIST_ENTRY_SIZE", "LDR_ENTRY_SIZE",
+    "OFF_INLOADORDER", "OFF_DLLBASE", "OFF_ENTRYPOINT", "OFF_SIZEOFIMAGE",
+    "OFF_FULLDLLNAME", "OFF_BASEDLLNAME", "OFF_FLAGS", "OFF_LOADCOUNT",
+    "LdrLayout", "LDR_LAYOUTS", "XP_SP2_LAYOUT",
+    "ListEntry", "LdrDataTableEntry",
+]
+
+LIST_ENTRY_SIZE = 8
+LDR_ENTRY_SIZE = 0x50
+
+OFF_INLOADORDER = 0x00
+OFF_INMEMORYORDER = 0x08
+OFF_ININITORDER = 0x10
+OFF_DLLBASE = 0x18
+OFF_ENTRYPOINT = 0x1C
+OFF_SIZEOFIMAGE = 0x20
+OFF_FULLDLLNAME = 0x24
+OFF_BASEDLLNAME = 0x2C
+OFF_FLAGS = 0x34
+OFF_LOADCOUNT = 0x38
+OFF_TLSINDEX = 0x3A
+
+_LIST = struct.Struct("<II")
+
+
+@dataclass(frozen=True)
+class LdrLayout:
+    """Field offsets of ``LDR_DATA_TABLE_ENTRY`` for one kernel build.
+
+    Real kernel builds move these fields around between versions, which
+    is exactly why libvmi needs a per-build OS profile. The
+    ``InLoadOrderLinks`` LIST_ENTRY stays at offset 0 in every build —
+    that invariant is what makes FLINK pointers double as structure
+    addresses.
+    """
+
+    name: str = "WinXP-SP2-x86"
+    off_inmemoryorder: int = OFF_INMEMORYORDER
+    off_ininitorder: int = OFF_ININITORDER
+    off_dllbase: int = OFF_DLLBASE
+    off_entrypoint: int = OFF_ENTRYPOINT
+    off_sizeofimage: int = OFF_SIZEOFIMAGE
+    off_fulldllname: int = OFF_FULLDLLNAME
+    off_basedllname: int = OFF_BASEDLLNAME
+    off_flags: int = OFF_FLAGS
+    off_loadcount: int = OFF_LOADCOUNT
+    off_tlsindex: int = OFF_TLSINDEX
+    entry_size: int = LDR_ENTRY_SIZE
+
+    def offsets(self) -> dict[str, int]:
+        """The profile-dictionary view (what libvmi configs carry)."""
+        return {
+            "LDR_DATA_TABLE_ENTRY.InLoadOrderLinks": 0,
+            "LDR_DATA_TABLE_ENTRY.DllBase": self.off_dllbase,
+            "LDR_DATA_TABLE_ENTRY.EntryPoint": self.off_entrypoint,
+            "LDR_DATA_TABLE_ENTRY.SizeOfImage": self.off_sizeofimage,
+            "LDR_DATA_TABLE_ENTRY.FullDllName": self.off_fulldllname,
+            "LDR_DATA_TABLE_ENTRY.BaseDllName": self.off_basedllname,
+            "LDR_DATA_TABLE_ENTRY.size": self.entry_size,
+            "LIST_ENTRY.size": LIST_ENTRY_SIZE,
+        }
+
+
+XP_SP2_LAYOUT = LdrLayout()
+
+#: A second build with shifted fields (a service-pack's worth of drift):
+#: parsing it with the XP profile reads garbage, which the profile
+#: tests demonstrate.
+WIN2003_LAYOUT = LdrLayout(
+    name="Win2003-x86",
+    off_inmemoryorder=0x08, off_ininitorder=0x10,
+    off_dllbase=0x20, off_entrypoint=0x24, off_sizeofimage=0x28,
+    off_fulldllname=0x2C, off_basedllname=0x34,
+    off_flags=0x3C, off_loadcount=0x40, off_tlsindex=0x42,
+    entry_size=0x58)
+
+LDR_LAYOUTS: dict[str, LdrLayout] = {
+    "xp-sp2": XP_SP2_LAYOUT,
+    "win2003": WIN2003_LAYOUT,
+}
+
+
+@dataclass(frozen=True)
+class ListEntry:
+    """A LIST_ENTRY: forward and backward links."""
+
+    flink: int
+    blink: int
+
+    SIZE = LIST_ENTRY_SIZE
+
+    def pack(self) -> bytes:
+        return _LIST.pack(self.flink, self.blink)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ListEntry":
+        return cls(*_LIST.unpack(bytes(data[:cls.SIZE])))
+
+
+@dataclass(frozen=True)
+class LdrDataTableEntry:
+    """Decoded LDR_DATA_TABLE_ENTRY (names resolved separately)."""
+
+    in_load_order: ListEntry
+    in_memory_order: ListEntry
+    in_init_order: ListEntry
+    dll_base: int
+    entry_point: int
+    size_of_image: int
+    full_dll_name: UnicodeString
+    base_dll_name: UnicodeString
+    flags: int = 0
+    load_count: int = 1
+    tls_index: int = 0
+
+    SIZE = LDR_ENTRY_SIZE
+
+    def pack(self, layout: LdrLayout = XP_SP2_LAYOUT) -> bytes:
+        out = bytearray(layout.entry_size)
+        out[OFF_INLOADORDER:OFF_INLOADORDER + 8] = self.in_load_order.pack()
+        out[layout.off_inmemoryorder:
+            layout.off_inmemoryorder + 8] = self.in_memory_order.pack()
+        out[layout.off_ininitorder:
+            layout.off_ininitorder + 8] = self.in_init_order.pack()
+        struct.pack_into("<I", out, layout.off_dllbase, self.dll_base)
+        struct.pack_into("<I", out, layout.off_entrypoint, self.entry_point)
+        struct.pack_into("<I", out, layout.off_sizeofimage,
+                         self.size_of_image)
+        out[layout.off_fulldllname:
+            layout.off_fulldllname + 8] = self.full_dll_name.pack()
+        out[layout.off_basedllname:
+            layout.off_basedllname + 8] = self.base_dll_name.pack()
+        struct.pack_into("<I", out, layout.off_flags, self.flags)
+        struct.pack_into("<HH", out, layout.off_loadcount,
+                         self.load_count, self.tls_index)
+        return bytes(out)
+
+    @classmethod
+    def unpack(cls, data: bytes,
+               layout: LdrLayout = XP_SP2_LAYOUT) -> "LdrDataTableEntry":
+        data = bytes(data[:layout.entry_size])
+        dll_base, = struct.unpack_from("<I", data, layout.off_dllbase)
+        entry_point, = struct.unpack_from("<I", data, layout.off_entrypoint)
+        size_of_image, = struct.unpack_from("<I", data,
+                                            layout.off_sizeofimage)
+        flags, = struct.unpack_from("<I", data, layout.off_flags)
+        load_count, tls_index = struct.unpack_from("<HH", data,
+                                                   layout.off_loadcount)
+        return cls(
+            in_load_order=ListEntry.unpack(data[OFF_INLOADORDER:]),
+            in_memory_order=ListEntry.unpack(data[layout.off_inmemoryorder:]),
+            in_init_order=ListEntry.unpack(data[layout.off_ininitorder:]),
+            dll_base=dll_base, entry_point=entry_point,
+            size_of_image=size_of_image,
+            full_dll_name=UnicodeString.unpack(data[layout.off_fulldllname:]),
+            base_dll_name=UnicodeString.unpack(data[layout.off_basedllname:]),
+            flags=flags, load_count=load_count, tls_index=tls_index)
+
+
+def _write_ptr(write, va: int, value: int) -> None:
+    write(va, struct.pack("<I", value))
+
+
+def link_tail(write, read, head_va: int, node_va: int) -> None:
+    """Insert ``node_va`` at the tail of the list headed at ``head_va``.
+
+    ``write(va, bytes)`` / ``read(va, n) -> bytes`` access guest memory.
+    Pointer fields are written individually — exactly the four stores
+    ``InsertTailList`` performs — so the head==tail (empty list) case
+    composes correctly.
+    """
+    head = ListEntry.unpack(read(head_va, LIST_ENTRY_SIZE))
+    last_va = head.blink
+    _write_ptr(write, node_va + OFF_INLOADORDER, head_va)       # node.Flink
+    _write_ptr(write, node_va + OFF_INLOADORDER + 4, last_va)   # node.Blink
+    _write_ptr(write, last_va, node_va)                          # last.Flink
+    _write_ptr(write, head_va + 4, node_va)                      # head.Blink
+
+
+def unlink(write, read, node_va: int) -> None:
+    """Remove a node from its list (``RemoveEntryList``)."""
+    node = ListEntry.unpack(read(node_va + OFF_INLOADORDER, LIST_ENTRY_SIZE))
+    _write_ptr(write, node.blink, node.flink)       # prev.Flink = node.Flink
+    _write_ptr(write, node.flink + 4, node.blink)   # next.Blink = node.Blink

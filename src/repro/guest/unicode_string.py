@@ -1,0 +1,57 @@
+"""``UNICODE_STRING`` — the counted UTF-16 string of the NT kernel.
+
+Layout (32-bit)::
+
+    +0x00  USHORT Length         # bytes, excluding terminator
+    +0x02  USHORT MaximumLength  # buffer capacity in bytes
+    +0x04  PVOID  Buffer         # VA of the UTF-16LE payload
+
+``BaseDllName``/``FullDllName`` inside ``LDR_DATA_TABLE_ENTRY`` are
+UNICODE_STRINGs, so Module-Searcher must chase ``Buffer`` through guest
+memory to learn a module's name — one extra introspection read per list
+node, faithfully reproduced here.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["UnicodeString", "UNICODE_STRING_SIZE"]
+
+UNICODE_STRING_SIZE = 8
+_HDR = struct.Struct("<HHI")
+
+
+@dataclass(frozen=True)
+class UnicodeString:
+    """Parsed UNICODE_STRING header (payload read separately)."""
+
+    length: int
+    maximum_length: int
+    buffer: int
+
+    SIZE = UNICODE_STRING_SIZE
+
+    def pack(self) -> bytes:
+        return _HDR.pack(self.length, self.maximum_length, self.buffer)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UnicodeString":
+        length, maximum, buffer = _HDR.unpack(bytes(data[:cls.SIZE]))
+        return cls(length, maximum, buffer)
+
+    @classmethod
+    def for_text(cls, text: str, buffer_va: int) -> tuple["UnicodeString", bytes]:
+        """Build the header + UTF-16LE payload for ``text`` at ``buffer_va``.
+
+        The payload carries a NUL terminator not counted in ``Length``,
+        like strings produced by ``RtlInitUnicodeString``.
+        """
+        payload = text.encode("utf-16-le")
+        header = cls(len(payload), len(payload) + 2, buffer_va)
+        return header, payload + b"\x00\x00"
+
+    def decode(self, payload: bytes) -> str:
+        """Decode a payload previously read from ``Buffer``."""
+        return payload[: self.length].decode("utf-16-le", errors="replace")

@@ -1,0 +1,13 @@
+"""Xen-like VMM: domains, contention scheduler, simulated clock."""
+
+from .clock import SimClock
+from .domain import Domain, DomainKind, DomainState
+from .scheduler import ContentionScheduler, CpuModel
+from .xen import Hypervisor
+
+__all__ = [
+    "SimClock",
+    "Domain", "DomainKind", "DomainState",
+    "ContentionScheduler", "CpuModel",
+    "Hypervisor",
+]

@@ -1,0 +1,49 @@
+"""Simulated wall clock.
+
+All ModChecker runtime numbers (Figs. 7–9) are *simulated seconds*
+advanced by the cost model through the hypervisor's CPU-contention
+scheduler — never host wall-clock — so the experiment harness is
+deterministic and hardware-independent. ``pytest-benchmark`` separately
+measures the real execution time of the simulation itself.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonically increasing simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Advance time by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by {dt}")
+        self._now += dt
+        return self._now
+
+    class _Span:
+        """Context manager measuring simulated elapsed time."""
+
+        def __init__(self, clock: "SimClock") -> None:
+            self.clock = clock
+            self.start = 0.0
+            self.elapsed = 0.0
+
+        def __enter__(self) -> "SimClock._Span":
+            self.start = self.clock.now
+            return self
+
+        def __exit__(self, *exc) -> None:
+            self.elapsed = self.clock.now - self.start
+
+    def span(self) -> "_Span":
+        """``with clock.span() as s: ...; s.elapsed`` — simulated timing."""
+        return SimClock._Span(self)

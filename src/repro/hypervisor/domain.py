@@ -1,0 +1,76 @@
+"""Domains: the hypervisor's unit of virtualization (Xen terminology).
+
+``Dom0`` is the privileged domain where ModChecker runs; ``DomU`` are
+the guests. A DomU owns a :class:`~repro.guest.kernel.GuestKernel`
+(physical memory + booted OS); Dom0 has no guest kernel — it only
+consumes pCPU time.
+
+``cpu_load`` is the fraction of one pCPU each of the domain's vCPUs
+wants (0 = idle, 1 = HeavyLoad pegging the core). The scheduler sums
+these to derive contention for Dom0's introspection work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..guest.kernel import GuestKernel
+
+__all__ = ["DomainKind", "DomainState", "Domain"]
+
+
+class DomainKind(enum.Enum):
+    DOM0 = "dom0"
+    DOMU = "domU"
+
+
+class DomainState(enum.Enum):
+    RUNNING = "running"
+    PAUSED = "paused"
+    SHUTDOWN = "shutdown"
+
+
+@dataclass
+class Domain:
+    """One domain's scheduling-relevant state."""
+
+    domid: int
+    name: str
+    kind: DomainKind
+    vcpus: int = 1
+    kernel: GuestKernel | None = None
+    state: DomainState = DomainState.RUNNING
+    cpu_load: float = 0.0
+    mem_load: float = 0.0        # fraction of RAM churned (Fig. 9 monitor)
+    disk_load: float = 0.0
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind is DomainKind.DOMU and self.kernel is None:
+            raise ValueError(f"DomU {self.name!r} needs a guest kernel")
+        if not 0 <= self.cpu_load <= 1:
+            raise ValueError("cpu_load must be in [0, 1]")
+
+    @property
+    def is_guest(self) -> bool:
+        return self.kind is DomainKind.DOMU
+
+    @property
+    def runnable_vcpus(self) -> float:
+        """Demanded pCPU time (vcpus x load) while running."""
+        if self.state is not DomainState.RUNNING:
+            return 0.0
+        return self.vcpus * self.cpu_load
+
+    def set_load(self, cpu: float | None = None, mem: float | None = None,
+                 disk: float | None = None) -> None:
+        """Adjust the domain's resource demand (used by workloads)."""
+        if cpu is not None:
+            if not 0 <= cpu <= 1:
+                raise ValueError("cpu_load must be in [0, 1]")
+            self.cpu_load = cpu
+        if mem is not None:
+            self.mem_load = mem
+        if disk is not None:
+            self.disk_load = disk

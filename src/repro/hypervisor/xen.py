@@ -1,0 +1,235 @@
+"""The hypervisor: Xen-like VMM with an introspection surface.
+
+Provides what the paper's architecture (Fig. 1) requires of Xen:
+
+* domain lifecycle — a privileged Dom0 plus cloned DomU guests;
+* a **read-only introspection surface** (``read_guest_frame`` /
+  ``guest_cr3``) through which Dom0 maps guest pages, the primitive
+  libvmi builds on (``xc_map_foreign_range``);
+* CPU accounting — every second of Dom0 work is stretched by the
+  credit-scheduler contention model and advanced on the simulated
+  clock, which is how guest load degrades ModChecker's runtime (Fig. 8);
+* snapshots — the paper's §III discussion notes infected VMs can be
+  reverted to clean state; ``snapshot``/``revert`` implement that.
+
+Introspection reads are deliberately *byte-copies of guest frames*:
+nothing guest-side is handed to Dom0 as Python objects, so ModChecker
+can only learn what a real out-of-VM tool could.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from ..errors import DomainNotFound, DomainStateError
+from ..guest.kernel import GuestKernel
+from ..pe.builder import DriverBlueprint
+from ..rng import derive_seed
+from .clock import SimClock
+from .domain import Domain, DomainKind, DomainState
+from .scheduler import ContentionScheduler, CpuModel
+
+__all__ = ["Hypervisor"]
+
+
+class Hypervisor:
+    """A booted VMM: Dom0 + guests + clock + scheduler."""
+
+    def __init__(self, *, cpu: CpuModel | None = None,
+                 clock: SimClock | None = None) -> None:
+        self.cpu = cpu or CpuModel()
+        self.clock = clock or SimClock()
+        self.scheduler = ContentionScheduler(self.cpu)
+        self._domains: dict[int, Domain] = {}
+        self._by_name: dict[str, int] = {}
+        self._next_domid = 0
+        self._snapshots: dict[int, dict] = {}
+        self.dom0 = self._create(Domain(
+            domid=self._take_domid(), name="Dom0", kind=DomainKind.DOM0,
+            vcpus=1))
+        #: cumulative Dom0 CPU-seconds actually consumed (pre-stretch)
+        self.dom0_cpu_seconds = 0.0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _take_domid(self) -> int:
+        domid = self._next_domid
+        self._next_domid += 1
+        return domid
+
+    def _create(self, domain: Domain) -> Domain:
+        if domain.name in self._by_name:
+            raise DomainStateError(f"domain {domain.name!r} already exists")
+        self._domains[domain.domid] = domain
+        self._by_name[domain.name] = domain.domid
+        return domain
+
+    def create_guest(self, name: str,
+                     catalog: dict[str, DriverBlueprint] | None = None,
+                     *, seed: int | None = None, vcpus: int = 1,
+                     ram_bytes: int | None = None,
+                     os_flavor: str = "xp-sp2") -> Domain:
+        """Clone-and-boot a guest from the catalog (the paper's DomU).
+
+        Per-guest randomisation (the seed) only affects module load
+        addresses — the module *files* come from the shared catalog, so
+        guests are genuine clones of one installation.
+        """
+        kwargs = {} if ram_bytes is None else {"ram_bytes": ram_bytes}
+        kernel = GuestKernel(name, seed=derive_seed(seed, "guest", name),
+                             os_flavor=os_flavor, **kwargs)
+        kernel.boot(catalog or {})
+        return self._create(Domain(
+            domid=self._take_domid(), name=name, kind=DomainKind.DOMU,
+            vcpus=vcpus, kernel=kernel))
+
+    def domain(self, key: int | str) -> Domain:
+        if isinstance(key, str):
+            domid = self._by_name.get(key)
+            if domid is None:
+                raise DomainNotFound(f"no domain named {key!r}")
+            return self._domains[domid]
+        try:
+            return self._domains[key]
+        except KeyError:
+            raise DomainNotFound(f"no domid {key}") from None
+
+    def guests(self) -> list[Domain]:
+        """All DomU domains, in creation order."""
+        return [d for d in self._domains.values() if d.is_guest]
+
+    def pause(self, key: int | str) -> None:
+        self.domain(key).state = DomainState.PAUSED
+
+    def unpause(self, key: int | str) -> None:
+        domain = self.domain(key)
+        if domain.state is DomainState.SHUTDOWN:
+            raise DomainStateError(f"{domain.name} is shut down")
+        domain.state = DomainState.RUNNING
+
+    def destroy(self, key: int | str) -> None:
+        domain = self.domain(key)
+        if domain.kind is DomainKind.DOM0:
+            raise DomainStateError("cannot destroy Dom0")
+        domain.state = DomainState.SHUTDOWN
+        del self._by_name[domain.name]
+        del self._domains[domain.domid]
+
+    # -- snapshots (paper §III-B discussion) ------------------------------------------
+
+    def snapshot(self, key: int | str) -> None:
+        """Record a full snapshot of the guest: memory frames, disk
+        files, and the kernel's bookkeeping (so a revert restores the
+        whole machine state, as a VM snapshot does)."""
+        domain = self.domain(key)
+        if not domain.is_guest:
+            raise DomainStateError("can only snapshot guests")
+        kernel = domain.kernel
+        assert kernel is not None
+        self._snapshots[domain.domid] = {
+            "frames": {no: frame.copy()
+                       for no, frame in kernel.memory._frames.items()},
+            "files": dict(kernel.fs._files),
+            "modules": dict(kernel.modules),
+            "exports": dict(kernel.loader.export_table),
+        }
+
+    def revert(self, key: int | str) -> None:
+        """Restore the guest to its snapshot ("flush infections")."""
+        domain = self.domain(key)
+        snap = self._snapshots.get(domain.domid)
+        if snap is None:
+            raise DomainStateError(f"no snapshot for {domain.name}")
+        kernel = domain.kernel
+        assert kernel is not None
+        kernel.memory._frames = {
+            no: frame.copy() for no, frame in snap["frames"].items()}
+        kernel.fs._files = dict(snap["files"])
+        kernel.modules = dict(snap["modules"])
+        kernel.loader.export_table = dict(snap["exports"])
+
+    # -- introspection surface -----------------------------------------------------------
+
+    def guest_cr3(self, key: int | str) -> int:
+        domain = self.domain(key)
+        if not domain.is_guest:
+            raise DomainStateError(f"{domain.name} has no guest CR3")
+        assert domain.kernel is not None
+        return domain.kernel.cr3
+
+    def read_guest_frame(self, key: int | str, frame_no: int) -> bytes:
+        """Map one guest frame read-only into Dom0 (4 KiB byte copy)."""
+        domain = self.domain(key)
+        if not domain.is_guest:
+            raise DomainStateError(f"{domain.name} is not introspectable")
+        if domain.state is DomainState.SHUTDOWN:
+            raise DomainStateError(f"{domain.name} is shut down")
+        assert domain.kernel is not None
+        return domain.kernel.memory.read_frame(frame_no)
+
+    def read_guest_physical(self, key: int | str, paddr: int,
+                            length: int) -> bytes:
+        """Arbitrary physical-range read (libvmi's ``read_pa``)."""
+        domain = self.domain(key)
+        if not domain.is_guest:
+            raise DomainStateError(f"{domain.name} is not introspectable")
+        assert domain.kernel is not None
+        return domain.kernel.memory.read(paddr, length)
+
+    # -- CPU accounting ---------------------------------------------------------------------
+
+    def guest_demand(self) -> float:
+        """Summed runnable vCPU demand across all guests."""
+        return sum(d.runnable_vcpus for d in self._domains.values()
+                   if d.is_guest)
+
+    def charge_dom0(self, cpu_seconds: float) -> float:
+        """Account ``cpu_seconds`` of Dom0 work; returns elapsed sim time.
+
+        The work is stretched by the contention factor derived from the
+        instantaneous guest load, then advanced on the simulated clock.
+        """
+        if cpu_seconds < 0:
+            raise ValueError("negative work")
+        factor = self.scheduler.dom0_slowdown(self.guest_demand())
+        elapsed = cpu_seconds * factor
+        self.dom0_cpu_seconds += cpu_seconds
+        self.clock.advance(elapsed)
+        return elapsed
+
+    def deferred_charges(self) -> "_DeferredCharges":
+        """Collect Dom0 charges without advancing the clock.
+
+        Used by the parallel checker: per-VM CPU work is gathered
+        inside the context, then the caller advances the clock once
+        with a parallel-makespan model. ``with hv.deferred_charges()
+        as acc: ...; acc.total`` gives the raw CPU-seconds charged.
+        """
+        return _DeferredCharges(self)
+
+
+class _DeferredCharges:
+    """Context manager that buffers charge_dom0 calls (see above)."""
+
+    def __init__(self, hypervisor: Hypervisor) -> None:
+        self.hv = hypervisor
+        self.total = 0.0
+        self.marks: list[float] = []
+
+    def mark(self) -> None:
+        """Record a cut point (e.g. per-VM boundaries)."""
+        self.marks.append(self.total)
+
+    def __enter__(self) -> "_DeferredCharges":
+        def collect(cpu_seconds: float) -> float:
+            if cpu_seconds < 0:
+                raise ValueError("negative work")
+            self.total += cpu_seconds
+            self.hv.dom0_cpu_seconds += cpu_seconds
+            return 0.0
+        # Shadow the bound method on the instance for the duration.
+        self.hv.charge_dom0 = collect  # type: ignore[method-assign]
+        return self
+
+    def __exit__(self, *exc) -> None:
+        del self.hv.__dict__["charge_dom0"]

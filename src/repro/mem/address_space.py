@@ -1,0 +1,104 @@
+"""Kernel virtual address space management for a simulated guest.
+
+XP's kernel lives in the upper 2 GiB (``0x80000000``-up). This module
+provides the guest kernel with a VA allocator plus read/write access
+through its own page tables, and records every allocation in a
+:class:`~repro.mem.regions.RegionMap` for debugging and tests.
+
+Module load addresses are *randomised per guest* within the driver
+area: that is the property (different base per VM) that forces
+ModChecker's RVA adjustment. Windows XP wasn't ASLR'd, but the system
+pool allocator still placed each VM's drivers at whatever address the
+boot-time allocation order produced; clones diverge as soon as their
+allocation histories do, and the paper's Fig. 4 shows two clones with
+different bases. We model that divergence directly with a per-VM seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AddressSpaceExhausted
+from ..rng import make_rng
+from .paging import PageTableBuilder
+from .physical import PAGE_SIZE, FrameAllocator, PhysicalMemory
+from .regions import RegionMap
+
+__all__ = ["KERNEL_BASE", "DRIVER_AREA_BASE", "DRIVER_AREA_END",
+           "KernelAddressSpace"]
+
+KERNEL_BASE = 0x8000_0000
+#: XP loads boot drivers around 0x804d7000+ and system drivers in the
+#: 0xF...... system PTE area; we use one simplified driver arena.
+DRIVER_AREA_BASE = 0xF700_0000
+DRIVER_AREA_END = 0xFA00_0000
+
+
+class KernelAddressSpace:
+    """One guest's kernel address space: allocator + page tables."""
+
+    def __init__(self, memory: PhysicalMemory, *, seed: int | None = None,
+                 randomize_module_bases: bool = True) -> None:
+        self.memory = memory
+        self.frame_allocator = FrameAllocator(memory)
+        self.page_tables = PageTableBuilder(memory, self.frame_allocator)
+        self.regions = RegionMap()
+        self._fixed_cursor = KERNEL_BASE
+        self._driver_cursor = DRIVER_AREA_BASE
+        self._rng = make_rng(seed)
+        self._randomize = randomize_module_bases
+
+    @property
+    def cr3(self) -> int:
+        return self.page_tables.cr3
+
+    # -- allocation -------------------------------------------------------------
+
+    def alloc_fixed(self, size: int, name: str) -> int:
+        """Allocate kernel VA space in the low kernel area (structures)."""
+        return self._alloc(size, name, area="fixed")
+
+    def alloc_driver_image(self, size: int, name: str) -> int:
+        """Allocate VA space for a module image in the driver arena.
+
+        With randomisation on, a random page-aligned gap (0–255 pages)
+        precedes each image, so clones of the same guest diverge in
+        their module bases — the cross-VM inconsistency ModChecker's
+        Integrity-Checker must reverse.
+        """
+        if self._randomize:
+            gap_pages = int(self._rng.integers(0, 256))
+            self._driver_cursor += gap_pages * PAGE_SIZE
+        return self._alloc(size, name, area="driver")
+
+    def _alloc(self, size: int, name: str, *, area: str) -> int:
+        n_pages = -(-size // PAGE_SIZE)
+        if area == "fixed":
+            base = self._fixed_cursor
+            self._fixed_cursor += n_pages * PAGE_SIZE
+            if self._fixed_cursor >= DRIVER_AREA_BASE:
+                raise AddressSpaceExhausted("fixed kernel area exhausted")
+        else:
+            base = self._driver_cursor
+            self._driver_cursor += n_pages * PAGE_SIZE
+            if self._driver_cursor >= DRIVER_AREA_END:
+                raise AddressSpaceExhausted("driver arena exhausted")
+        self.page_tables.map_range(base, n_pages)
+        self.regions.add(name, base, n_pages * PAGE_SIZE)
+        return base
+
+    # -- access (guest's own view) -----------------------------------------------
+
+    def read(self, vaddr: int, length: int) -> bytes:
+        return self._translator().read_virtual(vaddr, length)
+
+    def write(self, vaddr: int, data: bytes) -> None:
+        self._translator().write_virtual(vaddr, data)
+
+    def write_array(self, vaddr: int, data: np.ndarray) -> None:
+        self.write(vaddr, data.astype(np.uint8, copy=False).tobytes())
+
+    def _translator(self):
+        # Local import to avoid a cycle at module import time.
+        from .paging import AddressTranslator
+        return AddressTranslator(self.memory, self.cr3)

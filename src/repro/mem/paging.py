@@ -1,0 +1,166 @@
+"""x86 32-bit (non-PAE) two-level page tables.
+
+The guest kernel builds genuine page-directory/page-table structures in
+its own physical memory, and the VMI layer translates kernel virtual
+addresses by walking those structures *from outside*, exactly as
+libvmi does on a real Xen guest. Bit layout follows the Intel SDM:
+
+* CR3 bits 31..12 — physical frame of the page directory;
+* PDE/PTE bit 0 — present; bits 31..12 — target frame.
+
+Both 4 KiB pages and PSE 4 MiB large pages (PDE bit 7) are modelled —
+XP maps parts of the kernel image with large pages when the CPU
+supports PSE, and an introspector that cannot walk them misreads
+kernel memory. Access bits beyond P/RW/PS are stored but never
+enforced — ModChecker performs read-only introspection and never
+faults on protection, only on non-present mappings.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import PageFault
+from .physical import PAGE_SHIFT, PAGE_SIZE, FrameAllocator, PhysicalMemory
+
+__all__ = ["PTE_PRESENT", "PTE_RW", "PDE_LARGE", "LARGE_PAGE_SIZE",
+           "AddressTranslator", "PageTableBuilder"]
+
+PTE_PRESENT = 0x001
+PTE_RW = 0x002
+PDE_LARGE = 0x080            # PS bit: this PDE maps a 4 MiB page
+LARGE_PAGE_SIZE = 1 << 22
+
+_ENTRY = struct.Struct("<I")
+
+
+def _split(vaddr: int) -> tuple[int, int, int]:
+    """Split a 32-bit VA into (pde index, pte index, page offset)."""
+    return (vaddr >> 22) & 0x3FF, (vaddr >> 12) & 0x3FF, vaddr & 0xFFF
+
+
+class PageTableBuilder:
+    """Guest-side construction of page tables in physical memory."""
+
+    def __init__(self, memory: PhysicalMemory, allocator: FrameAllocator) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        self.page_directory_frame = allocator.alloc()
+        # Cache of pde_index -> page-table frame to avoid re-reading.
+        self._pt_frames: dict[int, int] = {}
+
+    @property
+    def cr3(self) -> int:
+        """The value a vCPU's CR3 would hold."""
+        return self.page_directory_frame << PAGE_SHIFT
+
+    def _page_table_frame(self, pde_index: int) -> int:
+        frame = self._pt_frames.get(pde_index)
+        if frame is None:
+            frame = self.allocator.alloc()
+            self._pt_frames[pde_index] = frame
+            pde_addr = (self.page_directory_frame << PAGE_SHIFT) + 4 * pde_index
+            self.memory.write(pde_addr, _ENTRY.pack(
+                (frame << PAGE_SHIFT) | PTE_PRESENT | PTE_RW))
+        return frame
+
+    def map_page(self, vaddr: int, frame_no: int, *, writable: bool = True) -> None:
+        """Install a 4 KiB mapping ``vaddr -> frame_no``."""
+        if vaddr & (PAGE_SIZE - 1):
+            raise ValueError(f"vaddr {vaddr:#x} not page aligned")
+        pde_i, pte_i, _ = _split(vaddr)
+        pt_frame = self._page_table_frame(pde_i)
+        pte_addr = (pt_frame << PAGE_SHIFT) + 4 * pte_i
+        flags = PTE_PRESENT | (PTE_RW if writable else 0)
+        self.memory.write(pte_addr, _ENTRY.pack((frame_no << PAGE_SHIFT) | flags))
+
+    def map_large_page(self, vaddr: int, first_frame: int, *,
+                       writable: bool = True) -> None:
+        """Install a PSE 4 MiB mapping at ``vaddr`` (4 MiB aligned).
+
+        ``first_frame`` is the first of 1024 physically-contiguous
+        frames backing the large page. Overwrites any page table
+        previously installed for this PDE slot.
+        """
+        if vaddr & (LARGE_PAGE_SIZE - 1):
+            raise ValueError(f"vaddr {vaddr:#x} not 4 MiB aligned")
+        if (first_frame << PAGE_SHIFT) & (LARGE_PAGE_SIZE - 1):
+            raise ValueError("large page needs a 4 MiB-aligned frame base")
+        pde_i, _, _ = _split(vaddr)
+        self._pt_frames.pop(pde_i, None)
+        pde_addr = (self.page_directory_frame << PAGE_SHIFT) + 4 * pde_i
+        flags = PTE_PRESENT | PDE_LARGE | (PTE_RW if writable else 0)
+        self.memory.write(pde_addr, _ENTRY.pack(
+            (first_frame << PAGE_SHIFT) | flags))
+
+    def map_range(self, vaddr: int, n_pages: int, *, writable: bool = True) -> list[int]:
+        """Map ``n_pages`` fresh frames at ``vaddr``; return the frames."""
+        frames = [self.allocator.alloc() for _ in range(n_pages)]
+        for i, frame in enumerate(frames):
+            self.map_page(vaddr + i * PAGE_SIZE, frame, writable=writable)
+        return frames
+
+    def unmap_page(self, vaddr: int) -> None:
+        """Clear the PTE for ``vaddr`` (page becomes non-present)."""
+        pde_i, pte_i, _ = _split(vaddr)
+        pt_frame = self._pt_frames.get(pde_i)
+        if pt_frame is None:
+            return
+        pte_addr = (pt_frame << PAGE_SHIFT) + 4 * pte_i
+        self.memory.write(pte_addr, _ENTRY.pack(0))
+
+
+class AddressTranslator:
+    """Walks guest page tables given only (physical memory, CR3).
+
+    This is the introspector's view: it holds no guest-side Python
+    state, so translation works across the isolation boundary purely
+    from bytes — the property that makes VMI introspection honest in
+    this simulation.
+    """
+
+    def __init__(self, memory: PhysicalMemory, cr3: int) -> None:
+        self.memory = memory
+        self.cr3 = cr3
+        self.walks = 0          # page-table walks performed (cost model input)
+
+    def translate(self, vaddr: int) -> int:
+        """VA → PA or raise :class:`PageFault`."""
+        if not (0 <= vaddr < 1 << 32):
+            raise PageFault(vaddr, f"non-canonical 32-bit VA {vaddr:#x}")
+        self.walks += 1
+        pde_i, pte_i, offset = _split(vaddr)
+        pd_base = self.cr3 & ~(PAGE_SIZE - 1)
+        pde, = _ENTRY.unpack(self.memory.read(pd_base + 4 * pde_i, 4))
+        if not pde & PTE_PRESENT:
+            raise PageFault(vaddr, f"PDE not present for {vaddr:#x}")
+        if pde & PDE_LARGE:
+            return (pde & ~(LARGE_PAGE_SIZE - 1)) | (vaddr
+                                                     & (LARGE_PAGE_SIZE - 1))
+        pt_base = pde & ~(PAGE_SIZE - 1)
+        pte, = _ENTRY.unpack(self.memory.read(pt_base + 4 * pte_i, 4))
+        if not pte & PTE_PRESENT:
+            raise PageFault(vaddr, f"PTE not present for {vaddr:#x}")
+        return (pte & ~(PAGE_SIZE - 1)) | offset
+
+    def read_virtual(self, vaddr: int, length: int) -> bytes:
+        """Read a VA range, translating page by page."""
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            va = vaddr + pos
+            n = min(PAGE_SIZE - (va & (PAGE_SIZE - 1)), length - pos)
+            pa = self.translate(va)
+            out[pos:pos + n] = self.memory.read(pa, n)
+            pos += n
+        return bytes(out)
+
+    def write_virtual(self, vaddr: int, data: bytes) -> None:
+        """Write a VA range (guest-internal use; VMI never writes)."""
+        pos = 0
+        while pos < len(data):
+            va = vaddr + pos
+            n = min(PAGE_SIZE - (va & (PAGE_SIZE - 1)), len(data) - pos)
+            pa = self.translate(va)
+            self.memory.write(pa, data[pos:pos + n])
+            pos += n

@@ -1,0 +1,65 @@
+"""Named virtual-address region bookkeeping.
+
+Purely diagnostic: the guest kernel records what it put where so tests
+and examples can assert layout properties without re-parsing guest
+memory. ModChecker itself never reads this map — it must find
+everything through introspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Region", "RegionMap"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named [base, base+size) VA range."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, vaddr: int) -> bool:
+        return self.base <= vaddr < self.end
+
+
+class RegionMap:
+    """Ordered collection of non-overlapping named regions."""
+
+    def __init__(self) -> None:
+        self._regions: list[Region] = []
+
+    def add(self, name: str, base: int, size: int) -> Region:
+        region = Region(name, base, size)
+        for other in self._regions:
+            if region.base < other.end and other.base < region.end:
+                raise ValueError(
+                    f"region {name!r} [{base:#x},{region.end:#x}) overlaps "
+                    f"{other.name!r} [{other.base:#x},{other.end:#x})")
+        self._regions.append(region)
+        return region
+
+    def find(self, vaddr: int) -> Region | None:
+        """The region containing ``vaddr``, or None."""
+        for region in self._regions:
+            if region.contains(vaddr):
+                return region
+        return None
+
+    def by_name(self, name: str) -> Region:
+        for region in self._regions:
+            if region.name == name:
+                return region
+        raise KeyError(name)
+
+    def __iter__(self):
+        return iter(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)

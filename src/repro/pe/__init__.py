@@ -1,0 +1,38 @@
+"""PE32 substrate: structures, builder, parser, relocations, codegen.
+
+This package plays the role of the real Portable Executable toolchain
+in the paper's environment — the format of every in-memory Windows
+kernel module that ModChecker inspects (paper §IV-B, Fig. 3).
+"""
+
+from . import constants
+from .builder import DriverBlueprint, ImportSpec, PEBuilder, build_driver
+from .checksum import pe_checksum
+from .disasm import (DisassemblyError, instruction_length,
+                     instructions_covering, walk_instructions)
+from .exports import build_export_block, parse_exports
+from .imports import ImportedSymbol, parse_imports
+from .codegen import (AbsRef, Cave, CodeLayout, FunctionInfo, generate_code,
+                      OPC_DEC_ECX)
+from .parser import PEImage, Region, map_file_to_memory
+from .relocations import (apply_relocations, build_reloc_section,
+                          parse_reloc_section, relocation_delta_sites)
+from .structures import (DataDirectory, DosHeader, FileHeader, OptionalHeader,
+                         SectionHeader)
+
+__all__ = [
+    "constants",
+    "DriverBlueprint", "ImportSpec", "PEBuilder", "build_driver",
+    "pe_checksum",
+    "DisassemblyError", "instruction_length", "instructions_covering",
+    "walk_instructions",
+    "build_export_block", "parse_exports",
+    "ImportedSymbol", "parse_imports",
+    "AbsRef", "Cave", "CodeLayout", "FunctionInfo", "generate_code",
+    "OPC_DEC_ECX",
+    "PEImage", "Region", "map_file_to_memory",
+    "apply_relocations", "build_reloc_section", "parse_reloc_section",
+    "relocation_delta_sites",
+    "DataDirectory", "DosHeader", "FileHeader", "OptionalHeader",
+    "SectionHeader",
+]

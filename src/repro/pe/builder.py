@@ -1,0 +1,412 @@
+"""PE32 driver image builder.
+
+Synthesizes complete, structurally-faithful kernel-module files — the
+stand-in for the real ``hal.dll``/``http.sys``/``dummy.sys`` binaries
+the paper infects. A built driver has:
+
+* DOS header + the canonical DOS stub ("This program cannot be run in
+  DOS mode." — the bytes experiment E3 patches);
+* NT headers (FILE + OPTIONAL with all 16 data directories, valid
+  ``CheckSum``);
+* ``.text`` from the synthetic code generator (absolute-address
+  operands + relocations), ``.rdata`` with a real import block
+  (descriptors, hint/name table, IAT) and a function-pointer table,
+  ``.data``, an executable ``INIT`` section, and a genuine ``.reloc``
+  section encoding every fixup site;
+* file layout aligned to ``FileAlignment`` and memory layout aligned to
+  ``SectionAlignment`` exactly as the XP-era linker would emit.
+
+The result is a :class:`DriverBlueprint` carrying both the raw file
+bytes (what the guest loader maps) and the ground-truth metadata
+(functions, caves, fixups) that the attack simulators consult — the
+"attacker has a disassembler" assumption.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from ..errors import PEBuildError
+from ..rng import derive_seed, make_rng
+from . import constants as C
+from .checksum import stamp_checksum
+from .exports import build_export_block
+from .codegen import Cave, CodeLayout, FunctionInfo, generate_code
+from .relocations import build_reloc_section
+from .structures import (DataDirectory, DosHeader, FileHeader, OptionalHeader,
+                         SectionHeader)
+
+__all__ = ["ImportSpec", "DriverBlueprint", "PEBuilder", "build_driver"]
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class ImportSpec:
+    """One imported DLL and the symbols pulled from it."""
+
+    dll: str
+    symbols: tuple[str, ...]
+
+
+_DEFAULT_IMPORTS = (
+    ImportSpec("ntoskrnl.exe", ("ExAllocatePoolWithTag", "ExFreePoolWithTag",
+                                "KeBugCheckEx", "IoCreateDevice")),
+    ImportSpec("HAL.dll", ("KfAcquireSpinLock", "KfReleaseSpinLock")),
+)
+
+
+@dataclass
+class DriverBlueprint:
+    """A fully-built driver: raw file bytes + ground-truth metadata."""
+
+    name: str
+    file_bytes: bytes
+    e_lfanew: int
+    dos_header: DosHeader
+    file_header: FileHeader
+    optional_header: OptionalHeader
+    sections: list[SectionHeader]
+    fixup_rvas: list[int]
+    text_rva: int
+    init_rva: int
+    code_layout: CodeLayout
+    init_layout: CodeLayout
+    imports: tuple[ImportSpec, ...]
+    iat_rva: int
+    export_dir_rva: int = 0
+    iat_slots: list[tuple[str, str, int]] = field(default_factory=list)
+    #: file offset of the DOS stub message within file_bytes
+    stub_offset: int = 0
+
+    # -- convenience views ---------------------------------------------------
+
+    @property
+    def image_base(self) -> int:
+        return self.optional_header.image_base
+
+    @property
+    def size_of_image(self) -> int:
+        return self.optional_header.size_of_image
+
+    def section(self, name: str) -> SectionHeader:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        raise KeyError(name)
+
+    def functions_rva(self) -> list[tuple[str, int, int]]:
+        """(name, rva, size) for every generated ``.text`` function."""
+        return [(fn.name, self.text_rva + fn.offset, fn.size)
+                for fn in self.code_layout.functions]
+
+    def entry_function(self) -> FunctionInfo:
+        return self.code_layout.functions[0]
+
+    def caves_rva(self) -> list[Cave]:
+        """Opcode caves translated to image RVAs."""
+        return [Cave(self.text_rva + cave.offset, cave.size)
+                for cave in self.code_layout.caves]
+
+
+class PEBuilder:
+    """Assembles one driver image. See module docstring for the layout."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        seed: int | None = None,
+        image_base: int = 0x0001_0000,
+        n_functions: int = 12,
+        avg_function_size: int = 160,
+        data_size: int = 0x800,
+        imports: tuple[ImportSpec, ...] = _DEFAULT_IMPORTS,
+        timestamp: int = 0x4F5A_2C00,      # fixed, like a real link date
+        dos_stub_message: bytes = C.DOS_STUB_MESSAGE,
+    ) -> None:
+        if not name:
+            raise PEBuildError("driver needs a name")
+        self.name = name
+        self.seed = derive_seed(seed, "pe-builder", name)
+        self.image_base = image_base
+        self.n_functions = n_functions
+        self.avg_function_size = avg_function_size
+        self.data_size = data_size
+        self.imports = imports
+        self.timestamp = timestamp
+        self.dos_stub_message = dos_stub_message
+
+    # -- pieces ---------------------------------------------------------------
+
+    def _build_dos(self) -> tuple[DosHeader, bytes, int]:
+        """DOS header + stub; returns (header, stub bytes, e_lfanew)."""
+        stub = bytearray()
+        # Tiny real-mode program: print message via int 21h, exit.
+        stub += bytes([0x0E, 0x1F, 0xBA, 0x0E, 0x00, 0xB4, 0x09, 0xCD,
+                       0x21, 0xB8, 0x01, 0x4C, 0xCD, 0x21])
+        stub += self.dos_stub_message
+        total = C.DOS_HEADER_SIZE + len(stub)
+        e_lfanew = _align(total, 8)
+        stub += b"\x00" * (e_lfanew - total)
+        fields = [0x0090, 0x0003, 0x0000, 0x0004, 0x0000, 0xFFFF, 0x0000,
+                  0x00B8, 0x0000, 0x0000, 0x0000, 0x0040, 0x0000, 0x0000]
+        fields += [0] * (29 - len(fields))
+        dos = DosHeader(e_fields=tuple(fields), e_lfanew=e_lfanew)
+        return dos, bytes(stub), e_lfanew
+
+    def _build_import_block(self, rdata_rva: int, base_off: int,
+                            ) -> tuple[bytes, int, list[tuple[str, str, int]]]:
+        """Import descriptors + hint/name table + IAT inside ``.rdata``.
+
+        Returns (blob, IAT offset within blob, IAT slot records). On
+        disk the IAT thunks hold hint/name RVAs; the guest loader
+        overwrites them with resolved addresses, just like Windows.
+        """
+        n_syms = sum(len(spec.symbols) for spec in self.imports)
+        n_dlls = len(self.imports)
+        desc_size = 20 * (n_dlls + 1)
+        # layout within blob: descriptors | OFT arrays | IAT arrays |
+        # hint/name entries | dll name strings
+        oft_off = desc_size
+        thunks_bytes = 4 * (n_syms + n_dlls)       # +1 null per dll
+        iat_off = oft_off + thunks_bytes
+        names_off = iat_off + thunks_bytes
+
+        hint_names: list[bytes] = []
+        hint_name_offs: list[int] = []
+        cursor = names_off
+        for spec in self.imports:
+            for sym in spec.symbols:
+                entry = struct.pack("<H", 0) + sym.encode() + b"\x00"
+                if len(entry) % 2:
+                    entry += b"\x00"
+                hint_name_offs.append(cursor)
+                hint_names.append(entry)
+                cursor += len(entry)
+        dll_name_offs: list[int] = []
+        dll_names: list[bytes] = []
+        for spec in self.imports:
+            raw = spec.dll.encode() + b"\x00"
+            dll_name_offs.append(cursor)
+            dll_names.append(raw)
+            cursor += len(raw)
+
+        blob = bytearray(cursor)
+        iat_slots: list[tuple[str, str, int]] = []
+        thunk_cursor = 0
+        sym_index = 0
+        descs = bytearray()
+        for d, spec in enumerate(self.imports):
+            oft_rva = rdata_rva + base_off + oft_off + 4 * thunk_cursor
+            iat_rva = rdata_rva + base_off + iat_off + 4 * thunk_cursor
+            descs += struct.pack("<IIIII", oft_rva, self.timestamp, 0,
+                                 rdata_rva + base_off + dll_name_offs[d],
+                                 iat_rva)
+            for sym in spec.symbols:
+                hn_rva = rdata_rva + base_off + hint_name_offs[sym_index]
+                o = oft_off + 4 * thunk_cursor
+                i = iat_off + 4 * thunk_cursor
+                blob[o:o + 4] = struct.pack("<I", hn_rva)
+                blob[i:i + 4] = struct.pack("<I", hn_rva)
+                iat_slots.append((spec.dll, sym,
+                                  rdata_rva + base_off + i))
+                sym_index += 1
+                thunk_cursor += 1
+            thunk_cursor += 1                      # null terminator thunk
+        descs += b"\x00" * 20                      # null descriptor
+        blob[:desc_size] = descs.ljust(desc_size, b"\x00")
+        for off, entry in zip(hint_name_offs, hint_names):
+            blob[off:off + len(entry)] = entry
+        for off, raw in zip(dll_name_offs, dll_names):
+            blob[off:off + len(raw)] = raw
+        return bytes(blob), iat_off, iat_slots
+
+    # -- assembly --------------------------------------------------------------
+
+    def build(self) -> DriverBlueprint:
+        rng = make_rng(self.seed)
+        dos, stub, e_lfanew = self._build_dos()
+
+        text_layout = generate_code(
+            n_functions=self.n_functions,
+            avg_function_size=self.avg_function_size,
+            data_size=self.data_size,
+            seed=derive_seed(self.seed, "text"),
+            entry_name="DriverEntry")
+        init_layout = generate_code(
+            n_functions=2, avg_function_size=64,
+            data_size=self.data_size,
+            seed=derive_seed(self.seed, "init"),
+            entry_name="DriverInit")
+
+        sec_align = C.DEFAULT_SECTION_ALIGNMENT
+        file_align = C.DEFAULT_FILE_ALIGNMENT
+
+        # --- provisional layout: assign RVAs in canonical order -------------
+        headers_size_est = (e_lfanew + 4 + FileHeader.SIZE
+                            + OptionalHeader.SIZE + 5 * SectionHeader.SIZE)
+        size_of_headers = _align(headers_size_est, file_align)
+
+        text_rva = _align(max(size_of_headers, sec_align), sec_align)
+        text_data = bytearray(text_layout.code)
+
+        rdata_rva = _align(text_rva + len(text_data), sec_align)
+        # .rdata = strings | export block | function-pointer table |
+        #          import block
+        strings = bytearray()
+        strings += f"\\Driver\\{self.name}\x00".encode()
+        strings += f"{self.name} (c) UNO reproduction\x00".encode()
+        strings += b"\x00" * ((-len(strings)) % 4)
+        export_off = len(strings)
+        export_blob = build_export_block(
+            self.name,
+            [(fn.name, text_rva + fn.offset) for fn in text_layout.functions],
+            rdata_rva + export_off, timestamp=self.timestamp)
+        export_blob += b"\x00" * ((-len(export_blob)) % 4)
+        fnptr_off = export_off + len(export_blob)
+        fn_table = bytearray()
+        for fn in text_layout.functions:
+            fn_table += struct.pack("<I", 0)       # patched below (abs addr)
+        import_off = fnptr_off + len(fn_table)
+        import_blob, iat_rel_off, iat_slots = self._build_import_block(
+            rdata_rva, import_off)
+        rdata_data = bytearray(strings + export_blob + fn_table + import_blob)
+        iat_rva = rdata_rva + import_off + iat_rel_off
+        export_dir_rva = rdata_rva + export_off
+
+        data_rva = _align(rdata_rva + len(rdata_data), sec_align)
+        data_data = bytearray(rng.integers(0, 256, size=self.data_size,
+                                           dtype="uint8").tobytes())
+        # a few pointer slots inside .data (fixups) referencing .text
+        n_data_ptrs = 6
+        for k in range(n_data_ptrs):
+            off = 16 * k
+            data_data[off:off + 4] = struct.pack("<I", 0)
+
+        init_rva = _align(data_rva + len(data_data), sec_align)
+        init_data = bytearray(init_layout.code)
+
+        reloc_rva = _align(init_rva + len(init_data), sec_align)
+
+        section_rvas = {".text": text_rva, ".rdata": rdata_rva,
+                        ".data": data_rva, "INIT": init_rva}
+
+        # --- resolve absolute references & collect fixups --------------------
+        fixup_rvas: list[int] = []
+
+        def patch_abs(buf: bytearray, slot_off: int, sec_rva: int,
+                      target_rva: int) -> None:
+            buf[slot_off:slot_off + 4] = struct.pack(
+                "<I", (self.image_base + target_rva) & 0xFFFFFFFF)
+            fixup_rvas.append(sec_rva + slot_off)
+
+        for ref in text_layout.refs:
+            patch_abs(text_data, ref.slot_offset, text_rva,
+                      section_rvas[ref.target_section] + ref.target_offset)
+        for ref in init_layout.refs:
+            patch_abs(init_data, ref.slot_offset, init_rva,
+                      section_rvas[ref.target_section] + ref.target_offset)
+        for i, fn in enumerate(text_layout.functions):
+            patch_abs(rdata_data, fnptr_off + 4 * i, rdata_rva,
+                      text_rva + fn.offset)
+        for k in range(n_data_ptrs):
+            fn = text_layout.functions[k % len(text_layout.functions)]
+            patch_abs(data_data, 16 * k, data_rva, text_rva + fn.offset)
+
+        reloc_data = bytearray(build_reloc_section(fixup_rvas))
+        size_of_image = _align(reloc_rva + max(len(reloc_data), 1), sec_align)
+
+        # --- section headers --------------------------------------------------
+        raw_cursor = size_of_headers
+
+        def make_section(name: str, rva: int, data: bytearray,
+                         characteristics: int) -> SectionHeader:
+            nonlocal raw_cursor
+            raw_size = _align(len(data), file_align)
+            hdr = SectionHeader(
+                name=name, virtual_size=len(data), virtual_address=rva,
+                size_of_raw_data=raw_size, pointer_to_raw_data=raw_cursor,
+                characteristics=characteristics)
+            raw_cursor += raw_size
+            return hdr
+
+        sec_text = make_section(".text", text_rva, text_data,
+                                C.TEXT_CHARACTERISTICS)
+        sec_rdata = make_section(".rdata", rdata_rva, rdata_data,
+                                 C.RDATA_CHARACTERISTICS)
+        sec_data = make_section(".data", data_rva, data_data,
+                                C.DATA_CHARACTERISTICS)
+        sec_init = make_section("INIT", init_rva, init_data,
+                                C.TEXT_CHARACTERISTICS | C.SCN_MEM_DISCARDABLE)
+        sec_reloc = make_section(".reloc", reloc_rva, reloc_data,
+                                 C.RELOC_CHARACTERISTICS)
+        sections = [sec_text, sec_rdata, sec_data, sec_init, sec_reloc]
+
+        file_header = FileHeader(
+            number_of_sections=len(sections),
+            time_date_stamp=self.timestamp,
+            characteristics=(C.FILE_EXECUTABLE_IMAGE | C.FILE_32BIT_MACHINE
+                             | C.FILE_LINE_NUMS_STRIPPED
+                             | C.FILE_LOCAL_SYMS_STRIPPED))
+
+        optional = OptionalHeader(
+            size_of_code=sec_text.size_of_raw_data + sec_init.size_of_raw_data,
+            size_of_initialized_data=(sec_rdata.size_of_raw_data
+                                      + sec_data.size_of_raw_data
+                                      + sec_reloc.size_of_raw_data),
+            address_of_entry_point=text_rva + text_layout.functions[0].offset,
+            base_of_code=text_rva,
+            base_of_data=rdata_rva,
+            image_base=self.image_base,
+            size_of_image=size_of_image,
+            size_of_headers=size_of_headers,
+        )
+        optional = optional.with_directory(C.DIR_EXPORT, export_dir_rva,
+                                           len(export_blob))
+        optional = optional.with_directory(C.DIR_IMPORT,
+                                           rdata_rva + import_off,
+                                           len(import_blob))
+        optional = optional.with_directory(C.DIR_BASERELOC, reloc_rva,
+                                           len(reloc_data))
+
+        # --- serialize the file ------------------------------------------------
+        out = bytearray()
+        out += dos.pack()
+        out += stub
+        assert len(out) == e_lfanew
+        out += C.NT_SIGNATURE
+        out += file_header.pack()
+        out += optional.pack()
+        for sec in sections:
+            out += sec.pack()
+        out += b"\x00" * (size_of_headers - len(out))
+        for sec, data in zip(sections, (text_data, rdata_data, data_data,
+                                        init_data, reloc_data)):
+            assert len(out) == sec.pointer_to_raw_data
+            out += bytes(data).ljust(sec.size_of_raw_data, b"\x00")
+
+        stamp_checksum(out, e_lfanew)
+        # Re-read optional header so the blueprint carries the stamped
+        # checksum value.
+        opt_off = e_lfanew + 4 + FileHeader.SIZE
+        optional = OptionalHeader.unpack(
+            bytes(out[opt_off:opt_off + OptionalHeader.SIZE]))
+
+        return DriverBlueprint(
+            name=self.name, file_bytes=bytes(out), e_lfanew=e_lfanew,
+            dos_header=dos, file_header=file_header, optional_header=optional,
+            sections=sections, fixup_rvas=sorted(fixup_rvas),
+            text_rva=text_rva, init_rva=init_rva,
+            code_layout=text_layout, init_layout=init_layout,
+            imports=self.imports, iat_rva=iat_rva,
+            export_dir_rva=export_dir_rva, iat_slots=iat_slots,
+            stub_offset=C.DOS_HEADER_SIZE + 14)
+
+
+def build_driver(name: str, **kwargs) -> DriverBlueprint:
+    """One-call convenience wrapper around :class:`PEBuilder`."""
+    return PEBuilder(name, **kwargs).build()

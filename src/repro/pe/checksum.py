@@ -1,0 +1,51 @@
+"""PE optional-header checksum (the ``CheckSum`` field).
+
+Implements the classic MS algorithm (16-bit one's-complement style sum
+over the whole file with the checksum field itself zeroed, plus the file
+length). Drivers are required to carry a valid checksum; the builder
+stamps it and tests verify round-trips. Attack E4's header rewrite
+deliberately leaves the checksum stale — one more header discrepancy for
+ModChecker to notice.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+__all__ = ["pe_checksum", "CHECKSUM_FIELD_OFFSET_IN_OPTIONAL"]
+
+#: Offset of CheckSum within IMAGE_OPTIONAL_HEADER (PE32).
+CHECKSUM_FIELD_OFFSET_IN_OPTIONAL = 64
+
+
+def pe_checksum(data: bytes, checksum_file_offset: int) -> int:
+    """Compute the PE image checksum of ``data``.
+
+    ``checksum_file_offset`` is the file offset of the 4-byte CheckSum
+    field, which is treated as zero during summation (so a stamped file
+    validates against itself).
+    """
+    buf = bytearray(data)
+    if checksum_file_offset + 4 > len(buf):
+        raise ValueError("checksum field outside file")
+    buf[checksum_file_offset:checksum_file_offset + 4] = b"\x00\x00\x00\x00"
+    if len(buf) % 2:
+        buf.append(0)
+
+    words = np.frombuffer(bytes(buf), dtype="<u2").astype(np.uint64)
+    total = int(words.sum())
+    # Fold carries back into 16 bits.
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (total + len(data)) & 0xFFFFFFFF
+
+
+def stamp_checksum(file_bytes: bytearray, e_lfanew: int) -> int:
+    """Compute and write the checksum into a built PE file; return it."""
+    # CheckSum lives at e_lfanew + 4 (signature) + 20 (file header) + 64.
+    off = e_lfanew + 4 + 20 + CHECKSUM_FIELD_OFFSET_IN_OPTIONAL
+    value = pe_checksum(bytes(file_bytes), off)
+    file_bytes[off:off + 4] = struct.pack("<I", value)
+    return value

@@ -1,0 +1,254 @@
+"""Synthetic 32-bit code generator for driver ``.text`` sections.
+
+We have no real ``hal.dll``/``http.sys`` binaries offline, so this
+module fabricates instruction streams with the properties ModChecker's
+evaluation depends on:
+
+* **embedded absolute addresses** — instructions like
+  ``MOV EAX, [addr32]`` / ``CALL [addr32]`` carry 32-bit operands that
+  the loader rebases, so two VMs' copies of one module differ exactly at
+  these sites (the precondition for Algorithm 2);
+* **relative calls** (``E8 rel32``) that need *no* relocation and must
+  survive the RVA adjustment untouched;
+* **function structure** — prologue/epilogue framing with zero-byte
+  padding between functions ("opcode caves"), which the inline-hooking
+  attack (experiment E2) uses to hide its payload;
+* a guaranteed ``DEC ECX`` (opcode ``49``) in the entry function, the
+  exact instruction experiment E1 rewrites to ``SUB ECX, 1``
+  (``83 E9 01``).
+
+The encodings are genuine x86-32 so attack payloads splice in
+seamlessly, but the generator is *not* a compiler: bodies are random
+instruction salads, which is all integrity hashing needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..rng import make_rng
+
+__all__ = [
+    "AbsRef",
+    "FunctionInfo",
+    "Cave",
+    "CodeLayout",
+    "generate_code",
+    "OPC_DEC_ECX",
+    "PROLOGUE",
+    "EPILOGUE",
+]
+
+OPC_DEC_ECX = 0x49
+PROLOGUE = bytes([0x55, 0x8B, 0xEC])       # push ebp; mov ebp, esp
+EPILOGUE = bytes([0x5D, 0xC3])             # pop ebp; ret
+
+
+@dataclass(frozen=True)
+class AbsRef:
+    """A 32-bit absolute-address operand slot awaiting layout.
+
+    ``slot_offset`` is the offset of the 4-byte operand *within the
+    code blob*; the final stored value is
+    ``image_base + rva(target_section) + target_offset`` and the slot
+    gets a HIGHLOW relocation entry.
+    """
+
+    slot_offset: int
+    target_section: str
+    target_offset: int
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One generated function: half-open byte range plus instruction map."""
+
+    name: str
+    offset: int
+    size: int
+    instruction_offsets: tuple[int, ...]
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+@dataclass(frozen=True)
+class Cave:
+    """A run of zero padding between functions (an "opcode cave")."""
+
+    offset: int
+    size: int
+
+
+@dataclass
+class CodeLayout:
+    """Output of :func:`generate_code` — code plus its metadata."""
+
+    code: bytearray
+    refs: list[AbsRef] = field(default_factory=list)
+    functions: list[FunctionInfo] = field(default_factory=list)
+    caves: list[Cave] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionInfo:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def largest_cave(self) -> Cave | None:
+        return max(self.caves, key=lambda c: c.size, default=None)
+
+
+# Simple opcodes with no operands / immediate-only operands. Each entry
+# is an encoder: rng -> bytes.
+def _enc_nop(rng: np.random.Generator) -> bytes:
+    return b"\x90"
+
+
+def _enc_inc_dec(rng: np.random.Generator) -> bytes:
+    # inc/dec reg — 0x40..0x4F, but avoid 0x49 (DEC ECX) so its
+    # occurrences are exactly where we plant them deliberately.
+    op = 0x40 + int(rng.integers(0, 16))
+    if op == OPC_DEC_ECX:
+        op = 0x48
+    return bytes([op])
+
+
+def _enc_push_pop(rng: np.random.Generator) -> bytes:
+    return bytes([0x50 + int(rng.integers(0, 16))])
+
+
+def _enc_mov_rr(rng: np.random.Generator) -> bytes:
+    return bytes([0x8B, 0xC0 | int(rng.integers(0, 64))])
+
+
+def _enc_xor_rr(rng: np.random.Generator) -> bytes:
+    return bytes([0x33, 0xC0 | int(rng.integers(0, 64))])
+
+
+def _enc_test_rr(rng: np.random.Generator) -> bytes:
+    return bytes([0x85, 0xC0 | int(rng.integers(0, 64))])
+
+
+def _enc_alu_imm8(rng: np.random.Generator) -> bytes:
+    # 83 /r imm8 family (add/sub/cmp with sign-extended imm8)
+    modrm = 0xC0 | (int(rng.integers(0, 8)) << 3) | int(rng.integers(0, 8))
+    return bytes([0x83, modrm, int(rng.integers(1, 128))])
+
+
+def _enc_jcc8(rng: np.random.Generator) -> bytes:
+    # jcc rel8 with rel8=0: a conditional branch to fall-through —
+    # valid encoding, layout-independent target.
+    return bytes([0x70 + int(rng.integers(0, 16)), 0x00])
+
+
+def _enc_jcc32(rng: np.random.Generator) -> bytes:
+    # 0F 8x rel32 near-conditional form, rel32=0.
+    return bytes([0x0F, 0x80 + int(rng.integers(0, 16)), 0, 0, 0, 0])
+
+
+_PLAIN_ENCODERS = (
+    _enc_nop, _enc_inc_dec, _enc_push_pop, _enc_mov_rr,
+    _enc_xor_rr, _enc_test_rr, _enc_alu_imm8, _enc_jcc8, _enc_jcc32,
+)
+
+# Absolute-operand instruction templates: (prefix bytes, description).
+# The 4-byte operand slot follows the prefix immediately.
+_ABS_TEMPLATES = (
+    b"\xA1",          # mov eax, [abs32]
+    b"\xA3",          # mov [abs32], eax
+    b"\x8B\x0D",      # mov ecx, [abs32]
+    b"\xFF\x15",      # call dword ptr [abs32]
+    b"\xFF\x25",      # jmp  dword ptr [abs32]
+    b"\x68",          # push imm32 (address of a data object)
+)
+
+
+def generate_code(
+    *,
+    n_functions: int = 12,
+    avg_function_size: int = 160,
+    abs_ref_density: float = 0.08,
+    rel_call_density: float = 0.05,
+    data_section: str = ".data",
+    data_size: int = 0x800,
+    seed: int | None = None,
+    entry_name: str = "DriverEntry",
+) -> CodeLayout:
+    """Generate a deterministic ``.text`` blob.
+
+    ``abs_ref_density`` / ``rel_call_density`` are per-instruction
+    probabilities of emitting an absolute-address instruction (which
+    records an :class:`AbsRef`) or a ``CALL rel32`` to an already-placed
+    function. The entry function is always first, carries the canonical
+    prologue and one guaranteed ``DEC ECX`` followed by at least two
+    more instruction bytes (the byte window experiment E1 overwrites).
+    """
+    if n_functions < 1:
+        raise ValueError("need at least one function")
+    rng = make_rng(seed)
+    layout = CodeLayout(code=bytearray())
+    code = layout.code
+
+    def emit(b: bytes) -> int:
+        off = len(code)
+        code.extend(b)
+        return off
+
+    for fn_index in range(n_functions):
+        name = entry_name if fn_index == 0 else f"fn_{fn_index:03d}"
+        start = len(code)
+        instr_offsets: list[int] = []
+
+        instr_offsets.append(emit(PROLOGUE[:1]))
+        instr_offsets.append(emit(PROLOGUE[1:]))
+
+        if fn_index == 0:
+            # Deterministic E1 target: DEC ECX then filler the overwrite
+            # can spill into.
+            instr_offsets.append(emit(bytes([OPC_DEC_ECX])))
+            instr_offsets.append(emit(b"\x90"))
+            instr_offsets.append(emit(b"\x90"))
+
+        target = max(16, int(rng.normal(avg_function_size,
+                                        avg_function_size / 4)))
+        while len(code) - start < target:
+            roll = rng.random()
+            if roll < abs_ref_density:
+                template = _ABS_TEMPLATES[int(rng.integers(0, len(_ABS_TEMPLATES)))]
+                off = emit(template)
+                slot = len(code)
+                target_off = int(rng.integers(0, max(4, data_size - 4)))
+                layout.refs.append(AbsRef(slot, data_section, target_off))
+                emit(struct.pack("<I", 0))          # placeholder, builder fills
+                instr_offsets.append(off)
+            elif roll < abs_ref_density + rel_call_density and layout.functions:
+                callee = layout.functions[int(rng.integers(0, len(layout.functions)))]
+                off = emit(b"\xE8")
+                next_ip = len(code) + 4
+                emit(struct.pack("<i", callee.offset - next_ip))
+                instr_offsets.append(off)
+            else:
+                enc = _PLAIN_ENCODERS[int(rng.integers(0, len(_PLAIN_ENCODERS)))]
+                instr_offsets.append(emit(enc(rng)))
+
+        instr_offsets.append(emit(EPILOGUE[:1]))   # pop ebp
+        instr_offsets.append(emit(EPILOGUE[1:]))   # ret
+        size = len(code) - start
+        layout.functions.append(
+            FunctionInfo(name, start, size, tuple(instr_offsets)))
+
+        # Opcode cave: pad to 16-byte alignment, plus an occasional
+        # deliberately roomy cave so inline hooking always finds space.
+        pad = (-len(code)) % 16
+        if fn_index % 4 == 1 or pad < 8:
+            pad += 16 * int(rng.integers(1, 4))
+        if pad:
+            layout.caves.append(Cave(len(code), pad))
+            emit(b"\x00" * pad)
+
+    return layout

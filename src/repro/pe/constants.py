@@ -1,0 +1,86 @@
+"""PE32 format constants.
+
+Values are taken from the Microsoft PE/COFF specification ("Peering
+inside the PE", MSDN — reference [23] of the paper). Only the subset a
+32-bit XP-era kernel module exercises is defined, but the values are the
+real ones so images built here are structurally faithful.
+"""
+
+from __future__ import annotations
+
+# --- magic numbers ---------------------------------------------------------
+
+DOS_MAGIC = b"MZ"                # IMAGE_DOS_HEADER.e_magic
+NT_SIGNATURE = b"PE\x00\x00"     # IMAGE_NT_HEADERS.Signature
+OPTIONAL_MAGIC_PE32 = 0x010B     # IMAGE_OPTIONAL_HEADER.Magic (PE32)
+
+# --- sizes (bytes) ---------------------------------------------------------
+
+DOS_HEADER_SIZE = 64
+FILE_HEADER_SIZE = 20
+OPTIONAL_HEADER_SIZE_PE32 = 224  # incl. 16 data directories
+SECTION_HEADER_SIZE = 40
+DATA_DIRECTORY_COUNT = 16
+PAGE_SIZE = 0x1000
+
+# --- IMAGE_FILE_HEADER.Machine ---------------------------------------------
+
+MACHINE_I386 = 0x014C
+
+# --- IMAGE_FILE_HEADER.Characteristics -------------------------------------
+
+FILE_RELOCS_STRIPPED = 0x0001
+FILE_EXECUTABLE_IMAGE = 0x0002
+FILE_LINE_NUMS_STRIPPED = 0x0004
+FILE_LOCAL_SYMS_STRIPPED = 0x0008
+FILE_32BIT_MACHINE = 0x0100
+FILE_DLL = 0x2000
+
+# --- IMAGE_OPTIONAL_HEADER.Subsystem ---------------------------------------
+
+SUBSYSTEM_NATIVE = 0x0001        # drivers are "native" subsystem images
+
+# --- IMAGE_SECTION_HEADER.Characteristics ----------------------------------
+
+SCN_CNT_CODE = 0x00000020
+SCN_CNT_INITIALIZED_DATA = 0x00000040
+SCN_CNT_UNINITIALIZED_DATA = 0x00000080
+SCN_MEM_DISCARDABLE = 0x02000000
+SCN_MEM_EXECUTE = 0x20000000
+SCN_MEM_READ = 0x40000000
+SCN_MEM_WRITE = 0x80000000
+
+#: Characteristics of a typical ``.text`` section.
+TEXT_CHARACTERISTICS = SCN_CNT_CODE | SCN_MEM_EXECUTE | SCN_MEM_READ
+#: Characteristics of a typical read-only data section.
+RDATA_CHARACTERISTICS = SCN_CNT_INITIALIZED_DATA | SCN_MEM_READ
+#: Characteristics of a typical writable data section.
+DATA_CHARACTERISTICS = SCN_CNT_INITIALIZED_DATA | SCN_MEM_READ | SCN_MEM_WRITE
+#: Characteristics of a ``.reloc`` section.
+RELOC_CHARACTERISTICS = (
+    SCN_CNT_INITIALIZED_DATA | SCN_MEM_READ | SCN_MEM_DISCARDABLE
+)
+
+# --- data directory indices -------------------------------------------------
+
+DIR_EXPORT = 0
+DIR_IMPORT = 1
+DIR_BASERELOC = 5
+
+# --- base relocation types ---------------------------------------------------
+
+REL_BASED_ABSOLUTE = 0           # padding entry, no fixup
+REL_BASED_HIGHLOW = 3            # full 32-bit fixup (the only one XP drivers need)
+
+# --- DOS stub ----------------------------------------------------------------
+
+#: The canonical DOS stub message every MS linker emits. Experiment E3
+#: patches the "DOS" inside it to "CHK".
+DOS_STUB_MESSAGE = b"This program cannot be run in DOS mode.\r\r\n$"
+
+#: Default alignment values used by the XP-era linker for drivers.
+DEFAULT_SECTION_ALIGNMENT = 0x1000   # in-memory alignment (one page)
+DEFAULT_FILE_ALIGNMENT = 0x200
+
+#: Canonical kernel-module section names in layout order.
+CANONICAL_SECTIONS = (".text", ".rdata", ".data", "INIT", ".reloc")

@@ -1,0 +1,118 @@
+"""Length-decoder for the generator's x86-32 subset.
+
+A real attacker (and tools like OllyDbg or Detours) must find
+instruction boundaries from raw bytes to know how many instructions a
+5-byte hook clobbers. This module decodes the exact instruction subset
+:mod:`repro.pe.codegen` emits plus the attack-injected ones, so the
+inline-hook machinery can operate bytes-only — and a property test
+cross-checks every decoded boundary against the generator's ground
+truth.
+
+Not a general x86 decoder: unknown opcodes raise, loudly, rather than
+guessing (guessing is how real hooking engines corrupt code).
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+__all__ = ["DisassemblyError", "instruction_length", "walk_instructions",
+           "instructions_covering"]
+
+
+class DisassemblyError(ReproError):
+    """An opcode outside the supported subset."""
+
+
+def instruction_length(code: bytes, offset: int = 0) -> int:
+    """Length in bytes of the instruction at ``offset``."""
+    if offset >= len(code):
+        raise DisassemblyError("offset beyond code")
+    op = code[offset]
+
+    # one-byte: nop, inc/dec reg, push/pop reg, pushad/popad,
+    # prologue/epilogue pieces, ret, int3, cave zero-fill
+    if op == 0x90 or 0x40 <= op <= 0x5F or op in (0x55, 0x5D, 0xC3,
+                                                  0x60, 0x61, 0xCC, 0x00):
+        return 1
+    # two-byte reg/reg forms: mov/xor/test/mov-ebp-esp
+    if op in (0x8B, 0x33, 0x85):
+        if offset + 1 >= len(code):
+            raise DisassemblyError("truncated modrm")
+        modrm = code[offset + 1]
+        if modrm >= 0xC0:                    # register-direct
+            return 2
+        if op == 0x8B and modrm & 0xC7 == 0x05:   # mov r32, [disp32]
+            return 6
+        raise DisassemblyError(
+            f"unsupported modrm {modrm:#04x} for opcode {op:#04x}")
+    # 83 /r imm8 ALU group (register-direct only in our subset)
+    if op == 0x83:
+        if offset + 1 >= len(code) or code[offset + 1] < 0xC0:
+            raise DisassemblyError("unsupported 83 form")
+        return 3
+    # moffs forms: mov eax,[abs32] / mov [abs32],eax
+    if op in (0xA1, 0xA3):
+        return 5
+    # push imm32
+    if op == 0x68:
+        return 5
+    # call/jmp rel32
+    if op in (0xE8, 0xE9):
+        return 5
+    # jmp $ (EB imm8) and jcc rel8
+    if op == 0xEB or 0x70 <= op <= 0x7F:
+        return 2
+    # 0F-prefixed: jcc rel32
+    if op == 0x0F:
+        if offset + 1 >= len(code):
+            raise DisassemblyError("truncated 0F prefix")
+        ext = code[offset + 1]
+        if 0x80 <= ext <= 0x8F:
+            return 6
+        raise DisassemblyError(f"unsupported 0F {ext:#04x}")
+    # FF /2 call [abs32], FF /4 jmp [abs32]
+    if op == 0xFF:
+        if offset + 1 >= len(code):
+            raise DisassemblyError("truncated FF")
+        modrm = code[offset + 1]
+        if modrm in (0x15, 0x25):
+            return 6
+        raise DisassemblyError(f"unsupported FF modrm {modrm:#04x}")
+    raise DisassemblyError(f"unknown opcode {op:#04x} at {offset:#x}")
+
+
+def walk_instructions(code: bytes, start: int, end: int) -> list[int]:
+    """Instruction start offsets in ``[start, end)``.
+
+    Raises :class:`DisassemblyError` if decoding desynchronises past
+    ``end`` or meets an unknown opcode.
+    """
+    offsets = []
+    cursor = start
+    while cursor < end:
+        offsets.append(cursor)
+        cursor += instruction_length(code, cursor)
+    if cursor != end:
+        raise DisassemblyError(
+            f"decode desynchronised: landed at {cursor:#x}, "
+            f"expected {end:#x}")
+    return offsets
+
+
+def instructions_covering(code: bytes, start: int, end: int,
+                          n_bytes: int) -> int:
+    """Bytes of whole instructions covering the first ``n_bytes``.
+
+    What a hooking engine computes before overwriting an entry point:
+    the smallest instruction-aligned prefix >= ``n_bytes``.
+    """
+    covered = 0
+    for off in walk_instructions(code, start, end):
+        if covered >= n_bytes:
+            break
+        covered = off - start + instruction_length(code, off)
+    if covered < n_bytes:
+        raise DisassemblyError(
+            f"function too short to cover {n_bytes} bytes")
+    return covered

@@ -1,0 +1,98 @@
+"""Import-table parsing: ``IMAGE_IMPORT_DESCRIPTOR`` chains.
+
+The builder writes a real import block (descriptors, hint/name table,
+IAT); this module reads it back from image bytes, so the guest loader
+can resolve imports the way Windows does — from the file alone, with no
+out-of-band metadata. Layout per descriptor (20 bytes)::
+
+    +0  OriginalFirstThunk   RVA of the lookup (OFT) array
+    +4  TimeDateStamp
+    +8  ForwarderChain
+    +12 Name                 RVA of the DLL name string
+    +16 FirstThunk           RVA of the IAT array (loader overwrites)
+
+Both thunk arrays hold RVAs of ``IMAGE_IMPORT_BY_NAME`` (WORD hint +
+ASCII name) and end with a zero thunk.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import PEFormatError
+
+__all__ = ["ImportedSymbol", "parse_imports"]
+
+_DESCRIPTOR = struct.Struct("<IIIII")
+#: sanity bound: more imports than this means a corrupted table
+MAX_IMPORTS = 4096
+
+
+@dataclass(frozen=True)
+class ImportedSymbol:
+    """One resolved-at-load import: which DLL, which name, which slot."""
+
+    dll: str
+    symbol: str
+    iat_slot_rva: int
+    hint: int = 0
+
+
+def _read_cstr(image: bytes, rva: int, limit: int = 256) -> str:
+    if rva >= len(image):
+        raise PEFormatError(f"string RVA {rva:#x} outside image")
+    end = image.find(b"\x00", rva, rva + limit)
+    if end < 0:
+        raise PEFormatError(f"unterminated string at {rva:#x}")
+    return image[rva:end].decode("ascii", errors="replace")
+
+
+def parse_imports(image: bytes, dir_rva: int,
+                  dir_size: int) -> list[ImportedSymbol]:
+    """Decode the import directory of a memory-mapped image.
+
+    Uses the OFT (lookup) array for names — the IAT may already have
+    been overwritten by a loader — and returns IAT slot RVAs in
+    descriptor order. Bounds-checked against hostile images.
+    """
+    if dir_size == 0:
+        return []
+    if dir_rva + _DESCRIPTOR.size > len(image):
+        raise PEFormatError("import directory outside image")
+
+    out: list[ImportedSymbol] = []
+    pos = dir_rva
+    while True:
+        if pos + _DESCRIPTOR.size > len(image):
+            raise PEFormatError("import descriptor table truncated")
+        oft, _stamp, _fwd, name_rva, iat = _DESCRIPTOR.unpack_from(image, pos)
+        if oft == 0 and name_rva == 0 and iat == 0:
+            break                                # null terminator
+        dll = _read_cstr(image, name_rva)
+        lookup = oft or iat                      # some linkers omit OFT
+        index = 0
+        while True:
+            slot_rva = lookup + 4 * index
+            if slot_rva + 4 > len(image):
+                raise PEFormatError(f"{dll}: thunk array runs off image")
+            thunk, = struct.unpack_from("<I", image, slot_rva)
+            if thunk == 0:
+                break
+            if thunk & 0x8000_0000:
+                # import by ordinal: no name string
+                out.append(ImportedSymbol(dll, f"#{thunk & 0xFFFF}",
+                                          iat + 4 * index,
+                                          hint=thunk & 0xFFFF))
+            else:
+                if thunk + 2 > len(image):
+                    raise PEFormatError(f"{dll}: hint/name outside image")
+                hint, = struct.unpack_from("<H", image, thunk)
+                symbol = _read_cstr(image, thunk + 2)
+                out.append(ImportedSymbol(dll, symbol, iat + 4 * index,
+                                          hint=hint))
+            index += 1
+            if len(out) > MAX_IMPORTS:
+                raise PEFormatError("implausibly many imports")
+        pos += _DESCRIPTOR.size
+    return out

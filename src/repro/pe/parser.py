@@ -1,0 +1,169 @@
+"""PE32 image parsing — the format side of the paper's Module-Parser.
+
+:class:`PEImage` consumes a *memory-mapped* module image (RVA-indexed
+bytes, exactly what Module-Searcher copies out of a guest VM) and walks
+the header chain of the paper's Algorithm 1: verify ``MZ``, follow
+``e_lfanew``, verify ``PE\\0\\0``, read the FILE and OPTIONAL headers,
+then ``NumberOfSections`` section headers, then slice each section's
+data via ``VirtualAddress``/``VirtualSize``.
+
+It also exposes the **region map** ModChecker hashes:
+
+======================  =====================================================
+region name             bytes covered
+======================  =====================================================
+``IMAGE_DOS_HEADER``    offset 0 .. ``e_lfanew`` (64-byte header **plus** the
+                        DOS stub — the paper's E3 experiment shows the stub
+                        text is part of their DOS-header hash)
+``IMAGE_NT_HEADER``     signature + ``IMAGE_FILE_HEADER``
+``IMAGE_OPTIONAL_HEADER``  the 224-byte PE32 optional header
+``SECTION_HEADER[<n>]`` one 40-byte header per section
+``<section name>``      section data, executable sections only
+======================  =====================================================
+
+:func:`map_file_to_memory` performs the *mapping* half of a loader:
+copy headers, then place each section's raw data at its RVA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PEFormatError
+from . import constants as C
+from .structures import DosHeader, FileHeader, OptionalHeader, SectionHeader
+
+__all__ = ["Region", "PEImage", "map_file_to_memory"]
+
+#: Upper bound accepted for NumberOfSections; real images stay tiny and
+#: a huge value in a corrupted/hostile image must not make the parser
+#: allocate unbounded memory.
+MAX_SECTIONS = 96
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, half-open byte range of the image used for hashing."""
+
+    name: str
+    start: int
+    end: int
+
+    def slice(self, buf: bytes) -> bytes:
+        return bytes(buf[self.start:self.end])
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class PEImage:
+    """A parsed memory-mapped PE32 module."""
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = bytes(buf)
+        self.dos_header = DosHeader.unpack(self.buf)
+        e_lfanew = self.dos_header.e_lfanew
+        if not (DosHeader.SIZE <= e_lfanew <= len(self.buf) - 4):
+            raise PEFormatError(f"e_lfanew {e_lfanew:#x} out of range")
+        self.e_lfanew = e_lfanew
+        if self.buf[e_lfanew:e_lfanew + 4] != C.NT_SIGNATURE:
+            raise PEFormatError("missing PE signature")
+        file_off = e_lfanew + 4
+        self.file_header = FileHeader.unpack(self.buf[file_off:])
+        if self.file_header.number_of_sections > MAX_SECTIONS:
+            raise PEFormatError(
+                f"implausible NumberOfSections "
+                f"{self.file_header.number_of_sections}")
+        opt_off = file_off + FileHeader.SIZE
+        if self.file_header.size_of_optional_header < OptionalHeader.SIZE:
+            raise PEFormatError("optional header too small for PE32")
+        self.optional_header = OptionalHeader.unpack(self.buf[opt_off:])
+        self.optional_offset = opt_off
+
+        sec_off = opt_off + self.file_header.size_of_optional_header
+        self.section_table_offset = sec_off
+        self.sections: list[SectionHeader] = []
+        for i in range(self.file_header.number_of_sections):
+            off = sec_off + i * SectionHeader.SIZE
+            if off + SectionHeader.SIZE > len(self.buf):
+                raise PEFormatError("section table truncated")
+            self.sections.append(SectionHeader.unpack(self.buf[off:]))
+
+        for sec in self.sections:
+            if sec.virtual_address + sec.virtual_size > len(self.buf):
+                raise PEFormatError(
+                    f"section {sec.name!r} extends past image end")
+
+    # -- accessors -------------------------------------------------------------
+
+    def section(self, name: str) -> SectionHeader:
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        raise KeyError(name)
+
+    def section_data(self, name: str) -> bytes:
+        sec = self.section(name)
+        return self.buf[sec.virtual_address:sec.virtual_address
+                        + sec.virtual_size]
+
+    def executable_sections(self) -> list[SectionHeader]:
+        """Sections whose Characteristics flag MEM_EXECUTE (Algorithm 1's
+        selection criterion)."""
+        return [s for s in self.sections if s.is_executable]
+
+    # -- hashing regions ---------------------------------------------------------
+
+    def header_regions(self) -> list[Region]:
+        """The header regions ModChecker hashes, in file order."""
+        regions = [
+            Region("IMAGE_DOS_HEADER", 0, self.e_lfanew),
+            Region("IMAGE_NT_HEADER", self.e_lfanew,
+                   self.e_lfanew + 4 + FileHeader.SIZE),
+            Region("IMAGE_OPTIONAL_HEADER", self.optional_offset,
+                   self.optional_offset
+                   + self.file_header.size_of_optional_header),
+        ]
+        for i, sec in enumerate(self.sections):
+            off = self.section_table_offset + i * SectionHeader.SIZE
+            regions.append(Region(f"SECTION_HEADER[{sec.name}]", off,
+                                  off + SectionHeader.SIZE))
+        return regions
+
+    def code_regions(self) -> list[Region]:
+        """Executable section-data regions (what Algorithm 2 adjusts)."""
+        return [Region(sec.name, sec.virtual_address,
+                       sec.virtual_address + sec.virtual_size)
+                for sec in self.executable_sections()]
+
+    def all_regions(self) -> list[Region]:
+        return self.header_regions() + self.code_regions()
+
+
+def map_file_to_memory(file_bytes: bytes) -> bytearray:
+    """Map an on-disk PE file into its in-memory image layout.
+
+    Returns a buffer of ``SizeOfImage`` bytes: headers at offset 0, each
+    section's raw data copied to its ``VirtualAddress``, gaps
+    zero-filled — what a loader produces *before* applying relocations.
+    """
+    # Parse the *file* layout; header chain offsets are identical.
+    dos = DosHeader.unpack(file_bytes)
+    e_lfanew = dos.e_lfanew
+    if file_bytes[e_lfanew:e_lfanew + 4] != C.NT_SIGNATURE:
+        raise PEFormatError("missing PE signature")
+    fh = FileHeader.unpack(file_bytes[e_lfanew + 4:])
+    opt = OptionalHeader.unpack(file_bytes[e_lfanew + 4 + FileHeader.SIZE:])
+    image = bytearray(opt.size_of_image)
+    image[:opt.size_of_headers] = file_bytes[:opt.size_of_headers]
+    sec_off = e_lfanew + 4 + FileHeader.SIZE + fh.size_of_optional_header
+    for i in range(fh.number_of_sections):
+        sec = SectionHeader.unpack(
+            file_bytes[sec_off + i * SectionHeader.SIZE:])
+        raw = file_bytes[sec.pointer_to_raw_data:
+                         sec.pointer_to_raw_data + sec.size_of_raw_data]
+        # VirtualSize may exceed raw size (zero-filled tail) or trail it.
+        n = min(len(raw), opt.size_of_image - sec.virtual_address)
+        image[sec.virtual_address:sec.virtual_address + n] = raw[:n]
+    return image

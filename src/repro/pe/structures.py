@@ -1,0 +1,277 @@
+"""PE32 header structures: real little-endian byte (de)serialisers.
+
+Each dataclass mirrors one on-disk/in-memory structure from the PE/COFF
+specification (Fig. 3 of the paper shows how they chain together):
+
+``IMAGE_DOS_HEADER`` → ``e_lfanew`` → ``IMAGE_NT_HEADERS`` (Signature +
+``IMAGE_FILE_HEADER`` + ``IMAGE_OPTIONAL_HEADER``) → an array of
+``IMAGE_SECTION_HEADER``.
+
+The serialisers produce genuine byte layouts so images round-trip
+through raw guest memory: ModChecker's parser reads these bytes back
+out of a foreign VM exactly as the real tool reads a real driver.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from ..errors import PEFormatError
+from . import constants as C
+
+__all__ = [
+    "DosHeader",
+    "FileHeader",
+    "DataDirectory",
+    "OptionalHeader",
+    "SectionHeader",
+    "pack_section_name",
+    "unpack_section_name",
+]
+
+
+_DOS_FMT = "<2s29HI"            # e_magic, 29 WORD fields, e_lfanew
+_FILE_FMT = "<HHIIIHH"
+_OPT_FIXED_FMT = "<HBBIIIIIIIIIHHHHHHIIIIHHIIIIII"
+_SECTION_FMT = "<8sIIIIIIHHI"
+
+
+def pack_section_name(name: str) -> bytes:
+    """Encode a section name into its fixed 8-byte field (NUL padded)."""
+    raw = name.encode("ascii")
+    if len(raw) > 8:
+        raise PEFormatError(f"section name too long: {name!r}")
+    return raw.ljust(8, b"\x00")
+
+
+def unpack_section_name(raw: bytes) -> str:
+    """Decode the fixed 8-byte name field back into a string."""
+    return raw.rstrip(b"\x00").decode("ascii", errors="replace")
+
+
+@dataclass(frozen=True)
+class DosHeader:
+    """``IMAGE_DOS_HEADER`` — 64 bytes.
+
+    Only ``e_magic`` ("MZ") and ``e_lfanew`` (file offset of the NT
+    headers) matter to a PE loader; the 29 intermediate WORDs are kept
+    verbatim so hashing the header region is meaningful.
+    """
+
+    e_magic: bytes = C.DOS_MAGIC
+    e_fields: tuple[int, ...] = field(default_factory=lambda: (0,) * 29)
+    e_lfanew: int = 0
+
+    SIZE = C.DOS_HEADER_SIZE
+
+    def pack(self) -> bytes:
+        if len(self.e_fields) != 29:
+            raise PEFormatError("DOS header must carry exactly 29 WORD fields")
+        return struct.pack(_DOS_FMT, self.e_magic, *self.e_fields, self.e_lfanew)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DosHeader":
+        if len(data) < cls.SIZE:
+            raise PEFormatError("short read for IMAGE_DOS_HEADER")
+        fields = struct.unpack(_DOS_FMT, bytes(data[: cls.SIZE]))
+        hdr = cls(e_magic=fields[0], e_fields=tuple(fields[1:30]),
+                  e_lfanew=fields[30])
+        if hdr.e_magic != C.DOS_MAGIC:
+            raise PEFormatError(
+                f"bad DOS magic {hdr.e_magic!r} (expected {C.DOS_MAGIC!r})")
+        return hdr
+
+
+@dataclass(frozen=True)
+class FileHeader:
+    """``IMAGE_FILE_HEADER`` — 20 bytes (a.k.a. the COFF header)."""
+
+    machine: int = C.MACHINE_I386
+    number_of_sections: int = 0
+    time_date_stamp: int = 0
+    pointer_to_symbol_table: int = 0
+    number_of_symbols: int = 0
+    size_of_optional_header: int = C.OPTIONAL_HEADER_SIZE_PE32
+    characteristics: int = C.FILE_EXECUTABLE_IMAGE | C.FILE_32BIT_MACHINE
+
+    SIZE = C.FILE_HEADER_SIZE
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _FILE_FMT, self.machine, self.number_of_sections,
+            self.time_date_stamp, self.pointer_to_symbol_table,
+            self.number_of_symbols, self.size_of_optional_header,
+            self.characteristics)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "FileHeader":
+        if len(data) < cls.SIZE:
+            raise PEFormatError("short read for IMAGE_FILE_HEADER")
+        f = struct.unpack(_FILE_FMT, bytes(data[: cls.SIZE]))
+        return cls(*f)
+
+
+@dataclass(frozen=True)
+class DataDirectory:
+    """One ``IMAGE_DATA_DIRECTORY`` entry: (VirtualAddress, Size)."""
+
+    virtual_address: int = 0
+    size: int = 0
+
+    SIZE = 8
+
+    def pack(self) -> bytes:
+        return struct.pack("<II", self.virtual_address, self.size)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DataDirectory":
+        va, size = struct.unpack("<II", bytes(data[:8]))
+        return cls(va, size)
+
+
+@dataclass(frozen=True)
+class OptionalHeader:
+    """``IMAGE_OPTIONAL_HEADER`` (PE32 variant) — 224 bytes.
+
+    "Optional" is historical; it is mandatory for images. Carries the
+    loader-relevant fields: ``image_base`` (preferred load address,
+    whose delta from the actual base drives relocation), section/file
+    alignment, ``size_of_image`` and the 16 data directories.
+    """
+
+    magic: int = C.OPTIONAL_MAGIC_PE32
+    major_linker_version: int = 7
+    minor_linker_version: int = 10
+    size_of_code: int = 0
+    size_of_initialized_data: int = 0
+    size_of_uninitialized_data: int = 0
+    address_of_entry_point: int = 0
+    base_of_code: int = 0
+    base_of_data: int = 0
+    image_base: int = 0x0001_0000
+    section_alignment: int = C.DEFAULT_SECTION_ALIGNMENT
+    file_alignment: int = C.DEFAULT_FILE_ALIGNMENT
+    major_os_version: int = 5
+    minor_os_version: int = 1          # 5.1 == Windows XP
+    major_image_version: int = 5
+    minor_image_version: int = 1
+    major_subsystem_version: int = 5
+    minor_subsystem_version: int = 1
+    win32_version_value: int = 0
+    size_of_image: int = 0
+    size_of_headers: int = 0
+    checksum: int = 0
+    subsystem: int = C.SUBSYSTEM_NATIVE
+    dll_characteristics: int = 0
+    size_of_stack_reserve: int = 0x40000
+    size_of_stack_commit: int = 0x1000
+    size_of_heap_reserve: int = 0x100000
+    size_of_heap_commit: int = 0x1000
+    loader_flags: int = 0
+    number_of_rva_and_sizes: int = C.DATA_DIRECTORY_COUNT
+    data_directories: tuple[DataDirectory, ...] = field(
+        default_factory=lambda: tuple(
+            DataDirectory() for _ in range(C.DATA_DIRECTORY_COUNT)))
+
+    SIZE = C.OPTIONAL_HEADER_SIZE_PE32
+
+    def pack(self) -> bytes:
+        if len(self.data_directories) != C.DATA_DIRECTORY_COUNT:
+            raise PEFormatError("optional header needs exactly 16 directories")
+        fixed = struct.pack(
+            _OPT_FIXED_FMT,
+            self.magic, self.major_linker_version, self.minor_linker_version,
+            self.size_of_code, self.size_of_initialized_data,
+            self.size_of_uninitialized_data, self.address_of_entry_point,
+            self.base_of_code, self.base_of_data, self.image_base,
+            self.section_alignment, self.file_alignment,
+            self.major_os_version, self.minor_os_version,
+            self.major_image_version, self.minor_image_version,
+            self.major_subsystem_version, self.minor_subsystem_version,
+            self.win32_version_value, self.size_of_image,
+            self.size_of_headers, self.checksum, self.subsystem,
+            self.dll_characteristics, self.size_of_stack_reserve,
+            self.size_of_stack_commit, self.size_of_heap_reserve,
+            self.size_of_heap_commit, self.loader_flags,
+            self.number_of_rva_and_sizes)
+        dirs = b"".join(d.pack() for d in self.data_directories)
+        out = fixed + dirs
+        if len(out) != self.SIZE:
+            raise PEFormatError(
+                f"optional header packed to {len(out)} bytes, expected {self.SIZE}")
+        return out
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "OptionalHeader":
+        if len(data) < cls.SIZE:
+            raise PEFormatError("short read for IMAGE_OPTIONAL_HEADER")
+        fixed_size = struct.calcsize(_OPT_FIXED_FMT)
+        f = struct.unpack(_OPT_FIXED_FMT, bytes(data[:fixed_size]))
+        if f[0] != C.OPTIONAL_MAGIC_PE32:
+            raise PEFormatError(
+                f"unsupported optional-header magic {f[0]:#06x} (PE32 only)")
+        dirs = []
+        for i in range(C.DATA_DIRECTORY_COUNT):
+            off = fixed_size + i * DataDirectory.SIZE
+            dirs.append(DataDirectory.unpack(data[off:off + 8]))
+        return cls(*f, data_directories=tuple(dirs))
+
+    def with_directory(self, index: int, va: int, size: int) -> "OptionalHeader":
+        """Return a copy with data directory ``index`` set to (va, size)."""
+        dirs = list(self.data_directories)
+        dirs[index] = DataDirectory(va, size)
+        return replace(self, data_directories=tuple(dirs))
+
+
+@dataclass(frozen=True)
+class SectionHeader:
+    """``IMAGE_SECTION_HEADER`` — 40 bytes.
+
+    ``virtual_address``/``virtual_size`` describe the section's
+    in-memory placement (what Module-Parser consumes per Algorithm 1);
+    ``pointer_to_raw_data``/``size_of_raw_data`` describe the on-disk
+    placement; ``characteristics`` flags executable/read-only status.
+    """
+
+    name: str = ""
+    virtual_size: int = 0
+    virtual_address: int = 0
+    size_of_raw_data: int = 0
+    pointer_to_raw_data: int = 0
+    pointer_to_relocations: int = 0
+    pointer_to_linenumbers: int = 0
+    number_of_relocations: int = 0
+    number_of_linenumbers: int = 0
+    characteristics: int = 0
+
+    SIZE = C.SECTION_HEADER_SIZE
+
+    def pack(self) -> bytes:
+        return struct.pack(
+            _SECTION_FMT, pack_section_name(self.name), self.virtual_size,
+            self.virtual_address, self.size_of_raw_data,
+            self.pointer_to_raw_data, self.pointer_to_relocations,
+            self.pointer_to_linenumbers, self.number_of_relocations,
+            self.number_of_linenumbers, self.characteristics)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "SectionHeader":
+        if len(data) < cls.SIZE:
+            raise PEFormatError("short read for IMAGE_SECTION_HEADER")
+        f = struct.unpack(_SECTION_FMT, bytes(data[: cls.SIZE]))
+        return cls(unpack_section_name(f[0]), *f[1:])
+
+    @property
+    def is_executable(self) -> bool:
+        """True when the section holds executable code (MEM_EXECUTE)."""
+        return bool(self.characteristics & C.SCN_MEM_EXECUTE)
+
+    @property
+    def is_writable(self) -> bool:
+        return bool(self.characteristics & C.SCN_MEM_WRITE)
+
+    @property
+    def is_readonly_code(self) -> bool:
+        """True for read-only executable content — what ModChecker hashes."""
+        return self.is_executable and not self.is_writable

@@ -1,0 +1,15 @@
+"""Performance modelling: cost model, workloads, in-guest monitor."""
+
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .monitor import GuestResourceMonitor, MonitorTrace, ResourceSample
+from .timing import ComponentTimings, RunTiming
+from .workload import (CPU_ONLY, HEAVY_LOAD, IDLE, Workload, apply_workload,
+                       clear_workload)
+
+__all__ = [
+    "DEFAULT_COST_MODEL", "CostModel",
+    "GuestResourceMonitor", "MonitorTrace", "ResourceSample",
+    "ComponentTimings", "RunTiming",
+    "CPU_ONLY", "HEAVY_LOAD", "IDLE", "Workload", "apply_workload",
+    "clear_workload",
+]

@@ -1,0 +1,56 @@
+"""The introspection/processing cost model.
+
+All Fig. 7–9 runtimes are simulated: each primitive operation charges a
+fixed CPU cost to Dom0 through the hypervisor (which stretches it under
+contention). The constants below are calibrated to the *relative*
+magnitudes the paper reports, not to any absolute hardware:
+
+* mapping a foreign guest frame (``xc_map_foreign_range`` + copy) is
+  the expensive primitive — it dominates Module-Searcher, which "has to
+  access the memory by pages; an action that requires an iterative
+  access of the memory until the whole module is copied" (§V-C-1);
+* page-table walks are two small mapped reads;
+* parsing, MD5 hashing and RVA adjustment are local Dom0 buffer passes,
+  costed per byte — cheap next to foreign mapping, which is why the
+  paper's Fig. 7 shows Parser and Integrity-Checker almost flat.
+
+Change the numbers and the figures rescale; the *shapes* (linearity,
+component ordering, the Fig. 8 knee) are structural.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+_US = 1e-6  # one microsecond, in seconds
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation Dom0 CPU costs, in seconds."""
+
+    # -- introspection primitives (charged by the VMI layer) ------------
+    page_map: float = 120.0 * _US      # map one foreign frame + copy out
+    translate_walk: float = 14.0 * _US  # PDE+PTE reads for one VA page
+    small_read: float = 4.0 * _US      # bookkeeping per read call
+
+    # -- Dom0-local processing (charged by ModChecker components) -------
+    parse_per_byte: float = 0.0015 * _US   # header walk + section slicing
+    hash_per_byte: float = 0.004 * _US     # MD5 over a local buffer
+    rva_scan_per_byte: float = 0.006 * _US  # Algorithm 2 byte scan
+    compare_per_pair: float = 30.0 * _US   # per-module-pair fixed overhead
+
+    def searcher_page_cost(self, *, translated: bool, mapped: bool) -> float:
+        """Cost of fetching one VA page (cache flags from the VMI layer)."""
+        cost = self.small_read
+        if translated:
+            cost += self.translate_walk
+        if mapped:
+            cost += self.page_map
+        return cost
+
+
+#: Shared default so every component prices work identically.
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,157 @@
+"""In-guest resource monitor — the paper's "light-weight tool in Python".
+
+§V-C-2: a tool running *inside* a guest continuously records CPU state
+(idle/privileged/user time), memory state (free physical/virtual
+memory, page faults), disk and network state, shipping readings to
+remote storage so the local disk stays quiet. The experiment: keep the
+guest idle, run ModChecker against it, and show the series do not
+perturb during the introspection windows (Fig. 9).
+
+The monitor derives each sample from the domain's true resource-demand
+state plus sensor noise. Because the hypervisor's introspection path is
+read-only and consumes no guest CPU, introspection windows genuinely do
+not feed back into guest state — the monitor *would* show a
+perturbation if someone added an in-guest agent (see the failure-
+injection test, which does exactly that via the ``agent_overhead``
+knob).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..hypervisor.domain import Domain
+from ..hypervisor.clock import SimClock
+from ..rng import derive_seed, make_rng
+
+__all__ = ["ResourceSample", "MonitorTrace", "GuestResourceMonitor"]
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One reading of the guest's resource counters."""
+
+    t: float                    # simulated seconds
+    cpu_idle_pct: float
+    cpu_user_pct: float
+    cpu_privileged_pct: float
+    mem_free_physical_pct: float
+    mem_free_virtual_pct: float
+    page_faults_per_s: float
+    disk_queue_length: float
+    disk_io_per_s: float
+    net_packets_per_s: float
+
+
+@dataclass
+class MonitorTrace:
+    """A recorded monitoring session (the "remote storage")."""
+
+    vm_name: str
+    samples: list[ResourceSample] = field(default_factory=list)
+    #: [(start, end)] simulated-time spans when VMI accessed the guest
+    introspection_windows: list[tuple[float, float]] = field(
+        default_factory=list)
+
+    def series(self, attr: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) arrays for one sample attribute."""
+        t = np.array([s.t for s in self.samples])
+        v = np.array([getattr(s, attr) for s in self.samples])
+        return t, v
+
+    def _in_window(self, t: float) -> bool:
+        return any(t0 <= t <= t1 for t0, t1 in self.introspection_windows)
+
+    def split_by_window(self, attr: str) -> tuple[np.ndarray, np.ndarray]:
+        """(values inside windows, values outside)."""
+        inside, outside = [], []
+        for s in self.samples:
+            (inside if self._in_window(s.t) else outside).append(
+                getattr(s, attr))
+        return np.array(inside), np.array(outside)
+
+    def perturbation(self, attr: str) -> float:
+        """|mean inside − mean outside| in units of the outside std.
+
+        The paper's conclusion "no significant perturbation" means this
+        stays within ordinary sensor noise (≈ a couple of sigma).
+        """
+        inside, outside = self.split_by_window(attr)
+        if inside.size == 0 or outside.size < 2:
+            return 0.0
+        sigma = float(outside.std())
+        if sigma == 0:
+            return 0.0 if np.allclose(inside.mean(), outside.mean()) else np.inf
+        return abs(float(inside.mean()) - float(outside.mean())) / sigma
+
+
+class GuestResourceMonitor:
+    """Samples one domain's resource state on the simulated clock."""
+
+    def __init__(self, domain: Domain, clock: SimClock, *,
+                 seed: int | None = None,
+                 agent_overhead: float = 0.0) -> None:
+        """``agent_overhead`` adds in-guest CPU per sample — zero for
+        ModChecker (out-of-VM), nonzero to model an in-guest scanner for
+        the contrast experiment."""
+        self.domain = domain
+        self.clock = clock
+        self.rng = make_rng(derive_seed(seed, "monitor", domain.name))
+        self.agent_overhead = agent_overhead
+        self.trace = MonitorTrace(vm_name=domain.name)
+
+    def sample(self) -> ResourceSample:
+        """Take one reading now (guest state + sensor noise)."""
+        d = self.domain
+        noise = self.rng.normal
+        busy = min(1.0, d.cpu_load + self.agent_overhead)
+        user = 100.0 * busy * 0.80 + noise(0, 0.4)
+        priv = 100.0 * busy * 0.15 + 1.5 + noise(0, 0.3)
+        idle = max(0.0, 100.0 - user - priv + noise(0, 0.4))
+        mem_used = 0.30 + 0.55 * d.mem_load
+        sample = ResourceSample(
+            t=self.clock.now,
+            cpu_idle_pct=min(100.0, idle),
+            cpu_user_pct=max(0.0, user),
+            cpu_privileged_pct=max(0.0, priv),
+            mem_free_physical_pct=max(0.0, 100.0 * (1 - mem_used)
+                                      + noise(0, 0.2)),
+            mem_free_virtual_pct=max(0.0, 100.0 * (1 - 0.5 * mem_used)
+                                     + noise(0, 0.2)),
+            page_faults_per_s=max(0.0, 40.0 + 800.0 * d.mem_load
+                                  + noise(0, 6.0)),
+            disk_queue_length=max(0.0, 0.05 + 4.0 * d.disk_load
+                                  + noise(0, 0.03)),
+            disk_io_per_s=max(0.0, 5.0 + 300.0 * d.disk_load
+                              + noise(0, 2.0)),
+            net_packets_per_s=max(0.0, 12.0 + noise(0, 2.0)),
+        )
+        self.trace.samples.append(sample)
+        return sample
+
+    def run(self, duration: float, interval: float,
+            events: list[tuple[float, object]] | None = None) -> MonitorTrace:
+        """Sample for ``duration`` simulated seconds every ``interval``.
+
+        ``events`` is a list of ``(at_time_offset, callable)``; each
+        callable runs once when the clock passes its offset, and the
+        span it occupies on the clock is recorded as an introspection
+        window (this is how the Fig. 9 experiment injects ModChecker
+        runs into the timeline).
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        start = self.clock.now
+        pending = sorted(events or [], key=lambda e: e[0])
+        while self.clock.now - start < duration:
+            self.sample()
+            while pending and self.clock.now - start >= pending[0][0]:
+                _, action = pending.pop(0)
+                w0 = self.clock.now
+                action()
+                self.trace.introspection_windows.append((w0, self.clock.now))
+                self.sample()
+            self.clock.advance(interval)
+        return self.trace

@@ -1,0 +1,43 @@
+"""Component timing records for the Fig. 7/8 runtime breakdowns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComponentTimings", "RunTiming"]
+
+
+@dataclass
+class ComponentTimings:
+    """Simulated seconds spent in each ModChecker component."""
+
+    searcher: float = 0.0
+    parser: float = 0.0
+    checker: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.searcher + self.parser + self.checker
+
+    def __add__(self, other: "ComponentTimings") -> "ComponentTimings":
+        return ComponentTimings(self.searcher + other.searcher,
+                                self.parser + other.parser,
+                                self.checker + other.checker)
+
+    def as_dict(self) -> dict[str, float]:
+        return {"searcher": self.searcher, "parser": self.parser,
+                "checker": self.checker, "total": self.total}
+
+
+@dataclass
+class RunTiming:
+    """One experiment point: VM count, load state, component times."""
+
+    n_vms: int
+    loaded: bool
+    timings: ComponentTimings
+    per_vm_searcher: list[float] = field(default_factory=list)
+
+    def row(self) -> tuple:
+        t = self.timings
+        return (self.n_vms, t.searcher, t.parser, t.checker, t.total)

@@ -1,0 +1,50 @@
+"""Guest workloads — the paper's HeavyLoad stand-in.
+
+HeavyLoad "is capable of stressing all the resources (such as CPU, RAM
+and disk) of an MS Windows machine" (§V-C-1). A workload here simply
+sets a domain's resource-demand knobs; the contention scheduler turns
+CPU demand into Dom0 slowdown (Fig. 8) and the in-guest monitor turns
+all three into its Fig. 9 time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hypervisor.domain import Domain
+
+__all__ = ["Workload", "IDLE", "HEAVY_LOAD", "CPU_ONLY", "apply_workload",
+           "clear_workload"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named resource-demand profile."""
+
+    name: str
+    cpu: float = 0.0
+    mem: float = 0.0
+    disk: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("cpu", "mem", "disk"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name} load must be in [0, 1]")
+
+
+IDLE = Workload("idle", cpu=0.0, mem=0.0, disk=0.0)
+#: All resources pegged — the paper's HeavyLoad configuration.
+HEAVY_LOAD = Workload("heavyload", cpu=1.0, mem=0.9, disk=0.8)
+CPU_ONLY = Workload("cpu-stress", cpu=1.0, mem=0.0, disk=0.0)
+
+
+def apply_workload(domain: Domain, workload: Workload) -> None:
+    """Start the workload on a guest (sets its demand knobs)."""
+    domain.set_load(cpu=workload.cpu, mem=workload.mem, disk=workload.disk)
+    domain.tags["workload"] = workload.name
+
+
+def clear_workload(domain: Domain) -> None:
+    """Stop any workload (back to idle)."""
+    apply_workload(domain, IDLE)

@@ -1,0 +1,13 @@
+"""libvmi-like virtual machine introspection layer."""
+
+from .cache import LRUCache, PageCache, V2PCache
+from .core import VMIInstance, VMIStats
+from .dump import DumpAnalyzer, MemoryDump, acquire_dump
+from .symbols import OSProfile, XP_SP2_OFFSETS
+
+__all__ = [
+    "LRUCache", "PageCache", "V2PCache",
+    "VMIInstance", "VMIStats",
+    "DumpAnalyzer", "MemoryDump", "acquire_dump",
+    "OSProfile", "XP_SP2_OFFSETS",
+]

@@ -1,0 +1,76 @@
+"""libvmi-style caches: virtual→physical and page caches.
+
+libvmi keeps an address cache (translations) and a page cache (mapped
+foreign frames) because mapping a guest frame through the hypervisor is
+the expensive primitive. Both are plain LRU maps with hit/miss
+counters; the cache ablation bench (A2) toggles them to show how much
+of Module-Searcher's cost they absorb.
+
+Caches must be *invalidated between checking rounds*: guest kernels may
+remap pages at any time, and a stale translation would let an attacker
+feed the checker old bytes. :meth:`flush` models libvmi's
+``vmi_v2pcache_flush`` / ``vmi_pagecache_flush``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+__all__ = ["LRUCache", "V2PCache", "PageCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded LRU map with hit/miss accounting."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K) -> V | None:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def flush(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class V2PCache(LRUCache[int, int]):
+    """VA page → PA page translations (keyed by page-aligned VA)."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        super().__init__(capacity)
+
+
+class PageCache(LRUCache[int, bytes]):
+    """Guest frame number → 4 KiB page bytes."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        super().__init__(capacity)

@@ -1,0 +1,188 @@
+"""The introspection library: a libvmi-0.6-alike over our hypervisor.
+
+:class:`VMIInstance` is the only door between Dom0 tools and a guest's
+memory (paper: "Module-Searcher is the only component of ModChecker
+that accesses the memory of guest VMs" — it does so through this API).
+
+Faithful properties:
+
+* **page-granular access** — every virtual read translates each covered
+  VA page by walking the *guest's own page tables* (read through the
+  hypervisor like any other guest bytes), then maps the backing frame;
+* **read-only** — there is no write path at all;
+* **caches** — optional V2P and page caches as in libvmi, flushable
+  between checking rounds;
+* **cost accounting** — each primitive charges the Dom0 CPU through the
+  hypervisor's contention model, producing the simulated runtimes of
+  Figs. 7–9.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..errors import IntrospectionFault, PageFault, VMIInitError
+from ..hypervisor.xen import Hypervisor
+from ..mem.paging import LARGE_PAGE_SIZE, PDE_LARGE, PTE_PRESENT
+from ..mem.physical import PAGE_SIZE
+from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
+from .cache import PageCache, V2PCache
+from .symbols import OSProfile
+
+__all__ = ["VMIStats", "VMIInstance"]
+
+_PAGE_MASK = PAGE_SIZE - 1
+
+
+@dataclass
+class VMIStats:
+    """Operation counters for one VMI instance."""
+
+    translations: int = 0
+    translation_cache_hits: int = 0
+    pages_mapped: int = 0
+    page_cache_hits: int = 0
+    bytes_read: int = 0
+    read_calls: int = 0
+
+    def snapshot(self) -> "VMIStats":
+        return VMIStats(**vars(self))
+
+
+class VMIInstance:
+    """An introspection session attached to one guest domain."""
+
+    def __init__(self, hypervisor: Hypervisor, domain_key: int | str,
+                 profile: OSProfile, *,
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 enable_caches: bool = True) -> None:
+        self.hv = hypervisor
+        try:
+            self.domain = hypervisor.domain(domain_key)
+        except Exception as exc:
+            raise VMIInitError(f"cannot attach to {domain_key!r}: {exc}")
+        if not self.domain.is_guest:
+            raise VMIInitError(f"{self.domain.name} is not introspectable")
+        self.profile = profile
+        self.costs = cost_model
+        self.enable_caches = enable_caches
+        self.v2p_cache = V2PCache()
+        self.page_cache = PageCache()
+        self.stats = VMIStats()
+        self.cr3 = hypervisor.guest_cr3(domain_key)
+
+    # -- caches ---------------------------------------------------------------
+
+    def flush_caches(self) -> None:
+        """Invalidate both caches (between checking rounds)."""
+        self.v2p_cache.flush()
+        self.page_cache.flush()
+
+    # -- translation ------------------------------------------------------------
+
+    def translate_kv2p(self, vaddr: int) -> int:
+        """Kernel VA → PA by walking the guest's page tables."""
+        page_va = vaddr & ~_PAGE_MASK
+        if self.enable_caches:
+            cached = self.v2p_cache.get(page_va)
+            if cached is not None:
+                self.stats.translation_cache_hits += 1
+                return cached | (vaddr & _PAGE_MASK)
+        self.stats.translations += 1
+        self.hv.charge_dom0(self.costs.translate_walk)
+        pa_page = self._walk(page_va)
+        if self.enable_caches:
+            self.v2p_cache.put(page_va, pa_page)
+        return pa_page | (vaddr & _PAGE_MASK)
+
+    def _walk(self, page_va: int) -> int:
+        pde_i = (page_va >> 22) & 0x3FF
+        pte_i = (page_va >> 12) & 0x3FF
+        pd_base = self.cr3 & ~_PAGE_MASK
+        pde, = struct.unpack(
+            "<I", self.hv.read_guest_physical(self.domain.domid,
+                                              pd_base + 4 * pde_i, 4))
+        if not pde & PTE_PRESENT:
+            raise PageFault(page_va, f"PDE not present for {page_va:#x}")
+        if pde & PDE_LARGE:
+            # PSE 4 MiB page: the PDE maps it directly.
+            return (pde & ~(LARGE_PAGE_SIZE - 1)) \
+                | (page_va & (LARGE_PAGE_SIZE - 1) & ~_PAGE_MASK)
+        pt_base = pde & ~_PAGE_MASK
+        pte, = struct.unpack(
+            "<I", self.hv.read_guest_physical(self.domain.domid,
+                                              pt_base + 4 * pte_i, 4))
+        if not pte & PTE_PRESENT:
+            raise PageFault(page_va, f"PTE not present for {page_va:#x}")
+        return pte & ~_PAGE_MASK
+
+    # -- physical reads ------------------------------------------------------------
+
+    def _map_frame(self, frame_no: int) -> bytes:
+        if self.enable_caches:
+            cached = self.page_cache.get(frame_no)
+            if cached is not None:
+                self.stats.page_cache_hits += 1
+                return cached
+        self.stats.pages_mapped += 1
+        self.hv.charge_dom0(self.costs.page_map)
+        page = self.hv.read_guest_frame(self.domain.domid, frame_no)
+        if self.enable_caches:
+            self.page_cache.put(frame_no, page)
+        return page
+
+    def read_pa(self, paddr: int, length: int) -> bytes:
+        """Read a physical range through frame mappings."""
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            addr = paddr + pos
+            frame_no, offset = addr >> 12, addr & _PAGE_MASK
+            n = min(PAGE_SIZE - offset, length - pos)
+            page = self._map_frame(frame_no)
+            out[pos:pos + n] = page[offset:offset + n]
+            pos += n
+        self.stats.bytes_read += length
+        self.stats.read_calls += 1
+        self.hv.charge_dom0(self.costs.small_read)
+        return bytes(out)
+
+    # -- virtual reads ----------------------------------------------------------------
+
+    def read_va(self, vaddr: int, length: int) -> bytes:
+        """Read a kernel-VA range, translating and mapping page by page.
+
+        This is the loop the paper blames for Module-Searcher's cost:
+        one translation + one foreign mapping per covered page.
+        """
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            va = vaddr + pos
+            n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
+            try:
+                pa = self.translate_kv2p(va)
+            except PageFault as exc:
+                raise IntrospectionFault(
+                    f"{self.domain.name}: unmapped VA {va:#x}") from exc
+            frame_no, offset = pa >> 12, pa & _PAGE_MASK
+            page = self._map_frame(frame_no)
+            out[pos:pos + n] = page[offset:offset + n]
+            pos += n
+        self.stats.bytes_read += length
+        self.stats.read_calls += 1
+        self.hv.charge_dom0(self.costs.small_read)
+        return bytes(out)
+
+    def read_u32(self, vaddr: int) -> int:
+        return struct.unpack("<I", self.read_va(vaddr, 4))[0]
+
+    def read_u16(self, vaddr: int) -> int:
+        return struct.unpack("<H", self.read_va(vaddr, 2))[0]
+
+    # -- symbols ------------------------------------------------------------------------
+
+    def symbol(self, name: str) -> int:
+        """Resolve a kernel symbol via the OS profile."""
+        return self.profile.symbol(name)

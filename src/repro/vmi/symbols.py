@@ -1,0 +1,67 @@
+"""OS profiles: the symbol/offset side-channel libvmi needs.
+
+Real libvmi cannot find ``PsLoadedModuleList`` by magic — the operator
+supplies an OS profile (libvmi's config file / Rekall profile) with the
+exported global's address and structure offsets for the guest's exact
+kernel build. Our cloud builds the profile once from one clone (all 15
+guests share a kernel build, so one profile serves the pool), exactly
+like the paper's single-installation setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SymbolNotFound
+from ..guest import ldr as _ldr
+
+__all__ = ["OSProfile", "XP_SP2_OFFSETS"]
+
+#: Structure offsets of 32-bit Windows XP SP2 (see :mod:`repro.guest.ldr`).
+XP_SP2_OFFSETS: dict[str, int] = {
+    "LDR_DATA_TABLE_ENTRY.InLoadOrderLinks": _ldr.OFF_INLOADORDER,
+    "LDR_DATA_TABLE_ENTRY.DllBase": _ldr.OFF_DLLBASE,
+    "LDR_DATA_TABLE_ENTRY.EntryPoint": _ldr.OFF_ENTRYPOINT,
+    "LDR_DATA_TABLE_ENTRY.SizeOfImage": _ldr.OFF_SIZEOFIMAGE,
+    "LDR_DATA_TABLE_ENTRY.FullDllName": _ldr.OFF_FULLDLLNAME,
+    "LDR_DATA_TABLE_ENTRY.BaseDllName": _ldr.OFF_BASEDLLNAME,
+    "LDR_DATA_TABLE_ENTRY.size": _ldr.LDR_ENTRY_SIZE,
+    "LIST_ENTRY.size": _ldr.LIST_ENTRY_SIZE,
+}
+
+
+@dataclass(frozen=True)
+class OSProfile:
+    """Everything the introspector must know about the guest OS build."""
+
+    name: str = "WinXP-SP2-x86"
+    symbols: dict[str, int] = field(default_factory=dict)
+    offsets: dict[str, int] = field(default_factory=lambda: dict(XP_SP2_OFFSETS))
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise SymbolNotFound(
+                f"symbol {name!r} not in profile {self.name}") from None
+
+    def offset(self, name: str) -> int:
+        try:
+            return self.offsets[name]
+        except KeyError:
+            raise SymbolNotFound(
+                f"offset {name!r} not in profile {self.name}") from None
+
+    @classmethod
+    def from_guest(cls, kernel, name: str | None = None) -> "OSProfile":
+        """Extract a profile from one booted clone (reference machine).
+
+        Carries the clone's symbols *and* its kernel build's structure
+        offsets — use the wrong build's profile and the searcher reads
+        garbage, exactly as with a wrong libvmi config.
+        """
+        layout = getattr(kernel, "layout", None)
+        offsets = layout.offsets() if layout is not None \
+            else dict(XP_SP2_OFFSETS)
+        return cls(name=name or (layout.name if layout else "WinXP-SP2-x86"),
+                   symbols=dict(kernel.symbols), offsets=offsets)

@@ -1,0 +1,75 @@
+"""Unit tests for figure-data export."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.export import (SeriesBundle, read_csv, read_json,
+                                   write_csv, write_json)
+
+
+@pytest.fixture
+def bundle():
+    b = SeriesBundle(name="fig7", meta={"module": "http.sys"})
+    b.add_column("n_vms", [2, 3, 4])
+    b.add_column("total_s", [0.006, 0.009, 0.012])
+    b.add_column("label", ["a", "b", "c"])
+    return b
+
+
+class TestBundle:
+    def test_rows(self, bundle):
+        assert bundle.rows() == [(2, 0.006, "a"), (3, 0.009, "b"),
+                                 (4, 0.012, "c")]
+        assert bundle.n_rows == 3
+
+    def test_length_mismatch_rejected(self, bundle):
+        with pytest.raises(ValueError, match="rows"):
+            bundle.add_column("bad", [1])
+
+    def test_empty(self):
+        assert SeriesBundle("x").n_rows == 0
+        assert SeriesBundle("x").rows() == []
+
+
+class TestCsv:
+    def test_roundtrip(self, bundle, tmp_path):
+        path = write_csv(bundle, tmp_path / "fig7.csv")
+        back = read_csv(path)
+        assert back.columns == bundle.columns
+        assert back.name == "fig7"
+
+    def test_creates_parent_dirs(self, bundle, tmp_path):
+        path = write_csv(bundle, tmp_path / "deep" / "dir" / "f.csv")
+        assert path.exists()
+
+    def test_numeric_parsing(self, tmp_path):
+        b = SeriesBundle("n")
+        b.add_column("ints", [1, 2])
+        b.add_column("floats", [1.5, 2.5])
+        back = read_csv(write_csv(b, tmp_path / "n.csv"))
+        assert back.columns["ints"] == [1, 2]
+        assert back.columns["floats"] == [1.5, 2.5]
+
+
+class TestJson:
+    def test_roundtrip(self, bundle, tmp_path):
+        other = SeriesBundle("fig8")
+        other.add_column("x", [1])
+        path = write_json([bundle, other], tmp_path / "all.json")
+        back = read_json(path)
+        assert [b.name for b in back] == ["fig7", "fig8"]
+        assert back[0].columns == bundle.columns
+        assert back[0].meta == {"module": "http.sys"}
+
+    @given(values=st.lists(st.floats(allow_nan=False,
+                                     allow_infinity=False,
+                                     width=32),
+                           min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_json_roundtrip_property(self, values, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("exp")
+        b = SeriesBundle("p")
+        b.add_column("v", values)
+        back = read_json(write_json([b], tmp / "p.json"))[0]
+        assert back.columns["v"] == values

@@ -1,0 +1,73 @@
+"""Unit tests for series statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (detect_knee, growth_ratios, is_monotonic,
+                                  linear_fit)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = linear_fit([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_high_r2(self):
+        rng = np.random.default_rng(1)
+        x = np.arange(20.0)
+        y = 3 * x + 1 + rng.normal(0, 0.1, 20)
+        fit = linear_fit(x, y)
+        assert fit.r_squared > 0.99
+
+    def test_quadratic_lower_r2_than_line(self):
+        x = np.arange(20.0)
+        assert linear_fit(x, x ** 2).r_squared < \
+            linear_fit(x, 2 * x).r_squared
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [1, 3])
+        assert fit.predict([2])[0] == pytest.approx(5.0)
+
+    def test_constant_series(self):
+        fit = linear_fit([1, 2, 3], [5, 5, 5])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+
+class TestKnee:
+    def test_linear_series_no_knee(self):
+        x = list(range(2, 16))
+        y = [2.0 * v + 1 for v in x]
+        assert detect_knee(x, y) is None
+
+    def test_piecewise_knee_found(self):
+        x = list(range(2, 16))
+        y = [1.0 * v if v <= 8 else 8.0 + 4.0 * (v - 8) for v in x]
+        knee = detect_knee(x, y)
+        assert knee is not None
+        assert 6 <= knee <= 10
+
+    def test_short_series_none(self):
+        assert detect_knee([1, 2, 3], [1, 2, 3]) is None
+
+
+class TestHelpers:
+    def test_growth_ratios(self):
+        ratios = growth_ratios([1.0, 2.0, 4.0])
+        assert list(ratios) == [2.0, 2.0]
+
+    def test_growth_ratio_zero_guard(self):
+        ratios = growth_ratios([0.0, 2.0])
+        assert np.isnan(ratios[0])
+
+    def test_is_monotonic(self):
+        assert is_monotonic([1, 1, 2, 3])
+        assert not is_monotonic([1, 1, 2, 3], strict=True)
+        assert is_monotonic([1, 2, 3], strict=True)
+        assert not is_monotonic([3, 1])

@@ -1,0 +1,51 @@
+"""Unit tests for ASCII rendering."""
+
+import pytest
+
+from repro.analysis.tables import format_seconds, render_series, render_table
+
+
+class TestFormatSeconds:
+    def test_scales(self):
+        assert format_seconds(2.5) == "2.500 s"
+        assert format_seconds(0.0042) == "4.20 ms"
+        assert format_seconds(3.2e-6) == "3.2 us"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_empty_rows(self):
+        out = render_table(["x", "y"], [])
+        assert len(out.splitlines()) == 2
+
+
+class TestRenderSeries:
+    def test_bars_scale(self):
+        out = render_series([1, 2], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_zero_series(self):
+        out = render_series([1], [0.0])
+        assert "#" not in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1.0, 2.0])
+
+    def test_title_and_labels(self):
+        out = render_series([1], [1.0], title="Fig", x_label="vms",
+                            y_label="sec")
+        assert out.splitlines()[0] == "Fig"
+        assert "vms" in out and "sec" in out

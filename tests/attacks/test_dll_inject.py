@@ -1,0 +1,122 @@
+"""Unit tests for E4 — DLL injection via PE-header modification."""
+
+import pytest
+
+from repro.attacks.dll_inject import (INJECT_DLL_NAME, INJECT_EXPORT,
+                                      NEW_SECTION_NAME, DllInjectionAttack)
+from repro.pe import PEImage, map_file_to_memory
+from repro.pe.constants import DIR_BASERELOC, DIR_IMPORT
+from repro.pe.relocations import parse_reloc_section
+
+
+@pytest.fixture(scope="module")
+def result(dummy_blueprint):
+    return DllInjectionAttack().apply(dummy_blueprint)
+
+
+@pytest.fixture(scope="module")
+def infected_pe(result):
+    return PEImage(bytes(map_file_to_memory(result.infected.file_bytes)))
+
+
+class TestHeaderSurgery:
+    def test_extra_section_added(self, result, infected_pe):
+        names = [s.name for s in infected_pe.sections]
+        assert names[-1] == NEW_SECTION_NAME
+        assert len(names) == len(result.original.sections) + 1
+
+    def test_number_of_sections_incremented(self, result, infected_pe):
+        assert infected_pe.file_header.number_of_sections == \
+            result.original.file_header.number_of_sections + 1
+
+    def test_text_virtual_size_grew(self, result, infected_pe):
+        old = result.original.section(".text").virtual_size
+        assert infected_pe.section(".text").virtual_size == \
+            old + result.details["blob_bytes"]
+
+    def test_subsequent_sections_shifted(self, result, infected_pe):
+        shift = result.details["va_shift"]
+        assert shift >= 0x1000
+        for old in result.original.sections[1:]:
+            new = infected_pe.section(old.name)
+            assert new.virtual_address == old.virtual_address + shift
+
+    def test_size_of_image_grew(self, result, infected_pe):
+        assert infected_pe.optional_header.size_of_image > \
+            result.original.optional_header.size_of_image
+
+    def test_import_directory_shifted(self, result, infected_pe):
+        old = result.original.optional_header.data_directories[DIR_IMPORT]
+        new = infected_pe.optional_header.data_directories[DIR_IMPORT]
+        assert new.virtual_address == \
+            old.virtual_address + result.details["va_shift"]
+
+    def test_dos_header_untouched(self, result):
+        e = result.original.e_lfanew
+        assert result.infected.file_bytes[:e] == \
+            result.original.file_bytes[:e]
+
+
+class TestInjectedContent:
+    def test_inject_dll_markers_present(self, result, infected_pe):
+        text = infected_pe.section_data(".text")
+        assert INJECT_DLL_NAME.encode() in text
+        assert INJECT_EXPORT.encode() in text
+
+    def test_entry_hooked_into_blob(self, result, infected_pe):
+        import struct
+        text = infected_pe.section_data(".text")
+        entry = result.original.entry_function()
+        assert text[entry.offset] == 0xE9
+        rel = struct.unpack_from("<i", text, entry.offset + 1)[0]
+        target = entry.offset + 5 + rel
+        old_vsize = result.original.section(".text").virtual_size
+        assert target == old_vsize            # start of the blob
+
+    def test_new_section_names_inject_dll(self, infected_pe):
+        data = infected_pe.section_data(NEW_SECTION_NAME)
+        assert INJECT_DLL_NAME.encode() in data
+
+
+class TestRelocationCoherence:
+    def test_reloc_rvas_shifted(self, result, infected_pe):
+        shift = result.details["va_shift"]
+        boundary = result.original.sections[1].virtual_address
+        old = parse_reloc_section(
+            result.original.file_bytes[
+                result.original.section(".reloc").pointer_to_raw_data:
+                result.original.section(".reloc").pointer_to_raw_data
+                + result.original.section(".reloc").virtual_size])
+        new = parse_reloc_section(infected_pe.section_data(".reloc"))
+        expected = sorted(r + shift if r >= boundary else r for r in old)
+        assert new == expected
+
+    def test_reloc_directory_updated(self, result, infected_pe):
+        d = infected_pe.optional_header.data_directories[DIR_BASERELOC]
+        assert d.virtual_address == \
+            infected_pe.section(".reloc").virtual_address
+
+    def test_infected_driver_still_loads(self, result):
+        """The whole point of coherent surgery: the guest boots it."""
+        from repro.guest import GuestKernel, build_catalog
+        catalog = dict(build_catalog(seed=42))
+        catalog["dummy.sys"] = result.infected
+        kernel = GuestKernel("victim", seed=5)
+        kernel.boot(catalog)
+        image = kernel.read_module_image("dummy.sys")
+        pe = PEImage(image)
+        assert NEW_SECTION_NAME in [s.name for s in pe.sections]
+
+
+class TestExpectations:
+    def test_expected_regions_cover_paper_signature(self, result):
+        expected = set(result.expected_regions)
+        assert "IMAGE_NT_HEADER" in expected
+        assert "IMAGE_OPTIONAL_HEADER" in expected
+        assert ".text" in expected
+        for sec in result.original.sections:
+            assert f"SECTION_HEADER[{sec.name}]" in expected
+
+    def test_too_small_blob_rejected(self):
+        with pytest.raises(ValueError, match="exceed one page"):
+            DllInjectionAttack(min_inject_size=0x800)

@@ -1,0 +1,115 @@
+"""Unit tests for the header-field attack extensions."""
+
+import struct
+
+import pytest
+
+from repro.attacks.headers import (EntryPointRedirectAttack,
+                                   SectionCharacteristicsAttack,
+                                   TimestampForgeryAttack)
+from repro.errors import AttackError
+from repro.pe import PEImage, map_file_to_memory
+from repro.pe import constants as C
+
+
+class TestCharacteristicsFlip:
+    def test_four_bytes_or_fewer_changed(self, hal_blueprint):
+        result = SectionCharacteristicsAttack().apply(hal_blueprint)
+        assert 1 <= result.bytes_changed <= 4
+
+    def test_text_becomes_writable(self, hal_blueprint):
+        result = SectionCharacteristicsAttack().apply(hal_blueprint)
+        pe = PEImage(bytes(map_file_to_memory(result.infected.file_bytes)))
+        assert pe.section(".text").is_writable
+        assert pe.section(".text").is_executable
+
+    def test_code_bytes_untouched(self, hal_blueprint):
+        result = SectionCharacteristicsAttack().apply(hal_blueprint)
+        text = hal_blueprint.section(".text")
+        lo, hi = text.pointer_to_raw_data, \
+            text.pointer_to_raw_data + text.size_of_raw_data
+        assert result.original.file_bytes[lo:hi] == \
+            result.infected.file_bytes[lo:hi]
+
+    def test_missing_section(self, hal_blueprint):
+        with pytest.raises(AttackError):
+            SectionCharacteristicsAttack(section=".ghost").apply(
+                hal_blueprint)
+
+    def test_expected_regions(self, hal_blueprint):
+        result = SectionCharacteristicsAttack().apply(hal_blueprint)
+        assert result.expected_regions == ("SECTION_HEADER[.text]",)
+
+
+class TestEntryPointRedirect:
+    def test_entry_points_at_cave(self, hal_blueprint):
+        result = EntryPointRedirectAttack().apply(hal_blueprint)
+        pe = PEImage(bytes(map_file_to_memory(result.infected.file_bytes)))
+        assert pe.optional_header.address_of_entry_point == \
+            result.details["new_entry_rva"]
+        assert pe.optional_header.address_of_entry_point != \
+            result.original.optional_header.address_of_entry_point
+
+    def test_payload_jumps_back_to_original_entry(self, hal_blueprint):
+        attack = EntryPointRedirectAttack()
+        result = attack.apply(hal_blueprint)
+        text = result.original.section(".text")
+        raw = text.pointer_to_raw_data
+        cave = result.details["cave_offset"]
+        data = result.infected.file_bytes
+        jmp_at = cave + len(attack.payload)
+        assert data[raw + jmp_at] == 0xE9
+        rel = struct.unpack_from("<i", data, raw + jmp_at + 1)[0]
+        target_rva = text.virtual_address + jmp_at + 5 + rel
+        assert target_rva == result.details["original_entry_rva"]
+
+    def test_expected_regions(self, hal_blueprint):
+        result = EntryPointRedirectAttack().apply(hal_blueprint)
+        assert set(result.expected_regions) == \
+            {"IMAGE_OPTIONAL_HEADER", ".text"}
+
+
+class TestTimestampForgery:
+    def test_timestamp_changed(self, hal_blueprint):
+        result = TimestampForgeryAttack(0x12345678).apply(hal_blueprint)
+        pe = PEImage(bytes(map_file_to_memory(result.infected.file_bytes)))
+        assert pe.file_header.time_date_stamp == 0x12345678
+
+    def test_exactly_timestamp_bytes_changed(self, hal_blueprint):
+        result = TimestampForgeryAttack().apply(hal_blueprint)
+        off = hal_blueprint.e_lfanew + 8
+        assert all(off <= o < off + 4 for o in result.modified_offsets)
+
+    def test_identity_forge_rejected(self, hal_blueprint):
+        original = hal_blueprint.file_header.time_date_stamp
+        with pytest.raises(AttackError):
+            TimestampForgeryAttack(original).apply(hal_blueprint)
+
+    def test_defeats_fingerprint_matching(self, hal_blueprint):
+        """Timestomping also breaks the carver's clone fingerprint —
+        a detectable inconsistency in itself."""
+        from repro.core.carver import module_fingerprint
+        result = TimestampForgeryAttack().apply(hal_blueprint)
+        a = bytes(map_file_to_memory(result.original.file_bytes))
+        b = bytes(map_file_to_memory(result.infected.file_bytes))
+        assert module_fingerprint(a) != module_fingerprint(b)
+
+
+class TestEndToEndSignatures:
+    @pytest.mark.parametrize("attack_cls,expected", [
+        (SectionCharacteristicsAttack, {"SECTION_HEADER[.text]"}),
+        (EntryPointRedirectAttack, {"IMAGE_OPTIONAL_HEADER", ".text"}),
+        (TimestampForgeryAttack, {"IMAGE_NT_HEADER"}),
+    ])
+    def test_detected_with_exact_signature(self, attack_cls, expected):
+        from repro.cloud import build_testbed
+        from repro.core import ModChecker
+        from repro.guest import build_catalog
+        catalog = build_catalog(seed=42)
+        result = attack_cls().apply(catalog["hal.dll"])
+        tb = build_testbed(4, seed=42,
+                           infected={"Dom2": {"hal.dll": result.infected}})
+        report = ModChecker(tb.hypervisor,
+                            tb.profile).check_pool("hal.dll").report
+        assert report.flagged() == ["Dom2"]
+        assert set(report.mismatched_regions("Dom2")) == expected

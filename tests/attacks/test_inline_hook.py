@@ -1,0 +1,87 @@
+"""Unit tests for E2 — inline hooking."""
+
+import struct
+
+import pytest
+
+from repro.attacks.inline_hook import DEFAULT_PAYLOAD, InlineHookAttack
+from repro.errors import NoOpcodeCave
+from repro.pe import build_driver
+
+
+@pytest.fixture(scope="module")
+def result(hal_blueprint):
+    return InlineHookAttack().apply(hal_blueprint)
+
+
+def _text_bytes(blueprint, file_bytes):
+    text = blueprint.section(".text")
+    return file_bytes[text.pointer_to_raw_data:
+                      text.pointer_to_raw_data + text.size_of_raw_data]
+
+
+class TestInlineHook:
+    def test_entry_starts_with_jmp_to_cave(self, result):
+        text = _text_bytes(result.original, result.infected.file_bytes)
+        victim = result.original.entry_function()
+        assert text[victim.offset] == 0xE9
+        rel = struct.unpack_from("<i", text, victim.offset + 1)[0]
+        assert victim.offset + 5 + rel == result.details["cave_offset"]
+
+    def test_payload_in_cave(self, result):
+        text = _text_bytes(result.original, result.infected.file_bytes)
+        cave = result.details["cave_offset"]
+        assert text[cave:cave + len(DEFAULT_PAYLOAD)] == DEFAULT_PAYLOAD
+
+    def test_overwritten_instructions_preserved_in_cave(self, result):
+        orig_text = _text_bytes(result.original, result.original.file_bytes)
+        new_text = _text_bytes(result.original, result.infected.file_bytes)
+        victim = result.original.entry_function()
+        saved_len = result.details["saved_instruction_bytes"]
+        cave = result.details["cave_offset"]
+        saved_at = cave + len(DEFAULT_PAYLOAD)
+        assert new_text[saved_at:saved_at + saved_len] == \
+            orig_text[victim.offset:victim.offset + saved_len]
+
+    def test_cave_ends_with_jmp_back(self, result):
+        text = _text_bytes(result.original, result.infected.file_bytes)
+        victim = result.original.entry_function()
+        saved_len = result.details["saved_instruction_bytes"]
+        jmp_at = (result.details["cave_offset"] + len(DEFAULT_PAYLOAD)
+                  + saved_len)
+        assert text[jmp_at] == 0xE9
+        rel = struct.unpack_from("<i", text, jmp_at + 1)[0]
+        assert jmp_at + 5 + rel == victim.offset + saved_len
+
+    def test_only_text_modified(self, result):
+        text = result.original.section(".text")
+        lo = text.pointer_to_raw_data
+        hi = lo + text.size_of_raw_data
+        assert all(lo <= off < hi for off in result.modified_offsets)
+
+    def test_expected_regions(self, result):
+        assert result.expected_regions == (".text",)
+
+    def test_cave_was_large_enough(self, result):
+        needed = (len(DEFAULT_PAYLOAD)
+                  + result.details["saved_instruction_bytes"] + 5)
+        assert result.details["cave_size"] >= needed
+
+    def test_custom_victim_function(self, hal_blueprint):
+        result = InlineHookAttack(victim_function="fn_002").apply(
+            hal_blueprint)
+        assert result.details["victim"] == "fn_002"
+
+    def test_custom_payload(self, hal_blueprint):
+        payload = b"\xCC" * 10
+        result = InlineHookAttack(payload=payload).apply(hal_blueprint)
+        text = _text_bytes(result.original, result.infected.file_bytes)
+        cave = result.details["cave_offset"]
+        assert text[cave:cave + 10] == payload
+
+    def test_no_cave_raises(self):
+        # A payload larger than any cave the generator makes.
+        bp = build_driver("tiny.sys", seed=2, n_functions=2, imports=())
+        attack = InlineHookAttack(payload=b"\x90" * 4096)
+        with pytest.raises(NoOpcodeCave):
+            attack.apply(bp)

@@ -1,0 +1,90 @@
+"""Unit tests for memory-resident attacks (and the IAT blind spot)."""
+
+import struct
+
+import pytest
+
+from repro.attacks.memory import (IATHookAttack, RuntimeCodePatchAttack)
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.errors import AttackError
+from repro.pe import build_driver
+
+
+@pytest.fixture
+def tb():
+    return build_testbed(4, seed=42)
+
+
+class TestIATHook:
+    def test_slot_overwritten(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        bp = tb.catalog["hal.dll"]
+        result = IATHookAttack().apply(kernel, bp)
+        va = result.details["slot_va"]
+        got = struct.unpack("<I", kernel.aspace.read(va, 4))[0]
+        assert got == result.details["hooked_to"]
+        assert got != result.details["original"]
+
+    def test_file_untouched(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        bp = tb.catalog["hal.dll"]
+        before = bp.file_bytes
+        IATHookAttack().apply(kernel, bp)
+        assert bp.file_bytes == before
+
+    def test_blind_spot_is_real(self, tb):
+        """Documented limitation: IAT lives in .rdata, which ModChecker
+        (like the paper's tool) does not hash — no alarm fires."""
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        result = IATHookAttack().apply(kernel, tb.catalog["hal.dll"])
+        assert result.expected_regions == ()
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        assert mc.check_pool("hal.dll").report.all_clean
+
+    def test_module_without_imports_rejected(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        bp = build_driver("noimp.sys", seed=9, imports=())
+        kernel.load_module(bp)
+        with pytest.raises(AttackError, match="imports nothing"):
+            IATHookAttack().apply(kernel, bp)
+
+    def test_slot_index_selects_import(self, tb):
+        kernel = tb.hypervisor.domain("Dom3").kernel
+        bp = tb.catalog["hal.dll"]
+        r0 = IATHookAttack(slot_index=0).apply(kernel, bp)
+        r1 = IATHookAttack(slot_index=1).apply(kernel, bp)
+        assert r0.details["import"] != r1.details["import"]
+
+
+class TestRuntimeCodePatch:
+    def test_memory_changed_file_untouched(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        bp = tb.catalog["hal.dll"]
+        result = RuntimeCodePatchAttack().apply(kernel, bp)
+        va = result.details["va"]
+        assert kernel.aspace.read(va, 2) == b"\xEB\xFE"
+        assert bp.file_bytes == tb.catalog["hal.dll"].file_bytes
+
+    def test_detected_as_text_mismatch(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        RuntimeCodePatchAttack().apply(kernel, tb.catalog["hal.dll"])
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool("hal.dll").report
+        assert report.flagged() == ["Dom2"]
+        assert report.mismatched_regions("Dom2") == (".text",)
+
+    def test_patch_beyond_text_rejected(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        bp = tb.catalog["hal.dll"]
+        attack = RuntimeCodePatchAttack(
+            offset_in_text=bp.section(".text").virtual_size)
+        with pytest.raises(AttackError):
+            attack.apply(kernel, bp)
+
+    def test_custom_patch_bytes(self, tb):
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        result = RuntimeCodePatchAttack(
+            offset_in_text=0x40, patch=b"\xCC\xCC\xCC").apply(
+                kernel, tb.catalog["hal.dll"])
+        assert kernel.aspace.read(result.details["va"], 3) == b"\xCC" * 3

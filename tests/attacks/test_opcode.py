@@ -1,0 +1,68 @@
+"""Unit tests for E1 — single opcode replacement."""
+
+import pytest
+
+from repro.attacks.opcode import SUB_ECX_1, OpcodeReplacementAttack
+from repro.errors import AttackError
+from repro.pe import PEImage, map_file_to_memory
+from repro.pe.codegen import PROLOGUE
+
+
+@pytest.fixture(scope="module")
+def result(hal_blueprint):
+    return OpcodeReplacementAttack().apply(hal_blueprint)
+
+
+class TestOpcodeReplacement:
+    def test_exactly_three_bytes_changed(self, result):
+        assert result.bytes_changed <= 3
+        assert result.bytes_changed >= 1
+
+    def test_changed_bytes_inside_text_raw(self, result):
+        text = result.original.section(".text")
+        lo = text.pointer_to_raw_data
+        hi = lo + text.size_of_raw_data
+        assert all(lo <= off < hi for off in result.modified_offsets)
+
+    def test_new_instruction_in_place(self, result):
+        entry = result.original.entry_function()
+        text = result.original.section(".text")
+        off = text.pointer_to_raw_data + entry.offset + len(PROLOGUE)
+        assert result.infected.file_bytes[off:off + 3] == SUB_ECX_1
+
+    def test_file_length_unchanged(self, result):
+        assert len(result.infected.file_bytes) == \
+            len(result.original.file_bytes)
+
+    def test_headers_unchanged(self, result):
+        n = result.original.optional_header.size_of_headers
+        assert result.infected.file_bytes[:n] == \
+            result.original.file_bytes[:n]
+
+    def test_expected_regions(self, result):
+        assert result.expected_regions == (".text",)
+
+    def test_infected_file_still_parses(self, result):
+        pe = PEImage(bytes(map_file_to_memory(result.infected.file_bytes)))
+        assert [s.name for s in pe.sections] == \
+            [s.name for s in result.original.sections]
+
+    def test_original_untouched(self, hal_blueprint, result):
+        assert result.original.file_bytes == hal_blueprint.file_bytes
+
+    def test_missing_opcode_raises(self, hal_blueprint):
+        import dataclasses
+        # Corrupt the planted DEC ECX so the attack can't find it.
+        data = bytearray(hal_blueprint.file_bytes)
+        entry = hal_blueprint.entry_function()
+        text = hal_blueprint.section(".text")
+        off = text.pointer_to_raw_data + entry.offset + len(PROLOGUE)
+        data[off] = 0x90
+        broken = dataclasses.replace(hal_blueprint, file_bytes=bytes(data))
+        with pytest.raises(AttackError, match="expected DEC ECX"):
+            OpcodeReplacementAttack().apply(broken)
+
+    def test_details_recorded(self, result):
+        assert result.details["old_opcode"] == "49"
+        assert result.details["new_opcode"] == "83E901"
+        assert result.attack_name == "opcode-replacement"

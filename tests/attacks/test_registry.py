@@ -1,0 +1,53 @@
+"""Unit tests for the attack registry."""
+
+import pytest
+
+from repro.attacks import (ATTACKS, EXPERIMENTS, Attack, InfectionResult,
+                           attack_for_experiment, make_attack,
+                           register_attack)
+
+
+class TestRegistry:
+    def test_all_four_techniques_present(self):
+        assert set(ATTACKS) >= {"opcode-replacement", "inline-hook",
+                                "stub-modification", "dll-injection"}
+
+    def test_experiment_mapping_matches_paper(self):
+        assert EXPERIMENTS["E1"] == ("opcode-replacement", "hal.dll")
+        assert EXPERIMENTS["E2"] == ("inline-hook", "hal.dll")
+        assert EXPERIMENTS["E3"] == ("stub-modification", "dummy.sys")
+        assert EXPERIMENTS["E4"] == ("dll-injection", "dummy.sys")
+
+    def test_make_attack(self):
+        attack = make_attack("inline-hook")
+        assert isinstance(attack, Attack)
+        assert attack.name == "inline-hook"
+
+    def test_unknown_attack(self):
+        with pytest.raises(KeyError, match="unknown attack"):
+            make_attack("quantum-entangle")
+
+    def test_attack_for_experiment_case_insensitive(self):
+        attack, module = attack_for_experiment("e1")
+        assert attack.name == "opcode-replacement"
+        assert module == "hal.dll"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            attack_for_experiment("E9")
+
+    def test_register_custom(self):
+        class NopAttack(Attack):
+            name = "nop-test-attack"
+
+            def apply(self, blueprint):
+                return InfectionResult(self.name, blueprint, blueprint,
+                                       (), ())
+
+        register_attack("nop-test-attack", NopAttack)
+        try:
+            assert make_attack("nop-test-attack").name == "nop-test-attack"
+            with pytest.raises(ValueError, match="already registered"):
+                register_attack("nop-test-attack", NopAttack)
+        finally:
+            del ATTACKS["nop-test-attack"]

@@ -1,0 +1,51 @@
+"""Unit tests for E3 — DOS stub modification."""
+
+import pytest
+
+from repro.attacks.stub import StubModificationAttack
+from repro.errors import AttackError
+
+
+@pytest.fixture(scope="module")
+def result(dummy_blueprint):
+    return StubModificationAttack().apply(dummy_blueprint)
+
+
+class TestStubModification:
+    def test_exactly_three_bytes_changed(self, result):
+        assert result.bytes_changed == 3
+
+    def test_changes_inside_dos_region(self, result):
+        assert all(off < result.original.e_lfanew
+                   for off in result.modified_offsets)
+
+    def test_message_rewritten(self, result):
+        stub = result.infected.file_bytes[:result.infected.e_lfanew]
+        assert b"CHK mode" in stub
+        assert b"DOS mode" not in stub
+
+    def test_rest_of_file_identical(self, result):
+        e = result.original.e_lfanew
+        assert result.infected.file_bytes[e:] == result.original.file_bytes[e:]
+
+    def test_expected_regions(self, result):
+        assert result.expected_regions == ("IMAGE_DOS_HEADER",)
+
+    def test_alignment_preserved(self, result):
+        assert len(result.infected.file_bytes) == \
+            len(result.original.file_bytes)
+        assert result.infected.e_lfanew == result.original.e_lfanew
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StubModificationAttack(old=b"DOS", new=b"HACK")
+
+    def test_missing_needle_raises(self, dummy_blueprint):
+        with pytest.raises(AttackError, match="not found"):
+            StubModificationAttack(old=b"XYZ", new=b"ABC").apply(
+                dummy_blueprint)
+
+    def test_custom_replacement(self, dummy_blueprint):
+        result = StubModificationAttack(old=b"run", new=b"pwn").apply(
+            dummy_blueprint)
+        assert b"pwn" in result.infected.file_bytes[:result.infected.e_lfanew]

@@ -1,0 +1,71 @@
+"""Unit tests for the cloud testbed builder."""
+
+import pytest
+
+from repro.cloud import PAPER_VM_COUNT, build_testbed
+from repro.attacks import StubModificationAttack
+
+
+class TestBuild:
+    def test_default_matches_paper(self):
+        tb = build_testbed(seed=1)
+        assert len(tb.vm_names) == PAPER_VM_COUNT == 15
+        assert tb.vm_names[0] == "Dom1" and tb.vm_names[-1] == "Dom15"
+        assert tb.hypervisor.cpu.logical_cpus == 8
+
+    def test_clones_share_catalog_bytes(self, clean_testbed_session):
+        tb = clean_testbed_session
+        # Every guest loaded the same files: hashes of the *files* are
+        # identical; only in-memory bases differ.
+        bases = set()
+        for name in tb.vm_names:
+            kernel = tb.hypervisor.domain(name).kernel
+            bases.add(kernel.module("hal.dll").base)
+        assert len(bases) == len(tb.vm_names)
+
+    def test_profile_matches_all_guests(self, clean_testbed_session):
+        tb = clean_testbed_session
+        for name in tb.vm_names:
+            kernel = tb.hypervisor.domain(name).kernel
+            assert tb.profile.symbol("PsLoadedModuleList") == \
+                kernel.symbols["PsLoadedModuleList"]
+
+    def test_zero_vms_rejected(self):
+        with pytest.raises(ValueError):
+            build_testbed(0)
+
+    def test_deterministic(self):
+        a = build_testbed(3, seed=9)
+        b = build_testbed(3, seed=9)
+        for name in a.vm_names:
+            ka = a.hypervisor.domain(name).kernel
+            kb = b.hypervisor.domain(name).kernel
+            assert ka.module("hal.dll").base == kb.module("hal.dll").base
+
+
+class TestInfection:
+    def test_infected_vm_boots_replacement(self, catalog):
+        infected = StubModificationAttack().apply(catalog["dummy.sys"])
+        tb = build_testbed(3, seed=42,
+                           infected={"Dom2": {"dummy.sys": infected.infected}})
+        img_clean = tb.hypervisor.domain("Dom1").kernel.read_module_image(
+            "dummy.sys")
+        img_bad = tb.hypervisor.domain("Dom2").kernel.read_module_image(
+            "dummy.sys")
+        assert b"CHK mode" in img_bad
+        assert b"CHK mode" not in img_clean
+
+    def test_unknown_module_in_infection_rejected(self, catalog):
+        infected = StubModificationAttack().apply(catalog["dummy.sys"])
+        with pytest.raises(KeyError, match="not in the catalog"):
+            build_testbed(2, seed=42,
+                          infected={"Dom1": {"ghost.sys": infected.infected}})
+
+
+class TestLoads:
+    def test_set_guest_loads(self):
+        tb = build_testbed(3, seed=1)
+        tb.set_guest_loads(0.5)
+        assert tb.hypervisor.guest_demand() == pytest.approx(1.5)
+        tb.set_guest_loads(1.0, vms=["Dom1"])
+        assert tb.hypervisor.domain("Dom1").cpu_load == 1.0

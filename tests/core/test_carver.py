@@ -1,0 +1,116 @@
+"""Unit + integration tests for module carving (anti-DKOM extension)."""
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.core.carver import (CarvedModule, ModuleCarver, identify_carved,
+                               module_fingerprint)
+from repro.core.searcher import ModuleSearcher
+
+
+@pytest.fixture
+def tb():
+    return build_testbed(3, seed=42)
+
+
+@pytest.fixture
+def mc(tb):
+    return ModChecker(tb.hypervisor, tb.profile)
+
+
+class TestCarve:
+    def test_finds_every_loaded_module(self, tb, mc):
+        carver = ModuleCarver(mc.vmi_for("Dom1"))
+        carved = carver.carve()
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        assert {m.base for m in carved} == \
+            {m.base for m in kernel.modules.values()}
+
+    def test_carved_images_match_searcher_copies(self, tb, mc):
+        vmi = mc.vmi_for("Dom1")
+        carved = {m.base: m for m in ModuleCarver(vmi).carve()}
+        searcher = ModuleSearcher(vmi)
+        for entry in searcher.list_modules():
+            copy = searcher.copy_module(entry.name)
+            assert carved[entry.dll_base].image == copy.image, entry.name
+
+    def test_no_false_hits_in_gaps(self, tb, mc):
+        """Random-gap pages between modules never carve as modules."""
+        carver = ModuleCarver(mc.vmi_for("Dom1"))
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        true_bases = {m.base for m in kernel.modules.values()}
+        assert all(m.base in true_bases for m in carver.carve())
+
+    def test_page_directory_skip_is_cheap(self, tb, mc):
+        """The PDE-guided sweep must not map every arena page."""
+        vmi = mc.vmi_for("Dom1")
+        vmi.flush_caches()
+        before = vmi.stats.pages_mapped
+        ModuleCarver(vmi).carve()
+        mapped = vmi.stats.pages_mapped - before
+        arena_pages = (0xFA00_0000 - 0xF700_0000) // 0x1000
+        assert mapped < arena_pages / 10
+
+
+class TestFingerprint:
+    def test_clones_share_fingerprint(self, tb, mc):
+        a = ModuleSearcher(mc.vmi_for("Dom1")).copy_module("hal.dll")
+        b = ModuleSearcher(mc.vmi_for("Dom2")).copy_module("hal.dll")
+        assert a.image != b.image                      # relocated differently
+        assert module_fingerprint(a.image) == module_fingerprint(b.image)
+
+    def test_different_modules_differ(self, tb, mc):
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        a = searcher.copy_module("hal.dll")
+        b = searcher.copy_module("http.sys")
+        assert module_fingerprint(a.image) != module_fingerprint(b.image)
+
+    def test_identify_carved(self, tb, mc):
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        copy = searcher.copy_module("ndis.sys")
+        carved = CarvedModule("Dom1", copy.base, copy.image)
+        named = {e.name: ModuleSearcher(mc.vmi_for("Dom2")).copy_module(e.name)
+                 for e in searcher.list_modules()}
+        assert identify_carved(carved, named) == "ndis.sys"
+
+    def test_identify_unknown_returns_none(self, tb, mc):
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        copy = searcher.copy_module("ndis.sys")
+        carved = CarvedModule("Dom1", copy.base, copy.image)
+        assert identify_carved(carved, {}) is None
+
+
+class TestHiddenModuleDetection:
+    def test_clean_guest_has_no_hidden_modules(self, mc):
+        assert mc.detect_hidden_modules("Dom1") == []
+
+    def test_unlinked_module_detected_and_identified(self, tb, mc):
+        tb.hypervisor.domain("Dom2").kernel.unload_module("dummy.sys")
+        hidden = mc.detect_hidden_modules("Dom2")
+        assert len(hidden) == 1
+        carved, name = hidden[0]
+        assert name == "dummy.sys"
+        assert carved.vm_name == "Dom2"
+
+    def test_hidden_clean_module_passes_integrity(self, tb, mc):
+        tb.hypervisor.domain("Dom2").kernel.unload_module("dummy.sys")
+        (carved, name), = mc.detect_hidden_modules("Dom2")
+        report = mc.check_carved_module(carved, name)
+        assert report.clean
+
+    def test_hidden_infected_module_flagged(self, tb, mc):
+        """The full rootkit scenario: patch the module in memory, then
+        unlink it. The searcher is blind; the carver is not, and the
+        integrity check convicts the carved image."""
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        mod = kernel.module("dummy.sys")
+        text = tb.catalog["dummy.sys"].section(".text")
+        kernel.aspace.write(mod.base + text.virtual_address + 0x10, b"\xCC")
+        kernel.unload_module("dummy.sys")
+
+        (carved, name), = mc.detect_hidden_modules("Dom2")
+        assert name == "dummy.sys"
+        report = mc.check_carved_module(carved, name)
+        assert not report.clean
+        assert ".text" in report.mismatched_regions()

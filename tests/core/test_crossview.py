@@ -1,0 +1,88 @@
+"""Tests for cross-view detection and the LDR-decoy attack."""
+
+import pytest
+
+from repro.attacks import LdrDecoyAttack
+from repro.cloud import build_testbed
+from repro.core import ModChecker, ModuleSearcher, cross_view
+from repro.errors import IntrospectionFault
+
+
+@pytest.fixture
+def tb():
+    return build_testbed(3, seed=42)
+
+
+@pytest.fixture
+def mc(tb):
+    return ModChecker(tb.hypervisor, tb.profile)
+
+
+class TestCleanCrossView:
+    def test_all_confirmed(self, tb, mc):
+        report = cross_view(mc.vmi_for("Dom1"))
+        assert report.consistent
+        assert len(report.confirmed) == len(tb.catalog)
+        assert report.carved_only == [] and report.listed_only == []
+
+    def test_summary_format(self, mc):
+        report = cross_view(mc.vmi_for("Dom1"))
+        assert "10 confirmed" in report.summary()
+
+
+class TestHiddenView:
+    def test_unlinked_module_is_carved_only(self, tb, mc):
+        tb.hypervisor.domain("Dom1").kernel.unload_module("ndis.sys")
+        mc.vmi_for("Dom1").flush_caches()
+        report = cross_view(mc.vmi_for("Dom1"))
+        assert not report.consistent
+        assert len(report.carved_only) == 1
+        assert len(report.confirmed) == len(tb.catalog) - 1
+
+
+class TestDecoyView:
+    def test_decoy_is_listed_only(self, tb, mc):
+        LdrDecoyAttack().apply(tb.hypervisor.domain("Dom1").kernel)
+        mc.vmi_for("Dom1").flush_caches()
+        report = cross_view(mc.vmi_for("Dom1"))
+        assert not report.consistent
+        assert [e.name for e in report.listed_only] == ["ghost.sys"]
+        assert len(report.confirmed) == len(tb.catalog)
+
+    def test_searcher_lists_the_phantom(self, tb, mc):
+        LdrDecoyAttack().apply(tb.hypervisor.domain("Dom1").kernel)
+        mc.vmi_for("Dom1").flush_caches()
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        names = [e.name for e in searcher.list_modules()]
+        assert "ghost.sys" in names
+
+    def test_copying_the_phantom_faults_cleanly(self, tb, mc):
+        LdrDecoyAttack().apply(tb.hypervisor.domain("Dom1").kernel)
+        mc.vmi_for("Dom1").flush_caches()
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        with pytest.raises(IntrospectionFault):
+            searcher.copy_module("ghost.sys")
+
+    def test_pool_check_skips_phantom(self, tb, mc):
+        """A decoy on one VM must not break checking real modules."""
+        LdrDecoyAttack().apply(tb.hypervisor.domain("Dom1").kernel)
+        assert mc.check_pool("hal.dll").report.all_clean
+
+    def test_decoy_params(self, tb):
+        attack = LdrDecoyAttack(decoy_name="fake.sys",
+                                decoy_base=0xFBBB_0000)
+        result = attack.apply(tb.hypervisor.domain("Dom2").kernel)
+        assert result.module_name == "fake.sys"
+        assert result.details["decoy_base"] == 0xFBBB_0000
+
+
+class TestCombinedTampering:
+    def test_hidden_and_decoy_both_reported(self, tb, mc):
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        kernel.unload_module("dummy.sys")
+        LdrDecoyAttack().apply(kernel)
+        mc.vmi_for("Dom1").flush_caches()
+        report = cross_view(mc.vmi_for("Dom1"))
+        assert len(report.carved_only) == 1
+        assert len(report.listed_only) == 1
+        assert len(report.confirmed) == len(tb.catalog) - 1

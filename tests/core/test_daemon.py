@@ -1,0 +1,136 @@
+"""Unit tests for the checking daemon and scheduling policies."""
+
+import pytest
+
+from repro.attacks import RuntimeCodePatchAttack
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.core.daemon import (AdaptivePolicy, Alert, AlertLog, CheckDaemon,
+                               PriorityPolicy, RoundRobinPolicy)
+
+
+@pytest.fixture
+def tb():
+    # 4 VMs so a single infection is exactly localised (with 3, the
+    # strict majority rule ties and flags the whole pool).
+    return build_testbed(4, seed=42)
+
+
+@pytest.fixture
+def mc(tb):
+    return ModChecker(tb.hypervisor, tb.profile)
+
+
+class TestPolicies:
+    MODULES = ["a", "b", "c", "d", "e"]
+
+    def test_round_robin_rotates(self):
+        policy = RoundRobinPolicy(per_cycle=2)
+        log = AlertLog()
+        seen = []
+        for cycle in range(5):
+            seen += policy.select(cycle, self.MODULES, log)
+        assert set(seen) == set(self.MODULES)
+
+    def test_round_robin_per_cycle(self):
+        policy = RoundRobinPolicy(per_cycle=3)
+        assert len(policy.select(0, self.MODULES, AlertLog())) == 3
+
+    def test_round_robin_small_list(self):
+        policy = RoundRobinPolicy(per_cycle=4)
+        assert policy.select(0, ["x"], AlertLog()) == ["x"]
+
+    def test_round_robin_invalid(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy(0)
+
+    def test_priority_always_includes_critical(self):
+        policy = PriorityPolicy(critical=["a", "c"])
+        for cycle in range(4):
+            picked = policy.select(cycle, self.MODULES, AlertLog())
+            assert picked[0] == "a" and picked[1] == "c"
+
+    def test_adaptive_rechecks_offenders(self):
+        policy = AdaptivePolicy(per_cycle=1, cooldown=2)
+        log = AlertLog()
+        policy.note_outcome("b", alarmed=True)
+        assert "b" in policy.select(1, self.MODULES, log)
+        policy.note_outcome("b", alarmed=False)
+        assert "b" in policy.select(2, self.MODULES, log)
+        policy.note_outcome("b", alarmed=False)
+        # cooldown exhausted: back to normal rotation
+        assert "b" not in policy.select(0, self.MODULES, log)
+
+
+class TestAlertLog:
+    def test_queries(self):
+        log = AlertLog()
+        log.add(Alert(1.0, "hal.dll", ("Dom2",), (".text",)))
+        log.add(Alert(2.0, "http.sys", ("Dom1", "Dom2"), (".text",)))
+        assert len(log) == 2
+        assert len(log.for_module("hal.dll")) == 1
+        assert len(log.for_vm("Dom2")) == 2
+        assert len(log.for_vm("Dom9")) == 0
+
+    def test_str(self):
+        alert = Alert(1.5, "hal.dll", ("Dom2",), (".text",))
+        assert "hal.dll" in str(alert) and "Dom2" in str(alert)
+
+
+class TestDaemon:
+    def test_clean_pool_quiet(self, mc):
+        daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=5), carve=True)
+        log = daemon.run(4)
+        assert len(log) == 0
+        assert daemon.cycles_run == 4
+
+    def test_cycles_advance_clock(self, tb, mc):
+        daemon = CheckDaemon(mc, interval=30.0, carve=False)
+        t0 = tb.clock.now
+        daemon.run(3)
+        assert tb.clock.now >= t0 + 90.0
+
+    def test_infection_alerts_once_discovered(self, tb, mc):
+        RuntimeCodePatchAttack().apply(
+            tb.hypervisor.domain("Dom2").kernel, tb.catalog["hal.dll"])
+        daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=10), carve=False)
+        alerts = daemon.run_cycle()
+        assert len(alerts) == 1
+        assert alerts[0].module == "hal.dll"
+        assert alerts[0].flagged_vms == ("Dom2",)
+        assert ".text" in alerts[0].regions
+
+    def test_hidden_module_alert_via_carving(self, tb, mc):
+        tb.hypervisor.domain("Dom1").kernel.unload_module("dummy.sys")
+        daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=1), carve=True)
+        log = daemon.run(3)          # carving rotates over the 3 VMs
+        hidden = [a for a in log.alerts if a.kind == "hidden-module"]
+        assert len(hidden) >= 1
+        assert hidden[0].module == "dummy.sys"
+        assert hidden[0].flagged_vms == ("Dom1",)
+
+    def test_adaptive_daemon_watches_offender(self, tb, mc):
+        RuntimeCodePatchAttack().apply(
+            tb.hypervisor.domain("Dom2").kernel, tb.catalog["hal.dll"])
+        policy = AdaptivePolicy(per_cycle=1, cooldown=2)
+        daemon = CheckDaemon(mc, policy, carve=False)
+        # first cycles rotate until hal.dll is hit, then it sticks
+        daemon.run(12)
+        hal_alerts = daemon.log.for_module("hal.dll")
+        assert len(hal_alerts) >= 3   # re-checked every cycle once seen
+
+    def test_invalid_interval(self, mc):
+        with pytest.raises(ValueError):
+            CheckDaemon(mc, interval=0)
+
+
+class TestDaemonCrossView:
+    def test_decoy_entry_alert(self, tb, mc):
+        from repro.attacks import LdrDecoyAttack
+        LdrDecoyAttack().apply(tb.hypervisor.domain("Dom1").kernel)
+        daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=1), carve=True)
+        log = daemon.run(4)          # rotation reaches Dom1 on cycle 0
+        decoys = [a for a in log.alerts if a.kind == "decoy-entry"]
+        assert decoys
+        assert decoys[0].module == "ghost.sys"
+        assert decoys[0].flagged_vms == ("Dom1",)

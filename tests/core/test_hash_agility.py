@@ -1,0 +1,51 @@
+"""Tests for digest agility in the Integrity-Checker."""
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import SUPPORTED_HASHES, IntegrityChecker, ModChecker
+
+
+class TestIntegrityCheckerHashes:
+    def test_supported_list(self):
+        assert "md5" in SUPPORTED_HASHES          # the paper's choice
+        assert "sha256" in SUPPORTED_HASHES       # the modern choice
+
+    def test_unknown_hash_rejected(self):
+        with pytest.raises(ValueError, match="unknown hash"):
+            IntegrityChecker(hash_algorithm="crc32")
+
+    def test_digest_lengths(self):
+        assert len(IntegrityChecker(hash_algorithm="md5").digest(b"x")) == 32
+        assert len(IntegrityChecker(hash_algorithm="sha1").digest(b"x")) == 40
+        assert len(IntegrityChecker(
+            hash_algorithm="sha256").digest(b"x")) == 64
+
+    def test_default_is_paper_md5(self):
+        checker = IntegrityChecker()
+        assert checker.hash_algorithm == "md5"
+        assert checker.digest(b"abc") == \
+            "900150983cd24fb0d6963f7d28e17f72"
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", SUPPORTED_HASHES)
+    def test_clean_pool_clean_under_every_hash(self, algorithm,
+                                               clean_testbed_session):
+        tb = clean_testbed_session
+        mc = ModChecker(tb.hypervisor, tb.profile, hash_algorithm=algorithm)
+        assert mc.check_pool("hal.dll").report.all_clean
+
+    @pytest.mark.parametrize("algorithm", SUPPORTED_HASHES)
+    def test_infection_detected_under_every_hash(self, algorithm):
+        from repro.attacks import attack_for_experiment
+        from repro.guest import build_catalog
+        attack, module = attack_for_experiment("E1")
+        catalog = build_catalog(seed=42)
+        infected = attack.apply(catalog[module]).infected
+        tb = build_testbed(4, seed=42,
+                           infected={"Dom2": {module: infected}})
+        mc = ModChecker(tb.hypervisor, tb.profile, hash_algorithm=algorithm)
+        report = mc.check_pool(module).report
+        assert report.flagged() == ["Dom2"]
+        assert report.mismatched_regions("Dom2") == (".text",)

@@ -1,0 +1,125 @@
+"""Unit tests for the ModChecker orchestrator."""
+
+import pytest
+
+from repro.attacks import OpcodeReplacementAttack
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.errors import InsufficientPool, ModuleNotLoadedError
+
+
+@pytest.fixture(scope="module")
+def checker(clean_testbed_session):
+    return ModChecker(clean_testbed_session.hypervisor,
+                      clean_testbed_session.profile)
+
+
+class TestPoolCheck:
+    def test_clean_pool_all_clean(self, checker):
+        out = checker.check_pool("hal.dll")
+        assert out.report.all_clean
+        assert len(out.report.vm_names) == 5
+
+    def test_module_not_loaded_anywhere(self, checker):
+        with pytest.raises(InsufficientPool):
+            checker.check_pool("rootkit.sys")
+
+    def test_subset_of_vms(self, checker, clean_testbed_session):
+        vms = clean_testbed_session.vm_names[:3]
+        out = checker.check_pool("http.sys", vms)
+        assert out.report.vm_names == vms
+        assert len(out.report.pairs) == 3
+
+    def test_timings_populated(self, checker):
+        out = checker.check_pool("http.sys")
+        t = out.timings
+        assert t.searcher > 0 and t.parser > 0 and t.checker > 0
+        assert t.searcher > t.parser            # paper's component ordering
+        assert t.total == pytest.approx(t.searcher + t.parser + t.checker)
+
+    def test_per_vm_searcher_times(self, checker, clean_testbed_session):
+        out = checker.check_pool("hal.dll")
+        assert set(out.per_vm_searcher) == set(clean_testbed_session.vm_names)
+        assert all(v > 0 for v in out.per_vm_searcher.values())
+
+
+class TestTargetCheck:
+    def test_clean_target(self, checker):
+        out = checker.check_on_vm("hal.dll", "Dom2")
+        assert out.report.clean
+        assert out.report.comparisons == 4
+
+    def test_target_outside_pool_list_included(self, checker):
+        out = checker.check_on_vm("hal.dll", "Dom1", vms=["Dom2", "Dom3"])
+        assert out.report.comparisons == 2
+
+    def test_missing_target_module(self, checker):
+        with pytest.raises(ModuleNotLoadedError):
+            checker.check_on_vm("nosuch.sys", "Dom1")
+
+    def test_single_vm_pool_rejected(self, checker):
+        with pytest.raises(InsufficientPool):
+            checker.check_on_vm("hal.dll", "Dom1", vms=["Dom1"])
+
+
+class TestProfileDerivation:
+    def test_profile_derived_from_first_guest(self, clean_testbed_session):
+        mc = ModChecker(clean_testbed_session.hypervisor)   # no profile
+        assert mc.check_pool("hal.dll").report.all_clean
+
+    def test_no_guests_rejected(self):
+        from repro.hypervisor import Hypervisor
+        with pytest.raises(InsufficientPool):
+            ModChecker(Hypervisor())
+
+
+class TestModuleSweep:
+    def test_check_all_modules(self, checker, clean_testbed_session):
+        outcomes = checker.check_all_modules(
+            vms=clean_testbed_session.vm_names[:3])
+        assert set(outcomes) == set(clean_testbed_session.catalog)
+        assert all(o.report.all_clean for o in outcomes.values())
+
+
+class TestInfectedPool:
+    def test_detection_and_localisation(self):
+        from repro.guest import build_catalog
+        catalog = build_catalog(seed=42)
+        infected_bp = OpcodeReplacementAttack().apply(
+            catalog["hal.dll"]).infected
+        tb = build_testbed(4, seed=42,
+                           infected={"Dom2": {"hal.dll": infected_bp}})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        out = mc.check_pool("hal.dll")
+        assert out.report.flagged() == ["Dom2"]
+        assert out.report.mismatched_regions("Dom2") == (".text",)
+        # other modules remain clean on the infected VM
+        assert mc.check_pool("http.sys").report.all_clean
+
+    def test_infected_target_mode(self):
+        from repro.guest import build_catalog
+        catalog = build_catalog(seed=42)
+        infected_bp = OpcodeReplacementAttack().apply(
+            catalog["hal.dll"]).infected
+        tb = build_testbed(4, seed=42,
+                           infected={"Dom2": {"hal.dll": infected_bp}})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        assert not mc.check_on_vm("hal.dll", "Dom2").report.clean
+        assert mc.check_on_vm("hal.dll", "Dom1").report.clean
+
+
+class TestCacheFlushing:
+    def test_flush_each_round_costs_more(self, clean_testbed_session):
+        hv = clean_testbed_session.hypervisor
+        flushing = ModChecker(hv, clean_testbed_session.profile,
+                              flush_caches_each_round=True)
+        caching = ModChecker(hv, clean_testbed_session.profile,
+                             flush_caches_each_round=False)
+        # warm both, then measure a second round
+        flushing.check_pool("hal.dll")
+        caching.check_pool("hal.dll")
+        with hv.clock.span() as s_flush:
+            flushing.check_pool("hal.dll")
+        with hv.clock.span() as s_cache:
+            caching.check_pool("hal.dll")
+        assert s_cache.elapsed < s_flush.elapsed

@@ -1,0 +1,90 @@
+"""Unit tests for the parallel-introspection extension."""
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker, ParallelModChecker, makespan
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_single_worker_sums(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_workers_takes_max(self):
+        assert makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_lpt_packing(self):
+        # The classic LPT worst case: optimal is 6 (3+3 / 2+2+2) but the
+        # greedy yields 7 — still within the 7/6 guarantee.
+        assert makespan([3, 3, 2, 2, 2], 2) == pytest.approx(7.0)
+
+    def test_lpt_within_guarantee(self):
+        items = [3.0, 3.0, 2.0, 2.0, 2.0, 1.0, 1.0]
+        got = makespan(items, 2)
+        optimal_lower = max(max(items), sum(items) / 2)
+        assert got <= (7 / 6) * optimal_lower + max(items)
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+    def test_never_below_max_item(self):
+        assert makespan([5.0, 0.1, 0.1], 8) == pytest.approx(5.0)
+
+
+class TestParallelChecker:
+    def test_same_verdict_as_sequential(self, clean_testbed_session):
+        tb = clean_testbed_session
+        seq = ModChecker(tb.hypervisor, tb.profile)
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        r_seq = seq.check_on_vm("http.sys", "Dom1").report
+        r_par = par.check_on_vm("http.sys", "Dom1").report
+        assert r_seq.clean == r_par.clean
+        assert r_seq.matches == r_par.matches
+        assert r_seq.comparisons == r_par.comparisons
+
+    def test_parallel_faster_on_idle_host(self):
+        tb = build_testbed(8, seed=42)
+        seq = ModChecker(tb.hypervisor, tb.profile)
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        with tb.clock.span() as s:
+            seq.check_on_vm("http.sys", "Dom1")
+        with tb.clock.span() as p:
+            par.check_on_vm("http.sys", "Dom1")
+        assert p.elapsed < s.elapsed
+        assert p.elapsed > s.elapsed / 8     # no free lunch
+
+    def test_speedup_attribute(self, clean_testbed_session):
+        tb = clean_testbed_session
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        out = par.check_on_vm("http.sys", "Dom1")
+        assert out.parallel.speedup >= 1.0
+
+    def test_one_thread_close_to_sequential(self):
+        tb = build_testbed(5, seed=42)
+        seq = ModChecker(tb.hypervisor, tb.profile)
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=1)
+        with tb.clock.span() as s:
+            seq.check_on_vm("http.sys", "Dom1")
+        with tb.clock.span() as p:
+            par.check_on_vm("http.sys", "Dom1")
+        assert p.elapsed == pytest.approx(s.elapsed, rel=0.15)
+
+    def test_invalid_threads(self, clean_testbed_session):
+        tb = clean_testbed_session
+        with pytest.raises(ValueError):
+            ParallelModChecker(tb.hypervisor, tb.profile, threads=0)
+
+    def test_detects_infection_like_sequential(self):
+        from repro.attacks import InlineHookAttack
+        from repro.guest import build_catalog
+        catalog = build_catalog(seed=42)
+        infected = InlineHookAttack().apply(catalog["hal.dll"]).infected
+        tb = build_testbed(4, seed=42,
+                           infected={"Dom3": {"hal.dll": infected}})
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        assert not par.check_on_vm("hal.dll", "Dom3").report.clean
+        assert par.check_on_vm("hal.dll", "Dom1").report.clean

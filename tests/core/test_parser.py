@@ -1,0 +1,57 @@
+"""Unit tests for Module-Parser."""
+
+import pytest
+
+from repro.core.parser import ModuleParser
+from repro.core.searcher import ModuleCopy
+from repro.errors import PEFormatError
+from repro.pe import map_file_to_memory
+
+
+@pytest.fixture
+def copy(small_driver):
+    image = bytes(map_file_to_memory(small_driver.file_bytes))
+    return ModuleCopy("Dom1", "unit.sys", 0xF7010000, image, 0x80001000)
+
+
+class TestParse:
+    def test_regions_extracted(self, copy):
+        parsed = ModuleParser().parse(copy)
+        names = parsed.region_names()
+        assert names[0] == "IMAGE_DOS_HEADER"
+        assert ".text" in names and "INIT" in names
+        assert ".rdata" not in names            # not executable
+
+    def test_identity_preserved(self, copy):
+        parsed = ModuleParser().parse(copy)
+        assert parsed.vm_name == "Dom1"
+        assert parsed.module_name == "unit.sys"
+        assert parsed.base == 0xF7010000
+
+    def test_region_bytes_slice_image(self, copy, small_driver):
+        parsed = ModuleParser().parse(copy)
+        text_region = next(r for r in parsed.code_regions
+                           if r.name == ".text")
+        text = small_driver.section(".text")
+        assert parsed.region_bytes(text_region) == \
+            copy.image[text.virtual_address:
+                       text.virtual_address + text.virtual_size]
+
+    def test_garbage_image_raises(self):
+        bad = ModuleCopy("Dom1", "x", 0, b"\x00" * 4096, 0)
+        with pytest.raises(PEFormatError):
+            ModuleParser().parse(bad)
+
+    def test_charge_called_with_positive_cost(self, copy):
+        charges = []
+        ModuleParser(charge=charges.append).parse(copy)
+        assert len(charges) == 1 and charges[0] > 0
+
+    def test_charge_scales_with_size(self, copy, catalog):
+        big_image = bytes(map_file_to_memory(
+            catalog["ntoskrnl.exe"].file_bytes))
+        big = ModuleCopy("Dom1", "ntoskrnl.exe", 0xF7000000, big_image, 0)
+        small_charges, big_charges = [], []
+        ModuleParser(charge=small_charges.append).parse(copy)
+        ModuleParser(charge=big_charges.append).parse(big)
+        assert big_charges[0] > small_charges[0]

@@ -1,0 +1,86 @@
+"""Tests for the O(t) canonical pool-check mode."""
+
+import pytest
+
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.guest import build_catalog
+
+
+def _infected_tb(exp_id, n_vms=6, victim="Dom3"):
+    attack, module = attack_for_experiment(exp_id)
+    catalog = build_catalog(seed=42)
+    infected = attack.apply(catalog[module]).infected
+    tb = build_testbed(n_vms, seed=42,
+                       infected={victim: {module: infected}})
+    return tb, module
+
+
+class TestEquivalence:
+    def test_clean_pool(self, clean_testbed_session):
+        tb = clean_testbed_session
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        pairwise = mc.check_pool("hal.dll", mode="pairwise").report
+        canonical = mc.check_pool("hal.dll", mode="canonical").report
+        assert pairwise.all_clean and canonical.all_clean
+
+    @pytest.mark.parametrize("exp_id", ["E1", "E2", "E3", "E4"])
+    def test_same_flags_and_signature(self, exp_id):
+        tb, module = _infected_tb(exp_id)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        pairwise = mc.check_pool(module, mode="pairwise").report
+        canonical = mc.check_pool(module, mode="canonical").report
+        assert pairwise.flagged() == canonical.flagged() == ["Dom3"]
+        assert set(pairwise.mismatched_regions("Dom3")) == \
+            set(canonical.mismatched_regions("Dom3"))
+
+    def test_infected_reference_vm(self):
+        """The reference (first) VM being the victim must not blind the
+        clustering — the majority cluster still wins."""
+        tb, module = _infected_tb("E1", victim="Dom1")
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool(module, mode="canonical").report
+        assert report.flagged() == ["Dom1"]
+        assert ".text" in report.mismatched_regions("Dom1")
+
+    def test_two_identical_infections(self):
+        attack, module = attack_for_experiment("E1")
+        catalog = build_catalog(seed=42)
+        infected = attack.apply(catalog[module]).infected
+        tb = build_testbed(7, seed=42,
+                           infected={"Dom2": {module: infected},
+                                     "Dom5": {module: infected}})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool(module, mode="canonical").report
+        assert set(report.flagged()) == {"Dom2", "Dom5"}
+
+
+class TestCost:
+    def test_canonical_checker_phase_cheaper(self):
+        tb = build_testbed(15, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        pairwise = mc.check_pool("http.sys", mode="pairwise")
+        canonical = mc.check_pool("http.sys", mode="canonical")
+        # The checker phase shrinks from C(15,2)=105 to 14 comparisons.
+        assert canonical.timings.checker < pairwise.timings.checker / 3
+
+    def test_unknown_mode_rejected(self, clean_testbed_session):
+        tb = clean_testbed_session
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        with pytest.raises(ValueError, match="unknown pool mode"):
+            mc.check_pool("hal.dll", mode="quantum")
+
+
+class TestEdgeCases:
+    def test_empty_pool(self):
+        from repro.core import IntegrityChecker
+        report = IntegrityChecker().check_pool_canonical([])
+        assert report.vm_names == []
+
+    def test_two_vms(self, clean_testbed_session):
+        tb = clean_testbed_session
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool("hal.dll", vms=tb.vm_names[:2],
+                               mode="canonical").report
+        assert report.all_clean

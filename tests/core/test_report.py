@@ -1,0 +1,75 @@
+"""Unit tests for the report record types."""
+
+import pytest
+
+from repro.core.report import (PairComparison, PoolReport, VMCheckReport,
+                               VMVerdict)
+
+
+def _pair(a="VmA", b="VmB", mismatched=()):
+    return PairComparison(a, b, tuple(mismatched))
+
+
+class TestPairComparison:
+    def test_matched(self):
+        assert _pair().matched
+        assert not _pair(mismatched=[".text"]).matched
+
+    def test_involves_other(self):
+        pair = _pair()
+        assert pair.involves("VmA") and pair.involves("VmB")
+        assert not pair.involves("VmC")
+        assert pair.other("VmA") == "VmB"
+        with pytest.raises(ValueError):
+            pair.other("VmC")
+
+
+class TestVMCheckReport:
+    def _report(self, matches, comparisons, mismatched=()):
+        pairs = tuple(
+            _pair("T", f"O{i}",
+                  mismatched if i >= matches else ())
+            for i in range(comparisons))
+        return VMCheckReport(module_name="m", target_vm="T", pairs=pairs,
+                             matches=matches, comparisons=comparisons)
+
+    def test_strict_majority(self):
+        assert self._report(3, 4).clean
+        assert not self._report(2, 4).clean          # exactly half
+        assert not self._report(0, 4, [".text"]).clean
+
+    def test_mismatched_regions_deduplicated_ordered(self):
+        report = VMCheckReport(
+            module_name="m", target_vm="T",
+            pairs=(_pair("T", "A", [".text", "INIT"]),
+                   _pair("T", "B", [".text"])),
+            matches=0, comparisons=2)
+        assert report.mismatched_regions() == (".text", "INIT")
+
+
+class TestPoolReport:
+    def _pool(self):
+        pairs = [_pair("A", "B"), _pair("A", "C", [".text"]),
+                 _pair("B", "C", [".text"])]
+        verdicts = {
+            "A": VMVerdict("A", 1, 2, True, ()),
+            "B": VMVerdict("B", 1, 2, True, ()),
+            "C": VMVerdict("C", 0, 2, False, (".text",)),
+        }
+        return PoolReport(module_name="m", vm_names=["A", "B", "C"],
+                          pairs=pairs, verdicts=verdicts)
+
+    def test_flagged_and_clean(self):
+        report = self._pool()
+        assert report.flagged() == ["C"]
+        assert report.clean_vms() == ["A", "B"]
+        assert not report.all_clean
+
+    def test_pair_lookup_symmetric(self):
+        report = self._pool()
+        assert report.pair("C", "A").mismatched_regions == (".text",)
+        with pytest.raises(KeyError):
+            report.pair("A", "Z")
+
+    def test_mismatched_regions_accessor(self):
+        assert self._pool().mismatched_regions("C") == (".text",)

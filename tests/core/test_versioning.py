@@ -1,0 +1,122 @@
+"""Tests for mixed-version pool handling."""
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.core.versioning import (check_pool_versioned,
+                                   partition_by_version)
+from repro.guest import build_catalog
+from repro.guest.catalog import STANDARD_CATALOG, DriverSpec
+from repro.pe import PEBuilder
+from repro.rng import derive_seed
+
+
+def _updated_driver(name="hal.dll"):
+    """A plausibly 'updated' build of one driver (new link timestamp and
+    different code: a different build seed)."""
+    spec = next(s for s in STANDARD_CATALOG if s.name == name)
+    kwargs = dict(seed=derive_seed(777, "update", name),
+                  n_functions=spec.n_functions,
+                  avg_function_size=spec.avg_function_size,
+                  data_size=spec.data_size,
+                  timestamp=0x5150_0000)          # newer link date
+    if spec.imports is not None:
+        kwargs["imports"] = spec.imports
+    return PEBuilder(name, **kwargs).build()
+
+
+def _mixed_pool(n_vms=7, updated_vms=("Dom5", "Dom6", "Dom7"),
+                module="hal.dll"):
+    updated = _updated_driver(module)
+    tb = build_testbed(n_vms, seed=42,
+                       infected={vm: {module: updated}
+                                 for vm in updated_vms})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    parsed, _, _ = mc.fetch_modules(module, tb.vm_names)
+    return tb, mc, parsed
+
+
+class TestPartition:
+    def test_uniform_pool_single_group(self, clean_testbed_session):
+        tb = clean_testbed_session
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        parsed, _, _ = mc.fetch_modules("hal.dll", tb.vm_names)
+        groups = partition_by_version(parsed)
+        assert len(groups) == 1
+        assert groups[0].size == len(tb.vm_names)
+
+    def test_mixed_pool_two_groups(self):
+        _, _, parsed = _mixed_pool()
+        groups = partition_by_version(parsed)
+        assert [g.size for g in groups] == [4, 3]
+        assert set(groups[1].vm_names) == {"Dom5", "Dom6", "Dom7"}
+
+
+class TestVersionedCheck:
+    def test_naive_check_false_positives_on_mixed_pool(self):
+        """The problem, both regimes: with a 6/3 split the updated
+        minority is falsely flagged as infected; with a 4/3 split no
+        cohort holds a strict majority and the *entire pool* alarms."""
+        _, mc, parsed = _mixed_pool(
+            n_vms=9, updated_vms=("Dom7", "Dom8", "Dom9"))
+        naive = mc.checker.check_pool(parsed)
+        assert set(naive.flagged()) == {"Dom7", "Dom8", "Dom9"}
+
+        _, mc, parsed = _mixed_pool()      # 4 old / 3 updated
+        naive = mc.checker.check_pool(parsed)
+        assert len(naive.flagged()) == 7
+
+    def test_versioned_check_accepts_rollout(self):
+        """The fix: per-version voting clears both cohorts."""
+        _, mc, parsed = _mixed_pool()
+        report = check_pool_versioned(parsed, mc.checker)
+        assert report.all_clean
+        assert report.singletons == []
+        assert len(report.group_reports) == 2
+
+    def test_tamper_within_old_cohort_still_caught(self):
+        from repro.core.parser import ModuleParser
+        from repro.core.searcher import ModuleCopy
+        _, mc, parsed = _mixed_pool()
+        victim = next(p for p in parsed if p.vm_name == "Dom2")
+        image = bytearray(victim.image)
+        text = next(r for r in victim.code_regions if r.name == ".text")
+        image[text.start + 12] ^= 0x40
+        tampered = ModuleParser().parse(ModuleCopy(
+            victim.vm_name, victim.module_name, victim.base,
+            bytes(image), 0))
+        parsed = [tampered if p.vm_name == "Dom2" else p for p in parsed]
+        report = check_pool_versioned(parsed, mc.checker)
+        assert report.flagged() == ["Dom2"]
+
+    def test_header_tamper_becomes_suspicious_singleton(self):
+        """Header tampering changes the fingerprint, landing the victim
+        in a version group of one — reported as a singleton."""
+        from repro.core.parser import ModuleParser
+        from repro.core.searcher import ModuleCopy
+        import struct
+        _, mc, parsed = _mixed_pool()
+        victim = next(p for p in parsed if p.vm_name == "Dom3")
+        image = bytearray(victim.image)
+        # forge TimeDateStamp in the in-memory FILE header
+        e_lfanew = struct.unpack_from("<I", image, 0x3C)[0]
+        struct.pack_into("<I", image, e_lfanew + 8, 0x01020304)
+        tampered = ModuleParser().parse(ModuleCopy(
+            victim.vm_name, victim.module_name, victim.base,
+            bytes(image), 0))
+        parsed = [tampered if p.vm_name == "Dom3" else p for p in parsed]
+        report = check_pool_versioned(parsed, mc.checker)
+        assert report.singletons == ["Dom3"]
+        assert "Dom3" in report.flagged()
+
+    def test_group_of(self):
+        _, mc, parsed = _mixed_pool()
+        report = check_pool_versioned(parsed, mc.checker)
+        assert report.group_of("Dom5").size == 3
+        assert report.group_of("Dom1").size == 4
+        assert report.group_of("DomZ") is None
+
+    def test_empty_pool(self):
+        report = check_pool_versioned([])
+        assert report.all_clean

@@ -1,0 +1,37 @@
+"""Unit tests for the driver catalog."""
+
+from repro.guest.catalog import STANDARD_CATALOG, DriverSpec, build_catalog
+
+
+class TestCatalog:
+    def test_contains_papers_modules(self, catalog):
+        for name in ("hal.dll", "http.sys", "dummy.sys", "ntoskrnl.exe"):
+            assert name in catalog
+
+    def test_load_order_exporters_first(self):
+        names = [s.name for s in STANDARD_CATALOG]
+        assert names.index("ntoskrnl.exe") < names.index("hal.dll")
+        assert names.index("hal.dll") < names.index("ndis.sys")
+
+    def test_deterministic(self):
+        a = build_catalog(seed=5)
+        b = build_catalog(seed=5)
+        assert all(a[k].file_bytes == b[k].file_bytes for k in a)
+
+    def test_seed_changes_bytes(self):
+        a = build_catalog(seed=5)
+        b = build_catalog(seed=6)
+        assert any(a[k].file_bytes != b[k].file_bytes for k in a)
+
+    def test_adding_driver_does_not_perturb_others(self):
+        base = build_catalog(seed=5)
+        extended = build_catalog(
+            seed=5, specs=STANDARD_CATALOG + (
+                DriverSpec("extra.sys", 4, 80, 0x200, imports=()),))
+        for name in base:
+            assert base[name].file_bytes == extended[name].file_bytes
+        assert "extra.sys" in extended
+
+    def test_sizes_vary_with_spec(self, catalog):
+        assert len(catalog["ntoskrnl.exe"].file_bytes) > \
+            len(catalog["dummy.sys"].file_bytes)

@@ -1,0 +1,112 @@
+"""Tests for the guest filesystem and disk-load paths."""
+
+import pytest
+
+from repro.attacks import OpcodeReplacementAttack
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.core.baselines import SVVChecker
+from repro.guest import GuestKernel
+from repro.guest.filesystem import DRIVER_DIR, FileNotFound, GuestFilesystem
+
+
+class TestFilesystem:
+    def test_write_read_roundtrip(self):
+        fs = GuestFilesystem()
+        fs.write("system32/drivers/x.sys", b"bytes")
+        assert fs.read("system32/drivers/x.sys") == b"bytes"
+
+    def test_case_insensitive_paths(self):
+        fs = GuestFilesystem()
+        fs.write("System32/Drivers/HAL.DLL", b"x")
+        assert fs.read("system32/drivers/hal.dll") == b"x"
+        assert fs.exists("SYSTEM32/DRIVERS/hal.dll")
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFound):
+            GuestFilesystem().read("nope")
+        with pytest.raises(FileNotFound):
+            GuestFilesystem().delete("nope")
+
+    def test_listdir_prefix(self):
+        fs = GuestFilesystem()
+        fs.write(f"{DRIVER_DIR}/a.sys", b"")
+        fs.write(f"{DRIVER_DIR}/b.sys", b"")
+        fs.write("windows/notepad.exe", b"")
+        assert fs.listdir(DRIVER_DIR + "/") == \
+            [f"{DRIVER_DIR}/a.sys", f"{DRIVER_DIR}/b.sys"]
+
+    def test_driver_helpers(self):
+        fs = GuestFilesystem()
+        fs.install_driver("hal.dll", b"pe!")
+        assert fs.read_driver("hal.dll") == b"pe!"
+        assert fs.drivers() == ["hal.dll"]
+
+    def test_write_counter(self):
+        fs = GuestFilesystem()
+        fs.write("a", b"1")
+        fs.write("a", b"2")
+        assert fs.writes == 2
+
+
+class TestBootFromDisk:
+    def test_boot_installs_catalog_on_disk(self, catalog):
+        kernel = GuestKernel("fsvm", seed=1)
+        kernel.boot(catalog)
+        assert set(kernel.fs.drivers()) == {n.lower() for n in catalog}
+        assert kernel.fs.read_driver("hal.dll") == \
+            catalog["hal.dll"].file_bytes
+
+    def test_reload_picks_up_disk_infection(self, catalog):
+        """The paper's procedure as a live sequence: infect the disk
+        file, 'restart', and the infected image is in memory."""
+        kernel = GuestKernel("victim", seed=2)
+        kernel.boot(catalog)
+        clean_image = kernel.read_module_image("hal.dll")
+
+        infected = OpcodeReplacementAttack().apply(catalog["hal.dll"])
+        kernel.fs.install_driver("hal.dll", infected.infected.file_bytes)
+        assert kernel.read_module_image("hal.dll") == clean_image  # not yet
+
+        kernel.reload_module("hal.dll")
+        assert kernel.read_module_image("hal.dll") != clean_image
+
+    def test_reload_keeps_list_consistent(self, catalog):
+        kernel = GuestKernel("r", seed=3)
+        kernel.boot(catalog)
+        before = kernel.list_entry_count()
+        kernel.reload_module("dummy.sys")
+        assert kernel.list_entry_count() == before
+
+
+class TestDiskInfectionEndToEnd:
+    def test_infect_disk_reload_detect(self, catalog):
+        """Full paper loop without rebuilding the testbed: write the
+        infected file to one clone's disk, reload, cross-check."""
+        tb = build_testbed(4, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        assert mc.check_pool("hal.dll").report.all_clean
+
+        infected = OpcodeReplacementAttack().apply(tb.catalog["hal.dll"])
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        kernel.fs.install_driver("hal.dll", infected.infected.file_bytes)
+        kernel.reload_module("hal.dll")
+
+        report = mc.check_pool("hal.dll").report
+        assert report.flagged() == ["Dom2"]
+        assert report.mismatched_regions("Dom2") == (".text",)
+
+    def test_svv_reads_the_guests_own_disk(self, catalog):
+        """With a real per-guest disk, SVV's blind spot needs no
+        hand-built 'infected catalog': it reads the victim's fs."""
+        tb = build_testbed(3, seed=42)
+        kernel = tb.hypervisor.domain("Dom2").kernel
+        infected = OpcodeReplacementAttack().apply(tb.catalog["hal.dll"])
+        kernel.fs.install_driver("hal.dll", infected.infected.file_bytes)
+        kernel.reload_module("hal.dll")
+
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        disk = {name: kernel.fs.read_driver(name)
+                for name in tb.catalog}
+        svv = SVVChecker(mc.vmi_for("Dom2"), disk)
+        assert svv.check_module("hal.dll").clean        # the blind spot

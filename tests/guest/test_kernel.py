@@ -1,0 +1,82 @@
+"""Unit tests for the guest kernel simulator."""
+
+import pytest
+
+from repro.errors import ModuleNotLoadedError
+from repro.guest import GuestKernel, build_catalog
+from repro.pe import PEImage
+
+
+@pytest.fixture(scope="module")
+def booted(catalog):
+    kernel = GuestKernel("testvm", seed=11)
+    kernel.boot(catalog)
+    return kernel
+
+
+class TestBoot:
+    def test_boot_loads_catalog(self, booted, catalog):
+        assert set(booted.modules) == set(catalog)
+        assert booted.list_entry_count() == len(catalog)
+
+    def test_double_boot_rejected(self, booted):
+        with pytest.raises(RuntimeError, match="already booted"):
+            booted.boot()
+
+    def test_load_before_boot_rejected(self, catalog):
+        kernel = GuestKernel("cold", seed=1)
+        with pytest.raises(RuntimeError, match="boot"):
+            kernel.load_module(next(iter(catalog.values())))
+
+    def test_symbols_exported(self, booted):
+        assert "PsLoadedModuleList" in booted.symbols
+
+    def test_modules_have_distinct_bases(self, booted):
+        bases = [m.base for m in booted.modules.values()]
+        assert len(bases) == len(set(bases))
+
+
+class TestModuleAccess:
+    def test_module_lookup(self, booted):
+        mod = booted.module("hal.dll")
+        assert mod.name == "hal.dll"
+
+    def test_missing_module_raises(self, booted):
+        with pytest.raises(ModuleNotLoadedError):
+            booted.module("ghost.sys")
+
+    def test_read_module_image_parses(self, booted):
+        image = booted.read_module_image("http.sys")
+        pe = PEImage(image)
+        assert ".text" in [s.name for s in pe.sections]
+
+    def test_unload(self, catalog):
+        kernel = GuestKernel("unloader", seed=3)
+        kernel.boot(catalog)
+        before = kernel.list_entry_count()
+        kernel.unload_module("dummy.sys")
+        assert kernel.list_entry_count() == before - 1
+        with pytest.raises(ModuleNotLoadedError):
+            kernel.unload_module("dummy.sys")
+
+
+class TestCloneSemantics:
+    def test_clones_share_symbols(self, catalog):
+        a = GuestKernel("a", seed=1)
+        b = GuestKernel("b", seed=2)
+        a.boot(catalog)
+        b.boot(catalog)
+        assert a.symbols == b.symbols
+
+    def test_clones_differ_in_module_bases(self, catalog):
+        a = GuestKernel("a", seed=1)
+        b = GuestKernel("b", seed=2)
+        a.boot(catalog)
+        b.boot(catalog)
+        bases_a = {n: m.base for n, m in a.modules.items()}
+        bases_b = {n: m.base for n, m in b.modules.items()}
+        assert bases_a != bases_b
+
+    def test_memory_footprint_is_sparse(self, booted):
+        # 10 modules in a 64 MiB guest should touch well under 4 MiB.
+        assert booted.memory.resident_bytes() < 4 * 1024 * 1024

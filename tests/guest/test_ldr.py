@@ -1,0 +1,128 @@
+"""Unit tests for LDR_DATA_TABLE_ENTRY and list linking."""
+
+import pytest
+
+from repro.guest.ldr import (LDR_ENTRY_SIZE, LIST_ENTRY_SIZE, OFF_BASEDLLNAME,
+                             OFF_DLLBASE, OFF_SIZEOFIMAGE,
+                             LdrDataTableEntry, ListEntry, link_tail, unlink)
+from repro.guest.unicode_string import UnicodeString
+
+
+class _FakeMemory:
+    """Flat byte store exposing read/write like an address space."""
+
+    def __init__(self, size=0x10000):
+        self.buf = bytearray(size)
+
+    def write(self, va, data):
+        self.buf[va:va + len(data)] = data
+
+    def read(self, va, n):
+        return bytes(self.buf[va:va + n])
+
+
+class TestStructures:
+    def _entry(self):
+        return LdrDataTableEntry(
+            in_load_order=ListEntry(0x100, 0x200),
+            in_memory_order=ListEntry(0, 0),
+            in_init_order=ListEntry(0, 0),
+            dll_base=0xF7010000, entry_point=0xF7011234,
+            size_of_image=0x8000,
+            full_dll_name=UnicodeString(10, 12, 0x300),
+            base_dll_name=UnicodeString(6, 8, 0x400),
+            flags=0x4, load_count=2)
+
+    def test_roundtrip(self):
+        entry = self._entry()
+        assert LdrDataTableEntry.unpack(entry.pack()) == entry
+
+    def test_size(self):
+        assert len(self._entry().pack()) == LDR_ENTRY_SIZE
+
+    def test_field_offsets(self):
+        raw = self._entry().pack()
+        assert int.from_bytes(raw[OFF_DLLBASE:OFF_DLLBASE + 4],
+                              "little") == 0xF7010000
+        assert int.from_bytes(raw[OFF_SIZEOFIMAGE:OFF_SIZEOFIMAGE + 4],
+                              "little") == 0x8000
+        us = UnicodeString.unpack(raw[OFF_BASEDLLNAME:OFF_BASEDLLNAME + 8])
+        assert us.buffer == 0x400
+
+    def test_list_entry_roundtrip(self):
+        le = ListEntry(0xAABB, 0xCCDD)
+        assert ListEntry.unpack(le.pack()) == le
+        assert len(le.pack()) == LIST_ENTRY_SIZE
+
+
+class TestLinking:
+    HEAD = 0x1000
+
+    def _init_head(self, mem):
+        mem.write(self.HEAD, ListEntry(self.HEAD, self.HEAD).pack())
+
+    def _walk(self, mem, max_steps=32):
+        out = []
+        cursor = ListEntry.unpack(mem.read(self.HEAD, 8)).flink
+        while cursor != self.HEAD:
+            out.append(cursor)
+            cursor = ListEntry.unpack(mem.read(cursor, 8)).flink
+            assert len(out) <= max_steps
+        return out
+
+    def _walk_back(self, mem, max_steps=32):
+        out = []
+        cursor = ListEntry.unpack(mem.read(self.HEAD, 8)).blink
+        while cursor != self.HEAD:
+            out.append(cursor)
+            cursor = ListEntry.unpack(mem.read(cursor, 8)).blink
+            assert len(out) <= max_steps
+        return out
+
+    def test_insert_one(self):
+        mem = _FakeMemory()
+        self._init_head(mem)
+        link_tail(mem.write, mem.read, self.HEAD, 0x2000)
+        assert self._walk(mem) == [0x2000]
+        assert self._walk_back(mem) == [0x2000]
+
+    def test_insert_preserves_order(self):
+        mem = _FakeMemory()
+        self._init_head(mem)
+        nodes = [0x2000, 0x3000, 0x4000]
+        for n in nodes:
+            link_tail(mem.write, mem.read, self.HEAD, n)
+        assert self._walk(mem) == nodes
+        assert self._walk_back(mem) == nodes[::-1]
+
+    def test_unlink_middle(self):
+        mem = _FakeMemory()
+        self._init_head(mem)
+        for n in (0x2000, 0x3000, 0x4000):
+            link_tail(mem.write, mem.read, self.HEAD, n)
+        unlink(mem.write, mem.read, 0x3000)
+        assert self._walk(mem) == [0x2000, 0x4000]
+        assert self._walk_back(mem) == [0x4000, 0x2000]
+
+    def test_unlink_only_node_empties_list(self):
+        mem = _FakeMemory()
+        self._init_head(mem)
+        link_tail(mem.write, mem.read, self.HEAD, 0x2000)
+        unlink(mem.write, mem.read, 0x2000)
+        assert self._walk(mem) == []
+        head = ListEntry.unpack(mem.read(self.HEAD, 8))
+        assert head.flink == head.blink == self.HEAD
+
+    def test_flink_blink_invariant(self):
+        """node.Flink.Blink == node for every node including head."""
+        mem = _FakeMemory()
+        self._init_head(mem)
+        for n in (0x2000, 0x3000, 0x4000, 0x5000):
+            link_tail(mem.write, mem.read, self.HEAD, n)
+        cursor = self.HEAD
+        for _ in range(5):
+            entry = ListEntry.unpack(mem.read(cursor, 8))
+            nxt = ListEntry.unpack(mem.read(entry.flink, 8))
+            assert nxt.blink == cursor
+            cursor = entry.flink
+        assert cursor == self.HEAD

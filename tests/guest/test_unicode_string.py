@@ -1,0 +1,40 @@
+"""Unit tests for UNICODE_STRING encoding."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.guest.unicode_string import UnicodeString
+
+
+class TestUnicodeString:
+    def test_header_roundtrip(self):
+        us = UnicodeString(10, 12, 0x80001234)
+        assert UnicodeString.unpack(us.pack()) == us
+
+    def test_for_text_lengths(self):
+        us, payload = UnicodeString.for_text("hal.dll", 0x1000)
+        assert us.length == 14                   # 7 chars * 2 bytes
+        assert us.maximum_length == 16           # + NUL
+        assert us.buffer == 0x1000
+        assert len(payload) == 16
+
+    def test_decode_roundtrip(self):
+        us, payload = UnicodeString.for_text("http.sys", 0)
+        assert us.decode(payload) == "http.sys"
+
+    def test_terminator_not_counted(self):
+        us, payload = UnicodeString.for_text("x", 0)
+        assert payload[us.length:] == b"\x00\x00"
+
+    def test_empty_string(self):
+        us, payload = UnicodeString.for_text("", 0)
+        assert us.length == 0
+        assert us.decode(payload) == ""
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=0xD7FF),
+                   max_size=64))
+    def test_roundtrip_property(self, text):
+        us, payload = UnicodeString.for_text(text, 0x2000)
+        assert us.decode(payload) == text
+        assert UnicodeString.unpack(us.pack()).decode(payload) == text

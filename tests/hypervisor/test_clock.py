@@ -1,0 +1,43 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.hypervisor.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0)
+        assert clock.now == 0.0
+
+    def test_span_measures_elapsed(self):
+        clock = SimClock()
+        with clock.span() as span:
+            clock.advance(2.0)
+            clock.advance(1.0)
+        assert span.elapsed == pytest.approx(3.0)
+
+    def test_nested_spans(self):
+        clock = SimClock()
+        with clock.span() as outer:
+            clock.advance(1.0)
+            with clock.span() as inner:
+                clock.advance(2.0)
+        assert inner.elapsed == pytest.approx(2.0)
+        assert outer.elapsed == pytest.approx(3.0)

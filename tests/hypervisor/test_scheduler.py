@@ -1,0 +1,78 @@
+"""Unit tests for the contention scheduler (the Fig. 8 mechanism)."""
+
+import pytest
+
+from repro.hypervisor.scheduler import ContentionScheduler, CpuModel
+
+
+@pytest.fixture
+def sched():
+    return ContentionScheduler(CpuModel())   # the paper's 4c/8t i7
+
+
+class TestCpuModel:
+    def test_paper_testbed_defaults(self):
+        cpu = CpuModel()
+        assert cpu.logical_cpus == 8
+        assert cpu.physical_cores == 4
+
+    def test_effective_cores_below_logical(self):
+        cpu = CpuModel()
+        assert cpu.physical_cores < cpu.effective_cores < cpu.logical_cpus
+
+
+class TestSlowdown:
+    def test_idle_guests_factor_one(self, sched):
+        assert sched.dom0_slowdown(0.0) == pytest.approx(1.0)
+
+    def test_factor_always_at_least_one(self, sched):
+        for demand in (0.0, 1.0, 4.0, 7.0, 8.0, 20.0, 100.0):
+            assert sched.dom0_slowdown(demand) >= 1.0
+
+    def test_monotonic_in_demand(self, sched):
+        factors = [sched.dom0_slowdown(d / 2) for d in range(0, 40)]
+        assert all(b >= a for a, b in zip(factors, factors[1:]))
+
+    def test_mild_below_saturation(self, sched):
+        # With 6 busy guests + dom0 = 7 <= 8 logical CPUs, the slowdown
+        # is interference-only (well under 2x).
+        assert sched.dom0_slowdown(6.0) < 1.5
+
+    def test_sharp_growth_past_saturation(self, sched):
+        """The Fig. 8 'sudden nonlinear growth' property."""
+        below = sched.dom0_slowdown(7.0)     # demand 8 == logical CPUs
+        above = sched.dom0_slowdown(11.0)    # demand 12
+        assert above / below > 1.5
+
+    def test_oversubscribed_scales_with_demand(self, sched):
+        a = sched.dom0_slowdown(15.0)
+        b = sched.dom0_slowdown(31.0)
+        assert b > 1.8 * a * 0.9              # roughly proportional
+
+    def test_negative_demand_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.dom0_slowdown(-1.0)
+
+
+class TestDom0Threads:
+    def test_more_threads_more_contention(self, sched):
+        one = sched.dom0_slowdown(7.0, dom0_threads=1)
+        four = sched.dom0_slowdown(7.0, dom0_threads=4)
+        assert four > one
+
+    def test_invalid_threads_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.dom0_slowdown(1.0, dom0_threads=0)
+
+
+class TestKnee:
+    def test_knee_at_logical_cpus_for_full_load(self, sched):
+        # 8 fully-loaded VMs + Dom0 = 9 > 8: saturation begins past 7.
+        assert sched.knee_vm_count(1.0) == 8
+
+    def test_knee_scales_with_per_vm_load(self, sched):
+        assert sched.knee_vm_count(0.5) == 15
+
+    def test_invalid_load_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.knee_vm_count(0.0)

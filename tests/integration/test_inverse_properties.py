@@ -1,0 +1,106 @@
+"""Inverse/idempotence properties across the load–check pipeline.
+
+These tie the substrate layers together with the algebra the checker
+relies on: relocation is invertible, loading is deterministic given a
+seed, RVA adjustment is idempotent, and a full check leaves the guests
+byte-identical (read-only introspection, verified from outside).
+"""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker, adjust_rva_robust
+from repro.guest import GuestKernel, build_catalog
+from repro.pe import (PEImage, build_driver, map_file_to_memory)
+from repro.pe.constants import DIR_BASERELOC
+from repro.pe.relocations import apply_relocations, parse_reloc_section
+
+
+class TestRelocationInverse:
+    @given(seed=st.integers(min_value=0, max_value=500),
+           delta_pages=st.integers(min_value=-0x400, max_value=0x400))
+    @settings(max_examples=25, deadline=None)
+    def test_relocate_then_revert_is_identity(self, seed, delta_pages):
+        bp = build_driver(f"inv{seed}.sys", seed=seed, n_functions=4,
+                          imports=())
+        image = map_file_to_memory(bp.file_bytes)
+        pristine = bytes(image)
+        pe = PEImage(pristine)
+        d = pe.optional_header.data_directories[DIR_BASERELOC]
+        fixups = parse_reloc_section(pristine[d.virtual_address:
+                                              d.virtual_address + d.size])
+        delta = delta_pages << 12
+        apply_relocations(image, fixups, delta)
+        if delta:
+            assert bytes(image) != pristine
+        apply_relocations(image, fixups, -delta)
+        assert bytes(image) == pristine
+
+
+class TestLoadDeterminism:
+    def test_same_seed_same_guest_bytes(self, catalog):
+        digests = []
+        for _ in range(2):
+            kernel = GuestKernel("det", seed=123)
+            kernel.boot(catalog)
+            h = hashlib.sha256()
+            for name in sorted(kernel.modules):
+                h.update(kernel.read_module_image(name))
+            digests.append(h.hexdigest())
+        assert digests[0] == digests[1]
+
+    def test_check_results_deterministic(self):
+        flags = []
+        for _ in range(2):
+            from repro.cloud import stage_experiment
+            sc = stage_experiment("E4", n_vms=5)
+            report = sc.run_pool_check().report
+            flags.append((tuple(report.flagged()),
+                          report.mismatched_regions("Dom3")))
+        assert flags[0] == flags[1]
+
+
+class TestAdjustIdempotence:
+    def test_double_adjust_is_stable(self, clean_testbed_session):
+        tb = clean_testbed_session
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        (a, b), _, _ = mc.fetch_modules("dummy.sys", tb.vm_names[:2])
+        ta = a.region_bytes(a.code_regions[0])
+        tb_ = b.region_bytes(b.code_regions[0])
+        adj_a, adj_b, first = adjust_rva_robust(ta, a.base, tb_, b.base)
+        again_a, again_b, second = adjust_rva_robust(adj_a, a.base,
+                                                     adj_b, b.base)
+        # once canonical, there is nothing left to adjust
+        assert (again_a, again_b) == (adj_a, adj_b)
+        assert second.replaced == 0 and second.windows == 0
+
+
+class TestReadOnlyIntrospection:
+    def test_full_pool_check_leaves_guests_untouched(self):
+        tb = build_testbed(4, seed=42)
+
+        def cloud_digest() -> str:
+            h = hashlib.sha256()
+            for vm in tb.vm_names:
+                memory = tb.hypervisor.domain(vm).kernel.memory
+                for frame_no in sorted(memory._frames):
+                    h.update(memory.read_frame(frame_no))
+            return h.hexdigest()
+
+        before = cloud_digest()
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        mc.check_all_modules()
+        mc.detect_hidden_modules("Dom2")
+        assert cloud_digest() == before
+
+    def test_dump_acquisition_leaves_guests_untouched(self):
+        from repro.vmi import acquire_dump
+        tb = build_testbed(2, seed=42)
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        before = kernel.read_module_image("hal.dll")
+        acquire_dump(tb.hypervisor, "Dom1", tb.profile)
+        assert kernel.read_module_image("hal.dll") == before

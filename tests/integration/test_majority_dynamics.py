@@ -1,0 +1,113 @@
+"""Majority-vote dynamics as an infection spreads (§III-B discussion).
+
+The paper notes a fast worm could infect most VMs and invert the vote
+(clean machines get flagged) — but "in either of the above cases,
+ModChecker is capable of detecting discrepancies among VMs". These
+tests chart that whole spectrum.
+"""
+
+import pytest
+
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.guest import build_catalog
+
+POOL = 7
+
+
+def _spread(n_infected, exp_id="E1"):
+    attack, module = attack_for_experiment(exp_id)
+    catalog = build_catalog(seed=42)
+    infected_bp = attack.apply(catalog[module]).infected
+    victims = [f"Dom{i}" for i in range(1, n_infected + 1)]
+    tb = build_testbed(POOL, seed=42,
+                       infected={v: {module: infected_bp} for v in victims})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    return victims, mc.check_pool(module).report
+
+
+class TestSpread:
+    def test_minority_infections_flagged_exactly(self):
+        """Exact localisation holds while the clean cluster keeps a
+        strict majority of each clean VM's t-1 comparisons: with t=7
+        that means up to 2 identical infections (clean VMs then match
+        4 > 3 others)."""
+        for k in (1, 2):
+            victims, report = _spread(k)
+            assert set(report.flagged()) == set(victims), k
+
+    def test_three_of_seven_loses_strict_majority(self):
+        """k=3 of 7: clean VMs match only 3 of 6 — exactly half — so the
+        strict rule flags the whole pool; the discrepancy alarm still
+        fires and the victims are identifiable by fewer matches."""
+        victims, report = _spread(3)
+        assert set(report.flagged()) == {f"Dom{i}" for i in range(1, POOL + 1)}
+        for v in victims:
+            assert report.verdicts[v].matches == 2
+        for i in range(4, POOL + 1):
+            assert report.verdicts[f"Dom{i}"].matches == 3
+
+    def test_majority_infection_inverts_vote(self):
+        """5 of 7 infected: the two clean VMs lose the vote (the paper's
+        SQL-Slammer false-alarm case) — discrepancy still detected."""
+        victims, report = _spread(5)
+        flagged = set(report.flagged())
+        assert flagged == {"Dom6", "Dom7"}
+        assert not report.all_clean
+
+    def test_total_infection_is_the_blind_spot(self):
+        """All VMs identically infected: every pair matches, nothing is
+        flagged. The paper's requirement — 'at least one virtual machine
+        runs the original module' — is genuinely necessary."""
+        victims, report = _spread(POOL)
+        assert report.all_clean
+
+    def test_even_split_everyone_flagged(self):
+        """With 3 of 6 infected, no copy matches a strict majority of
+        the other five — ModChecker raises alarms across the board,
+        which operationally means 'investigate the pool'."""
+        attack, module = attack_for_experiment("E1")
+        catalog = build_catalog(seed=42)
+        infected_bp = attack.apply(catalog[module]).infected
+        victims = ["Dom1", "Dom2", "Dom3"]
+        tb = build_testbed(6, seed=42,
+                           infected={v: {module: infected_bp}
+                                     for v in victims})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool(module).report
+        assert set(report.flagged()) == {f"Dom{i}" for i in range(1, 7)}
+
+    def test_two_distinct_infections(self):
+        """Two different rootkits on two VMs: both flagged, each with
+        its own signature."""
+        a1, module = attack_for_experiment("E1")
+        a2, _ = attack_for_experiment("E2")
+        catalog = build_catalog(seed=42)
+        tb = build_testbed(POOL, seed=42, infected={
+            "Dom1": {module: a1.apply(catalog[module]).infected},
+            "Dom2": {module: a2.apply(catalog[module]).infected},
+        })
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool(module).report
+        assert set(report.flagged()) == {"Dom1", "Dom2"}
+        # and the infected pair also mismatch each other
+        assert not report.pair("Dom1", "Dom2").matched
+
+
+class TestVoteArithmetic:
+    @pytest.mark.parametrize("t,infected,expect_victims_flagged", [
+        (3, 1, True), (5, 1, True), (5, 2, True), (7, 3, True),
+    ])
+    def test_threshold(self, t, infected, expect_victims_flagged):
+        attack, module = attack_for_experiment("E3")
+        catalog = build_catalog(seed=42)
+        infected_bp = attack.apply(catalog[module]).infected
+        victims = [f"Dom{i}" for i in range(1, infected + 1)]
+        tb = build_testbed(t, seed=42,
+                           infected={v: {module: infected_bp}
+                                     for v in victims})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool(module).report
+        assert (set(report.flagged()) >= set(victims)) == \
+            expect_victims_flagged

@@ -1,0 +1,110 @@
+"""OS-profile tests: introspection must be driven by the right profile.
+
+Real libvmi needs a config matching the guest's exact kernel build;
+these tests prove our reproduction shares that property — the OS
+profile is load-bearing, not decorative.
+"""
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker, ModuleSearcher
+from repro.errors import IntrospectionFault, ReproError
+from repro.guest import GuestKernel
+from repro.guest.ldr import LDR_LAYOUTS, WIN2003_LAYOUT, XP_SP2_LAYOUT
+from repro.vmi import OSProfile
+
+
+class TestLayouts:
+    def test_known_flavors(self):
+        assert set(LDR_LAYOUTS) == {"xp-sp2", "win2003"}
+
+    def test_layouts_differ(self):
+        assert XP_SP2_LAYOUT.off_dllbase != WIN2003_LAYOUT.off_dllbase
+        assert XP_SP2_LAYOUT.entry_size != WIN2003_LAYOUT.entry_size
+
+    def test_offsets_dict_roundtrip(self):
+        offs = WIN2003_LAYOUT.offsets()
+        assert offs["LDR_DATA_TABLE_ENTRY.DllBase"] == \
+            WIN2003_LAYOUT.off_dllbase
+
+    def test_unknown_flavor_rejected(self):
+        with pytest.raises(ValueError, match="unknown os_flavor"):
+            GuestKernel("x", os_flavor="win11")
+
+
+class TestEntryLayoutRoundtrip:
+    def test_pack_unpack_alt_layout(self):
+        from repro.guest.ldr import LdrDataTableEntry, ListEntry
+        from repro.guest.unicode_string import UnicodeString
+        entry = LdrDataTableEntry(
+            in_load_order=ListEntry(1, 2), in_memory_order=ListEntry(3, 4),
+            in_init_order=ListEntry(5, 6), dll_base=0xF7010000,
+            entry_point=0xF7011000, size_of_image=0x8000,
+            full_dll_name=UnicodeString(4, 6, 0x100),
+            base_dll_name=UnicodeString(4, 6, 0x200), flags=7, load_count=2)
+        raw = entry.pack(WIN2003_LAYOUT)
+        assert len(raw) == WIN2003_LAYOUT.entry_size
+        assert LdrDataTableEntry.unpack(raw, WIN2003_LAYOUT) == entry
+
+    def test_layouts_produce_different_bytes(self):
+        from repro.guest.ldr import LdrDataTableEntry, ListEntry
+        from repro.guest.unicode_string import UnicodeString
+        entry = LdrDataTableEntry(
+            in_load_order=ListEntry(1, 2), in_memory_order=ListEntry(0, 0),
+            in_init_order=ListEntry(0, 0), dll_base=0xF7010000,
+            entry_point=0, size_of_image=0x1000,
+            full_dll_name=UnicodeString(0, 0, 0),
+            base_dll_name=UnicodeString(0, 0, 0))
+        assert entry.pack(XP_SP2_LAYOUT) != \
+            entry.pack(WIN2003_LAYOUT)[:XP_SP2_LAYOUT.entry_size]
+
+
+class TestAlternativeFlavorCloud:
+    def test_full_pipeline_on_win2003(self, catalog):
+        tb = build_testbed(4, seed=42, os_flavor="win2003")
+        assert tb.profile.name == "Win2003-x86"
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool("hal.dll").report
+        assert report.all_clean
+
+    def test_detection_on_win2003(self):
+        from repro.attacks import attack_for_experiment
+        from repro.guest import build_catalog
+        attack, module = attack_for_experiment("E1")
+        catalog = build_catalog(seed=42)
+        infected = attack.apply(catalog[module]).infected
+        tb = build_testbed(4, seed=42, os_flavor="win2003",
+                           infected={"Dom2": {module: infected}})
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        report = mc.check_pool(module).report
+        assert report.flagged() == ["Dom2"]
+        assert report.mismatched_regions("Dom2") == (".text",)
+
+
+class TestWrongProfile:
+    def test_wrong_profile_misreads_the_guest(self, catalog):
+        """Attach to a win2003 guest with an XP profile: DllBase reads
+        from the wrong offset, so the walk yields garbage entries (or
+        faults) — the classic wrong-Rekall-profile failure."""
+        tb = build_testbed(2, seed=42, os_flavor="win2003")
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        wrong = OSProfile(name="wrong", symbols=dict(kernel.symbols),
+                          offsets=XP_SP2_LAYOUT.offsets())
+        mc = ModChecker(tb.hypervisor, wrong)
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        try:
+            entries = searcher.list_modules()
+        except ReproError:
+            return                       # faulted: acceptable failure mode
+        truth = {m.base for m in kernel.modules.values()}
+        got = {e.dll_base for e in entries}
+        assert got != truth              # garbage, not the real bases
+
+    def test_right_profile_fixes_it(self, catalog):
+        tb = build_testbed(2, seed=42, os_flavor="win2003")
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        searcher = ModuleSearcher(mc.vmi_for("Dom1"))
+        got = {e.dll_base for e in searcher.list_modules()}
+        assert got == {m.base for m in kernel.modules.values()}

@@ -1,0 +1,109 @@
+"""Integration tests for the Fig. 7/8/9 performance shapes.
+
+These assert the qualitative reproduction criteria from DESIGN.md §4;
+the benchmark harness prints the full series.
+"""
+
+import pytest
+
+from repro.analysis import detect_knee, linear_fit
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.perf import HEAVY_LOAD, GuestResourceMonitor, apply_workload
+
+
+@pytest.fixture(scope="module")
+def tb15():
+    return build_testbed(15, seed=42)
+
+
+def _sweep(tb, loaded):
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    rows = []
+    for t in range(2, 16):
+        vms = tb.vm_names[:t]
+        tb.set_guest_loads(0.0)
+        if loaded:
+            for name in vms:
+                apply_workload(tb.hypervisor.domain(name), HEAVY_LOAD)
+        out = mc.check_on_vm("http.sys", vms[0], vms)
+        rows.append((t, out.timings))
+    tb.set_guest_loads(0.0)
+    return rows
+
+
+class TestFig7Idle:
+    def test_total_runtime_linear(self, tb15):
+        rows = _sweep(tb15, loaded=False)
+        xs = [t for t, _ in rows]
+        ys = [tm.total for _, tm in rows]
+        fit = linear_fit(xs, ys)
+        assert fit.r_squared > 0.995
+        assert fit.slope > 0
+        assert detect_knee(xs, ys) is None
+
+    def test_searcher_dominates_and_grows_linearly(self, tb15):
+        rows = _sweep(tb15, loaded=False)
+        xs = [t for t, _ in rows]
+        searcher = [tm.searcher for _, tm in rows]
+        total = [tm.total for _, tm in rows]
+        assert linear_fit(xs, searcher).r_squared > 0.995
+        # searcher is the dominant component at every pool size
+        for s, tot in zip(searcher, total):
+            assert s / tot > 0.5
+
+    def test_parser_and_checker_small(self, tb15):
+        rows = _sweep(tb15, loaded=False)
+        for _, tm in rows:
+            assert tm.parser < tm.searcher
+            assert tm.checker < tm.searcher
+
+
+class TestFig8Loaded:
+    def test_loaded_slower_than_idle(self, tb15):
+        idle = _sweep(tb15, loaded=False)
+        loaded = _sweep(tb15, loaded=True)
+        for (t_i, tm_i), (t_l, tm_l) in zip(idle, loaded):
+            assert tm_l.total > tm_i.total
+
+    def test_knee_where_loaded_vms_exceed_cores(self, tb15):
+        rows = _sweep(tb15, loaded=True)
+        xs = [t for t, _ in rows]
+        ys = [tm.total for _, tm in rows]
+        knee = detect_knee(xs, ys)
+        assert knee is not None
+        cores = tb15.hypervisor.cpu.logical_cpus
+        assert cores - 3 <= knee <= cores + 2
+
+    def test_superlinear_tail(self, tb15):
+        rows = _sweep(tb15, loaded=True)
+        ys = [tm.total for _, tm in rows]
+        # slope of the last 4 points well above slope of the first 4
+        early = linear_fit(list(range(4)), ys[:4]).slope
+        late = linear_fit(list(range(4)), ys[-4:]).slope
+        assert late > 2.0 * early
+
+
+class TestFig9GuestImpact:
+    def test_no_perturbation_during_introspection(self):
+        tb = build_testbed(3, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        domain = tb.hypervisor.domain("Dom1")
+        monitor = GuestResourceMonitor(domain, tb.clock, seed=7)
+        check = lambda: mc.check_pool("http.sys")
+        trace = monitor.run(duration=120.0, interval=0.5,
+                            events=[(t, check) for t in (20, 50, 80, 110)])
+        assert len(trace.introspection_windows) == 4
+        for attr in ("cpu_idle_pct", "cpu_user_pct",
+                     "mem_free_physical_pct", "page_faults_per_s"):
+            assert trace.perturbation(attr) < 3.0, attr
+
+    def test_windows_have_positive_width(self):
+        tb = build_testbed(2, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        monitor = GuestResourceMonitor(tb.hypervisor.domain("Dom1"),
+                                       tb.clock, seed=7)
+        trace = monitor.run(duration=20.0, interval=1.0,
+                            events=[(5.0, lambda: mc.check_pool("hal.dll"))])
+        (t0, t1), = trace.introspection_windows
+        assert t1 > t0

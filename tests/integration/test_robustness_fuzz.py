@@ -1,0 +1,119 @@
+"""Robustness fuzzing: hostile bytes must never crash the tooling, and
+every single-byte change to a *hashed* region must be detected.
+
+Two property families:
+
+* **parser total-ness** — PEImage over arbitrarily mutated images either
+  parses or raises PEFormatError; no IndexError/struct.error escapes.
+  An introspection tool parses attacker-controlled memory, so this is a
+  security property, not a nicety.
+* **detection completeness** — for any offset inside any hashed region,
+  flipping one bit on one VM flags exactly that VM (4-VM pool).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import build_testbed
+from repro.core import IntegrityChecker, ModuleParser
+from repro.core.searcher import ModuleCopy
+from repro.errors import PEFormatError, ReproError
+from repro.pe import PEImage, map_file_to_memory
+
+
+@pytest.fixture(scope="module")
+def base_image(catalog):
+    return bytes(map_file_to_memory(catalog["dummy.sys"].file_bytes))
+
+
+class TestParserTotalness:
+    @given(mutations=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=24575),
+                  st.integers(min_value=0, max_value=255)),
+        min_size=1, max_size=16))
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_mutated_image_parses_or_peformaterror(self, base_image,
+                                                   mutations):
+        buf = bytearray(base_image)
+        for off, value in mutations:
+            buf[off % len(buf)] = value
+        try:
+            PEImage(bytes(buf))
+        except PEFormatError:
+            pass                      # rejected cleanly: acceptable
+
+    @given(data=st.binary(min_size=0, max_size=512))
+    @settings(max_examples=80, deadline=None)
+    def test_random_bytes_never_crash(self, data):
+        with pytest.raises(PEFormatError):
+            PEImage(data + b"\x00" * 64)   # random junk is never a valid PE
+
+    @given(size=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=20, deadline=None)
+    def test_truncations_rejected(self, base_image, size):
+        with pytest.raises(PEFormatError):
+            PEImage(base_image[:size])
+
+
+class TestDetectionCompleteness:
+    """Any bit flip inside a hashed region must convict the VM."""
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        tb = build_testbed(4, seed=42)
+        from repro.core import ModChecker
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        parsed, _, _ = mc.fetch_modules("dummy.sys", tb.vm_names)
+        return parsed
+
+    @given(region_pick=st.integers(min_value=0, max_value=10_000),
+           offset_pick=st.integers(min_value=0, max_value=100_000),
+           bit=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_single_bit_flip_always_detected(self, pool, region_pick,
+                                             offset_pick, bit):
+        target, *others = pool
+        regions = target.all_regions()
+        region = regions[region_pick % len(regions)]
+        offset = region.start + (offset_pick % region.size)
+
+        image = bytearray(target.image)
+        image[offset] ^= 1 << bit
+        try:
+            tampered = ModuleParser().parse(ModuleCopy(
+                target.vm_name, target.module_name, target.base,
+                bytes(image), 0))
+        except PEFormatError:
+            # Structural corruption (broken magic/e_lfanew/section
+            # bounds) aborts parsing — itself an unmissable alarm.
+            return
+
+        checker = IntegrityChecker()
+        report = checker.check_target(tampered, others)
+        assert not report.clean
+        assert region.name in report.mismatched_regions()
+
+    def test_flip_outside_hashed_regions_not_detected(self, pool):
+        """Converse control: a flip in .data (unhashed) stays silent —
+        the checker's scope is exactly the hashed regions."""
+        target, *others = pool
+        pe = PEImage(target.image)
+        data_sec = pe.section(".data")
+        image = bytearray(target.image)
+        image[data_sec.virtual_address + 8] ^= 0xFF
+        tampered = ModuleParser().parse(ModuleCopy(
+            target.vm_name, target.module_name, target.base,
+            bytes(image), 0))
+        report = IntegrityChecker().check_target(tampered, others)
+        assert report.clean
+
+
+class TestCheckerErrorContainment:
+    def test_garbage_copy_raises_repro_error_only(self):
+        copy = ModuleCopy("VmX", "junk.sys", 0xF7000000,
+                          b"\xDE\xAD" * 4096, 0)
+        with pytest.raises(ReproError):
+            ModuleParser().parse(copy)

@@ -1,0 +1,83 @@
+"""Unit tests for the kernel VA allocator."""
+
+import pytest
+
+from repro.errors import AddressSpaceExhausted
+from repro.mem.address_space import (DRIVER_AREA_BASE, DRIVER_AREA_END,
+                                     KERNEL_BASE, KernelAddressSpace)
+from repro.mem.physical import PAGE_SIZE, PhysicalMemory
+
+
+@pytest.fixture
+def aspace():
+    return KernelAddressSpace(PhysicalMemory(4096 * PAGE_SIZE), seed=1)
+
+
+class TestAllocation:
+    def test_fixed_allocations_start_at_kernel_base(self, aspace):
+        assert aspace.alloc_fixed(0x100, "a") == KERNEL_BASE
+
+    def test_fixed_allocations_page_granular(self, aspace):
+        a = aspace.alloc_fixed(0x100, "a")
+        b = aspace.alloc_fixed(0x100, "b")
+        assert b == a + PAGE_SIZE
+
+    def test_driver_allocations_in_driver_area(self, aspace):
+        base = aspace.alloc_driver_image(0x5000, "mod")
+        assert DRIVER_AREA_BASE <= base < DRIVER_AREA_END
+
+    def test_driver_bases_page_aligned(self, aspace):
+        for i in range(5):
+            base = aspace.alloc_driver_image(0x3000, f"m{i}")
+            assert base % PAGE_SIZE == 0
+
+    def test_allocated_memory_readable_writable(self, aspace):
+        base = aspace.alloc_fixed(0x2000, "buf")
+        aspace.write(base + 100, b"data!")
+        assert aspace.read(base + 100, 5) == b"data!"
+
+    def test_regions_recorded(self, aspace):
+        base = aspace.alloc_fixed(0x1000, "globals")
+        region = aspace.regions.by_name("globals")
+        assert region.base == base and region.size == 0x1000
+
+
+class TestRandomisation:
+    def test_different_seeds_different_driver_bases(self):
+        mems = [PhysicalMemory(4096 * PAGE_SIZE) for _ in range(2)]
+        a = KernelAddressSpace(mems[0], seed=1)
+        b = KernelAddressSpace(mems[1], seed=2)
+        bases_a = [a.alloc_driver_image(0x4000, f"m{i}") for i in range(4)]
+        bases_b = [b.alloc_driver_image(0x4000, f"m{i}") for i in range(4)]
+        assert bases_a != bases_b
+
+    def test_same_seed_reproducible(self):
+        mems = [PhysicalMemory(4096 * PAGE_SIZE) for _ in range(2)]
+        a = KernelAddressSpace(mems[0], seed=9)
+        b = KernelAddressSpace(mems[1], seed=9)
+        assert [a.alloc_driver_image(0x4000, f"m{i}") for i in range(4)] == \
+            [b.alloc_driver_image(0x4000, f"m{i}") for i in range(4)]
+
+    def test_fixed_area_not_randomised(self):
+        mems = [PhysicalMemory(4096 * PAGE_SIZE) for _ in range(2)]
+        a = KernelAddressSpace(mems[0], seed=1)
+        b = KernelAddressSpace(mems[1], seed=2)
+        assert a.alloc_fixed(0x1000, "g") == b.alloc_fixed(0x1000, "g")
+
+    def test_randomisation_can_be_disabled(self):
+        mems = [PhysicalMemory(4096 * PAGE_SIZE) for _ in range(2)]
+        a = KernelAddressSpace(mems[0], seed=1, randomize_module_bases=False)
+        b = KernelAddressSpace(mems[1], seed=2, randomize_module_bases=False)
+        assert a.alloc_driver_image(0x4000, "m") == \
+            b.alloc_driver_image(0x4000, "m")
+
+
+class TestExhaustion:
+    def test_driver_arena_exhaustion(self):
+        aspace = KernelAddressSpace(PhysicalMemory(0x8000 * PAGE_SIZE),
+                                    seed=1, randomize_module_bases=False)
+        arena = DRIVER_AREA_END - DRIVER_AREA_BASE
+        with pytest.raises(AddressSpaceExhausted):
+            # Ask for more than the arena in chunks.
+            for i in range(arena // 0x100000 + 2):
+                aspace.alloc_driver_image(0x100000, f"big{i}")

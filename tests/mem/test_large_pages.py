@@ -1,0 +1,115 @@
+"""Unit tests for PSE 4 MiB large-page support."""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.guest import GuestKernel
+from repro.hypervisor import Hypervisor
+from repro.mem.paging import (LARGE_PAGE_SIZE, AddressTranslator,
+                              PageTableBuilder)
+from repro.mem.physical import PAGE_SIZE, FrameAllocator, PhysicalMemory
+from repro.vmi import OSProfile, VMIInstance
+
+
+@pytest.fixture
+def setup():
+    mem = PhysicalMemory(4096 * PAGE_SIZE)   # 16 MiB
+    alloc = FrameAllocator(mem, reserve_low=4)
+    builder = PageTableBuilder(mem, alloc)
+    return mem, alloc, builder
+
+
+def _aligned_frames(alloc):
+    """Allocate 1024 contiguous frames starting at a 4 MiB boundary."""
+    first = alloc.alloc(1)
+    pad = (-first) % 1024
+    if pad:
+        alloc.alloc(pad - 1) if pad > 1 else None
+        first = alloc.alloc(1)
+        pad2 = (-first) % 1024
+        if pad2:
+            alloc.alloc(pad2 - 1) if pad2 > 1 else None
+            first = alloc.alloc(1)
+    # at this point `first` is aligned; claim the remaining 1023
+    alloc.alloc(1023)
+    return first
+
+
+class TestLargePageMapping:
+    def test_translate_through_large_pde(self, setup):
+        mem, alloc, builder = setup
+        first = _aligned_frames(alloc)
+        builder.map_large_page(0x8040_0000, first)
+        tr = AddressTranslator(mem, builder.cr3)
+        assert tr.translate(0x8040_0000) == first * PAGE_SIZE
+        # an offset deep inside the 4 MiB page
+        assert tr.translate(0x8040_0000 + 0x123456) == \
+            first * PAGE_SIZE + 0x123456
+
+    def test_unaligned_va_rejected(self, setup):
+        _, alloc, builder = setup
+        with pytest.raises(ValueError, match="4 MiB aligned"):
+            builder.map_large_page(0x8040_1000, 1024)
+
+    def test_unaligned_frame_rejected(self, setup):
+        _, _, builder = setup
+        with pytest.raises(ValueError, match="aligned frame"):
+            builder.map_large_page(0x8040_0000, 3)
+
+    def test_io_roundtrip_across_4k_boundaries(self, setup):
+        mem, alloc, builder = setup
+        first = _aligned_frames(alloc)
+        builder.map_large_page(0x8040_0000, first)
+        tr = AddressTranslator(mem, builder.cr3)
+        data = bytes(range(256)) * 64            # 16 KiB
+        tr.write_virtual(0x8040_0FF0, data)
+        assert tr.read_virtual(0x8040_0FF0, len(data)) == data
+
+    def test_next_pde_still_faults(self, setup):
+        mem, alloc, builder = setup
+        first = _aligned_frames(alloc)
+        builder.map_large_page(0x8040_0000, first)
+        tr = AddressTranslator(mem, builder.cr3)
+        with pytest.raises(PageFault):
+            tr.translate(0x8040_0000 + LARGE_PAGE_SIZE)
+
+
+class TestVMILargePages:
+    def test_vmi_reads_through_large_page(self, catalog):
+        hv = Hypervisor()
+        domain = hv.create_guest("Dom1", catalog, seed=1)
+        kernel = domain.kernel
+        # Map a large page in the guest and stash a marker inside it.
+        alloc = kernel.aspace.frame_allocator
+        first = _aligned_frames(alloc)
+        kernel.aspace.page_tables.map_large_page(0x9000_0000, first)
+        kernel.memory.write(first * PAGE_SIZE + 0x5678, b"BIGPAGE!")
+
+        profile = OSProfile.from_guest(kernel)
+        vmi = VMIInstance(hv, "Dom1", profile)
+        assert vmi.read_va(0x9000_0000 + 0x5678, 8) == b"BIGPAGE!"
+
+    def test_carver_sweeps_large_pages(self, catalog):
+        """A module image placed inside a large-page region is carved."""
+        from repro.core.carver import ModuleCarver
+        from repro.mem.address_space import DRIVER_AREA_END
+        from repro.pe import map_file_to_memory
+
+        hv = Hypervisor()
+        domain = hv.create_guest("Dom1", catalog, seed=1)
+        kernel = domain.kernel
+        alloc = kernel.aspace.frame_allocator
+        first = _aligned_frames(alloc)
+        # place the region just past the regular driver arena
+        big_va = (DRIVER_AREA_END + (1 << 22) - 1) & ~((1 << 22) - 1)
+        kernel.aspace.page_tables.map_large_page(big_va, first)
+        image = bytes(map_file_to_memory(catalog["dummy.sys"].file_bytes))
+        kernel.memory.write(first * PAGE_SIZE, image)
+
+        profile = OSProfile.from_guest(kernel)
+        vmi = VMIInstance(hv, "Dom1", profile)
+        carver = ModuleCarver(vmi, arena=(big_va, big_va + (1 << 22)))
+        carved = carver.carve()
+        assert len(carved) == 1
+        assert carved[0].base == big_va
+        assert carved[0].image == image

@@ -1,0 +1,114 @@
+"""Unit tests for sparse physical memory and the frame allocator."""
+
+import pytest
+
+from repro.errors import PhysicalAddressError
+from repro.mem.physical import PAGE_SIZE, FrameAllocator, PhysicalMemory
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(64 * PAGE_SIZE)
+
+
+class TestReadWrite:
+    def test_untouched_memory_reads_zero(self, mem):
+        assert mem.read(0x1234, 16) == bytes(16)
+
+    def test_write_read_roundtrip(self, mem):
+        mem.write(0x800, b"hello world")
+        assert mem.read(0x800, 11) == b"hello world"
+
+    def test_cross_page_write(self, mem):
+        data = bytes(range(200)) * 30          # spans > 1 page
+        mem.write(PAGE_SIZE - 100, data)
+        assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_write_spanning_three_pages(self, mem):
+        data = b"\xAB" * (2 * PAGE_SIZE + 200)
+        mem.write(PAGE_SIZE - 50, data)
+        assert mem.read(PAGE_SIZE - 50, len(data)) == data
+
+    def test_partial_overwrite(self, mem):
+        mem.write(0, b"AAAA")
+        mem.write(1, b"BB")
+        assert mem.read(0, 4) == b"ABBA"
+
+    def test_zero_length_read(self, mem):
+        assert mem.read(0, 0) == b""
+
+    def test_read_beyond_end_rejected(self, mem):
+        with pytest.raises(PhysicalAddressError):
+            mem.read(64 * PAGE_SIZE - 4, 8)
+
+    def test_write_beyond_end_rejected(self, mem):
+        with pytest.raises(PhysicalAddressError):
+            mem.write(64 * PAGE_SIZE - 2, b"1234")
+
+    def test_negative_address_rejected(self, mem):
+        with pytest.raises(PhysicalAddressError):
+            mem.read(-4, 4)
+
+
+class TestFrames:
+    def test_read_frame_untouched(self, mem):
+        assert mem.read_frame(3) == bytes(PAGE_SIZE)
+
+    def test_read_frame_after_write(self, mem):
+        mem.write(3 * PAGE_SIZE + 7, b"xyz")
+        page = mem.read_frame(3)
+        assert page[7:10] == b"xyz"
+
+    def test_frame_view_is_writable(self, mem):
+        view = mem.frame_view(5)
+        view[0] = 0x42
+        assert mem.read(5 * PAGE_SIZE, 1) == b"\x42"
+
+    def test_out_of_range_frame_rejected(self, mem):
+        with pytest.raises(PhysicalAddressError):
+            mem.read_frame(64)
+
+    def test_sparseness(self, mem):
+        assert mem.frames_touched == 0
+        mem.write(0, b"x")
+        mem.write(10 * PAGE_SIZE, b"y")
+        assert mem.frames_touched == 2
+        assert mem.resident_bytes() == 2 * PAGE_SIZE
+
+    def test_reads_do_not_materialise_frames(self, mem):
+        mem.read(0, PAGE_SIZE)
+        mem.read_frame(7)
+        assert mem.frames_touched == 0
+
+
+class TestConstruction:
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(PAGE_SIZE + 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(0)
+
+
+class TestFrameAllocator:
+    def test_respects_reservation(self, mem):
+        alloc = FrameAllocator(mem, reserve_low=16)
+        assert alloc.alloc() == 16
+
+    def test_sequential_contiguous(self, mem):
+        alloc = FrameAllocator(mem, reserve_low=0)
+        first = alloc.alloc(3)
+        second = alloc.alloc(1)
+        assert second == first + 3
+
+    def test_exhaustion(self, mem):
+        alloc = FrameAllocator(mem, reserve_low=0)
+        alloc.alloc(64)
+        with pytest.raises(PhysicalAddressError):
+            alloc.alloc(1)
+
+    def test_invalid_count_rejected(self, mem):
+        alloc = FrameAllocator(mem)
+        with pytest.raises(ValueError):
+            alloc.alloc(0)

@@ -1,0 +1,50 @@
+"""Unit tests for the named-region map."""
+
+import pytest
+
+from repro.mem.regions import Region, RegionMap
+
+
+class TestRegion:
+    def test_contains(self):
+        r = Region("r", 0x1000, 0x100)
+        assert r.contains(0x1000) and r.contains(0x10FF)
+        assert not r.contains(0x1100) and not r.contains(0xFFF)
+
+    def test_end(self):
+        assert Region("r", 0x1000, 0x100).end == 0x1100
+
+
+class TestRegionMap:
+    def test_add_and_find(self):
+        m = RegionMap()
+        m.add("a", 0x1000, 0x100)
+        m.add("b", 0x2000, 0x100)
+        assert m.find(0x1080).name == "a"
+        assert m.find(0x2000).name == "b"
+        assert m.find(0x3000) is None
+
+    def test_by_name(self):
+        m = RegionMap()
+        m.add("a", 0, 16)
+        assert m.by_name("a").base == 0
+        with pytest.raises(KeyError):
+            m.by_name("zzz")
+
+    def test_overlap_rejected(self):
+        m = RegionMap()
+        m.add("a", 0x1000, 0x100)
+        with pytest.raises(ValueError, match="overlaps"):
+            m.add("b", 0x10FF, 0x10)
+
+    def test_adjacent_allowed(self):
+        m = RegionMap()
+        m.add("a", 0x1000, 0x100)
+        m.add("b", 0x1100, 0x100)    # exactly adjacent
+        assert len(m) == 2
+
+    def test_iteration_order(self):
+        m = RegionMap()
+        m.add("x", 0x2000, 1)
+        m.add("y", 0x1000, 1)
+        assert [r.name for r in m] == ["x", "y"]

@@ -1,0 +1,143 @@
+"""Unit tests for the PE driver builder."""
+
+import struct
+
+import pytest
+
+from repro.errors import PEBuildError
+from repro.pe import constants as C
+from repro.pe.builder import PEBuilder, build_driver
+from repro.pe.checksum import pe_checksum
+from repro.pe.parser import PEImage, map_file_to_memory
+from repro.pe.relocations import parse_reloc_section
+from repro.pe.structures import DosHeader
+
+
+class TestFileStructure:
+    def test_starts_with_mz(self, small_driver):
+        assert small_driver.file_bytes[:2] == b"MZ"
+
+    def test_pe_signature_at_e_lfanew(self, small_driver):
+        e = small_driver.e_lfanew
+        assert small_driver.file_bytes[e:e + 4] == b"PE\x00\x00"
+
+    def test_dos_stub_message_present(self, small_driver):
+        assert C.DOS_STUB_MESSAGE in small_driver.file_bytes[:small_driver.e_lfanew]
+
+    def test_canonical_sections_in_order(self, small_driver):
+        assert [s.name for s in small_driver.sections] == \
+            list(C.CANONICAL_SECTIONS)
+
+    def test_section_rvas_page_aligned_and_increasing(self, small_driver):
+        rvas = [s.virtual_address for s in small_driver.sections]
+        assert all(r % C.DEFAULT_SECTION_ALIGNMENT == 0 for r in rvas)
+        assert rvas == sorted(rvas)
+        assert all(b > a for a, b in zip(rvas, rvas[1:]))
+
+    def test_raw_layout_contiguous(self, small_driver):
+        cursor = small_driver.optional_header.size_of_headers
+        for sec in small_driver.sections:
+            assert sec.pointer_to_raw_data == cursor
+            assert sec.size_of_raw_data % C.DEFAULT_FILE_ALIGNMENT == 0
+            cursor += sec.size_of_raw_data
+        assert cursor == len(small_driver.file_bytes)
+
+    def test_checksum_valid(self, small_driver):
+        off = small_driver.e_lfanew + 4 + 20 + 64
+        assert pe_checksum(small_driver.file_bytes, off) == \
+            small_driver.optional_header.checksum
+
+    def test_size_of_image_covers_all_sections(self, small_driver):
+        last = small_driver.sections[-1]
+        end = last.virtual_address + last.virtual_size
+        size = small_driver.optional_header.size_of_image
+        assert size >= end
+        assert size % C.DEFAULT_SECTION_ALIGNMENT == 0
+
+    def test_entry_point_inside_text(self, small_driver):
+        text = small_driver.section(".text")
+        ep = small_driver.optional_header.address_of_entry_point
+        assert text.virtual_address <= ep < \
+            text.virtual_address + text.virtual_size
+
+
+class TestRelocations:
+    def test_reloc_section_matches_fixups(self, small_driver):
+        reloc = small_driver.section(".reloc")
+        raw = small_driver.file_bytes[
+            reloc.pointer_to_raw_data:
+            reloc.pointer_to_raw_data + reloc.virtual_size]
+        assert parse_reloc_section(raw) == small_driver.fixup_rvas
+
+    def test_reloc_directory_points_at_reloc_section(self, small_driver):
+        d = small_driver.optional_header.data_directories[C.DIR_BASERELOC]
+        assert d.virtual_address == small_driver.section(".reloc").virtual_address
+        assert d.size > 0
+
+    def test_fixup_slots_hold_preferred_base_addresses(self, small_driver):
+        image = map_file_to_memory(small_driver.file_bytes)
+        base = small_driver.image_base
+        size = small_driver.size_of_image
+        for rva in small_driver.fixup_rvas:
+            value = struct.unpack_from("<I", image, rva)[0]
+            assert base <= value < base + size, hex(rva)
+
+    def test_text_refs_recorded_as_fixups(self, small_driver):
+        text_rva = small_driver.text_rva
+        fixups = set(small_driver.fixup_rvas)
+        for ref in small_driver.code_layout.refs:
+            assert text_rva + ref.slot_offset in fixups
+
+
+class TestImports:
+    def test_import_directory_set(self, small_driver):
+        d = small_driver.optional_header.data_directories[C.DIR_IMPORT]
+        rdata = small_driver.section(".rdata")
+        assert rdata.virtual_address <= d.virtual_address < \
+            rdata.virtual_address + rdata.virtual_size
+
+    def test_iat_slots_inside_rdata(self, small_driver):
+        rdata = small_driver.section(".rdata")
+        for _dll, _sym, rva in small_driver.iat_slots:
+            assert rdata.virtual_address <= rva < \
+                rdata.virtual_address + rdata.virtual_size
+
+    def test_dll_names_embedded(self, small_driver):
+        for spec in small_driver.imports:
+            assert spec.dll.encode() in small_driver.file_bytes
+
+    def test_symbol_names_embedded(self, small_driver):
+        for spec in small_driver.imports:
+            for sym in spec.symbols:
+                assert sym.encode() in small_driver.file_bytes
+
+
+class TestDeterminismAndVariation:
+    def test_same_seed_same_bytes(self):
+        a = build_driver("x.sys", seed=3)
+        b = build_driver("x.sys", seed=3)
+        assert a.file_bytes == b.file_bytes
+
+    def test_name_changes_bytes(self):
+        a = build_driver("x.sys", seed=3)
+        b = build_driver("y.sys", seed=3)
+        assert a.file_bytes != b.file_bytes
+
+    def test_parses_as_memory_image(self, small_driver):
+        pe = PEImage(bytes(map_file_to_memory(small_driver.file_bytes)))
+        assert [s.name for s in pe.sections] == \
+            [s.name for s in small_driver.sections]
+
+    def test_functions_rva_inside_text(self, small_driver):
+        text = small_driver.section(".text")
+        for _name, rva, size in small_driver.functions_rva():
+            assert text.virtual_address <= rva
+            assert rva + size <= text.virtual_address + text.virtual_size
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PEBuildError):
+            PEBuilder("")
+
+    def test_dos_header_unpacks(self, small_driver):
+        hdr = DosHeader.unpack(small_driver.file_bytes)
+        assert hdr.e_lfanew == small_driver.e_lfanew

@@ -1,0 +1,48 @@
+"""Unit tests for the PE checksum."""
+
+import struct
+
+import pytest
+
+from repro.pe.checksum import pe_checksum, stamp_checksum
+
+
+class TestChecksum:
+    def test_deterministic(self):
+        data = bytes(range(256)) * 4
+        assert pe_checksum(data, 8) == pe_checksum(data, 8)
+
+    def test_checksum_field_excluded(self):
+        # Two files differing only inside the checksum field hash equal.
+        a = bytearray(b"\xAA" * 128)
+        b = bytearray(a)
+        b[8:12] = b"\x12\x34\x56\x78"
+        assert pe_checksum(bytes(a), 8) == pe_checksum(bytes(b), 8)
+
+    def test_content_change_changes_checksum(self):
+        a = bytes(128)
+        b = bytearray(a)
+        b[100] = 0xFF
+        assert pe_checksum(a, 8) != pe_checksum(bytes(b), 8)
+
+    def test_includes_length(self):
+        # Same content sum, different length -> different checksum.
+        a = bytes(128)
+        b = bytes(256)
+        assert pe_checksum(a, 8) != pe_checksum(b, 8)
+
+    def test_odd_length_handled(self):
+        data = bytes(129)
+        assert isinstance(pe_checksum(data, 8), int)
+
+    def test_field_outside_file_rejected(self):
+        with pytest.raises(ValueError):
+            pe_checksum(bytes(16), 14)
+
+    def test_stamp_roundtrip(self, small_driver):
+        # Re-stamping an already-stamped file is a fixed point.
+        buf = bytearray(small_driver.file_bytes)
+        value = stamp_checksum(buf, small_driver.e_lfanew)
+        off = small_driver.e_lfanew + 4 + 20 + 64
+        assert struct.unpack_from("<I", buf, off)[0] == value
+        assert stamp_checksum(buf, small_driver.e_lfanew) == value

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic code generator."""
+
+import struct
+
+import pytest
+
+from repro.pe.codegen import (EPILOGUE, OPC_DEC_ECX, PROLOGUE, generate_code)
+
+
+class TestDeterminism:
+    def test_same_seed_same_code(self):
+        a = generate_code(seed=5)
+        b = generate_code(seed=5)
+        assert bytes(a.code) == bytes(b.code)
+        assert a.refs == b.refs
+        assert a.functions == b.functions
+
+    def test_different_seeds_differ(self):
+        a = generate_code(seed=5)
+        b = generate_code(seed=6)
+        assert bytes(a.code) != bytes(b.code)
+
+
+class TestStructure:
+    def test_function_count(self):
+        layout = generate_code(n_functions=7, seed=1)
+        assert len(layout.functions) == 7
+
+    def test_entry_function_first_at_zero(self):
+        layout = generate_code(seed=1, entry_name="DriverEntry")
+        entry = layout.functions[0]
+        assert entry.name == "DriverEntry"
+        assert entry.offset == 0
+
+    def test_functions_non_overlapping_and_ordered(self):
+        layout = generate_code(n_functions=10, seed=2)
+        for prev, cur in zip(layout.functions, layout.functions[1:]):
+            assert prev.end <= cur.offset
+
+    def test_prologue_and_epilogue_present(self):
+        layout = generate_code(seed=3)
+        code = bytes(layout.code)
+        for fn in layout.functions:
+            assert code[fn.offset:fn.offset + 3] == PROLOGUE
+            assert code[fn.end - 2:fn.end] == EPILOGUE
+
+    def test_entry_contains_planted_dec_ecx(self):
+        layout = generate_code(seed=4)
+        entry = layout.functions[0]
+        assert layout.code[entry.offset + len(PROLOGUE)] == OPC_DEC_ECX
+
+    def test_dec_ecx_not_emitted_randomly(self):
+        # DEC ECX only ever appears where deliberately planted, so E1
+        # has a deterministic target.
+        layout = generate_code(n_functions=20, seed=9)
+        code = bytes(layout.code)
+        planted = layout.functions[0].offset + len(PROLOGUE)
+        for fn in layout.functions:
+            for off in fn.instruction_offsets:
+                if code[off] == OPC_DEC_ECX:
+                    assert off == planted
+
+    def test_instruction_offsets_within_function(self):
+        layout = generate_code(seed=5)
+        for fn in layout.functions:
+            assert all(fn.offset <= o < fn.end
+                       for o in fn.instruction_offsets)
+
+    def test_lookup_by_name(self):
+        layout = generate_code(seed=5)
+        assert layout.function("fn_003").name == "fn_003"
+        with pytest.raises(KeyError):
+            layout.function("nope")
+
+
+class TestCaves:
+    def test_caves_are_zero_filled(self):
+        layout = generate_code(seed=6)
+        code = bytes(layout.code)
+        assert layout.caves, "generator should emit caves"
+        for cave in layout.caves:
+            assert code[cave.offset:cave.offset + cave.size] == \
+                b"\x00" * cave.size
+
+    def test_largest_cave_big_enough_for_hooking(self):
+        layout = generate_code(seed=7)
+        cave = layout.largest_cave()
+        assert cave is not None and cave.size >= 24
+
+    def test_caves_do_not_overlap_functions(self):
+        layout = generate_code(seed=8)
+        for cave in layout.caves:
+            for fn in layout.functions:
+                assert cave.offset + cave.size <= fn.offset \
+                    or cave.offset >= fn.end
+
+
+class TestReferences:
+    def test_abs_ref_slots_inside_code(self):
+        layout = generate_code(seed=9)
+        assert layout.refs, "expected absolute references"
+        for ref in layout.refs:
+            assert 0 <= ref.slot_offset <= len(layout.code) - 4
+
+    def test_abs_ref_slots_are_placeholder_zero(self):
+        layout = generate_code(seed=10)
+        for ref in layout.refs:
+            slot = bytes(layout.code[ref.slot_offset:ref.slot_offset + 4])
+            assert slot == b"\x00\x00\x00\x00"
+
+    def test_abs_refs_target_data_section(self):
+        layout = generate_code(seed=11, data_section=".data", data_size=0x100)
+        for ref in layout.refs:
+            assert ref.target_section == ".data"
+            assert 0 <= ref.target_offset < 0x100
+
+    def test_rel_calls_resolve_to_function_starts(self):
+        layout = generate_code(seed=12, n_functions=16,
+                               rel_call_density=0.15)
+        code = bytes(layout.code)
+        starts = {fn.offset for fn in layout.functions}
+        found = 0
+        for fn in layout.functions:
+            for off in fn.instruction_offsets:
+                if code[off] == 0xE8:
+                    rel = struct.unpack_from("<i", code, off + 1)[0]
+                    target = off + 5 + rel
+                    assert target in starts
+                    found += 1
+        assert found > 0, "expected at least one relative call"
+
+
+class TestValidation:
+    def test_zero_functions_rejected(self):
+        with pytest.raises(ValueError):
+            generate_code(n_functions=0)

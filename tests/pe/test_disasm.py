@@ -1,0 +1,127 @@
+"""Tests for the instruction-length decoder.
+
+The headline property: walking any generated function's bytes yields
+exactly the instruction boundaries the code generator recorded — the
+decoder and the generator agree on the ISA subset.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pe.codegen import generate_code
+from repro.pe.disasm import (DisassemblyError, instruction_length,
+                             instructions_covering, walk_instructions)
+
+
+class TestInstructionLength:
+    @pytest.mark.parametrize("code,length", [
+        (b"\x90", 1),                     # nop
+        (b"\x49", 1),                     # dec ecx
+        (b"\x55", 1),                     # push ebp
+        (b"\xC3", 1),                     # ret
+        (b"\x60", 1),                     # pushad
+        (b"\x8B\xEC", 2),                 # mov ebp, esp
+        (b"\x33\xC0", 2),                 # xor eax, eax
+        (b"\x85\xD2", 2),                 # test edx, edx
+        (b"\x83\xE9\x01", 3),             # sub ecx, 1
+        (b"\xA1\x00\x10\x00\xF7", 5),     # mov eax, [abs]
+        (b"\xA3\x00\x10\x00\xF7", 5),     # mov [abs], eax
+        (b"\x68\x78\x56\x34\x12", 5),     # push imm32
+        (b"\xE8\x00\x00\x00\x00", 5),     # call rel32
+        (b"\xE9\x00\x00\x00\x00", 5),     # jmp rel32
+        (b"\xEB\xFE", 2),                 # jmp $
+        (b"\xFF\x15\x00\x10\x00\xF7", 6), # call [abs]
+        (b"\xFF\x25\x00\x10\x00\xF7", 6), # jmp [abs]
+        (b"\x8B\x0D\x00\x10\x00\xF7", 6), # mov ecx, [abs]
+    ])
+    def test_known_encodings(self, code, length):
+        assert instruction_length(code) == length
+
+    def test_unknown_opcode_raises(self):
+        with pytest.raises(DisassemblyError, match="unknown opcode"):
+            instruction_length(b"\xF4")          # hlt: not in subset
+
+    def test_truncated_raises(self):
+        with pytest.raises(DisassemblyError):
+            instruction_length(b"\x8B")
+
+    def test_offset_past_end_raises(self):
+        with pytest.raises(DisassemblyError):
+            instruction_length(b"\x90", 5)
+
+
+class TestWalk:
+    def test_simple_sequence(self):
+        code = b"\x55\x8B\xEC\x90\x5D\xC3"
+        assert walk_instructions(code, 0, len(code)) == [0, 1, 3, 4, 5]
+
+    def test_desync_detected(self):
+        code = b"\xE8\x00\x00\x00"           # truncated call
+        with pytest.raises(DisassemblyError):
+            walk_instructions(code, 0, len(code))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_decoder_matches_codegen_ground_truth(self, seed):
+        """Every function the generator emits decodes to exactly the
+        instruction boundaries the generator recorded."""
+        layout = generate_code(seed=seed, n_functions=6)
+        code = bytes(layout.code)
+        for fn in layout.functions:
+            decoded = walk_instructions(code, fn.offset, fn.end)
+            assert decoded == list(fn.instruction_offsets), fn.name
+
+
+class TestCovering:
+    def test_exact_cover(self):
+        code = b"\x55\x8B\xEC\x90\x90\x90\x5D\xC3"
+        # 5 bytes of hook clobber push ebp(1) + mov(2) + nop(1) + nop(1)
+        assert instructions_covering(code, 0, len(code), 5) == 5
+
+    def test_rounds_up_to_instruction_boundary(self):
+        code = b"\xA1\x00\x00\x00\x00\xA1\x00\x00\x00\x00"
+        # 6 bytes needed -> covers two 5-byte instructions = 10
+        assert instructions_covering(code, 0, len(code), 6) == 10
+
+    def test_function_too_short(self):
+        with pytest.raises(DisassemblyError, match="too short"):
+            instructions_covering(b"\x90\xC3", 0, 2, 5)
+
+    @given(seed=st.integers(min_value=0, max_value=2_000),
+           n_bytes=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=30, deadline=None)
+    def test_cover_property(self, seed, n_bytes):
+        layout = generate_code(seed=seed, n_functions=3)
+        code = bytes(layout.code)
+        fn = layout.functions[0]
+        covered = instructions_covering(code, fn.offset, fn.end, n_bytes)
+        assert covered >= n_bytes
+        # covered must end on a recorded boundary (or the function end)
+        rel_bounds = {off - fn.offset for off in fn.instruction_offsets}
+        rel_bounds.add(fn.size)
+        assert covered in rel_bounds
+
+
+class TestConditionalBranches:
+    def test_jcc_rel8(self):
+        assert instruction_length(b"\x74\x00") == 2      # je
+        assert instruction_length(b"\x7F\x05") == 2      # jg
+
+    def test_jcc_rel32(self):
+        assert instruction_length(b"\x0F\x84\x00\x00\x00\x00") == 6
+
+    def test_unsupported_0f_raises(self):
+        with pytest.raises(DisassemblyError):
+            instruction_length(b"\x0F\x05")              # syscall
+
+    def test_generated_code_contains_branches(self):
+        layout = generate_code(seed=3, n_functions=20)
+        code = bytes(layout.code)
+        has8 = any(0x70 <= code[off] <= 0x7F
+                   for fn in layout.functions
+                   for off in fn.instruction_offsets)
+        has32 = any(code[off] == 0x0F
+                    for fn in layout.functions
+                    for off in fn.instruction_offsets)
+        assert has8 and has32

@@ -1,0 +1,94 @@
+"""Unit tests for export directories."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PEFormatError
+from repro.pe import map_file_to_memory
+from repro.pe.constants import DIR_EXPORT
+from repro.pe.exports import (EXPORT_DIRECTORY_SIZE, ExportDirectory,
+                              build_export_block, parse_exports)
+from repro.pe.parser import PEImage
+
+
+class TestBuildParse:
+    def _roundtrip(self, exports, rva=0x3000):
+        block = build_export_block("mod.sys", exports, rva)
+        image = bytearray(rva + len(block) + 64)
+        image[rva:rva + len(block)] = block
+        return parse_exports(bytes(image), rva, len(block))
+
+    def test_roundtrip(self):
+        name, table = self._roundtrip([("Alpha", 0x1000), ("Beta", 0x1100)])
+        assert name == "mod.sys"
+        assert table == {"Alpha": 0x1000, "Beta": 0x1100}
+
+    def test_names_sorted_in_table(self):
+        block = build_export_block("m", [("zzz", 1), ("aaa", 2)], 0)
+        directory = ExportDirectory.unpack(block)
+        assert directory.number_of_names == 2
+        # parse back: mapping must still be correct despite reordering
+        image = block + b"\x00" * 16
+        _, table = parse_exports(image, 0, len(block))
+        assert table == {"zzz": 1, "aaa": 2}
+
+    def test_empty_export_list(self):
+        name, table = self._roundtrip([])
+        assert name == "mod.sys" and table == {}
+
+    def test_directory_header_size(self):
+        directory = ExportDirectory.unpack(
+            build_export_block("m", [("f", 1)], 0))
+        assert len(directory.pack()) == EXPORT_DIRECTORY_SIZE
+
+    def test_directory_outside_image_rejected(self):
+        with pytest.raises(PEFormatError):
+            parse_exports(b"\x00" * 16, 8, 40)
+
+    def test_implausible_count_rejected(self):
+        block = bytearray(build_export_block("m", [("f", 1)], 0))
+        block[24:28] = (0x20000).to_bytes(4, "little")   # NumberOfNames
+        with pytest.raises(PEFormatError, match="implausible"):
+            parse_exports(bytes(block) + b"\x00" * 64, 0, len(block))
+
+    def test_bad_ordinal_rejected(self):
+        block = bytearray(build_export_block("m", [("f", 1)], 0))
+        # ordinal table starts at 40 + 4 + 4; point it past functions
+        block[48:50] = (7).to_bytes(2, "little")
+        with pytest.raises(PEFormatError, match="ordinal"):
+            parse_exports(bytes(block) + b"\x00" * 64, 0, len(block))
+
+    @given(st.dictionaries(
+        st.text(alphabet=st.characters(min_codepoint=65, max_codepoint=122),
+                min_size=1, max_size=12),
+        st.integers(min_value=0, max_value=0xFFFFF), max_size=20))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, table):
+        got_name, got = self._roundtrip(sorted(table.items()))
+        assert got == table
+        assert got_name == "mod.sys"
+
+
+class TestBuilderIntegration:
+    def test_catalog_driver_has_export_directory(self, small_driver):
+        d = small_driver.optional_header.data_directories[DIR_EXPORT]
+        assert d.size > 0
+        assert d.virtual_address == small_driver.export_dir_rva
+
+    def test_exports_match_generated_functions(self, small_driver):
+        image = bytes(map_file_to_memory(small_driver.file_bytes))
+        d = small_driver.optional_header.data_directories[DIR_EXPORT]
+        name, table = parse_exports(image, d.virtual_address, d.size)
+        assert name == small_driver.name
+        expected = {fn_name: rva
+                    for fn_name, rva, _ in small_driver.functions_rva()}
+        assert table == expected
+
+    def test_export_block_inside_rdata(self, small_driver):
+        pe = PEImage(bytes(map_file_to_memory(small_driver.file_bytes)))
+        rdata = pe.section(".rdata")
+        d = small_driver.optional_header.data_directories[DIR_EXPORT]
+        assert rdata.virtual_address <= d.virtual_address
+        assert d.virtual_address + d.size <= \
+            rdata.virtual_address + rdata.virtual_size

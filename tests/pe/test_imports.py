@@ -1,0 +1,66 @@
+"""Unit tests for import-table parsing."""
+
+import struct
+
+import pytest
+
+from repro.errors import PEFormatError
+from repro.pe import map_file_to_memory
+from repro.pe.constants import DIR_IMPORT
+from repro.pe.imports import parse_imports
+
+
+class TestParseImports:
+    def test_matches_builder_metadata(self, small_driver):
+        image = bytes(map_file_to_memory(small_driver.file_bytes))
+        d = small_driver.optional_header.data_directories[DIR_IMPORT]
+        parsed = parse_imports(image, d.virtual_address, d.size)
+        expected = [(dll, sym, rva) for dll, sym, rva
+                    in small_driver.iat_slots]
+        got = [(i.dll, i.symbol, i.iat_slot_rva) for i in parsed]
+        assert got == expected
+
+    def test_empty_directory(self):
+        assert parse_imports(b"\x00" * 64, 0, 0) == []
+
+    def test_survives_resolved_iat(self, small_driver, catalog):
+        """After the loader overwrites the IAT, the OFT still names
+        every import — the reason both arrays exist."""
+        from repro.guest import GuestKernel
+        kernel = GuestKernel("imp", seed=4)
+        kernel.boot(catalog)
+        image = kernel.read_module_image("hal.dll")
+        bp = catalog["hal.dll"]
+        d = bp.optional_header.data_directories[DIR_IMPORT]
+        parsed = parse_imports(image, d.virtual_address, d.size)
+        assert [(i.dll, i.symbol) for i in parsed] == \
+            [(dll, sym) for dll, sym, _ in bp.iat_slots]
+
+    def test_directory_outside_image_rejected(self):
+        with pytest.raises(PEFormatError):
+            parse_imports(b"\x00" * 16, 64, 20)
+
+    def test_unterminated_descriptor_table_rejected(self, small_driver):
+        image = bytearray(map_file_to_memory(small_driver.file_bytes))
+        d = small_driver.optional_header.data_directories[DIR_IMPORT]
+        # wipe the null terminator: table runs into garbage
+        n_descs = len(small_driver.imports)
+        term = d.virtual_address + 20 * n_descs
+        image[term:term + 20] = b"\xFF" * 20
+        with pytest.raises(PEFormatError):
+            parse_imports(bytes(image), d.virtual_address, d.size)
+
+    def test_ordinal_import(self):
+        # hand-built: one descriptor, one ordinal thunk
+        base = 0x100
+        blob = bytearray(0x200)
+        struct.pack_into("<IIIII", blob, base, base + 40, 0, 0,
+                         base + 60, base + 48)
+        struct.pack_into("<I", blob, base + 40, 0x8000_0007)  # OFT
+        struct.pack_into("<I", blob, base + 48, 0x8000_0007)  # IAT
+        blob[base + 60:base + 69] = b"ghost.sys"
+        parsed = parse_imports(bytes(blob), base, 40)
+        assert len(parsed) == 1
+        assert parsed[0].dll == "ghost.sys"
+        assert parsed[0].symbol == "#7"
+        assert parsed[0].hint == 7

@@ -1,0 +1,148 @@
+"""Unit tests for PEImage parsing and file->memory mapping."""
+
+import pytest
+
+from repro.errors import PEFormatError
+from repro.pe import constants as C
+from repro.pe.parser import MAX_SECTIONS, PEImage, map_file_to_memory
+
+
+@pytest.fixture(scope="module")
+def image(small_driver):
+    return bytes(map_file_to_memory(small_driver.file_bytes))
+
+
+@pytest.fixture(scope="module")
+def pe(image):
+    return PEImage(image)
+
+
+class TestParsing:
+    def test_sections_parsed(self, pe, small_driver):
+        assert [s.name for s in pe.sections] == \
+            [s.name for s in small_driver.sections]
+
+    def test_executable_sections(self, pe):
+        assert [s.name for s in pe.executable_sections()] == [".text", "INIT"]
+
+    def test_section_lookup(self, pe):
+        assert pe.section(".data").name == ".data"
+        with pytest.raises(KeyError):
+            pe.section(".nope")
+
+    def test_section_data_matches_raw(self, pe, small_driver):
+        text = small_driver.section(".text")
+        raw = small_driver.file_bytes[
+            text.pointer_to_raw_data:
+            text.pointer_to_raw_data + text.virtual_size]
+        assert pe.section_data(".text") == raw
+
+    def test_headers_identical_to_file(self, image, small_driver):
+        n = small_driver.optional_header.size_of_headers
+        assert image[:n] == small_driver.file_bytes[:n]
+
+
+class TestRegions:
+    def test_header_region_names(self, pe):
+        names = [r.name for r in pe.header_regions()]
+        assert names[:3] == ["IMAGE_DOS_HEADER", "IMAGE_NT_HEADER",
+                             "IMAGE_OPTIONAL_HEADER"]
+        assert "SECTION_HEADER[.text]" in names
+        assert "SECTION_HEADER[.reloc]" in names
+
+    def test_dos_region_covers_stub(self, pe):
+        dos = pe.header_regions()[0]
+        assert dos.start == 0
+        assert dos.end == pe.e_lfanew
+        assert C.DOS_STUB_MESSAGE in dos.slice(pe.buf)
+
+    def test_nt_region_is_signature_plus_file_header(self, pe):
+        nt = pe.header_regions()[1]
+        assert nt.size == 4 + 20
+        assert nt.slice(pe.buf)[:4] == b"PE\x00\x00"
+
+    def test_optional_region_size(self, pe):
+        opt = pe.header_regions()[2]
+        assert opt.size == 224
+
+    def test_section_header_regions_are_40_bytes(self, pe):
+        for r in pe.header_regions()[3:]:
+            assert r.size == 40
+
+    def test_code_regions_are_executable_sections_only(self, pe):
+        assert [r.name for r in pe.code_regions()] == [".text", "INIT"]
+
+    def test_regions_cover_disjoint_header_ranges(self, pe):
+        regions = pe.header_regions()
+        for a, b in zip(regions, regions[1:]):
+            assert a.end <= b.start
+
+    def test_region_slice_size(self, pe):
+        for r in pe.all_regions():
+            assert len(r.slice(pe.buf)) == r.size
+
+
+class TestHostileInput:
+    def test_bad_dos_magic(self, image):
+        bad = b"XX" + image[2:]
+        with pytest.raises(PEFormatError):
+            PEImage(bad)
+
+    def test_bad_pe_signature(self, pe, image):
+        bad = bytearray(image)
+        bad[pe.e_lfanew:pe.e_lfanew + 4] = b"XX\x00\x00"
+        with pytest.raises(PEFormatError, match="signature"):
+            PEImage(bytes(bad))
+
+    def test_e_lfanew_out_of_range(self, image):
+        bad = bytearray(image)
+        bad[0x3C:0x40] = (len(image) + 50).to_bytes(4, "little")
+        with pytest.raises(PEFormatError, match="e_lfanew"):
+            PEImage(bytes(bad))
+
+    def test_huge_section_count_rejected(self, pe, image):
+        bad = bytearray(image)
+        off = pe.e_lfanew + 4 + 2   # FileHeader.NumberOfSections
+        bad[off:off + 2] = (MAX_SECTIONS + 1).to_bytes(2, "little")
+        with pytest.raises(PEFormatError, match="implausible"):
+            PEImage(bytes(bad))
+
+    def test_section_past_image_end_rejected(self, pe, image):
+        bad = bytearray(image)
+        # First section header's VirtualSize field (offset 8 in header).
+        off = pe.section_table_offset + 8
+        bad[off:off + 4] = (len(image) * 2).to_bytes(4, "little")
+        with pytest.raises(PEFormatError, match="extends past"):
+            PEImage(bytes(bad))
+
+    def test_truncated_section_table(self, pe, image):
+        truncated = image[:pe.section_table_offset + 10]
+        with pytest.raises(PEFormatError):
+            PEImage(truncated)
+
+
+class TestMapping:
+    def test_image_size(self, image, small_driver):
+        assert len(image) == small_driver.size_of_image
+
+    def test_sections_at_their_rvas(self, image, small_driver):
+        for sec in small_driver.sections:
+            raw = small_driver.file_bytes[
+                sec.pointer_to_raw_data:
+                sec.pointer_to_raw_data + min(sec.size_of_raw_data,
+                                              sec.virtual_size)]
+            got = image[sec.virtual_address:sec.virtual_address + len(raw)]
+            assert got == raw, sec.name
+
+    def test_gaps_zero_filled(self, image, small_driver):
+        text = small_driver.section(".text")
+        gap_start = text.virtual_address + text.virtual_size
+        gap_end = small_driver.section(".rdata").virtual_address
+        assert image[gap_start:gap_end] == b"\x00" * (gap_end - gap_start)
+
+    def test_missing_signature_rejected(self, small_driver):
+        bad = bytearray(small_driver.file_bytes)
+        e = small_driver.e_lfanew
+        bad[e:e + 4] = b"ZZZZ"
+        with pytest.raises(PEFormatError):
+            map_file_to_memory(bytes(bad))

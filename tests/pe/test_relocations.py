@@ -1,0 +1,143 @@
+"""Unit + property tests for base-relocation encode/apply."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import RelocationError
+from repro.pe.relocations import (apply_relocations, build_reloc_section,
+                                  parse_reloc_section,
+                                  relocation_delta_sites)
+
+
+class TestBuildParse:
+    def test_empty(self):
+        assert build_reloc_section([]) == b""
+        assert parse_reloc_section(b"") == []
+
+    def test_single_fixup(self):
+        data = build_reloc_section([0x1234])
+        assert parse_reloc_section(data) == [0x1234]
+
+    def test_blocks_grouped_per_page(self):
+        rvas = [0x1000, 0x1FF0, 0x2004, 0x5008]
+        data = build_reloc_section(rvas)
+        # three pages -> three blocks
+        pages = set()
+        pos = 0
+        while pos < len(data):
+            page, size = struct.unpack_from("<II", data, pos)
+            pages.add(page)
+            pos += size
+        assert pages == {0x1000, 0x2000, 0x5000}
+        assert parse_reloc_section(data) == sorted(rvas)
+
+    def test_blocks_dword_aligned(self):
+        for rvas in ([0x10], [0x10, 0x20], [0x10, 0x20, 0x30]):
+            data = build_reloc_section(rvas)
+            assert len(data) % 4 == 0
+
+    def test_duplicates_collapsed(self):
+        assert parse_reloc_section(build_reloc_section([8, 8, 8])) == [8]
+
+    def test_negative_rva_rejected(self):
+        with pytest.raises(RelocationError):
+            build_reloc_section([-1])
+
+    def test_truncated_block_rejected(self):
+        data = build_reloc_section([0x10, 0x20])
+        with pytest.raises(RelocationError):
+            parse_reloc_section(data[:9])
+
+    def test_unknown_type_rejected(self):
+        # Craft a block with type 10 (IMAGE_REL_BASED_DIR64).
+        data = struct.pack("<II", 0x1000, 12) + struct.pack(
+            "<HH", (10 << 12) | 4, 0)
+        with pytest.raises(RelocationError, match="unsupported"):
+            parse_reloc_section(data)
+
+    def test_zero_size_block_terminates(self):
+        data = build_reloc_section([4]) + struct.pack("<II", 0, 0)
+        assert parse_reloc_section(data) == [4]
+
+    @given(st.lists(st.integers(min_value=0, max_value=0x80000),
+                    max_size=200))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, rvas):
+        assert parse_reloc_section(build_reloc_section(rvas)) == \
+            sorted(set(rvas))
+
+
+class TestApply:
+    def _image_with_slots(self, slots, values):
+        image = bytearray(0x4000)
+        for rva, value in zip(slots, values):
+            image[rva:rva + 4] = struct.pack("<I", value)
+        return image
+
+    def test_delta_added_to_each_slot(self):
+        slots = [0x10, 0x100, 0x3FF0]
+        image = self._image_with_slots(slots, [0x11000, 0x12345, 0x20000])
+        n = apply_relocations(image, slots, 0xF0000)
+        assert n == 3
+        assert struct.unpack_from("<I", image, 0x10)[0] == 0x101000
+        assert struct.unpack_from("<I", image, 0x100)[0] == 0x102345
+        assert struct.unpack_from("<I", image, 0x3FF0)[0] == 0x110000
+
+    def test_zero_delta_noop(self):
+        slots = [0x10]
+        image = self._image_with_slots(slots, [0x11000])
+        before = bytes(image)
+        assert apply_relocations(image, slots, 0) == 0
+        assert bytes(image) == before
+
+    def test_wraps_at_32_bits(self):
+        image = self._image_with_slots([0], [0xFFFFFFFF])
+        apply_relocations(image, [0], 2)
+        assert struct.unpack_from("<I", image, 0)[0] == 1
+
+    def test_negative_delta(self):
+        image = self._image_with_slots([0], [0x20000])
+        apply_relocations(image, [0], -0x10000)
+        assert struct.unpack_from("<I", image, 0)[0] == 0x10000
+
+    def test_out_of_range_slot_rejected(self):
+        image = bytearray(16)
+        with pytest.raises(RelocationError):
+            apply_relocations(image, [14], 0x1000)
+
+    def test_apply_then_unapply_is_identity(self):
+        slots = [0x40, 0x80, 0x200]
+        image = self._image_with_slots(slots, [0x1111, 0x2222, 0x3333])
+        before = bytes(image)
+        apply_relocations(image, slots, 0x7000)
+        apply_relocations(image, slots, -0x7000)
+        assert bytes(image) == before
+
+    @given(st.sets(st.integers(min_value=0, max_value=250), max_size=20),
+           st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1))
+    @settings(max_examples=60)
+    def test_inverse_property(self, slot_set, delta):
+        # Space slots 4 apart so they never overlap.
+        slots = sorted(s * 4 for s in slot_set)
+        image = bytearray(1024)
+        for i, s in enumerate(slots):
+            struct.pack_into("<I", image, s, (i * 0x1111) & 0xFFFFFFFF)
+        before = bytes(image)
+        apply_relocations(image, slots, delta)
+        apply_relocations(image, slots, -delta)
+        assert bytes(image) == before
+
+
+class TestDeltaSites:
+    def test_identical_buffers(self):
+        assert relocation_delta_sites(b"abc", b"abc") == []
+
+    def test_reports_differing_offsets(self):
+        assert relocation_delta_sites(b"aXcY", b"abcd") == [1, 3]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RelocationError):
+            relocation_delta_sites(b"ab", b"abc")

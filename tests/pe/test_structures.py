@@ -1,0 +1,119 @@
+"""Unit tests for the PE header (de)serialisers."""
+
+import pytest
+
+from repro.errors import PEFormatError
+from repro.pe import constants as C
+from repro.pe.structures import (DataDirectory, DosHeader, FileHeader,
+                                 OptionalHeader, SectionHeader,
+                                 pack_section_name, unpack_section_name)
+
+
+class TestDosHeader:
+    def test_roundtrip(self):
+        hdr = DosHeader(e_fields=tuple(range(29)), e_lfanew=0xE0)
+        assert DosHeader.unpack(hdr.pack()) == hdr
+
+    def test_size(self):
+        assert len(DosHeader().pack()) == 64
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(DosHeader().pack())
+        raw[:2] = b"ZM"
+        with pytest.raises(PEFormatError, match="bad DOS magic"):
+            DosHeader.unpack(bytes(raw))
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(PEFormatError, match="short read"):
+            DosHeader.unpack(b"MZ\x00")
+
+    def test_wrong_field_count_rejected_on_pack(self):
+        with pytest.raises(PEFormatError):
+            DosHeader(e_fields=(1, 2, 3)).pack()
+
+
+class TestFileHeader:
+    def test_roundtrip(self):
+        hdr = FileHeader(number_of_sections=5, time_date_stamp=0x4F5A2C00,
+                         characteristics=0x010E)
+        assert FileHeader.unpack(hdr.pack()) == hdr
+
+    def test_size(self):
+        assert len(FileHeader().pack()) == 20
+
+    def test_defaults_are_i386_pe32(self):
+        hdr = FileHeader()
+        assert hdr.machine == C.MACHINE_I386
+        assert hdr.size_of_optional_header == C.OPTIONAL_HEADER_SIZE_PE32
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(PEFormatError):
+            FileHeader.unpack(b"\x4c\x01")
+
+
+class TestOptionalHeader:
+    def test_roundtrip(self):
+        hdr = OptionalHeader(size_of_code=0x2000, image_base=0x10000,
+                             size_of_image=0x8000, checksum=0xABCD)
+        assert OptionalHeader.unpack(hdr.pack()) == hdr
+
+    def test_size_is_224(self):
+        assert len(OptionalHeader().pack()) == 224
+
+    def test_directory_roundtrip(self):
+        hdr = OptionalHeader().with_directory(C.DIR_BASERELOC, 0x5000, 0x120)
+        back = OptionalHeader.unpack(hdr.pack())
+        d = back.data_directories[C.DIR_BASERELOC]
+        assert (d.virtual_address, d.size) == (0x5000, 0x120)
+
+    def test_non_pe32_magic_rejected(self):
+        raw = bytearray(OptionalHeader().pack())
+        raw[0:2] = (0x020B).to_bytes(2, "little")   # PE32+
+        with pytest.raises(PEFormatError, match="PE32 only"):
+            OptionalHeader.unpack(bytes(raw))
+
+    def test_xp_version_defaults(self):
+        hdr = OptionalHeader()
+        assert (hdr.major_os_version, hdr.minor_os_version) == (5, 1)
+        assert hdr.subsystem == C.SUBSYSTEM_NATIVE
+
+    def test_wrong_directory_count_rejected(self):
+        with pytest.raises(PEFormatError):
+            OptionalHeader(data_directories=(DataDirectory(),)).pack()
+
+
+class TestSectionHeader:
+    def test_roundtrip(self):
+        hdr = SectionHeader(name=".text", virtual_size=0x1234,
+                            virtual_address=0x1000, size_of_raw_data=0x1400,
+                            pointer_to_raw_data=0x400,
+                            characteristics=C.TEXT_CHARACTERISTICS)
+        assert SectionHeader.unpack(hdr.pack()) == hdr
+
+    def test_size(self):
+        assert len(SectionHeader().pack()) == 40
+
+    def test_executable_flag(self):
+        text = SectionHeader(characteristics=C.TEXT_CHARACTERISTICS)
+        data = SectionHeader(characteristics=C.DATA_CHARACTERISTICS)
+        assert text.is_executable and not data.is_executable
+        assert text.is_readonly_code
+        assert data.is_writable
+
+    def test_writable_code_is_not_readonly_code(self):
+        rwx = SectionHeader(characteristics=(C.TEXT_CHARACTERISTICS
+                                             | C.SCN_MEM_WRITE))
+        assert rwx.is_executable and not rwx.is_readonly_code
+
+
+class TestSectionNames:
+    def test_roundtrip(self):
+        for name in (".text", "INIT", ".reloc", "a" * 8, ""):
+            assert unpack_section_name(pack_section_name(name)) == name
+
+    def test_too_long_rejected(self):
+        with pytest.raises(PEFormatError, match="too long"):
+            pack_section_name("toolongname")
+
+    def test_padding_is_nul(self):
+        assert pack_section_name(".x") == b".x" + b"\x00" * 6

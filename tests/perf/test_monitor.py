@@ -1,0 +1,136 @@
+"""Unit tests for the in-guest resource monitor (Fig. 9 machinery)."""
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.hypervisor.clock import SimClock
+from repro.guest import GuestKernel
+from repro.hypervisor.domain import Domain, DomainKind
+from repro.perf.monitor import GuestResourceMonitor
+from repro.perf.workload import HEAVY_LOAD, apply_workload
+
+
+def _domain(name="mon"):
+    kernel = GuestKernel(name, seed=1)
+    kernel.boot({})
+    return Domain(domid=1, name=name, kind=DomainKind.DOMU, kernel=kernel)
+
+
+class TestSampling:
+    def test_idle_guest_mostly_idle_cpu(self):
+        monitor = GuestResourceMonitor(_domain(), SimClock(), seed=1)
+        samples = [monitor.sample() for _ in range(50)]
+        mean_idle = sum(s.cpu_idle_pct for s in samples) / 50
+        assert mean_idle > 90
+
+    def test_loaded_guest_busy_cpu(self):
+        domain = _domain()
+        apply_workload(domain, HEAVY_LOAD)
+        monitor = GuestResourceMonitor(domain, SimClock(), seed=1)
+        sample = monitor.sample()
+        assert sample.cpu_idle_pct < 20
+        assert sample.cpu_user_pct > 60
+        assert sample.page_faults_per_s > 400
+
+    def test_samples_carry_clock_time(self):
+        clock = SimClock()
+        monitor = GuestResourceMonitor(_domain(), clock, seed=1)
+        monitor.sample()
+        clock.advance(5.0)
+        monitor.sample()
+        times = [s.t for s in monitor.trace.samples]
+        assert times == [0.0, 5.0]
+
+    def test_deterministic_given_seed(self):
+        a = GuestResourceMonitor(_domain(), SimClock(), seed=3).sample()
+        b = GuestResourceMonitor(_domain(), SimClock(), seed=3).sample()
+        assert a == b
+
+
+class TestRun:
+    def test_run_samples_at_interval(self):
+        clock = SimClock()
+        monitor = GuestResourceMonitor(_domain(), clock, seed=1)
+        trace = monitor.run(duration=10.0, interval=1.0)
+        assert len(trace.samples) >= 10
+
+    def test_events_recorded_as_windows(self):
+        clock = SimClock()
+        monitor = GuestResourceMonitor(_domain(), clock, seed=1)
+        trace = monitor.run(duration=10.0, interval=1.0,
+                            events=[(3.0, lambda: clock.advance(0.5)),
+                                    (7.0, lambda: clock.advance(0.25))])
+        assert len(trace.introspection_windows) == 2
+        (s0, e0), (s1, e1) = trace.introspection_windows
+        assert e0 - s0 == pytest.approx(0.5)
+        assert e1 - s1 == pytest.approx(0.25)
+
+    def test_invalid_interval(self):
+        monitor = GuestResourceMonitor(_domain(), SimClock(), seed=1)
+        with pytest.raises(ValueError):
+            monitor.run(duration=1.0, interval=0)
+
+
+class TestPerturbationAnalysis:
+    def test_out_of_vm_introspection_no_perturbation(self):
+        """The paper's Fig. 9 claim, end to end on a real testbed."""
+        tb = build_testbed(3, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        domain = tb.hypervisor.domain("Dom1")
+        monitor = GuestResourceMonitor(domain, tb.clock, seed=1)
+        check = lambda: mc.check_pool("hal.dll")
+        trace = monitor.run(duration=60.0, interval=0.5,
+                            events=[(10.0, check), (30.0, check),
+                                    (50.0, check)])
+        assert len(trace.introspection_windows) == 3
+        for attr in ("cpu_idle_pct", "mem_free_physical_pct"):
+            assert trace.perturbation(attr) < 3.0, attr
+
+    def test_in_guest_agent_perturbs(self):
+        """Contrast: an in-guest scanner consuming CPU *is* visible —
+        the monitor machinery is sensitive enough to matter."""
+        clock = SimClock()
+        domain = _domain()
+        monitor = GuestResourceMonitor(domain, clock, seed=1,
+                                       agent_overhead=0.0)
+        def in_guest_scan():
+            monitor.agent_overhead = 0.35
+            clock.advance(2.0)
+            monitor.sample()
+            monitor.agent_overhead = 0.0
+        trace = monitor.run(duration=40.0, interval=0.5,
+                            events=[(10.0, in_guest_scan),
+                                    (25.0, in_guest_scan)])
+        assert trace.perturbation("cpu_idle_pct") > 3.0
+
+    def test_series_extraction(self):
+        monitor = GuestResourceMonitor(_domain(), SimClock(), seed=1)
+        trace = monitor.run(duration=5.0, interval=1.0)
+        t, v = trace.series("cpu_idle_pct")
+        assert len(t) == len(v) == len(trace.samples)
+
+    def test_perturbation_without_windows_is_zero(self):
+        monitor = GuestResourceMonitor(_domain(), SimClock(), seed=1)
+        trace = monitor.run(duration=5.0, interval=1.0)
+        assert trace.perturbation("cpu_idle_pct") == 0.0
+
+
+class TestLoadVisibility:
+    def test_monitor_reflects_heavyload(self):
+        """Sanity of the in-guest sensor model: HeavyLoad shows up in
+        every series the paper's tool records."""
+        from repro.perf.workload import HEAVY_LOAD, apply_workload, \
+            clear_workload
+        domain = _domain("loady")
+        monitor = GuestResourceMonitor(domain, SimClock(), seed=5)
+        idle = monitor.sample()
+        apply_workload(domain, HEAVY_LOAD)
+        busy = monitor.sample()
+        clear_workload(domain)
+        recovered = monitor.sample()
+        assert busy.cpu_idle_pct < idle.cpu_idle_pct - 50
+        assert busy.page_faults_per_s > idle.page_faults_per_s * 5
+        assert busy.disk_queue_length > idle.disk_queue_length
+        assert busy.mem_free_physical_pct < idle.mem_free_physical_pct
+        assert recovered.cpu_idle_pct > 90

@@ -1,0 +1,29 @@
+"""Unit tests for timing records."""
+
+import pytest
+
+from repro.perf.timing import ComponentTimings, RunTiming
+
+
+class TestComponentTimings:
+    def test_total(self):
+        t = ComponentTimings(searcher=1.0, parser=0.5, checker=0.25)
+        assert t.total == pytest.approx(1.75)
+
+    def test_addition(self):
+        a = ComponentTimings(1, 2, 3)
+        b = ComponentTimings(10, 20, 30)
+        c = a + b
+        assert (c.searcher, c.parser, c.checker) == (11, 22, 33)
+
+    def test_as_dict(self):
+        t = ComponentTimings(1, 2, 3)
+        d = t.as_dict()
+        assert d == {"searcher": 1, "parser": 2, "checker": 3, "total": 6}
+
+
+class TestRunTiming:
+    def test_row(self):
+        rt = RunTiming(n_vms=5, loaded=True,
+                       timings=ComponentTimings(1, 2, 3))
+        assert rt.row() == (5, 1, 2, 3, 6)

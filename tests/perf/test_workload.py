@@ -1,0 +1,44 @@
+"""Unit tests for workload profiles."""
+
+import pytest
+
+from repro.guest import GuestKernel
+from repro.hypervisor.domain import Domain, DomainKind
+from repro.perf.workload import (CPU_ONLY, HEAVY_LOAD, IDLE, Workload,
+                                 apply_workload, clear_workload)
+
+
+@pytest.fixture
+def domain():
+    kernel = GuestKernel("w", seed=1)
+    kernel.boot({})
+    return Domain(domid=1, name="w", kind=DomainKind.DOMU, kernel=kernel)
+
+
+class TestWorkload:
+    def test_heavyload_stresses_everything(self):
+        assert HEAVY_LOAD.cpu == 1.0
+        assert HEAVY_LOAD.mem > 0 and HEAVY_LOAD.disk > 0
+
+    def test_idle_is_zero(self):
+        assert (IDLE.cpu, IDLE.mem, IDLE.disk) == (0, 0, 0)
+
+    def test_invalid_load_rejected(self):
+        with pytest.raises(ValueError):
+            Workload("bad", cpu=1.5)
+
+    def test_apply_sets_domain_knobs(self, domain):
+        apply_workload(domain, HEAVY_LOAD)
+        assert domain.cpu_load == 1.0
+        assert domain.mem_load == HEAVY_LOAD.mem
+        assert domain.tags["workload"] == "heavyload"
+
+    def test_clear_resets(self, domain):
+        apply_workload(domain, HEAVY_LOAD)
+        clear_workload(domain)
+        assert domain.cpu_load == 0.0
+        assert domain.tags["workload"] == "idle"
+
+    def test_cpu_only_leaves_memory_idle(self, domain):
+        apply_workload(domain, CPU_ONLY)
+        assert domain.cpu_load == 1.0 and domain.mem_load == 0.0

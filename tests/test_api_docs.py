@@ -1,0 +1,39 @@
+"""Guard: docs/API.md stays in sync with the code's public surface."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "_gen_api_docs", ROOT / "tools" / "gen_api_docs.py")
+    mod = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestApiDocs:
+    def test_api_md_up_to_date(self):
+        gen = _load_generator()
+        target = ROOT / "docs" / "API.md"
+        assert target.exists(), "run python tools/gen_api_docs.py"
+        assert target.read_text() == gen.generate(), \
+            "docs/API.md is stale; run python tools/gen_api_docs.py"
+
+    def test_every_listed_module_exports_something(self):
+        gen = _load_generator()
+        import importlib
+        for mod_name in gen.MODULES:
+            module = importlib.import_module(mod_name)
+            assert getattr(module, "__all__", []), mod_name
+
+    def test_reference_covers_core_api(self):
+        text = (ROOT / "docs" / "API.md").read_text()
+        for name in ("ModChecker", "ModuleSearcher", "IntegrityChecker",
+                     "adjust_rva_faithful", "build_testbed",
+                     "VMIInstance", "Hypervisor", "GuestKernel"):
+            assert name in text, name

@@ -1,0 +1,149 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_arg_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args([])
+
+    def test_check_defaults(self):
+        args = build_arg_parser().parse_args(["check"])
+        assert args.module == "hal.dll"
+        assert args.vms == 6
+        assert args.hash == "md5"
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_arg_parser().parse_args(["explode"])
+
+
+class TestCheck:
+    def test_clean_pool_exit_zero(self, capsys):
+        rc = main(["check", "--module", "hal.dll", "--vms", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CLEAN" in out and "FLAGGED" not in out
+
+    def test_infected_pool_exit_one(self, capsys):
+        rc = main(["check", "--vms", "5", "--infect", "E1",
+                   "--victim", "Dom2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FLAGGED" in out
+        assert ".text" in out
+
+    def test_experiment_dictates_module(self, capsys):
+        rc = main(["check", "--module", "hal.dll", "--vms", "4",
+                   "--infect", "E3"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "dummy.sys" in out
+        assert "IMAGE_DOS_HEADER" in out
+
+    def test_hash_option(self, capsys):
+        rc = main(["check", "--vms", "4", "--hash", "sha256"])
+        assert rc == 0
+        assert "sha256" in capsys.readouterr().out
+
+    def test_rva_mode_option(self, capsys):
+        rc = main(["check", "--vms", "4", "--rva-mode", "vectorized"])
+        assert rc == 0
+
+
+class TestSweep:
+    def test_clean_sweep(self, capsys):
+        rc = main(["sweep", "--vms", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "hal.dll" in out and "http.sys" in out
+
+    def test_infected_sweep_nonzero(self, capsys):
+        rc = main(["sweep", "--vms", "4", "--infect", "E2",
+                   "--victim", "Dom2"])
+        assert rc == 1
+
+
+class TestHidden:
+    def test_no_hidden(self, capsys):
+        rc = main(["hidden", "--vms", "2"])
+        assert rc == 0
+        assert "no hidden modules" in capsys.readouterr().out
+
+    def test_hidden_demo(self, capsys):
+        rc = main(["hidden", "--vms", "3", "--hide", "dummy.sys",
+                   "--victim", "Dom2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "HIDDEN module" in out
+        assert "dummy.sys" in out
+
+
+class TestDaemon:
+    def test_quiet_daemon(self, capsys):
+        rc = main(["daemon", "--vms", "3", "--cycles", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "quiet" in out
+
+    def test_infected_daemon(self, capsys):
+        rc = main(["daemon", "--vms", "4", "--cycles", "4",
+                   "--infect", "E1", "--victim", "Dom2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "hal.dll" in out
+
+
+class TestExperiment:
+    def test_single_experiment(self, capsys):
+        rc = main(["experiment", "e3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stub-modification" in out
+
+    def test_unknown_experiment(self, capsys):
+        rc = main(["experiment", "e99"])
+        assert rc == 2
+
+
+class TestCrossView:
+    def test_clean(self, capsys):
+        rc = main(["crossview", "--vms", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 hidden, 0 decoy" in out
+
+    def test_hidden_and_decoy(self, capsys):
+        rc = main(["crossview", "--vms", "3", "--hide", "dummy.sys",
+                   "--decoy", "--victim", "Dom2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "1 hidden, 1 decoy" in out
+        assert "ghost.sys" in out
+
+
+class TestPoolMode:
+    def test_canonical_mode(self, capsys):
+        rc = main(["check", "--vms", "5", "--pool-mode", "canonical",
+                   "--infect", "E1", "--victim", "Dom2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FLAGGED" in out
+
+
+class TestDump:
+    def test_offline_check_clean(self, capsys):
+        rc = main(["dump", "--vms", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "offline cross-check" in out
+
+    def test_offline_check_infected(self, capsys):
+        rc = main(["dump", "--vms", "4", "--infect", "E1",
+                   "--victim", "Dom2"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FLAGGED" in out

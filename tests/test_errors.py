@@ -1,0 +1,40 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_family_catching(self):
+        with pytest.raises(errors.PEError):
+            raise errors.PEFormatError("x")
+        with pytest.raises(errors.MemoryError_):
+            raise errors.PageFault(0x1000)
+        with pytest.raises(errors.VMIError):
+            raise errors.IntrospectionFault("x")
+        with pytest.raises(errors.AttackError):
+            raise errors.NoOpcodeCave("x")
+
+    def test_page_fault_carries_address(self):
+        fault = errors.PageFault(0xDEAD0000)
+        assert fault.address == 0xDEAD0000
+        assert "0xdead0000" in str(fault)
+
+    def test_page_fault_custom_message(self):
+        fault = errors.PageFault(0x1000, "custom")
+        assert str(fault) == "custom"
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        assert not issubclass(errors.MemoryError_, MemoryError)
+
+    def test_disassembly_error_in_family(self):
+        from repro.pe.disasm import DisassemblyError
+        assert issubclass(DisassemblyError, errors.ReproError)

@@ -1,0 +1,66 @@
+"""Unit tests for the libvmi-style caches."""
+
+import pytest
+
+from repro.vmi.cache import LRUCache, PageCache, V2PCache
+
+
+class TestLRUCache:
+    def test_get_miss_then_hit(self):
+        c = LRUCache(4)
+        assert c.get("k") is None
+        c.put("k", 1)
+        assert c.get("k") == 1
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_eviction_order_is_lru(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.get("a")              # a becomes most-recent
+        c.put("c", 3)           # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == 1
+        assert c.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.put("a", 10)
+        c.put("c", 3)           # evicts b, not a
+        assert c.get("a") == 10
+        assert c.get("b") is None
+
+    def test_flush(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.flush()
+        assert c.get("a") is None
+        assert len(c) == 0
+
+    def test_capacity_bound(self):
+        c = LRUCache(3)
+        for i in range(10):
+            c.put(i, i)
+        assert len(c) == 3
+
+    def test_hit_rate(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("b")
+        assert c.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_no_accesses(self):
+        assert LRUCache(4).hit_rate == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+
+class TestSpecialisations:
+    def test_defaults(self):
+        assert V2PCache().capacity == 2048
+        assert PageCache().capacity == 512

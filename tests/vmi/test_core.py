@@ -1,0 +1,144 @@
+"""Unit tests for the introspection core."""
+
+import pytest
+
+from repro.errors import IntrospectionFault, VMIInitError
+from repro.hypervisor import Hypervisor
+from repro.vmi import OSProfile, VMIInstance
+
+
+@pytest.fixture(scope="module")
+def env(catalog):
+    hv = Hypervisor()
+    hv.create_guest("Dom1", catalog, seed=1)
+    profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+    return hv, profile
+
+
+@pytest.fixture
+def vmi(env):
+    hv, profile = env
+    return VMIInstance(hv, "Dom1", profile)
+
+
+class TestInit:
+    def test_attach_to_guest(self, vmi):
+        assert vmi.domain.name == "Dom1"
+
+    def test_attach_to_dom0_rejected(self, env):
+        hv, profile = env
+        with pytest.raises(VMIInitError):
+            VMIInstance(hv, "Dom0", profile)
+
+    def test_attach_to_missing_rejected(self, env):
+        hv, profile = env
+        with pytest.raises(VMIInitError):
+            VMIInstance(hv, "DomZ", profile)
+
+
+class TestReads:
+    def test_read_va_matches_guest_view(self, env, vmi):
+        hv, _ = env
+        kernel = hv.domain("Dom1").kernel
+        mod = kernel.module("hal.dll")
+        ground_truth = kernel.read_module_image("hal.dll")
+        assert vmi.read_va(mod.base, mod.size_of_image) == ground_truth
+
+    def test_read_pa_matches_memory(self, env, vmi):
+        hv, _ = env
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.write(0x5678, b"paok")
+        assert vmi.read_pa(0x5678, 4) == b"paok"
+
+    def test_read_u32_u16(self, env, vmi):
+        hv, _ = env
+        kernel = hv.domain("Dom1").kernel
+        head = kernel.symbols["PsLoadedModuleList"]
+        assert vmi.read_u32(head) != 0
+        assert vmi.read_u16(head) == vmi.read_u32(head) & 0xFFFF
+
+    def test_unmapped_va_faults(self, vmi):
+        with pytest.raises(IntrospectionFault):
+            vmi.read_va(0x7000_0000, 16)
+
+    def test_symbol_resolution(self, env, vmi):
+        hv, _ = env
+        assert vmi.symbol("PsLoadedModuleList") == \
+            hv.domain("Dom1").kernel.symbols["PsLoadedModuleList"]
+
+    def test_translate_preserves_offset(self, env, vmi):
+        hv, _ = env
+        mod = hv.domain("Dom1").kernel.module("hal.dll")
+        pa = vmi.translate_kv2p(mod.base + 0x123)
+        assert pa & 0xFFF == 0x123
+
+
+class TestCaching:
+    def test_cache_hits_on_repeat_read(self, env):
+        hv, profile = env
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=True)
+        mod = hv.domain("Dom1").kernel.module("hal.dll")
+        vmi.read_va(mod.base, 0x3000)
+        mapped_before = vmi.stats.pages_mapped
+        vmi.read_va(mod.base, 0x3000)
+        assert vmi.stats.pages_mapped == mapped_before
+        assert vmi.stats.page_cache_hits >= 3
+
+    def test_caches_disabled(self, env):
+        hv, profile = env
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=False)
+        mod = hv.domain("Dom1").kernel.module("hal.dll")
+        vmi.read_va(mod.base, 0x2000)
+        vmi.read_va(mod.base, 0x2000)
+        assert vmi.stats.page_cache_hits == 0
+        assert vmi.stats.pages_mapped >= 4
+
+    def test_flush_invalidates(self, env):
+        hv, profile = env
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=True)
+        mod = hv.domain("Dom1").kernel.module("hal.dll")
+        vmi.read_va(mod.base, 0x1000)
+        vmi.flush_caches()
+        before = vmi.stats.pages_mapped
+        vmi.read_va(mod.base, 0x1000)
+        assert vmi.stats.pages_mapped > before
+
+    def test_stale_cache_risk_demonstrated(self, env):
+        """Why caches must be flushed between rounds: remapping the
+        guest page behind a cached translation yields stale bytes."""
+        hv, profile = env
+        kernel = hv.domain("Dom1").kernel
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=True)
+        mod = kernel.module("dummy.sys")
+        vmi.read_va(mod.base, 16)                      # populate caches
+        kernel.aspace.write(mod.base, b"FRESHDATA")    # guest changes page
+        stale = vmi.read_va(mod.base, 9)
+        assert stale != b"FRESHDATA"                   # cache served old bytes
+        vmi.flush_caches()
+        assert vmi.read_va(mod.base, 9) == b"FRESHDATA"
+
+
+class TestCostAccounting:
+    def test_reads_advance_clock(self, env):
+        hv, profile = env
+        vmi = VMIInstance(hv, "Dom1", profile)
+        t0 = hv.clock.now
+        mod = hv.domain("Dom1").kernel.module("hal.dll")
+        vmi.read_va(mod.base, 0x4000)
+        assert hv.clock.now > t0
+
+    def test_cached_reads_cheaper(self, env):
+        hv, profile = env
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=True)
+        mod = hv.domain("Dom1").kernel.module("hal.dll")
+        with hv.clock.span() as cold:
+            vmi.read_va(mod.base, 0x4000)
+        with hv.clock.span() as warm:
+            vmi.read_va(mod.base, 0x4000)
+        assert warm.elapsed < cold.elapsed
+
+
+class TestReadOnly:
+    def test_no_write_api(self, vmi):
+        assert not any("write" in name for name in dir(vmi)
+                       if not name.startswith("_"))

@@ -1,0 +1,46 @@
+"""Unit tests for OS profiles."""
+
+import pytest
+
+from repro.errors import SymbolNotFound
+from repro.guest import GuestKernel
+from repro.guest import ldr as _ldr
+from repro.vmi.symbols import OSProfile, XP_SP2_OFFSETS
+
+
+class TestOSProfile:
+    def test_offsets_match_guest_structs(self):
+        profile = OSProfile()
+        assert profile.offset("LDR_DATA_TABLE_ENTRY.DllBase") == \
+            _ldr.OFF_DLLBASE
+        assert profile.offset("LDR_DATA_TABLE_ENTRY.BaseDllName") == \
+            _ldr.OFF_BASEDLLNAME
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(SymbolNotFound):
+            OSProfile().symbol("NoSuchGlobal")
+
+    def test_missing_offset_raises(self):
+        with pytest.raises(SymbolNotFound):
+            OSProfile().offset("EPROCESS.Peb")
+
+    def test_from_guest_captures_symbols(self, catalog):
+        kernel = GuestKernel("ref", seed=1)
+        kernel.boot(catalog)
+        profile = OSProfile.from_guest(kernel)
+        assert profile.symbol("PsLoadedModuleList") == \
+            kernel.symbols["PsLoadedModuleList"]
+
+    def test_one_profile_serves_all_clones(self, catalog):
+        kernels = [GuestKernel(f"c{i}", seed=i) for i in range(3)]
+        for k in kernels:
+            k.boot(catalog)
+        profile = OSProfile.from_guest(kernels[0])
+        for k in kernels[1:]:
+            assert profile.symbol("PsLoadedModuleList") == \
+                k.symbols["PsLoadedModuleList"]
+
+    def test_default_offsets_copied_not_shared(self):
+        a, b = OSProfile(), OSProfile()
+        assert a.offsets == XP_SP2_OFFSETS
+        assert a.offsets is not b.offsets
