@@ -89,7 +89,7 @@ def run_fig4() -> None:
     catalog = build_catalog(seed=SEED)
     tb = build_testbed(2, seed=SEED)
     mc = ModChecker(tb.hypervisor, tb.profile)
-    parsed, _, _ = mc.fetch_modules("dummy.sys", tb.vm_names)
+    parsed, *_ = mc.fetch_modules("dummy.sys", tb.vm_names)
     a, b = parsed
     ra = next(r for r in a.code_regions if r.name == ".text")
     rb = next(r for r in b.code_regions if r.name == ".text")

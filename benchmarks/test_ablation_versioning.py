@@ -38,7 +38,7 @@ def rollout_pool(n_vms: int, n_updated: int):
     tb = build_testbed(n_vms, seed=SEED,
                        infected={vm: {MODULE: updated} for vm in victims})
     mc = ModChecker(tb.hypervisor, tb.profile)
-    parsed, _, _ = mc.fetch_modules(MODULE, tb.vm_names)
+    parsed, *_ = mc.fetch_modules(MODULE, tb.vm_names)
     return mc, parsed, victims
 
 
@@ -76,6 +76,6 @@ def test_versioned_check_still_detects_real_infection():
     RuntimeCodePatchAttack().apply(
         tb.hypervisor.domain("Dom3").kernel, tb.catalog[MODULE])
     mc = ModChecker(tb.hypervisor, tb.profile)
-    parsed, _, _ = mc.fetch_modules(MODULE, tb.vm_names)
+    parsed, *_ = mc.fetch_modules(MODULE, tb.vm_names)
     report = check_pool_versioned(parsed, mc.checker)
     assert report.flagged() == ["Dom3"]

@@ -75,7 +75,7 @@ def test_detection_matrix(benchmark):
                                      for vm in ("Dom3", "Dom4")})
         mc = ModChecker(tb.hypervisor, tb.profile)
         vmi = mc.vmi_for("Dom3")
-        parsed, _, _ = mc.fetch_modules("hal.dll", tb.vm_names)
+        parsed, *_ = mc.fetch_modules("hal.dll", tb.vm_names)
         matrix[("update", "modchecker")] = \
             not check_pool_versioned(parsed, mc.checker).all_clean
         disk = dict(clean_catalog)

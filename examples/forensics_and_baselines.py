@@ -94,7 +94,7 @@ def baseline_comparison() -> None:
     mc2 = ModChecker(tb2.hypervisor, tb2.profile)
     verdict = dictionary.check_module(mc2.vmi_for("Dom3"), "hal.dll")
     from repro.core import check_pool_versioned
-    parsed, _, _ = mc2.fetch_modules("hal.dll", tb2.vm_names)
+    parsed, *_ = mc2.fetch_modules("hal.dll", tb2.vm_names)
     versioned = check_pool_versioned(parsed, mc2.checker)
     print("  legitimate hal.dll update on Dom3+Dom4:")
     print(f"    dictionary: {'FALSE ALARM' if not verdict.clean else 'ok'} "

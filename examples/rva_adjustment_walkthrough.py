@@ -29,7 +29,7 @@ def hexdump(data: bytes, start: int, width: int = 16) -> str:
 def main() -> None:
     tb = build_testbed(2, seed=SEED)
     mc = ModChecker(tb.hypervisor, tb.profile)
-    (vm1, vm2), _, _ = mc.fetch_modules("dummy.sys", tb.vm_names)
+    (vm1, vm2), *_ = mc.fetch_modules("dummy.sys", tb.vm_names)
 
     print("A. the same dummy.sys on two clones:")
     print(f"   VM1 ({vm1.vm_name}) base = {vm1.base:#010x}")

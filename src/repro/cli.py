@@ -23,6 +23,7 @@ from .attacks import attack_for_experiment
 from .cloud import build_testbed
 from .core import ModChecker
 from .core.daemon import CheckDaemon, RoundRobinPolicy
+from .errors import InsufficientPool
 from .guest import build_catalog
 
 __all__ = ["main", "build_arg_parser"]
@@ -46,6 +47,15 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="stage a paper experiment (E1..E4) first")
         p.add_argument("--victim", default="Dom3",
                        help="VM that boots the infected module")
+        p.add_argument("--fault-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="inject transient introspection faults on "
+                            "P of guest reads (deterministic, seeded "
+                            "from --seed)")
+        p.add_argument("--retry", type=int, default=None, metavar="N",
+                       help="attempts per failing guest read "
+                            "(default: policy default; 0 disables "
+                            "retries)")
 
     p_check = sub.add_parser("check", help="cross-check one module")
     add_common(p_check)
@@ -108,20 +118,45 @@ def _build(args, module: str | None = None):
         result = attack.apply(catalog[module])
         infected = {args.victim: {module: result.infected}}
     tb = build_testbed(args.vms, seed=args.seed, infected=infected)
+    rate = getattr(args, "fault_rate", 0.0)
+    if not 0.0 <= rate <= 1.0:
+        raise SystemExit(f"error: --fault-rate must be in [0, 1], "
+                         f"got {rate}")
+    if rate:
+        from .hypervisor.faults import FaultConfig, FaultInjector
+        from .rng import derive_seed
+        injector = FaultInjector(FaultConfig(transient_rate=rate),
+                                 seed=derive_seed(args.seed, "cli-faults"))
+        injector.install(tb.hypervisor)
+        print(f"(faults) injecting transient faults on {rate:.1%} of "
+              f"guest reads")
     return tb, module
+
+
+def _retry_policy(args):
+    """Map --retry to a RetryPolicy (None disables retries)."""
+    from .vmi.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+    attempts = getattr(args, "retry", None)
+    if attempts is None:
+        return DEFAULT_RETRY_POLICY
+    if attempts <= 0:
+        return None
+    return RetryPolicy(max_attempts=attempts)
 
 
 def cmd_check(args) -> int:
     tb, module = _build(args, args.module)
     module = module or args.module
     mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
-                    hash_algorithm=args.hash)
+                    hash_algorithm=args.hash, retry=_retry_policy(args))
     out = mc.check_pool(module, mode=args.pool_mode)
     report = out.report
     rows = [[vm, f"{v.matches}/{v.comparisons}",
              "CLEAN" if v.clean else "FLAGGED",
              ", ".join(v.mismatched_regions) or "-"]
             for vm, v in report.verdicts.items()]
+    rows += [[vm, "-", "DEGRADED", reason]
+             for vm, reason in sorted(report.degraded.items())]
     print(render_table(["VM", "matches", "verdict", "mismatched"], rows,
                        title=f"{module} across {len(report.vm_names)} VMs "
                              f"({args.hash}, {args.rva_mode})"))
@@ -132,7 +167,7 @@ def cmd_check(args) -> int:
 
 def cmd_sweep(args) -> int:
     tb, _ = _build(args)
-    mc = ModChecker(tb.hypervisor, tb.profile)
+    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args))
     outcomes = mc.check_all_modules()
     rows = []
     dirty = False
@@ -222,7 +257,7 @@ def cmd_dump(args) -> int:
 
 def cmd_daemon(args) -> int:
     tb, _ = _build(args)
-    mc = ModChecker(tb.hypervisor, tb.profile)
+    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args))
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval)
     for cycle in range(args.cycles):
@@ -233,6 +268,9 @@ def cmd_daemon(args) -> int:
                 print(str(alert))
         else:
             print(f"[{stamp:10.3f}s] cycle {cycle}: quiet")
+        if daemon.quarantined:
+            print(f"[{stamp:10.3f}s] quarantined: "
+                  f"{', '.join(daemon.quarantined)}")
     print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
     return 1 if len(daemon.log) else 0
 
@@ -266,7 +304,13 @@ def main(argv: list[str] | None = None) -> int:
         "daemon": cmd_daemon,
         "experiment": cmd_experiment,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except InsufficientPool as exc:
+        # Degradation (e.g. --fault-rate with --retry 0) can shrink the
+        # quorum below 2; that is an operational outcome, not a crash.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -10,7 +10,7 @@ from .versioning import (VersionGroup, VersionedPoolReport,
 from .daemon import (AdaptivePolicy, Alert, AlertLog, CheckDaemon,
                      PriorityPolicy, RoundRobinPolicy)
 from .integrity import SUPPORTED_HASHES, IntegrityChecker, md5_hex
-from .modchecker import CheckOutcome, ModChecker, PoolOutcome
+from .modchecker import CheckOutcome, FetchResult, ModChecker, PoolOutcome
 from .parallel import ParallelModChecker, makespan
 from .parser import ModuleParser, ParsedModule
 from .report import (PairComparison, PoolReport, VMCheckReport, VMVerdict)
@@ -28,7 +28,7 @@ __all__ = [
     "AdaptivePolicy", "Alert", "AlertLog", "CheckDaemon", "PriorityPolicy",
     "RoundRobinPolicy",
     "SUPPORTED_HASHES", "IntegrityChecker", "md5_hex",
-    "CheckOutcome", "ModChecker", "PoolOutcome",
+    "CheckOutcome", "FetchResult", "ModChecker", "PoolOutcome",
     "ParallelModChecker", "makespan",
     "ModuleParser", "ParsedModule",
     "PairComparison", "PoolReport", "VMCheckReport", "VMVerdict",

@@ -18,6 +18,14 @@ policies:
 
 Each cycle also runs the anti-DKOM carving sweep on one VM (rotating),
 so hidden modules surface within ``len(pool)`` cycles.
+
+The daemon degrades rather than dies: a VM whose introspection keeps
+failing after the retry budget (fault windows, paused/unreachable
+domains) is **quarantined** for ``quarantine_cycles`` cycles — dropped
+from sweeps and carving, reported via a ``degraded`` alert — and then
+probed again. The module list is re-discovered every
+``rediscover_every`` cycles, so modules loaded after the daemon started
+are picked up and monitored.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-from ..errors import InsufficientPool
+from ..errors import InsufficientPool, RetryExhausted, TransientFault
 from .modchecker import ModChecker
 from .searcher import ModuleSearcher
 
@@ -35,17 +43,27 @@ __all__ = ["Alert", "AlertLog", "SchedulingPolicy", "RoundRobinPolicy",
 
 @dataclass(frozen=True)
 class Alert:
-    """One discrepancy event."""
+    """One discrepancy or availability event.
+
+    ``degraded`` names VMs that were dropped from the checking quorum
+    for this event (retry budget exhausted); for ``kind="degraded"``
+    alerts it is the whole story, for integrity alerts it records which
+    VMs could not vote.
+    """
 
     time: float
     module: str
     flagged_vms: tuple[str, ...]
     regions: tuple[str, ...]
-    kind: str = "integrity"          # or "hidden-module"
+    kind: str = "integrity"          # or "hidden-module", "degraded", ...
+    degraded: tuple[str, ...] = ()
 
     def __str__(self) -> str:
+        extra = f" [degraded: {','.join(self.degraded)}]" \
+            if self.degraded else ""
         return (f"[{self.time:10.3f}s] {self.kind}: {self.module} on "
-                f"{','.join(self.flagged_vms)} ({', '.join(self.regions)})")
+                f"{','.join(self.flagged_vms)} "
+                f"({', '.join(self.regions)}){extra}")
 
 
 @dataclass
@@ -135,78 +153,189 @@ class AdaptivePolicy(SchedulingPolicy):
 
 
 class CheckDaemon:
-    """Periodic integrity sweeps over the cloud."""
+    """Periodic integrity sweeps over the cloud, degrading gracefully."""
 
     def __init__(self, checker: ModChecker, policy: SchedulingPolicy | None = None,
-                 *, interval: float = 60.0, carve: bool = True) -> None:
+                 *, interval: float = 60.0, carve: bool = True,
+                 quarantine_cycles: int = 3,
+                 rediscover_every: int = 1) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
+        if quarantine_cycles < 1:
+            raise ValueError("quarantine_cycles must be >= 1")
+        if rediscover_every < 1:
+            raise ValueError("rediscover_every must be >= 1")
         self.checker = checker
         self.policy = policy or RoundRobinPolicy()
         self.interval = interval
         self.carve = carve
+        self.quarantine_cycles = quarantine_cycles
+        self.rediscover_every = rediscover_every
         self.log = AlertLog()
         self.cycles_run = 0
         self._modules: list[str] | None = None
+        self._modules_cycle = 0
+        #: VM name -> remaining quarantine cycles
+        self._quarantine: dict[str, int] = {}
 
-    def _discover_modules(self) -> list[str]:
+    # -- degradation bookkeeping ---------------------------------------------
+
+    @property
+    def quarantined(self) -> list[str]:
+        """VMs currently excluded from sweeps (sorted for determinism)."""
+        return sorted(self._quarantine)
+
+    def _active_vms(self) -> list[str]:
+        pool = self.checker.pool_vm_names()
+        if not pool:
+            raise InsufficientPool("no guests in the pool to monitor")
+        return [vm for vm in pool if vm not in self._quarantine]
+
+    def _tick_quarantine(self) -> None:
+        for vm in list(self._quarantine):
+            self._quarantine[vm] -= 1
+            if self._quarantine[vm] <= 0:
+                del self._quarantine[vm]
+
+    def _quarantine_vm(self, vm: str, reason: str,
+                       new_alerts: list[Alert]) -> None:
+        if vm in self._quarantine:
+            return
+        self._quarantine[vm] = self.quarantine_cycles
+        alert = Alert(self.checker.hv.clock.now, "<pool>", (vm,),
+                      (reason,), kind="degraded", degraded=(vm,))
+        self.log.add(alert)
+        new_alerts.append(alert)
+
+    # -- discovery -----------------------------------------------------------
+
+    def _discover_modules(self, active: list[str] | None = None) -> list[str]:
+        """(Re-)walk the active VMs' module lists on the discovery TTL.
+
+        The list is refreshed every ``rediscover_every`` cycles so
+        modules loaded after the daemon started get monitored too, and
+        it is the *union* over the active pool — a module DKOM-hidden
+        on one VM stays monitored via every other VM's list. A VM whose
+        walk faults is skipped; if every active VM fails, the last
+        known list is reused (or :class:`InsufficientPool` is raised
+        when there never was one).
+        """
+        stale = (self._modules is None
+                 or self.cycles_run - self._modules_cycle
+                 >= self.rediscover_every)
+        if not stale:
+            return self._modules  # type: ignore[return-value]
+        vms = active if active is not None else self._active_vms()
+        if not vms and self._modules is None:
+            raise InsufficientPool(
+                "no reachable guest to discover modules from")
+        union: list[str] = []
+        seen: set[str] = set()
+        walked = False
+        for vm in vms:
+            try:
+                vmi = self.checker.vmi_for(vm)
+                if self.checker.flush_caches_each_round:
+                    vmi.flush_caches()
+                entries = ModuleSearcher(vmi).list_modules()
+            except (TransientFault, RetryExhausted):
+                continue
+            walked = True
+            for entry in entries:
+                if entry.name not in seen:
+                    seen.add(entry.name)
+                    union.append(entry.name)
+        if walked:
+            self._modules = union
+            self._modules_cycle = self.cycles_run
         if self._modules is None:
-            vms = self.checker.pool_vm_names()
-            searcher = ModuleSearcher(self.checker.vmi_for(vms[0]))
-            self._modules = [e.name for e in searcher.list_modules()]
+            raise InsufficientPool(
+                "module discovery failed on every reachable guest")
         return self._modules
+
+    # -- the cycle -----------------------------------------------------------
 
     def run_cycle(self) -> list[Alert]:
         """One daemon cycle: scheduled checks + one carving sweep."""
         clock = self.checker.hv.clock
-        modules = self._discover_modules()
         new_alerts: list[Alert] = []
+        self._tick_quarantine()
+        active = self._active_vms()
+        modules = self._discover_modules(active)
 
-        for module in self.policy.select(self.cycles_run, modules, self.log):
-            try:
-                report = self.checker.check_pool(module).report
-            except InsufficientPool:
-                continue
-            alarmed = not report.all_clean
-            if isinstance(self.policy, AdaptivePolicy):
-                self.policy.note_outcome(module, alarmed)
-            if alarmed:
-                flagged = tuple(report.flagged())
-                regions: list[str] = []
-                for vm in flagged:
-                    for region in report.mismatched_regions(vm):
-                        if region not in regions:
-                            regions.append(region)
-                alert = Alert(clock.now, module, flagged, tuple(regions))
-                self.log.add(alert)
-                new_alerts.append(alert)
+        if len(active) >= 2:
+            for module in self.policy.select(self.cycles_run, modules,
+                                             self.log):
+                try:
+                    report = self.checker.check_pool(module,
+                                                     vms=active).report
+                except InsufficientPool:
+                    continue
+                for vm, reason in sorted(report.degraded.items()):
+                    # Only exhausted retry budgets indicate a sick VM;
+                    # an "unreadable:" reason is a permanent failure of
+                    # this one module (e.g. a decoy entry) — degrade the
+                    # check, keep the VM in the pool.
+                    if reason.startswith("retry-exhausted"):
+                        self._quarantine_vm(vm, reason, new_alerts)
+                alarmed = not report.all_clean
+                if isinstance(self.policy, AdaptivePolicy):
+                    self.policy.note_outcome(module, alarmed)
+                if alarmed:
+                    flagged = tuple(report.flagged())
+                    regions: list[str] = []
+                    for vm in flagged:
+                        for region in report.mismatched_regions(vm):
+                            if region not in regions:
+                                regions.append(region)
+                    alert = Alert(clock.now, module, flagged, tuple(regions),
+                                  degraded=tuple(sorted(report.degraded)))
+                    self.log.add(alert)
+                    new_alerts.append(alert)
 
-        if self.carve:
-            from .crossview import cross_view
-            vms = self.checker.pool_vm_names()
-            target = vms[self.cycles_run % len(vms)]
-            vmi = self.checker.vmi_for(target)
-            if self.checker.flush_caches_each_round:
-                vmi.flush_caches()
-            view = cross_view(vmi)
-            for carved, name in self.checker.detect_hidden_modules(target) \
-                    if view.carved_only else []:
-                alert = Alert(clock.now, name or f"<unknown@{carved.base:#x}>",
-                              (target,), ("unlinked from PsLoadedModuleList",),
-                              kind="hidden-module")
-                self.log.add(alert)
-                new_alerts.append(alert)
-            for entry in view.listed_only:
-                alert = Alert(clock.now, entry.name, (target,),
-                              (f"DllBase {entry.dll_base:#x} not backed "
-                               f"by a module image",),
-                              kind="decoy-entry")
-                self.log.add(alert)
-                new_alerts.append(alert)
+        if self.carve and active:
+            self._carve_sweep(active, new_alerts)
 
         self.cycles_run += 1
         clock.advance(self.interval)
         return new_alerts
+
+    def _carve_sweep(self, active: list[str],
+                     new_alerts: list[Alert]) -> None:
+        """Cross-view one rotating VM, carving its driver arena *once*.
+
+        The carve is shared between hidden-module detection and decoy
+        spotting: ``cross_view`` already carved the arena, so its
+        ``carved_only`` images go straight to identification instead of
+        a second carve of the same guest.
+        """
+        from .crossview import cross_view
+        clock = self.checker.hv.clock
+        target = active[self.cycles_run % len(active)]
+        vmi = self.checker.vmi_for(target)
+        if self.checker.flush_caches_each_round:
+            vmi.flush_caches()
+        try:
+            view = cross_view(vmi)
+            identified = self.checker.identify_carved_modules(
+                target, view.carved_only)
+        except (TransientFault, RetryExhausted) as exc:
+            self._quarantine_vm(target, f"carving sweep failed: {exc}",
+                                new_alerts)
+            return
+        for carved, name in identified:
+            alert = Alert(clock.now, name or f"<unknown@{carved.base:#x}>",
+                          (target,), ("unlinked from PsLoadedModuleList",),
+                          kind="hidden-module")
+            self.log.add(alert)
+            new_alerts.append(alert)
+        for entry in view.listed_only:
+            alert = Alert(clock.now, entry.name, (target,),
+                          (f"DllBase {entry.dll_base:#x} not backed "
+                           f"by a module image",),
+                          kind="decoy-entry")
+            self.log.add(alert)
+            new_alerts.append(alert)
 
     def run(self, cycles: int) -> AlertLog:
         """Run ``cycles`` sweeps; returns the accumulated alert log."""

@@ -214,7 +214,16 @@ class IntegrityChecker:
         for i, mod_a in enumerate(modules):
             for mod_b in modules[i + 1:]:
                 pairs.append(self.compare_pair(mod_a, mod_b))
+        return self.vote(modules, pairs)
 
+    def vote(self, modules: list[ParsedModule],
+             pairs: list[PairComparison]) -> PoolReport:
+        """Majority-vote already-computed pair comparisons into a report.
+
+        Split from :meth:`check_pool` so callers that schedule the
+        pairwise comparisons themselves (the parallel checker) can
+        reuse the exact voting semantics.
+        """
         names = [m.vm_name for m in modules]
         match_count = {name: 0 for name in names}
         for p in pairs:

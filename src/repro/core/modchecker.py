@@ -17,19 +17,22 @@ yielding the Searcher/Parser/Checker breakdown the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
-from ..errors import InsufficientPool, ModuleNotLoadedError
+from ..errors import (InsufficientPool, IntrospectionFault,
+                      ModuleNotLoadedError, RetryExhausted, TransientFault)
 from ..hypervisor.xen import Hypervisor
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..perf.timing import ComponentTimings
 from ..vmi.core import VMIInstance
+from ..vmi.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..vmi.symbols import OSProfile
 from .integrity import IntegrityChecker
 from .parser import ModuleParser, ParsedModule
 from .report import PoolReport, VMCheckReport
 from .searcher import ModuleSearcher
 
-__all__ = ["ModChecker", "CheckOutcome", "PoolOutcome"]
+__all__ = ["ModChecker", "CheckOutcome", "PoolOutcome", "FetchResult"]
 
 
 @dataclass
@@ -50,6 +53,25 @@ class PoolOutcome:
     per_vm_searcher: dict[str, float] = field(default_factory=dict)
 
 
+class FetchResult(NamedTuple):
+    """Outcome of the acquisition phase over a VM pool.
+
+    ``failed`` maps VMs whose copy could not be acquired to a reason
+    string prefixed with a category: ``retry-exhausted:`` when the
+    retry budget was spent on transient faults (the VM is likely sick —
+    quarantine material), ``unreadable:`` for a permanent introspection
+    failure of this one module (e.g. a decoy entry's unbacked DllBase).
+    VMs that simply do not have the module loaded appear in neither
+    ``parsed`` nor ``failed``. Prefer ``parsed, *rest = fetch_modules(...)``
+    when only the copies matter.
+    """
+
+    parsed: list[ParsedModule]
+    timings: ComponentTimings
+    per_vm_searcher: dict[str, float]
+    failed: dict[str, str]
+
+
 class ModChecker:
     """Kernel-module integrity checker over a pool of cloned guests."""
 
@@ -59,7 +81,8 @@ class ModChecker:
                  hash_algorithm: str = "md5",
                  enable_caches: bool = True,
                  flush_caches_each_round: bool = True,
-                 cost_model: CostModel = DEFAULT_COST_MODEL) -> None:
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 retry: RetryPolicy | None = DEFAULT_RETRY_POLICY) -> None:
         self.hv = hypervisor
         if profile is None:
             guests = hypervisor.guests()
@@ -70,6 +93,7 @@ class ModChecker:
         self.costs = cost_model
         self.enable_caches = enable_caches
         self.flush_caches_each_round = flush_caches_each_round
+        self.retry = retry
         self._vmis: dict[str, VMIInstance] = {}
         self.parser = ModuleParser(cost_model=cost_model,
                                    charge=self._charge)
@@ -88,7 +112,8 @@ class ModChecker:
         if vmi is None:
             vmi = VMIInstance(self.hv, vm_name, self.profile,
                               cost_model=self.costs,
-                              enable_caches=self.enable_caches)
+                              enable_caches=self.enable_caches,
+                              retry=self.retry)
             self._vmis[vm_name] = vmi
         return vmi
 
@@ -100,32 +125,43 @@ class ModChecker:
     # -- acquisition phase -------------------------------------------------------------
 
     def fetch_modules(self, module_name: str, vm_names: list[str],
-                      ) -> tuple[list[ParsedModule], ComponentTimings,
-                                 dict[str, float]]:
+                      ) -> FetchResult:
         """Run Searcher + Parser for every VM; returns parsed copies.
 
         VMs where the module is not loaded are skipped (the paper only
-        compares "modules actually loaded in memory").
+        compares "modules actually loaded in memory") — but the Searcher
+        time spent *discovering* that is still accounted: the walk was
+        charged to the Dom0 clock either way. VMs whose reads keep
+        failing after the retry budget land in ``failed`` instead of
+        aborting the sweep.
         """
         timings = ComponentTimings()
         per_vm: dict[str, float] = {}
+        failed: dict[str, str] = {}
         parsed: list[ParsedModule] = []
         for vm_name in vm_names:
             vmi = self.vmi_for(vm_name)
             if self.flush_caches_each_round:
                 vmi.flush_caches()
             searcher = ModuleSearcher(vmi)
+            copy = None
             with self.hv.clock.span() as span:
                 try:
                     copy = searcher.copy_module(module_name)
                 except ModuleNotLoadedError:
-                    continue
+                    pass
+                except (TransientFault, RetryExhausted) as exc:
+                    failed[vm_name] = f"retry-exhausted: {exc}"
+                except IntrospectionFault as exc:
+                    failed[vm_name] = f"unreadable: {exc}"
             timings.searcher += span.elapsed
             per_vm[vm_name] = span.elapsed
+            if copy is None:
+                continue
             with self.hv.clock.span() as span:
                 parsed.append(self.parser.parse(copy))
             timings.parser += span.elapsed
-        return parsed, timings, per_vm
+        return FetchResult(parsed, timings, per_vm, failed)
 
     # -- checking modes -----------------------------------------------------------------
 
@@ -135,8 +171,13 @@ class ModChecker:
         names = self.pool_vm_names(vms)
         if target_vm not in names:
             names = [target_vm] + names
-        parsed, timings, per_vm = self.fetch_modules(module_name, names)
+        parsed, timings, per_vm, failed = self.fetch_modules(module_name,
+                                                            names)
         by_vm = {p.vm_name: p for p in parsed}
+        if target_vm in failed:
+            raise RetryExhausted(
+                f"cannot acquire {module_name!r} from target {target_vm}: "
+                f"{failed[target_vm]}")
         if target_vm not in by_vm:
             raise ModuleNotLoadedError(
                 f"{module_name!r} not loaded on target {target_vm}")
@@ -158,21 +199,31 @@ class ModChecker:
         ``mode="pairwise"`` is the paper's O(t²) all-pairs vote;
         ``mode="canonical"`` is the O(t) clustering variant
         (:meth:`IntegrityChecker.check_pool_canonical`).
+
+        VMs whose introspection keeps failing after the retry budget
+        are *degraded*: dropped from the quorum, reported in
+        ``PoolReport.degraded``, and the majority vote is recomputed
+        over the survivors. :class:`InsufficientPool` is raised only
+        when the surviving quorum drops below 2.
         """
         if mode not in ("pairwise", "canonical"):
             raise ValueError(f"unknown pool mode {mode!r}")
         names = self.pool_vm_names(vms)
-        parsed, timings, per_vm = self.fetch_modules(module_name, names)
+        parsed, timings, per_vm, failed = self.fetch_modules(module_name,
+                                                            names)
         if len(parsed) < 2:
+            degraded_note = (f" ({len(failed)} degraded: "
+                             f"{', '.join(sorted(failed))})" if failed else "")
             raise InsufficientPool(
                 f"{module_name!r} present on {len(parsed)} VM(s); "
-                "need at least 2")
+                f"need at least 2{degraded_note}")
         with self.hv.clock.span() as span:
             if mode == "canonical":
                 report = self.checker.check_pool_canonical(parsed)
             else:
                 report = self.checker.check_pool(parsed)
         timings.checker = span.elapsed
+        report.degraded = dict(failed)
         return PoolOutcome(report=report, timings=timings,
                            per_vm_searcher=per_vm)
 
@@ -188,13 +239,28 @@ class ModChecker:
         (DKOM hiding). Identification fingerprints the carved image
         against the modules a reference clone lists.
         """
-        from .carver import ModuleCarver, identify_carved
+        from .carver import ModuleCarver
         vmi = self.vmi_for(vm_name)
         if self.flush_caches_each_round:
             vmi.flush_caches()
         searcher = ModuleSearcher(vmi)
         listed = {e.dll_base for e in searcher.list_modules()}
         hidden = ModuleCarver(vmi).find_hidden(listed)
+        return self.identify_carved_modules(vm_name, hidden,
+                                            reference_vm=reference_vm)
+
+    def identify_carved_modules(self, vm_name: str,
+                                hidden: list["CarvedModule"],
+                                reference_vm: str | None = None,
+                                ) -> list[tuple["CarvedModule", str | None]]:
+        """Name already-carved hidden images against a reference clone.
+
+        Split out from :meth:`detect_hidden_modules` so callers that
+        have *already* carved the guest (e.g. the daemon's cross-view
+        sweep) can identify the findings without paying for a second
+        carve of the same VM.
+        """
+        from .carver import identify_carved
         if not hidden:
             return []
         ref = reference_vm or next(
@@ -218,7 +284,7 @@ class ModChecker:
         """Integrity-check a carved (hidden) module against the pool."""
         names = [n for n in self.pool_vm_names(vms)
                  if n != carved.vm_name]
-        parsed, _, _ = self.fetch_modules(name, names)
+        parsed, *_ = self.fetch_modules(name, names)
         if not parsed:
             raise InsufficientPool(
                 f"no other VM exposes {name!r} for comparison")

@@ -53,12 +53,21 @@ class VMVerdict:
 
 @dataclass
 class PoolReport:
-    """Full cross-VM check of one module."""
+    """Full cross-VM check of one module.
+
+    ``degraded`` lists VMs that were *dropped from the quorum* because
+    introspection kept failing after the full retry budget (fault
+    windows, unreachable domains): they carry no verdict, and the
+    majority vote is recomputed over the surviving quorum. A degraded
+    VM is an availability event, not an integrity verdict.
+    """
 
     module_name: str
     vm_names: list[str]
     pairs: list[PairComparison]
     verdicts: dict[str, VMVerdict]
+    #: VM name -> reason it was dropped from the quorum
+    degraded: dict[str, str] = field(default_factory=dict)
 
     def flagged(self) -> list[str]:
         """VMs whose module failed the majority vote."""

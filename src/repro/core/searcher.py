@@ -17,7 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import IntrospectionFault, ModuleNotLoadedError
+from ..errors import (IntrospectionFault, ModuleNotLoadedError,
+                      RetryExhausted, TransientFault)
 from ..guest.unicode_string import UnicodeString
 from ..vmi.core import VMIInstance
 
@@ -112,7 +113,26 @@ class ModuleSearcher:
             f"{module_name!r} not in {self.vmi.domain.name}'s module list")
 
     def copy_module(self, module_name: str) -> ModuleCopy:
-        """Find the module and copy its whole image into a local buffer."""
+        """Find the module and copy its whole image into a local buffer.
+
+        When the VMI session carries a :class:`~repro.vmi.retry.RetryPolicy`,
+        a copy whose page-level retry budget is spent mid-image is retried
+        *as a whole* up to ``module_attempts`` times — a fresh walk-and-copy
+        usually lands after a fault window has closed. Failing all attempts,
+        the last fault propagates (the pool layer degrades the VM).
+        """
+        retry = getattr(self.vmi, "retry", None)
+        attempts = retry.module_attempts if retry is not None else 1
+        for attempt in range(attempts):
+            try:
+                return self._copy_module_once(module_name)
+            except (TransientFault, RetryExhausted):
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _copy_module_once(self, module_name: str) -> ModuleCopy:
+        """One walk-find-copy attempt (no module-level retry)."""
         entry = self.find(module_name)
         if not (0 < entry.size_of_image <= MAX_IMAGE_BYTES):
             raise IntrospectionFault(

@@ -15,6 +15,7 @@ __all__ = [
     "GuestError", "ModuleLoadError", "ModuleNotLoadedError",
     "HypervisorError", "DomainNotFound", "DomainStateError",
     "VMIError", "VMIInitError", "SymbolNotFound", "IntrospectionFault",
+    "TransientFault", "PagedOutFault", "DomainUnreachable", "RetryExhausted",
     "AttackError", "NoOpcodeCave",
     "ModCheckerError", "InsufficientPool",
 ]
@@ -125,6 +126,42 @@ class SymbolNotFound(VMIError):
 
 class IntrospectionFault(VMIError):
     """Reading guest memory failed (e.g. unmapped page)."""
+
+
+class TransientFault(IntrospectionFault):
+    """A guest read failed for a *transient* reason and may be retried.
+
+    Raised by the fault-injection layer (and, in a real deployment, by
+    contended ``xc_map_foreign_range`` calls). A :class:`RetryPolicy`
+    treats this family — and only this family — as retryable.
+    """
+
+
+class PagedOutFault(TransientFault):
+    """The backing page is temporarily paged out (not-present PTE window).
+
+    Clears once the guest pages the frame back in, i.e. after the fault
+    window expires on the simulated clock — backing off and retrying is
+    the correct response.
+    """
+
+
+class DomainUnreachable(TransientFault):
+    """The whole domain is temporarily unresponsive (paused/migrating).
+
+    Every read of the domain fails until the outage window ends; if the
+    window outlasts the retry budget the caller should degrade (drop the
+    VM from the quorum) rather than abort the sweep.
+    """
+
+
+class RetryExhausted(IntrospectionFault):
+    """A retried guest read still failed after the full retry budget.
+
+    Deliberately *not* a :class:`TransientFault`: once the budget is
+    spent the failure is final for this operation, and outer layers must
+    degrade (quarantine the VM) instead of stacking more retries.
+    """
 
 
 # ---------------------------------------------------------------------------

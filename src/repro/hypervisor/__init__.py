@@ -1,13 +1,16 @@
-"""Xen-like VMM: domains, contention scheduler, simulated clock."""
+"""Xen-like VMM: domains, contention scheduler, simulated clock,
+fault injection on the introspection surface."""
 
 from .clock import SimClock
 from .domain import Domain, DomainKind, DomainState
+from .faults import FaultConfig, FaultInjector, FaultStats
 from .scheduler import ContentionScheduler, CpuModel
 from .xen import Hypervisor
 
 __all__ = [
     "SimClock",
     "Domain", "DomainKind", "DomainState",
+    "FaultConfig", "FaultInjector", "FaultStats",
     "ContentionScheduler", "CpuModel",
     "Hypervisor",
 ]

@@ -42,6 +42,9 @@ class CostModel:
     rva_scan_per_byte: float = 0.006 * _US  # Algorithm 2 byte scan
     compare_per_pair: float = 30.0 * _US   # per-module-pair fixed overhead
 
+    # -- resilience (charged by the VMI retry layer) --------------------
+    retry_probe: float = 8.0 * _US     # re-issue one failed guest read
+
     def searcher_page_cost(self, *, translated: bool, mapped: bool) -> float:
         """Cost of fetching one VA page (cache flags from the VMI layer)."""
         cost = self.small_read

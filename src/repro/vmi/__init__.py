@@ -3,11 +3,13 @@
 from .cache import LRUCache, PageCache, V2PCache
 from .core import VMIInstance, VMIStats
 from .dump import DumpAnalyzer, MemoryDump, acquire_dump
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from .symbols import OSProfile, XP_SP2_OFFSETS
 
 __all__ = [
     "LRUCache", "PageCache", "V2PCache",
     "VMIInstance", "VMIStats",
     "DumpAnalyzer", "MemoryDump", "acquire_dump",
+    "DEFAULT_RETRY_POLICY", "RetryPolicy",
     "OSProfile", "XP_SP2_OFFSETS",
 ]

@@ -22,12 +22,14 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from ..errors import IntrospectionFault, PageFault, VMIInitError
+from ..errors import (IntrospectionFault, PageFault, RetryExhausted,
+                      TransientFault, VMIInitError)
 from ..hypervisor.xen import Hypervisor
 from ..mem.paging import LARGE_PAGE_SIZE, PDE_LARGE, PTE_PRESENT
 from ..mem.physical import PAGE_SIZE
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from .cache import PageCache, V2PCache
+from .retry import RetryPolicy
 from .symbols import OSProfile
 
 __all__ = ["VMIStats", "VMIInstance"]
@@ -45,6 +47,8 @@ class VMIStats:
     page_cache_hits: int = 0
     bytes_read: int = 0
     read_calls: int = 0
+    transient_faults: int = 0
+    retries: int = 0
 
     def snapshot(self) -> "VMIStats":
         return VMIStats(**vars(self))
@@ -56,17 +60,20 @@ class VMIInstance:
     def __init__(self, hypervisor: Hypervisor, domain_key: int | str,
                  profile: OSProfile, *,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 enable_caches: bool = True) -> None:
+                 enable_caches: bool = True,
+                 retry: RetryPolicy | None = None) -> None:
         self.hv = hypervisor
         try:
             self.domain = hypervisor.domain(domain_key)
         except Exception as exc:
-            raise VMIInitError(f"cannot attach to {domain_key!r}: {exc}")
+            raise VMIInitError(
+                f"cannot attach to {domain_key!r}: {exc}") from exc
         if not self.domain.is_guest:
             raise VMIInitError(f"{self.domain.name} is not introspectable")
         self.profile = profile
         self.costs = cost_model
         self.enable_caches = enable_caches
+        self.retry = retry
         self.v2p_cache = V2PCache()
         self.page_cache = PageCache()
         self.stats = VMIStats()
@@ -132,6 +139,32 @@ class VMIInstance:
             self.page_cache.put(frame_no, page)
         return page
 
+    # -- retry plumbing ------------------------------------------------------------
+
+    def _retrying(self, fetch, what: str):
+        """Run ``fetch`` under the retry policy (no-op without one).
+
+        Each retry probe charges ``CostModel.retry_probe`` to Dom0 and
+        backs off on the simulated clock (waiting is not CPU work, so it
+        advances time without a contention-stretched charge). On a spent
+        budget, raises :class:`RetryExhausted` chained to the last fault.
+        """
+        if self.retry is None:
+            return fetch()
+        for attempt in range(self.retry.max_attempts):
+            try:
+                return fetch()
+            except TransientFault as exc:
+                self.stats.transient_faults += 1
+                if attempt + 1 >= self.retry.max_attempts:
+                    raise RetryExhausted(
+                        f"{self.domain.name}: {what} still failing after "
+                        f"{self.retry.max_attempts} attempts: {exc}") from exc
+                self.stats.retries += 1
+                self.hv.charge_dom0(self.costs.retry_probe)
+                self.hv.clock.advance(self.retry.backoff(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def read_pa(self, paddr: int, length: int) -> bytes:
         """Read a physical range through frame mappings."""
         out = bytearray(length)
@@ -140,7 +173,8 @@ class VMIInstance:
             addr = paddr + pos
             frame_no, offset = addr >> 12, addr & _PAGE_MASK
             n = min(PAGE_SIZE - offset, length - pos)
-            page = self._map_frame(frame_no)
+            page = self._retrying(lambda f=frame_no: self._map_frame(f),
+                                  f"PA frame {frame_no:#x}")
             out[pos:pos + n] = page[offset:offset + n]
             pos += n
         self.stats.bytes_read += length
@@ -149,6 +183,15 @@ class VMIInstance:
         return bytes(out)
 
     # -- virtual reads ----------------------------------------------------------------
+
+    def _fetch_va_page(self, va: int) -> tuple[int, bytes]:
+        """Translate + map the page backing ``va`` (one attempt)."""
+        try:
+            pa = self.translate_kv2p(va)
+        except PageFault as exc:
+            raise IntrospectionFault(
+                f"{self.domain.name}: unmapped VA {va:#x}") from exc
+        return pa, self._map_frame(pa >> 12)
 
     def read_va(self, vaddr: int, length: int) -> bytes:
         """Read a kernel-VA range, translating and mapping page by page.
@@ -161,13 +204,9 @@ class VMIInstance:
         while pos < length:
             va = vaddr + pos
             n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
-            try:
-                pa = self.translate_kv2p(va)
-            except PageFault as exc:
-                raise IntrospectionFault(
-                    f"{self.domain.name}: unmapped VA {va:#x}") from exc
-            frame_no, offset = pa >> 12, pa & _PAGE_MASK
-            page = self._map_frame(frame_no)
+            pa, page = self._retrying(lambda v=va: self._fetch_va_page(v),
+                                      f"VA page {va & ~_PAGE_MASK:#x}")
+            offset = pa & _PAGE_MASK
             out[pos:pos + n] = page[offset:offset + n]
             pos += n
         self.stats.bytes_read += length

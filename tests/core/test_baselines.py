@@ -124,7 +124,7 @@ class TestLegitimateUpdate:
     def test_modchecker_versioned_accepts_update(self):
         from repro.core import check_pool_versioned
         tb, mc, _ = self._updated_pool()
-        parsed, _, _ = mc.fetch_modules("hal.dll", tb.vm_names)
+        parsed, *_ = mc.fetch_modules("hal.dll", tb.vm_names)
         report = check_pool_versioned(parsed, mc.checker)
         # one updated VM = suspicious singleton; from 2 updated VMs up
         # it is silent (covered in test_versioning) — either way no

@@ -134,3 +134,22 @@ class TestDaemonCrossView:
         assert decoys
         assert decoys[0].module == "ghost.sys"
         assert decoys[0].flagged_vms == ("Dom1",)
+
+
+class TestDaemonCarveOnce:
+    def test_one_carve_per_cycle(self, tb, mc, monkeypatch):
+        # Regression: the daemon used to carve the same guest twice per
+        # cycle — once for hidden-module detection, once inside the
+        # cross-view decoy check.
+        from repro.core.carver import ModuleCarver
+        calls = []
+        original = ModuleCarver.carve
+
+        def counting_carve(self):
+            calls.append(self.vmi.domain.name)
+            return original(self)
+
+        monkeypatch.setattr(ModuleCarver, "carve", counting_carve)
+        daemon = CheckDaemon(mc, RoundRobinPolicy(), carve=True)
+        daemon.run_cycle()
+        assert len(calls) == 1

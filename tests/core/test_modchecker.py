@@ -123,3 +123,28 @@ class TestCacheFlushing:
         with hv.clock.span() as s_cache:
             caching.check_pool("hal.dll")
         assert s_cache.elapsed < s_flush.elapsed
+
+
+class TestFetchAccounting:
+    def test_searcher_time_charged_for_missing_module(self):
+        # Regression: a VM where the module is *not* loaded used to
+        # drop its Searcher walk from the timings entirely — the walk
+        # was paid on the Dom0 clock but never attributed.
+        tb = build_testbed(4, seed=42)
+        tb.hypervisor.domain("Dom2").kernel.unload_module("dummy.sys")
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        parsed, timings, per_vm, failed = mc.fetch_modules(
+            "dummy.sys", tb.vm_names)
+        assert len(parsed) == 3
+        assert failed == {}
+        # the fruitless walk on Dom2 is still accounted
+        assert set(per_vm) == set(tb.vm_names)
+        assert per_vm["Dom2"] > 0
+        assert timings.searcher == pytest.approx(sum(per_vm.values()))
+
+    def test_fetch_result_unpacks_with_star(self):
+        tb = build_testbed(3, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        parsed, *rest = mc.fetch_modules("hal.dll", tb.vm_names)
+        assert len(parsed) == 3
+        assert len(rest) == 3

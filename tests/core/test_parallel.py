@@ -88,3 +88,61 @@ class TestParallelChecker:
         par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
         assert not par.check_on_vm("hal.dll", "Dom3").report.clean
         assert par.check_on_vm("hal.dll", "Dom1").report.clean
+
+
+class TestParallelPool:
+    def test_pool_same_verdict_as_sequential(self, clean_testbed_session):
+        tb = clean_testbed_session
+        seq = ModChecker(tb.hypervisor, tb.profile)
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        r_seq = seq.check_pool("hal.dll").report
+        r_par = par.check_pool("hal.dll").report
+        assert r_par.all_clean == r_seq.all_clean
+        assert sorted(r_par.verdicts) == sorted(r_seq.verdicts)
+        assert len(r_par.pairs) == len(r_seq.pairs)
+
+    def test_pool_parallel_faster_on_idle_host(self):
+        tb = build_testbed(8, seed=42)
+        seq = ModChecker(tb.hypervisor, tb.profile)
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        with tb.clock.span() as s:
+            seq.check_pool("http.sys")
+        with tb.clock.span() as p:
+            par.check_pool("http.sys")
+        assert p.elapsed < s.elapsed
+        assert p.elapsed > s.elapsed / 8
+
+    def test_pool_parser_time_attributed(self, clean_testbed_session):
+        # Regression: the parallel path used to fold Parser work into
+        # Searcher, reporting parser == 0.0 in every breakdown.
+        tb = clean_testbed_session
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        out = par.check_pool("hal.dll")
+        assert out.timings.parser > 0
+        assert out.timings.searcher > out.timings.parser
+        assert out.parallel.cpu.parser > 0
+        assert out.parallel.speedup > 1.0
+
+    def test_pool_canonical_mode(self, clean_testbed_session):
+        tb = clean_testbed_session
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        out = par.check_pool("hal.dll", mode="canonical")
+        assert out.report.all_clean
+
+    def test_pool_detects_infection(self):
+        from repro.attacks import InlineHookAttack
+        from repro.guest import build_catalog
+        catalog = build_catalog(seed=42)
+        infected = InlineHookAttack().apply(catalog["hal.dll"]).infected
+        tb = build_testbed(4, seed=42,
+                           infected={"Dom3": {"hal.dll": infected}})
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        report = par.check_pool("hal.dll").report
+        assert report.flagged() == ["Dom3"]
+
+    def test_check_all_modules_goes_parallel(self):
+        tb = build_testbed(4, seed=42)
+        par = ParallelModChecker(tb.hypervisor, tb.profile, threads=4)
+        outcomes = par.check_all_modules()
+        assert outcomes
+        assert all(hasattr(o, "parallel") for o in outcomes.values())

@@ -33,7 +33,7 @@ def _mixed_pool(n_vms=7, updated_vms=("Dom5", "Dom6", "Dom7"),
                        infected={vm: {module: updated}
                                  for vm in updated_vms})
     mc = ModChecker(tb.hypervisor, tb.profile)
-    parsed, _, _ = mc.fetch_modules(module, tb.vm_names)
+    parsed, *_ = mc.fetch_modules(module, tb.vm_names)
     return tb, mc, parsed
 
 
@@ -41,7 +41,7 @@ class TestPartition:
     def test_uniform_pool_single_group(self, clean_testbed_session):
         tb = clean_testbed_session
         mc = ModChecker(tb.hypervisor, tb.profile)
-        parsed, _, _ = mc.fetch_modules("hal.dll", tb.vm_names)
+        parsed, *_ = mc.fetch_modules("hal.dll", tb.vm_names)
         groups = partition_by_version(parsed)
         assert len(groups) == 1
         assert groups[0].size == len(tb.vm_names)

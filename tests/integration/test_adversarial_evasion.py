@@ -23,7 +23,7 @@ from repro.pe import PEImage
 def pool():
     tb = build_testbed(4, seed=42)
     mc = ModChecker(tb.hypervisor, tb.profile)
-    parsed, _, _ = mc.fetch_modules("hal.dll", tb.vm_names)
+    parsed, *_ = mc.fetch_modules("hal.dll", tb.vm_names)
     return tb, parsed
 
 

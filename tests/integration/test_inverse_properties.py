@@ -68,7 +68,7 @@ class TestAdjustIdempotence:
     def test_double_adjust_is_stable(self, clean_testbed_session):
         tb = clean_testbed_session
         mc = ModChecker(tb.hypervisor, tb.profile)
-        (a, b), _, _ = mc.fetch_modules("dummy.sys", tb.vm_names[:2])
+        (a, b), *_ = mc.fetch_modules("dummy.sys", tb.vm_names[:2])
         ta = a.region_bytes(a.code_regions[0])
         tb_ = b.region_bytes(b.code_regions[0])
         adj_a, adj_b, first = adjust_rva_robust(ta, a.base, tb_, b.base)

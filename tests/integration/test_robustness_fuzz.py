@@ -65,7 +65,7 @@ class TestDetectionCompleteness:
         tb = build_testbed(4, seed=42)
         from repro.core import ModChecker
         mc = ModChecker(tb.hypervisor, tb.profile)
-        parsed, _, _ = mc.fetch_modules("dummy.sys", tb.vm_names)
+        parsed, *_ = mc.fetch_modules("dummy.sys", tb.vm_names)
         return parsed
 
     @given(region_pick=st.integers(min_value=0, max_value=10_000),

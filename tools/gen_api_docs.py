@@ -34,8 +34,9 @@ MODULES = [
     "repro.guest.kernel", "repro.guest.catalog", "repro.guest.filesystem",
     "repro.hypervisor.clock", "repro.hypervisor.domain",
     "repro.hypervisor.scheduler", "repro.hypervisor.xen",
+    "repro.hypervisor.faults",
     "repro.vmi.core", "repro.vmi.symbols", "repro.vmi.cache",
-    "repro.vmi.dump",
+    "repro.vmi.dump", "repro.vmi.retry",
     "repro.attacks.base", "repro.attacks.opcode",
     "repro.attacks.inline_hook", "repro.attacks.stub",
     "repro.attacks.dll_inject", "repro.attacks.headers",
