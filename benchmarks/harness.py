@@ -198,7 +198,8 @@ def run_fig9() -> None:
     mc = ModChecker(tb.hypervisor, tb.profile)
     monitor = GuestResourceMonitor(tb.hypervisor.domain("Dom1"), tb.clock,
                                    seed=7)
-    check = lambda: mc.check_pool("http.sys")
+    def check():
+        return mc.check_pool("http.sys")
     trace = monitor.run(duration=120.0, interval=0.5,
                         events=[(t, check) for t in (20, 50, 80, 110)])
     print("\n=== Fig. 9: in-guest resource impact during introspection ===")
@@ -401,7 +402,6 @@ def run_rw() -> None:
             return fn()
     print("\n=== RW: related-work detection matrix (paper SS II) ===")
     # reuse the bench's matrix builder through its benchmark shim
-    import inspect
     matrix = None
     def capture(fn, rounds=1, iterations=1):
         nonlocal matrix

@@ -9,10 +9,8 @@ confirm the model encodes the mechanism, not a hard-coded shape.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import detect_knee
-from repro.cloud import build_testbed
 from repro.core import ModChecker
 from repro.guest import build_catalog
 from repro.hypervisor import Hypervisor

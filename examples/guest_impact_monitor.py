@@ -21,7 +21,8 @@ def main() -> None:
     victim = tb.hypervisor.domain("Dom1")
 
     monitor = GuestResourceMonitor(victim, tb.clock, seed=7)
-    check = lambda: mc.check_pool("http.sys")
+    def check():
+        return mc.check_pool("http.sys")
     trace = monitor.run(duration=120.0, interval=0.5,
                         events=[(t, check) for t in (20, 50, 80, 110)])
 

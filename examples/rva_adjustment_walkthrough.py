@@ -51,7 +51,7 @@ def main() -> None:
     j = max(diffs[0] - d, 0)
     abs1 = struct.unpack_from("<I", text1, j)[0]
     abs2 = struct.unpack_from("<I", text2, j)[0]
-    print(f"\nC. the difference window holds two absolute addresses:")
+    print("\nC. the difference window holds two absolute addresses:")
     print(f"   VM1 bytes @+{j:#06x}: {hexdump(text1, j, 8)}  "
           f"-> {abs1:#010x}")
     print(f"   VM2 bytes @+{j:#06x}: {hexdump(text2, j, 8)}  "

@@ -1,10 +1,13 @@
-"""Figure-data export: CSV/JSON series for external plotting.
+"""Figure-data export: CSV/JSON series and Chrome traces.
 
 The harness prints ASCII; anyone regenerating the paper's figures in
 matplotlib/gnuplot wants the raw series. These helpers write
 column-oriented CSV and a JSON bundle with experiment metadata, and
 read them back (round-trip tested) so downstream notebooks can diff
-runs.
+runs. :func:`write_chrome_trace` additionally serialises a
+:class:`~repro.obs.trace.Tracer`'s spans in the Chrome trace-event
+format, loadable in ``about:tracing`` / Perfetto for a flame view of
+where the simulated time went.
 """
 
 from __future__ import annotations
@@ -15,7 +18,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = ["SeriesBundle", "write_csv", "read_csv", "write_json",
-           "read_json"]
+           "read_json", "chrome_trace_events", "write_chrome_trace"]
 
 
 @dataclass
@@ -94,3 +97,57 @@ def read_json(path: str | Path) -> list[SeriesBundle]:
     return [SeriesBundle(name=name, columns=body["columns"],
                          meta=body.get("meta", {}))
             for name, body in sorted(doc.items())]
+
+
+# -- Chrome trace-event export ------------------------------------------
+
+#: Simulated seconds -> trace-event microseconds.
+_TRACE_US = 1e6
+
+
+def chrome_trace_events(spans, *, pid: int = 1, tid: int = 1) -> list[dict]:
+    """Render finished spans as Chrome "X" (complete) trace events.
+
+    Timestamps and durations are simulated-clock microseconds; span
+    attributes land in ``args`` (with the span/parent ids, so tooling
+    can rebuild the nesting exactly rather than inferring it from
+    containment).
+    """
+    events = []
+    for span in spans:
+        if not span.finished:
+            continue
+        args = {str(k): v for k, v in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start * _TRACE_US,
+            "dur": span.duration * _TRACE_US,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return events
+
+
+def write_chrome_trace(tracer, path: str | Path, *,
+                       metadata: dict | None = None) -> Path:
+    """Write a tracer's spans as a Chrome trace-event JSON file.
+
+    The document is the object form (``{"traceEvents": [...]}``), which
+    both ``about:tracing`` and Perfetto load, with run metadata carried
+    in ``otherData``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "traceEvents": chrome_trace_events(tracer.spans),
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", **(metadata or {})},
+    }
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    return path

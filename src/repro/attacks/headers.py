@@ -9,7 +9,6 @@ writable, redirecting the entry point).
 
 from __future__ import annotations
 
-import dataclasses
 import struct
 
 from ..errors import AttackError, NoOpcodeCave

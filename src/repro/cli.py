@@ -56,6 +56,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="attempts per failing guest read "
                             "(default: policy default; 0 disables "
                             "retries)")
+        p.add_argument("--trace-out", metavar="PATH",
+                       help="write a Chrome trace-event JSON of the run "
+                            "(load via chrome://tracing or Perfetto)")
+        p.add_argument("--metrics-out", metavar="PATH",
+                       help="write run metrics; .json suffix = JSON "
+                            "snapshot, anything else = Prometheus text")
 
     p_check = sub.add_parser("check", help="cross-check one module")
     add_common(p_check)
@@ -133,6 +139,30 @@ def _build(args, module: str | None = None):
     return tb, module
 
 
+def _obs_for(args, clock):
+    """Observability for this invocation: live when either flag is set."""
+    from .obs import NULL_OBS, make_observability
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        return make_observability(clock)
+    return NULL_OBS
+
+
+def _export_obs(args, obs) -> None:
+    """Write the trace / metrics files the user asked for."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from .analysis.export import write_chrome_trace
+        write_chrome_trace(obs.tracer, trace_out)
+        print(f"(obs) wrote {len(obs.tracer.spans)} spans to {trace_out}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        if metrics_out.endswith(".json"):
+            obs.metrics.write_json(metrics_out)
+        else:
+            obs.metrics.write_prometheus(metrics_out)
+        print(f"(obs) wrote metrics to {metrics_out}")
+
+
 def _retry_policy(args):
     """Map --retry to a RetryPolicy (None disables retries)."""
     from .vmi.retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -147,10 +177,13 @@ def _retry_policy(args):
 def cmd_check(args) -> int:
     tb, module = _build(args, args.module)
     module = module or args.module
+    obs = _obs_for(args, tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
-                    hash_algorithm=args.hash, retry=_retry_policy(args))
+                    hash_algorithm=args.hash, retry=_retry_policy(args),
+                    obs=obs)
     out = mc.check_pool(module, mode=args.pool_mode)
     report = out.report
+    _export_obs(args, obs)
     rows = [[vm, f"{v.matches}/{v.comparisons}",
              "CLEAN" if v.clean else "FLAGGED",
              ", ".join(v.mismatched_regions) or "-"]
@@ -167,8 +200,11 @@ def cmd_check(args) -> int:
 
 def cmd_sweep(args) -> int:
     tb, _ = _build(args)
-    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args))
+    obs = _obs_for(args, tb.clock)
+    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
+                    obs=obs)
     outcomes = mc.check_all_modules()
+    _export_obs(args, obs)
     rows = []
     dirty = False
     for name, outcome in outcomes.items():
@@ -240,11 +276,15 @@ def cmd_dump(args) -> int:
     total = sum(d.resident_bytes for d in dumps) // 1024
     print(f"acquired {len(dumps)} dumps ({total} KiB resident); "
           f"analysing offline ...")
+    obs = _obs_for(args, tb.clock)
     parsed = []
     for dump in dumps:
-        copy = ModuleSearcher(DumpAnalyzer(dump)).copy_module(module)
-        parsed.append(ModuleParser().parse(copy))
+        analyzer = DumpAnalyzer(dump)
+        analyzer.obs = obs          # duck-typed; searcher picks it up
+        copy = ModuleSearcher(analyzer).copy_module(module)
+        parsed.append(ModuleParser(obs=obs).parse(copy))
     report = IntegrityChecker().check_pool(parsed)
+    _export_obs(args, obs)
     rows = [[vm, f"{v.matches}/{v.comparisons}",
              "CLEAN" if v.clean else "FLAGGED",
              ", ".join(v.mismatched_regions) or "-"]
@@ -257,7 +297,9 @@ def cmd_dump(args) -> int:
 
 def cmd_daemon(args) -> int:
     tb, _ = _build(args)
-    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args))
+    obs = _obs_for(args, tb.clock)
+    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
+                    obs=obs)
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval)
     for cycle in range(args.cycles):
@@ -271,6 +313,7 @@ def cmd_daemon(args) -> int:
         if daemon.quarantined:
             print(f"[{stamp:10.3f}s] quarantined: "
                   f"{', '.join(daemon.quarantined)}")
+    _export_obs(args, obs)
     print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
     return 1 if len(daemon.log) else 0
 

@@ -27,7 +27,7 @@ neither benefits from one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..pe.builder import DriverBlueprint
 from ..pe.constants import DIR_BASERELOC

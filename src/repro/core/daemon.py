@@ -34,6 +34,7 @@ import abc
 from dataclasses import dataclass, field
 
 from ..errors import InsufficientPool, RetryExhausted, TransientFault
+from ..obs import record_daemon_cycle
 from .modchecker import ModChecker
 from .searcher import ModuleSearcher
 
@@ -258,45 +259,57 @@ class CheckDaemon:
     def run_cycle(self) -> list[Alert]:
         """One daemon cycle: scheduled checks + one carving sweep."""
         clock = self.checker.hv.clock
+        obs = self.checker.obs
+        cycle_start = clock.now
         new_alerts: list[Alert] = []
-        self._tick_quarantine()
-        active = self._active_vms()
-        modules = self._discover_modules(active)
+        with obs.tracer.span("daemon.cycle",
+                             cycle=self.cycles_run) as cycle_span:
+            self._tick_quarantine()
+            active = self._active_vms()
+            modules = self._discover_modules(active)
 
-        if len(active) >= 2:
-            for module in self.policy.select(self.cycles_run, modules,
-                                             self.log):
-                try:
-                    report = self.checker.check_pool(module,
-                                                     vms=active).report
-                except InsufficientPool:
-                    continue
-                for vm, reason in sorted(report.degraded.items()):
-                    # Only exhausted retry budgets indicate a sick VM;
-                    # an "unreadable:" reason is a permanent failure of
-                    # this one module (e.g. a decoy entry) — degrade the
-                    # check, keep the VM in the pool.
-                    if reason.startswith("retry-exhausted"):
-                        self._quarantine_vm(vm, reason, new_alerts)
-                alarmed = not report.all_clean
-                if isinstance(self.policy, AdaptivePolicy):
-                    self.policy.note_outcome(module, alarmed)
-                if alarmed:
-                    flagged = tuple(report.flagged())
-                    regions: list[str] = []
-                    for vm in flagged:
-                        for region in report.mismatched_regions(vm):
-                            if region not in regions:
-                                regions.append(region)
-                    alert = Alert(clock.now, module, flagged, tuple(regions),
-                                  degraded=tuple(sorted(report.degraded)))
-                    self.log.add(alert)
-                    new_alerts.append(alert)
+            if len(active) >= 2:
+                for module in self.policy.select(self.cycles_run, modules,
+                                                 self.log):
+                    try:
+                        report = self.checker.check_pool(module,
+                                                         vms=active).report
+                    except InsufficientPool:
+                        continue
+                    for vm, reason in sorted(report.degraded.items()):
+                        # Only exhausted retry budgets indicate a sick VM;
+                        # an "unreadable:" reason is a permanent failure of
+                        # this one module (e.g. a decoy entry) — degrade the
+                        # check, keep the VM in the pool.
+                        if reason.startswith("retry-exhausted"):
+                            self._quarantine_vm(vm, reason, new_alerts)
+                    alarmed = not report.all_clean
+                    if isinstance(self.policy, AdaptivePolicy):
+                        self.policy.note_outcome(module, alarmed)
+                    if alarmed:
+                        flagged = tuple(report.flagged())
+                        regions: list[str] = []
+                        for vm in flagged:
+                            for region in report.mismatched_regions(vm):
+                                if region not in regions:
+                                    regions.append(region)
+                        alert = Alert(clock.now, module, flagged,
+                                      tuple(regions),
+                                      degraded=tuple(sorted(report.degraded)))
+                        self.log.add(alert)
+                        new_alerts.append(alert)
 
-        if self.carve and active:
-            self._carve_sweep(active, new_alerts)
+            if self.carve and active:
+                self._carve_sweep(active, new_alerts)
 
+            cycle_span.set(alerts=len(new_alerts),
+                           quarantined=len(self._quarantine))
         self.cycles_run += 1
+        if obs.metrics.enabled:
+            record_daemon_cycle(obs.metrics,
+                                duration=clock.now - cycle_start,
+                                alerts=new_alerts,
+                                quarantined=len(self._quarantine))
         clock.advance(self.interval)
         return new_alerts
 

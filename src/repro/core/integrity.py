@@ -35,6 +35,10 @@ def md5_hex(data: bytes) -> str:
     return hashlib.md5(data).hexdigest()
 
 
+def _no_charge(_seconds: float) -> None:
+    """Default charge hook: free checking (unit tests, offline use)."""
+
+
 class IntegrityChecker:
     """Pairwise comparison + majority vote over parsed module copies."""
 
@@ -53,7 +57,7 @@ class IntegrityChecker:
         self.hash_algorithm = hash_algorithm
         self._adjust = ADJUSTERS[rva_mode]
         self.costs = cost_model
-        self._charge = charge or (lambda _seconds: None)
+        self._charge = charge or _no_charge
 
     def digest(self, data: bytes) -> str:
         """Hash ``data`` with the configured algorithm."""

@@ -22,6 +22,9 @@ from typing import NamedTuple
 from ..errors import (InsufficientPool, IntrospectionFault,
                       ModuleNotLoadedError, RetryExhausted, TransientFault)
 from ..hypervisor.xen import Hypervisor
+from ..obs import (NULL_OBS, Observability, record_fault_stats,
+                   record_pool_report, record_stage_timings,
+                   record_vmi_instance)
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..perf.timing import ComponentTimings
 from ..vmi.core import VMIInstance
@@ -82,7 +85,8 @@ class ModChecker:
                  enable_caches: bool = True,
                  flush_caches_each_round: bool = True,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 retry: RetryPolicy | None = DEFAULT_RETRY_POLICY) -> None:
+                 retry: RetryPolicy | None = DEFAULT_RETRY_POLICY,
+                 obs: Observability = NULL_OBS) -> None:
         self.hv = hypervisor
         if profile is None:
             guests = hypervisor.guests()
@@ -94,9 +98,10 @@ class ModChecker:
         self.enable_caches = enable_caches
         self.flush_caches_each_round = flush_caches_each_round
         self.retry = retry
+        self.obs = obs
         self._vmis: dict[str, VMIInstance] = {}
         self.parser = ModuleParser(cost_model=cost_model,
-                                   charge=self._charge)
+                                   charge=self._charge, obs=obs)
         self.checker = IntegrityChecker(rva_mode=rva_mode,
                                         hash_algorithm=hash_algorithm,
                                         cost_model=cost_model,
@@ -113,9 +118,26 @@ class ModChecker:
             vmi = VMIInstance(self.hv, vm_name, self.profile,
                               cost_model=self.costs,
                               enable_caches=self.enable_caches,
-                              retry=self.retry)
+                              retry=self.retry, obs=self.obs)
             self._vmis[vm_name] = vmi
         return vmi
+
+    # -- observability ---------------------------------------------------------
+
+    def _record_outcome(self, module_name: str, timings: ComponentTimings,
+                        report: PoolReport | None = None) -> None:
+        """Publish one check's metrics (no-op with NULL_OBS)."""
+        metrics = self.obs.metrics
+        if not metrics.enabled:
+            return
+        record_stage_timings(metrics, timings, module=module_name)
+        if report is not None:
+            record_pool_report(metrics, report, module=module_name)
+        for vm_name, vmi in self._vmis.items():
+            record_vmi_instance(metrics, vm_name, vmi)
+        injector = getattr(self.hv, "fault_injector", None)
+        if injector is not None:
+            record_fault_stats(metrics, injector.stats)
 
     def pool_vm_names(self, vms: list[str] | None = None) -> list[str]:
         if vms is not None:
@@ -139,31 +161,34 @@ class ModChecker:
         per_vm: dict[str, float] = {}
         failed: dict[str, str] = {}
         parsed: list[ParsedModule] = []
-        for vm_name in vm_names:
-            vmi = self.vmi_for(vm_name)
-            if self.flush_caches_each_round:
-                vmi.flush_caches()
-            searcher = ModuleSearcher(vmi)
-            copy = None
-            with self.hv.clock.span() as span:
-                try:
-                    copy = searcher.copy_module(module_name)
-                except ModuleNotLoadedError:
-                    pass
-                except (TransientFault, RetryExhausted) as exc:
-                    failed[vm_name] = f"retry-exhausted: {exc}"
-                except IntrospectionFault as exc:
-                    failed[vm_name] = f"unreadable: {exc}"
-            timings.searcher += span.elapsed
-            per_vm[vm_name] = span.elapsed
-            if copy is None:
-                continue
-            with self.hv.clock.span() as span:
-                parsed.append(self.parser.parse(copy))
-            timings.parser += span.elapsed
+        with self.obs.tracer.span("modchecker.fetch", module=module_name,
+                                  vms=len(vm_names)) as fetch_span:
+            for vm_name in vm_names:
+                vmi = self.vmi_for(vm_name)
+                if self.flush_caches_each_round:
+                    vmi.flush_caches()
+                searcher = ModuleSearcher(vmi)
+                copy = None
+                with self.hv.clock.span() as span:
+                    try:
+                        copy = searcher.copy_module(module_name)
+                    except ModuleNotLoadedError:
+                        pass
+                    except (TransientFault, RetryExhausted) as exc:
+                        failed[vm_name] = f"retry-exhausted: {exc}"
+                    except IntrospectionFault as exc:
+                        failed[vm_name] = f"unreadable: {exc}"
+                timings.searcher += span.elapsed
+                per_vm[vm_name] = span.elapsed
+                if copy is None:
+                    continue
+                with self.hv.clock.span() as span:
+                    parsed.append(self.parser.parse(copy))
+                timings.parser += span.elapsed
+            fetch_span.set(acquired=len(parsed), failed=len(failed))
         return FetchResult(parsed, timings, per_vm, failed)
 
-    # -- checking modes -----------------------------------------------------------------
+    # -- checking modes -------------------------------------------------------------
 
     def check_on_vm(self, module_name: str, target_vm: str,
                     vms: list[str] | None = None) -> CheckOutcome:
@@ -171,23 +196,29 @@ class ModChecker:
         names = self.pool_vm_names(vms)
         if target_vm not in names:
             names = [target_vm] + names
-        parsed, timings, per_vm, failed = self.fetch_modules(module_name,
-                                                            names)
-        by_vm = {p.vm_name: p for p in parsed}
-        if target_vm in failed:
-            raise RetryExhausted(
-                f"cannot acquire {module_name!r} from target {target_vm}: "
-                f"{failed[target_vm]}")
-        if target_vm not in by_vm:
-            raise ModuleNotLoadedError(
-                f"{module_name!r} not loaded on target {target_vm}")
-        others = [p for p in parsed if p.vm_name != target_vm]
-        if not others:
-            raise InsufficientPool(
-                f"no other VM exposes {module_name!r} for comparison")
-        with self.hv.clock.span() as span:
-            report = self.checker.check_target(by_vm[target_vm], others)
-        timings.checker = span.elapsed
+        with self.obs.tracer.span("modchecker.check", module=module_name,
+                                  mode="target", target=target_vm):
+            parsed, timings, per_vm, failed = self.fetch_modules(module_name,
+                                                                names)
+            by_vm = {p.vm_name: p for p in parsed}
+            if target_vm in failed:
+                raise RetryExhausted(
+                    f"cannot acquire {module_name!r} from target {target_vm}: "
+                    f"{failed[target_vm]}")
+            if target_vm not in by_vm:
+                raise ModuleNotLoadedError(
+                    f"{module_name!r} not loaded on target {target_vm}")
+            others = [p for p in parsed if p.vm_name != target_vm]
+            if not others:
+                raise InsufficientPool(
+                    f"no other VM exposes {module_name!r} for comparison")
+            with self.obs.tracer.span("checker.compare", module=module_name,
+                                      pairs=len(others)):
+                with self.hv.clock.span() as span:
+                    report = self.checker.check_target(by_vm[target_vm],
+                                                       others)
+            timings.checker = span.elapsed
+        self._record_outcome(module_name, timings)
         return CheckOutcome(report=report, timings=timings,
                             per_vm_searcher=per_vm)
 
@@ -209,21 +240,29 @@ class ModChecker:
         if mode not in ("pairwise", "canonical"):
             raise ValueError(f"unknown pool mode {mode!r}")
         names = self.pool_vm_names(vms)
-        parsed, timings, per_vm, failed = self.fetch_modules(module_name,
-                                                            names)
-        if len(parsed) < 2:
-            degraded_note = (f" ({len(failed)} degraded: "
-                             f"{', '.join(sorted(failed))})" if failed else "")
-            raise InsufficientPool(
-                f"{module_name!r} present on {len(parsed)} VM(s); "
-                f"need at least 2{degraded_note}")
-        with self.hv.clock.span() as span:
-            if mode == "canonical":
-                report = self.checker.check_pool_canonical(parsed)
-            else:
-                report = self.checker.check_pool(parsed)
-        timings.checker = span.elapsed
+        with self.obs.tracer.span("modchecker.check", module=module_name,
+                                  mode=mode):
+            parsed, timings, per_vm, failed = self.fetch_modules(module_name,
+                                                                names)
+            if len(parsed) < 2:
+                degraded_note = (f" ({len(failed)} degraded: "
+                                 f"{', '.join(sorted(failed))})"
+                                 if failed else "")
+                raise InsufficientPool(
+                    f"{module_name!r} present on {len(parsed)} VM(s); "
+                    f"need at least 2{degraded_note}")
+            n_pairs = (len(parsed) - 1 if mode == "canonical"
+                       else len(parsed) * (len(parsed) - 1) // 2)
+            with self.obs.tracer.span("checker.compare", module=module_name,
+                                      pairs=n_pairs):
+                with self.hv.clock.span() as span:
+                    if mode == "canonical":
+                        report = self.checker.check_pool_canonical(parsed)
+                    else:
+                        report = self.checker.check_pool(parsed)
+            timings.checker = span.elapsed
         report.degraded = dict(failed)
+        self._record_outcome(module_name, timings, report)
         return PoolOutcome(report=report, timings=timings,
                            per_vm_searcher=per_vm)
 

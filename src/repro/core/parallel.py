@@ -157,25 +157,32 @@ class ParallelModChecker(ModChecker):
         if target_vm not in names:
             names = [target_vm] + names
 
-        parsed, searcher_work, parser_work, failed = \
-            self._parallel_fetch(module_name, names)
-        by_vm = {p.vm_name: p for p in parsed}
-        if target_vm in failed:
-            raise RetryExhausted(
-                f"cannot acquire {module_name!r} from target {target_vm}: "
-                f"{failed[target_vm]}")
-        if target_vm not in by_vm:
-            raise ModuleNotLoadedError(
-                f"{module_name!r} not loaded on target {target_vm}")
-        others = [p for p in parsed if p.vm_name != target_vm]
-        if not others:
-            raise InsufficientPool(
-                f"no other VM exposes {module_name!r} for comparison")
+        with self.obs.tracer.span("modchecker.check", module=module_name,
+                                  mode="parallel-target", target=target_vm,
+                                  threads=self.threads):
+            with self.obs.tracer.span("modchecker.fetch",
+                                      module=module_name, vms=len(names)):
+                parsed, searcher_work, parser_work, failed = \
+                    self._parallel_fetch(module_name, names)
+            by_vm = {p.vm_name: p for p in parsed}
+            if target_vm in failed:
+                raise RetryExhausted(
+                    f"cannot acquire {module_name!r} from target {target_vm}: "
+                    f"{failed[target_vm]}")
+            if target_vm not in by_vm:
+                raise ModuleNotLoadedError(
+                    f"{module_name!r} not loaded on target {target_vm}")
+            others = [p for p in parsed if p.vm_name != target_vm]
+            if not others:
+                raise InsufficientPool(
+                    f"no other VM exposes {module_name!r} for comparison")
 
-        pairs, pair_work = self._compare_deferred(
-            (by_vm[target_vm], other) for other in others)
-        timings = self._advance_makespan(searcher_work, parser_work,
-                                         pair_work)
+            with self.obs.tracer.span("checker.compare", module=module_name,
+                                      pairs=len(others)):
+                pairs, pair_work = self._compare_deferred(
+                    (by_vm[target_vm], other) for other in others)
+            timings = self._advance_makespan(searcher_work, parser_work,
+                                             pair_work)
 
         matches = sum(1 for p in pairs if p.matched)
         report = VMCheckReport(
@@ -190,6 +197,7 @@ class ParallelModChecker(ModChecker):
                                  parser=sum(parser_work.values()),
                                  checker=sum(pair_work)),
             wall=timings)
+        self._record_outcome(module_name, timings)
         return outcome
 
     def check_pool(self, module_name: str,
@@ -207,27 +215,37 @@ class ParallelModChecker(ModChecker):
         if mode not in ("pairwise", "canonical"):
             raise ValueError(f"unknown pool mode {mode!r}")
         names = self.pool_vm_names(vms)
-        parsed, searcher_work, parser_work, failed = \
-            self._parallel_fetch(module_name, names)
-        if len(parsed) < 2:
-            degraded_note = (f" ({len(failed)} degraded: "
-                             f"{', '.join(sorted(failed))})" if failed else "")
-            raise InsufficientPool(
-                f"{module_name!r} present on {len(parsed)} VM(s); "
-                f"need at least 2{degraded_note}")
+        with self.obs.tracer.span("modchecker.check", module=module_name,
+                                  mode=f"parallel-{mode}",
+                                  threads=self.threads):
+            with self.obs.tracer.span("modchecker.fetch",
+                                      module=module_name, vms=len(names)):
+                parsed, searcher_work, parser_work, failed = \
+                    self._parallel_fetch(module_name, names)
+            if len(parsed) < 2:
+                degraded_note = (f" ({len(failed)} degraded: "
+                                 f"{', '.join(sorted(failed))})"
+                                 if failed else "")
+                raise InsufficientPool(
+                    f"{module_name!r} present on {len(parsed)} VM(s); "
+                    f"need at least 2{degraded_note}")
 
-        if mode == "canonical":
-            with self.hv.deferred_charges() as acc:
-                report = self.checker.check_pool_canonical(parsed)
-            pair_work = [acc.total]
-        else:
-            pairs, pair_work = self._compare_deferred(
-                (parsed[i], parsed[j])
-                for i in range(len(parsed))
-                for j in range(i + 1, len(parsed)))
-            report = self.checker.vote(parsed, pairs)
-        timings = self._advance_makespan(searcher_work, parser_work,
-                                         pair_work)
+            n_pairs = (len(parsed) - 1 if mode == "canonical"
+                       else len(parsed) * (len(parsed) - 1) // 2)
+            with self.obs.tracer.span("checker.compare", module=module_name,
+                                      pairs=n_pairs):
+                if mode == "canonical":
+                    with self.hv.deferred_charges() as acc:
+                        report = self.checker.check_pool_canonical(parsed)
+                    pair_work = [acc.total]
+                else:
+                    pairs, pair_work = self._compare_deferred(
+                        (parsed[i], parsed[j])
+                        for i in range(len(parsed))
+                        for j in range(i + 1, len(parsed)))
+                    report = self.checker.vote(parsed, pairs)
+            timings = self._advance_makespan(searcher_work, parser_work,
+                                             pair_work)
         report.degraded = dict(failed)
 
         per_vm_work = {vm: searcher_work[vm] + parser_work.get(vm, 0.0)
@@ -239,4 +257,5 @@ class ParallelModChecker(ModChecker):
                                  parser=sum(parser_work.values()),
                                  checker=sum(pair_work)),
             wall=timings)
+        self._record_outcome(module_name, timings, report)
         return outcome

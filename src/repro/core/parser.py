@@ -16,11 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs import NULL_OBS, Observability
 from ..pe.parser import PEImage, Region
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from .searcher import ModuleCopy
 
 __all__ = ["ParsedModule", "ModuleParser"]
+
+
+def _no_charge(_seconds: float) -> None:
+    """Default charge hook: free parsing (unit tests, offline use)."""
 
 
 @dataclass
@@ -48,19 +53,25 @@ class ModuleParser:
     """Parses :class:`ModuleCopy` buffers into hashable regions."""
 
     def __init__(self, *, cost_model: CostModel = DEFAULT_COST_MODEL,
-                 charge: Callable[[float], None] | None = None) -> None:
+                 charge: Callable[[float], None] | None = None,
+                 obs: Observability = NULL_OBS) -> None:
         self.costs = cost_model
-        self._charge = charge or (lambda _seconds: None)
+        self._charge = charge or _no_charge
+        self.obs = obs
 
     def parse(self, copy: ModuleCopy) -> ParsedModule:
         """Algorithm 1: extract headers and executable section data."""
-        pe = PEImage(copy.image)
-        parsed = ParsedModule(
-            vm_name=copy.vm_name, module_name=copy.module_name,
-            base=copy.base, image=copy.image,
-            header_regions=pe.header_regions(),
-            code_regions=pe.code_regions())
-        # Cost: one pass over headers + the extracted section data.
-        touched = sum(r.size for r in parsed.all_regions())
-        self._charge(touched * self.costs.parse_per_byte)
+        with self.obs.tracer.span("parser.parse", vm=copy.vm_name,
+                                  module=copy.module_name) as span:
+            pe = PEImage(copy.image)
+            parsed = ParsedModule(
+                vm_name=copy.vm_name, module_name=copy.module_name,
+                base=copy.base, image=copy.image,
+                header_regions=pe.header_regions(),
+                code_regions=pe.code_regions())
+            # Cost: one pass over headers + the extracted section data.
+            touched = sum(r.size for r in parsed.all_regions())
+            self._charge(touched * self.costs.parse_per_byte)
+            span.set(bytes=touched,
+                     regions=len(parsed.all_regions()))
         return parsed

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from ..errors import (IntrospectionFault, ModuleNotLoadedError,
                       RetryExhausted, TransientFault)
 from ..guest.unicode_string import UnicodeString
+from ..obs import NULL_OBS
 from ..vmi.core import VMIInstance
 
 __all__ = ["ModuleListEntry", "ModuleCopy", "ModuleSearcher"]
@@ -58,11 +59,20 @@ class ModuleSearcher:
 
     def __init__(self, vmi: VMIInstance) -> None:
         self.vmi = vmi
+        # DumpAnalyzer quacks like a VMIInstance but carries no obs.
+        self.obs = getattr(vmi, "obs", NULL_OBS)
 
     # -- list walking -----------------------------------------------------------
 
     def list_modules(self) -> list[ModuleListEntry]:
         """Decode every node of PsLoadedModuleList, in load order."""
+        with self.obs.tracer.span("searcher.walk",
+                                  vm=self.vmi.domain.name) as span:
+            entries = self._walk_module_list()
+            span.set(entries=len(entries))
+        return entries
+
+    def _walk_module_list(self) -> list[ModuleListEntry]:
         profile = self.vmi.profile
         head = self.vmi.symbol("PsLoadedModuleList")
         off_base = profile.offset("LDR_DATA_TABLE_ENTRY.DllBase")
@@ -133,11 +143,14 @@ class ModuleSearcher:
 
     def _copy_module_once(self, module_name: str) -> ModuleCopy:
         """One walk-find-copy attempt (no module-level retry)."""
-        entry = self.find(module_name)
-        if not (0 < entry.size_of_image <= MAX_IMAGE_BYTES):
-            raise IntrospectionFault(
-                f"{module_name}: implausible SizeOfImage "
-                f"{entry.size_of_image:#x}")
-        image = self.vmi.read_va(entry.dll_base, entry.size_of_image)
+        with self.obs.tracer.span("searcher.copy", vm=self.vmi.domain.name,
+                                  module=module_name) as span:
+            entry = self.find(module_name)
+            if not (0 < entry.size_of_image <= MAX_IMAGE_BYTES):
+                raise IntrospectionFault(
+                    f"{module_name}: implausible SizeOfImage "
+                    f"{entry.size_of_image:#x}")
+            image = self.vmi.read_va(entry.dll_base, entry.size_of_image)
+            span.set(bytes=len(image))
         return ModuleCopy(self.vmi.domain.name, entry.name, entry.dll_base,
                           image, entry.ldr_entry_va)

@@ -23,7 +23,7 @@ from ..mem.physical import PhysicalMemory
 from ..pe.builder import DriverBlueprint
 from ..rng import derive_seed
 from .filesystem import GuestFilesystem
-from .ldr import LDR_LAYOUTS, LIST_ENTRY_SIZE, XP_SP2_LAYOUT, ListEntry
+from .ldr import LDR_LAYOUTS, LIST_ENTRY_SIZE, ListEntry
 from .loader import LoadedModule, ModuleLoader
 
 __all__ = ["GuestKernel"]

@@ -32,7 +32,7 @@ deterministic as the fault-free ones.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from ..errors import DomainUnreachable, PagedOutFault, TransientFault
 from ..mem.physical import PAGE_SIZE
@@ -143,8 +143,13 @@ class FaultInjector:
         self._hv = hypervisor
         self._orig_frame = hypervisor.read_guest_frame
         self._orig_physical = hypervisor.read_guest_physical
-        hypervisor.read_guest_frame = self._read_guest_frame  # type: ignore[method-assign]
-        hypervisor.read_guest_physical = self._read_guest_physical  # type: ignore[method-assign]
+        hypervisor.read_guest_frame = (          # type: ignore[method-assign]
+            self._read_guest_frame)
+        hypervisor.read_guest_physical = (      # type: ignore[method-assign]
+            self._read_guest_physical)
+        # Advertise ourselves so the observability bridge can publish
+        # injected-vs-recovered fault counters without new plumbing.
+        hypervisor.fault_injector = self  # type: ignore[attr-defined]
         return self
 
     def uninstall(self) -> None:
@@ -153,6 +158,7 @@ class FaultInjector:
             return
         del self._hv.__dict__["read_guest_frame"]
         del self._hv.__dict__["read_guest_physical"]
+        self._hv.__dict__.pop("fault_injector", None)
         self._hv = None
 
     def installed(self, hypervisor: Hypervisor) -> "_Installed":

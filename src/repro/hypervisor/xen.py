@@ -148,7 +148,7 @@ class Hypervisor:
         kernel.modules = dict(snap["modules"])
         kernel.loader.export_table = dict(snap["exports"])
 
-    # -- introspection surface -----------------------------------------------------------
+    # -- introspection surface -----------------------------------------------------
 
     def guest_cr3(self, key: int | str) -> int:
         domain = self.domain(key)
@@ -176,7 +176,7 @@ class Hypervisor:
         assert domain.kernel is not None
         return domain.kernel.memory.read(paddr, length)
 
-    # -- CPU accounting ---------------------------------------------------------------------
+    # -- CPU accounting ---------------------------------------------------------------
 
     def guest_demand(self) -> float:
         """Summed runnable vCPU demand across all guests."""

@@ -93,7 +93,8 @@ class PageTableBuilder:
         self.memory.write(pde_addr, _ENTRY.pack(
             (first_frame << PAGE_SHIFT) | flags))
 
-    def map_range(self, vaddr: int, n_pages: int, *, writable: bool = True) -> list[int]:
+    def map_range(self, vaddr: int, n_pages: int, *,
+                  writable: bool = True) -> list[int]:
         """Map ``n_pages`` fresh frames at ``vaddr``; return the frames."""
         frames = [self.allocator.alloc() for _ in range(n_pages)]
         for i, frame in enumerate(frames):

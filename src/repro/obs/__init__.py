@@ -1,0 +1,59 @@
+"""Observability: tracing + metrics over the simulated pipeline.
+
+One :class:`Observability` bundle (a tracer and a metrics registry)
+threads through the whole VMI -> Searcher -> Parser -> Checker -> daemon
+pipeline. The default is :data:`NULL_OBS` — shared no-ops — so an
+un-instrumented run pays nothing; enable with::
+
+    from repro.obs import make_observability
+    obs = make_observability(hv.clock)
+    mc = ModChecker(hv, profile, obs=obs)
+    mc.check_pool("hal.dll")
+    obs.metrics.write_prometheus("metrics.prom")
+    # repro.analysis.export.write_chrome_trace(obs.tracer, "trace.json")
+
+See ``docs/OBSERVABILITY.md`` for the span and metric vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hypervisor.clock import SimClock
+from .bridge import (STAGES, record_daemon_cycle, record_fault_stats,
+                     record_pool_report, record_stage_timings,
+                     record_vmi_instance)
+from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter, Gauge,
+                      Histogram, MetricsRegistry, NullMetrics)
+from .trace import NULL_TRACER, SPAN_NAMES, NullTracer, Span, Tracer
+
+__all__ = [
+    "Observability", "NULL_OBS", "make_observability",
+    "Tracer", "NullTracer", "NULL_TRACER", "Span", "SPAN_NAMES",
+    "MetricsRegistry", "NullMetrics", "NULL_METRICS",
+    "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
+    "STAGES", "record_stage_timings", "record_pool_report",
+    "record_vmi_instance", "record_fault_stats", "record_daemon_cycle",
+]
+
+
+@dataclass(frozen=True)
+class Observability:
+    """A tracer + metrics registry travelling together through the stack."""
+
+    tracer: Tracer | NullTracer
+    metrics: MetricsRegistry | NullMetrics
+
+    @property
+    def enabled(self) -> bool:
+        """True when either side will actually record anything."""
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: The zero-cost default: no-op tracer, no-op metrics.
+NULL_OBS = Observability(tracer=NULL_TRACER, metrics=NULL_METRICS)
+
+
+def make_observability(clock: SimClock) -> Observability:
+    """A live bundle recording against ``clock``."""
+    return Observability(tracer=Tracer(clock), metrics=MetricsRegistry())

@@ -1,0 +1,150 @@
+"""Bridges from pipeline state to the metrics registry.
+
+The pipeline already keeps rich counters (:class:`~repro.vmi.core.VMIStats`,
+:class:`~repro.hypervisor.faults.FaultStats`,
+:class:`~repro.core.report.PoolReport`,
+:class:`~repro.perf.timing.ComponentTimings`); this module maps them
+onto a stable metric vocabulary so exporters, dashboards and the CI
+gate all speak the same names:
+
+===========================================  ======  ========================
+``modchecker_checks_total``                  counter ``module``, ``verdict``
+``modchecker_quorum_size``                   gauge   ``module``
+``modchecker_degraded_votes_total``          counter ``vm``, ``category``
+``modchecker_stage_seconds``                 histo   ``stage``
+``modchecker_vmi_pages_mapped_total``        counter ``vm``
+``modchecker_vmi_bytes_read_total``          counter ``vm``
+``modchecker_vmi_translations_total``        counter ``vm``
+``modchecker_cache_hits_total``              counter ``vm``, ``cache``
+``modchecker_cache_hit_ratio``               gauge   ``vm``, ``cache``
+``modchecker_vmi_transient_faults_total``    counter ``vm``
+``modchecker_vmi_retries_total``             counter ``vm``
+``modchecker_vmi_retries_recovered_total``   counter ``vm``
+``modchecker_faults_injected_total``         counter ``kind``
+``modchecker_daemon_cycle_seconds``          histo   (none)
+``modchecker_daemon_alerts_total``           counter ``kind``
+``modchecker_daemon_quarantined``            gauge   (none)
+===========================================  ======  ========================
+
+Cumulative sources are published with :meth:`Counter.set_to` (they
+already count monotonically); per-round values (cache hit ratios, which
+reset with each :meth:`VMIInstance.flush_caches`) are gauges. Stage
+latencies are fed from the same :class:`ComponentTimings` the cost
+model produces, so the Prometheus ``modchecker_stage_seconds_sum``
+series reconciles exactly with the simulated timing breakdown.
+"""
+
+from __future__ import annotations
+
+from ..perf.timing import ComponentTimings
+
+__all__ = ["STAGES", "record_stage_timings", "record_pool_report",
+           "record_vmi_instance", "record_fault_stats",
+           "record_daemon_cycle"]
+
+#: The pipeline stages of the Fig. 7/8 breakdown.
+STAGES = ("searcher", "parser", "checker")
+
+
+def record_stage_timings(metrics, timings: ComponentTimings,
+                         module: str | None = None) -> None:
+    """Feed one check's component breakdown into the stage histogram."""
+    hist = metrics.histogram(
+        "modchecker_stage_seconds",
+        "Simulated seconds per pipeline stage per check")
+    for stage in STAGES:
+        hist.observe(getattr(timings, stage), stage=stage)
+    if module is not None:
+        metrics.histogram(
+            "modchecker_check_seconds",
+            "Simulated end-to-end seconds per check").observe(
+                timings.total, module=module)
+
+
+def record_pool_report(metrics, report, module: str | None = None) -> None:
+    """PoolReport -> quorum/verdict/degradation metrics."""
+    module = module if module is not None else report.module_name
+    verdict = "clean" if report.all_clean else "flagged"
+    metrics.counter(
+        "modchecker_checks_total",
+        "Completed pool checks by verdict").inc(
+            module=module, verdict=verdict)
+    metrics.gauge(
+        "modchecker_quorum_size",
+        "Surviving voting quorum of the last check").set(
+            len(report.verdicts), module=module)
+    degraded = metrics.counter(
+        "modchecker_degraded_votes_total",
+        "Votes lost to degraded (unacquirable) VMs")
+    for vm, reason in sorted(report.degraded.items()):
+        category = reason.split(":", 1)[0] if ":" in reason else "other"
+        degraded.inc(vm=vm, category=category)
+
+
+def record_vmi_instance(metrics, vm_name: str, vmi) -> None:
+    """VMIStats + cache state for one introspection session."""
+    stats = vmi.stats
+    metrics.counter(
+        "modchecker_vmi_pages_mapped_total",
+        "Foreign guest frames mapped into Dom0").set_to(
+            stats.pages_mapped, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_bytes_read_total",
+        "Guest bytes copied out through VMI").set_to(
+            stats.bytes_read, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_translations_total",
+        "Guest page-table walks performed").set_to(
+            stats.translations, vm=vm_name)
+    hits = metrics.counter(
+        "modchecker_cache_hits_total",
+        "VMI cache hits (cumulative, never reset)")
+    hits.set_to(stats.translation_cache_hits, vm=vm_name, cache="v2p")
+    hits.set_to(stats.page_cache_hits, vm=vm_name, cache="page")
+    ratio = metrics.gauge(
+        "modchecker_cache_hit_ratio",
+        "Per-round cache hit ratio (resets with each cache flush)")
+    ratio.set(vmi.v2p_cache.hit_rate, vm=vm_name, cache="v2p")
+    ratio.set(vmi.page_cache.hit_rate, vm=vm_name, cache="page")
+    metrics.counter(
+        "modchecker_vmi_transient_faults_total",
+        "Transient introspection faults observed").set_to(
+            stats.transient_faults, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_retries_total",
+        "Guest reads re-issued after a transient fault").set_to(
+            stats.retries, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_retries_recovered_total",
+        "Reads that succeeded after at least one retry").set_to(
+            stats.retries_recovered, vm=vm_name)
+
+
+def record_fault_stats(metrics, fault_stats) -> None:
+    """FaultStats -> injected-fault counters, one series per kind."""
+    counter = metrics.counter(
+        "modchecker_faults_injected_total",
+        "Faults injected by kind")
+    stats = fault_stats.as_dict()
+    for kind in ("transient", "torn_pages", "stale_served", "paged_out",
+                 "window_hits", "unreachable"):
+        counter.set_to(stats[kind], kind=kind)
+    metrics.counter(
+        "modchecker_faulted_reads_total",
+        "Guest reads that passed through the fault gate").set_to(
+            stats["reads"])
+
+
+def record_daemon_cycle(metrics, *, duration: float, alerts,
+                        quarantined: int) -> None:
+    """One daemon sweep: cycle latency, alert mix, quarantine depth."""
+    metrics.histogram(
+        "modchecker_daemon_cycle_seconds",
+        "Simulated seconds per daemon cycle").observe(duration)
+    alert_counter = metrics.counter(
+        "modchecker_daemon_alerts_total", "Alerts raised by kind")
+    for alert in alerts:
+        alert_counter.inc(kind=alert.kind)
+    metrics.gauge(
+        "modchecker_daemon_quarantined",
+        "VMs currently quarantined").set(quarantined)

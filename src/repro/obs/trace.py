@@ -1,0 +1,229 @@
+"""Simulated-clock tracing: nested spans over :class:`SimClock`.
+
+The paper's whole evaluation (Figs. 7-9) is a *where-does-the-time-go*
+story — Module-Searcher vs. Module-Parser vs. Integrity-Checker, per VM
+and per module. This module makes that breakdown a first-class,
+machine-readable artifact: a :class:`Tracer` records nested spans with
+simulated timestamps, and :func:`repro.analysis.export.write_chrome_trace`
+turns them into a Chrome ``about:tracing`` / Perfetto-loadable JSON file.
+
+Span names are a closed vocabulary (:data:`SPAN_NAMES`) so dashboards
+and CI checks can rely on them:
+
+========================  ====================================================
+``vmi.read_page``         one foreign-frame map (cache misses only)
+``retry.attempt``         one re-issued guest read after a transient fault
+``searcher.walk``         one full PsLoadedModuleList traversal
+``searcher.copy``         find + copy one module image out of one guest
+``parser.parse``          Algorithm 1 over one copied image
+``checker.compare``       the full vote/compare phase of one check
+``modchecker.fetch``      the acquisition phase over a VM pool
+``modchecker.check``      one end-to-end check (fetch + compare + vote)
+``daemon.cycle``          one daemon sweep cycle
+========================  ====================================================
+
+Timestamps come from the *simulated* clock, so a trace is deterministic
+for a given seed and reconciles exactly with the cost-model timing
+breakdowns. The disabled path is :data:`NULL_TRACER`, a shared no-op
+whose ``span()`` returns one reusable context manager — hot call sites
+additionally guard on ``tracer.enabled`` so a disabled run builds no
+attribute dicts at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hypervisor.clock import SimClock
+
+__all__ = ["SPAN_NAMES", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: The span vocabulary emitted by the instrumented pipeline.
+SPAN_NAMES = (
+    "vmi.read_page", "retry.attempt", "searcher.walk", "searcher.copy",
+    "parser.parse", "checker.compare", "modchecker.fetch",
+    "modchecker.check", "daemon.cycle",
+)
+
+
+@dataclass
+class Span:
+    """One timed region on the simulated clock."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds inside the span (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def category(self) -> str:
+        """The dotted prefix, e.g. ``vmi`` for ``vmi.read_page``."""
+        return self.name.split(".", 1)[0]
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes after entry (e.g. counts known at exit)."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _SpanContext:
+    """Context manager created by :meth:`Tracer.span`."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: dict[str, object]) -> None:
+        self.tracer = tracer
+        self.span = Span(name=name, span_id=tracer._take_id(),
+                         parent_id=tracer._parent_id(),
+                         start=tracer.clock.now, attrs=attrs)
+
+    def __enter__(self) -> Span:
+        self.tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.span.end = self.tracer.clock.now
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self.tracer._pop(self.span)
+        return False
+
+
+class Tracer:
+    """Records nested :class:`Span` regions against one simulated clock.
+
+    Usage::
+
+        tracer = Tracer(hv.clock)
+        with tracer.span("searcher.walk", vm="Dom1") as s:
+            ...
+            s.set(entries=10)
+        tracer.spans          # all spans, in start order
+    """
+
+    enabled = True
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        #: every span ever started, in start order
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # -- bookkeeping for _SpanContext -----------------------------------
+
+    def _take_id(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _parent_id(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    def _push(self, span: Span) -> None:
+        self.spans.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # Exits happen strictly LIFO (context managers), but be tolerant
+        # of a caller that leaks an un-exited span.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- public API ------------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a span; ``with tracer.span(...) as s`` yields the Span."""
+        return _SpanContext(self, name, attrs)
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def finished_spans(self) -> list[Span]:
+        return [s for s in self.spans if s.finished]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def roots(self) -> list[Span]:
+        return [s for s in self.spans if s.parent_id is None]
+
+    def total_by_name(self) -> dict[str, float]:
+        """Summed duration per span name (finished spans only)."""
+        totals: dict[str, float] = {}
+        for s in self.finished_spans():
+            totals[s.name] = totals.get(s.name, 0.0) + s.duration
+        return totals
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self._stack.clear()
+
+
+class _NullSpanContext:
+    """Reusable no-op span context; one shared instance, zero state."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> "_NullSpanContext":
+        return self
+
+    # mimic the Span surface a caller might poke at
+    attrs: dict[str, object] = {}
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the same shared no-op.
+
+    Hot call sites (per-page reads) additionally guard on
+    ``tracer.enabled`` so the disabled pipeline does not even build the
+    keyword-attribute dicts.
+    """
+
+    enabled = False
+    spans: list[Span] = []          # always empty; shared, never mutated
+
+    def span(self, name: str, **attrs: object) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    @property
+    def active(self) -> None:
+        return None
+
+    def finished_spans(self) -> list[Span]:
+        return []
+
+    def total_by_name(self) -> dict[str, float]:
+        return {}
+
+    def clear(self) -> None:
+        pass
+
+
+#: Shared no-op tracer — the default wired through the whole pipeline.
+NULL_TRACER = NullTracer()

@@ -34,7 +34,7 @@ from .checksum import stamp_checksum
 from .exports import build_export_block
 from .codegen import Cave, CodeLayout, FunctionInfo, generate_code
 from .relocations import build_reloc_section
-from .structures import (DataDirectory, DosHeader, FileHeader, OptionalHeader,
+from .structures import (DosHeader, FileHeader, OptionalHeader,
                          SectionHeader)
 
 __all__ = ["ImportSpec", "DriverBlueprint", "PEBuilder", "build_driver"]

@@ -51,7 +51,16 @@ class LRUCache(Generic[K, V]):
             self._data.popitem(last=False)
 
     def flush(self) -> None:
+        """Drop the cached entries; hit/miss counters are kept (they
+        describe accesses, not contents) — use :meth:`reset_stats` to
+        start a fresh accounting window."""
         self._data.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (start of a new checking round),
+        so :attr:`hit_rate` describes the current round only."""
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._data)

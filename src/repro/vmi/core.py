@@ -27,6 +27,7 @@ from ..errors import (IntrospectionFault, PageFault, RetryExhausted,
 from ..hypervisor.xen import Hypervisor
 from ..mem.paging import LARGE_PAGE_SIZE, PDE_LARGE, PTE_PRESENT
 from ..mem.physical import PAGE_SIZE
+from ..obs import NULL_OBS, Observability
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from .cache import PageCache, V2PCache
 from .retry import RetryPolicy
@@ -49,6 +50,9 @@ class VMIStats:
     read_calls: int = 0
     transient_faults: int = 0
     retries: int = 0
+    #: reads that succeeded after at least one retry (the "recovered"
+    #: side of the faults-injected-vs-recovered observability story)
+    retries_recovered: int = 0
 
     def snapshot(self) -> "VMIStats":
         return VMIStats(**vars(self))
@@ -61,8 +65,10 @@ class VMIInstance:
                  profile: OSProfile, *,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  enable_caches: bool = True,
-                 retry: RetryPolicy | None = None) -> None:
+                 retry: RetryPolicy | None = None,
+                 obs: Observability = NULL_OBS) -> None:
         self.hv = hypervisor
+        self.obs = obs
         try:
             self.domain = hypervisor.domain(domain_key)
         except Exception as exc:
@@ -82,9 +88,15 @@ class VMIInstance:
     # -- caches ---------------------------------------------------------------
 
     def flush_caches(self) -> None:
-        """Invalidate both caches (between checking rounds)."""
+        """Invalidate both caches (between checking rounds).
+
+        Also resets their hit/miss counters, so the cache-hit-ratio
+        metric describes the round being started, not the whole session.
+        """
         self.v2p_cache.flush()
         self.page_cache.flush()
+        self.v2p_cache.reset_stats()
+        self.page_cache.reset_stats()
 
     # -- translation ------------------------------------------------------------
 
@@ -133,8 +145,14 @@ class VMIInstance:
                 self.stats.page_cache_hits += 1
                 return cached
         self.stats.pages_mapped += 1
-        self.hv.charge_dom0(self.costs.page_map)
-        page = self.hv.read_guest_frame(self.domain.domid, frame_no)
+        if self.obs.tracer.enabled:
+            with self.obs.tracer.span("vmi.read_page",
+                                      vm=self.domain.name, frame=frame_no):
+                self.hv.charge_dom0(self.costs.page_map)
+                page = self.hv.read_guest_frame(self.domain.domid, frame_no)
+        else:
+            self.hv.charge_dom0(self.costs.page_map)
+            page = self.hv.read_guest_frame(self.domain.domid, frame_no)
         if self.enable_caches:
             self.page_cache.put(frame_no, page)
         return page
@@ -153,7 +171,16 @@ class VMIInstance:
             return fetch()
         for attempt in range(self.retry.max_attempts):
             try:
-                return fetch()
+                if attempt and self.obs.tracer.enabled:
+                    with self.obs.tracer.span("retry.attempt",
+                                              vm=self.domain.name,
+                                              what=what, attempt=attempt):
+                        result = fetch()
+                else:
+                    result = fetch()
+                if attempt:
+                    self.stats.retries_recovered += 1
+                return result
             except TransientFault as exc:
                 self.stats.transient_faults += 1
                 if attempt + 1 >= self.retry.max_attempts:
@@ -220,7 +247,7 @@ class VMIInstance:
     def read_u16(self, vaddr: int) -> int:
         return struct.unpack("<H", self.read_va(vaddr, 2))[0]
 
-    # -- symbols ------------------------------------------------------------------------
+    # -- symbols --------------------------------------------------------------------
 
     def symbol(self, name: str) -> int:
         """Resolve a kernel symbol via the OS profile."""

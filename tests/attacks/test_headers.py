@@ -9,7 +9,6 @@ from repro.attacks.headers import (EntryPointRedirectAttack,
                                    TimestampForgeryAttack)
 from repro.errors import AttackError
 from repro.pe import PEImage, map_file_to_memory
-from repro.pe import constants as C
 
 
 class TestCharacteristicsFlip:

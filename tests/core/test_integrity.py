@@ -56,7 +56,6 @@ class TestPairComparison:
 
     def test_header_tamper_detected(self, clean_pair):
         a, b = clean_pair
-        import dataclasses
         image = bytearray(a.image)
         image[10] ^= 0xFF                      # inside the DOS header
         tampered = ModuleParser().parse(ModuleCopy(

@@ -1,13 +1,11 @@
 """Tests for mixed-version pool handling."""
 
-import pytest
 
 from repro.cloud import build_testbed
 from repro.core import ModChecker
 from repro.core.versioning import (check_pool_versioned,
                                    partition_by_version)
-from repro.guest import build_catalog
-from repro.guest.catalog import STANDARD_CATALOG, DriverSpec
+from repro.guest.catalog import STANDARD_CATALOG
 from repro.pe import PEBuilder
 from repro.rng import derive_seed
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ModuleNotLoadedError
-from repro.guest import GuestKernel, build_catalog
+from repro.guest import GuestKernel
 from repro.pe import PEImage
 
 

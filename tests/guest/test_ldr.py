@@ -1,6 +1,5 @@
 """Unit tests for LDR_DATA_TABLE_ENTRY and list linking."""
 
-import pytest
 
 from repro.guest.ldr import (LDR_ENTRY_SIZE, LIST_ENTRY_SIZE, OFF_BASEDLLNAME,
                              OFF_DLLBASE, OFF_SIZEOFIMAGE,

@@ -5,7 +5,6 @@ import struct
 import pytest
 
 from repro.errors import ModuleLoadError
-from repro.guest.kernel import GuestKernel
 from repro.mem.address_space import KernelAddressSpace
 from repro.mem.physical import PAGE_SIZE, PhysicalMemory
 from repro.guest.ldr import ListEntry

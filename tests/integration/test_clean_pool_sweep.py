@@ -11,7 +11,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cloud import build_testbed
 from repro.core import ModChecker
 from repro.guest import build_catalog, GuestKernel
 from repro.core.parser import ModuleParser

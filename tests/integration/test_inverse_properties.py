@@ -8,13 +8,12 @@ byte-identical (read-only introspection, verified from outside).
 
 import hashlib
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cloud import build_testbed
 from repro.core import ModChecker, adjust_rva_robust
-from repro.guest import GuestKernel, build_catalog
+from repro.guest import GuestKernel
 from repro.pe import (PEImage, build_driver, map_file_to_memory)
 from repro.pe.constants import DIR_BASERELOC
 from repro.pe.relocations import apply_relocations, parse_reloc_section

@@ -9,7 +9,7 @@ import pytest
 
 from repro.cloud import build_testbed
 from repro.core import ModChecker, ModuleSearcher
-from repro.errors import IntrospectionFault, ReproError
+from repro.errors import ReproError
 from repro.guest import GuestKernel
 from repro.guest.ldr import LDR_LAYOUTS, WIN2003_LAYOUT, XP_SP2_LAYOUT
 from repro.vmi import OSProfile

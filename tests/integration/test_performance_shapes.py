@@ -90,7 +90,8 @@ class TestFig9GuestImpact:
         mc = ModChecker(tb.hypervisor, tb.profile)
         domain = tb.hypervisor.domain("Dom1")
         monitor = GuestResourceMonitor(domain, tb.clock, seed=7)
-        check = lambda: mc.check_pool("http.sys")
+        def check():
+            return mc.check_pool("http.sys")
         trace = monitor.run(duration=120.0, interval=0.5,
                             events=[(t, check) for t in (20, 50, 80, 110)])
         assert len(trace.introspection_windows) == 4

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import PageFault
-from repro.guest import GuestKernel
 from repro.hypervisor import Hypervisor
 from repro.mem.paging import (LARGE_PAGE_SIZE, AddressTranslator,
                               PageTableBuilder)

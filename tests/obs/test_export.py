@@ -1,0 +1,70 @@
+"""Chrome trace-event export tests."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.export import chrome_trace_events, write_chrome_trace
+from repro.hypervisor.clock import SimClock
+from repro.obs import Tracer
+
+
+def _sample_tracer():
+    clock = SimClock()
+    tracer = Tracer(clock)
+    with tracer.span("modchecker.check", module="hal.dll"):
+        clock.advance(0.001)
+        with tracer.span("searcher.copy", vm="Dom1") as s:
+            clock.advance(0.002)
+            s.set(bytes=4096)
+        with tracer.span("parser.parse", vm="Dom1"):
+            clock.advance(0.0005)
+    return tracer
+
+
+class TestChromeTraceEvents:
+    def test_complete_events_in_microseconds(self):
+        events = chrome_trace_events(_sample_tracer().spans)
+        assert len(events) == 3
+        copy = next(e for e in events if e["name"] == "searcher.copy")
+        assert copy["ph"] == "X"
+        assert copy["cat"] == "searcher"
+        assert abs(copy["ts"] - 1000.0) < 1e-6      # starts at 1 ms
+        assert abs(copy["dur"] - 2000.0) < 1e-6     # lasts 2 ms
+        assert copy["args"]["vm"] == "Dom1"
+        assert copy["args"]["bytes"] == 4096
+
+    def test_parent_ids_preserved(self):
+        events = chrome_trace_events(_sample_tracer().spans)
+        check = next(e for e in events if e["name"] == "modchecker.check")
+        copy = next(e for e in events if e["name"] == "searcher.copy")
+        assert "parent_id" not in check["args"]
+        assert copy["args"]["parent_id"] == check["args"]["span_id"]
+
+    def test_unfinished_spans_skipped(self):
+        tracer = Tracer(SimClock())
+        ctx = tracer.span("daemon.cycle")
+        ctx.__enter__()
+        assert chrome_trace_events(tracer.spans) == []
+        ctx.__exit__(None, None, None)
+        assert len(chrome_trace_events(tracer.spans)) == 1
+
+
+class TestWriteChromeTrace:
+    def test_file_loads_and_nests(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_chrome_trace(tracer, tmp_path / "trace.json",
+                                  metadata={"seed": 42})
+        doc = json.load(open(path))
+        events = doc["traceEvents"]
+        assert doc["otherData"]["clock"] == "simulated"
+        assert doc["otherData"]["seed"] == 42
+        # children nest inside their parent's [ts, ts+dur] window
+        by_id = {e["args"]["span_id"]: e for e in events}
+        for e in events:
+            parent_id = e["args"].get("parent_id")
+            if parent_id is None:
+                continue
+            p = by_id[parent_id]
+            assert p["ts"] <= e["ts"]
+            assert e["ts"] + e["dur"] <= p["ts"] + p["dur"] + 1e-9

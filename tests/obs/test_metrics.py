@@ -1,0 +1,163 @@
+"""Metrics registry unit tests: families, exposition format, no-ops."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import NULL_METRICS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("checks_total")
+        c.inc(module="hal.dll")
+        c.inc(2, module="hal.dll")
+        c.inc(module="http.sys")
+        assert c.value(module="hal.dll") == 3
+        assert c.value(module="http.sys") == 1
+        assert c.value(module="absent") == 0
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_set_to_is_monotone(self):
+        c = MetricsRegistry().counter("bytes_total")
+        c.set_to(100, vm="Dom1")
+        c.set_to(250, vm="Dom1")
+        assert c.value(vm="Dom1") == 250
+        with pytest.raises(ValueError, match="went backwards"):
+            c.set_to(200, vm="Dom1")
+
+    def test_label_order_is_canonical(self):
+        c = MetricsRegistry().counter("x_total")
+        c.inc(a="1", b="2")
+        assert c.value(b="2", a="1") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("quorum")
+        g.set(5)
+        g.dec(2)
+        g.inc(1)
+        assert g.value() == 4
+
+
+class TestHistogram:
+    def test_bucketing_and_sum_count(self):
+        h = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v, stage="searcher")
+        assert h.count(stage="searcher") == 4
+        assert abs(h.sum(stage="searcher") - 6.05) < 1e-12
+
+    def test_registry_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(TypeError):
+            reg.gauge("x_total")
+
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total").inc(**{"bad-label": 1})
+
+
+class TestPrometheusExposition:
+    def test_help_type_and_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("checks_total", "Completed checks").inc(
+            module="hal.dll", verdict="clean")
+        text = reg.to_prometheus()
+        assert "# HELP checks_total Completed checks\n" in text
+        assert "# TYPE checks_total counter\n" in text
+        assert 'checks_total{module="hal.dll",verdict="clean"} 1.0' in text
+        assert text.endswith("\n")
+
+    def test_histogram_rendering_is_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in text
+        assert "lat_seconds_sum 5.55" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc(why='say "hi"\nback\\slash')
+        line = [ln for ln in reg.to_prometheus().splitlines()
+                if ln.startswith("x_total{")][0]
+        assert r'\"hi\"' in line
+        assert r"\n" in line
+        assert "\n" not in line
+        assert r"back\\slash" in line
+
+    def test_exposition_parses_line_by_line(self):
+        """Every non-comment line must be `name{labels} value`."""
+        import re
+        reg = MetricsRegistry()
+        reg.counter("a_total", "h").inc(vm="Dom1")
+        reg.gauge("b", "h").set(1.5)
+        reg.histogram("c_seconds", "h").observe(0.2, stage="parser")
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? '
+            r"[0-9eE.+-]+|\+Inf$")
+        for line in reg.to_prometheus().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) ", line)
+            else:
+                assert sample.match(line), line
+
+
+class TestSnapshots:
+    def test_snapshot_round_trips_through_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help a").inc(3, vm="Dom1")
+        reg.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        path = reg.write_json(tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["a_total"]["type"] == "counter"
+        assert data["a_total"]["samples"] == [
+            {"labels": {"vm": "Dom1"}, "value": 3.0}]
+        hist = data["lat_seconds"]["samples"][0]
+        assert hist["count"] == 1 and hist["sum"] == 0.5
+
+    def test_write_prometheus(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(2)
+        path = reg.write_prometheus(tmp_path / "m.prom")
+        assert "g 2.0" in path.read_text()
+
+
+class TestNullMetrics:
+    def test_all_ops_are_inert(self):
+        assert not NULL_METRICS.enabled
+        c = NULL_METRICS.counter("x_total")
+        c.inc()
+        c.set_to(10)
+        NULL_METRICS.gauge("g").set(1)
+        NULL_METRICS.histogram("h").observe(0.5)
+        assert c.value() == 0.0
+        assert NULL_METRICS.to_prometheus() == ""
+        assert NULL_METRICS.snapshot() == {}
+        assert len(NULL_METRICS) == 0
+
+    def test_families_share_one_instance(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.gauge("b")

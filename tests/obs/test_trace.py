@@ -1,0 +1,185 @@
+"""Tracer unit tests: nesting, timing on SimClock, the no-op path."""
+
+from __future__ import annotations
+
+import time
+
+from repro.hypervisor.clock import SimClock
+from repro.obs import NULL_TRACER, SPAN_NAMES, Tracer
+
+
+class TestSpanBasics:
+    def test_span_measures_simulated_elapsed(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("searcher.walk", vm="Dom1") as span:
+            clock.advance(0.25)
+        assert span.finished
+        assert span.start == 0.0
+        assert span.end == 0.25
+        assert span.duration == 0.25
+        assert span.attrs == {"vm": "Dom1"}
+
+    def test_attrs_settable_at_exit(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("searcher.walk") as span:
+            span.set(entries=10)
+        assert span.attrs["entries"] == 10
+
+    def test_category_is_dotted_prefix(self):
+        tracer = Tracer(SimClock())
+        with tracer.span("vmi.read_page") as span:
+            pass
+        assert span.category == "vmi"
+
+    def test_open_span_duration_is_zero(self):
+        tracer = Tracer(SimClock())
+        ctx = tracer.span("daemon.cycle")
+        ctx.__enter__()
+        assert not ctx.span.finished
+        assert ctx.span.duration == 0.0
+        ctx.__exit__(None, None, None)
+
+    def test_error_attr_recorded_on_exception(self):
+        tracer = Tracer(SimClock())
+        try:
+            with tracer.span("modchecker.check"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        (span,) = tracer.spans
+        assert span.finished
+        assert span.attrs["error"] == "ValueError"
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("modchecker.check") as outer:
+            clock.advance(0.1)
+            with tracer.span("modchecker.fetch") as mid:
+                clock.advance(0.2)
+                with tracer.span("searcher.copy") as inner:
+                    clock.advance(0.3)
+        assert outer.parent_id is None
+        assert mid.parent_id == outer.span_id
+        assert inner.parent_id == mid.span_id
+        assert tracer.roots() == [outer]
+        assert tracer.children_of(outer) == [mid]
+        assert tracer.children_of(mid) == [inner]
+
+    def test_children_fit_inside_parent(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("modchecker.check") as outer:
+            clock.advance(0.1)
+            with tracer.span("checker.compare") as inner:
+                clock.advance(0.5)
+            clock.advance(0.1)
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert inner.duration <= outer.duration
+
+    def test_siblings_share_parent(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("modchecker.fetch") as parent:
+            with tracer.span("searcher.copy"):
+                clock.advance(0.1)
+            with tracer.span("parser.parse"):
+                clock.advance(0.1)
+        kids = tracer.children_of(parent)
+        assert [s.name for s in kids] == ["searcher.copy", "parser.parse"]
+
+    def test_active_tracks_innermost(self):
+        tracer = Tracer(SimClock())
+        assert tracer.active is None
+        with tracer.span("modchecker.check") as outer:
+            assert tracer.active is outer
+            with tracer.span("modchecker.fetch") as inner:
+                assert tracer.active is inner
+            assert tracer.active is outer
+        assert tracer.active is None
+
+    def test_total_by_name_sums_durations(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        for _ in range(3):
+            with tracer.span("parser.parse"):
+                clock.advance(0.5)
+        totals = tracer.total_by_name()
+        assert abs(totals["parser.parse"] - 1.5) < 1e-12
+
+    def test_clear_resets(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("daemon.cycle"):
+            clock.advance(1.0)
+        tracer.clear()
+        assert tracer.spans == []
+        assert tracer.active is None
+
+
+class TestNullTracer:
+    def test_disabled_and_recordless(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("searcher.walk", vm="Dom1") as span:
+            span.set(entries=3)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.finished_spans() == []
+        assert NULL_TRACER.total_by_name() == {}
+        assert NULL_TRACER.active is None
+
+    def test_span_is_shared_singleton(self):
+        a = NULL_TRACER.span("parser.parse")
+        b = NULL_TRACER.span("checker.compare", module="hal.dll")
+        assert a is b
+
+    def test_null_span_overhead_under_5_percent(self, monkeypatch):
+        """The no-op tracer must not tax an un-instrumented pipeline.
+
+        Hot call sites guard on ``tracer.enabled``, so a disabled run
+        only reaches ``NullTracer.span`` at the coarse pipeline joints.
+        Measure the unit cost of a null span, count how many an actual
+        pool check performs, and require their product to stay under 5%
+        of the check's host wall-time.
+        """
+        from repro.cloud import build_testbed
+        from repro.core import ModChecker
+        from repro.obs.trace import NullTracer
+
+        n = 100_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with NULL_TRACER.span("vmi.read_page"):
+                pass
+        unit = (time.perf_counter() - t0) / n
+
+        tb = build_testbed(3, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        mc.check_pool("hal.dll")                 # warm imports/caches
+        t0 = time.perf_counter()
+        mc.check_pool("hal.dll")
+        base = time.perf_counter() - t0
+
+        calls = 0
+        orig = NullTracer.span
+
+        def counting(self, name, **attrs):
+            nonlocal calls
+            calls += 1
+            return orig(self, name, **attrs)
+
+        monkeypatch.setattr(NullTracer, "span", counting)
+        mc.check_pool("hal.dll")                 # deterministic replay
+        null_cost = calls * unit
+        assert null_cost < 0.05 * base, (
+            f"{calls} null spans x {unit * 1e9:.0f}ns = {null_cost:.6f}s "
+            f"vs {base:.4f}s of real work (>{null_cost / base:.1%})")
+
+
+def test_span_vocabulary_is_closed():
+    assert "vmi.read_page" in SPAN_NAMES
+    assert "daemon.cycle" in SPAN_NAMES
+    assert len(SPAN_NAMES) == len(set(SPAN_NAMES))

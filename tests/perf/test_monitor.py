@@ -79,7 +79,8 @@ class TestPerturbationAnalysis:
         mc = ModChecker(tb.hypervisor, tb.profile)
         domain = tb.hypervisor.domain("Dom1")
         monitor = GuestResourceMonitor(domain, tb.clock, seed=1)
-        check = lambda: mc.check_pool("hal.dll")
+        def check():
+            return mc.check_pool("hal.dll")
         trace = monitor.run(duration=60.0, interval=0.5,
                             events=[(10.0, check), (30.0, check),
                                     (50.0, check)])

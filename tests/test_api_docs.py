@@ -1,7 +1,6 @@
 """Guard: docs/API.md stays in sync with the code's public surface."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent

@@ -1,0 +1,102 @@
+"""Tests for tools/check_bench_regression.py on synthetic results."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" \
+    / "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("bench_gate", _TOOL)
+bench_gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_gate)
+
+
+def write_results(path: Path, means: dict[str, float]) -> Path:
+    path.write_text(json.dumps(
+        {"benchmarks": [{"name": n, "stats": {"mean": m}}
+                        for n, m in means.items()]}))
+    return path
+
+
+BASE = {"test_a": 0.1, "test_b": 0.2, "test_c": 0.7}
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write_results(tmp_path / "baseline.json", BASE)
+
+
+def run(results, baseline, *extra):
+    return bench_gate.main([str(results), "--baseline", str(baseline),
+                            *extra])
+
+
+class TestRelativeGate:
+    def test_identical_passes(self, tmp_path, baseline):
+        results = write_results(tmp_path / "r.json", BASE)
+        assert run(results, baseline) == 0
+
+    def test_uniform_slowdown_passes(self, tmp_path, baseline):
+        """A slow runner scales everything; shares are unchanged."""
+        results = write_results(tmp_path / "r.json",
+                                {n: m * 3.0 for n, m in BASE.items()})
+        assert run(results, baseline) == 0
+
+    def test_single_benchmark_regression_fails(self, tmp_path, baseline):
+        slow = dict(BASE, test_a=BASE["test_a"] * 4.0)
+        results = write_results(tmp_path / "r.json", slow)
+        assert run(results, baseline) == 1
+
+    def test_speedup_is_not_a_failure(self, tmp_path, baseline):
+        fast = dict(BASE, test_c=BASE["test_c"] * 0.7)
+        results = write_results(tmp_path / "r.json", fast)
+        # test_c shrinking inflates a/b's shares by ~27%; the gate must
+        # not flag the sped-up benchmark itself, only genuine growth.
+        assert run(results, baseline, "--tolerance", "0.3") == 0
+
+    def test_tolerance_is_respected(self, tmp_path, baseline):
+        slow = dict(BASE, test_a=BASE["test_a"] * 1.6)
+        results = write_results(tmp_path / "r.json", slow)
+        assert run(results, baseline, "--tolerance", "0.10") == 1
+        assert run(results, baseline, "--tolerance", "0.95") == 0
+
+
+class TestAbsoluteGate:
+    def test_uniform_slowdown_fails_absolute(self, tmp_path, baseline):
+        results = write_results(tmp_path / "r.json",
+                                {n: m * 2.0 for n, m in BASE.items()})
+        assert run(results, baseline, "--absolute") == 1
+
+    def test_within_tolerance_passes(self, tmp_path, baseline):
+        results = write_results(tmp_path / "r.json",
+                                {n: m * 1.1 for n, m in BASE.items()})
+        assert run(results, baseline, "--absolute") == 0
+
+
+class TestSchemaDrift:
+    def test_missing_benchmark_is_schema_error(self, tmp_path, baseline):
+        partial = {n: m for n, m in BASE.items() if n != "test_b"}
+        results = write_results(tmp_path / "r.json", partial)
+        assert run(results, baseline) == 2
+
+    def test_new_benchmark_is_schema_error(self, tmp_path, baseline):
+        grown = dict(BASE, test_d=0.1)
+        results = write_results(tmp_path / "r.json", grown)
+        assert run(results, baseline) == 2
+
+    def test_missing_baseline_file(self, tmp_path):
+        results = write_results(tmp_path / "r.json", BASE)
+        assert run(results, tmp_path / "nope.json") == 2
+
+
+class TestUpdate:
+    def test_update_writes_baseline_then_passes(self, tmp_path):
+        results = write_results(tmp_path / "r.json", BASE)
+        baseline = tmp_path / "new_baseline.json"
+        assert run(results, baseline, "--update") == 0
+        assert baseline.exists()
+        assert run(results, baseline) == 0

@@ -39,6 +39,44 @@ class TestLRUCache:
         assert c.get("a") is None
         assert len(c) == 0
 
+    def test_flush_keeps_counters(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zz")
+        c.flush()
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_reset_stats_zeroes_counters_only(self):
+        """Regression: counters used to survive forever, so hit_rate
+        described the whole session instead of the current round."""
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.get("a")
+        c.get("zz")
+        c.reset_stats()
+        assert (c.hits, c.misses) == (0, 0)
+        assert c.hit_rate == 0.0
+        assert c.get("a") == 1          # contents untouched
+        assert c.hit_rate == 1.0        # rate describes the new window
+
+    def test_vmi_flush_caches_starts_fresh_window(self, catalog):
+        """flush_caches() between rounds must reset the per-round
+        hit-rate accounting alongside the cached contents."""
+        from repro.hypervisor import Hypervisor
+        from repro.vmi import OSProfile, VMIInstance
+        hv = Hypervisor()
+        hv.create_guest("Dom1", catalog, seed=1)
+        profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+        vmi = VMIInstance(hv, "Dom1", profile)
+        vmi.read_va(vmi.symbol("PsLoadedModuleList"), 64)
+        vmi.read_va(vmi.symbol("PsLoadedModuleList"), 64)
+        assert vmi.page_cache.hits > 0
+        vmi.flush_caches()
+        assert (vmi.page_cache.hits, vmi.page_cache.misses) == (0, 0)
+        assert (vmi.v2p_cache.hits, vmi.v2p_cache.misses) == (0, 0)
+        assert vmi.page_cache.hit_rate == 0.0
+
     def test_capacity_bound(self):
         c = LRUCache(3)
         for i in range(10):

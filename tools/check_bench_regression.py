@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Gate pytest-benchmark results against a checked-in baseline.
+
+Absolute wall-clock on shared CI runners is noisy, so the default
+comparison is **relative**: each benchmark's share of the run's total
+mean time. A real regression (one path suddenly slower) shifts its
+share; a uniformly slow runner shifts nothing. The check is one-sided —
+only a share *increase* beyond the tolerance fails; getting faster is
+not an error. Pass ``--absolute`` to compare raw mean seconds instead
+(useful on a dedicated box).
+
+Usage::
+
+    python tools/check_bench_regression.py results.json            # gate
+    python tools/check_bench_regression.py results.json --update   # rebase
+    python tools/check_bench_regression.py results.json \
+        --baseline benchmarks/baseline_substrate.json --tolerance 0.20
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/schema
+error (missing baseline, benchmark set drift).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = (Path(__file__).resolve().parent.parent
+                    / "benchmarks" / "baseline_substrate.json")
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Benchmark name -> mean seconds, from pytest-benchmark JSON."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    benches = data.get("benchmarks")
+    if not benches:
+        raise SystemExit(f"error: {path} holds no benchmarks")
+    return {b["name"]: float(b["stats"]["mean"]) for b in benches}
+
+
+def shares(means: dict[str, float]) -> dict[str, float]:
+    total = sum(means.values())
+    if total <= 0:
+        raise SystemExit("error: zero total benchmark time")
+    return {name: mean / total for name, mean in means.items()}
+
+
+def compare(current: dict[str, float], baseline: dict[str, float],
+            tolerance: float, *, absolute: bool) -> list[str]:
+    """Return failure lines; empty = gate passes."""
+    failures = []
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    if missing:
+        failures.append(f"benchmarks missing from run: {', '.join(missing)}")
+    if added:
+        failures.append(
+            f"benchmarks not in baseline (rebase with --update): "
+            f"{', '.join(added)}")
+    if failures:
+        return failures
+    cur = current if absolute else shares(current)
+    base = baseline if absolute else shares(baseline)
+    unit = "s" if absolute else " share"
+    for name in sorted(base):
+        allowed = base[name] * (1.0 + tolerance)
+        if cur[name] > allowed:
+            failures.append(
+                f"{name}: {cur[name]:.6g}{unit} > "
+                f"{base[name]:.6g}{unit} +{tolerance:.0%}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark results regress vs the baseline.")
+    parser.add_argument("results", type=Path,
+                        help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed one-sided increase (default 0.20)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="compare raw mean seconds, not shares of "
+                             "total (noisier across machines)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from these results")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+
+    means = load_means(args.results)
+    if args.update:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(json.dumps(
+            {"benchmarks": [{"name": n, "stats": {"mean": m}}
+                            for n, m in sorted(means.items())]},
+            indent=2) + "\n")
+        print(f"baseline rebased: {args.baseline} "
+              f"({len(means)} benchmarks)")
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: no baseline at {args.baseline}; create one with "
+              f"--update", file=sys.stderr)
+        return 2
+    baseline = load_means(args.baseline)
+    failures = compare(means, baseline, args.tolerance,
+                       absolute=args.absolute)
+    mode = "absolute" if args.absolute else "relative"
+    if failures:
+        print(f"benchmark regression ({mode}, tolerance "
+              f"{args.tolerance:.0%}):")
+        for line in failures:
+            print(f"  {line}")
+        return 1 if not any("missing" in f or "not in baseline" in f
+                            for f in failures) else 2
+    print(f"benchmarks within tolerance ({mode}, {len(means)} checked, "
+          f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

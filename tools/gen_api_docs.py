@@ -20,7 +20,7 @@ PACKAGES = [
     "repro",
     "repro.pe", "repro.mem", "repro.guest", "repro.hypervisor",
     "repro.vmi", "repro.attacks", "repro.core", "repro.perf",
-    "repro.cloud", "repro.analysis",
+    "repro.cloud", "repro.analysis", "repro.obs",
 ]
 
 MODULES = [
@@ -49,6 +49,7 @@ MODULES = [
     "repro.perf.timing",
     "repro.cloud.testbed", "repro.cloud.scenarios",
     "repro.analysis.stats", "repro.analysis.tables", "repro.analysis.export",
+    "repro.obs.trace", "repro.obs.metrics", "repro.obs.bridge",
 ]
 
 
