@@ -1,0 +1,90 @@
+"""A7 — lifecycle-churn ablation: detection quality vs pool turbulence.
+
+The robustness claim, quantified: sweep the churn rate over a 5-clone
+pool and show that (i) sustained reboot/pause/migrate/destroy/create
+noise never produces a false positive; (ii) an infected guest admitted
+mid-run is still convicted within a bounded number of cycles at every
+rate the warm-up/breaker machinery absorbs; (iii) at rate 0 the whole
+chaos layer is simulated-time invisible.
+
+Every churn schedule is a pure function of the seed, so these are as
+deterministic as the churn-free benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed, stage_chaos
+from repro.core import CheckDaemon, ModChecker, RoundRobinPolicy
+
+pytestmark = pytest.mark.chaos
+
+SEED = 42
+POOL = 5
+WARM_CYCLES = 3
+SOAK_CYCLES = 10
+RATES = [0.0, 0.1, 0.25, 0.4]
+INTEGRITY_KINDS = ("integrity", "hidden-module", "decoy-entry")
+
+
+def _integrity(alerts):
+    return [a for a in alerts if a.kind in INTEGRITY_KINDS]
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_no_false_positives_at_any_rate(rate):
+    scenario = stage_chaos(n_vms=POOL, seed=SEED, churn_rate=rate)
+    log = scenario.run(SOAK_CYCLES)
+    assert _integrity(log.alerts) == []
+    if rate == 0.0:
+        assert scenario.engine.stats.events == 0
+        assert [a for a in log.alerts if a.kind == "degraded"] == []
+
+
+#: Churn delays detection — an admitted guest can land straight in a
+#: migration blackout (~3 cycles) and serve a breaker cool-down before
+#: it may vote — but the delay must stay *bounded*, not open-ended.
+LATENCY_BOUND = {0.0: 6, 0.1: 8, 0.25: 12}
+
+
+@pytest.mark.parametrize("rate", sorted(LATENCY_BOUND))
+def test_detection_latency_bounded_under_churn(rate):
+    scenario = stage_chaos(n_vms=POOL, seed=SEED, churn_rate=rate)
+    scenario.run(WARM_CYCLES)
+    vm = scenario.admit_infected("E2")
+    bound = LATENCY_BOUND[rate]
+    latency = None
+    for cycle in range(1, bound + 1):
+        alerts = scenario.daemon.run_cycle()
+        if any(vm in a.flagged_vms for a in _integrity(alerts)):
+            latency = cycle
+            break
+    assert latency is not None, \
+        f"{vm} not convicted within {bound} cycles at rate {rate}"
+
+
+def test_zero_rate_layer_is_free():
+    tb = build_testbed(POOL, seed=SEED)
+    bare = CheckDaemon(ModChecker(tb.hypervisor, tb.profile),
+                       RoundRobinPolicy(per_cycle=3))
+    bare.run(SOAK_CYCLES)
+    bare_now = tb.clock.now
+    bare_alerts = [str(a) for a in bare.log.alerts]
+
+    scenario = stage_chaos(n_vms=POOL, seed=SEED, churn_rate=0.0,
+                           policy=RoundRobinPolicy(per_cycle=3))
+    log = scenario.run(SOAK_CYCLES)
+    assert scenario.testbed.clock.now == bare_now
+    assert [str(a) for a in log.alerts] == bare_alerts
+
+
+def test_churn_trace_deterministic(benchmark):
+    def soak():
+        scenario = stage_chaos(n_vms=POOL, seed=SEED, churn_rate=0.25)
+        log = scenario.run(SOAK_CYCLES)
+        return ([str(e) for e in scenario.engine.trace],
+                [str(a) for a in log.alerts])
+
+    first = soak()
+    assert benchmark(soak) == first

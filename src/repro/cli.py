@@ -7,6 +7,8 @@ Drives the whole reproduction from a shell::
     modchecker sweep --vms 4
     modchecker hidden --vms 3 --hide dummy.sys --victim Dom2
     modchecker daemon --vms 4 --cycles 5 --infect E2 --victim Dom2
+    modchecker daemon --vms 5 --cycles 10 --churn-rate 0.2
+    modchecker chaos --vms 5 --cycles 20 --admit-infected 5
     modchecker experiment e1 fig7 ...      # the benchmark harness
 
 Exit status: 0 = no discrepancy, 1 = discrepancy detected (so the tool
@@ -102,6 +104,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
     add_common(p_daemon)
     p_daemon.add_argument("--cycles", type=int, default=5)
     p_daemon.add_argument("--interval", type=float, default=60.0)
+    p_daemon.add_argument("--churn-rate", type=float, default=0.0,
+                          metavar="P",
+                          help="drive seeded lifecycle churn (reboots, "
+                               "pauses, migrations, destroys, creates) "
+                               "at scalar rate P between cycles")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="soak the daemon under lifecycle churn")
+    p_chaos.add_argument("--vms", type=int, default=5,
+                         help="initial pool size")
+    p_chaos.add_argument("--cycles", type=int, default=20)
+    p_chaos.add_argument("--interval", type=float, default=60.0)
+    p_chaos.add_argument("--churn-rate", type=float, default=0.2,
+                         metavar="P",
+                         help="scalar churn knob, split across event "
+                              "kinds (see ChaosConfig.from_churn_rate)")
+    p_chaos.add_argument("--admit-infected", type=int, default=None,
+                         metavar="CYCLE",
+                         help="boot an infected clone into the pool at "
+                              "this cycle (the detection-under-churn "
+                              "scenario)")
+    p_chaos.add_argument("--infect", metavar="EXP", default="E2",
+                         help="which paper infection the clone carries")
+    p_chaos.add_argument("--retry", type=int, default=None, metavar="N",
+                         help="attempts per failing guest read")
+    p_chaos.add_argument("--trace-out", metavar="PATH",
+                         help="write a Chrome trace-event JSON of the run")
+    p_chaos.add_argument("--metrics-out", metavar="PATH",
+                         help="write run metrics; .json suffix = JSON "
+                              "snapshot, anything else = Prometheus text")
 
     p_exp = sub.add_parser("experiment",
                            help="run paper experiments (harness)")
@@ -295,13 +327,29 @@ def cmd_dump(args) -> int:
     return 0 if report.all_clean else 1
 
 
+def _chaos_engine(args, tb):
+    """Build a seeded churn engine from --churn-rate (None when 0)."""
+    rate = getattr(args, "churn_rate", 0.0)
+    if not 0.0 <= rate <= 1.0:
+        raise SystemExit(f"error: --churn-rate must be in [0, 1], "
+                         f"got {rate}")
+    if not rate:
+        return None
+    from .cloud import ChaosConfig, ChaosEngine
+    engine = ChaosEngine(tb.hypervisor, ChaosConfig.from_churn_rate(rate),
+                         seed=args.seed, catalog=tb.catalog)
+    print(f"(chaos) lifecycle churn at {rate:.1%} per guest per cycle")
+    return engine
+
+
 def cmd_daemon(args) -> int:
     tb, _ = _build(args)
     obs = _obs_for(args, tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
                     obs=obs)
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
-                         interval=args.interval)
+                         interval=args.interval,
+                         chaos=_chaos_engine(args, tb))
     for cycle in range(args.cycles):
         alerts = daemon.run_cycle()
         stamp = tb.clock.now
@@ -316,6 +364,65 @@ def cmd_daemon(args) -> int:
     _export_obs(args, obs)
     print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
     return 1 if len(daemon.log) else 0
+
+
+def cmd_chaos(args) -> int:
+    """Soak the daemon under churn.
+
+    Exit status is the gate: on a clean pool, 0 iff zero integrity
+    alerts (no false positives); with ``--admit-infected``, 0 iff the
+    infected clone was convicted and nobody else was.
+    """
+    tb = build_testbed(args.vms, seed=args.seed)
+    obs = _obs_for(args, tb.clock)
+    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
+                    obs=obs)
+    engine = _chaos_engine(args, tb)
+    if engine is None:
+        raise SystemExit("error: chaos needs --churn-rate > 0")
+    daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
+                         interval=args.interval, chaos=engine)
+    infected_vm = None
+    for cycle in range(args.cycles):
+        if args.admit_infected is not None and cycle == args.admit_infected:
+            attack, module = attack_for_experiment(args.infect)
+            infection = attack.apply(tb.catalog[module])
+            catalog = dict(tb.catalog)
+            catalog[module] = infection.infected
+            infected_vm = "Mallory"
+            engine.create_guest(infected_vm, catalog)
+            daemon.admit_vm(infected_vm)
+            print(f"[{tb.clock.now:10.3f}s] admitted infected clone "
+                  f"{infected_vm} ({args.infect} in {module})")
+        alerts = daemon.run_cycle()
+        for alert in alerts:
+            print(str(alert))
+        if not alerts:
+            print(f"[{tb.clock.now:10.3f}s] cycle {cycle}: quiet "
+                  f"(pool={len(tb.hypervisor.guests())}, "
+                  f"open={len(daemon.quarantined)})")
+    _export_obs(args, obs)
+    stats = engine.stats
+    print(f"churn: {stats.events} events over {stats.steps} steps "
+          f"({stats.reboots} reboots, {stats.pauses} pauses, "
+          f"{stats.migrations} migrations, {stats.destroys} destroys, "
+          f"{stats.creates} creates)")
+    integrity = [a for a in daemon.log.alerts
+                 if a.kind in ("integrity", "hidden-module", "decoy-entry")]
+    degraded = len(daemon.log) - len(integrity)
+    print(f"{len(integrity)} integrity alert(s), {degraded} degraded "
+          f"alert(s) over {args.cycles} cycles")
+    if infected_vm is not None:
+        caught = any(infected_vm in a.flagged_vms for a in daemon.log.alerts
+                     if a.kind == "integrity")
+        spurious = [a for a in integrity
+                    if infected_vm not in a.flagged_vms]
+        print(f"infected clone {infected_vm}: "
+              f"{'DETECTED' if caught else 'MISSED'}"
+              + (f" (+{len(spurious)} spurious alert(s))"
+                 if spurious else ""))
+        return 0 if caught and not spurious else 1
+    return 1 if integrity else 0
 
 
 def cmd_experiment(args) -> int:
@@ -345,6 +452,7 @@ def main(argv: list[str] | None = None) -> int:
         "crossview": cmd_crossview,
         "dump": cmd_dump,
         "daemon": cmd_daemon,
+        "chaos": cmd_chaos,
         "experiment": cmd_experiment,
     }
     try:

@@ -1,9 +1,11 @@
 """Cloud testbed assembly (the paper's experimental environment)."""
 
-from .scenarios import (StagedScenario, stage_attack, stage_experiment,
-                        stage_hidden_module)
+from .chaos import ChaosConfig, ChaosEngine, ChaosEvent, ChaosStats
+from .scenarios import (ChaosScenario, StagedScenario, stage_attack,
+                        stage_chaos, stage_experiment, stage_hidden_module)
 from .testbed import PAPER_VM_COUNT, Testbed, build_testbed
 
 __all__ = ["PAPER_VM_COUNT", "Testbed", "build_testbed",
            "StagedScenario", "stage_attack", "stage_experiment",
-           "stage_hidden_module"]
+           "stage_hidden_module", "ChaosConfig", "ChaosEngine",
+           "ChaosEvent", "ChaosStats", "ChaosScenario", "stage_chaos"]

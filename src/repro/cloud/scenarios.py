@@ -12,12 +12,13 @@ from dataclasses import dataclass
 
 from ..attacks import attack_for_experiment, make_attack
 from ..attacks.base import InfectionResult
-from ..core import ModChecker
+from ..core import CheckDaemon, ModChecker
 from ..guest import build_catalog
+from .chaos import ChaosConfig, ChaosEngine
 from .testbed import Testbed, build_testbed
 
 __all__ = ["StagedScenario", "stage_experiment", "stage_attack",
-           "stage_hidden_module"]
+           "stage_hidden_module", "ChaosScenario", "stage_chaos"]
 
 
 @dataclass
@@ -67,6 +68,67 @@ def _stage(attack, module, *, n_vms, victim, seed, os_flavor,
     checker = ModChecker(tb.hypervisor, tb.profile, **checker_kwargs)
     return StagedScenario(testbed=tb, checker=checker, module=module,
                           victim=victim, infection=infection)
+
+
+@dataclass
+class ChaosScenario:
+    """A clean cloud under lifecycle churn, with the daemon attached.
+
+    The canonical robustness experiment: every guest boots the pristine
+    catalog, the :class:`ChaosEngine` reboots/pauses/migrates/destroys/
+    creates guests between cycles, and the daemon must ride it out with
+    zero false positives. :meth:`admit_infected` stages the hard case —
+    a compromised clone joining the pool mid-run.
+    """
+
+    testbed: Testbed
+    checker: ModChecker
+    daemon: CheckDaemon
+    engine: ChaosEngine
+    seed: int | None = 42
+
+    def run(self, cycles: int):
+        """Run the daemon (which steps the engine) for ``cycles``."""
+        return self.daemon.run(cycles)
+
+    def admit_infected(self, exp_id: str = "E2", *,
+                       name: str = "Mallory") -> str:
+        """Boot an *infected* clone into the pool mid-run.
+
+        The clone carries one of the paper's E1–E4 infections baked
+        into its installation media; the daemon's warm-up + membership
+        path must still flag it within a few cycles.
+        """
+        attack, module = attack_for_experiment(exp_id)
+        infection = attack.apply(self.testbed.catalog[module])
+        catalog = dict(self.testbed.catalog)
+        catalog[module] = infection.infected
+        self.engine.create_guest(name, catalog)
+        self.daemon.admit_vm(name)
+        return name
+
+
+def stage_chaos(*, n_vms: int = 5, seed: int | None = 42,
+                churn_rate: float = 0.2,
+                chaos_config: ChaosConfig | None = None,
+                os_flavor: str = "xp-sp2",
+                checker_kwargs: dict | None = None,
+                **daemon_kwargs) -> ChaosScenario:
+    """Stage a clean pool + daemon + seeded churn engine in one call.
+
+    ``chaos_config`` overrides the scalar ``churn_rate`` split when the
+    experiment needs specific event rates. Daemon keyword arguments
+    (``interval``, ``policy``, ...) pass through.
+    """
+    tb = build_testbed(n_vms, seed=seed, os_flavor=os_flavor)
+    checker = ModChecker(tb.hypervisor, tb.profile,
+                         **(checker_kwargs or {}))
+    config = chaos_config or ChaosConfig.from_churn_rate(churn_rate)
+    engine = ChaosEngine(tb.hypervisor, config, seed=seed,
+                         catalog=tb.catalog, os_flavor=os_flavor)
+    daemon = CheckDaemon(checker, chaos=engine, **daemon_kwargs)
+    return ChaosScenario(testbed=tb, checker=checker, daemon=daemon,
+                         engine=engine, seed=seed)
 
 
 def stage_hidden_module(*, module: str = "dummy.sys", n_vms: int = 4,

@@ -9,6 +9,8 @@ from .versioning import (VersionGroup, VersionedPoolReport,
                          check_pool_versioned, partition_by_version)
 from .daemon import (AdaptivePolicy, Alert, AlertLog, CheckDaemon,
                      PriorityPolicy, RoundRobinPolicy)
+from .health import (BreakerConfig, BreakerState, CircuitBreaker,
+                     HealthRegistry)
 from .integrity import SUPPORTED_HASHES, IntegrityChecker, md5_hex
 from .modchecker import CheckOutcome, FetchResult, ModChecker, PoolOutcome
 from .parallel import ParallelModChecker, makespan
@@ -27,6 +29,7 @@ __all__ = [
     "partition_by_version",
     "AdaptivePolicy", "Alert", "AlertLog", "CheckDaemon", "PriorityPolicy",
     "RoundRobinPolicy",
+    "BreakerConfig", "BreakerState", "CircuitBreaker", "HealthRegistry",
     "SUPPORTED_HASHES", "IntegrityChecker", "md5_hex",
     "CheckOutcome", "FetchResult", "ModChecker", "PoolOutcome",
     "ParallelModChecker", "makespan",

@@ -19,13 +19,23 @@ policies:
 Each cycle also runs the anti-DKOM carving sweep on one VM (rotating),
 so hidden modules surface within ``len(pool)`` cycles.
 
-The daemon degrades rather than dies: a VM whose introspection keeps
-failing after the retry budget (fault windows, paused/unreachable
-domains) is **quarantined** for ``quarantine_cycles`` cycles — dropped
-from sweeps and carving, reported via a ``degraded`` alert — and then
-probed again. The module list is re-discovered every
-``rediscover_every`` cycles, so modules loaded after the daemon started
-are picked up and monitored.
+The daemon degrades rather than dies. Availability failures are routed
+through a per-VM **circuit breaker** (:mod:`repro.core.health`): a VM
+whose introspection keeps failing after the retry budget is tripped
+OPEN — dropped from sweeps and carving, reported via a ``degraded``
+alert — then probed HALF_OPEN after a cool-down, with exponential
+back-off if the probe fails too. The daemon also tracks **pool
+membership** on every cycle: guests created mid-run are admitted (after
+a warm-up walk, so they never vote cold), destroyed guests are evicted,
+and a rebooted guest — whose cached VMI session now points at a dead
+address space — is re-attached and re-warmed before it votes again.
+When churn leaves fewer than ``quorum_floor`` VMs able to vote, the
+cycle emits a degraded alert and suspends integrity checks instead of
+crashing. An optional chaos engine (``chaos=``) is stepped at the top
+of every cycle, which is how the soak tests drive lifecycle churn
+deterministically. The module list is re-discovered every
+``rediscover_every`` cycles (and forcibly on any membership change), so
+modules loaded after the daemon started are picked up and monitored.
 """
 
 from __future__ import annotations
@@ -33,8 +43,11 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
-from ..errors import InsufficientPool, RetryExhausted, TransientFault
-from ..obs import record_daemon_cycle
+from ..errors import (InsufficientPool, IntrospectionFault, RetryExhausted,
+                      TransientFault, VMIInitError)
+from ..obs import (record_breaker_states, record_chaos_stats,
+                   record_daemon_cycle, record_membership)
+from .health import BreakerConfig, HealthRegistry
 from .modchecker import ModChecker
 from .searcher import ModuleSearcher
 
@@ -159,54 +172,128 @@ class CheckDaemon:
     def __init__(self, checker: ModChecker, policy: SchedulingPolicy | None = None,
                  *, interval: float = 60.0, carve: bool = True,
                  quarantine_cycles: int = 3,
-                 rediscover_every: int = 1) -> None:
+                 rediscover_every: int = 1,
+                 quorum_floor: int = 2,
+                 breaker: BreakerConfig | None = None,
+                 chaos=None) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         if quarantine_cycles < 1:
             raise ValueError("quarantine_cycles must be >= 1")
         if rediscover_every < 1:
             raise ValueError("rediscover_every must be >= 1")
+        if quorum_floor < 2:
+            raise ValueError("quorum_floor must be >= 2 (voting needs two)")
         self.checker = checker
         self.policy = policy or RoundRobinPolicy()
         self.interval = interval
         self.carve = carve
         self.quarantine_cycles = quarantine_cycles
         self.rediscover_every = rediscover_every
+        self.quorum_floor = quorum_floor
+        #: stepped once at the top of every cycle when present (any
+        #: object with a ``step()`` — in practice a ChaosEngine)
+        self.chaos = chaos
+        #: per-VM circuit breakers; ``quarantine_cycles`` keeps its old
+        #: meaning as the breaker's base cool-down
+        self.health = HealthRegistry(breaker or BreakerConfig(
+            open_cycles=quarantine_cycles,
+            max_open_cycles=max(32, quarantine_cycles)))
         self.log = AlertLog()
         self.cycles_run = 0
         self._modules: list[str] | None = None
         self._modules_cycle = 0
-        #: VM name -> remaining quarantine cycles
-        self._quarantine: dict[str, int] = {}
+        self._force_rediscover = False
+        #: VMs awaiting a successful warm-up walk before they may vote
+        self._warmup: set[str] = set()
+        #: VM name -> boot generation last seen; seeded from the pool at
+        #: construction so cycle 0 does not treat every VM as new
+        self._seen_generation: dict[str, int] = {
+            d.name: d.boot_generation for d in checker.hv.guests()}
+        #: every membership event observed: (sim time, event, vm) with
+        #: event in {"admit", "evict", "reboot"}
+        self.membership_log: list[tuple[float, str, str]] = []
 
     # -- degradation bookkeeping ---------------------------------------------
 
     @property
     def quarantined(self) -> list[str]:
         """VMs currently excluded from sweeps (sorted for determinism)."""
-        return sorted(self._quarantine)
+        return self.health.open_vms()
 
     def _active_vms(self) -> list[str]:
-        pool = self.checker.pool_vm_names()
-        if not pool:
-            raise InsufficientPool("no guests in the pool to monitor")
-        return [vm for vm in pool if vm not in self._quarantine]
+        """Pool members able to vote: breaker allows, warm-up done."""
+        return [vm for vm in self.checker.pool_vm_names()
+                if self.health.allowed(vm) and vm not in self._warmup]
 
-    def _tick_quarantine(self) -> None:
-        for vm in list(self._quarantine):
-            self._quarantine[vm] -= 1
-            if self._quarantine[vm] <= 0:
-                del self._quarantine[vm]
-
-    def _quarantine_vm(self, vm: str, reason: str,
-                       new_alerts: list[Alert]) -> None:
-        if vm in self._quarantine:
+    def _trip_vm(self, vm: str, reason: str,
+                 new_alerts: list[Alert]) -> None:
+        """Route a failure to the VM's breaker; alert when it trips."""
+        if not self.health.record_failure(vm, reason):
             return
-        self._quarantine[vm] = self.quarantine_cycles
         alert = Alert(self.checker.hv.clock.now, "<pool>", (vm,),
                       (reason,), kind="degraded", degraded=(vm,))
         self.log.add(alert)
         new_alerts.append(alert)
+
+    # -- membership ----------------------------------------------------------
+
+    def _note_membership(self, event: str, vm: str) -> None:
+        self.membership_log.append(
+            (self.checker.hv.clock.now, event, vm))
+        self._force_rediscover = True
+
+    def admit_vm(self, vm: str) -> None:
+        """Add a VM to the monitored pool (it warms up before voting)."""
+        self._seen_generation[vm] = \
+            self.checker.hv.domain(vm).boot_generation
+        self.checker.admit_vm(vm)
+        self._warmup.add(vm)
+        self._note_membership("admit", vm)
+
+    def evict_vm(self, vm: str) -> None:
+        """Remove a VM from the monitored pool and forget its state."""
+        self._seen_generation.pop(vm, None)
+        self._warmup.discard(vm)
+        self.health.evict(vm)
+        self.checker.evict_vm(vm)
+        self._note_membership("evict", vm)
+
+    def _reconcile_membership(self) -> None:
+        """Diff the hypervisor's pool against what we last saw.
+
+        New guests are admitted (→ warm-up), vanished guests evicted,
+        and a changed boot generation means the guest rebooted behind
+        our back: its cached VMI session is stale, so it re-attaches
+        and re-warms before voting again.
+        """
+        current = {d.name: d.boot_generation
+                   for d in self.checker.hv.guests()}
+        for vm in sorted(set(self._seen_generation) - set(current)):
+            self.evict_vm(vm)
+        for vm, generation in current.items():
+            seen = self._seen_generation.get(vm)
+            if seen is None:
+                self.admit_vm(vm)
+            elif generation != seen:
+                self._seen_generation[vm] = generation
+                self.checker.admit_vm(vm)
+                self._warmup.add(vm)
+                self._note_membership("reboot", vm)
+
+    def _warm_up_pending(self, new_alerts: list[Alert]) -> None:
+        """Try to warm every pending VM; failures go to its breaker."""
+        for vm in sorted(self._warmup):
+            if not self.health.allowed(vm):
+                continue        # breaker OPEN: don't even probe
+            try:
+                self.checker.warm_up(vm)
+            except (TransientFault, RetryExhausted, IntrospectionFault,
+                    VMIInitError) as exc:
+                self._trip_vm(vm, f"warm-up failed: {exc}", new_alerts)
+                continue
+            self._warmup.discard(vm)
+            self.health.record_success(vm)
 
     # -- discovery -----------------------------------------------------------
 
@@ -221,7 +308,8 @@ class CheckDaemon:
         known list is reused (or :class:`InsufficientPool` is raised
         when there never was one).
         """
-        stale = (self._modules is None
+        stale = (self._force_rediscover
+                 or self._modules is None
                  or self.cycles_run - self._modules_cycle
                  >= self.rediscover_every)
         if not stale:
@@ -249,6 +337,7 @@ class CheckDaemon:
         if walked:
             self._modules = union
             self._modules_cycle = self.cycles_run
+            self._force_rediscover = False
         if self._modules is None:
             raise InsufficientPool(
                 "module discovery failed on every reachable guest")
@@ -264,11 +353,15 @@ class CheckDaemon:
         new_alerts: list[Alert] = []
         with obs.tracer.span("daemon.cycle",
                              cycle=self.cycles_run) as cycle_span:
-            self._tick_quarantine()
+            if self.chaos is not None:
+                self.chaos.step()
+            self.health.tick()
+            self._reconcile_membership()
+            self._warm_up_pending(new_alerts)
             active = self._active_vms()
-            modules = self._discover_modules(active)
 
-            if len(active) >= 2:
+            if len(active) >= self.quorum_floor:
+                modules = self._discover_modules(active)
                 for module in self.policy.select(self.cycles_run, modules,
                                                  self.log):
                     try:
@@ -277,12 +370,15 @@ class CheckDaemon:
                     except InsufficientPool:
                         continue
                     for vm, reason in sorted(report.degraded.items()):
-                        # Only exhausted retry budgets indicate a sick VM;
-                        # an "unreadable:" reason is a permanent failure of
-                        # this one module (e.g. a decoy entry) — degrade the
-                        # check, keep the VM in the pool.
-                        if reason.startswith("retry-exhausted"):
-                            self._quarantine_vm(vm, reason, new_alerts)
+                        # Exhausted retry budgets and vanished domains
+                        # indicate a sick VM; an "unreadable:" reason is a
+                        # permanent failure of this one module (e.g. a decoy
+                        # entry) — degrade the check, keep the VM voting.
+                        if reason.startswith(("retry-exhausted",
+                                              "unreachable")):
+                            self._trip_vm(vm, reason, new_alerts)
+                    for vm in report.verdicts:
+                        self.health.record_success(vm)
                     alarmed = not report.all_clean
                     if isinstance(self.policy, AdaptivePolicy):
                         self.policy.note_outcome(module, alarmed)
@@ -298,18 +394,36 @@ class CheckDaemon:
                                       degraded=tuple(sorted(report.degraded)))
                         self.log.add(alert)
                         new_alerts.append(alert)
+            elif len(self.checker.pool_vm_names()) > len(active):
+                # Churn (not pool size as provisioned) starved the
+                # quorum: degrade loudly, never crash the service.
+                alert = Alert(clock.now, "<pool>", (),
+                              (f"quorum starved: {len(active)} votable "
+                               f"VM(s), floor is {self.quorum_floor}; "
+                               f"integrity checks suspended",),
+                              kind="degraded",
+                              degraded=tuple(self.health.open_vms()))
+                self.log.add(alert)
+                new_alerts.append(alert)
 
             if self.carve and active:
                 self._carve_sweep(active, new_alerts)
 
             cycle_span.set(alerts=len(new_alerts),
-                           quarantined=len(self._quarantine))
+                           quarantined=len(self.health.open_vms()),
+                           pool=len(active))
         self.cycles_run += 1
         if obs.metrics.enabled:
             record_daemon_cycle(obs.metrics,
                                 duration=clock.now - cycle_start,
                                 alerts=new_alerts,
-                                quarantined=len(self._quarantine))
+                                quarantined=len(self.health.open_vms()))
+            record_breaker_states(obs.metrics, self.health)
+            record_membership(obs.metrics,
+                              pool_size=len(self.checker.pool_vm_names()),
+                              events=self.membership_log)
+            if self.chaos is not None and hasattr(self.chaos, "stats"):
+                record_chaos_stats(obs.metrics, self.chaos.stats)
         clock.advance(self.interval)
         return new_alerts
 
@@ -325,16 +439,16 @@ class CheckDaemon:
         from .crossview import cross_view
         clock = self.checker.hv.clock
         target = active[self.cycles_run % len(active)]
-        vmi = self.checker.vmi_for(target)
-        if self.checker.flush_caches_each_round:
-            vmi.flush_caches()
         try:
+            vmi = self.checker.vmi_for(target)
+            if self.checker.flush_caches_each_round:
+                vmi.flush_caches()
             view = cross_view(vmi)
             identified = self.checker.identify_carved_modules(
                 target, view.carved_only)
-        except (TransientFault, RetryExhausted) as exc:
-            self._quarantine_vm(target, f"carving sweep failed: {exc}",
-                                new_alerts)
+        except (TransientFault, RetryExhausted, VMIInitError) as exc:
+            self._trip_vm(target, f"carving sweep failed: {exc}",
+                          new_alerts)
             return
         for carved, name in identified:
             alert = Alert(clock.now, name or f"<unknown@{carved.base:#x}>",

@@ -1,0 +1,198 @@
+"""Per-VM circuit breakers: principled degradation bookkeeping.
+
+PR 1 taught the daemon to *quarantine* a VM whose introspection kept
+failing — a bare ``{vm: cycles_left}`` counter. Under lifecycle churn
+that is not enough: a VM can fail, recover, and fail again (flapping),
+and re-admitting a still-sick VM at full trust makes every sweep pay
+its retry budget again. This module replaces the counter with the
+standard circuit-breaker state machine:
+
+``CLOSED``
+    healthy — the VM votes in every sweep; consecutive failures are
+    counted, and at ``fail_threshold`` the breaker **trips**;
+``OPEN``
+    excluded — the VM is dropped from sweeps for ``open_cycles``
+    daemon cycles (no introspection attempts at all, so a blacked-out
+    domain costs nothing);
+``HALF_OPEN``
+    probing — the cool-down expired; the VM is admitted again, but one
+    more failure re-opens the breaker with an exponentially longer
+    cool-down (``backoff_factor``, capped at ``max_open_cycles``),
+    while ``probe_successes`` clean results close it fully.
+
+The state machine is deliberately clock-free: it advances on *daemon
+cycles* (one :meth:`CircuitBreaker.tick` per cycle), so breaker
+behaviour is a pure function of the observed failure sequence and the
+whole schedule stays deterministic under the simulated clock.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["BreakerState", "BreakerConfig", "CircuitBreaker",
+           "HealthRegistry"]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds for one VM's breaker (cycles, not seconds)."""
+
+    #: consecutive failures (while CLOSED) before tripping
+    fail_threshold: int = 1
+    #: cycles a tripped breaker stays OPEN before probing
+    open_cycles: int = 3
+    #: clean probes needed to close a HALF_OPEN breaker
+    probe_successes: int = 1
+    #: each re-trip from HALF_OPEN multiplies the next cool-down
+    backoff_factor: float = 2.0
+    #: cool-down ceiling, so a dead VM is still probed occasionally
+    max_open_cycles: int = 32
+
+    def __post_init__(self) -> None:
+        if self.fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if self.open_cycles < 1:
+            raise ValueError("open_cycles must be >= 1")
+        if self.probe_successes < 1:
+            raise ValueError("probe_successes must be >= 1")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_open_cycles < self.open_cycles:
+            raise ValueError("max_open_cycles must be >= open_cycles")
+
+
+class CircuitBreaker:
+    """One VM's failure state machine (see module docstring)."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config or BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.open_left = 0          # cycles of cool-down remaining
+        self._failures = 0          # consecutive, while CLOSED
+        self._probes_ok = 0         # clean probes, while HALF_OPEN
+        self._retrip_level = 0      # how many times HALF_OPEN re-opened
+        #: lifetime transition counters, keyed by entered state
+        self.transitions: dict[str, int] = {
+            s.value: 0 for s in BreakerState}
+        self.last_reason: str | None = None
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker({self.state.value}, "
+                f"open_left={self.open_left})")
+
+    @property
+    def allowed(self) -> bool:
+        """May the daemon introspect this VM right now?"""
+        return self.state is not BreakerState.OPEN
+
+    def _enter(self, state: BreakerState) -> None:
+        self.state = state
+        self.transitions[state.value] += 1
+
+    def _cooldown(self) -> int:
+        cfg = self.config
+        cycles = cfg.open_cycles * cfg.backoff_factor ** self._retrip_level
+        return min(int(cycles), cfg.max_open_cycles)
+
+    # -- events --------------------------------------------------------------
+
+    def tick(self) -> None:
+        """One daemon cycle elapsed; advance an OPEN cool-down."""
+        if self.state is BreakerState.OPEN:
+            self.open_left -= 1
+            if self.open_left <= 0:
+                self.open_left = 0
+                self._probes_ok = 0
+                self._enter(BreakerState.HALF_OPEN)
+
+    def record_failure(self, reason: str = "") -> bool:
+        """An introspection failure; returns True when this trips OPEN."""
+        self.last_reason = reason or None
+        if self.state is BreakerState.OPEN:
+            return False
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: back off harder before the next one.
+            self._retrip_level += 1
+            self.open_left = self._cooldown()
+            self._enter(BreakerState.OPEN)
+            return True
+        self._failures += 1
+        if self._failures >= self.config.fail_threshold:
+            self._failures = 0
+            self.open_left = self._cooldown()
+            self._enter(BreakerState.OPEN)
+            return True
+        return False
+
+    def record_success(self) -> bool:
+        """A clean check; returns True when this closes the breaker."""
+        if self.state is BreakerState.CLOSED:
+            self._failures = 0
+            return False
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_ok += 1
+            if self._probes_ok >= self.config.probe_successes:
+                self._failures = 0
+                self._probes_ok = 0
+                self._retrip_level = 0
+                self.last_reason = None
+                self._enter(BreakerState.CLOSED)
+                return True
+        return False
+
+
+class HealthRegistry:
+    """The daemon's view of pool health: one breaker per known VM."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config or BreakerConfig()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, vm: str) -> CircuitBreaker:
+        b = self._breakers.get(vm)
+        if b is None:
+            b = CircuitBreaker(self.config)
+            self._breakers[vm] = b
+        return b
+
+    def evict(self, vm: str) -> None:
+        """Forget a VM (destroyed / removed from the pool)."""
+        self._breakers.pop(vm, None)
+
+    def tick(self) -> None:
+        """Advance every breaker by one daemon cycle."""
+        for b in self._breakers.values():
+            b.tick()
+
+    def allowed(self, vm: str) -> bool:
+        b = self._breakers.get(vm)
+        return b is None or b.allowed
+
+    def record_failure(self, vm: str, reason: str = "") -> bool:
+        return self.breaker(vm).record_failure(reason)
+
+    def record_success(self, vm: str) -> bool:
+        return self.breaker(vm).record_success()
+
+    def open_vms(self) -> list[str]:
+        """VMs currently excluded (sorted for determinism)."""
+        return sorted(vm for vm, b in self._breakers.items()
+                      if b.state is BreakerState.OPEN)
+
+    def states(self) -> dict[str, BreakerState]:
+        """Current state per known VM (sorted by name)."""
+        return {vm: self._breakers[vm].state
+                for vm in sorted(self._breakers)}
+
+    def transition_counts(self) -> dict[str, dict[str, int]]:
+        """Lifetime transition counters per VM, for metrics export."""
+        return {vm: dict(self._breakers[vm].transitions)
+                for vm in sorted(self._breakers)}

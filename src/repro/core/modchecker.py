@@ -19,15 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
-from ..errors import (InsufficientPool, IntrospectionFault,
-                      ModuleNotLoadedError, RetryExhausted, TransientFault)
+from ..errors import (DomainNotFound, InsufficientPool, IntrospectionFault,
+                      ModuleNotLoadedError, RetryExhausted, TransientFault,
+                      VMIInitError)
 from ..hypervisor.xen import Hypervisor
 from ..obs import (NULL_OBS, Observability, record_fault_stats,
                    record_pool_report, record_stage_timings,
                    record_vmi_instance)
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..perf.timing import ComponentTimings
-from ..vmi.core import VMIInstance
+from ..vmi.core import VMIInstance, VMIStats
 from ..vmi.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..vmi.symbols import OSProfile
 from .integrity import IntegrityChecker
@@ -100,6 +101,10 @@ class ModChecker:
         self.retry = retry
         self.obs = obs
         self._vmis: dict[str, VMIInstance] = {}
+        #: per-VM counters folded in from retired sessions, so the
+        #: cumulative VMI metrics survive re-attach (reboot churn)
+        #: without ever running backwards
+        self._vmi_stats_base: dict[str, "VMIStats"] = {}
         self.parser = ModuleParser(cost_model=cost_model,
                                    charge=self._charge, obs=obs)
         self.checker = IntegrityChecker(rva_mode=rva_mode,
@@ -112,8 +117,20 @@ class ModChecker:
 
     # -- VMI session management ------------------------------------------------------
 
+    def _retire_vmi(self, vm_name: str) -> None:
+        """Drop a session, preserving its counters for the metrics."""
+        vmi = self._vmis.pop(vm_name, None)
+        if vmi is None:
+            return
+        base = self._vmi_stats_base.setdefault(vm_name, VMIStats())
+        for name, value in vars(vmi.stats).items():
+            setattr(base, name, getattr(base, name) + value)
+
     def vmi_for(self, vm_name: str) -> VMIInstance:
         vmi = self._vmis.get(vm_name)
+        if vmi is not None and self._vmi_stale(vm_name, vmi):
+            self._retire_vmi(vm_name)
+            vmi = None
         if vmi is None:
             vmi = VMIInstance(self.hv, vm_name, self.profile,
                               cost_model=self.costs,
@@ -121,6 +138,45 @@ class ModChecker:
                               retry=self.retry, obs=self.obs)
             self._vmis[vm_name] = vmi
         return vmi
+
+    def _vmi_stale(self, vm_name: str, vmi: VMIInstance) -> bool:
+        """A cached session is stale when its guest rebooted (the CR3
+        and page tables it captured at attach are gone) or the name now
+        resolves to a different domain (destroy + create)."""
+        try:
+            domain = self.hv.domain(vm_name)
+        except DomainNotFound:
+            return True     # re-attach will raise VMIInitError cleanly
+        return (domain is not vmi.domain
+                or domain.boot_generation != vmi.boot_generation)
+
+    # -- pool membership -------------------------------------------------------
+
+    def admit_vm(self, vm_name: str) -> None:
+        """A VM joined (or re-joined) the pool: drop any stale session.
+
+        The next :meth:`vmi_for` re-attaches against the domain's
+        current boot generation.
+        """
+        self._retire_vmi(vm_name)
+
+    def evict_vm(self, vm_name: str) -> None:
+        """A VM left the pool: release its introspection session."""
+        self._retire_vmi(vm_name)
+
+    def warm_up(self, vm_name: str) -> list[str]:
+        """Prime a (re-)admitted VM before it votes in any quorum.
+
+        Re-attaches the VMI session and walks the full loaded-module
+        list once, so translation/page caches are warm and a guest that
+        cannot even be walked fails *here* — in the membership path,
+        where the daemon routes it to the circuit breaker — rather than
+        poisoning a sweep. Returns the module names seen.
+        """
+        vmi = self.vmi_for(vm_name)
+        if self.flush_caches_each_round:
+            vmi.flush_caches()
+        return [e.name for e in ModuleSearcher(vmi).list_modules()]
 
     # -- observability ---------------------------------------------------------
 
@@ -134,7 +190,8 @@ class ModChecker:
         if report is not None:
             record_pool_report(metrics, report, module=module_name)
         for vm_name, vmi in self._vmis.items():
-            record_vmi_instance(metrics, vm_name, vmi)
+            record_vmi_instance(metrics, vm_name, vmi,
+                                base=self._vmi_stats_base.get(vm_name))
         injector = getattr(self.hv, "fault_injector", None)
         if injector is not None:
             record_fault_stats(metrics, injector.stats)
@@ -164,7 +221,14 @@ class ModChecker:
         with self.obs.tracer.span("modchecker.fetch", module=module_name,
                                   vms=len(vm_names)) as fetch_span:
             for vm_name in vm_names:
-                vmi = self.vmi_for(vm_name)
+                try:
+                    vmi = self.vmi_for(vm_name)
+                except VMIInitError as exc:
+                    # The domain vanished between membership reconcile
+                    # and this sweep (destroy races the check cycle).
+                    failed[vm_name] = f"unreachable: {exc}"
+                    per_vm[vm_name] = 0.0
+                    continue
                 if self.flush_caches_each_round:
                     vmi.flush_caches()
                 searcher = ModuleSearcher(vmi)

@@ -30,6 +30,12 @@ MAX_LIST_WALK = 1024
 #: Bound on a single module image; a corrupted SizeOfImage must not
 #: make Dom0 copy gigabytes.
 MAX_IMAGE_BYTES = 64 * 1024 * 1024
+#: Copy granularity for images larger than one chunk. Every catalog
+#: module fits in a single chunk, so the common case remains one
+#: ``read_va`` call (byte-identical cost accounting); a hostile
+#: SizeOfImage claim under the cap pays for at most one chunk of page
+#: reads before the first unbacked VA faults the copy.
+COPY_CHUNK_BYTES = 4 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -150,7 +156,30 @@ class ModuleSearcher:
                 raise IntrospectionFault(
                     f"{module_name}: implausible SizeOfImage "
                     f"{entry.size_of_image:#x}")
-            image = self.vmi.read_va(entry.dll_base, entry.size_of_image)
+            image = self._read_image(entry)
             span.set(bytes=len(image))
         return ModuleCopy(self.vmi.domain.name, entry.name, entry.dll_base,
                           image, entry.ldr_entry_va)
+
+    def _read_image(self, entry: ModuleListEntry) -> bytes:
+        """Copy ``SizeOfImage`` bytes from ``DllBase``, chunked.
+
+        A guest-controlled size that passed the plausibility cap can
+        still vastly overstate the mapped image; chunking means Dom0
+        commits to at most :data:`COPY_CHUNK_BYTES` of page reads
+        before the first unbacked VA aborts the copy with a clean
+        :class:`IntrospectionFault`.
+        """
+        size = entry.size_of_image
+        if size <= COPY_CHUNK_BYTES:
+            return self.vmi.read_va(entry.dll_base, size)
+        parts: list[bytes] = []
+        for off in range(0, size, COPY_CHUNK_BYTES):
+            n = min(COPY_CHUNK_BYTES, size - off)
+            try:
+                parts.append(self.vmi.read_va(entry.dll_base + off, n))
+            except IntrospectionFault as exc:
+                raise IntrospectionFault(
+                    f"{entry.name}: SizeOfImage {size:#x} is not backed "
+                    f"past offset {off:#x}: {exc}") from exc
+        return b"".join(parts)

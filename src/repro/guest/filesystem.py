@@ -72,3 +72,13 @@ class GuestFilesystem:
     def drivers(self) -> list[str]:
         n = len(DRIVER_DIR) + 1
         return [p[n:] for p in self.listdir(DRIVER_DIR + "/")]
+
+    def drivers_installed(self) -> list[str]:
+        """Driver names in *install* order (= the kernel's load order).
+
+        ``drivers()`` sorts for display; reboot must reload in install
+        order because exporters (ntoskrnl, hal) precede their importers.
+        """
+        prefix = DRIVER_DIR + "/"
+        n = len(prefix)
+        return [p[n:] for p in self._files if p.startswith(prefix)]

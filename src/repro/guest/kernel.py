@@ -52,6 +52,10 @@ class GuestKernel:
     symbols: dict[str, int] = field(init=False, default_factory=dict)
     modules: dict[str, LoadedModule] = field(init=False, default_factory=dict)
     booted: bool = field(init=False, default=False)
+    #: how many times this kernel has booted (0 = first boot); each
+    #: reboot re-randomises module placement from a generation-derived
+    #: seed, so the whole boot history is a pure function of the seed
+    generation: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         try:
@@ -63,9 +67,16 @@ class GuestKernel:
         self.memory = PhysicalMemory(self.ram_bytes)
         self.fs = GuestFilesystem()
         self.aspace = KernelAddressSpace(
-            self.memory,
-            seed=derive_seed(self.seed, "aspace", self.name),
+            self.memory, seed=self._aspace_seed(),
             randomize_module_bases=self.randomize_module_bases)
+
+    def _aspace_seed(self) -> int:
+        """Per-boot address-space seed: generation 0 keeps the original
+        derivation, so pre-existing layouts are bit-identical."""
+        tags = ["aspace", self.name]
+        if self.generation:
+            tags.append(f"gen{self.generation}")
+        return derive_seed(self.seed, *tags)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -89,6 +100,34 @@ class GuestKernel:
         self.loader = ModuleLoader(self.aspace, head_va, self.layout)
         self.booted = True
         for name in (catalog or {}):
+            self.load_module_from_disk(name)
+
+    def reboot(self) -> None:
+        """Power-cycle the guest: fresh memory, modules reload from disk.
+
+        Memory and page tables are rebuilt from scratch and every driver
+        present on the guest's *own disk* is loaded again through the
+        normal loader path — at new randomised bases (the per-boot
+        seed), exactly like a real restart. Disk contents survive, so a
+        disk-level infection survives the reboot too (the paper's
+        "modified hal.dll was loaded into memory upon system restart").
+        The kernel-globals page is the first fixed allocation of every
+        boot, so ``PsLoadedModuleList`` keeps its VA and the OS profile
+        stays valid across generations.
+        """
+        if not self.booted:
+            raise RuntimeError("boot() first")
+        drivers = self.fs.drivers_installed()
+        self.generation += 1
+        self.memory = PhysicalMemory(self.ram_bytes)
+        self.aspace = KernelAddressSpace(
+            self.memory, seed=self._aspace_seed(),
+            randomize_module_bases=self.randomize_module_bases)
+        self.symbols = {}
+        self.modules = {}
+        self.booted = False
+        self.boot(None)                      # disk already holds the files
+        for name in drivers:
             self.load_module_from_disk(name)
 
     @property

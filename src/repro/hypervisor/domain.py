@@ -26,8 +26,21 @@ class DomainKind(enum.Enum):
 
 
 class DomainState(enum.Enum):
+    """Lifecycle states (the chaos engine drives the transitions).
+
+    ``RUNNING → PAUSED → RUNNING`` is a freeze window: the guest makes
+    no progress but its frames stay mapped, so introspection *still
+    works* (a paused domain is the easiest one to read). ``MIGRATING``
+    is a live-migration blackout: frames are in flight between hosts
+    and every introspection read fails with
+    :class:`~repro.errors.DomainUnreachable` until the migration
+    finishes. ``SHUTDOWN`` is terminal-but-present (destroy removes the
+    domain entirely).
+    """
+
     RUNNING = "running"
     PAUSED = "paused"
+    MIGRATING = "migrating"
     SHUTDOWN = "shutdown"
 
 
@@ -55,6 +68,27 @@ class Domain:
     @property
     def is_guest(self) -> bool:
         return self.kind is DomainKind.DOMU
+
+    @property
+    def boot_generation(self) -> int:
+        """How many times this domain has (re)booted (0 = first boot).
+
+        A rebooted guest reloads every module at fresh bases and gets
+        fresh page tables, so introspection sessions key their validity
+        on this counter: a cached VMI attach whose generation no longer
+        matches must re-attach before reading.
+        """
+        return self.kernel.generation if self.kernel is not None else 0
+
+    @property
+    def introspectable(self) -> bool:
+        """True when guest reads can succeed right now.
+
+        PAUSED is deliberately included: a paused domain's memory is a
+        frozen, perfectly readable snapshot.
+        """
+        return self.is_guest and self.state in (DomainState.RUNNING,
+                                                DomainState.PAUSED)
 
     @property
     def runnable_vcpus(self) -> float:

@@ -34,7 +34,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-from ..errors import DomainUnreachable, PagedOutFault, TransientFault
+from ..errors import (DomainNotFound, DomainUnreachable, PagedOutFault,
+                      TransientFault)
 from ..mem.physical import PAGE_SIZE
 from ..rng import derive_seed, make_rng
 from .xen import Hypervisor
@@ -224,7 +225,13 @@ class FaultInjector:
     def _gate(self, key: int | str, frame_no: int) -> bool:
         """Shared fault gate; returns True when the read must be torn."""
         assert self._hv is not None
-        domain = self._hv.domain(key)
+        try:
+            domain = self._hv.domain(key)
+        except DomainNotFound as exc:
+            # Same contract as the pristine read path: a destroyed
+            # domain is unreachable, not a lookup error.
+            raise DomainUnreachable(
+                f"domain {key!r} is destroyed or was never created") from exc
         if not domain.is_guest or not self._targets(domain.name):
             return False
         self.stats.reads += 1

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import copy
 
-from ..errors import DomainNotFound, DomainStateError
+from ..errors import DomainNotFound, DomainStateError, DomainUnreachable
 from ..guest.kernel import GuestKernel
 from ..pe.builder import DriverBlueprint
 from ..rng import derive_seed
@@ -99,12 +99,56 @@ class Hypervisor:
         return [d for d in self._domains.values() if d.is_guest]
 
     def pause(self, key: int | str) -> None:
-        self.domain(key).state = DomainState.PAUSED
+        domain = self.domain(key)
+        if domain.state is DomainState.MIGRATING:
+            raise DomainStateError(f"{domain.name} is mid-migration")
+        if domain.state is DomainState.SHUTDOWN:
+            raise DomainStateError(f"{domain.name} is shut down")
+        domain.state = DomainState.PAUSED
 
     def unpause(self, key: int | str) -> None:
         domain = self.domain(key)
         if domain.state is DomainState.SHUTDOWN:
             raise DomainStateError(f"{domain.name} is shut down")
+        if domain.state is DomainState.MIGRATING:
+            raise DomainStateError(f"{domain.name} is mid-migration")
+        domain.state = DomainState.RUNNING
+
+    def reboot(self, key: int | str) -> Domain:
+        """Power-cycle a guest: modules reload at fresh bases.
+
+        The guest kernel rebuilds its memory from its own disk (see
+        :meth:`GuestKernel.reboot`), bumping the domain's
+        ``boot_generation`` so cached introspection sessions know to
+        re-attach. A paused guest may be rebooted (it comes back
+        RUNNING); one that is mid-migration may not.
+        """
+        domain = self.domain(key)
+        if not domain.is_guest:
+            raise DomainStateError("cannot reboot Dom0")
+        if domain.state is DomainState.MIGRATING:
+            raise DomainStateError(f"{domain.name} is mid-migration")
+        assert domain.kernel is not None
+        domain.kernel.reboot()
+        domain.state = DomainState.RUNNING
+        return domain
+
+    def migrate_start(self, key: int | str) -> None:
+        """Begin a live migration: the domain enters a read blackout."""
+        domain = self.domain(key)
+        if not domain.is_guest:
+            raise DomainStateError("cannot migrate Dom0")
+        if domain.state is not DomainState.RUNNING:
+            raise DomainStateError(
+                f"{domain.name} is {domain.state.value}; only a running "
+                f"domain can start migrating")
+        domain.state = DomainState.MIGRATING
+
+    def migrate_finish(self, key: int | str) -> None:
+        """Complete a live migration: the domain is reachable again."""
+        domain = self.domain(key)
+        if domain.state is not DomainState.MIGRATING:
+            raise DomainStateError(f"{domain.name} is not migrating")
         domain.state = DomainState.RUNNING
 
     def destroy(self, key: int | str) -> None:
@@ -157,24 +201,37 @@ class Hypervisor:
         assert domain.kernel is not None
         return domain.kernel.cr3
 
-    def read_guest_frame(self, key: int | str, frame_no: int) -> bytes:
-        """Map one guest frame read-only into Dom0 (4 KiB byte copy)."""
-        domain = self.domain(key)
+    def _introspectable_kernel(self, key: int | str) -> GuestKernel:
+        """Resolve the target of a guest read, or fail *consistently*.
+
+        Every read path shares these semantics: a PAUSED domain reads
+        fine (its memory is a frozen snapshot); a MIGRATING or SHUTDOWN
+        domain — and one that was destroyed outright — raises
+        :class:`~repro.errors.DomainUnreachable`, the retryable fault
+        the VMI stack already degrades on, never a raw lookup error.
+        """
+        try:
+            domain = self.domain(key)
+        except DomainNotFound as exc:
+            raise DomainUnreachable(
+                f"domain {key!r} is destroyed or was never created") from exc
         if not domain.is_guest:
             raise DomainStateError(f"{domain.name} is not introspectable")
-        if domain.state is DomainState.SHUTDOWN:
-            raise DomainStateError(f"{domain.name} is shut down")
+        if not domain.introspectable:
+            raise DomainUnreachable(
+                f"{domain.name} is {domain.state.value}; guest frames are "
+                f"not mapped")
         assert domain.kernel is not None
-        return domain.kernel.memory.read_frame(frame_no)
+        return domain.kernel
+
+    def read_guest_frame(self, key: int | str, frame_no: int) -> bytes:
+        """Map one guest frame read-only into Dom0 (4 KiB byte copy)."""
+        return self._introspectable_kernel(key).memory.read_frame(frame_no)
 
     def read_guest_physical(self, key: int | str, paddr: int,
                             length: int) -> bytes:
         """Arbitrary physical-range read (libvmi's ``read_pa``)."""
-        domain = self.domain(key)
-        if not domain.is_guest:
-            raise DomainStateError(f"{domain.name} is not introspectable")
-        assert domain.kernel is not None
-        return domain.kernel.memory.read(paddr, length)
+        return self._introspectable_kernel(key).memory.read(paddr, length)
 
     # -- CPU accounting ---------------------------------------------------------------
 

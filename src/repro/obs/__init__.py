@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..hypervisor.clock import SimClock
-from .bridge import (STAGES, record_daemon_cycle, record_fault_stats,
+from .bridge import (BREAKER_STATE_VALUES, STAGES, record_breaker_states,
+                     record_chaos_stats, record_daemon_cycle,
+                     record_fault_stats, record_membership,
                      record_pool_report, record_stage_timings,
                      record_vmi_instance)
 from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter, Gauge,
@@ -32,8 +34,10 @@ __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SPAN_NAMES",
     "MetricsRegistry", "NullMetrics", "NULL_METRICS",
     "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
-    "STAGES", "record_stage_timings", "record_pool_report",
-    "record_vmi_instance", "record_fault_stats", "record_daemon_cycle",
+    "STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
+    "record_pool_report", "record_vmi_instance", "record_fault_stats",
+    "record_daemon_cycle", "record_breaker_states", "record_membership",
+    "record_chaos_stats",
 ]
 
 

@@ -24,6 +24,11 @@ gate all speak the same names:
 ``modchecker_daemon_cycle_seconds``          histo   (none)
 ``modchecker_daemon_alerts_total``           counter ``kind``
 ``modchecker_daemon_quarantined``            gauge   (none)
+``modchecker_breaker_state``                 gauge   ``vm``
+``modchecker_breaker_transitions_total``     counter ``vm``, ``state``
+``modchecker_pool_size``                     gauge   (none)
+``modchecker_membership_events_total``       counter ``event``
+``modchecker_chaos_events_total``            counter ``kind``
 ===========================================  ======  ========================
 
 Cumulative sources are published with :meth:`Counter.set_to` (they
@@ -38,9 +43,11 @@ from __future__ import annotations
 
 from ..perf.timing import ComponentTimings
 
-__all__ = ["STAGES", "record_stage_timings", "record_pool_report",
-           "record_vmi_instance", "record_fault_stats",
-           "record_daemon_cycle"]
+__all__ = ["STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
+           "record_pool_report", "record_vmi_instance",
+           "record_fault_stats", "record_daemon_cycle",
+           "record_breaker_states", "record_membership",
+           "record_chaos_stats"]
 
 #: The pipeline stages of the Fig. 7/8 breakdown.
 STAGES = ("searcher", "parser", "checker")
@@ -81,9 +88,18 @@ def record_pool_report(metrics, report, module: str | None = None) -> None:
         degraded.inc(vm=vm, category=category)
 
 
-def record_vmi_instance(metrics, vm_name: str, vmi) -> None:
-    """VMIStats + cache state for one introspection session."""
+def record_vmi_instance(metrics, vm_name: str, vmi, base=None) -> None:
+    """VMIStats + cache state for one introspection session.
+
+    ``base`` carries the folded counters of earlier sessions on the
+    same VM (the checker re-attaches after a reboot); adding it keeps
+    the cumulative series monotonic across session restarts.
+    """
     stats = vmi.stats
+    if base is not None:
+        stats = type(stats)(**{
+            name: getattr(base, name) + value
+            for name, value in vars(stats).items()})
     metrics.counter(
         "modchecker_vmi_pages_mapped_total",
         "Foreign guest frames mapped into Dom0").set_to(
@@ -148,3 +164,53 @@ def record_daemon_cycle(metrics, *, duration: float, alerts,
     metrics.gauge(
         "modchecker_daemon_quarantined",
         "VMs currently quarantined").set(quarantined)
+
+
+#: Numeric encoding of circuit-breaker states for the state gauge
+#: (ordered by severity so dashboards can threshold on it).
+BREAKER_STATE_VALUES = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def record_breaker_states(metrics, health) -> None:
+    """HealthRegistry -> per-VM breaker state + transition counters."""
+    state_gauge = metrics.gauge(
+        "modchecker_breaker_state",
+        "Circuit breaker state per VM (0=closed, 1=half-open, 2=open)")
+    for vm, state in health.states().items():
+        state_gauge.set(BREAKER_STATE_VALUES[state.value], vm=vm)
+    transitions = metrics.counter(
+        "modchecker_breaker_transitions_total",
+        "Circuit breaker transitions by entered state")
+    for vm, counts in health.transition_counts().items():
+        for state, count in sorted(counts.items()):
+            transitions.set_to(count, vm=vm, state=state)
+
+
+def record_membership(metrics, *, pool_size: int, events) -> None:
+    """Pool membership: current size plus the cumulative event log.
+
+    ``events`` is the daemon's ``membership_log`` — (time, event, vm)
+    tuples; being cumulative, it is published with ``set_to``.
+    """
+    metrics.gauge(
+        "modchecker_pool_size",
+        "Guests currently in the monitored pool").set(pool_size)
+    totals: dict[str, int] = {}
+    for _, event, _ in events:
+        totals[event] = totals.get(event, 0) + 1
+    counter = metrics.counter(
+        "modchecker_membership_events_total",
+        "Pool membership events by kind")
+    for event, count in sorted(totals.items()):
+        counter.set_to(count, event=event)
+
+
+def record_chaos_stats(metrics, chaos_stats) -> None:
+    """ChaosStats -> lifecycle-churn counters, one series per kind."""
+    counter = metrics.counter(
+        "modchecker_chaos_events_total",
+        "Lifecycle chaos events applied by kind")
+    stats = chaos_stats.as_dict()
+    for kind in ("reboots", "pauses", "unpauses", "migrations",
+                 "migrations_finished", "destroys", "creates"):
+        counter.set_to(stats[kind], kind=kind)

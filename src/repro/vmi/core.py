@@ -84,6 +84,10 @@ class VMIInstance:
         self.page_cache = PageCache()
         self.stats = VMIStats()
         self.cr3 = hypervisor.guest_cr3(domain_key)
+        #: the guest's boot generation at attach time; a reboot swaps
+        #: the whole address space (new CR3, new page tables), so any
+        #: session with a stale generation must be re-attached
+        self.boot_generation = self.domain.boot_generation
 
     # -- caches ---------------------------------------------------------------
 

@@ -1,0 +1,139 @@
+"""Unit tests for the seeded lifecycle chaos engine."""
+
+import pytest
+
+from repro.cloud import ChaosConfig, ChaosEngine, build_testbed
+from repro.cloud.chaos import CHURN_SPLIT
+from repro.hypervisor.domain import DomainState
+
+
+class TestChaosConfig:
+    def test_defaults_are_quiet(self):
+        assert not ChaosConfig().any_churn
+
+    @pytest.mark.parametrize("kwargs", [
+        {"reboot_rate": -0.1},
+        {"pause_rate": 1.5},
+        {"pause_duration": -1.0},
+        {"reboot_rate": 0.5, "pause_rate": 0.3, "migrate_rate": 0.3},
+        {"min_pool": 5, "max_pool": 3},
+        {"min_pool": -1},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosConfig(**kwargs)
+
+    def test_from_churn_rate_splits_budget(self):
+        cfg = ChaosConfig.from_churn_rate(0.2)
+        for kind, share in CHURN_SPLIT.items():
+            assert getattr(cfg, f"{kind}_rate") == pytest.approx(0.2 * share)
+        assert cfg.any_churn
+
+    def test_from_churn_rate_overrides(self):
+        cfg = ChaosConfig.from_churn_rate(0.2, destroy_rate=0.0, min_pool=4)
+        assert cfg.destroy_rate == 0.0
+        assert cfg.min_pool == 4
+
+    def test_from_churn_rate_range_checked(self):
+        with pytest.raises(ValueError):
+            ChaosConfig.from_churn_rate(1.2)
+
+
+def _engine(n_vms=4, seed=42, churn=0.5, **overrides):
+    tb = build_testbed(n_vms, seed=seed)
+    cfg = ChaosConfig.from_churn_rate(churn, **overrides)
+    return tb, ChaosEngine(tb.hypervisor, cfg, seed=seed,
+                           catalog=tb.catalog)
+
+
+class TestChaosEngine:
+    def test_trace_is_pure_function_of_seed(self):
+        def run(seed):
+            tb, engine = _engine(seed=seed)
+            for _ in range(10):
+                engine.step()
+                tb.hypervisor.clock.advance(60.0)
+            return ([str(e) for e in engine.trace],
+                    engine.stats.as_dict(),
+                    sorted(d.name for d in tb.hypervisor.guests()))
+
+        assert run(11) == run(11)
+        assert run(11) != run(12)
+
+    def test_destroy_respects_min_pool(self):
+        tb, engine = _engine(n_vms=3, churn=0.9, reboot_rate=0.0,
+                             pause_rate=0.0, migrate_rate=0.0,
+                             destroy_rate=0.9, create_rate=0.0, min_pool=2)
+        for _ in range(30):
+            engine.step()
+        assert len(tb.hypervisor.guests()) == 2
+
+    def test_create_respects_max_pool(self):
+        tb, engine = _engine(n_vms=2, churn=0.0, create_rate=1.0,
+                             max_pool=4)
+        for _ in range(10):
+            engine.step()
+        assert len(tb.hypervisor.guests()) == 4
+        assert engine.stats.creates == 2
+
+    def test_pause_window_closes_on_schedule(self):
+        tb, engine = _engine(churn=0.0, pause_rate=1.0, pause_duration=90.0)
+        engine.step()
+        paused = [d.name for d in tb.hypervisor.guests()
+                  if d.state is DomainState.PAUSED]
+        assert paused == [d.name for d in tb.hypervisor.guests()]
+        engine.config = ChaosConfig()       # stop new churn; watch windows
+        tb.hypervisor.clock.advance(30.0)
+        engine.step()                       # 30s in: window still open
+        assert all(d.state is DomainState.PAUSED
+                   for d in tb.hypervisor.guests())
+        tb.hypervisor.clock.advance(61.0)
+        engine.step()                       # 91s in: everyone unpaused
+        assert all(d.state is DomainState.RUNNING
+                   for d in tb.hypervisor.guests())
+        assert engine.stats.unpauses == engine.stats.pauses
+
+    def test_migration_blackout_closes_on_schedule(self):
+        tb, engine = _engine(churn=0.0, migrate_rate=1.0,
+                             migrate_duration=150.0)
+        engine.step()
+        assert all(d.state is DomainState.MIGRATING
+                   for d in tb.hypervisor.guests())
+        engine.config = ChaosConfig()       # stop new churn; watch windows
+        tb.hypervisor.clock.advance(151.0)
+        engine.step()
+        assert all(d.state is DomainState.RUNNING
+                   for d in tb.hypervisor.guests())
+        assert engine.stats.migrations_finished == engine.stats.migrations
+
+    def test_reboot_event_bumps_generation(self):
+        tb, engine = _engine(churn=0.0, reboot_rate=1.0)
+        gens = {d.name: d.boot_generation for d in tb.hypervisor.guests()}
+        engine.step()
+        for domain in tb.hypervisor.guests():
+            assert domain.boot_generation == gens[domain.name] + 1
+        assert engine.stats.reboots == len(gens)
+
+    def test_only_domains_scopes_churn(self):
+        tb, engine = _engine(churn=0.0, reboot_rate=1.0,
+                             only_domains=(build_testbed(1, seed=42)
+                                           .vm_names[0],))
+        target = engine.config.only_domains[0]
+        gens = {d.name: d.boot_generation for d in tb.hypervisor.guests()}
+        engine.step()
+        for domain in tb.hypervisor.guests():
+            expected = gens[domain.name] + (1 if domain.name == target else 0)
+            assert domain.boot_generation == expected
+
+    def test_created_guests_are_deterministically_seeded(self):
+        def created_bases():
+            tb, engine = _engine(n_vms=2, churn=0.0, create_rate=1.0)
+            engine.step()
+            kernel = tb.hypervisor.domain("Chaos1").kernel
+            return {name: mod.base for name, mod in kernel.modules.items()}
+
+        assert created_bases() == created_bases()
+
+    def test_engine_registers_on_hypervisor(self):
+        tb, engine = _engine()
+        assert tb.hypervisor.chaos_engine is engine

@@ -139,12 +139,21 @@ class TestDaemonQuarantine:
         # the cross-view sweep still exposes the decoy for what it is
         assert any(a.kind == "decoy-entry" for a in daemon.log.alerts)
 
-    def test_all_vms_unreachable_raises(self):
+    def test_all_vms_unreachable_degrades_not_crashes(self):
+        # Every breaker OPEN → the quorum is starved; the service must
+        # report that and keep running, not die on InsufficientPool.
         tb = build_testbed(3, seed=SEED)
         daemon = self._daemon(tb)
-        daemon._quarantine = {vm: 99 for vm in tb.vm_names}
-        with pytest.raises(InsufficientPool):
-            daemon.run_cycle()
+        for vm in tb.vm_names:
+            daemon.health.breaker(vm).record_failure("forced")
+            daemon.health.breaker(vm).open_left = 99
+        alerts = daemon.run_cycle()
+        assert daemon.quarantined == sorted(tb.vm_names)
+        assert [a.kind for a in alerts] == ["degraded"]
+        assert "quorum starved" in alerts[0].regions[0]
+        # next cycles keep degrading without ever raising
+        daemon.run_cycle()
+        assert all(a.kind == "degraded" for a in daemon.log.alerts)
 
 
 class TestDaemonRediscovery:

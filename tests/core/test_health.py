@@ -1,0 +1,146 @@
+"""Unit tests for the per-VM circuit breaker state machine."""
+
+import pytest
+
+from repro.core.health import (BreakerConfig, BreakerState, CircuitBreaker,
+                               HealthRegistry)
+
+
+class TestBreakerConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"fail_threshold": 0},
+        {"open_cycles": 0},
+        {"probe_successes": 0},
+        {"backoff_factor": 0.5},
+        {"open_cycles": 8, "max_open_cycles": 4},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BreakerConfig(**kwargs)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allowed(self):
+        b = CircuitBreaker()
+        assert b.state is BreakerState.CLOSED
+        assert b.allowed
+
+    def test_trips_at_fail_threshold(self):
+        b = CircuitBreaker(BreakerConfig(fail_threshold=3, open_cycles=2))
+        assert not b.record_failure("x")
+        assert not b.record_failure("x")
+        assert b.record_failure("x")        # third strike trips
+        assert b.state is BreakerState.OPEN
+        assert not b.allowed
+        assert b.open_left == 2
+
+    def test_success_resets_consecutive_failures(self):
+        b = CircuitBreaker(BreakerConfig(fail_threshold=2))
+        b.record_failure()
+        b.record_success()
+        assert not b.record_failure()       # streak restarted
+        assert b.state is BreakerState.CLOSED
+
+    def test_open_ignores_further_failures(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=3))
+        b.record_failure()
+        assert not b.record_failure()       # no double-trip
+        assert b.open_left == 3
+
+    def test_cooldown_ticks_into_half_open(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=2))
+        b.record_failure()
+        b.tick()
+        assert b.state is BreakerState.OPEN
+        b.tick()
+        assert b.state is BreakerState.HALF_OPEN
+        assert b.allowed                    # probing: admitted again
+
+    def test_half_open_probe_success_closes(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=1, probe_successes=2))
+        b.record_failure()
+        b.tick()
+        assert not b.record_success()       # 1 of 2 probes
+        assert b.record_success()           # closes
+        assert b.state is BreakerState.CLOSED
+        assert b.last_reason is None
+
+    def test_half_open_failure_reopens_with_backoff(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=2, backoff_factor=2.0,
+                                         max_open_cycles=32))
+        b.record_failure("first")
+        assert b.open_left == 2
+        for _ in range(2):
+            b.tick()                        # -> HALF_OPEN
+        assert b.record_failure("probe died")
+        assert b.state is BreakerState.OPEN
+        assert b.open_left == 4             # 2 * 2^1
+        for _ in range(4):
+            b.tick()
+        assert b.record_failure("again")
+        assert b.open_left == 8             # 2 * 2^2
+
+    def test_backoff_capped_at_max_open_cycles(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=2, backoff_factor=10.0,
+                                         max_open_cycles=5))
+        b.record_failure()
+        for _ in range(2):
+            b.tick()
+        b.record_failure()
+        assert b.open_left == 5             # min(2*10, 5)
+
+    def test_close_resets_backoff_level(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=2, backoff_factor=2.0))
+        b.record_failure()
+        for _ in range(2):
+            b.tick()
+        b.record_failure()                  # re-trip: level 1, cooldown 4
+        for _ in range(4):
+            b.tick()
+        b.record_success()                  # closes, level resets
+        b.record_failure()
+        assert b.open_left == 2             # base cooldown again
+
+    def test_transition_counters(self):
+        b = CircuitBreaker(BreakerConfig(open_cycles=1))
+        b.record_failure()
+        b.tick()
+        b.record_success()
+        assert b.transitions == {"closed": 1, "open": 1, "half_open": 1}
+
+
+class TestHealthRegistry:
+    def test_unknown_vm_is_allowed(self):
+        reg = HealthRegistry()
+        assert reg.allowed("Ghost")
+        assert reg.open_vms() == []
+
+    def test_per_vm_isolation(self):
+        reg = HealthRegistry(BreakerConfig(open_cycles=2))
+        reg.record_failure("Dom1", "unreachable")
+        assert not reg.allowed("Dom1")
+        assert reg.allowed("Dom2")
+        assert reg.open_vms() == ["Dom1"]
+
+    def test_tick_advances_all_breakers(self):
+        reg = HealthRegistry(BreakerConfig(open_cycles=1))
+        reg.record_failure("Dom1")
+        reg.record_failure("Dom2")
+        reg.tick()
+        assert reg.states() == {"Dom1": BreakerState.HALF_OPEN,
+                                "Dom2": BreakerState.HALF_OPEN}
+
+    def test_evict_forgets_history(self):
+        reg = HealthRegistry(BreakerConfig(open_cycles=8))
+        reg.record_failure("Dom1")
+        reg.evict("Dom1")
+        assert reg.allowed("Dom1")          # fresh breaker on return
+        assert reg.states() == {}
+
+    def test_transition_counts_sorted_per_vm(self):
+        reg = HealthRegistry(BreakerConfig(open_cycles=1))
+        reg.record_failure("B")
+        reg.record_failure("A")
+        counts = reg.transition_counts()
+        assert list(counts) == ["A", "B"]
+        assert counts["A"]["open"] == 1

@@ -1,0 +1,139 @@
+"""Lifecycle state machine: reboot, pause, migrate, destroy — and the
+unified read-path semantics the checker depends on (a PAUSED guest
+reads fine; MIGRATING/SHUTDOWN/destroyed raise DomainUnreachable, never
+a raw lookup error)."""
+
+import pytest
+
+from repro.errors import DomainStateError, DomainUnreachable
+from repro.hypervisor.domain import DomainState
+from repro.hypervisor.xen import Hypervisor
+
+
+@pytest.fixture
+def hv(catalog):
+    hypervisor = Hypervisor()
+    hypervisor.create_guest("Dom1", catalog, seed=1)
+    hypervisor.create_guest("Dom2", catalog, seed=2)
+    return hypervisor
+
+
+def _some_frame(hv, name):
+    kernel = hv.domain(name).kernel
+    return next(iter(kernel.memory._frames))
+
+
+class TestReboot:
+    def test_reboot_reloads_modules_at_fresh_bases(self, hv, catalog):
+        kernel = hv.domain("Dom1").kernel
+        before = {name: mod.base for name, mod in kernel.modules.items()}
+        hv.reboot("Dom1")
+        after = {name: mod.base for name, mod in kernel.modules.items()}
+        assert set(after) == set(before) == set(catalog)
+        assert after != before          # ASLR-style fresh layout
+
+    def test_reboot_bumps_boot_generation(self, hv):
+        domain = hv.domain("Dom1")
+        gen = domain.boot_generation
+        hv.reboot("Dom1")
+        assert domain.boot_generation == gen + 1
+        hv.reboot("Dom1")
+        assert domain.boot_generation == gen + 2
+
+    def test_reboot_is_deterministic(self, catalog):
+        def boot_and_cycle():
+            hv = Hypervisor()
+            hv.create_guest("Dom1", catalog, seed=9)
+            hv.reboot("Dom1")
+            kernel = hv.domain("Dom1").kernel
+            return {name: mod.base for name, mod in kernel.modules.items()}
+
+        assert boot_and_cycle() == boot_and_cycle()
+
+    def test_reboot_reloads_from_unchanged_disk(self, hv, catalog):
+        # Reboot rebuilds memory from the guest's own disk: the files
+        # stay byte-identical and the LDR list is fully relinked (the
+        # in-memory images legitimately differ — relocations are
+        # re-applied for the fresh bases).
+        kernel = hv.domain("Dom1").kernel
+        files_before = dict(kernel.fs._files)
+        hv.reboot("Dom1")
+        assert kernel.fs._files == files_before
+        assert kernel.list_entry_count() == len(catalog)
+
+    def test_paused_guest_reboots_to_running(self, hv):
+        hv.pause("Dom1")
+        hv.reboot("Dom1")
+        assert hv.domain("Dom1").state is DomainState.RUNNING
+
+    def test_migrating_guest_cannot_reboot(self, hv):
+        hv.migrate_start("Dom1")
+        with pytest.raises(DomainStateError, match="mid-migration"):
+            hv.reboot("Dom1")
+
+    def test_dom0_cannot_reboot(self, hv):
+        with pytest.raises(DomainStateError):
+            hv.reboot("Dom0")
+
+
+class TestReadPathSemantics:
+    """Satellite regression: every guest-read primitive shares one
+    reachability rule."""
+
+    def test_paused_domain_reads_succeed(self, hv):
+        frame_no = _some_frame(hv, "Dom1")
+        before = hv.read_guest_frame("Dom1", frame_no)
+        hv.pause("Dom1")
+        assert hv.read_guest_frame("Dom1", frame_no) == before
+        assert hv.read_guest_physical("Dom1", frame_no * 4096, 64) \
+            == before[:64]
+
+    def test_migrating_domain_unreachable(self, hv):
+        hv.migrate_start("Dom1")
+        frame_no = 0
+        with pytest.raises(DomainUnreachable, match="migrating"):
+            hv.read_guest_frame("Dom1", frame_no)
+        with pytest.raises(DomainUnreachable, match="migrating"):
+            hv.read_guest_physical("Dom1", 0, 16)
+
+    def test_destroyed_domain_unreachable_not_keyerror(self, hv):
+        hv.destroy("Dom1")
+        with pytest.raises(DomainUnreachable, match="destroyed"):
+            hv.read_guest_frame("Dom1", 0)
+        with pytest.raises(DomainUnreachable, match="destroyed"):
+            hv.read_guest_physical("Dom1", 0, 16)
+
+    def test_migrate_finish_restores_reads(self, hv):
+        frame_no = _some_frame(hv, "Dom1")
+        before = hv.read_guest_frame("Dom1", frame_no)
+        hv.migrate_start("Dom1")
+        hv.migrate_finish("Dom1")
+        assert hv.read_guest_frame("Dom1", frame_no) == before
+
+    def test_introspectable_property(self, hv):
+        domain = hv.domain("Dom1")
+        assert domain.introspectable
+        hv.pause("Dom1")
+        assert domain.introspectable          # frozen snapshot reads fine
+        hv.unpause("Dom1")
+        hv.migrate_start("Dom1")
+        assert not domain.introspectable
+        hv.migrate_finish("Dom1")
+        hv.destroy("Dom1")
+        assert not domain.introspectable
+
+
+class TestStateGuards:
+    def test_pause_during_migration_rejected(self, hv):
+        hv.migrate_start("Dom1")
+        with pytest.raises(DomainStateError, match="mid-migration"):
+            hv.pause("Dom1")
+
+    def test_migrate_requires_running(self, hv):
+        hv.pause("Dom1")
+        with pytest.raises(DomainStateError, match="only a running"):
+            hv.migrate_start("Dom1")
+
+    def test_migrate_finish_requires_migrating(self, hv):
+        with pytest.raises(DomainStateError, match="not migrating"):
+            hv.migrate_finish("Dom1")

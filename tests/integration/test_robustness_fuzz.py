@@ -1,7 +1,7 @@
 """Robustness fuzzing: hostile bytes must never crash the tooling, and
 every single-byte change to a *hashed* region must be detected.
 
-Two property families:
+Four property families:
 
 * **parser total-ness** — PEImage over arbitrarily mutated images either
   parses or raises PEFormatError; no IndexError/struct.error escapes.
@@ -9,17 +9,33 @@ Two property families:
   security property, not a nicety.
 * **detection completeness** — for any offset inside any hashed region,
   flipping one bit on one VM flags exactly that VM (4-VM pool).
+* **walk total-ness** — a guest that controls its own
+  ``PsLoadedModuleList`` bytes (loops, NULL links, bogus lengths and
+  sizes) gets a module list or a clean ``IntrospectionFault``, never a
+  hang, an over-copy, or a foreign exception.
+* **chaos soak** (``-m chaos``) — under sustained lifecycle churn a
+  clean pool raises zero integrity alerts, the run is a pure function
+  of the seed, and an infected guest admitted mid-run is still caught.
 """
+
+import struct
 
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.cloud import build_testbed
-from repro.core import IntegrityChecker, ModuleParser
-from repro.core.searcher import ModuleCopy
-from repro.errors import PEFormatError, ReproError
+from repro.cloud import build_testbed, stage_chaos
+from repro.core import IntegrityChecker, ModuleParser, ModuleSearcher
+from repro.core.searcher import MAX_LIST_WALK, ModuleCopy
+from repro.errors import IntrospectionFault, PEFormatError, ReproError
+from repro.guest.ldr import (LDR_ENTRY_SIZE, OFF_BASEDLLNAME,
+                             OFF_SIZEOFIMAGE)
+from repro.hypervisor import Hypervisor
 from repro.pe import PEImage, map_file_to_memory
+from repro.vmi import OSProfile, VMIInstance
+
+#: Alert kinds that convict a VM (vs. availability noise).
+INTEGRITY_KINDS = ("integrity", "hidden-module", "decoy-entry")
 
 
 @pytest.fixture(scope="module")
@@ -117,3 +133,132 @@ class TestCheckerErrorContainment:
                           b"\xDE\xAD" * 4096, 0)
         with pytest.raises(ReproError):
             ModuleParser().parse(copy)
+
+
+def _hostile_guest(catalog, seed=101):
+    hv = Hypervisor()
+    hv.create_guest("Evil", catalog, seed=seed)
+    kernel = hv.domain("Evil").kernel
+    profile = OSProfile.from_guest(kernel)
+    return kernel, ModuleSearcher(VMIInstance(hv, "Evil", profile))
+
+
+class TestHostileLdrWalk:
+    """The guest owns every byte the walk dereferences; the searcher
+    may only ever answer with a list or an ``IntrospectionFault``."""
+
+    def test_self_loop_flink_bounded(self, catalog):
+        kernel, searcher = _hostile_guest(catalog)
+        node = kernel.module("hal.dll").ldr_entry_va
+        kernel.aspace.write(node, struct.pack("<I", node))
+        with pytest.raises(IntrospectionFault, match="bound"):
+            searcher.list_modules()
+
+    def test_cycle_skipping_head_bounded(self, catalog):
+        # Last node links back to the first node instead of the head:
+        # a cycle the `cursor != head` exit can never leave.
+        kernel, searcher = _hostile_guest(catalog)
+        head = kernel.symbols["PsLoadedModuleList"]
+        first = struct.unpack("<I", kernel.aspace.read(head, 4))[0]
+        last = struct.unpack("<I", kernel.aspace.read(head + 4, 4))[0]
+        kernel.aspace.write(last, struct.pack("<I", first))
+        with pytest.raises(IntrospectionFault, match="bound"):
+            searcher.list_modules()
+
+    def test_null_flink_clean_fault(self, catalog):
+        kernel, searcher = _hostile_guest(catalog)
+        node = kernel.module("dummy.sys").ldr_entry_va
+        kernel.aspace.write(node, struct.pack("<I", 0))
+        with pytest.raises(IntrospectionFault, match="NULL"):
+            searcher.list_modules()
+
+    def test_bogus_unicode_length_skips_node(self, catalog):
+        # UNICODE_STRING.Length beyond the 512-byte sanity cap: the
+        # node is dropped, the rest of the walk survives.
+        kernel, searcher = _hostile_guest(catalog)
+        node = kernel.module("disk.sys").ldr_entry_va
+        kernel.aspace.write(node + OFF_BASEDLLNAME,
+                            struct.pack("<H", 0xFEFE))
+        names = [e.name for e in searcher.list_modules()]
+        assert "disk.sys" not in names
+        assert "hal.dll" in names
+
+    def test_hostile_sizeofimage_bounded_page_reads(self, catalog):
+        # A 48 MiB claim passes the plausibility cap but is not backed;
+        # the chunked copy must fault long before reading 48 MiB.
+        kernel, searcher = _hostile_guest(catalog)
+        claimed = 48 * 1024 * 1024
+        node = kernel.module("hal.dll").ldr_entry_va
+        kernel.aspace.write(node + OFF_SIZEOFIMAGE,
+                            struct.pack("<I", claimed))
+        with pytest.raises(IntrospectionFault, match="not backed"):
+            searcher.copy_module("hal.dll")
+        assert searcher.vmi.stats.pages_mapped < claimed // 4096
+
+    @given(module_pick=st.integers(min_value=0, max_value=10_000),
+           offset=st.integers(min_value=0, max_value=LDR_ENTRY_SIZE - 1),
+           payload=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_arbitrary_ldr_corruption_contained(self, catalog, module_pick,
+                                                offset, payload):
+        kernel, searcher = _hostile_guest(catalog)
+        names = list(kernel.modules)
+        node = kernel.module(names[module_pick % len(names)]).ldr_entry_va
+        kernel.aspace.write(node + offset,
+                            payload[:LDR_ENTRY_SIZE - offset])
+        try:
+            entries = searcher.list_modules()
+        except IntrospectionFault:
+            return                     # clean, typed failure: acceptable
+        assert len(entries) <= MAX_LIST_WALK
+
+
+@pytest.mark.chaos
+class TestChaosSoak:
+    """Lifecycle churn (reboot/pause/migrate/destroy/create) is noise,
+    not signal: no false positives, full determinism, and an infected
+    guest admitted mid-run is still convicted."""
+
+    CYCLES = 12
+    CHURN = 0.25
+    DETECT_WITHIN = 4
+
+    def test_clean_pool_zero_false_positives(self):
+        scenario = stage_chaos(n_vms=5, seed=42, churn_rate=self.CHURN)
+        log = scenario.run(self.CYCLES)
+        integrity = [a for a in log.alerts if a.kind in INTEGRITY_KINDS]
+        assert integrity == []
+        assert scenario.engine.stats.steps == self.CYCLES
+        # Churn actually happened — the soak exercised the machinery.
+        assert any(scenario.engine.stats.as_dict()[k]
+                   for k in ("reboots", "pauses", "migrations",
+                             "destroys", "creates"))
+
+    def test_same_seed_identical_alert_log_and_trace(self):
+        def one_run():
+            scenario = stage_chaos(n_vms=5, seed=7, churn_rate=self.CHURN)
+            log = scenario.run(self.CYCLES)
+            return ([str(a) for a in log.alerts],
+                    [str(e) for e in scenario.engine.trace],
+                    sorted(scenario.checker.pool_vm_names()))
+
+        assert one_run() == one_run()
+
+    def test_different_seed_differs(self):
+        runs = []
+        for seed in (7, 8):
+            scenario = stage_chaos(n_vms=5, seed=seed, churn_rate=self.CHURN)
+            scenario.run(self.CYCLES)
+            runs.append([str(e) for e in scenario.engine.trace])
+        assert runs[0] != runs[1]
+
+    def test_infected_admission_mid_run_detected(self):
+        scenario = stage_chaos(n_vms=5, seed=42, churn_rate=self.CHURN)
+        scenario.run(4)
+        vm = scenario.admit_infected("E2")
+        before = len(scenario.daemon.log)
+        scenario.run(self.DETECT_WITHIN)
+        hits = [a for a in scenario.daemon.log.alerts[before:]
+                if a.kind in INTEGRITY_KINDS and vm in a.flagged_vms]
+        assert hits, f"{vm} never convicted under churn"

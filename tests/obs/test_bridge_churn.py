@@ -1,0 +1,99 @@
+"""Bridge tests for the churn-era metrics: breaker state, membership,
+chaos counters, and counter monotonicity across VMI session restarts."""
+
+from __future__ import annotations
+
+from repro.cloud import ChaosStats, build_testbed
+from repro.core import ModChecker
+from repro.core.health import BreakerConfig, HealthRegistry
+from repro.obs import (BREAKER_STATE_VALUES, MetricsRegistry,
+                       record_breaker_states, record_chaos_stats,
+                       record_membership, record_vmi_instance)
+
+
+class TestBreakerMetrics:
+    def test_state_gauge_encodes_severity(self):
+        health = HealthRegistry(BreakerConfig(open_cycles=1))
+        health.record_failure("Dom1", "down")
+        health.breaker("Dom2").record_success()
+        reg = MetricsRegistry()
+        record_breaker_states(reg, health)
+        gauge = reg.gauge("modchecker_breaker_state")
+        assert gauge.value(vm="Dom1") == BREAKER_STATE_VALUES["open"]
+        assert gauge.value(vm="Dom2") == BREAKER_STATE_VALUES["closed"]
+
+    def test_transition_counters_cumulative(self):
+        health = HealthRegistry(BreakerConfig(open_cycles=1))
+        health.record_failure("Dom1")
+        health.tick()                      # -> half_open
+        health.record_success("Dom1")      # -> closed
+        reg = MetricsRegistry()
+        record_breaker_states(reg, health)
+        counter = reg.counter("modchecker_breaker_transitions_total")
+        assert counter.value(vm="Dom1", state="open") == 1
+        assert counter.value(vm="Dom1", state="half_open") == 1
+        assert counter.value(vm="Dom1", state="closed") == 1
+        # Re-recording the same registry state is idempotent.
+        record_breaker_states(reg, health)
+        assert counter.value(vm="Dom1", state="open") == 1
+
+
+class TestMembershipMetrics:
+    def test_pool_size_and_event_totals(self):
+        reg = MetricsRegistry()
+        events = [(0.0, "admit", "A"), (1.0, "admit", "B"),
+                  (2.0, "reboot", "A"), (3.0, "evict", "B")]
+        record_membership(reg, pool_size=4, events=events)
+        assert reg.gauge("modchecker_pool_size").value() == 4
+        counter = reg.counter("modchecker_membership_events_total")
+        assert counter.value(event="admit") == 2
+        assert counter.value(event="reboot") == 1
+        assert counter.value(event="evict") == 1
+
+    def test_cumulative_log_replays_monotonically(self):
+        reg = MetricsRegistry()
+        events = [(0.0, "admit", "A")]
+        record_membership(reg, pool_size=3, events=events)
+        events.append((5.0, "admit", "B"))
+        record_membership(reg, pool_size=4, events=events)
+        assert reg.counter(
+            "modchecker_membership_events_total").value(event="admit") == 2
+
+
+class TestChaosMetrics:
+    def test_event_counters_by_kind(self):
+        stats = ChaosStats(steps=5, reboots=2, pauses=1, unpauses=1,
+                           migrations=1, migrations_finished=1,
+                           destroys=0, creates=1)
+        reg = MetricsRegistry()
+        record_chaos_stats(reg, stats)
+        counter = reg.counter("modchecker_chaos_events_total")
+        assert counter.value(kind="reboots") == 2
+        assert counter.value(kind="creates") == 1
+        assert counter.value(kind="destroys") == 0
+
+
+class TestVmiCounterContinuity:
+    def test_session_restart_never_goes_backwards(self):
+        # A reboot retires the VMI session; the checker folds the old
+        # session's counters into a baseline so the published totals
+        # stay monotonic (set_to would raise otherwise).
+        tb = build_testbed(2, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        vm = tb.vm_names[0]
+        mc.check_pool("hal.dll")
+        reg = MetricsRegistry()
+        record_vmi_instance(reg, vm, mc.vmi_for(vm),
+                            base=mc._vmi_stats_base.get(vm))
+        before = reg.counter(
+            "modchecker_vmi_pages_mapped_total").value(vm=vm)
+        assert before > 0
+
+        tb.hypervisor.reboot(vm)
+        mc.admit_vm(vm)                     # retires the stale session
+        mc.check_pool("hal.dll")            # fresh session, small counts
+        record_vmi_instance(reg, vm, mc.vmi_for(vm),
+                            base=mc._vmi_stats_base.get(vm))
+        after = reg.counter(
+            "modchecker_vmi_pages_mapped_total").value(vm=vm)
+        assert after >= before

@@ -44,10 +44,11 @@ MODULES = [
     "repro.core.searcher", "repro.core.parser", "repro.core.rva",
     "repro.core.integrity", "repro.core.modchecker", "repro.core.report",
     "repro.core.parallel", "repro.core.carver", "repro.core.crossview",
-    "repro.core.versioning", "repro.core.daemon", "repro.core.baselines",
+    "repro.core.versioning", "repro.core.daemon", "repro.core.health",
+    "repro.core.baselines",
     "repro.perf.costmodel", "repro.perf.workload", "repro.perf.monitor",
     "repro.perf.timing",
-    "repro.cloud.testbed", "repro.cloud.scenarios",
+    "repro.cloud.testbed", "repro.cloud.scenarios", "repro.cloud.chaos",
     "repro.analysis.stats", "repro.analysis.tables", "repro.analysis.export",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.bridge",
 ]
