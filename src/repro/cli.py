@@ -9,6 +9,7 @@ Drives the whole reproduction from a shell::
     modchecker daemon --vms 4 --cycles 5 --infect E2 --victim Dom2
     modchecker daemon --vms 5 --cycles 10 --churn-rate 0.2
     modchecker chaos --vms 5 --cycles 20 --admit-infected 5
+    modchecker explain --vms 4 --infect E1 --victim Dom3
     modchecker experiment e1 fig7 ...      # the benchmark harness
 
 Exit status: 0 = no discrepancy, 1 = discrepancy detected (so the tool
@@ -64,6 +65,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", metavar="PATH",
                        help="write run metrics; .json suffix = JSON "
                             "snapshot, anything else = Prometheus text")
+        p.add_argument("--events-out", metavar="PATH",
+                       help="write the structured JSONL audit log of "
+                            "the run (correlated by check_id)")
+        p.add_argument("--evidence-out", metavar="DIR",
+                       help="capture an evidence bundle into DIR for "
+                            "every non-clean pool verdict")
 
     p_check = sub.add_parser("check", help="cross-check one module")
     add_common(p_check)
@@ -134,6 +141,24 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--metrics-out", metavar="PATH",
                          help="write run metrics; .json suffix = JSON "
                               "snapshot, anything else = Prometheus text")
+    p_chaos.add_argument("--events-out", metavar="PATH",
+                         help="write the structured JSONL audit log of "
+                              "the soak (correlated by check_id)")
+    p_chaos.add_argument("--evidence-out", metavar="DIR",
+                         help="capture an evidence bundle into DIR for "
+                              "every non-clean pool verdict")
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="render a forensic incident report for a non-clean check")
+    add_common(p_explain)
+    p_explain.add_argument("--bundle", metavar="PATH",
+                           help="load and render an existing evidence "
+                                "bundle instead of re-running a scenario")
+    p_explain.add_argument("--module", default="hal.dll",
+                           help="module to check when re-running")
+    p_explain.add_argument("--bundle-out", metavar="PATH",
+                           help="also persist the captured bundle here")
 
     p_exp = sub.add_parser("experiment",
                            help="run paper experiments (harness)")
@@ -172,15 +197,26 @@ def _build(args, module: str | None = None):
 
 
 def _obs_for(args, clock):
-    """Observability for this invocation: live when either flag is set."""
+    """Observability for this invocation: live when any flag is set."""
     from .obs import NULL_OBS, make_observability
-    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+    if (getattr(args, "trace_out", None)
+            or getattr(args, "metrics_out", None)
+            or getattr(args, "events_out", None)):
         return make_observability(clock)
     return NULL_OBS
 
 
-def _export_obs(args, obs) -> None:
-    """Write the trace / metrics files the user asked for."""
+def _evidence_for(args):
+    """An EvidenceRecorder writing to --evidence-out, when requested."""
+    out_dir = getattr(args, "evidence_out", None)
+    if not out_dir:
+        return None
+    from .forensics import EvidenceRecorder
+    return EvidenceRecorder(out_dir=out_dir)
+
+
+def _export_obs(args, obs, evidence=None) -> None:
+    """Write the trace / metrics / events files the user asked for."""
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         from .analysis.export import write_chrome_trace
@@ -193,6 +229,13 @@ def _export_obs(args, obs) -> None:
         else:
             obs.metrics.write_prometheus(metrics_out)
         print(f"(obs) wrote metrics to {metrics_out}")
+    events_out = getattr(args, "events_out", None)
+    if events_out:
+        obs.events.write_jsonl(events_out)
+        print(f"(obs) wrote {len(obs.events)} events to {events_out}")
+    if evidence is not None and evidence.captures:
+        print(f"(forensics) captured {evidence.captures} evidence "
+              f"bundle(s) in {evidence.out_dir}")
 
 
 def _retry_policy(args):
@@ -210,12 +253,13 @@ def cmd_check(args) -> int:
     tb, module = _build(args, args.module)
     module = module or args.module
     obs = _obs_for(args, tb.clock)
+    evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
                     hash_algorithm=args.hash, retry=_retry_policy(args),
-                    obs=obs)
+                    obs=obs, evidence=evidence)
     out = mc.check_pool(module, mode=args.pool_mode)
     report = out.report
-    _export_obs(args, obs)
+    _export_obs(args, obs, evidence)
     rows = [[vm, f"{v.matches}/{v.comparisons}",
              "CLEAN" if v.clean else "FLAGGED",
              ", ".join(v.mismatched_regions) or "-"]
@@ -345,8 +389,9 @@ def _chaos_engine(args, tb):
 def cmd_daemon(args) -> int:
     tb, _ = _build(args)
     obs = _obs_for(args, tb.clock)
+    evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs)
+                    obs=obs, evidence=evidence)
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval,
                          chaos=_chaos_engine(args, tb))
@@ -361,7 +406,7 @@ def cmd_daemon(args) -> int:
         if daemon.quarantined:
             print(f"[{stamp:10.3f}s] quarantined: "
                   f"{', '.join(daemon.quarantined)}")
-    _export_obs(args, obs)
+    _export_obs(args, obs, evidence)
     print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
     return 1 if len(daemon.log) else 0
 
@@ -375,8 +420,9 @@ def cmd_chaos(args) -> int:
     """
     tb = build_testbed(args.vms, seed=args.seed)
     obs = _obs_for(args, tb.clock)
+    evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs)
+                    obs=obs, evidence=evidence)
     engine = _chaos_engine(args, tb)
     if engine is None:
         raise SystemExit("error: chaos needs --churn-rate > 0")
@@ -401,7 +447,7 @@ def cmd_chaos(args) -> int:
             print(f"[{tb.clock.now:10.3f}s] cycle {cycle}: quiet "
                   f"(pool={len(tb.hypervisor.guests())}, "
                   f"open={len(daemon.quarantined)})")
-    _export_obs(args, obs)
+    _export_obs(args, obs, evidence)
     stats = engine.stats
     print(f"churn: {stats.events} events over {stats.steps} steps "
           f"({stats.reboots} reboots, {stats.pauses} pauses, "
@@ -423,6 +469,41 @@ def cmd_chaos(args) -> int:
                  if spurious else ""))
         return 0 if caught and not spurious else 1
     return 1 if integrity else 0
+
+
+def cmd_explain(args) -> int:
+    """Render the forensic incident report for a non-clean check.
+
+    Either loads an existing bundle (``--bundle``) or re-runs a seeded
+    scenario with evidence capture enabled and explains what it caught.
+    Exit status follows the tool convention: 1 iff the report contains
+    unexplained (tamper) hunks.
+    """
+    from .forensics import (EvidenceRecorder, load_bundle,
+                            render_incident_report, write_bundle)
+    if args.bundle:
+        bundle = load_bundle(args.bundle)
+        print(render_incident_report(bundle), end="")
+        return 1 if bundle.unexplained_hunks else 0
+    tb, module = _build(args, args.module)
+    module = module or args.module
+    from .obs import make_observability
+    obs = make_observability(tb.clock)
+    recorder = EvidenceRecorder()
+    mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
+                    obs=obs, evidence=recorder)
+    out = mc.check_pool(module)
+    _export_obs(args, obs)
+    if recorder.last is None:
+        print(f"pool is clean: {module!r} consistent across "
+              f"{len(out.report.vm_names)} VM(s); nothing to explain")
+        return 0
+    bundle = recorder.last
+    if args.bundle_out:
+        write_bundle(bundle, args.bundle_out)
+        print(f"(forensics) wrote bundle to {args.bundle_out}")
+    print(render_incident_report(bundle), end="")
+    return 1 if bundle.unexplained_hunks else 0
 
 
 def cmd_experiment(args) -> int:
@@ -453,6 +534,7 @@ def main(argv: list[str] | None = None) -> int:
         "dump": cmd_dump,
         "daemon": cmd_daemon,
         "chaos": cmd_chaos,
+        "explain": cmd_explain,
         "experiment": cmd_experiment,
     }
     try:

@@ -226,15 +226,28 @@ class CheckDaemon:
         return [vm for vm in self.checker.pool_vm_names()
                 if self.health.allowed(vm) and vm not in self._warmup]
 
+    def _raise_alert(self, alert: Alert, new_alerts: list[Alert]) -> None:
+        """Log + return an alert, and put it on the audit record."""
+        self.log.add(alert)
+        new_alerts.append(alert)
+        events = self.checker.obs.events
+        if events.enabled:
+            events.emit("alert.raised", kind=alert.kind,
+                        module=alert.module,
+                        flagged=list(alert.flagged_vms),
+                        regions=list(alert.regions))
+
     def _trip_vm(self, vm: str, reason: str,
                  new_alerts: list[Alert]) -> None:
         """Route a failure to the VM's breaker; alert when it trips."""
         if not self.health.record_failure(vm, reason):
             return
-        alert = Alert(self.checker.hv.clock.now, "<pool>", (vm,),
-                      (reason,), kind="degraded", degraded=(vm,))
-        self.log.add(alert)
-        new_alerts.append(alert)
+        events = self.checker.obs.events
+        if events.enabled:
+            events.emit("breaker.tripped", vm=vm, reason=reason)
+        self._raise_alert(Alert(self.checker.hv.clock.now, "<pool>", (vm,),
+                                (reason,), kind="degraded", degraded=(vm,)),
+                          new_alerts)
 
     # -- membership ----------------------------------------------------------
 
@@ -242,6 +255,9 @@ class CheckDaemon:
         self.membership_log.append(
             (self.checker.hv.clock.now, event, vm))
         self._force_rediscover = True
+        events = self.checker.obs.events
+        if events.enabled:
+            events.emit("membership.changed", event=event, vm=vm)
 
     def admit_vm(self, vm: str) -> None:
         """Add a VM to the monitored pool (it warms up before voting)."""
@@ -349,12 +365,21 @@ class CheckDaemon:
         """One daemon cycle: scheduled checks + one carving sweep."""
         clock = self.checker.hv.clock
         obs = self.checker.obs
+        events = obs.events
         cycle_start = clock.now
         new_alerts: list[Alert] = []
-        with obs.tracer.span("daemon.cycle",
+        # One correlation id per cycle: every event emitted anywhere
+        # below — in ModChecker, the integrity checker, the breakers —
+        # carries it, making the cycle one joinable causal record.
+        check_id = events.new_check_id()
+        with events.correlate(check_id), \
+             obs.tracer.span("daemon.cycle",
                              cycle=self.cycles_run) as cycle_span:
             if self.chaos is not None:
-                self.chaos.step()
+                for chaos_event in self.chaos.step():
+                    if events.enabled:
+                        events.emit("chaos.applied", kind=chaos_event.kind,
+                                    vm=chaos_event.vm)
             self.health.tick()
             self._reconcile_membership()
             self._warm_up_pending(new_alerts)
@@ -389,22 +414,22 @@ class CheckDaemon:
                             for region in report.mismatched_regions(vm):
                                 if region not in regions:
                                     regions.append(region)
-                        alert = Alert(clock.now, module, flagged,
-                                      tuple(regions),
-                                      degraded=tuple(sorted(report.degraded)))
-                        self.log.add(alert)
-                        new_alerts.append(alert)
+                        self._raise_alert(
+                            Alert(clock.now, module, flagged,
+                                  tuple(regions),
+                                  degraded=tuple(sorted(report.degraded))),
+                            new_alerts)
             elif len(self.checker.pool_vm_names()) > len(active):
                 # Churn (not pool size as provisioned) starved the
                 # quorum: degrade loudly, never crash the service.
-                alert = Alert(clock.now, "<pool>", (),
-                              (f"quorum starved: {len(active)} votable "
-                               f"VM(s), floor is {self.quorum_floor}; "
-                               f"integrity checks suspended",),
-                              kind="degraded",
-                              degraded=tuple(self.health.open_vms()))
-                self.log.add(alert)
-                new_alerts.append(alert)
+                self._raise_alert(
+                    Alert(clock.now, "<pool>", (),
+                          (f"quorum starved: {len(active)} votable "
+                           f"VM(s), floor is {self.quorum_floor}; "
+                           f"integrity checks suspended",),
+                          kind="degraded",
+                          degraded=tuple(self.health.open_vms())),
+                    new_alerts)
 
             if self.carve and active:
                 self._carve_sweep(active, new_alerts)
@@ -412,6 +437,10 @@ class CheckDaemon:
             cycle_span.set(alerts=len(new_alerts),
                            quarantined=len(self.health.open_vms()),
                            pool=len(active))
+            if events.enabled:
+                events.emit("daemon.cycle", cycle=self.cycles_run,
+                            alerts=len(new_alerts), pool=len(active),
+                            quarantined=len(self.health.open_vms()))
         self.cycles_run += 1
         if obs.metrics.enabled:
             record_daemon_cycle(obs.metrics,
@@ -450,19 +479,24 @@ class CheckDaemon:
             self._trip_vm(target, f"carving sweep failed: {exc}",
                           new_alerts)
             return
+        events = self.checker.obs.events
+        if events.enabled:
+            events.emit("module.carved", vm=target,
+                        hidden=len(identified),
+                        decoys=len(view.listed_only))
         for carved, name in identified:
-            alert = Alert(clock.now, name or f"<unknown@{carved.base:#x}>",
-                          (target,), ("unlinked from PsLoadedModuleList",),
-                          kind="hidden-module")
-            self.log.add(alert)
-            new_alerts.append(alert)
+            self._raise_alert(
+                Alert(clock.now, name or f"<unknown@{carved.base:#x}>",
+                      (target,), ("unlinked from PsLoadedModuleList",),
+                      kind="hidden-module"),
+                new_alerts)
         for entry in view.listed_only:
-            alert = Alert(clock.now, entry.name, (target,),
-                          (f"DllBase {entry.dll_base:#x} not backed "
-                           f"by a module image",),
-                          kind="decoy-entry")
-            self.log.add(alert)
-            new_alerts.append(alert)
+            self._raise_alert(
+                Alert(clock.now, entry.name, (target,),
+                      (f"DllBase {entry.dll_base:#x} not backed "
+                       f"by a module image",),
+                      kind="decoy-entry"),
+                new_alerts)
 
     def run(self, cycles: int) -> AlertLog:
         """Run ``cycles`` sweeps; returns the accumulated alert log."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 import hashlib
 from typing import Callable
 
+from ..obs import NULL_OBS, Observability
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from .parser import ParsedModule
 from .report import PairComparison, PoolReport, VMCheckReport, VMVerdict
@@ -45,7 +46,8 @@ class IntegrityChecker:
     def __init__(self, *, rva_mode: str = "robust",
                  hash_algorithm: str = "md5",
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 charge: Callable[[float], None] | None = None) -> None:
+                 charge: Callable[[float], None] | None = None,
+                 obs: Observability = NULL_OBS) -> None:
         if rva_mode not in ADJUSTERS:
             raise ValueError(
                 f"unknown rva_mode {rva_mode!r}; pick from {sorted(ADJUSTERS)}")
@@ -58,6 +60,7 @@ class IntegrityChecker:
         self._adjust = ADJUSTERS[rva_mode]
         self.costs = cost_model
         self._charge = charge or _no_charge
+        self.obs = obs
 
     def digest(self, data: bytes) -> str:
         """Hash ``data`` with the configured algorithm."""
@@ -107,8 +110,15 @@ class IntegrityChecker:
         self._charge(cost)
         order = mod_a.region_names()
         mismatched.sort(key=lambda n: order.index(n) if n in order else 999)
-        return PairComparison(mod_a.vm_name, mod_b.vm_name,
+        pair = PairComparison(mod_a.vm_name, mod_b.vm_name,
                               tuple(mismatched), rva_stats)
+        events = self.obs.events
+        if events.enabled:
+            events.emit("pair.compared", module=mod_a.module_name,
+                        vm_a=pair.vm_a, vm_b=pair.vm_b,
+                        matched=pair.matched,
+                        mismatched=list(pair.mismatched_regions))
+        return pair
 
     # -- voting ----------------------------------------------------------------------
 
@@ -207,8 +217,15 @@ class IntegrityChecker:
             mism = tuple(sorted(
                 k for k in (dict(a).keys() | dict(b).keys())
                 if dict(a).get(k) != dict(b).get(k)))
-            pairs.append(PairComparison(reference.vm_name, mod.vm_name,
-                                        mism))
+            pair = PairComparison(reference.vm_name, mod.vm_name, mism)
+            pairs.append(pair)
+            events = self.obs.events
+            if events.enabled:
+                events.emit("pair.compared",
+                            module=reference.module_name,
+                            vm_a=pair.vm_a, vm_b=pair.vm_b,
+                            matched=pair.matched,
+                            mismatched=list(pair.mismatched_regions))
         return PoolReport(module_name=reference.module_name,
                           vm_names=names, pairs=pairs, verdicts=verdicts)
 

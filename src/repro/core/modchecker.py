@@ -17,7 +17,7 @@ yielding the Searcher/Parser/Checker breakdown the paper plots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import TYPE_CHECKING, NamedTuple
 
 from ..errors import (DomainNotFound, InsufficientPool, IntrospectionFault,
                       ModuleNotLoadedError, RetryExhausted, TransientFault,
@@ -35,6 +35,9 @@ from .integrity import IntegrityChecker
 from .parser import ModuleParser, ParsedModule
 from .report import PoolReport, VMCheckReport
 from .searcher import ModuleSearcher
+
+if TYPE_CHECKING:
+    from ..forensics.evidence import EvidenceRecorder
 
 __all__ = ["ModChecker", "CheckOutcome", "PoolOutcome", "FetchResult"]
 
@@ -87,7 +90,8 @@ class ModChecker:
                  flush_caches_each_round: bool = True,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  retry: RetryPolicy | None = DEFAULT_RETRY_POLICY,
-                 obs: Observability = NULL_OBS) -> None:
+                 obs: Observability = NULL_OBS,
+                 evidence: "EvidenceRecorder | None" = None) -> None:
         self.hv = hypervisor
         if profile is None:
             guests = hypervisor.guests()
@@ -100,6 +104,9 @@ class ModChecker:
         self.flush_caches_each_round = flush_caches_each_round
         self.retry = retry
         self.obs = obs
+        #: forensic capture hook; bundles materialise only when a pool
+        #: verdict is non-clean, so the clean path never pays for it
+        self.evidence = evidence
         self._vmis: dict[str, VMIInstance] = {}
         #: per-VM counters folded in from retired sessions, so the
         #: cumulative VMI metrics survive re-attach (reboot churn)
@@ -110,7 +117,7 @@ class ModChecker:
         self.checker = IntegrityChecker(rva_mode=rva_mode,
                                         hash_algorithm=hash_algorithm,
                                         cost_model=cost_model,
-                                        charge=self._charge)
+                                        charge=self._charge, obs=obs)
 
     def _charge(self, cpu_seconds: float) -> None:
         self.hv.charge_dom0(cpu_seconds)
@@ -189,8 +196,11 @@ class ModChecker:
         record_stage_timings(metrics, timings, module=module_name)
         if report is not None:
             record_pool_report(metrics, report, module=module_name)
-        for vm_name, vmi in self._vmis.items():
-            record_vmi_instance(metrics, vm_name, vmi,
+        # Union of live sessions and retired baselines: a VM that was
+        # evicted (and never re-attached) still publishes its folded
+        # counters, so the cumulative series never loses a session tail.
+        for vm_name in sorted(set(self._vmis) | set(self._vmi_stats_base)):
+            record_vmi_instance(metrics, vm_name, self._vmis.get(vm_name),
                                 base=self._vmi_stats_base.get(vm_name))
         injector = getattr(self.hv, "fault_injector", None)
         if injector is not None:
@@ -218,6 +228,13 @@ class ModChecker:
         per_vm: dict[str, float] = {}
         failed: dict[str, str] = {}
         parsed: list[ParsedModule] = []
+        events = self.obs.events
+
+        def acquired(vm_name: str, outcome: str) -> None:
+            if events.enabled:
+                events.emit("module.acquired", module=module_name,
+                            vm=vm_name, outcome=outcome)
+
         with self.obs.tracer.span("modchecker.fetch", module=module_name,
                                   vms=len(vm_names)) as fetch_span:
             for vm_name in vm_names:
@@ -228,6 +245,7 @@ class ModChecker:
                     # and this sweep (destroy races the check cycle).
                     failed[vm_name] = f"unreachable: {exc}"
                     per_vm[vm_name] = 0.0
+                    acquired(vm_name, "unreachable")
                     continue
                 if self.flush_caches_each_round:
                     vmi.flush_caches()
@@ -245,10 +263,13 @@ class ModChecker:
                 timings.searcher += span.elapsed
                 per_vm[vm_name] = span.elapsed
                 if copy is None:
+                    acquired(vm_name, failed.get(vm_name, "not-loaded")
+                             .split(":", 1)[0])
                     continue
                 with self.hv.clock.span() as span:
                     parsed.append(self.parser.parse(copy))
                 timings.parser += span.elapsed
+                acquired(vm_name, "ok")
             fetch_span.set(acquired=len(parsed), failed=len(failed))
         return FetchResult(parsed, timings, per_vm, failed)
 
@@ -260,8 +281,15 @@ class ModChecker:
         names = self.pool_vm_names(vms)
         if target_vm not in names:
             names = [target_vm] + names
-        with self.obs.tracer.span("modchecker.check", module=module_name,
+        events = self.obs.events
+        cid = events.current_check or events.new_check_id()
+        with events.correlate(cid), \
+             self.obs.tracer.span("modchecker.check", module=module_name,
                                   mode="target", target=target_vm):
+            if events.enabled:
+                events.emit("check.start", module=module_name,
+                            mode="target", target=target_vm,
+                            vms=len(names))
             parsed, timings, per_vm, failed = self.fetch_modules(module_name,
                                                                 names)
             by_vm = {p.vm_name: p for p in parsed}
@@ -282,6 +310,11 @@ class ModChecker:
                     report = self.checker.check_target(by_vm[target_vm],
                                                        others)
             timings.checker = span.elapsed
+            if events.enabled:
+                events.emit("check.verdict", module=module_name,
+                            mode="target", target=target_vm,
+                            clean=report.clean, matches=report.matches,
+                            comparisons=report.comparisons)
         self._record_outcome(module_name, timings)
         return CheckOutcome(report=report, timings=timings,
                             per_vm_searcher=per_vm)
@@ -304,8 +337,14 @@ class ModChecker:
         if mode not in ("pairwise", "canonical"):
             raise ValueError(f"unknown pool mode {mode!r}")
         names = self.pool_vm_names(vms)
-        with self.obs.tracer.span("modchecker.check", module=module_name,
+        events = self.obs.events
+        cid = events.current_check or events.new_check_id()
+        with events.correlate(cid), \
+             self.obs.tracer.span("modchecker.check", module=module_name,
                                   mode=mode):
+            if events.enabled:
+                events.emit("check.start", module=module_name, mode=mode,
+                            vms=len(names))
             parsed, timings, per_vm, failed = self.fetch_modules(module_name,
                                                                 names)
             if len(parsed) < 2:
@@ -325,7 +364,22 @@ class ModChecker:
                     else:
                         report = self.checker.check_pool(parsed)
             timings.checker = span.elapsed
-        report.degraded = dict(failed)
+            report.degraded = dict(failed)
+            if events.enabled:
+                events.emit("check.verdict", module=module_name, mode=mode,
+                            clean=report.all_clean,
+                            flagged=sorted(report.flagged()),
+                            degraded=sorted(failed))
+            # Forensics ride the alert path only: a clean report never
+            # reaches capture, keeping evidence cost off the hot path.
+            if self.evidence is not None and not report.all_clean:
+                self.evidence.record(report, parsed, events=events,
+                                     check_id=cid or None,
+                                     captured_at=self.hv.clock.now)
+                self.obs.metrics.counter(
+                    "modchecker_evidence_bundles_total",
+                    "Evidence bundles captured for non-clean "
+                    "verdicts").inc()
         self._record_outcome(module_name, timings, report)
         return PoolOutcome(report=report, timings=timings,
                            per_vm_searcher=per_vm)

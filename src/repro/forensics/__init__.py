@@ -1,0 +1,31 @@
+"""Forensic evidence: byte-level diffs, evidence bundles, incident reports.
+
+The paper's results are fundamentally forensic — E4 reports exactly
+*which* PE components mismatched — but an alert alone carries only
+region names. This package closes the loop from "alert fired" to "here
+is the reviewable incident record":
+
+* :mod:`repro.forensics.diff` — per-region byte-diff hunks between a
+  suspect module copy and a majority representative, each hunk
+  classified by the RVA reverser as *relocation-explained* or
+  *unexplained tamper*;
+* :mod:`repro.forensics.evidence` — :class:`EvidenceBundle` capture
+  (voting matrix, hunks, PE layout, correlated event timeline) when a
+  pool check's verdict is non-clean, via :class:`EvidenceRecorder`;
+* :mod:`repro.forensics.bundle` — deterministic JSON serialisation and
+  the human-readable incident report behind ``modchecker explain``.
+"""
+
+from .bundle import (bundle_from_dict, bundle_to_dict, load_bundle,
+                     render_incident_report, write_bundle)
+from .diff import DiffHunk, RegionDiff, diff_modules, diff_region_pair
+from .evidence import (EvidenceBundle, EvidenceRecorder, SuspectEvidence,
+                       capture_evidence)
+
+__all__ = [
+    "DiffHunk", "RegionDiff", "diff_modules", "diff_region_pair",
+    "EvidenceBundle", "EvidenceRecorder", "SuspectEvidence",
+    "capture_evidence",
+    "bundle_to_dict", "bundle_from_dict", "write_bundle", "load_bundle",
+    "render_incident_report",
+]

@@ -1,0 +1,283 @@
+"""Evidence-bundle serialisation and the human-readable incident report.
+
+Bundles round-trip through plain JSON: ``bundle_to_dict`` /
+``bundle_from_dict`` are exact inverses (bytes travel as lowercase hex,
+every mapping is emitted with sorted keys), so for a fixed scenario
+seed two runs serialise to byte-identical files — the determinism the
+acceptance tests pin down. ``render_incident_report`` is the text form
+behind ``modchecker explain``: the verdict table, the voting matrix,
+per-suspect hunks with before/after bytes, and the correlated event
+timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.report import VMVerdict
+from ..core.rva import RvaAdjustStats
+from ..obs.events import Event
+from .diff import DiffHunk, RegionDiff
+from .evidence import EvidenceBundle, SuspectEvidence
+
+__all__ = ["BUNDLE_FORMAT", "bundle_to_dict", "bundle_from_dict",
+           "write_bundle", "load_bundle", "render_incident_report"]
+
+#: Schema tag written into every bundle file.
+BUNDLE_FORMAT = "modchecker-evidence/1"
+
+
+# -- serialisation ---------------------------------------------------------
+
+def _hunk_to_dict(h: DiffHunk) -> dict:
+    doc: dict[str, object] = {
+        "region": h.region, "offset": h.offset, "length": h.length,
+        "kind": h.kind, "suspect_bytes": h.suspect_bytes.hex(),
+        "reference_bytes": h.reference_bytes.hex(),
+    }
+    if h.rva is not None:
+        doc["rva"] = h.rva
+    if h.truncated:
+        doc["truncated"] = True
+    return doc
+
+
+def _hunk_from_dict(doc: dict) -> DiffHunk:
+    return DiffHunk(
+        region=doc["region"], offset=doc["offset"], length=doc["length"],
+        kind=doc["kind"], suspect_bytes=bytes.fromhex(doc["suspect_bytes"]),
+        reference_bytes=bytes.fromhex(doc["reference_bytes"]),
+        rva=doc.get("rva"), truncated=doc.get("truncated", False))
+
+
+def _region_diff_to_dict(d: RegionDiff) -> dict:
+    doc: dict[str, object] = {
+        "region": d.region,
+        "hunks": [_hunk_to_dict(h) for h in d.hunks],
+    }
+    if d.rva_stats is not None:
+        doc["rva_stats"] = {"replaced": d.rva_stats.replaced,
+                            "unresolved": d.rva_stats.unresolved,
+                            "windows": d.rva_stats.windows}
+    if d.dropped_hunks:
+        doc["dropped_hunks"] = d.dropped_hunks
+    if d.dropped_relocations:
+        doc["dropped_relocations"] = d.dropped_relocations
+    return doc
+
+
+def _region_diff_from_dict(doc: dict) -> RegionDiff:
+    stats = None
+    if "rva_stats" in doc:
+        s = doc["rva_stats"]
+        stats = RvaAdjustStats(replaced=s["replaced"],
+                               unresolved=s["unresolved"],
+                               windows=s["windows"])
+    return RegionDiff(region=doc["region"],
+                      hunks=[_hunk_from_dict(h) for h in doc["hunks"]],
+                      rva_stats=stats,
+                      dropped_hunks=doc.get("dropped_hunks", 0),
+                      dropped_relocations=doc.get("dropped_relocations", 0))
+
+
+def _verdict_to_dict(v: VMVerdict) -> dict:
+    return {"vm_name": v.vm_name, "matches": v.matches,
+            "comparisons": v.comparisons, "clean": v.clean,
+            "mismatched_regions": list(v.mismatched_regions)}
+
+
+def _verdict_from_dict(doc: dict) -> VMVerdict:
+    return VMVerdict(vm_name=doc["vm_name"], matches=doc["matches"],
+                     comparisons=doc["comparisons"], clean=doc["clean"],
+                     mismatched_regions=tuple(doc["mismatched_regions"]))
+
+
+def _suspect_to_dict(s: SuspectEvidence) -> dict:
+    return {"vm_name": s.vm_name, "verdict": _verdict_to_dict(s.verdict),
+            "reference_vm": s.reference_vm, "base": s.base,
+            "reference_base": s.reference_base, "pe_layout": s.pe_layout,
+            "region_diffs": [_region_diff_to_dict(d)
+                             for d in s.region_diffs]}
+
+
+def _suspect_from_dict(doc: dict) -> SuspectEvidence:
+    return SuspectEvidence(
+        vm_name=doc["vm_name"], verdict=_verdict_from_dict(doc["verdict"]),
+        reference_vm=doc["reference_vm"], base=doc["base"],
+        reference_base=doc["reference_base"], pe_layout=doc["pe_layout"],
+        region_diffs=[_region_diff_from_dict(d)
+                      for d in doc["region_diffs"]])
+
+
+def _event_to_dict(e: Event) -> dict:
+    return e.to_dict()
+
+
+def _event_from_dict(doc: dict) -> Event:
+    return Event(time=doc["t"], seq=doc["seq"], name=doc["event"],
+                 check_id=doc.get("check_id"), attrs=doc.get("attrs", {}))
+
+
+def bundle_to_dict(bundle: EvidenceBundle) -> dict:
+    """The bundle as a JSON-ready dict (bytes as hex, stable shapes)."""
+    return {
+        "format": BUNDLE_FORMAT,
+        "bundle_id": bundle.bundle_id,
+        "module_name": bundle.module_name,
+        "captured_at": bundle.captured_at,
+        "check_id": bundle.check_id,
+        "vm_names": list(bundle.vm_names),
+        "flagged": list(bundle.flagged),
+        "degraded": dict(bundle.degraded),
+        "verdicts": {vm: _verdict_to_dict(v)
+                     for vm, v in sorted(bundle.verdicts.items())},
+        "voting_matrix": bundle.voting_matrix,
+        "suspects": [_suspect_to_dict(s) for s in bundle.suspects],
+        "timeline": [_event_to_dict(e) for e in bundle.timeline],
+    }
+
+
+def bundle_from_dict(doc: dict) -> EvidenceBundle:
+    """Inverse of :func:`bundle_to_dict`."""
+    fmt = doc.get("format")
+    if fmt != BUNDLE_FORMAT:
+        raise ValueError(f"unsupported bundle format {fmt!r}; "
+                         f"expected {BUNDLE_FORMAT!r}")
+    return EvidenceBundle(
+        bundle_id=doc["bundle_id"], module_name=doc["module_name"],
+        captured_at=doc["captured_at"], check_id=doc["check_id"],
+        vm_names=list(doc["vm_names"]), flagged=list(doc["flagged"]),
+        degraded=dict(doc["degraded"]),
+        verdicts={vm: _verdict_from_dict(v)
+                  for vm, v in doc["verdicts"].items()},
+        voting_matrix=list(doc["voting_matrix"]),
+        suspects=[_suspect_from_dict(s) for s in doc["suspects"]],
+        timeline=[_event_from_dict(e) for e in doc["timeline"]])
+
+
+def write_bundle(bundle: EvidenceBundle, path: str | Path) -> Path:
+    """Persist a bundle as deterministic, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bundle_to_dict(bundle), sort_keys=True,
+                               indent=2) + "\n")
+    return path
+
+
+def load_bundle(path: str | Path) -> EvidenceBundle:
+    """Read a bundle previously written by :func:`write_bundle`."""
+    return bundle_from_dict(json.loads(Path(path).read_text()))
+
+
+# -- rendering -------------------------------------------------------------
+
+def _hex(data: bytes) -> str:
+    return data.hex() or "(absent)"
+
+
+def _render_suspect(s: SuspectEvidence, lines: list[str]) -> None:
+    v = s.verdict
+    lines.append(f"Suspect {s.vm_name} — {v.matches}/{v.comparisons} "
+                 f"matches (majority vote: FAIL)")
+    if s.reference_vm is None:
+        lines.append("  no reference copy available "
+                     "(suspect's copy could not be acquired "
+                     "or pool had no counterpart)")
+        return
+    lines.append(f"  compared against {s.reference_vm} "
+                 f"(suspect base 0x{s.base:x}, "
+                 f"reference base 0x{s.reference_base:x})")
+    if v.mismatched_regions:
+        lines.append("  mismatched components: "
+                     + ", ".join(v.mismatched_regions))
+    if s.pe_layout:
+        lines.append("  PE layout:")
+        for region in s.pe_layout:
+            lines.append(f"    {region['name']:<24} {region['kind']:<6} "
+                         f"[0x{region['start']:06x}, 0x{region['end']:06x})"
+                         f"  {region['size']} bytes")
+    tampered = s.tampered_regions()
+    lines.append(f"  verdict: {s.unexplained_hunks} unexplained hunk(s)"
+                 + (f" in {', '.join(tampered)}" if tampered else ""))
+    for diff in s.region_diffs:
+        relocs = [h for h in diff.hunks if h.kind == "relocation"]
+        stats = diff.rva_stats
+        summary = (f" ({stats.replaced} slot(s) relocation-explained, "
+                   f"{stats.unresolved} byte(s) unresolved)"
+                   if stats is not None else "")
+        lines.append(f"  region {diff.region}: "
+                     f"{len(diff.unexplained)} unexplained, "
+                     f"{len(relocs)} relocation hunk(s){summary}")
+        for h in diff.unexplained:
+            cap = " [truncated]" if h.truncated else ""
+            lines.append(f"    {h.kind.upper():<10} +0x{h.offset:06x} "
+                         f"len={h.length}{cap}")
+            lines.append(f"      suspect:   {_hex(h.suspect_bytes)}")
+            lines.append(f"      reference: {_hex(h.reference_bytes)}")
+        for h in relocs[:4]:
+            lines.append(f"    relocation +0x{h.offset:06x} "
+                         f"abs {_hex(h.suspect_bytes)} vs "
+                         f"{_hex(h.reference_bytes)} -> rva 0x{h.rva:x}")
+        if len(relocs) > 4:
+            lines.append(f"    ... and {len(relocs) - 4} more "
+                         f"relocation slot(s)")
+        if diff.dropped_hunks:
+            lines.append(f"    ({diff.dropped_hunks} unexplained hunk(s) "
+                         f"beyond the per-region cap not captured)")
+        if diff.dropped_relocations:
+            lines.append(f"    ({diff.dropped_relocations} further "
+                         f"relocation slot(s) not captured; totals in "
+                         f"rva_stats)")
+
+
+def render_incident_report(bundle: EvidenceBundle) -> str:
+    """The ``modchecker explain`` text: one reviewable incident record."""
+    lines: list[str] = []
+    lines.append("=" * 64)
+    lines.append(f"INCIDENT {bundle.bundle_id} — module "
+                 f"{bundle.module_name!r}")
+    lines.append("=" * 64)
+    lines.append(f"check_id:    {bundle.check_id or '(none)'}")
+    lines.append(f"sim time:    t={bundle.captured_at:.6f}s")
+    lines.append(f"pool:        {', '.join(bundle.vm_names)}")
+    lines.append(f"flagged:     {', '.join(bundle.flagged) or '(none)'}")
+    if bundle.degraded:
+        lines.append("degraded:    "
+                     + "; ".join(f"{vm}: {why}" for vm, why
+                                 in sorted(bundle.degraded.items())))
+    lines.append("")
+    lines.append("Verdicts")
+    for vm in sorted(bundle.verdicts):
+        v = bundle.verdicts[vm]
+        state = "clean" if v.clean else "FLAGGED"
+        lines.append(f"  {vm:<12} {v.matches}/{v.comparisons} matches  "
+                     f"{state}")
+    lines.append("")
+    lines.append("Voting matrix")
+    for row in bundle.voting_matrix:
+        mark = "match   " if row["matched"] else "MISMATCH"
+        regions = (" [" + ", ".join(row["mismatched_regions"]) + "]"
+                   if row["mismatched_regions"] else "")
+        lines.append(f"  {row['vm_a']:<12} ~ {row['vm_b']:<12} "
+                     f"{mark}{regions}")
+    for suspect in bundle.suspects:
+        lines.append("")
+        _render_suspect(suspect, lines)
+    lines.append("")
+    if bundle.timeline:
+        lines.append(f"Correlated timeline ({len(bundle.timeline)} "
+                     f"event(s), check {bundle.check_id})")
+        for e in bundle.timeline:
+            attrs = " ".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
+            lines.append(f"  t={e.time:>12.6f}  {e.name:<20} {attrs}")
+    else:
+        lines.append("Correlated timeline: (no audit events captured)")
+    lines.append("")
+    verdict = ("TAMPER CONFIRMED: "
+               f"{bundle.unexplained_hunks} unexplained hunk(s)"
+               if bundle.unexplained_hunks
+               else "no unexplained byte differences "
+                    "(all diffs relocation-explained)")
+    lines.append(f"Conclusion: {verdict}")
+    return "\n".join(lines) + "\n"

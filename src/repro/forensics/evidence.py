@@ -1,0 +1,205 @@
+"""Evidence capture: from a non-clean :class:`PoolReport` to a bundle.
+
+A verdict is a single bit per VM; an incident record has to carry what
+the responder actually reviews. :func:`capture_evidence` freezes, at
+the moment the verdict lands:
+
+* the **voting matrix** — every :class:`PairComparison` of the check,
+  so the majority vote can be re-derived from the bundle alone;
+* per suspect, the **byte-diff hunks** against a majority-cluster
+  representative (:func:`repro.forensics.diff.diff_modules`), each
+  classified relocation / tamper / structural;
+* the suspect's **PE layout summary** (region table with offsets and
+  sizes) — the paper's E4 reporting, down to the component;
+* the **correlated timeline**: every audit-log event carrying this
+  check's ``check_id`` (breaker trips, chaos events, membership
+  changes, the comparisons themselves), pulled from the
+  :class:`~repro.obs.events.EventLog`.
+
+Capture runs only on the alert path — a clean report never reaches it —
+which is what keeps forensics off the hot path. The
+:class:`EvidenceRecorder` is the retention policy around it: a bounded
+in-memory shelf plus an optional directory sink with deterministic
+filenames (``incident-0001-chk-000007.json``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.parser import ParsedModule
+from ..core.report import PoolReport, VMVerdict
+from ..obs.events import Event, EventLog, NullEventLog, NULL_EVENTS
+from .diff import RegionDiff, diff_modules
+
+__all__ = ["SuspectEvidence", "EvidenceBundle", "capture_evidence",
+           "EvidenceRecorder"]
+
+
+@dataclass
+class SuspectEvidence:
+    """Everything captured about one flagged VM."""
+
+    vm_name: str
+    verdict: VMVerdict
+    reference_vm: str | None
+    base: int
+    reference_base: int
+    #: region table of the suspect's copy: name/kind/start/end/size
+    pe_layout: list[dict] = field(default_factory=list)
+    region_diffs: list[RegionDiff] = field(default_factory=list)
+
+    @property
+    def unexplained_hunks(self) -> int:
+        return sum(len(d.unexplained) for d in self.region_diffs)
+
+    def tampered_regions(self) -> list[str]:
+        """Regions with at least one non-relocation hunk."""
+        return [d.region for d in self.region_diffs if d.unexplained]
+
+
+@dataclass
+class EvidenceBundle:
+    """One incident record: a non-clean pool check, fully captured."""
+
+    bundle_id: str
+    module_name: str
+    captured_at: float           # simulated-clock time of capture
+    check_id: str | None
+    vm_names: list[str]
+    flagged: list[str]
+    degraded: dict[str, str] = field(default_factory=dict)
+    verdicts: dict[str, VMVerdict] = field(default_factory=dict)
+    #: the full PairComparison grid, as (vm_a, vm_b, mismatched) rows
+    voting_matrix: list[dict] = field(default_factory=list)
+    suspects: list[SuspectEvidence] = field(default_factory=list)
+    timeline: list[Event] = field(default_factory=list)
+
+    @property
+    def unexplained_hunks(self) -> int:
+        return sum(s.unexplained_hunks for s in self.suspects)
+
+    def suspect(self, vm_name: str) -> SuspectEvidence:
+        for s in self.suspects:
+            if s.vm_name == vm_name:
+                return s
+        raise KeyError(vm_name)
+
+
+def _pe_layout(mod: ParsedModule) -> list[dict]:
+    layout: list[dict] = []
+    for kind, regions in (("header", mod.header_regions),
+                          ("code", mod.code_regions)):
+        for r in regions:
+            layout.append({"name": r.name, "kind": kind, "start": r.start,
+                           "end": r.end, "size": r.end - r.start})
+    layout.sort(key=lambda d: (d["start"], d["name"]))
+    return layout
+
+
+def _pick_reference(report: PoolReport, suspect: str,
+                    by_vm: dict[str, ParsedModule]) -> str | None:
+    """A majority-cluster representative with a parsed copy in hand.
+
+    Prefer clean VMs (alphabetical, for determinism); if the vote left
+    no clean VM — split-brain pools — fall back to the highest-matching
+    other VM, so the diff still shows *something* reviewable.
+    """
+    clean = [v for v in sorted(report.clean_vms())
+             if v != suspect and v in by_vm]
+    if clean:
+        return clean[0]
+    others = [v for v in sorted(report.verdicts)
+              if v != suspect and v in by_vm]
+    if not others:
+        return None
+    return max(others, key=lambda v: (report.verdicts[v].matches, v))
+
+
+def capture_evidence(report: PoolReport, parsed: list[ParsedModule], *,
+                     events: EventLog | NullEventLog = NULL_EVENTS,
+                     check_id: str | None = None,
+                     captured_at: float = 0.0,
+                     bundle_id: str = "incident-0001",
+                     max_hunks_per_region: int = 64) -> EvidenceBundle:
+    """Build the evidence bundle for a non-clean ``report``.
+
+    ``parsed`` are the same module copies the checker voted on; the
+    diff therefore explains the very bytes that produced the verdict.
+    """
+    by_vm = {p.vm_name: p for p in parsed}
+    check_id = check_id or (events.current_check or None)
+    suspects: list[SuspectEvidence] = []
+    for vm_name in sorted(report.flagged()):
+        verdict = report.verdicts[vm_name]
+        suspect_mod = by_vm.get(vm_name)
+        ref_vm = _pick_reference(report, vm_name, by_vm)
+        diffs: list[RegionDiff] = []
+        layout: list[dict] = []
+        base = ref_base = 0
+        if suspect_mod is not None:
+            layout = _pe_layout(suspect_mod)
+            base = suspect_mod.base
+        if suspect_mod is not None and ref_vm is not None:
+            ref_mod = by_vm[ref_vm]
+            ref_base = ref_mod.base
+            diffs = diff_modules(suspect_mod, ref_mod,
+                                 max_hunks_per_region=max_hunks_per_region)
+        suspects.append(SuspectEvidence(
+            vm_name=vm_name, verdict=verdict, reference_vm=ref_vm,
+            base=base, reference_base=ref_base, pe_layout=layout,
+            region_diffs=diffs))
+    matrix = [{"vm_a": p.vm_a, "vm_b": p.vm_b, "matched": p.matched,
+               "mismatched_regions": list(p.mismatched_regions)}
+              for p in report.pairs]
+    timeline = events.by_check(check_id) if check_id else []
+    return EvidenceBundle(
+        bundle_id=bundle_id, module_name=report.module_name,
+        captured_at=captured_at, check_id=check_id,
+        vm_names=list(report.vm_names), flagged=sorted(report.flagged()),
+        degraded=dict(report.degraded), verdicts=dict(report.verdicts),
+        voting_matrix=matrix, suspects=suspects, timeline=timeline)
+
+
+class EvidenceRecorder:
+    """Retention policy around :func:`capture_evidence`.
+
+    Keeps the last ``max_bundles`` bundles in memory and, when
+    ``out_dir`` is set, writes each to a deterministically named JSON
+    file (``incident-NNNN-<check_id>.json``). ``captures`` counts every
+    bundle ever recorded — the counter the off-hot-path tests assert
+    stays at zero for clean pools.
+    """
+
+    def __init__(self, *, out_dir: str | Path | None = None,
+                 max_bundles: int = 64,
+                 max_hunks_per_region: int = 64) -> None:
+        self.out_dir = Path(out_dir) if out_dir is not None else None
+        self.max_hunks_per_region = max_hunks_per_region
+        self.bundles: deque[EvidenceBundle] = deque(maxlen=max_bundles)
+        self.captures = 0
+
+    def record(self, report: PoolReport, parsed: list[ParsedModule], *,
+               events: EventLog | NullEventLog = NULL_EVENTS,
+               check_id: str | None = None,
+               captured_at: float = 0.0) -> EvidenceBundle:
+        """Capture (and optionally persist) one incident's evidence."""
+        self.captures += 1
+        bundle = capture_evidence(
+            report, parsed, events=events, check_id=check_id,
+            captured_at=captured_at,
+            bundle_id=f"incident-{self.captures:04d}",
+            max_hunks_per_region=self.max_hunks_per_region)
+        self.bundles.append(bundle)
+        if self.out_dir is not None:
+            from .bundle import write_bundle
+            stem = bundle.bundle_id + (f"-{bundle.check_id}"
+                                       if bundle.check_id else "")
+            write_bundle(bundle, self.out_dir / f"{stem}.json")
+        return bundle
+
+    @property
+    def last(self) -> EvidenceBundle | None:
+        return self.bundles[-1] if self.bundles else None

@@ -93,10 +93,18 @@ def record_vmi_instance(metrics, vm_name: str, vmi, base=None) -> None:
 
     ``base`` carries the folded counters of earlier sessions on the
     same VM (the checker re-attaches after a reboot); adding it keeps
-    the cumulative series monotonic across session restarts.
+    the cumulative series monotonic across session restarts. ``vmi``
+    may be ``None`` for a VM with *only* folded history (its session
+    was retired — reboot, eviction — and not yet re-attached): the
+    cumulative counters still publish, so an evicted VM's final
+    session tail is never silently dropped from the totals; only the
+    per-round cache-ratio gauges (meaningless without a live session)
+    are skipped.
     """
-    stats = vmi.stats
-    if base is not None:
+    stats = vmi.stats if vmi is not None else base
+    if stats is None:
+        return
+    if vmi is not None and base is not None:
         stats = type(stats)(**{
             name: getattr(base, name) + value
             for name, value in vars(stats).items()})
@@ -117,11 +125,12 @@ def record_vmi_instance(metrics, vm_name: str, vmi, base=None) -> None:
         "VMI cache hits (cumulative, never reset)")
     hits.set_to(stats.translation_cache_hits, vm=vm_name, cache="v2p")
     hits.set_to(stats.page_cache_hits, vm=vm_name, cache="page")
-    ratio = metrics.gauge(
-        "modchecker_cache_hit_ratio",
-        "Per-round cache hit ratio (resets with each cache flush)")
-    ratio.set(vmi.v2p_cache.hit_rate, vm=vm_name, cache="v2p")
-    ratio.set(vmi.page_cache.hit_rate, vm=vm_name, cache="page")
+    if vmi is not None:
+        ratio = metrics.gauge(
+            "modchecker_cache_hit_ratio",
+            "Per-round cache hit ratio (resets with each cache flush)")
+        ratio.set(vmi.v2p_cache.hit_rate, vm=vm_name, cache="v2p")
+        ratio.set(vmi.page_cache.hit_rate, vm=vm_name, cache="page")
     metrics.counter(
         "modchecker_vmi_transient_faults_total",
         "Transient introspection faults observed").set_to(

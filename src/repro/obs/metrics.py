@@ -49,6 +49,8 @@ def _escape_label_value(value: str) -> str:
 def _format_value(value: float) -> str:
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"        # canonical Prometheus spelling, not 'nan'
     return repr(float(value))
 
 

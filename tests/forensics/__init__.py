@@ -1,0 +1,1 @@
+"""Forensics package tests."""

@@ -1,0 +1,112 @@
+"""Bundle serialisation tests: round trip, stability, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.forensics import (EvidenceRecorder, bundle_from_dict,
+                             bundle_to_dict, capture_evidence, load_bundle,
+                             render_incident_report, write_bundle)
+from repro.guest import build_catalog
+from repro.hypervisor.clock import SimClock
+from repro.obs import EventLog
+
+VICTIM = "Dom3"
+
+
+def _bundle():
+    attack, module = attack_for_experiment("E1")
+    result = attack.apply(build_catalog(seed=42)[module])
+    tb = build_testbed(4, seed=42,
+                       infected={VICTIM: {module: result.infected}})
+    mc = ModChecker(tb.hypervisor, tb.profile)
+    parsed, *_ = mc.fetch_modules(module, tb.vm_names)
+    report = mc.check_pool(module).report
+    log = EventLog(SimClock())
+    with log.correlate("chk-000001"):
+        log.emit("check.start", module=module, vms=len(tb.vm_names))
+        log.emit("check.verdict", flagged=[VICTIM])
+    return capture_evidence(report, parsed, events=log,
+                            check_id="chk-000001", captured_at=12.5)
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_preserves_everything(self):
+        bundle = _bundle()
+        clone = bundle_from_dict(bundle_to_dict(bundle))
+        assert clone.bundle_id == bundle.bundle_id
+        assert clone.module_name == bundle.module_name
+        assert clone.captured_at == bundle.captured_at
+        assert clone.check_id == bundle.check_id
+        assert clone.flagged == bundle.flagged
+        assert clone.voting_matrix == bundle.voting_matrix
+        assert clone.unexplained_hunks == bundle.unexplained_hunks
+        s, c = bundle.suspect(VICTIM), clone.suspect(VICTIM)
+        assert c.reference_vm == s.reference_vm
+        assert (c.base, c.reference_base) == (s.base, s.reference_base)
+        assert c.pe_layout == s.pe_layout
+        assert [h for d in c.region_diffs for h in d.hunks] == \
+            [h for d in s.region_diffs for h in d.hunks]
+        assert [e.name for e in clone.timeline] == \
+            [e.name for e in bundle.timeline]
+
+    def test_dict_form_is_pure_json(self):
+        doc = bundle_to_dict(_bundle())
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_write_then_load_then_rewrite_is_byte_identical(self, tmp_path):
+        bundle = _bundle()
+        p1 = write_bundle(bundle, tmp_path / "a.json")
+        p2 = write_bundle(load_bundle(p1), tmp_path / "b.json")
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_unknown_format_version_rejected(self):
+        doc = bundle_to_dict(_bundle())
+        doc["format"] = "modchecker-evidence/99"
+        with pytest.raises(ValueError, match="format"):
+            bundle_from_dict(doc)
+
+
+class TestRender:
+    def test_report_names_the_crime(self):
+        text = render_incident_report(_bundle())
+        assert "TAMPER CONFIRMED" in text
+        assert VICTIM in text
+        assert ".text" in text
+        assert "chk-000001" in text
+        assert "check.verdict" in text          # correlated timeline
+        assert "reference" in text.lower()
+
+    def test_clean_bundle_renders_without_tamper_banner(self):
+        # A degraded-but-not-tampered pool still yields a bundle; its
+        # report must not claim tamper.
+        tb = build_testbed(3, seed=42)
+        mc = ModChecker(tb.hypervisor, tb.profile)
+        parsed, *_ = mc.fetch_modules("hal.dll", tb.vm_names)
+        report = mc.check_pool("hal.dll").report
+        report.degraded = {"DomX": "unreachable: stopped"}
+        bundle = capture_evidence(report, parsed)
+        text = render_incident_report(bundle)
+        assert "TAMPER CONFIRMED" not in text
+        assert "DomX" in text
+
+
+class TestRecorderFiles:
+    def test_files_on_disk_load_back(self, tmp_path):
+        attack, module = attack_for_experiment("E1")
+        result = attack.apply(build_catalog(seed=42)[module])
+        tb = build_testbed(4, seed=42,
+                           infected={VICTIM: {module: result.infected}})
+        rec = EvidenceRecorder(out_dir=tmp_path)
+        mc = ModChecker(tb.hypervisor, tb.profile, evidence=rec)
+        mc.check_pool(module)
+        paths = sorted(tmp_path.iterdir())
+        assert len(paths) == 1
+        loaded = load_bundle(paths[0])
+        assert loaded.flagged == [VICTIM]
+        assert loaded.unexplained_hunks >= 1

@@ -97,3 +97,62 @@ class TestVmiCounterContinuity:
         after = reg.counter(
             "modchecker_vmi_pages_mapped_total").value(vm=vm)
         assert after >= before
+
+    def test_two_reboot_cycles_stay_monotonic_end_to_end(self):
+        # TWO full reboot/retire cycles through ModChecker's own
+        # publication path (_record_outcome with live metrics): every
+        # re-attach folds another baseline, and set_to would raise if
+        # any published total ever ran backwards.
+        from repro.obs import make_observability
+        tb = build_testbed(2, seed=42)
+        obs = make_observability(tb.clock)
+        mc = ModChecker(tb.hypervisor, tb.profile, obs=obs)
+        vm = tb.vm_names[0]
+        counter = obs.metrics.counter("modchecker_vmi_pages_mapped_total")
+
+        totals = []
+        mc.check_pool("hal.dll")
+        totals.append(counter.value(vm=vm))
+        for _ in range(2):                  # reboot -> retire -> re-check
+            tb.hypervisor.reboot(vm)
+            mc.admit_vm(vm)
+            mc.check_pool("hal.dll")
+            totals.append(counter.value(vm=vm))
+        assert totals[0] > 0
+        assert totals == sorted(totals)
+        # and each cycle actually added introspection work
+        assert totals[2] > totals[0]
+
+    def test_evicted_vm_keeps_publishing_folded_totals(self):
+        # Regression: _record_outcome used to iterate live sessions
+        # only, so an evicted VM's final session tail silently vanished
+        # from the published totals until (unless) it re-attached.
+        from repro.obs import make_observability
+        tb = build_testbed(3, seed=7)
+        obs = make_observability(tb.clock)
+        mc = ModChecker(tb.hypervisor, tb.profile, obs=obs)
+        gone = tb.vm_names[2]
+        survivors = tb.vm_names[:2]
+        counter = obs.metrics.counter("modchecker_vmi_pages_mapped_total")
+
+        mc.check_pool("hal.dll")
+        before = counter.value(vm=gone)
+        assert before > 0
+        mc.evict_vm(gone)                   # retires the session
+        mc.check_pool("hal.dll", vms=survivors)
+        assert counter.value(vm=gone) == before
+
+    def test_record_vmi_instance_accepts_retired_only_state(self):
+        from repro.obs import MetricsRegistry
+        from repro.vmi.core import VMIStats
+        reg = MetricsRegistry()
+        base = VMIStats(pages_mapped=7, bytes_read=512)
+        record_vmi_instance(reg, "DomX", None, base=base)
+        counter = reg.counter("modchecker_vmi_pages_mapped_total")
+        assert counter.value(vm="DomX") == 7
+        # no live session -> the per-round cache-ratio gauges are absent
+        assert reg.gauge("modchecker_cache_hit_ratio").value(
+            vm="DomX", cache="v2p") == 0.0
+        # nothing at all to publish is a no-op, not a crash
+        record_vmi_instance(reg, "DomY", None, base=None)
+        assert counter.value(vm="DomY") == 0

@@ -50,7 +50,47 @@ class TestChromeTraceEvents:
         assert len(chrome_trace_events(tracer.spans)) == 1
 
 
-class TestWriteChromeTrace:
+class TestEdgeCases:
+    def test_empty_tracer_is_a_valid_trace(self, tmp_path):
+        tracer = Tracer(SimClock())
+        assert chrome_trace_events(tracer.spans) == []
+        path = write_chrome_trace(tracer, tmp_path / "empty.json")
+        doc = json.load(open(path))
+        assert doc["traceEvents"] == []
+
+    def test_nested_spans_keep_pairing_balanced(self):
+        # Deep nesting: replay every span's [begin, end] boundary as a
+        # bracket sequence and assert proper stack discipline — no
+        # span closes before a child it contains.
+        clock = SimClock()
+        tracer = Tracer(clock)
+        with tracer.span("daemon.cycle"):
+            clock.advance(0.001)
+            with tracer.span("modchecker.check"):
+                clock.advance(0.001)
+                with tracer.span("modchecker.fetch"):
+                    clock.advance(0.001)
+                    with tracer.span("searcher.copy", vm="Dom1"):
+                        clock.advance(0.001)
+                clock.advance(0.001)
+            with tracer.span("checker.compare"):
+                clock.advance(0.001)
+        events = chrome_trace_events(tracer.spans)
+        assert len(events) == 5
+        boundaries = []
+        for e in events:
+            boundaries.append((e["ts"], 1, e["ts"] + e["dur"], e["name"]))
+        # Sort begins by time; at equal times the longer span opens
+        # first (it is the parent).
+        boundaries.sort(key=lambda b: (b[0], -(b[2] - b[0])))
+        stack = []
+        for begin, _, end, name in boundaries:
+            while stack and stack[-1][0] <= begin:
+                stack.pop()
+            for open_end, open_name in stack:
+                assert end <= open_end + 1e-9, \
+                    f"{name} outlives enclosing {open_name}"
+            stack.append((end, name))
     def test_file_loads_and_nests(self, tmp_path):
         tracer = _sample_tracer()
         path = write_chrome_trace(tracer, tmp_path / "trace.json",

@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import json
+import math
+import re
 
 import pytest
 
 from repro.obs import NULL_METRICS, MetricsRegistry
+from repro.obs.metrics import _escape_label_value, _format_value
 
 
 class TestCounter:
@@ -124,6 +127,76 @@ class TestPrometheusExposition:
                 assert re.match(r"^# (HELP|TYPE) ", line)
             else:
                 assert sample.match(line), line
+
+
+#: Strict exposition-format label parser: label values are everything
+#: between the quotes, with `\\`, `\"` and `\n` as the only escapes.
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\":
+            nxt = value[i + 1]
+            out.append({"n": "\n", '"': '"', "\\": "\\"}[nxt])
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+class TestEscapingRoundTrip:
+    @pytest.mark.parametrize("raw", [
+        'plain',
+        'line one\nline two',
+        'say "hi"',
+        'back\\slash',
+        'all three: "\\\n"',
+        '\\n literal backslash-n',
+        'trailing backslash\\',
+    ])
+    def test_label_value_survives_exposition(self, raw):
+        # The escaped form must stay on one line and a strict parser
+        # must recover the original value exactly.
+        escaped = _escape_label_value(raw)
+        assert "\n" not in escaped
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc(why=raw)
+        line = [ln for ln in reg.to_prometheus().splitlines()
+                if ln.startswith("x_total{")][0]
+        matches = dict(_LABEL_RE.findall(line))
+        assert _unescape(matches["why"]) == raw
+
+    def test_distinct_raw_values_stay_distinct(self):
+        # '\n' (escaped newline) and a literal backslash-n must not
+        # collide after escaping — the classic double-escape bug.
+        assert (_escape_label_value("a\nb")
+                != _escape_label_value("a\\nb"))
+
+
+class TestFormatValue:
+    def test_infinities_use_prometheus_spelling(self):
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+
+    def test_nan_is_canonical(self):
+        assert _format_value(float("nan")) == "NaN"
+
+    def test_finite_values_round_trip(self):
+        for v in (0.0, 1.5, -2.25, 1e-9, 12345.0):
+            assert float(_format_value(v)) == v
+
+    def test_special_values_render_in_exposition(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("inf"), kind="pos")
+        reg.gauge("g").set(float("nan"), kind="nan")
+        text = reg.to_prometheus()
+        assert 'g{kind="pos"} +Inf' in text
+        assert 'g{kind="nan"} NaN' in text
+        # the canonical spellings parse back to the same specials
+        assert math.isinf(float("+Inf")) and math.isnan(float("NaN"))
 
 
 class TestSnapshots:

@@ -1,0 +1,71 @@
+"""Tests for tools/check_event_vocab.py on the tree and synthetic logs."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" \
+    / "check_event_vocab.py"
+spec = importlib.util.spec_from_file_location("event_vocab", _TOOL)
+vocab_lint = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(vocab_lint)
+
+
+class TestSourceTree:
+    def test_repo_sources_are_in_vocabulary(self):
+        problems, used = vocab_lint.lint_sources(
+            Path(__file__).resolve().parent.parent / "src")
+        assert problems == []
+        # closed both ways: nothing outside the vocabulary is emitted,
+        # and every vocabulary name has a live emit site
+        assert used == set(vocab_lint.EVENT_NAMES)
+
+    def test_rogue_emit_site_is_caught(self, tmp_path):
+        rogue = tmp_path / "rogue.py"
+        rogue.write_text('log.emit("check.start")\n'
+                         'log.emit("totally.madeup", vm="Dom1")\n')
+        problems, used = vocab_lint.lint_sources(tmp_path)
+        assert len(problems) == 1
+        assert "totally.madeup" in problems[0]
+        assert "rogue.py:2" in problems[0]
+        assert "check.start" in used
+
+
+class TestJsonlLogs:
+    def _write(self, tmp_path, docs):
+        path = tmp_path / "audit.jsonl"
+        path.write_text("".join(json.dumps(d) + "\n" for d in docs))
+        return path
+
+    def test_valid_log_passes(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"t": 0.0, "seq": 0, "event": "daemon.cycle"},
+            {"t": 1.0, "seq": 1, "event": "check.start",
+             "check_id": "chk-000001", "attrs": {"module": "hal.dll"}},
+        ])
+        assert vocab_lint.lint_jsonl(path) == []
+
+    def test_out_of_vocabulary_record_fails(self, tmp_path):
+        path = self._write(tmp_path, [
+            {"t": 0.0, "seq": 0, "event": "not.a.thing"},
+        ])
+        problems = vocab_lint.lint_jsonl(path)
+        assert len(problems) == 1 and "not.a.thing" in problems[0]
+
+    def test_missing_required_keys_and_bad_json_fail(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"event": "daemon.cycle"}\nnot json\n')
+        problems = vocab_lint.lint_jsonl(path)
+        assert any("missing 't'" in p for p in problems)
+        assert any("missing 'seq'" in p for p in problems)
+        assert any("not JSON" in p for p in problems)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = self._write(tmp_path, [
+            {"t": 0.0, "seq": 0, "event": "alert.raised"}])
+        assert vocab_lint.main([str(good)]) == 0
+        assert "1 log(s) checked" in capsys.readouterr().out
+        assert vocab_lint.main([str(tmp_path / "missing.jsonl")]) == 1
+        assert "no such audit log" in capsys.readouterr().out

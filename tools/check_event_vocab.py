@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Lint the audit-event vocabulary.
+
+The event log's vocabulary is *closed*: every ``emit(...)`` site in the
+source tree and every record in an emitted JSONL audit log must use a
+name from ``repro.obs.events.EVENT_NAMES``. ``EventLog.emit`` enforces
+this at runtime; this linter enforces it statically (so a typo'd name
+fails CI even on a code path no test exercises) and on captured logs
+(so an archived artifact can be trusted without re-running anything).
+
+Usage::
+
+    python tools/check_event_vocab.py                 # lint src/ sites
+    python tools/check_event_vocab.py log.jsonl ...   # also lint logs
+
+Exit status 0 iff every emit site and every log record is in
+vocabulary and the source mentions every vocabulary name somewhere
+(a dead name means the vocabulary table in the docs is overstating
+what the pipeline can produce).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.events import EVENT_NAMES  # noqa: E402
+
+# emit("name", ...) / emit('name', ...) with a literal first argument.
+EMIT_RE = re.compile(r"""\.emit\(\s*(['"])([^'"]+)\1""")
+
+
+def lint_sources(src: Path) -> tuple[list[str], set[str]]:
+    """Return (violations, names actually emitted) for a source tree."""
+    problems: list[str] = []
+    used: set[str] = set()
+    for path in sorted(src.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for match in EMIT_RE.finditer(line):
+                name = match.group(2)
+                used.add(name)
+                if name not in EVENT_NAMES:
+                    shown = path.relative_to(ROOT) \
+                        if path.is_relative_to(ROOT) else path
+                    problems.append(
+                        f"{shown}:{lineno}: "
+                        f"emit of out-of-vocabulary event {name!r}")
+    return problems, used
+
+
+def lint_jsonl(path: Path) -> list[str]:
+    """Validate every record of a JSONL audit log."""
+    problems: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{lineno}: not JSON ({exc.msg})")
+            continue
+        name = doc.get("event")
+        if name not in EVENT_NAMES:
+            problems.append(
+                f"{path}:{lineno}: out-of-vocabulary event {name!r}")
+        for key in ("t", "seq"):
+            if key not in doc:
+                problems.append(f"{path}:{lineno}: missing {key!r}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    problems, used = lint_sources(ROOT / "src")
+    for dead in sorted(set(EVENT_NAMES) - used):
+        problems.append(f"vocabulary name {dead!r} is never emitted "
+                        f"anywhere under src/")
+    logs = 0
+    for arg in argv:
+        path = Path(arg)
+        if not path.exists():
+            problems.append(f"{path}: no such audit log")
+            continue
+        logs += 1
+        problems.extend(lint_jsonl(path))
+    for problem in problems:
+        print(problem)
+    if not problems:
+        print(f"event vocabulary OK: {len(used)} emit site name(s), "
+              f"{len(EVENT_NAMES)} vocabulary name(s), "
+              f"{logs} log(s) checked")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

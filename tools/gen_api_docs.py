@@ -20,7 +20,7 @@ PACKAGES = [
     "repro",
     "repro.pe", "repro.mem", "repro.guest", "repro.hypervisor",
     "repro.vmi", "repro.attacks", "repro.core", "repro.perf",
-    "repro.cloud", "repro.analysis", "repro.obs",
+    "repro.cloud", "repro.analysis", "repro.obs", "repro.forensics",
 ]
 
 MODULES = [
@@ -51,6 +51,9 @@ MODULES = [
     "repro.cloud.testbed", "repro.cloud.scenarios", "repro.cloud.chaos",
     "repro.analysis.stats", "repro.analysis.tables", "repro.analysis.export",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.bridge",
+    "repro.obs.events",
+    "repro.forensics.diff", "repro.forensics.evidence",
+    "repro.forensics.bundle",
 ]
 
 
