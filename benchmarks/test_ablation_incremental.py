@@ -1,0 +1,114 @@
+"""A8 — incremental check pipeline ablation.
+
+The content-addressed manifest sweep replaces the walk/copy/parse/
+compare pipeline with a per-page hypervisor-side checksum sweep once a
+module has produced a clean verdict. This bench quantifies the
+steady-state gain at zero churn (the acceptance bar: at least 3x
+cheaper per cycle), shows the fast path collapses back to full cost
+under a 100% reboot storm (nothing to reuse), and checks that the
+recheck TTL bounds how long the pipeline can coast on sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+
+SEED = 42
+MODULE = "hal.dll"
+N_VMS = 6
+ROUNDS = 5
+
+
+def _steady_state(tb, **kwargs) -> float:
+    """Mean per-cycle checker time after one warm-up round."""
+    mc = ModChecker(tb.hypervisor, tb.profile, **kwargs)
+    mc.check_pool(MODULE)                      # warm-up round
+    with tb.clock.span() as span:
+        for _ in range(ROUNDS):
+            mc.check_pool(MODULE)
+    return span.elapsed / ROUNDS
+
+
+def test_incremental_ablation(benchmark):
+    """Acceptance bar: >= 3x cheaper per steady-state cycle at zero
+    churn versus the full pipeline on the same pool."""
+    tb = build_testbed(N_VMS, seed=SEED)
+
+    full = _steady_state(tb)
+    fast = benchmark(lambda: _steady_state(tb, incremental=True))
+
+    assert full >= 3.0 * fast, \
+        f"incremental speedup {full / fast:.2f}x below the 3x bar"
+
+
+def test_incremental_wins_even_against_warm_caches():
+    """The sweep beats even the unsafe never-flush configuration: a
+    warm page cache still pays translate+map accounting per round,
+    the sweep only translate+checksum."""
+    tb = build_testbed(N_VMS, seed=SEED)
+    warm_caches = _steady_state(tb, flush_caches_each_round=False)
+    fast = _steady_state(tb, incremental=True)
+    assert fast < warm_caches
+
+
+def test_reboot_storm_collapses_to_full_cost():
+    """With every guest rebooting between rounds no manifest survives:
+    the incremental pipeline must cost within a few percent of full
+    (its overhead is the free generation-checked lookup)."""
+    tb = build_testbed(N_VMS, seed=SEED)
+
+    def stormy(**kwargs) -> float:
+        mc = ModChecker(tb.hypervisor, tb.profile, **kwargs)
+        mc.check_pool(MODULE)
+        with tb.clock.span() as span:
+            for _ in range(ROUNDS):
+                for vm in tb.vm_names:
+                    tb.hypervisor.reboot(vm)
+                    mc.admit_vm(vm)
+                mc.check_pool(MODULE)
+        return span.elapsed / ROUNDS
+
+    full = stormy()
+    fast = stormy(incremental=True)
+    assert fast <= full * 1.05
+    assert fast >= full * 0.95
+
+
+def test_recheck_ttl_bounds_the_coast():
+    """A TTL forces periodic full re-verification: per-cycle cost with
+    a tight TTL sits between always-full and never-recheck."""
+    tb = build_testbed(N_VMS, seed=SEED)
+
+    def with_ttl(ttl) -> float:
+        mc = ModChecker(tb.hypervisor, tb.profile, incremental=True,
+                        recheck_ttl=ttl)
+        mc.check_pool(MODULE)
+        elapsed = 0.0
+        for _ in range(ROUNDS):
+            tb.clock.advance(60.0)      # idle time between cycles
+            with tb.clock.span() as span:
+                mc.check_pool(MODULE)
+            elapsed += span.elapsed
+        return elapsed / ROUNDS
+
+    never = with_ttl(None)
+    tight = with_ttl(100.0)        # expires every other 60s cycle
+    full = _steady_state(tb)
+    assert never < tight < full
+
+
+def test_incremental_determinism():
+    """Two identical incremental runs produce identical clocks and
+    identical manifest accounting (the replay cache is content-keyed,
+    nothing depends on wall time or hash randomisation)."""
+    def run():
+        tb = build_testbed(N_VMS, seed=SEED)
+        mc = ModChecker(tb.hypervisor, tb.profile, incremental=True)
+        for _ in range(3):
+            mc.check_pool(MODULE)
+        return (tb.clock.now, mc.manifests.stats.hits,
+                mc.pair_replays,
+                sorted(mc.manifests._entries.keys()))
+
+    assert run() == run()

@@ -71,6 +71,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("--evidence-out", metavar="DIR",
                        help="capture an evidence bundle into DIR for "
                             "every non-clean pool verdict")
+        add_incremental(p)
+
+    def add_incremental(p):
+        p.add_argument("--incremental", action="store_true",
+                       help="skip copy/parse/compare for modules whose "
+                            "content-addressed page manifest still "
+                            "matches (cheap per-page checksum sweep)")
+        p.add_argument("--recheck-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="force a full re-verification of a manifest "
+                            "this long after its last clean full check "
+                            "(default: never)")
 
     p_check = sub.add_parser("check", help="cross-check one module")
     add_common(p_check)
@@ -147,6 +159,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--evidence-out", metavar="DIR",
                          help="capture an evidence bundle into DIR for "
                               "every non-clean pool verdict")
+    add_incremental(p_chaos)
 
     p_explain = sub.add_parser(
         "explain",
@@ -249,6 +262,15 @@ def _retry_policy(args):
     return RetryPolicy(max_attempts=attempts)
 
 
+def _incremental_kwargs(args) -> dict:
+    """Map --incremental / --recheck-ttl to ModChecker kwargs."""
+    ttl = getattr(args, "recheck_ttl", None)
+    if ttl is not None and ttl <= 0:
+        raise SystemExit(f"error: --recheck-ttl must be > 0, got {ttl}")
+    return {"incremental": getattr(args, "incremental", False),
+            "recheck_ttl": ttl}
+
+
 def cmd_check(args) -> int:
     tb, module = _build(args, args.module)
     module = module or args.module
@@ -256,7 +278,7 @@ def cmd_check(args) -> int:
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
                     hash_algorithm=args.hash, retry=_retry_policy(args),
-                    obs=obs, evidence=evidence)
+                    obs=obs, evidence=evidence, **_incremental_kwargs(args))
     out = mc.check_pool(module, mode=args.pool_mode)
     report = out.report
     _export_obs(args, obs, evidence)
@@ -278,7 +300,7 @@ def cmd_sweep(args) -> int:
     tb, _ = _build(args)
     obs = _obs_for(args, tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs)
+                    obs=obs, **_incremental_kwargs(args))
     outcomes = mc.check_all_modules()
     _export_obs(args, obs)
     rows = []
@@ -391,7 +413,7 @@ def cmd_daemon(args) -> int:
     obs = _obs_for(args, tb.clock)
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, evidence=evidence)
+                    obs=obs, evidence=evidence, **_incremental_kwargs(args))
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval,
                          chaos=_chaos_engine(args, tb))
@@ -422,7 +444,7 @@ def cmd_chaos(args) -> int:
     obs = _obs_for(args, tb.clock)
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, evidence=evidence)
+                    obs=obs, evidence=evidence, **_incremental_kwargs(args))
     engine = _chaos_engine(args, tb)
     if engine is None:
         raise SystemExit("error: chaos needs --churn-rate > 0")
@@ -491,7 +513,7 @@ def cmd_explain(args) -> int:
     obs = make_observability(tb.clock)
     recorder = EvidenceRecorder()
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, evidence=recorder)
+                    obs=obs, evidence=recorder, **_incremental_kwargs(args))
     out = mc.check_pool(module)
     _export_obs(args, obs)
     if recorder.last is None:

@@ -245,6 +245,10 @@ class CheckDaemon:
         events = self.checker.obs.events
         if events.enabled:
             events.emit("breaker.tripped", vm=vm, reason=reason)
+        # A tripped VM's manifests may describe memory we could no
+        # longer read; when the breaker re-closes the VM re-earns its
+        # fast path through one full verification.
+        self.checker.invalidate_manifests(vm, reason="breaker")
         self._raise_alert(Alert(self.checker.hv.clock.now, "<pool>", (vm,),
                                 (reason,), kind="degraded", degraded=(vm,)),
                           new_alerts)
@@ -380,6 +384,12 @@ class CheckDaemon:
                     if events.enabled:
                         events.emit("chaos.applied", kind=chaos_event.kind,
                                     vm=chaos_event.vm)
+                    if chaos_event.kind == "migrate-finish":
+                        # Live migration rewrites the guest's physical
+                        # placement; page digests recorded pre-move are
+                        # no longer evidence about the new frames.
+                        self.checker.invalidate_manifests(
+                            chaos_event.vm, reason="migration")
             self.health.tick()
             self._reconcile_membership()
             self._warm_up_pending(new_alerts)

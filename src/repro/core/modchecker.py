@@ -16,6 +16,7 @@ yielding the Searcher/Parser/Checker breakdown the paper plots.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, NamedTuple
 
@@ -23,23 +24,66 @@ from ..errors import (DomainNotFound, InsufficientPool, IntrospectionFault,
                       ModuleNotLoadedError, RetryExhausted, TransientFault,
                       VMIInitError)
 from ..hypervisor.xen import Hypervisor
+from ..mem.physical import PAGE_SIZE
 from ..obs import (NULL_OBS, Observability, record_fault_stats,
-                   record_pool_report, record_stage_timings,
-                   record_vmi_instance)
+                   record_manifest_stats, record_pool_report,
+                   record_stage_timings, record_vmi_instance)
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..perf.timing import ComponentTimings
+from ..vmi.cache import CheckManifest, LRUCache, ManifestStore
 from ..vmi.core import VMIInstance, VMIStats
 from ..vmi.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..vmi.symbols import OSProfile
 from .integrity import IntegrityChecker
 from .parser import ModuleParser, ParsedModule
-from .report import PoolReport, VMCheckReport
+from .report import PairComparison, PoolReport, VMCheckReport
 from .searcher import ModuleSearcher
 
 if TYPE_CHECKING:
     from ..forensics.evidence import EvidenceRecorder
 
 __all__ = ["ModChecker", "CheckOutcome", "PoolOutcome", "FetchResult"]
+
+
+def _page_digests(image: bytes) -> tuple[bytes, ...]:
+    """Per-page MD5 digests of a local image buffer.
+
+    Must agree with :meth:`Hypervisor.checksum_guest_frame` over the
+    same content, so a short tail chunk is zero-padded to a full page
+    (the guest loader zero-fills the remainder of the last frame).
+    """
+    out = []
+    for off in range(0, len(image), PAGE_SIZE):
+        chunk = image[off:off + PAGE_SIZE]
+        if len(chunk) < PAGE_SIZE:
+            chunk = chunk + b"\x00" * (PAGE_SIZE - len(chunk))
+        out.append(hashlib.md5(chunk).digest())
+    return tuple(out)
+
+
+def _content_key(base: int, size: int, digests: tuple[bytes, ...]) -> str:
+    """The content address of one acquisition: digest over (placement,
+    per-page digests). Two copies share a key iff their bytes *and*
+    load base agree — exactly the inputs ``compare_pair`` is a pure
+    function of, which is what makes pair replay sound."""
+    h = hashlib.md5(f"{base:#x}:{size:#x}".encode())
+    for digest in digests:
+        h.update(digest)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class _AcqMeta:
+    """Per-VM bookkeeping for one fetch round (incremental mode)."""
+
+    ldr_entry_va: int
+    base: int
+    size: int
+    boot_generation: int
+    digests: tuple[bytes, ...]
+    content_key: str
+    parsed: ParsedModule
+    from_manifest: bool
 
 
 @dataclass
@@ -91,7 +135,10 @@ class ModChecker:
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  retry: RetryPolicy | None = DEFAULT_RETRY_POLICY,
                  obs: Observability = NULL_OBS,
-                 evidence: "EvidenceRecorder | None" = None) -> None:
+                 evidence: "EvidenceRecorder | None" = None,
+                 incremental: bool = False,
+                 recheck_ttl: float | None = None,
+                 manifest_capacity: int = 1024) -> None:
         self.hv = hypervisor
         if profile is None:
             guests = hypervisor.guests()
@@ -107,6 +154,21 @@ class ModChecker:
         #: forensic capture hook; bundles materialise only when a pool
         #: verdict is non-clean, so the clean path never pays for it
         self.evidence = evidence
+        #: incremental mode: content-addressed manifests let unchanged
+        #: modules skip the walk/copy/parse/compare pipeline entirely
+        self.incremental = incremental
+        self.recheck_ttl = recheck_ttl
+        self.manifests = ManifestStore(manifest_capacity, ttl=recheck_ttl)
+        #: (module, vm_a, vm_b) -> (key_a, key_b, PairComparison);
+        #: replayed only when both content keys still match, so a
+        #: stale pair is unreachable rather than merely evicted
+        self._pair_cache: LRUCache[tuple[str, str, str],
+                                   tuple[str, str, PairComparison]] = \
+            LRUCache(8192)
+        #: pairwise comparisons served from the replay cache (cumulative)
+        self.pair_replays = 0
+        #: per-fetch acquisition metadata, reset by every fetch round
+        self._acq_meta: dict[str, _AcqMeta] = {}
         self._vmis: dict[str, VMIInstance] = {}
         #: per-VM counters folded in from retired sessions, so the
         #: cumulative VMI metrics survive re-attach (reboot churn)
@@ -163,13 +225,179 @@ class ModChecker:
         """A VM joined (or re-joined) the pool: drop any stale session.
 
         The next :meth:`vmi_for` re-attaches against the domain's
-        current boot generation.
+        current boot generation. Any manifests for the VM go too — an
+        (re-)admission means we no longer know what is in its memory.
         """
         self._retire_vmi(vm_name)
+        self.invalidate_manifests(vm_name, reason="admit")
 
     def evict_vm(self, vm_name: str) -> None:
         """A VM left the pool: release its introspection session."""
         self._retire_vmi(vm_name)
+        self.invalidate_manifests(vm_name, reason="evict")
+
+    # -- incremental manifests -------------------------------------------------
+
+    def invalidate_manifests(self, vm_name: str | None = None,
+                             module_name: str | None = None, *,
+                             reason: str) -> int:
+        """Drop cached manifests (all / one VM / one (vm, module)).
+
+        The invalidation surface of the incremental pipeline: called on
+        membership changes (``admit``/``evict``), on a flagged verdict
+        (``flagged``), on content drift detected by the sweep
+        (``page-delta``/``entry-moved``), and by the daemon on breaker
+        trips (``breaker``) and migration completions (``migration``).
+        Emits one ``manifest.invalidated`` audit event when anything
+        was actually removed.
+        """
+        removed = self.manifests.invalidate(vm_name, module_name,
+                                            reason=reason)
+        if removed:
+            events = self.obs.events
+            if events.enabled:
+                events.emit("manifest.invalidated",
+                            vm=vm_name or "*", module=module_name or "*",
+                            reason=reason, entries=removed)
+        return removed
+
+    def _try_manifest(self, vmi: VMIInstance, searcher: ModuleSearcher,
+                      module_name: str) -> ParsedModule | None:
+        """The incremental fast path for one VM, or None for full work.
+
+        Three gates, cheapest first: a structurally valid manifest
+        (generation + TTL, free), the LDR entry still in place (six
+        u32 reads), and the per-page checksum sweep (every page is
+        still observed every round — the sweep is how tampering is
+        caught; what it skips is the copy/parse/compare machinery, not
+        the looking). Any mismatch invalidates and reports None, and
+        the caller runs the full pipeline in the same round.
+        """
+        vm_name = vmi.domain.name
+        manifest = self.manifests.lookup(
+            vm_name, module_name,
+            boot_generation=vmi.boot_generation, now=self.hv.clock.now)
+        if manifest is None:
+            return None
+        if not searcher.verify_cached_entry(manifest.ldr_entry_va,
+                                            dll_base=manifest.base,
+                                            size_of_image=manifest.size):
+            self.invalidate_manifests(vm_name, module_name,
+                                      reason="entry-moved")
+            return None
+        try:
+            digests = vmi.checksum_va_range(manifest.base, manifest.size)
+        except (TransientFault, RetryExhausted):
+            raise       # sick VM: the caller degrades it
+        except IntrospectionFault:
+            # a page of the recorded range no longer translates — a
+            # content change as far as the manifest is concerned; fall
+            # back to the full walk, which sees the current truth
+            self.invalidate_manifests(vm_name, module_name,
+                                      reason="page-delta")
+            return None
+        if digests != manifest.page_digests:
+            self.invalidate_manifests(vm_name, module_name,
+                                      reason="page-delta")
+            return None
+        self._acq_meta[vm_name] = _AcqMeta(
+            ldr_entry_va=manifest.ldr_entry_va, base=manifest.base,
+            size=manifest.size, boot_generation=manifest.boot_generation,
+            digests=manifest.page_digests,
+            content_key=manifest.content_key, parsed=manifest.parsed,
+            from_manifest=True)
+        events = self.obs.events
+        if events.enabled:
+            events.emit("manifest.hit", vm=vm_name, module=module_name,
+                        pages=len(digests))
+        return manifest.parsed
+
+    def _note_acquisition(self, vmi: VMIInstance, copy,
+                          parsed: ParsedModule) -> None:
+        """Content-address a full acquisition (incremental mode only).
+
+        The per-page digests are computed over the local buffer just
+        copied out (charged at ``hash_per_byte``, which is noise next
+        to the copy itself) and become the candidate manifest —
+        committed only if this round's verdict comes back clean.
+        """
+        digests = _page_digests(copy.image)
+        self._charge(len(copy.image) * self.costs.hash_per_byte)
+        self._acq_meta[copy.vm_name] = _AcqMeta(
+            ldr_entry_va=copy.ldr_entry_va, base=copy.base,
+            size=len(copy.image), boot_generation=vmi.boot_generation,
+            digests=digests,
+            content_key=_content_key(copy.base, len(copy.image), digests),
+            parsed=parsed, from_manifest=False)
+
+    def _compare_or_replay(self, mod_a: ParsedModule,
+                           mod_b: ParsedModule) -> PairComparison:
+        """One pairwise comparison, replayed from cache when sound.
+
+        ``compare_pair`` is a pure function of (bytes, base) on both
+        sides; the content keys pin exactly those inputs, so a cached
+        :class:`PairComparison` whose keys both still match is the
+        comparison — byte-for-byte, including its ``rva_stats`` — at
+        zero simulated cost. The replay emits the same ``pair.compared``
+        audit event the computed path would.
+        """
+        meta_a = self._acq_meta.get(mod_a.vm_name)
+        meta_b = self._acq_meta.get(mod_b.vm_name)
+        if meta_a is not None and meta_b is not None:
+            key = (mod_a.module_name, mod_a.vm_name, mod_b.vm_name)
+            cached = self._pair_cache.peek(key)
+            if (cached is not None and cached[0] == meta_a.content_key
+                    and cached[1] == meta_b.content_key):
+                pair = cached[2]
+                self.pair_replays += 1
+                events = self.obs.events
+                if events.enabled:
+                    events.emit("pair.compared", module=mod_a.module_name,
+                                vm_a=pair.vm_a, vm_b=pair.vm_b,
+                                matched=pair.matched,
+                                mismatched=list(pair.mismatched_regions))
+                return pair
+        pair = self.checker.compare_pair(mod_a, mod_b)
+        if meta_a is not None and meta_b is not None:
+            self._pair_cache.put(
+                (mod_a.module_name, mod_a.vm_name, mod_b.vm_name),
+                (meta_a.content_key, meta_b.content_key, pair))
+        return pair
+
+    def _update_manifests(self, module_name: str,
+                          report: PoolReport) -> None:
+        """Commit/invalidate manifests from one pool verdict.
+
+        Manifests record hashes *from the last clean verdict*: a fully
+        re-acquired copy is committed only when its VM voted clean; a
+        flagged VM's manifest is dropped so it can never serve a hit
+        while suspect. A sweep hit keeps its manifest untouched — in
+        particular ``verified_at`` is NOT refreshed, so the recheck TTL
+        measures time since the last *full* verification and a
+        tampered-then-restored page cannot hide behind matching
+        checksums forever.
+        """
+        now = self.hv.clock.now
+        for vm_name, verdict in report.verdicts.items():
+            meta = self._acq_meta.get(vm_name)
+            if meta is None:
+                continue
+            if not verdict.clean:
+                self.invalidate_manifests(vm_name, module_name,
+                                          reason="flagged")
+                continue
+            if meta.from_manifest:
+                continue
+            if meta.base % PAGE_SIZE or meta.size % PAGE_SIZE:
+                # a frame-granular sweep cannot address an unaligned
+                # image; leave such modules on the full path forever
+                continue
+            self.manifests.commit(CheckManifest(
+                vm_name=vm_name, module_name=module_name,
+                boot_generation=meta.boot_generation, base=meta.base,
+                size=meta.size, ldr_entry_va=meta.ldr_entry_va,
+                page_digests=meta.digests, content_key=meta.content_key,
+                parsed=meta.parsed, verified_at=now))
 
     def warm_up(self, vm_name: str) -> list[str]:
         """Prime a (re-)admitted VM before it votes in any quorum.
@@ -205,6 +433,9 @@ class ModChecker:
         injector = getattr(self.hv, "fault_injector", None)
         if injector is not None:
             record_fault_stats(metrics, injector.stats)
+        if self.incremental:
+            record_manifest_stats(metrics, self.manifests,
+                                  pair_replays=self.pair_replays)
 
     def pool_vm_names(self, vms: list[str] | None = None) -> list[str]:
         if vms is not None:
@@ -237,6 +468,7 @@ class ModChecker:
 
         with self.obs.tracer.span("modchecker.fetch", module=module_name,
                                   vms=len(vm_names)) as fetch_span:
+            self._acq_meta = {}
             for vm_name in vm_names:
                 try:
                     vmi = self.vmi_for(vm_name)
@@ -251,9 +483,14 @@ class ModChecker:
                     vmi.flush_caches()
                 searcher = ModuleSearcher(vmi)
                 copy = None
+                cached = None
                 with self.hv.clock.span() as span:
                     try:
-                        copy = searcher.copy_module(module_name)
+                        if self.incremental:
+                            cached = self._try_manifest(vmi, searcher,
+                                                        module_name)
+                        if cached is None:
+                            copy = searcher.copy_module(module_name)
                     except ModuleNotLoadedError:
                         pass
                     except (TransientFault, RetryExhausted) as exc:
@@ -262,12 +499,21 @@ class ModChecker:
                         failed[vm_name] = f"unreadable: {exc}"
                 timings.searcher += span.elapsed
                 per_vm[vm_name] = span.elapsed
+                if cached is not None:
+                    # manifest hit: the stored ParsedModule re-enters the
+                    # vote directly; no copy, no parse
+                    parsed.append(cached)
+                    acquired(vm_name, "manifest")
+                    continue
                 if copy is None:
                     acquired(vm_name, failed.get(vm_name, "not-loaded")
                              .split(":", 1)[0])
                     continue
                 with self.hv.clock.span() as span:
-                    parsed.append(self.parser.parse(copy))
+                    parsed_mod = self.parser.parse(copy)
+                    if self.incremental:
+                        self._note_acquisition(vmi, copy, parsed_mod)
+                    parsed.append(parsed_mod)
                 timings.parser += span.elapsed
                 acquired(vm_name, "ok")
             fetch_span.set(acquired=len(parsed), failed=len(failed))
@@ -361,10 +607,19 @@ class ModChecker:
                 with self.hv.clock.span() as span:
                     if mode == "canonical":
                         report = self.checker.check_pool_canonical(parsed)
+                    elif self.incremental:
+                        pairs = []
+                        for i, mod_a in enumerate(parsed):
+                            for mod_b in parsed[i + 1:]:
+                                pairs.append(
+                                    self._compare_or_replay(mod_a, mod_b))
+                        report = self.checker.vote(parsed, pairs)
                     else:
                         report = self.checker.check_pool(parsed)
             timings.checker = span.elapsed
             report.degraded = dict(failed)
+            if self.incremental:
+                self._update_manifests(module_name, report)
             if events.enabled:
                 events.emit("check.verdict", module=module_name, mode=mode,
                             clean=report.all_clean,

@@ -90,14 +90,21 @@ class ParallelModChecker(ModChecker):
         failed: dict[str, str] = {}
         parsed = []
         with self.hv.deferred_charges() as acc:
+            self._acq_meta = {}
             for vm_name in names:
                 vmi = self.vmi_for(vm_name)
                 if self.flush_caches_each_round:
                     vmi.flush_caches()
                 searcher = ModuleSearcher(vmi)
                 before = acc.total
+                cached = None
+                copy = None
                 try:
-                    copy = searcher.copy_module(module_name)
+                    if self.incremental:
+                        cached = self._try_manifest(vmi, searcher,
+                                                    module_name)
+                    if cached is None:
+                        copy = searcher.copy_module(module_name)
                 except ModuleNotLoadedError:
                     searcher_work[vm_name] = acc.total - before
                     continue
@@ -110,19 +117,36 @@ class ParallelModChecker(ModChecker):
                     failed[vm_name] = f"unreadable: {exc}"
                     continue
                 searcher_work[vm_name] = acc.total - before
+                if cached is not None:
+                    # manifest hit: no parse item lands on this VM's
+                    # worker chain this round
+                    parsed.append(cached)
+                    continue
                 before = acc.total
-                parsed.append(self.parser.parse(copy))
+                parsed_mod = self.parser.parse(copy)
+                if self.incremental:
+                    self._note_acquisition(vmi, copy, parsed_mod)
+                parsed.append(parsed_mod)
                 parser_work[vm_name] = acc.total - before
         return parsed, searcher_work, parser_work, failed
 
     def _compare_deferred(self, pair_jobs) -> tuple[list, list[float]]:
-        """Run ``compare_pair`` jobs with per-pair work-item cuts."""
+        """Run ``compare_pair`` jobs with per-pair work-item cuts.
+
+        In incremental mode each job goes through
+        :meth:`ModChecker._compare_or_replay`; a replayed pair charges
+        nothing, so its work item is 0.0 and it never lengthens any
+        worker's chain in the makespan.
+        """
         pairs = []
         pair_work: list[float] = []
         with self.hv.deferred_charges() as acc:
             for mod_a, mod_b in pair_jobs:
                 before = acc.total
-                pairs.append(self.checker.compare_pair(mod_a, mod_b))
+                if self.incremental:
+                    pairs.append(self._compare_or_replay(mod_a, mod_b))
+                else:
+                    pairs.append(self.checker.compare_pair(mod_a, mod_b))
                 pair_work.append(acc.total - before)
         return pairs, pair_work
 
@@ -247,6 +271,8 @@ class ParallelModChecker(ModChecker):
             timings = self._advance_makespan(searcher_work, parser_work,
                                              pair_work)
         report.degraded = dict(failed)
+        if self.incremental:
+            self._update_manifests(module_name, report)
 
         per_vm_work = {vm: searcher_work[vm] + parser_work.get(vm, 0.0)
                        for vm in searcher_work}

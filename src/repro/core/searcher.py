@@ -117,6 +117,48 @@ class ModuleSearcher:
         except IntrospectionFault:
             return None
 
+    # -- incremental fast path ---------------------------------------------------
+
+    def verify_cached_entry(self, ldr_entry_va: int, *, dll_base: int,
+                            size_of_image: int) -> bool:
+        """Re-validate a previously seen LDR entry without a list walk.
+
+        The incremental pipeline's replacement for :meth:`find`: six
+        u32 reads instead of decoding the whole list. True iff the node
+        still describes the same mapping (``DllBase``/``SizeOfImage``
+        unchanged) *and* is still linked — both neighbours must point
+        back at it. The neighbour check matters: a DKOM unlink rewires
+        ``pred.FLINK``/``succ.BLINK`` around the node while leaving the
+        node's own fields intact, so base/size alone would keep serving
+        manifest hits for a module the full walk no longer sees.
+
+        Transient faults propagate (the caller degrades the VM exactly
+        as the full path would); a permanent :class:`IntrospectionFault`
+        means the entry is gone — report False and let the full walk
+        decide.
+        """
+        profile = self.vmi.profile
+        off_base = profile.offset("LDR_DATA_TABLE_ENTRY.DllBase")
+        off_size = profile.offset("LDR_DATA_TABLE_ENTRY.SizeOfImage")
+        try:
+            if self.vmi.read_u32(ldr_entry_va + off_base) != dll_base:
+                return False
+            if self.vmi.read_u32(ldr_entry_va + off_size) != size_of_image:
+                return False
+            succ = self.vmi.read_u32(ldr_entry_va)          # node.FLINK
+            pred = self.vmi.read_u32(ldr_entry_va + 4)      # node.BLINK
+            if succ == 0 or pred == 0:
+                return False
+            if self.vmi.read_u32(succ + 4) != ldr_entry_va:  # succ.BLINK
+                return False
+            if self.vmi.read_u32(pred) != ldr_entry_va:      # pred.FLINK
+                return False
+        except (TransientFault, RetryExhausted):
+            raise       # sick VM: degrade, exactly like the full path
+        except IntrospectionFault:
+            return False
+        return True
+
     # -- extraction ----------------------------------------------------------------
 
     def find(self, module_name: str) -> ModuleListEntry:

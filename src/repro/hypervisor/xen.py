@@ -20,6 +20,7 @@ can only learn what a real out-of-VM tool could.
 from __future__ import annotations
 
 import copy
+import hashlib
 
 from ..errors import DomainNotFound, DomainStateError, DomainUnreachable
 from ..guest.kernel import GuestKernel
@@ -232,6 +233,21 @@ class Hypervisor:
                             length: int) -> bytes:
         """Arbitrary physical-range read (libvmi's ``read_pa``)."""
         return self._introspectable_kernel(key).memory.read(paddr, length)
+
+    def checksum_guest_frame(self, key: int | str, frame_no: int) -> bytes:
+        """Digest of one guest frame, computed hypervisor-side.
+
+        Models a VMM-assisted checksum hypercall (the trick Patagonix-
+        style incremental monitors rely on): the hash runs inside the
+        trusted VMM over the frame in place, so Dom0 never pays for a
+        foreign mapping or a 4 KiB copy-out — the VMI layer charges
+        ``CostModel.page_checksum`` instead of ``page_map``. The bytes
+        are still fetched through :meth:`read_guest_frame`, so domain
+        lifecycle rules and any installed fault injector apply exactly
+        as they do to ordinary reads (a torn frame yields a wrong
+        digest, which the manifest layer treats as a page delta).
+        """
+        return hashlib.md5(self.read_guest_frame(key, frame_no)).digest()
 
     # -- CPU accounting ---------------------------------------------------------------
 

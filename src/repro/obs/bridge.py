@@ -29,6 +29,11 @@ gate all speak the same names:
 ``modchecker_pool_size``                     gauge   (none)
 ``modchecker_membership_events_total``       counter ``event``
 ``modchecker_chaos_events_total``            counter ``kind``
+``modchecker_manifest_hits_total``           counter (none)
+``modchecker_manifest_misses_total``         counter ``reason``
+``modchecker_manifest_invalidations_total``  counter ``reason``
+``modchecker_manifest_entries``              gauge   (none)
+``modchecker_pair_replays_total``            counter (none)
 ===========================================  ======  ========================
 
 Cumulative sources are published with :meth:`Counter.set_to` (they
@@ -47,7 +52,7 @@ __all__ = ["STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
            "record_pool_report", "record_vmi_instance",
            "record_fault_stats", "record_daemon_cycle",
            "record_breaker_states", "record_membership",
-           "record_chaos_stats"]
+           "record_chaos_stats", "record_manifest_stats"]
 
 #: The pipeline stages of the Fig. 7/8 breakdown.
 STAGES = ("searcher", "parser", "checker")
@@ -212,6 +217,38 @@ def record_membership(metrics, *, pool_size: int, events) -> None:
         "Pool membership events by kind")
     for event, count in sorted(totals.items()):
         counter.set_to(count, event=event)
+
+
+def record_manifest_stats(metrics, store, *, pair_replays: int = 0) -> None:
+    """ManifestStore counters -> incremental-pipeline metrics.
+
+    All sources are cumulative (the store never resets its counters),
+    so everything publishes via ``set_to``; the only instantaneous
+    value is the entry count, which is a gauge. The miss/invalidations
+    reason labels follow the taxonomy documented on
+    :class:`~repro.vmi.cache.ManifestStore`.
+    """
+    metrics.counter(
+        "modchecker_manifest_hits_total",
+        "Manifest lookups that found a structurally valid entry").set_to(
+            store.stats.hits)
+    misses = metrics.counter(
+        "modchecker_manifest_misses_total",
+        "Manifest lookups that missed, by reason")
+    for reason, count in sorted(store.stats.misses.items()):
+        misses.set_to(count, reason=reason)
+    invalidations = metrics.counter(
+        "modchecker_manifest_invalidations_total",
+        "Manifest entries dropped, by reason")
+    for reason, count in sorted(store.stats.invalidations.items()):
+        invalidations.set_to(count, reason=reason)
+    metrics.gauge(
+        "modchecker_manifest_entries",
+        "Manifests currently held by the store").set(len(store))
+    metrics.counter(
+        "modchecker_pair_replays_total",
+        "Pairwise comparisons served from the content-keyed "
+        "replay cache").set_to(pair_replays)
 
 
 def record_chaos_stats(metrics, chaos_stats) -> None:

@@ -27,6 +27,8 @@ rely on them:
 ``chaos.applied``        the chaos engine applied a lifecycle event
 ``alert.raised``         the daemon raised an alert
 ``daemon.cycle``         one daemon sweep cycle completed
+``manifest.hit``         incremental sweep validated a cached manifest
+``manifest.invalidated`` manifests dropped (reason in the attrs)
 =======================  ==============================================
 
 Correlation works through a context stack: the daemon mints one
@@ -63,6 +65,7 @@ EVENT_NAMES = (
     "check.start", "check.verdict", "pair.compared", "module.acquired",
     "module.carved", "breaker.tripped", "membership.changed",
     "chaos.applied", "alert.raised", "daemon.cycle",
+    "manifest.hit", "manifest.invalidated",
 )
 
 

@@ -35,6 +35,10 @@ class CostModel:
     page_map: float = 120.0 * _US      # map one foreign frame + copy out
     translate_walk: float = 14.0 * _US  # PDE+PTE reads for one VA page
     small_read: float = 4.0 * _US      # bookkeeping per read call
+    #: hypervisor-side checksum of one guest frame (hypercall + in-VMM
+    #: hash at memory bandwidth) — no foreign mapping, no copy-out,
+    #: which is the whole point of the incremental page sweep
+    page_checksum: float = 9.0 * _US
 
     # -- Dom0-local processing (charged by ModChecker components) -------
     parse_per_byte: float = 0.0015 * _US   # header walk + section slicing

@@ -1,6 +1,7 @@
 """libvmi-like virtual machine introspection layer."""
 
-from .cache import LRUCache, PageCache, V2PCache
+from .cache import (CheckManifest, LRUCache, ManifestStore, PageCache,
+                    V2PCache)
 from .core import VMIInstance, VMIStats
 from .dump import DumpAnalyzer, MemoryDump, acquire_dump
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
@@ -8,6 +9,7 @@ from .symbols import OSProfile, XP_SP2_OFFSETS
 
 __all__ = [
     "LRUCache", "PageCache", "V2PCache",
+    "CheckManifest", "ManifestStore",
     "VMIInstance", "VMIStats",
     "DumpAnalyzer", "MemoryDump", "acquire_dump",
     "DEFAULT_RETRY_POLICY", "RetryPolicy",

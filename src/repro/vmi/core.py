@@ -48,6 +48,9 @@ class VMIStats:
     page_cache_hits: int = 0
     bytes_read: int = 0
     read_calls: int = 0
+    #: frames digested hypervisor-side by the incremental page sweep
+    #: (cheaper than mapping: no foreign mapping, no copy-out)
+    pages_checksummed: int = 0
     transient_faults: int = 0
     retries: int = 0
     #: reads that succeeded after at least one retry (the "recovered"
@@ -244,6 +247,47 @@ class VMIInstance:
         self.stats.read_calls += 1
         self.hv.charge_dom0(self.costs.small_read)
         return bytes(out)
+
+    # -- incremental page sweep --------------------------------------------------
+
+    def _checksum_page(self, va: int) -> bytes:
+        """Translate + hypervisor-side digest of one page (one attempt).
+
+        Deliberately bypasses the page cache in both directions: no
+        page bytes enter Dom0, and the sweep must never be satisfied
+        from (or accounted against) cached frames — a stale cached page
+        is exactly what a tampered guest would want the sweep to hash.
+        """
+        try:
+            pa = self.translate_kv2p(va)
+        except PageFault as exc:
+            raise IntrospectionFault(
+                f"{self.domain.name}: unmapped VA {va:#x}") from exc
+        self.stats.pages_checksummed += 1
+        self.hv.charge_dom0(self.costs.page_checksum)
+        return self.hv.checksum_guest_frame(self.domain.domid, pa >> 12)
+
+    def checksum_va_range(self, vaddr: int, length: int,
+                          ) -> tuple[bytes, ...]:
+        """Per-page digests of a kernel-VA range, cheapest-first.
+
+        The incremental fast path's content probe: every covered page
+        is still *observed* every round (tamper detection is not
+        optional), but through :meth:`Hypervisor.checksum_guest_frame`
+        — a translate walk plus a ``page_checksum`` charge per page —
+        instead of the map-and-copy loop ``read_va`` pays for. Runs
+        under the same retry policy as ordinary reads.
+        """
+        digests: list[bytes] = []
+        pos = 0
+        while pos < length:
+            va = vaddr + pos
+            n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
+            digests.append(
+                self._retrying(lambda v=va: self._checksum_page(v),
+                               f"checksum page {va & ~_PAGE_MASK:#x}"))
+            pos += n
+        return tuple(digests)
 
     def read_u32(self, vaddr: int) -> int:
         return struct.unpack("<I", self.read_va(vaddr, 4))[0]

@@ -12,6 +12,13 @@ from repro.pe import build_driver
 SEED = 42
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="Rewrite golden files (tests/forensics/golden/) from the "
+             "current output instead of diffing against them.")
+
+
 @pytest.fixture(scope="session")
 def catalog():
     """The standard driver catalog (read-only; do not mutate)."""

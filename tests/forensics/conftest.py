@@ -1,0 +1,13 @@
+"""Forensics-local fixtures: the --update-golden switch.
+
+The option itself is declared in ``tests/conftest.py`` — pytest only
+honours ``pytest_addoption`` in an initial conftest, not in nested
+ones — this file just exposes it as a fixture.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

@@ -1,0 +1,124 @@
+"""Golden-file regression for the forensic evidence pipeline.
+
+One fully seeded incident — an E1 code-patch infection on a 4-VM pool
+with live observability — is captured end to end, and both artefacts a
+responder actually consumes are pinned byte-for-byte under
+``tests/forensics/golden/``:
+
+* the ``modchecker-evidence/1`` JSON bundle exactly as
+  :func:`write_bundle` persists it, and
+* the rendered incident report behind ``modchecker explain``.
+
+Any change to the bundle schema, hex encoding, key ordering, timeline
+correlation or report layout shows up here as a readable diff instead
+of silently breaking downstream consumers of archived bundles.
+
+Refreshing after an INTENTIONAL format change::
+
+    PYTHONPATH=src python -m pytest tests/forensics/test_golden_bundle.py \
+        --update-golden
+
+(the option is declared in ``tests/conftest.py``; ``pytest_addoption``
+must live in an initial conftest). Review the resulting diff under
+``tests/forensics/golden/`` before committing — a golden refresh IS the
+format change.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.attacks import attack_for_experiment
+from repro.cloud import build_testbed
+from repro.core import ModChecker
+from repro.forensics import EvidenceRecorder, render_incident_report
+from repro.forensics.bundle import (BUNDLE_FORMAT, bundle_to_dict,
+                                    load_bundle, write_bundle)
+from repro.guest import build_catalog
+from repro.obs import make_observability
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+BUNDLE_GOLDEN = GOLDEN_DIR / "incident-0001-chk-000001.json"
+REPORT_GOLDEN = GOLDEN_DIR / "incident-0001.report.txt"
+
+SEED = 42
+VICTIM = "Dom3"
+MODULE = "hal.dll"
+
+
+@pytest.fixture(scope="module")
+def incident(tmp_path_factory):
+    """The seeded incident: bundle object + the two serialised forms."""
+    attack, module = attack_for_experiment("E1")
+    assert module == MODULE
+    result = attack.apply(build_catalog(seed=SEED)[module])
+    tb = build_testbed(4, seed=SEED,
+                       infected={VICTIM: {module: result.infected}})
+    obs = make_observability(tb.clock)
+    rec = EvidenceRecorder()
+    mc = ModChecker(tb.hypervisor, tb.profile, obs=obs, evidence=rec)
+    mc.check_pool(module)
+    bundle = rec.last
+    assert bundle is not None and bundle.flagged == [VICTIM]
+    # serialise through the real writer so the golden pins the on-disk
+    # form, not a lookalike
+    path = write_bundle(bundle,
+                        tmp_path_factory.mktemp("bundle") / "b.json")
+    return bundle, path.read_text(), render_incident_report(bundle)
+
+
+def _assert_matches(golden: Path, actual: str, update: bool) -> None:
+    if update:
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(actual)
+        pytest.skip(f"golden refreshed: {golden.name}; "
+                    f"re-run without --update-golden")
+    assert golden.exists(), (
+        f"missing golden file {golden}; generate it with --update-golden")
+    expected = golden.read_text()
+    if actual != expected:
+        diff = "".join(difflib.unified_diff(
+            expected.splitlines(keepends=True),
+            actual.splitlines(keepends=True),
+            fromfile=f"golden/{golden.name}", tofile="regenerated", n=3))
+        pytest.fail(f"output drifted from {golden.name} "
+                    f"(--update-golden refreshes after an intentional "
+                    f"change):\n{diff}")
+
+
+class TestGoldenFiles:
+    def test_bundle_json_matches_golden(self, incident, update_golden):
+        _, bundle_json, _ = incident
+        _assert_matches(BUNDLE_GOLDEN, bundle_json, update_golden)
+
+    def test_rendered_report_matches_golden(self, incident, update_golden):
+        _, _, report = incident
+        _assert_matches(REPORT_GOLDEN, report, update_golden)
+
+
+class TestGoldenProperties:
+    """Schema-level guarantees asserted against the committed files, so
+    they hold for archived bundles, not just freshly captured ones."""
+
+    def test_golden_round_trips_through_loader(self):
+        bundle = load_bundle(BUNDLE_GOLDEN)
+        redumped = json.dumps(bundle_to_dict(bundle), sort_keys=True,
+                              indent=2) + "\n"
+        assert redumped == BUNDLE_GOLDEN.read_text()
+
+    def test_golden_renders_to_golden_report(self):
+        assert render_incident_report(load_bundle(BUNDLE_GOLDEN)) == \
+            REPORT_GOLDEN.read_text()
+
+    def test_golden_format_tag_and_verdict(self):
+        doc = json.loads(BUNDLE_GOLDEN.read_text())
+        assert doc["format"] == BUNDLE_FORMAT
+        assert doc["flagged"] == [VICTIM]
+        assert doc["module_name"] == MODULE
+        # the timeline really was correlated to the flagged check
+        assert doc["check_id"] == "chk-000001"
+        assert any(e["event"] == "check.verdict" for e in doc["timeline"])

@@ -1,0 +1,182 @@
+"""Unit tests for the incremental-check manifest store.
+
+Includes the LRU stats-asymmetry regression: the manifest store keeps
+its own hit/miss accounting, so its lookups must be invisible to the
+underlying :class:`LRUCache` counters (and to the VMI page/V2P cache
+series) — the bug class where one logical lookup was counted twice let
+a derived hit-rate exceed 1.0.
+"""
+
+import pytest
+
+from repro.hypervisor.faults import FaultConfig, FaultInjector
+from repro.vmi.cache import CheckManifest, LRUCache, ManifestStore
+
+
+def _manifest(vm="Dom1", module="hal.dll", generation=1, verified_at=0.0,
+              base=0x80010000, size=0x2000):
+    return CheckManifest(
+        vm_name=vm, module_name=module, boot_generation=generation,
+        base=base, size=size, ldr_entry_va=0x80550000,
+        page_digests=(b"\x00" * 16, b"\x01" * 16),
+        content_key="deadbeef", parsed=None, verified_at=verified_at)
+
+
+class TestPeekPop:
+    def test_peek_counts_nothing(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        assert c.peek("a") == 1
+        assert c.peek("zz") is None
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_peek_does_not_promote(self):
+        c = LRUCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        c.peek("a")             # must NOT refresh recency
+        c.put("c", 3)           # evicts a (peek left it oldest)
+        assert c.peek("a") is None
+        assert c.peek("b") == 2
+
+    def test_pop_is_stats_neutral(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        assert c.pop("a") == 1
+        assert c.pop("a") is None
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_contains_and_keys(self):
+        c = LRUCache(4)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert "a" in c and "zz" not in c
+        assert c.keys() == ["a", "b"]
+
+
+class TestManifestStore:
+    def test_lookup_absent(self):
+        store = ManifestStore()
+        assert store.lookup("Dom1", "hal.dll",
+                            boot_generation=1, now=0.0) is None
+        assert store.stats.misses == {"absent": 1}
+        assert store.stats.hits == 0
+
+    def test_commit_then_hit(self):
+        store = ManifestStore()
+        store.commit(_manifest())
+        m = store.lookup("Dom1", "hal.dll", boot_generation=1, now=5.0)
+        assert m is not None and m.content_key == "deadbeef"
+        assert store.stats.hits == 1
+        assert store.stats.hit_rate == 1.0
+
+    def test_generation_mismatch_drops_entry(self):
+        store = ManifestStore()
+        store.commit(_manifest(generation=1))
+        assert store.lookup("Dom1", "hal.dll",
+                            boot_generation=2, now=0.0) is None
+        assert store.stats.misses == {"generation": 1}
+        assert len(store) == 0      # dropped, not kept around
+
+    def test_ttl_expiry(self):
+        store = ManifestStore(ttl=100.0)
+        store.commit(_manifest(verified_at=50.0))
+        assert store.lookup("Dom1", "hal.dll",
+                            boot_generation=1, now=149.9) is not None
+        assert store.lookup("Dom1", "hal.dll",
+                            boot_generation=1, now=150.0) is None
+        assert store.stats.misses == {"ttl": 1}
+        assert len(store) == 0
+
+    def test_ttl_none_never_expires(self):
+        store = ManifestStore()
+        store.commit(_manifest(verified_at=0.0))
+        assert store.lookup("Dom1", "hal.dll",
+                            boot_generation=1, now=1e9) is not None
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ValueError):
+            ManifestStore(ttl=0.0)
+        with pytest.raises(ValueError):
+            ManifestStore(ttl=-5.0)
+
+    def test_invalidate_by_vm(self):
+        store = ManifestStore()
+        store.commit(_manifest(vm="Dom1", module="hal.dll"))
+        store.commit(_manifest(vm="Dom1", module="ntfs.sys"))
+        store.commit(_manifest(vm="Dom2", module="hal.dll"))
+        assert store.invalidate("Dom1", reason="evict") == 2
+        assert len(store) == 1
+        assert store.stats.invalidations == {"evict": 2}
+
+    def test_invalidate_one_module(self):
+        store = ManifestStore()
+        store.commit(_manifest(vm="Dom1", module="hal.dll"))
+        store.commit(_manifest(vm="Dom1", module="ntfs.sys"))
+        assert store.invalidate("Dom1", "hal.dll",
+                                reason="page-delta") == 1
+        assert store.lookup("Dom1", "ntfs.sys",
+                            boot_generation=1, now=0.0) is not None
+
+    def test_invalidate_all(self):
+        store = ManifestStore()
+        store.commit(_manifest(vm="Dom1"))
+        store.commit(_manifest(vm="Dom2"))
+        assert store.invalidate(reason="breaker") == 2
+        assert len(store) == 0
+
+    def test_invalidate_empty_is_silent(self):
+        """An invalidation storm against an empty store must not
+        pollute the reason counters with zero-count entries."""
+        store = ManifestStore()
+        assert store.invalidate("Dom1", reason="migration") == 0
+        assert store.stats.invalidations == {}
+
+    def test_lookups_invisible_to_internal_lru(self):
+        """Regression (stats asymmetry): the store's own accounting
+        must not double into the LRU's hit/miss counters."""
+        store = ManifestStore()
+        store.commit(_manifest())
+        for now in range(10):
+            store.lookup("Dom1", "hal.dll", boot_generation=1,
+                         now=float(now))
+        store.lookup("DomX", "hal.dll", boot_generation=1, now=0.0)
+        assert store.stats.hits == 10
+        assert store.stats.missed == 1
+        assert (store._entries.hits, store._entries.misses) == (0, 0)
+        assert store.stats.hit_rate <= 1.0
+
+    def test_capacity_eviction(self):
+        store = ManifestStore(capacity=2)
+        store.commit(_manifest(vm="Dom1"))
+        store.commit(_manifest(vm="Dom2"))
+        store.commit(_manifest(vm="Dom3"))
+        assert len(store) == 2
+        assert store.lookup("Dom1", "hal.dll",
+                            boot_generation=1, now=0.0) is None
+
+
+class TestStatsUnderFaults:
+    def test_hit_rates_bounded_under_torn_reads(self, catalog):
+        """Regression: every published hit-rate stays a true ratio
+        (<= 1.0) even when the fault injector tears reads — manifest
+        sweeps must not be double-counted through the page cache."""
+        from repro.cloud import build_testbed
+        from repro.core import ModChecker
+        from repro.rng import derive_seed
+
+        tb = build_testbed(4, seed=42)
+        injector = FaultInjector(FaultConfig(torn_page_rate=0.05),
+                                 seed=derive_seed(42, "torn"))
+        injector.install(tb.hypervisor)
+        mc = ModChecker(tb.hypervisor, tb.profile, incremental=True)
+        for _ in range(4):
+            mc.check_pool("hal.dll")
+        assert 0.0 <= mc.manifests.stats.hit_rate <= 1.0
+        for vmi in mc._vmis.values():
+            assert 0.0 <= vmi.page_cache.hit_rate <= 1.0
+            assert 0.0 <= vmi.v2p_cache.hit_rate <= 1.0
+            # the sweep bypasses the page cache entirely: checksummed
+            # frames never surface as page-cache hits or misses
+            assert (vmi.page_cache.hits + vmi.page_cache.misses
+                    <= vmi.stats.pages_mapped + vmi.stats.page_cache_hits)
