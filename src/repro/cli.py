@@ -83,6 +83,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="force a full re-verification of a manifest "
                             "this long after its last clean full check "
                             "(default: never)")
+        p.add_argument("--event-driven", action="store_true",
+                       help="write-protect committed manifests and "
+                            "re-check only trapped pages — O(writes) "
+                            "steady state (implies --incremental)")
 
     p_check = sub.add_parser("check", help="cross-check one module")
     add_common(p_check)
@@ -263,12 +267,15 @@ def _retry_policy(args):
 
 
 def _incremental_kwargs(args) -> dict:
-    """Map --incremental / --recheck-ttl to ModChecker kwargs."""
+    """Map --incremental/--recheck-ttl/--event-driven to ModChecker kwargs."""
     ttl = getattr(args, "recheck_ttl", None)
     if ttl is not None and ttl <= 0:
         raise SystemExit(f"error: --recheck-ttl must be > 0, got {ttl}")
-    return {"incremental": getattr(args, "incremental", False),
-            "recheck_ttl": ttl}
+    event_driven = getattr(args, "event_driven", False)
+    return {"incremental": getattr(args, "incremental", False)
+            or event_driven,
+            "recheck_ttl": ttl,
+            "event_driven": event_driven}
 
 
 def cmd_check(args) -> int:

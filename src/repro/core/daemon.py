@@ -175,7 +175,8 @@ class CheckDaemon:
                  rediscover_every: int = 1,
                  quorum_floor: int = 2,
                  breaker: BreakerConfig | None = None,
-                 chaos=None) -> None:
+                 chaos=None,
+                 trap_priority: bool = True) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         if quarantine_cycles < 1:
@@ -194,6 +195,12 @@ class CheckDaemon:
         #: stepped once at the top of every cycle when present (any
         #: object with a ``step()`` — in practice a ChaosEngine)
         self.chaos = chaos
+        #: with an event-driven checker, drain the trap rings at the
+        #: top of each cycle and re-check the modules that trapped
+        #: *before* the policy rotation gets its turn. Disable to keep
+        #: the schedule byte-identical to the polling pipelines (the
+        #: metamorphic equivalence suite does).
+        self.trap_priority = trap_priority
         #: per-VM circuit breakers; ``quarantine_cycles`` keeps its old
         #: meaning as the breaker's base cool-down
         self.health = HealthRegistry(breaker or BreakerConfig(
@@ -397,8 +404,18 @@ class CheckDaemon:
 
             if len(active) >= self.quorum_floor:
                 modules = self._discover_modules(active)
-                for module in self.policy.select(self.cycles_run, modules,
-                                                 self.log):
+                schedule = self.policy.select(self.cycles_run, modules,
+                                              self.log)
+                if self.trap_priority \
+                        and getattr(self.checker, "event_driven", False):
+                    # Trap subscription: modules whose protected pages
+                    # were written get re-checked this cycle, ahead of
+                    # the rotation, instead of waiting their turn.
+                    urgent = [m for m in
+                              self.checker.pending_trap_modules(active)
+                              if m in modules]
+                    schedule = list(dict.fromkeys(urgent + list(schedule)))
+                for module in schedule:
                     try:
                         report = self.checker.check_pool(module,
                                                          vms=active).report

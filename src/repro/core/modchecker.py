@@ -27,7 +27,8 @@ from ..hypervisor.xen import Hypervisor
 from ..mem.physical import PAGE_SIZE
 from ..obs import (NULL_OBS, Observability, record_fault_stats,
                    record_manifest_stats, record_pool_report,
-                   record_stage_timings, record_vmi_instance)
+                   record_stage_timings, record_trap_stats,
+                   record_vmi_instance)
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..perf.timing import ComponentTimings
 from ..vmi.cache import CheckManifest, LRUCache, ManifestStore
@@ -87,6 +88,39 @@ class _AcqMeta:
 
 
 @dataclass
+class _Protection:
+    """Armed write-protection state for one (vm, module) manifest.
+
+    ``page_gfns`` parallels the manifest's ``page_digests`` (None =
+    unprotectable, stays on the sweep path); ``guard_gfns`` cover the
+    LDR entry node and both list neighbours, so any relink that
+    :meth:`ModuleSearcher.verify_cached_entry` could catch necessarily
+    raises a trap first — which is what makes *skipping* the entry
+    re-verify on trap silence sound.
+    """
+
+    base: int
+    size: int
+    boot_generation: int
+    #: the domain's protection_epoch at arm time; a mismatch later
+    #: means a lifecycle event disarmed everything behind our back
+    epoch: int
+    page_gfns: tuple[int | None, ...]
+    #: gfn -> manifest page index (protected pages only)
+    page_index: dict[int, int]
+    #: manifest page indices that could not be armed (swept every round)
+    unprotected: tuple[int, ...]
+    #: guard frames, with multiplicity (protections are refcounted)
+    guard_gfns: tuple[int, ...]
+    dirty_pages: set[int] = field(default_factory=set)
+    guard_dirty: bool = False
+    #: the trap ring overflowed since our last look: silence proves
+    #: nothing, the next validation must sweep everything
+    overflowed: bool = False
+    validations: int = 0
+
+
+@dataclass
 class CheckOutcome:
     """A single-target check plus its component timing breakdown."""
 
@@ -138,7 +172,9 @@ class ModChecker:
                  evidence: "EvidenceRecorder | None" = None,
                  incremental: bool = False,
                  recheck_ttl: float | None = None,
-                 manifest_capacity: int = 1024) -> None:
+                 manifest_capacity: int = 1024,
+                 event_driven: bool = False,
+                 paranoia_every: int | None = 64) -> None:
         self.hv = hypervisor
         if profile is None:
             guests = hypervisor.guests()
@@ -156,7 +192,21 @@ class ModChecker:
         self.evidence = evidence
         #: incremental mode: content-addressed manifests let unchanged
         #: modules skip the walk/copy/parse/compare pipeline entirely
-        self.incremental = incremental
+        self.incremental = incremental or event_driven
+        #: event-driven mode (implies incremental): committed manifests
+        #: write-protect their pages, and later validations check only
+        #: what trapped — O(writes) instead of O(pages) at steady state
+        self.event_driven = event_driven
+        #: force a full entry-verify + sweep every N trap validations
+        #: (None/0 disables): a cheap hedge against any write path the
+        #: trap model does not observe
+        self.paranoia_every = paranoia_every
+        #: (vm, module) -> armed protection state
+        self._protections: dict[tuple[str, str], _Protection] = {}
+        #: trap-path accounting (cumulative; published by the metrics)
+        self.trap_validations = 0
+        self.trap_pages_checked = 0
+        self.trap_fallbacks: dict[str, int] = {}
         self.recheck_ttl = recheck_ttl
         self.manifests = ManifestStore(manifest_capacity, ttl=recheck_ttl)
         #: (module, vm_a, vm_b) -> (key_a, key_b, PairComparison);
@@ -253,6 +303,15 @@ class ModChecker:
         """
         removed = self.manifests.invalidate(vm_name, module_name,
                                             reason=reason)
+        if self.event_driven:
+            # Protections exist to keep a manifest honest; a manifest
+            # that no longer exists must not keep frames protected (and
+            # a protection may outlive its manifest, e.g. LRU eviction,
+            # so this does not condition on ``removed``).
+            for key in [k for k in self._protections
+                        if (vm_name is None or k[0] == vm_name)
+                        and (module_name is None or k[1] == module_name)]:
+                self._drop_protection(*key)
         if removed:
             events = self.obs.events
             if events.enabled:
@@ -272,19 +331,47 @@ class ModChecker:
         caught; what it skips is the copy/parse/compare machinery, not
         the looking). Any mismatch invalidates and reports None, and
         the caller runs the full pipeline in the same round.
+
+        In event-driven mode the second and third gates are replaced by
+        the trap protocol (:meth:`_try_manifest_event`): the looking is
+        delegated to write traps, so an unchanged module costs one
+        empty ring drain instead of an O(pages) sweep.
         """
         vm_name = vmi.domain.name
         manifest = self.manifests.lookup(
             vm_name, module_name,
             boot_generation=vmi.boot_generation, now=self.hv.clock.now)
         if manifest is None:
+            if self.event_driven:
+                # generation/TTL/eviction miss: whatever was armed no
+                # longer matches anything we can validate against
+                self._drop_protection(vm_name, module_name)
             return None
+        if self.event_driven:
+            return self._try_manifest_event(vmi, searcher, module_name,
+                                            manifest)
+        if not self._verify_entry(vmi, searcher, module_name, manifest):
+            return None
+        if not self._sweep_matches(vmi, module_name, manifest):
+            return None
+        return self._manifest_hit(vmi, module_name, manifest,
+                                  pages=len(manifest.page_digests))
+
+    def _verify_entry(self, vmi: VMIInstance, searcher: ModuleSearcher,
+                      module_name: str, manifest: CheckManifest) -> bool:
+        """Gate 2: the LDR entry still describes the same mapping."""
         if not searcher.verify_cached_entry(manifest.ldr_entry_va,
                                             dll_base=manifest.base,
                                             size_of_image=manifest.size):
-            self.invalidate_manifests(vm_name, module_name,
+            self.invalidate_manifests(vmi.domain.name, module_name,
                                       reason="entry-moved")
-            return None
+            return False
+        return True
+
+    def _sweep_matches(self, vmi: VMIInstance, module_name: str,
+                       manifest: CheckManifest) -> bool:
+        """Gate 3: the full per-page checksum sweep."""
+        vm_name = vmi.domain.name
         try:
             digests = vmi.checksum_va_range(manifest.base, manifest.size)
         except (TransientFault, RetryExhausted):
@@ -295,12 +382,18 @@ class ModChecker:
             # back to the full walk, which sees the current truth
             self.invalidate_manifests(vm_name, module_name,
                                       reason="page-delta")
-            return None
+            return False
         if digests != manifest.page_digests:
             self.invalidate_manifests(vm_name, module_name,
                                       reason="page-delta")
-            return None
-        self._acq_meta[vm_name] = _AcqMeta(
+            return False
+        return True
+
+    def _manifest_hit(self, vmi: VMIInstance, module_name: str,
+                      manifest: CheckManifest, *,
+                      pages: int) -> ParsedModule:
+        """Serve a validated manifest (``pages`` = pages re-digested)."""
+        self._acq_meta[vmi.domain.name] = _AcqMeta(
             ldr_entry_va=manifest.ldr_entry_va, base=manifest.base,
             size=manifest.size, boot_generation=manifest.boot_generation,
             digests=manifest.page_digests,
@@ -308,9 +401,243 @@ class ModChecker:
             from_manifest=True)
         events = self.obs.events
         if events.enabled:
-            events.emit("manifest.hit", vm=vm_name, module=module_name,
-                        pages=len(digests))
+            events.emit("manifest.hit", vm=vmi.domain.name,
+                        module=module_name, pages=pages)
         return manifest.parsed
+
+    # -- event-driven mode (write-protection traps) ----------------------------
+
+    def _try_manifest_event(self, vmi: VMIInstance,
+                            searcher: ModuleSearcher, module_name: str,
+                            manifest: CheckManifest,
+                            ) -> ParsedModule | None:
+        """Validate a manifest from trap evidence instead of a sweep.
+
+        Steady state — armed protection, empty ring — costs a single
+        drain. Traps narrow the work: a guard trap re-runs the LDR
+        entry verify, an image trap re-digests exactly the written
+        pages. The full sweep remains the fallback whenever silence is
+        not trustworthy (ring overflow, a lifecycle protection drop,
+        the periodic paranoia re-sweep) and for pages that could never
+        be armed; fallbacks emit ``trap.fallback`` with the reason.
+        """
+        vm_name = vmi.domain.name
+        self._route_traps(vmi)
+        rec = self._protections.get((vm_name, module_name))
+        if rec is not None and (rec.boot_generation
+                                != manifest.boot_generation
+                                or rec.base != manifest.base
+                                or rec.size != manifest.size):
+            # armed against a different incarnation of the manifest
+            self._drop_protection(vm_name, module_name)
+            rec = None
+        if rec is not None and rec.epoch != vmi.domain.protection_epoch:
+            # reboot/migrate-finish disarmed everything behind our
+            # back; traps could not have fired, so silence means nothing
+            self._fallback(vm_name, module_name, "lifecycle")
+            self._drop_protection(vm_name, module_name)
+            rec = None
+        if rec is None:
+            # nothing armed: classic gates now, arm on success
+            if not self._verify_entry(vmi, searcher, module_name, manifest):
+                return None
+            if not self._sweep_matches(vmi, module_name, manifest):
+                return None
+            self._arm_protection(vmi, module_name, manifest)
+            return self._manifest_hit(vmi, module_name, manifest,
+                                      pages=len(manifest.page_digests))
+        rec.validations += 1
+        paranoia_due = bool(self.paranoia_every) \
+            and rec.validations % self.paranoia_every == 0
+        if rec.overflowed or paranoia_due:
+            self._fallback(vm_name, module_name,
+                           "exhausted" if rec.overflowed else "paranoia")
+            if not self._verify_entry(vmi, searcher, module_name, manifest):
+                return None
+            if not self._sweep_matches(vmi, module_name, manifest):
+                return None
+            if rec.guard_dirty:
+                self._refresh_guards(vmi, rec, manifest)
+            rec.overflowed = False
+            rec.guard_dirty = False
+            rec.dirty_pages.clear()
+            return self._manifest_hit(vmi, module_name, manifest,
+                                      pages=len(manifest.page_digests))
+        if rec.guard_dirty:
+            # someone wrote near the LDR node: re-run the entry verify
+            # and re-derive the guards (the neighbours may have moved)
+            if not self._verify_entry(vmi, searcher, module_name, manifest):
+                return None
+            self._refresh_guards(vmi, rec, manifest)
+            rec.guard_dirty = False
+        pages = rec.dirty_pages | set(rec.unprotected)
+        checked = 0
+        if pages:
+            if rec.unprotected:
+                self._fallback(vm_name, module_name, "unprotectable")
+            try:
+                digests = vmi.checksum_pages(manifest.base, manifest.size,
+                                             pages)
+            except (TransientFault, RetryExhausted):
+                raise   # sick VM: the caller degrades it
+            except IntrospectionFault:
+                self.invalidate_manifests(vm_name, module_name,
+                                          reason="page-delta")
+                return None
+            for idx, digest in digests.items():
+                if digest != manifest.page_digests[idx]:
+                    self.invalidate_manifests(vm_name, module_name,
+                                              reason="page-delta")
+                    return None
+            checked = len(digests)
+            self.trap_pages_checked += checked
+            rec.dirty_pages.clear()
+        self.trap_validations += 1
+        return self._manifest_hit(vmi, module_name, manifest,
+                                  pages=checked)
+
+    def _route_traps(self, vmi: VMIInstance) -> None:
+        """Drain one VM's trap ring and mark every affected protection.
+
+        Routing, not consumption: a guard page may back the LDR nodes
+        of several modules and an overflow taints every protection on
+        the VM, so each drained trap updates *all* matching records.
+        """
+        vm_name = vmi.domain.name
+        traps, overflowed = vmi.drain_traps()
+        if not traps and not overflowed:
+            return
+        for (rec_vm, _mod), rec in self._protections.items():
+            if rec_vm != vm_name:
+                continue
+            if overflowed:
+                rec.overflowed = True
+            for trap in traps:
+                idx = rec.page_index.get(trap.gfn)
+                if idx is not None:
+                    rec.dirty_pages.add(idx)
+                if trap.gfn in rec.guard_gfns:
+                    rec.guard_dirty = True
+        events = self.obs.events
+        if events.enabled:
+            events.emit("trap.delivered", vm=vm_name, traps=len(traps),
+                        writes=sum(t.writes for t in traps),
+                        overflowed=overflowed)
+
+    def _arm_protection(self, vmi: VMIInstance, module_name: str,
+                        manifest: CheckManifest) -> None:
+        """Write-protect a freshly validated manifest (best effort).
+
+        Arms the image range plus the LDR guard pages. A guest that
+        faults mid-arming simply stays on the sweep path — protections
+        are an optimisation, never a correctness dependency.
+        """
+        vm_name = vmi.domain.name
+        epoch = vmi.domain.protection_epoch
+        try:
+            page_gfns = vmi.protect_va_range(manifest.base, manifest.size)
+            guard_gfns = self._protect_guards(vmi, manifest)
+        except IntrospectionFault:
+            self._drop_protection(vm_name, module_name)
+            return
+        rec = _Protection(
+            base=manifest.base, size=manifest.size,
+            boot_generation=manifest.boot_generation, epoch=epoch,
+            page_gfns=page_gfns,
+            page_index={gfn: i for i, gfn in enumerate(page_gfns)
+                        if gfn is not None},
+            unprotected=tuple(i for i, gfn in enumerate(page_gfns)
+                              if gfn is None),
+            guard_gfns=guard_gfns)
+        self._protections[(vm_name, module_name)] = rec
+        events = self.obs.events
+        if events.enabled:
+            events.emit("trap.protected", vm=vm_name, module=module_name,
+                        pages=len(rec.page_index) + len(guard_gfns),
+                        unprotectable=len(rec.unprotected))
+
+    def _protect_guards(self, vmi: VMIInstance,
+                        manifest: CheckManifest) -> tuple[int, ...]:
+        """Arm the frames every ``verify_cached_entry`` read touches.
+
+        The entry node (through its largest verified field) plus both
+        neighbours' LIST_ENTRY heads: any relink the verify could
+        detect must write one of these, so a clean ring soundly skips
+        the verify. Returned with multiplicity — protections refcount,
+        and shared frames must be released as many times as armed.
+        """
+        entry = manifest.ldr_entry_va
+        entry_span = vmi.profile.offset("LDR_DATA_TABLE_ENTRY.size")
+        succ = vmi.read_u32(entry)          # node.FLINK
+        pred = vmi.read_u32(entry + 4)      # node.BLINK
+        list_span = vmi.profile.offset("LIST_ENTRY.size")
+        gfns: list[int] = []
+        for va, span in ((entry, entry_span), (succ, list_span),
+                         (pred, list_span)):
+            gfns.extend(g for g in vmi.protect_va_range(va, span)
+                        if g is not None)
+        return tuple(gfns)
+
+    def _refresh_guards(self, vmi: VMIInstance, rec: _Protection,
+                        manifest: CheckManifest) -> None:
+        """Re-derive the guard set after a verified guard write (the
+        neighbours may legitimately have changed, e.g. another module
+        loaded or unloaded next to ours)."""
+        for gfn in rec.guard_gfns:
+            self.hv.unprotect_guest_frame(vmi.domain.name, gfn)
+        rec.guard_gfns = self._protect_guards(vmi, manifest)
+
+    def _drop_protection(self, vm_name: str, module_name: str) -> None:
+        """Disarm and forget one protection record (refcount-correct).
+
+        Forgiving about the domain being gone — the hypervisor already
+        bulk-dropped the frames on destroy, and ``unprotect`` treats a
+        missing domain or frame as a no-op.
+        """
+        rec = self._protections.pop((vm_name, module_name), None)
+        if rec is None:
+            return
+        for gfn in rec.page_gfns:
+            if gfn is not None:
+                self.hv.unprotect_guest_frame(vm_name, gfn)
+        for gfn in rec.guard_gfns:
+            self.hv.unprotect_guest_frame(vm_name, gfn)
+
+    def _fallback(self, vm_name: str, module_name: str,
+                  reason: str) -> None:
+        """Account one fall-back to sweep work (taxonomy: ``exhausted``
+        / ``paranoia`` / ``lifecycle`` / ``unprotectable``)."""
+        self.trap_fallbacks[reason] = self.trap_fallbacks.get(reason, 0) + 1
+        events = self.obs.events
+        if events.enabled:
+            events.emit("trap.fallback", vm=vm_name, module=module_name,
+                        reason=reason)
+
+    def pending_trap_modules(self, vm_names: list[str]) -> list[str]:
+        """Drain the given VMs' rings; name the modules needing work.
+
+        The daemon's subscription hook: called at the top of a cycle so
+        modules with trapped writes can be re-checked *ahead of* the
+        policy rotation instead of waiting their turn. Ring peeks are
+        free; only VMs with pending traps pay for a drain. Routed
+        state persists on the protection records, so the subsequent
+        per-module validation sees exactly what was drained here.
+        """
+        if not self.event_driven:
+            return []
+        eligible = set(vm_names)
+        for vm_name in vm_names:
+            if self.hv.traps.pending(vm_name) == 0:
+                continue
+            try:
+                self._route_traps(self.vmi_for(vm_name))
+            except VMIInitError:
+                continue    # vanished domain: membership will reconcile
+        return sorted({module for (vm, module), rec
+                       in self._protections.items()
+                       if vm in eligible
+                       and (rec.dirty_pages or rec.guard_dirty
+                            or rec.overflowed)})
 
     def _note_acquisition(self, vmi: VMIInstance, copy,
                           parsed: ParsedModule) -> None:
@@ -388,16 +715,28 @@ class ModChecker:
                 continue
             if meta.from_manifest:
                 continue
-            if meta.base % PAGE_SIZE or meta.size % PAGE_SIZE:
-                # a frame-granular sweep cannot address an unaligned
-                # image; leave such modules on the full path forever
+            if meta.base % PAGE_SIZE:
+                # a frame-granular sweep cannot address an image whose
+                # *base* is unaligned; leave such modules on the full
+                # path forever. An unaligned *size* is fine: the tail
+                # digest is masked to the in-image bytes at both commit
+                # (``_page_digests`` zero-pads) and sweep time
+                # (``checksum_va_range`` scopes the final frame).
                 continue
-            self.manifests.commit(CheckManifest(
+            manifest = CheckManifest(
                 vm_name=vm_name, module_name=module_name,
                 boot_generation=meta.boot_generation, base=meta.base,
                 size=meta.size, ldr_entry_va=meta.ldr_entry_va,
                 page_digests=meta.digests, content_key=meta.content_key,
-                parsed=meta.parsed, verified_at=now))
+                parsed=meta.parsed, verified_at=now)
+            self.manifests.commit(manifest)
+            if self.event_driven:
+                # the clean verdict both commits and arms: from the
+                # next cycle on, this module is validated by traps
+                self._drop_protection(vm_name, module_name)
+                vmi = self._vmis.get(vm_name)
+                if vmi is not None and not self._vmi_stale(vm_name, vmi):
+                    self._arm_protection(vmi, module_name, manifest)
 
     def warm_up(self, vm_name: str) -> list[str]:
         """Prime a (re-)admitted VM before it votes in any quorum.
@@ -436,6 +775,14 @@ class ModChecker:
         if self.incremental:
             record_manifest_stats(metrics, self.manifests,
                                   pair_replays=self.pair_replays)
+        if self.event_driven:
+            record_trap_stats(
+                metrics, self.hv.traps.stats,
+                validations=self.trap_validations,
+                pages_checked=self.trap_pages_checked,
+                fallbacks=self.trap_fallbacks,
+                protected_frames=sum(len(d.protected_frames)
+                                     for d in self.hv.guests()))
 
     def pool_vm_names(self, vms: list[str] | None = None) -> list[str]:
         if vms is not None:

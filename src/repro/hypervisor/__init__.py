@@ -1,10 +1,11 @@
 """Xen-like VMM: domains, contention scheduler, simulated clock,
-fault injection on the introspection surface."""
+fault injection on the introspection surface, write-protection traps."""
 
 from .clock import SimClock
 from .domain import Domain, DomainKind, DomainState
 from .faults import FaultConfig, FaultInjector, FaultStats
 from .scheduler import ContentionScheduler, CpuModel
+from .traps import TrapQueue, TrapStats, WriteTrap
 from .xen import Hypervisor
 
 __all__ = [
@@ -12,5 +13,6 @@ __all__ = [
     "Domain", "DomainKind", "DomainState",
     "FaultConfig", "FaultInjector", "FaultStats",
     "ContentionScheduler", "CpuModel",
+    "TrapQueue", "TrapStats", "WriteTrap",
     "Hypervisor",
 ]

@@ -58,6 +58,15 @@ class Domain:
     mem_load: float = 0.0        # fraction of RAM churned (Fig. 9 monitor)
     disk_load: float = 0.0
     tags: dict = field(default_factory=dict)
+    #: gfn -> protection refcount; EPT-style write protection managed by
+    #: :meth:`~repro.hypervisor.xen.Hypervisor.protect_guest_frame`.
+    #: Overlapping monitors refcount rather than fight.
+    protected_frames: dict[int, int] = field(default_factory=dict)
+    #: Bumped whenever the hypervisor bulk-drops this domain's
+    #: protections (reboot, migrate-finish, destroy). Monitors snapshot
+    #: the epoch when they arm and compare before trusting silence: an
+    #: epoch mismatch means "your traps were disarmed behind your back".
+    protection_epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.kind is DomainKind.DOMU and self.kernel is None:

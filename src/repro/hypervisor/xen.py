@@ -24,11 +24,13 @@ import hashlib
 
 from ..errors import DomainNotFound, DomainStateError, DomainUnreachable
 from ..guest.kernel import GuestKernel
+from ..mem.physical import PAGE_SIZE
 from ..pe.builder import DriverBlueprint
 from ..rng import derive_seed
 from .clock import SimClock
 from .domain import Domain, DomainKind, DomainState
 from .scheduler import ContentionScheduler, CpuModel
+from .traps import TrapQueue
 
 __all__ = ["Hypervisor"]
 
@@ -37,7 +39,9 @@ class Hypervisor:
     """A booted VMM: Dom0 + guests + clock + scheduler."""
 
     def __init__(self, *, cpu: CpuModel | None = None,
-                 clock: SimClock | None = None) -> None:
+                 clock: SimClock | None = None,
+                 trap_capacity: int = 1024,
+                 protect_limit: int | None = 4096) -> None:
         self.cpu = cpu or CpuModel()
         self.clock = clock or SimClock()
         self.scheduler = ContentionScheduler(self.cpu)
@@ -45,6 +49,13 @@ class Hypervisor:
         self._by_name: dict[str, int] = {}
         self._next_domid = 0
         self._snapshots: dict[int, dict] = {}
+        #: coalesced write traps raised by writes to protected frames
+        self.traps = TrapQueue(capacity_per_vm=trap_capacity)
+        #: max distinct protected frames per domain (None = unbounded);
+        #: models finite EPT shadow resources — beyond the limit,
+        #: :meth:`protect_guest_frame` refuses and the caller must keep
+        #: sweeping those pages
+        self.protect_limit = protect_limit
         self.dom0 = self._create(Domain(
             domid=self._take_domid(), name="Dom0", kind=DomainKind.DOM0,
             vcpus=1))
@@ -132,6 +143,10 @@ class Hypervisor:
         assert domain.kernel is not None
         domain.kernel.reboot()
         domain.state = DomainState.RUNNING
+        # A reboot rebuilds physical memory wholesale: every gfn means
+        # something new, so protections and pending traps are dropped
+        # (boot generations stay honest — monitors must re-arm).
+        self._drop_frame_protections(domain)
         return domain
 
     def migrate_start(self, key: int | str) -> None:
@@ -151,12 +166,17 @@ class Hypervisor:
         if domain.state is not DomainState.MIGRATING:
             raise DomainStateError(f"{domain.name} is not migrating")
         domain.state = DomainState.RUNNING
+        # The destination host has fresh EPT tables: write protections
+        # do not travel with the guest, and traps queued on the source
+        # are meaningless now.
+        self._drop_frame_protections(domain)
 
     def destroy(self, key: int | str) -> None:
         domain = self.domain(key)
         if domain.kind is DomainKind.DOM0:
             raise DomainStateError("cannot destroy Dom0")
         domain.state = DomainState.SHUTDOWN
+        self._drop_frame_protections(domain)
         del self._by_name[domain.name]
         del self._domains[domain.domid]
 
@@ -192,6 +212,12 @@ class Hypervisor:
         kernel.fs._files = dict(snap["files"])
         kernel.modules = dict(snap["modules"])
         kernel.loader.export_table = dict(snap["exports"])
+        # A revert rewrites frame contents *behind* the ordinary write
+        # path (same object, new frames). The boot generation does not
+        # change, so armed monitors would coast on stale digests — raise
+        # a whole-frame trap for every protected frame instead.
+        for gfn in sorted(domain.protected_frames):
+            self.traps.push(domain.name, gfn, 0, self.clock.now)
 
     # -- introspection surface -----------------------------------------------------
 
@@ -234,7 +260,8 @@ class Hypervisor:
         """Arbitrary physical-range read (libvmi's ``read_pa``)."""
         return self._introspectable_kernel(key).memory.read(paddr, length)
 
-    def checksum_guest_frame(self, key: int | str, frame_no: int) -> bytes:
+    def checksum_guest_frame(self, key: int | str, frame_no: int,
+                             length: int = PAGE_SIZE) -> bytes:
         """Digest of one guest frame, computed hypervisor-side.
 
         Models a VMM-assisted checksum hypercall (the trick Patagonix-
@@ -246,8 +273,105 @@ class Hypervisor:
         lifecycle rules and any installed fault injector apply exactly
         as they do to ordinary reads (a torn frame yields a wrong
         digest, which the manifest layer treats as a page delta).
+
+        ``length`` scopes the digest to the first ``length`` bytes of
+        the frame, zero-padded back to a full page (matching how module
+        baselines pad a short tail chunk). A monitored image that ends
+        mid-page must mask the co-resident tail bytes: they belong to
+        whatever the guest allocator placed next, and hashing them
+        produces spurious deltas.
         """
-        return hashlib.md5(self.read_guest_frame(key, frame_no)).digest()
+        if not 0 < length <= PAGE_SIZE:
+            raise ValueError(f"length {length} outside (0, {PAGE_SIZE}]")
+        page = self.read_guest_frame(key, frame_no)
+        if length < PAGE_SIZE:
+            page = page[:length] + bytes(PAGE_SIZE - length)
+        return hashlib.md5(page).digest()
+
+    # -- write protection (EPT-style, event-driven monitoring) ----------------------
+
+    def protect_guest_frame(self, key: int | str, gfn: int) -> bool:
+        """Arm write-protection on one guest frame.
+
+        Returns True when armed (or already armed — protections are
+        refcounted, so overlapping monitors compose). Returns False
+        when the frame is *unprotectable*: beyond installed memory, or
+        the domain is at :attr:`protect_limit` (finite EPT resources).
+        The caller must keep sweeping unprotectable pages — refusal is
+        a capacity answer, not an error.
+
+        Raises :class:`~repro.errors.DomainUnreachable` under the same
+        lifecycle rules as guest reads: protections are EPT state and
+        cannot be touched mid-migration or after shutdown.
+        """
+        kernel = self._introspectable_kernel(key)
+        domain = self.domain(key)
+        if not 0 <= gfn < kernel.memory.n_frames:
+            return False
+        protected = domain.protected_frames
+        if gfn in protected:
+            protected[gfn] += 1
+            return True
+        if self.protect_limit is not None \
+                and len(protected) >= self.protect_limit:
+            return False
+        protected[gfn] = 1
+        self._arm_write_observer(domain)
+        return True
+
+    def unprotect_guest_frame(self, key: int | str, gfn: int) -> None:
+        """Drop one reference to a frame protection.
+
+        Forgiving by design: the domain may have been destroyed, or the
+        protection already bulk-dropped by a lifecycle event — in both
+        cases there is nothing left to disarm and this is a no-op.
+        """
+        try:
+            domain = self.domain(key)
+        except DomainNotFound:
+            return
+        refs = domain.protected_frames.get(gfn)
+        if refs is None:
+            return
+        if refs <= 1:
+            del domain.protected_frames[gfn]
+        else:
+            domain.protected_frames[gfn] = refs - 1
+
+    def _drop_frame_protections(self, domain: Domain) -> None:
+        """Bulk-drop a domain's protections on a lifecycle boundary.
+
+        Clears the protected set, purges pending traps (their gfns no
+        longer mean anything) and bumps ``protection_epoch`` so armed
+        monitors can detect the drop in O(1) instead of trusting the
+        silence of traps that can no longer fire.
+        """
+        domain.protected_frames.clear()
+        domain.protection_epoch += 1
+        self.traps.purge(domain.name)
+
+    def _arm_write_observer(self, domain: Domain) -> None:
+        """Hook the guest's physical memory write path (idempotent).
+
+        The observer closes over the domain, not the memory: it checks
+        the *live* protected set on every write and checks that the
+        kernel still owns the memory object it was installed on (a
+        reboot swaps the memory wholesale, orphaning old observers).
+        """
+        assert domain.kernel is not None
+        memory = domain.kernel.memory
+        if memory.write_observer is not None:
+            return
+
+        def observe(frame_no: int, offset: int, length: int) -> None:
+            kernel = domain.kernel
+            if kernel is None or kernel.memory is not memory:
+                return
+            if frame_no in domain.protected_frames:
+                self.traps.push(domain.name, frame_no, offset,
+                                self.clock.now)
+
+        memory.write_observer = observe
 
     # -- CPU accounting ---------------------------------------------------------------
 
@@ -284,10 +408,13 @@ class Hypervisor:
 class _DeferredCharges:
     """Context manager that buffers charge_dom0 calls (see above)."""
 
+    _ABSENT = object()   # sentinel: no instance attr shadowed the method
+
     def __init__(self, hypervisor: Hypervisor) -> None:
         self.hv = hypervisor
         self.total = 0.0
         self.marks: list[float] = []
+        self._prev = self._ABSENT
 
     def mark(self) -> None:
         """Record a cut point (e.g. per-VM boundaries)."""
@@ -300,9 +427,19 @@ class _DeferredCharges:
             self.total += cpu_seconds
             self.hv.dom0_cpu_seconds += cpu_seconds
             return 0.0
-        # Shadow the bound method on the instance for the duration.
+        # Shadow the bound method on the instance for the duration,
+        # saving whatever shadowed it before us (an outer deferred
+        # context, or nothing). Contexts therefore nest: each inner
+        # context collects into its own total and hands the previous
+        # collector back on exit. Inner totals do NOT roll into the
+        # outer context — the inner caller models its own elapsed time.
+        self._prev = self.hv.__dict__.get("charge_dom0", self._ABSENT)
         self.hv.charge_dom0 = collect  # type: ignore[method-assign]
         return self
 
     def __exit__(self, *exc) -> None:
-        del self.hv.__dict__["charge_dom0"]
+        if self._prev is self._ABSENT:
+            del self.hv.__dict__["charge_dom0"]
+        else:
+            self.hv.charge_dom0 = self._prev  # type: ignore[method-assign]
+        self._prev = self._ABSENT

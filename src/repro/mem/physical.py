@@ -33,6 +33,11 @@ class PhysicalMemory:
         self.size = size_bytes
         self.n_frames = size_bytes // PAGE_SIZE
         self._frames: dict[int, np.ndarray] = {}
+        #: Optional ``(frame_no, offset, length)`` callback fired before
+        #: any mutation of a frame — the hook the hypervisor uses to
+        #: model EPT write-protection traps. Memory knows nothing about
+        #: domains; whoever installs the observer does the filtering.
+        self.write_observer = None
 
     # -- frame-level access -----------------------------------------------------
 
@@ -53,7 +58,14 @@ class PhysicalMemory:
         return bytes(PAGE_SIZE) if frame is None else frame.tobytes()
 
     def frame_view(self, frame_no: int) -> np.ndarray:
-        """Writable numpy view of one frame (allocating it)."""
+        """Writable numpy view of one frame (allocating it).
+
+        The view escapes the observer hook, so handing one out counts
+        as a conservative whole-frame write: the caller *may* mutate
+        any byte and write-protection must assume it did.
+        """
+        if self.write_observer is not None:
+            self.write_observer(frame_no, 0, PAGE_SIZE)
         frame = self._frame(frame_no, create=True)
         assert frame is not None
         return frame
@@ -89,6 +101,8 @@ class PhysicalMemory:
             addr = paddr + pos
             frame_no, offset = addr >> PAGE_SHIFT, addr & (PAGE_SIZE - 1)
             n = min(PAGE_SIZE - offset, length - pos)
+            if self.write_observer is not None:
+                self.write_observer(frame_no, offset, n)
             frame = self._frame(frame_no, create=True)
             assert frame is not None
             frame[offset:offset + n] = np.frombuffer(view[pos:pos + n],

@@ -27,7 +27,8 @@ from .bridge import (BREAKER_STATE_VALUES, STAGES, record_breaker_states,
                      record_chaos_stats, record_daemon_cycle,
                      record_fault_stats, record_manifest_stats,
                      record_membership, record_pool_report,
-                     record_stage_timings, record_vmi_instance)
+                     record_stage_timings, record_trap_stats,
+                     record_vmi_instance)
 from .events import EVENT_NAMES, NULL_EVENTS, Event, EventLog, NullEventLog
 from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter, Gauge,
                       Histogram, MetricsRegistry, NullMetrics)
@@ -42,7 +43,7 @@ __all__ = [
     "STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
     "record_pool_report", "record_vmi_instance", "record_fault_stats",
     "record_daemon_cycle", "record_breaker_states", "record_membership",
-    "record_chaos_stats", "record_manifest_stats",
+    "record_chaos_stats", "record_manifest_stats", "record_trap_stats",
 ]
 
 

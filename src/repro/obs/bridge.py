@@ -34,6 +34,13 @@ gate all speak the same names:
 ``modchecker_manifest_invalidations_total``  counter ``reason``
 ``modchecker_manifest_entries``              gauge   (none)
 ``modchecker_pair_replays_total``            counter (none)
+``modchecker_vmi_pages_protected_total``     counter ``vm``
+``modchecker_vmi_traps_drained_total``       counter ``vm``
+``modchecker_trap_validations_total``        counter (none)
+``modchecker_trap_pages_checked_total``      counter (none)
+``modchecker_trap_fallbacks_total``          counter ``reason``
+``modchecker_traps_total``                   counter ``outcome``
+``modchecker_protected_frames``              gauge   (none)
 ===========================================  ======  ========================
 
 Cumulative sources are published with :meth:`Counter.set_to` (they
@@ -52,7 +59,8 @@ __all__ = ["STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
            "record_pool_report", "record_vmi_instance",
            "record_fault_stats", "record_daemon_cycle",
            "record_breaker_states", "record_membership",
-           "record_chaos_stats", "record_manifest_stats"]
+           "record_chaos_stats", "record_manifest_stats",
+           "record_trap_stats"]
 
 #: The pipeline stages of the Fig. 7/8 breakdown.
 STAGES = ("searcher", "parser", "checker")
@@ -148,6 +156,14 @@ def record_vmi_instance(metrics, vm_name: str, vmi, base=None) -> None:
         "modchecker_vmi_retries_recovered_total",
         "Reads that succeeded after at least one retry").set_to(
             stats.retries_recovered, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_pages_protected_total",
+        "Guest frames armed with write-protection").set_to(
+            stats.pages_protected, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_traps_drained_total",
+        "Coalesced write traps drained by this session").set_to(
+            stats.traps_drained, vm=vm_name)
 
 
 def record_fault_stats(metrics, fault_stats) -> None:
@@ -249,6 +265,44 @@ def record_manifest_stats(metrics, store, *, pair_replays: int = 0) -> None:
         "modchecker_pair_replays_total",
         "Pairwise comparisons served from the content-keyed "
         "replay cache").set_to(pair_replays)
+
+
+def record_trap_stats(metrics, queue_stats, *, validations: int,
+                      pages_checked: int, fallbacks: dict,
+                      protected_frames: int) -> None:
+    """Event-driven pipeline counters -> trap metrics.
+
+    ``queue_stats`` is the hypervisor ring's
+    :class:`~repro.hypervisor.traps.TrapStats`; ``validations`` /
+    ``pages_checked`` / ``fallbacks`` come from the checker's trap
+    path. All cumulative, hence ``set_to``; the only instantaneous
+    value is the pool-wide protected-frame count, a gauge. The
+    ``fallbacks`` reason labels follow the taxonomy ``exhausted`` /
+    ``paranoia`` / ``lifecycle`` / ``unprotectable``.
+    """
+    metrics.counter(
+        "modchecker_trap_validations_total",
+        "Manifest validations satisfied purely by trap evidence").set_to(
+            validations)
+    metrics.counter(
+        "modchecker_trap_pages_checked_total",
+        "Pages re-digested because traps (or unprotectable pages) "
+        "named them").set_to(pages_checked)
+    fallback_counter = metrics.counter(
+        "modchecker_trap_fallbacks_total",
+        "Trap validations that fell back to sweep work, by reason")
+    for reason, count in sorted(fallbacks.items()):
+        fallback_counter.set_to(count, reason=reason)
+    ring = metrics.counter(
+        "modchecker_traps_total",
+        "Write traps through the hypervisor ring, by outcome")
+    snap = queue_stats.snapshot()
+    for outcome in ("delivered", "coalesced", "dropped", "drained"):
+        ring.set_to(snap[outcome], outcome=outcome)
+    metrics.gauge(
+        "modchecker_protected_frames",
+        "Guest frames currently write-protected across the pool").set(
+            protected_frames)
 
 
 def record_chaos_stats(metrics, chaos_stats) -> None:

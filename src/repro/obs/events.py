@@ -29,6 +29,9 @@ rely on them:
 ``daemon.cycle``         one daemon sweep cycle completed
 ``manifest.hit``         incremental sweep validated a cached manifest
 ``manifest.invalidated`` manifests dropped (reason in the attrs)
+``trap.protected``       a manifest's pages were write-protected
+``trap.delivered``       coalesced write traps drained for one VM
+``trap.fallback``        trap validation fell back to sweep work
 =======================  ==============================================
 
 Correlation works through a context stack: the daemon mints one
@@ -66,6 +69,7 @@ EVENT_NAMES = (
     "module.carved", "breaker.tripped", "membership.changed",
     "chaos.applied", "alert.raised", "daemon.cycle",
     "manifest.hit", "manifest.invalidated",
+    "trap.protected", "trap.delivered", "trap.fallback",
 )
 
 

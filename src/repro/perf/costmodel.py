@@ -46,6 +46,15 @@ class CostModel:
     rva_scan_per_byte: float = 0.006 * _US  # Algorithm 2 byte scan
     compare_per_pair: float = 30.0 * _US   # per-module-pair fixed overhead
 
+    # -- event-driven monitoring (charged by the VMI layer) -------------
+    #: arm EPT write-protection on one guest frame (one hypercall,
+    #: amortised EPT walk; cheaper than a foreign mapping, pricier than
+    #: a mapped read)
+    page_protect: float = 6.0 * _US
+    #: deliver one coalesced write trap out of the shared ring (Dom0
+    #: side; the fixed ring-poll cost per drain is a ``small_read``)
+    trap_deliver: float = 2.0 * _US
+
     # -- resilience (charged by the VMI retry layer) --------------------
     retry_probe: float = 8.0 * _US     # re-issue one failed guest read
 

@@ -56,6 +56,13 @@ class VMIStats:
     #: reads that succeeded after at least one retry (the "recovered"
     #: side of the faults-injected-vs-recovered observability story)
     retries_recovered: int = 0
+    #: frames armed with EPT write-protection via ``protect_va_range``
+    pages_protected: int = 0
+    #: protection refusals (beyond memory / EPT resource limit); these
+    #: pages stay on the sweep path forever
+    pages_unprotectable: int = 0
+    #: coalesced write traps handed to this session by ``drain_traps``
+    traps_drained: int = 0
 
     def snapshot(self) -> "VMIStats":
         return VMIStats(**vars(self))
@@ -250,22 +257,31 @@ class VMIInstance:
 
     # -- incremental page sweep --------------------------------------------------
 
-    def _checksum_page(self, va: int) -> bytes:
+    def _checksum_page(self, va: int, length: int = PAGE_SIZE) -> bytes:
         """Translate + hypervisor-side digest of one page (one attempt).
 
         Deliberately bypasses the page cache in both directions: no
         page bytes enter Dom0, and the sweep must never be satisfied
         from (or accounted against) cached frames — a stale cached page
         is exactly what a tampered guest would want the sweep to hash.
+
+        ``length`` masks a partial tail page (see
+        :meth:`Hypervisor.checksum_guest_frame`). Counting and charging
+        happen strictly *after* the digest succeeds: under the retry
+        policy a faulted attempt must not inflate ``pages_checksummed``
+        or charge ``page_checksum`` a second time (the retry layer
+        already charges its own ``retry_probe``).
         """
         try:
             pa = self.translate_kv2p(va)
         except PageFault as exc:
             raise IntrospectionFault(
                 f"{self.domain.name}: unmapped VA {va:#x}") from exc
+        digest = self.hv.checksum_guest_frame(self.domain.domid, pa >> 12,
+                                              length)
         self.stats.pages_checksummed += 1
         self.hv.charge_dom0(self.costs.page_checksum)
-        return self.hv.checksum_guest_frame(self.domain.domid, pa >> 12)
+        return digest
 
     def checksum_va_range(self, vaddr: int, length: int,
                           ) -> tuple[bytes, ...]:
@@ -276,7 +292,10 @@ class VMIInstance:
         optional), but through :meth:`Hypervisor.checksum_guest_frame`
         — a translate walk plus a ``page_checksum`` charge per page —
         instead of the map-and-copy loop ``read_va`` pays for. Runs
-        under the same retry policy as ordinary reads.
+        under the same retry policy as ordinary reads. A range ending
+        mid-page digests only the in-range bytes of the final frame
+        (zero-padded), so co-resident neighbours past the tail cannot
+        perturb the digests.
         """
         digests: list[bytes] = []
         pos = 0
@@ -284,10 +303,95 @@ class VMIInstance:
             va = vaddr + pos
             n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
             digests.append(
-                self._retrying(lambda v=va: self._checksum_page(v),
+                self._retrying(lambda v=va, m=n: self._checksum_page(v, m),
                                f"checksum page {va & ~_PAGE_MASK:#x}"))
             pos += n
         return tuple(digests)
+
+    def checksum_pages(self, vaddr: int, length: int,
+                       indices) -> dict[int, bytes]:
+        """Digest selected pages of a page-aligned VA range.
+
+        The targeted half of event-driven monitoring: after traps name
+        the dirtied pages, only those page indices are re-digested —
+        O(writes), not O(pages). Same masking and retry semantics as
+        :meth:`checksum_va_range`; indices outside the range raise.
+        """
+        if vaddr & _PAGE_MASK:
+            raise ValueError(f"vaddr {vaddr:#x} is not page-aligned")
+        out: dict[int, bytes] = {}
+        for idx in sorted(set(indices)):
+            offset = idx * PAGE_SIZE
+            if not 0 <= offset < length:
+                raise ValueError(f"page index {idx} outside range")
+            va = vaddr + offset
+            n = min(PAGE_SIZE, length - offset)
+            out[idx] = self._retrying(
+                lambda v=va, m=n: self._checksum_page(v, m),
+                f"checksum page {va:#x}")
+        return out
+
+    # -- write-protection (event-driven monitoring) -------------------------------
+
+    def protect_va_range(self, vaddr: int, length: int,
+                         ) -> tuple[int | None, ...]:
+        """Arm write-protection on every frame backing a kernel-VA range.
+
+        Returns one entry per covered page, in order: the protected gfn,
+        or None when the page is *unprotectable* (unmapped VA, or the
+        hypervisor refused for capacity). Each armed frame charges
+        ``CostModel.page_protect``; translation is charged as usual.
+        The caller owns the returned gfns — it must hand each one back
+        to :meth:`Hypervisor.unprotect_guest_frame` when done (the
+        hypervisor refcounts, so overlapping monitors compose).
+        """
+        gfns: list[int | None] = []
+        pos = 0
+        try:
+            while pos < length:
+                va = vaddr + pos
+                n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
+                try:
+                    pa = self._retrying(
+                        lambda v=va: self.translate_kv2p(v),
+                        f"protect page {va & ~_PAGE_MASK:#x}")
+                except PageFault:
+                    self.stats.pages_unprotectable += 1
+                    gfns.append(None)
+                    pos += n
+                    continue
+                if self.hv.protect_guest_frame(self.domain.domid,
+                                               pa >> 12):
+                    self.stats.pages_protected += 1
+                    self.hv.charge_dom0(self.costs.page_protect)
+                    gfns.append(pa >> 12)
+                else:
+                    self.stats.pages_unprotectable += 1
+                    gfns.append(None)
+                pos += n
+        except Exception:
+            # all-or-nothing: a fault mid-arming must not leak refcounts
+            # on the frames already protected
+            for gfn in gfns:
+                if gfn is not None:
+                    self.hv.unprotect_guest_frame(self.domain.domid, gfn)
+            raise
+        return tuple(gfns)
+
+    def drain_traps(self):
+        """Drain this domain's pending write traps (one hypercall).
+
+        Returns ``(traps, overflowed)`` straight from the hypervisor
+        ring (see :meth:`TrapQueue.drain`). Charges one ``small_read``
+        for the ring poll plus ``trap_deliver`` per trap delivered —
+        the empty steady-state drain is the cheapest operation in the
+        whole stack, which is the point of event-driven monitoring.
+        """
+        traps, overflowed = self.hv.traps.drain(self.domain.name)
+        self.stats.traps_drained += len(traps)
+        self.hv.charge_dom0(self.costs.small_read
+                            + len(traps) * self.costs.trap_deliver)
+        return traps, overflowed
 
     def read_u32(self, vaddr: int) -> int:
         return struct.unpack("<I", self.read_va(vaddr, 4))[0]

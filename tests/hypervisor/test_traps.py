@@ -1,0 +1,222 @@
+"""Unit tests for write-protection traps (queue + hypervisor arming)."""
+
+import pytest
+
+from repro.errors import DomainUnreachable
+from repro.hypervisor import TrapQueue
+from repro.hypervisor.xen import Hypervisor
+from repro.mem.physical import PAGE_SIZE
+
+
+@pytest.fixture
+def hv(catalog):
+    hypervisor = Hypervisor()
+    hypervisor.create_guest("Dom1", catalog, seed=1)
+    return hypervisor
+
+
+class TestTrapQueue:
+    def test_push_then_drain(self):
+        q = TrapQueue()
+        assert q.push("vm", 7, 16, 1.0)
+        assert q.pending("vm") == 1
+        traps, overflowed = q.drain("vm")
+        assert not overflowed
+        (trap,) = traps
+        assert (trap.vm, trap.gfn, trap.offset, trap.sim_time,
+                trap.writes) == ("vm", 7, 16, 1.0, 1)
+        assert q.pending("vm") == 0
+
+    def test_drain_preserves_first_write_order(self):
+        q = TrapQueue()
+        for gfn in (9, 3, 5):
+            q.push("vm", gfn, 0, 0.0)
+        traps, _ = q.drain("vm")
+        assert [t.gfn for t in traps] == [9, 3, 5]
+
+    def test_coalescing_counts_writes_and_keeps_first_offset(self):
+        q = TrapQueue()
+        q.push("vm", 7, 16, 1.0)
+        q.push("vm", 7, 99, 2.0)
+        q.push("vm", 7, 0, 3.0)
+        assert q.pending("vm") == 1
+        (trap,), _ = q.drain("vm")
+        assert trap.writes == 3
+        assert trap.offset == 16 and trap.sim_time == 1.0
+        assert q.stats.coalesced == 2
+
+    def test_overflow_is_sticky_and_drops_new_frames(self):
+        q = TrapQueue(capacity_per_vm=2)
+        assert q.push("vm", 1, 0, 0.0)
+        assert q.push("vm", 2, 0, 0.0)
+        assert not q.push("vm", 3, 0, 0.0)       # new frame: dropped
+        assert q.push("vm", 1, 8, 0.0)           # coalesce still works
+        traps, overflowed = q.drain("vm")
+        assert overflowed
+        assert sorted(t.gfn for t in traps) == [1, 2]
+        assert q.stats.dropped == 1 and q.stats.overflows == 1
+        # drain resets the sticky flag
+        q.push("vm", 4, 0, 0.0)
+        _, overflowed = q.drain("vm")
+        assert not overflowed
+
+    def test_vms_are_isolated(self):
+        q = TrapQueue(capacity_per_vm=1)
+        assert q.push("a", 1, 0, 0.0)
+        assert q.push("b", 1, 0, 0.0)            # b has its own capacity
+        assert q.pending("a") == 1 and q.pending("b") == 1
+
+    def test_purge_discards_pending_and_overflow(self):
+        q = TrapQueue(capacity_per_vm=1)
+        q.push("vm", 1, 0, 0.0)
+        q.push("vm", 2, 0, 0.0)                  # overflow
+        assert q.purge("vm") == 1
+        traps, overflowed = q.drain("vm")
+        assert traps == () and not overflowed
+
+    def test_drain_unknown_vm(self):
+        q = TrapQueue()
+        assert q.drain("ghost") == ((), False)
+        assert q.purge("ghost") == 0
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            TrapQueue(capacity_per_vm=0)
+
+    def test_stats_snapshot(self):
+        q = TrapQueue()
+        q.push("vm", 1, 0, 0.0)
+        q.push("vm", 1, 4, 0.0)
+        q.drain("vm")
+        snap = q.stats.snapshot()
+        assert snap["delivered"] == 2 and snap["coalesced"] == 1
+        assert snap["drained"] == 1
+
+
+class TestProtectGuestFrame:
+    def test_write_to_protected_frame_traps(self, hv):
+        assert hv.protect_guest_frame("Dom1", 5)
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.write(5 * PAGE_SIZE + 128, b"x")
+        traps, overflowed = hv.traps.drain("Dom1")
+        assert not overflowed
+        (trap,) = traps
+        assert trap.gfn == 5 and trap.offset == 128
+
+    def test_write_to_unprotected_frame_is_silent(self, hv):
+        hv.protect_guest_frame("Dom1", 5)
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.write(6 * PAGE_SIZE, b"x")
+        assert hv.traps.pending("Dom1") == 0
+
+    def test_straddling_write_traps_both_frames(self, hv):
+        hv.protect_guest_frame("Dom1", 5)
+        hv.protect_guest_frame("Dom1", 6)
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.write(6 * PAGE_SIZE - 2, b"abcd")
+        traps, _ = hv.traps.drain("Dom1")
+        assert sorted(t.gfn for t in traps) == [5, 6]
+
+    def test_frame_view_traps_conservatively(self, hv):
+        hv.protect_guest_frame("Dom1", 5)
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.frame_view(5)              # writable view handed out
+        (trap,), _ = hv.traps.drain("Dom1")
+        assert trap.gfn == 5 and trap.offset == 0
+
+    def test_refcounted_protections_compose(self, hv):
+        assert hv.protect_guest_frame("Dom1", 5)
+        assert hv.protect_guest_frame("Dom1", 5)     # second monitor
+        hv.unprotect_guest_frame("Dom1", 5)          # first releases
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.write(5 * PAGE_SIZE, b"x")
+        assert hv.traps.pending("Dom1") == 1         # still armed
+        hv.traps.drain("Dom1")
+        hv.unprotect_guest_frame("Dom1", 5)          # last reference
+        kernel.memory.write(5 * PAGE_SIZE, b"y")
+        assert hv.traps.pending("Dom1") == 0
+
+    def test_unprotect_is_forgiving(self, hv):
+        hv.unprotect_guest_frame("Dom1", 5)          # never protected
+        hv.unprotect_guest_frame("DomX", 5)          # no such domain
+
+    def test_out_of_range_gfn_unprotectable(self, hv):
+        n = hv.domain("Dom1").kernel.memory.n_frames
+        assert not hv.protect_guest_frame("Dom1", n)
+        assert not hv.protect_guest_frame("Dom1", -1)
+
+    def test_protect_limit_refuses_new_frames(self, catalog):
+        hv = Hypervisor(protect_limit=2)
+        hv.create_guest("Dom1", catalog, seed=1)
+        assert hv.protect_guest_frame("Dom1", 1)
+        assert hv.protect_guest_frame("Dom1", 2)
+        assert not hv.protect_guest_frame("Dom1", 3)
+        assert hv.protect_guest_frame("Dom1", 1)     # refcount still fine
+
+    def test_protect_mid_migration_unreachable(self, hv):
+        hv.migrate_start("Dom1")
+        with pytest.raises(DomainUnreachable):
+            hv.protect_guest_frame("Dom1", 5)
+
+
+class TestLifecycleDrops:
+    def _arm(self, hv):
+        hv.protect_guest_frame("Dom1", 5)
+        hv.domain("Dom1").kernel.memory.write(5 * PAGE_SIZE, b"x")
+        assert hv.traps.pending("Dom1") == 1
+
+    def test_reboot_drops_protections_and_bumps_epoch(self, hv):
+        self._arm(hv)
+        epoch = hv.domain("Dom1").protection_epoch
+        hv.reboot("Dom1")
+        domain = hv.domain("Dom1")
+        assert domain.protected_frames == {}
+        assert domain.protection_epoch == epoch + 1
+        assert hv.traps.pending("Dom1") == 0
+        # old observer is orphaned: writes to the new memory stay silent
+        domain.kernel.memory.write(5 * PAGE_SIZE, b"y")
+        assert hv.traps.pending("Dom1") == 0
+
+    def test_migrate_finish_drops_protections(self, hv):
+        self._arm(hv)
+        hv.migrate_start("Dom1")
+        hv.migrate_finish("Dom1")
+        assert hv.domain("Dom1").protected_frames == {}
+        assert hv.traps.pending("Dom1") == 0
+
+    def test_destroy_purges_traps(self, hv):
+        self._arm(hv)
+        hv.destroy("Dom1")
+        assert hv.traps.pending("Dom1") == 0
+
+    def test_revert_floods_protected_frames(self, hv):
+        hv.snapshot("Dom1")
+        hv.protect_guest_frame("Dom1", 3)
+        hv.protect_guest_frame("Dom1", 9)
+        hv.revert("Dom1")
+        traps, _ = hv.traps.drain("Dom1")
+        assert sorted(t.gfn for t in traps) == [3, 9]
+
+
+class TestChecksumLength:
+    def test_short_length_masks_tail(self, hv):
+        kernel = hv.domain("Dom1").kernel
+        kernel.memory.write(5 * PAGE_SIZE, b"A" * PAGE_SIZE)
+        before = hv.checksum_guest_frame("Dom1", 5, length=100)
+        # mutate beyond the masked prefix: digest must not move
+        kernel.memory.write(5 * PAGE_SIZE + 100, b"Z" * 16)
+        assert hv.checksum_guest_frame("Dom1", 5, length=100) == before
+        # mutate inside the prefix: digest must move
+        kernel.memory.write(5 * PAGE_SIZE + 10, b"Z")
+        assert hv.checksum_guest_frame("Dom1", 5, length=100) != before
+
+    def test_full_length_is_default(self, hv):
+        a = hv.checksum_guest_frame("Dom1", 5)
+        b = hv.checksum_guest_frame("Dom1", 5, length=PAGE_SIZE)
+        assert a == b
+
+    def test_invalid_length_rejected(self, hv):
+        with pytest.raises(ValueError):
+            hv.checksum_guest_frame("Dom1", 5, length=0)
+        with pytest.raises(ValueError):
+            hv.checksum_guest_frame("Dom1", 5, length=PAGE_SIZE + 1)

@@ -126,6 +126,41 @@ class TestDeferredCharges:
             hv.charge_dom0(2.0)
         assert hv.dom0_cpu_seconds == pytest.approx(before + 2.0)
 
+    def test_nested_contexts_restore_outer(self, hv):
+        # Regression: the inner context used to `del` the shadowing
+        # attribute on exit, so the *outer* accumulator stopped
+        # collecting and charges leaked straight to the clock.
+        t0 = hv.clock.now
+        with hv.deferred_charges() as outer:
+            hv.charge_dom0(1.0)
+            with hv.deferred_charges() as inner:
+                hv.charge_dom0(2.0)
+            assert inner.total == pytest.approx(2.0)
+            hv.charge_dom0(4.0)  # must still be deferred by `outer`
+            assert hv.clock.now == t0
+        assert outer.total == pytest.approx(5.0)
+        assert hv.clock.now == t0
+
+    def test_nested_inner_totals_do_not_double_count(self, hv):
+        with hv.deferred_charges() as outer:
+            with hv.deferred_charges() as inner:
+                hv.charge_dom0(3.0)
+        assert inner.total == pytest.approx(3.0)
+        assert outer.total == pytest.approx(0.0)
+
+    def test_triply_nested_unwinds_in_order(self, hv):
+        t0 = hv.clock.now
+        with hv.deferred_charges() as a:
+            with hv.deferred_charges():
+                with hv.deferred_charges():
+                    hv.charge_dom0(1.0)
+                hv.charge_dom0(1.0)
+            hv.charge_dom0(1.0)
+        assert a.total == pytest.approx(1.0)
+        assert hv.clock.now == t0
+        hv.charge_dom0(0.5)  # normal charging restored
+        assert hv.clock.now > t0
+
 
 class TestSnapshots:
     def test_snapshot_revert_restores_memory(self, hv):

@@ -1,12 +1,19 @@
 """Metamorphic equivalence: incremental and full pipelines agree.
 
 For any seeded chaos trace, a daemon running with ``incremental=True``
-must produce the same *observable verdict stream* as one running the
-full pipeline — event for event on the verdict-bearing vocabulary
-(``check.start``, ``check.verdict``, ``pair.compared``,
-``alert.raised``) and alert for alert (times excluded: the two modes
-advance the simulated clock differently, which is the entire point of
-the optimisation).
+— or with ``event_driven=True``, the trap pipeline — must produce the
+same *observable verdict stream* as one running the full pipeline —
+event for event on the verdict-bearing vocabulary (``check.start``,
+``check.verdict``, ``pair.compared``, ``alert.raised``) and alert for
+alert (times excluded: the modes advance the simulated clock
+differently, which is the entire point of the optimisation).
+
+The event-driven arms run the daemon with ``trap_priority=False``:
+trap-ahead scheduling deliberately *reorders* checks, which changes
+the stream's order without changing verdicts — exact stream equality
+needs the byte-identical schedule. The reordering mode gets its own
+test (:class:`TestTrapPriority`): detection must never be later, and
+no spurious alerts may appear.
 
 Fault injection is deliberately OFF (fault rate 0) in these runs:
 injected faults are drawn per guest *read*, and the incremental sweep
@@ -35,18 +42,19 @@ COMPARED = ("check.start", "check.verdict", "pair.compared",
 SEEDS = range(10)
 
 
-def _run(seed: int, *, incremental: bool, cycles: int = 8,
-         churn_rate: float = 0.35, infected: dict | None = None,
-         tamper_at: int | None = None):
+def _run(seed: int, *, incremental: bool, event_driven: bool = False,
+         cycles: int = 8, churn_rate: float = 0.35,
+         infected: dict | None = None, tamper_at: int | None = None,
+         trap_priority: bool = False):
     """One seeded daemon soak; returns (events, alerts, chaos kinds)."""
     tb = build_testbed(5, seed=seed, infected=infected)
     obs = make_observability(tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, obs=obs,
-                    incremental=incremental)
+                    incremental=incremental, event_driven=event_driven)
     engine = ChaosEngine(tb.hypervisor,
                          ChaosConfig.from_churn_rate(churn_rate),
                          seed=seed, catalog=tb.catalog)
-    daemon = CheckDaemon(mc, chaos=engine)
+    daemon = CheckDaemon(mc, chaos=engine, trap_priority=trap_priority)
     for cycle in range(cycles):
         if tamper_at is not None and cycle == tamper_at:
             RuntimeCodePatchAttack().apply(
@@ -69,6 +77,13 @@ class TestChurnEquivalence:
         assert fast[0] == full[0]
         assert fast[1] == full[1]
 
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_trap_pipeline_identical_under_churn(self, seed):
+        full = _run(seed, incremental=False)
+        trap = _run(seed, incremental=True, event_driven=True)
+        assert trap[0] == full[0]
+        assert trap[1] == full[1]
+
     def test_seed_set_exercises_reboot_and_migration(self):
         """The metamorphic claim is vacuous if no seed ever reboots or
         migrates a guest; assert the trace corpus covers both."""
@@ -90,16 +105,60 @@ class TestTamperEquivalence:
         infected = {"Dom2": {module: result.infected}}
         full = _run(seed, incremental=False, infected=infected)
         fast = _run(seed, incremental=True, infected=infected)
+        trap = _run(seed, incremental=True, event_driven=True,
+                    infected=infected)
         assert fast[0] == full[0]
         assert fast[1] == full[1]
+        assert trap[0] == full[0]
+        assert trap[1] == full[1]
         assert any("Dom2" in a[1] for a in fast[1])     # it was caught
 
     @pytest.mark.parametrize("seed", [1, 5])
     def test_midstream_tamper(self, seed):
         """In-place tamper after manifests are warm: the sweep-based
-        pipeline must convict on the same cycle as the full one."""
+        and trap-based pipelines must convict on the same cycle as the
+        full one."""
         full = _run(seed, incremental=False, churn_rate=0.0, tamper_at=4)
         fast = _run(seed, incremental=True, churn_rate=0.0, tamper_at=4)
+        trap = _run(seed, incremental=True, event_driven=True,
+                    churn_rate=0.0, tamper_at=4)
         assert fast[0] == full[0]
         assert fast[1] == full[1]
+        assert trap[0] == full[0]
+        assert trap[1] == full[1]
         assert any("Dom2" in a[1] for a in fast[1])
+
+
+class TestTrapPriority:
+    """Trap-ahead scheduling (the daemon default) reorders the stream;
+    it must never delay detection and must add no spurious alerts."""
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_no_spurious_alerts_and_no_later_detection(self, seed):
+        base = _run(seed, incremental=True, event_driven=True,
+                    churn_rate=0.0, tamper_at=4)
+        prio = _run(seed, incremental=True, event_driven=True,
+                    churn_rate=0.0, tamper_at=4, trap_priority=True)
+        # the same *distinct* alerts: nothing invented, nothing missed
+        # (the urgent re-check may repeat an alert for a module that
+        # stays tampered — a duplicate conviction, not a spurious one)
+        assert set(prio[1]) == set(base[1])
+        assert any("Dom2" in a[1] for a in prio[1])
+        # detection is never later: the first alert appears no deeper
+        # into the verdict stream than without priority scheduling
+        first = [(e, a) for e, a in base[0]].index(
+            next((e, a) for e, a in base[0] if e == "alert.raised"))
+        first_prio = [(e, a) for e, a in prio[0]].index(
+            next((e, a) for e, a in prio[0] if e == "alert.raised"))
+        assert first_prio <= first
+
+    @pytest.mark.parametrize("seed", [2, 6])
+    def test_quiet_pool_priority_is_a_no_op(self, seed):
+        # no churn, no tamper: nothing ever traps, so the urgent list
+        # is empty every cycle and the streams are byte-identical
+        base = _run(seed, incremental=True, event_driven=True,
+                    churn_rate=0.0)
+        prio = _run(seed, incremental=True, event_driven=True,
+                    churn_rate=0.0, trap_priority=True)
+        assert prio[0] == base[0]
+        assert prio[1] == base[1] == []

@@ -1,0 +1,159 @@
+"""VMI event-driven APIs + sweep accounting regressions.
+
+Covers the three introspection-side pieces of event-driven monitoring
+(:meth:`protect_va_range`, :meth:`drain_traps`, :meth:`checksum_pages`)
+and two sweep-path regressions: retry attempts must not double-count
+``pages_checksummed`` or double-charge ``page_checksum``, and a range
+ending mid-page must mask the co-resident bytes past its tail.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.hypervisor import FaultConfig, FaultInjector
+from repro.mem.physical import PAGE_SIZE
+from repro.vmi import DEFAULT_RETRY_POLICY, VMIInstance
+
+SEED = 42
+
+
+@pytest.fixture
+def tb():
+    return build_testbed(4, seed=SEED)
+
+
+def _vmi(tb, name="Dom1", retry=DEFAULT_RETRY_POLICY, **kwargs):
+    return VMIInstance(tb.hypervisor, name, tb.profile, retry=retry,
+                       **kwargs)
+
+
+def _module(tb, name="hal.dll", dom="Dom1"):
+    return tb.hypervisor.domain(dom).kernel.module(name)
+
+
+class TestRetryAccounting:
+    """Regression: a faulted checksum attempt used to count and charge
+    the page *before* the digest succeeded, so every retry inflated
+    ``pages_checksummed`` and billed ``page_checksum`` again."""
+
+    def _sweep_counts(self, *, transient_rate):
+        tb = build_testbed(4, seed=SEED)
+        vmi = _vmi(tb)
+        mod = _module(tb)
+        injector = FaultInjector(FaultConfig(transient_rate=transient_rate),
+                                 seed=SEED)
+        with injector.installed(tb.hypervisor):
+            digests = vmi.checksum_va_range(mod.base, mod.size_of_image)
+        return vmi.stats, len(digests)
+
+    def test_faulted_attempts_do_not_inflate_page_count(self):
+        clean, n_pages = self._sweep_counts(transient_rate=0.0)
+        faulted, n_pages_f = self._sweep_counts(transient_rate=0.15)
+        assert n_pages_f == n_pages
+        assert faulted.retries > 0          # the schedule really faulted
+        assert clean.pages_checksummed == n_pages
+        assert faulted.pages_checksummed == n_pages
+
+    def test_checksum_cost_charged_once_per_page(self, tb):
+        # With retries exercised, the page_checksum spend must equal
+        # pages x unit cost: the retry layer bills retry_probe/backoff
+        # itself, never a second page_checksum.
+        vmi = _vmi(tb)
+        mod = _module(tb)
+        injector = FaultInjector(FaultConfig(transient_rate=0.15), seed=SEED)
+        before = tb.hypervisor.dom0_cpu_seconds
+        with injector.installed(tb.hypervisor):
+            digests = vmi.checksum_va_range(mod.base, mod.size_of_image)
+        assert vmi.stats.retries > 0
+        spent = tb.hypervisor.dom0_cpu_seconds - before
+        checksum_spend = len(digests) * vmi.costs.page_checksum
+        overhead = (vmi.stats.retries
+                    * (vmi.costs.retry_probe + vmi.costs.page_map))
+        # spend = per-page digests + translate walks + retry overhead;
+        # the old bug added ~retries extra page_checksum units on top.
+        assert spent < checksum_spend + overhead + \
+            len(digests) * 2 * vmi.costs.translate_walk * 4
+
+
+class TestTailMasking:
+    """Regression: the final page of a range ending mid-page used to be
+    digested whole, so neighbours co-resident past the image tail
+    perturbed the sweep."""
+
+    def test_beyond_tail_bytes_cannot_perturb_digests(self, tb):
+        vmi = _vmi(tb, enable_caches=False)
+        mod = _module(tb)
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        length = mod.size_of_image - 16          # unaligned tail
+        before = vmi.checksum_va_range(mod.base, length)
+        kernel.aspace.write(mod.base + length, b"\xEE" * 16)
+        assert vmi.checksum_va_range(mod.base, length) == before
+        # ...while a write *inside* the range still moves the digest
+        kernel.aspace.write(mod.base + length - 1, b"\xEE")
+        after = vmi.checksum_va_range(mod.base, length)
+        assert after[:-1] == before[:-1] and after[-1] != before[-1]
+
+    def test_checksum_pages_masks_the_same_tail(self, tb):
+        vmi = _vmi(tb)
+        mod = _module(tb)
+        length = mod.size_of_image - 16
+        sweep = vmi.checksum_va_range(mod.base, length)
+        picked = vmi.checksum_pages(mod.base, length,
+                                    range(len(sweep)))
+        assert tuple(picked[i] for i in range(len(sweep))) == sweep
+
+
+class TestChecksumPages:
+    def test_requires_page_alignment(self, tb):
+        vmi = _vmi(tb)
+        with pytest.raises(ValueError, match="page-aligned"):
+            vmi.checksum_pages(0x1001, PAGE_SIZE, [0])
+
+    def test_out_of_range_index_rejected(self, tb):
+        vmi = _vmi(tb)
+        mod = _module(tb)
+        with pytest.raises(ValueError, match="outside range"):
+            vmi.checksum_pages(mod.base, PAGE_SIZE, [1])
+
+    def test_duplicate_indices_digested_once(self, tb):
+        vmi = _vmi(tb)
+        mod = _module(tb)
+        vmi.checksum_pages(mod.base, 4 * PAGE_SIZE, [2, 2, 0])
+        assert vmi.stats.pages_checksummed == 2
+
+
+class TestProtectVaRange:
+    def test_arms_every_page_and_traps_writes(self, tb):
+        vmi = _vmi(tb)
+        mod = _module(tb)
+        kernel = tb.hypervisor.domain("Dom1").kernel
+        gfns = vmi.protect_va_range(mod.base, mod.size_of_image)
+        n_pages = -(-mod.size_of_image // PAGE_SIZE)
+        assert len(gfns) == n_pages and all(g is not None for g in gfns)
+        assert vmi.stats.pages_protected == n_pages
+        kernel.aspace.write(mod.base + PAGE_SIZE + 5, b"!")
+        traps, overflowed = vmi.drain_traps()
+        assert not overflowed
+        assert [t.gfn for t in traps] == [gfns[1]]
+        assert vmi.stats.traps_drained == 1
+
+    def test_capacity_refusal_reported_as_none(self, tb):
+        from repro.hypervisor.xen import Hypervisor
+        hv = Hypervisor(protect_limit=2)
+        hv.create_guest("DomA", tb.catalog, seed=1)
+        from repro.vmi import OSProfile
+        profile = OSProfile.from_guest(hv.domain("DomA").kernel)
+        vmi = VMIInstance(hv, "DomA", profile)
+        mod = hv.domain("DomA").kernel.module("hal.dll")
+        gfns = vmi.protect_va_range(mod.base, 4 * PAGE_SIZE)
+        assert [g is not None for g in gfns] == [True, True, False, False]
+        assert vmi.stats.pages_unprotectable == 2
+
+    def test_empty_drain_is_cheap_but_charged(self, tb):
+        vmi = _vmi(tb)
+        t0 = tb.clock.now
+        traps, overflowed = vmi.drain_traps()
+        assert traps == () and not overflowed
+        assert tb.clock.now - t0 == pytest.approx(vmi.costs.small_read)

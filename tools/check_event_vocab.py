@@ -14,9 +14,11 @@ Usage::
     python tools/check_event_vocab.py log.jsonl ...   # also lint logs
 
 Exit status 0 iff every emit site and every log record is in
-vocabulary and the source mentions every vocabulary name somewhere
+vocabulary, the source mentions every vocabulary name somewhere
 (a dead name means the vocabulary table in the docs is overstating
-what the pipeline can produce).
+what the pipeline can produce), and the vocabulary table in
+``repro.obs.events``'s module docstring documents every name (so a
+new family — e.g. the ``trap.*`` events — cannot land undocumented).
 """
 
 from __future__ import annotations
@@ -53,6 +55,19 @@ def lint_sources(src: Path) -> tuple[list[str], set[str]]:
     return problems, used
 
 
+def lint_docstring_table() -> list[str]:
+    """Every vocabulary name must appear in the events-module docstring.
+
+    The table there is the reference downstream docs link to; a name
+    in ``EVENT_NAMES`` but not in the table is a silent doc gap.
+    """
+    import repro.obs.events as events_mod
+    doc = events_mod.__doc__ or ""
+    return [f"vocabulary name {name!r} missing from the "
+            f"repro.obs.events docstring table"
+            for name in EVENT_NAMES if f"``{name}``" not in doc]
+
+
 def lint_jsonl(path: Path) -> list[str]:
     """Validate every record of a JSONL audit log."""
     problems: list[str] = []
@@ -77,6 +92,7 @@ def main(argv: list[str]) -> int:
     for dead in sorted(set(EVENT_NAMES) - used):
         problems.append(f"vocabulary name {dead!r} is never emitted "
                         f"anywhere under src/")
+    problems.extend(lint_docstring_table())
     logs = 0
     for arg in argv:
         path = Path(arg)

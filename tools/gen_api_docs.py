@@ -34,7 +34,7 @@ MODULES = [
     "repro.guest.kernel", "repro.guest.catalog", "repro.guest.filesystem",
     "repro.hypervisor.clock", "repro.hypervisor.domain",
     "repro.hypervisor.scheduler", "repro.hypervisor.xen",
-    "repro.hypervisor.faults",
+    "repro.hypervisor.faults", "repro.hypervisor.traps",
     "repro.vmi.core", "repro.vmi.symbols", "repro.vmi.cache",
     "repro.vmi.dump", "repro.vmi.retry",
     "repro.attacks.base", "repro.attacks.opcode",
