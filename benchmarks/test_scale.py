@@ -5,20 +5,35 @@ these benches actually run 50-VM pools and verify (a) the linear law
 holds an order of magnitude past the paper's range, (b) detection still
 localises a single infection at scale, and (c) host memory stays sane
 thanks to sparse guest frames.
+
+The ``fleet`` tier (``-m fleet``) goes two orders of magnitude
+further: 10k heterogeneous guests under the sharded control plane.
+Its gated numbers — sustained VM-checks/sec and p99 fleet-round
+latency — are read off the **simulated-cost clock**, not wall time:
+single-round pedantic wall timings are noise-prone on shared CI
+runners, while the simulated metrics are a pure function of the seed,
+so the CI gate (``tools/check_bench_regression.py --fleet``) is
+deterministic. When ``FLEET_METRICS_OUT`` is set, the tier writes the
+metrics JSON the gate consumes.
 """
 
 from __future__ import annotations
+
+import json
+import os
 
 import pytest
 
 from repro.analysis import linear_fit
 from repro.attacks import attack_for_experiment
-from repro.cloud import build_testbed
+from repro.cloud import Fleet, build_fleet_testbed, build_testbed
 from repro.core import ModChecker
 from repro.guest import build_catalog
 
 SEED = 42
 BIG = 50
+FLEET_VMS = 10_000
+FLEET_CYCLES = 4
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +78,68 @@ def test_memory_footprint_stays_sparse(tb50):
         for d in tb50.hypervisor.guests())
     # 50 guests x 64 MiB addressable, but well under 50 MiB resident.
     assert resident < 50 * 1024 * 1024
+
+
+# -- the fleet tier ----------------------------------------------------------
+
+def _run_fleet(n_vms: int, cycles: int) -> Fleet:
+    tb = build_fleet_testbed(n_vms, seed=SEED)
+    fleet = Fleet(tb.hypervisor, shard_size=64, workers=32,
+                  checker_kwargs={"event_driven": True,
+                                  "flush_caches_each_round": False})
+    fleet.run(cycles)
+    return fleet
+
+
+@pytest.mark.fleet
+def test_fleet_tier_10k_vms():
+    """10k heterogeneous guests under the sharded control plane.
+
+    Every gated number below comes off the simulated clock, so the
+    run is a pure function of the seed; the only wall-clock cost is
+    building and sweeping the substrate once.
+    """
+    fleet = _run_fleet(FLEET_VMS, FLEET_CYCLES)
+    stats = fleet.stats
+
+    placed = sum(s.size for s in fleet.shards.values())
+    assert placed == FLEET_VMS
+    # every shard reaches its verdicts: one module per shard per round
+    assert stats.checks_total == len(fleet.shards) * FLEET_CYCLES
+    assert stats.vm_checks_total == FLEET_VMS * FLEET_CYCLES
+    # nothing flagged on a pristine fleet
+    assert stats.alerts_total == 0
+
+    checks_per_sec = stats.checks_per_sec
+    p99 = stats.p99_cycle_seconds
+    assert checks_per_sec > 0
+    assert 0 < p99 < 60.0     # a round's work fits inside its interval
+
+    out = os.environ.get("FLEET_METRICS_OUT")
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump({"metrics": {"checks_per_sec": checks_per_sec,
+                                   "p99_cycle_seconds": p99},
+                       "vms": FLEET_VMS, "cycles": FLEET_CYCLES,
+                       "shards": len(fleet.shards),
+                       "vm_checks_total": stats.vm_checks_total,
+                       "seed": SEED}, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+@pytest.mark.fleet
+def test_fleet_metrics_deterministic():
+    """Two identical small-fleet runs agree to the last bit.
+
+    This is the property the CI gate leans on: the gated metrics are
+    simulated, so any drift is a code change, never runner noise.
+    """
+    def observe() -> tuple:
+        fleet = _run_fleet(120, 3)
+        return (fleet.stats.vm_checks_total,
+                fleet.stats.checks_per_sec,
+                fleet.stats.p99_cycle_seconds,
+                tuple(fleet.stats.cycle_seconds),
+                fleet.hv.clock.now)
+
+    assert observe() == observe()

@@ -10,10 +10,17 @@ Drives the whole reproduction from a shell::
     modchecker daemon --vms 5 --cycles 10 --churn-rate 0.2
     modchecker chaos --vms 5 --cycles 20 --admit-infected 5
     modchecker explain --vms 4 --infect E1 --victim Dom3
+    modchecker fleet --vms 64 --shard-size 16 --cycles 5
     modchecker experiment e1 fig7 ...      # the benchmark harness
 
 Exit status: 0 = no discrepancy, 1 = discrepancy detected (so the tool
 scripts cleanly into cron-style monitoring), 2 = usage error.
+
+``fleet`` is the operational health check and follows the stricter
+node-pipeline contract instead: 0 = OK (healthy, or killswitch
+active), 1 = WARN (degraded availability, no integrity finding),
+2 = CRITICAL (integrity/hidden-module/decoy alert), 3 = UNKNOWN
+(bad ``--sink`` configuration).
 """
 
 from __future__ import annotations
@@ -176,6 +183,37 @@ def build_arg_parser() -> argparse.ArgumentParser:
                            help="module to check when re-running")
     p_explain.add_argument("--bundle-out", metavar="PATH",
                            help="also persist the captured bundle here")
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run the sharded fleet health check (OK/WARN/CRITICAL)")
+    add_common(p_fleet)
+    p_fleet.set_defaults(vms=24)
+    p_fleet.add_argument("--shard-size", type=int, default=8,
+                         help="max VMs per voting shard; same-key "
+                              "overflow opens a sibling shard")
+    p_fleet.add_argument("--workers", type=int, default=8,
+                         help="Dom0 threads the shard scheduler models")
+    p_fleet.add_argument("--cycles", type=int, default=5)
+    p_fleet.add_argument("--interval", type=float, default=60.0)
+    p_fleet.add_argument("--churn-rate", type=float, default=0.0,
+                         metavar="P",
+                         help="seeded lifecycle churn across the fleet")
+    p_fleet.add_argument("--no-borrow", action="store_true",
+                         help="never lend sibling references to "
+                              "quorum-starved shards")
+    p_fleet.add_argument("--killswitch", action="store_true",
+                         help="skip all checks and exit OK (the "
+                              "fleet-wide disable used during "
+                              "maintenance windows)")
+    p_fleet.add_argument("--sink", default="do_nothing",
+                         help="telemetry destination for the result "
+                              "record: do_nothing (default), stdout, "
+                              "jsonl, prometheus")
+    p_fleet.add_argument("--sink-opts", action="append", default=None,
+                         metavar="KEY=VALUE",
+                         help="sink options (repeatable), e.g. "
+                              "path=fleet.jsonl")
 
     p_exp = sub.add_parser("experiment",
                            help="run paper experiments (harness)")
@@ -500,6 +538,117 @@ def cmd_chaos(args) -> int:
     return 1 if integrity else 0
 
 
+def cmd_fleet(args) -> int:
+    """Sharded fleet health check with the node-pipeline contract.
+
+    Exit status: 0 = OK (healthy fleet, or ``--killswitch``), 1 = WARN
+    (degraded availability: tripped breakers / starved quorums, but no
+    integrity finding), 2 = CRITICAL (an integrity, hidden-module or
+    decoy alert anywhere in the fleet), 3 = UNKNOWN (``--sink`` was
+    misconfigured; nothing ran).
+    """
+    from .obs import SinkError, parse_sink, parse_sink_opts
+    from .obs.sinks import PromSink
+    try:
+        sink = parse_sink(args.sink, parse_sink_opts(args.sink_opts))
+    except SinkError as exc:
+        print(f"fleet UNKNOWN: {exc}", file=sys.stderr)
+        return 3
+    if args.killswitch:
+        print("fleet OK: killswitch active; checks skipped")
+        return 0
+
+    from .cloud import build_fleet_testbed
+    infected = None
+    if args.infect:
+        attack, module = attack_for_experiment(args.infect)
+        result = attack.apply(build_catalog(seed=args.seed)[module])
+        infected = {args.victim: {module: result.infected}}
+    try:
+        tb = build_fleet_testbed(args.vms, seed=args.seed,
+                                 infected=infected)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+    rate = args.fault_rate
+    if not 0.0 <= rate <= 1.0:
+        raise SystemExit(f"error: --fault-rate must be in [0, 1], "
+                         f"got {rate}")
+    if rate:
+        from .hypervisor.faults import FaultConfig, FaultInjector
+        from .rng import derive_seed
+        FaultInjector(FaultConfig(transient_rate=rate),
+                      seed=derive_seed(args.seed, "cli-faults")
+                      ).install(tb.hypervisor)
+        print(f"(faults) injecting transient faults on {rate:.1%} of "
+              f"guest reads")
+    obs = _obs_for(args, tb.clock)
+    if not obs.enabled and isinstance(sink, PromSink):
+        # the prometheus sink scrapes the registry; make it live
+        from .obs import make_observability
+        obs = make_observability(tb.clock)
+    evidence = _evidence_for(args)
+
+    from .cloud import Fleet
+    fleet = Fleet(tb.hypervisor, shard_size=args.shard_size,
+                  workers=args.workers, interval=args.interval,
+                  borrow=not args.no_borrow,
+                  chaos=_chaos_engine(args, tb), obs=obs,
+                  checker_kwargs={"retry": _retry_policy(args),
+                                  "evidence": evidence,
+                                  **_incremental_kwargs(args)})
+    print(f"fleet: {args.vms} VM(s) in {len(fleet.shards)} shard(s), "
+          f"{args.workers} worker(s)")
+    for _ in range(args.cycles):
+        report = fleet.run_cycle()
+        for shard_name, alert in report.alerts:
+            print(f"  [{shard_name}] {alert}")
+        print(f"[{tb.clock.now:10.3f}s] cycle {report.cycle}: "
+              f"shards={report.shards} vms={report.vms} "
+              f"makespan={report.duration:.4f}s "
+              f"borrowed={report.borrowed}")
+
+    integrity = [a for _, a in fleet.alert_log
+                 if a.kind in ("integrity", "hidden-module",
+                               "decoy-entry")]
+    degraded = [a for _, a in fleet.alert_log if a.kind == "degraded"]
+    open_breakers = sum(len(s.daemon.health.open_vms())
+                        for s in fleet.shards.values())
+    if integrity:
+        status, rc = "CRITICAL", 2
+    elif degraded or open_breakers:
+        status, rc = "WARN", 1
+    else:
+        status, rc = "OK", 0
+    stats = fleet.stats
+    record = {
+        "check": "modchecker-fleet",
+        "status": status,
+        "exit_code": rc,
+        "cycles": stats.cycles,
+        "shards": len(fleet.shards),
+        "vms": len(tb.hypervisor.guests()),
+        "checks_total": stats.checks_total,
+        "vm_checks_total": stats.vm_checks_total,
+        "borrowed_refs_total": stats.borrowed_refs_total,
+        "integrity_alerts": len(integrity),
+        "degraded_alerts": len(degraded),
+        "open_breakers": open_breakers,
+        "checks_per_sec": round(stats.checks_per_sec, 3),
+        "p99_cycle_seconds": round(stats.p99_cycle_seconds, 6),
+        "sim_seconds": round(tb.clock.now, 3),
+    }
+    sink.emit(record)
+    sink.finalize(obs)
+    _export_obs(args, obs, evidence)
+    print(f"fleet {status}: {record['vms']} VM(s) in "
+          f"{record['shards']} shard(s); "
+          f"{record['vm_checks_total']} VM-checks over "
+          f"{stats.cycles} cycle(s), "
+          f"{len(integrity)} integrity / {len(degraded)} degraded "
+          f"alert(s), {open_breakers} open breaker(s)")
+    return rc
+
+
 def cmd_explain(args) -> int:
     """Render the forensic incident report for a non-clean check.
 
@@ -563,6 +712,7 @@ def main(argv: list[str] | None = None) -> int:
         "dump": cmd_dump,
         "daemon": cmd_daemon,
         "chaos": cmd_chaos,
+        "fleet": cmd_fleet,
         "explain": cmd_explain,
         "experiment": cmd_experiment,
     }

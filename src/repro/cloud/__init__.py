@@ -1,6 +1,9 @@
 """Cloud testbed assembly (the paper's experimental environment)."""
 
 from .chaos import ChaosConfig, ChaosEngine, ChaosEvent, ChaosStats
+from .fleet import (FLEET_VARIANTS, Fleet, FleetCycleReport, FleetStats,
+                    FleetTestbed, Shard, ShardKey, build_fleet_testbed,
+                    shard_key_for)
 from .scenarios import (ChaosScenario, StagedScenario, stage_attack,
                         stage_chaos, stage_experiment, stage_hidden_module)
 from .testbed import PAPER_VM_COUNT, Testbed, build_testbed
@@ -8,4 +11,7 @@ from .testbed import PAPER_VM_COUNT, Testbed, build_testbed
 __all__ = ["PAPER_VM_COUNT", "Testbed", "build_testbed",
            "StagedScenario", "stage_attack", "stage_experiment",
            "stage_hidden_module", "ChaosConfig", "ChaosEngine",
-           "ChaosEvent", "ChaosStats", "ChaosScenario", "stage_chaos"]
+           "ChaosEvent", "ChaosStats", "ChaosScenario", "stage_chaos",
+           "Fleet", "FleetCycleReport", "FleetStats", "FleetTestbed",
+           "Shard", "ShardKey", "shard_key_for", "build_fleet_testbed",
+           "FLEET_VARIANTS"]

@@ -42,9 +42,10 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Callable
 
-from ..errors import (InsufficientPool, IntrospectionFault, RetryExhausted,
-                      TransientFault, VMIInitError)
+from ..errors import (DomainNotFound, InsufficientPool, IntrospectionFault,
+                      RetryExhausted, TransientFault, VMIInitError)
 from ..obs import (record_breaker_states, record_chaos_stats,
                    record_daemon_cycle, record_membership)
 from .health import BreakerConfig, HealthRegistry
@@ -176,7 +177,11 @@ class CheckDaemon:
                  quorum_floor: int = 2,
                  breaker: BreakerConfig | None = None,
                  chaos=None,
-                 trap_priority: bool = True) -> None:
+                 trap_priority: bool = True,
+                 scope: Callable[[], list[str]] | None = None,
+                 lender: Callable[[int, list[str]], list[str]] | None = None,
+                 advance_clock: bool = True,
+                 pool_mode: str = "pairwise") -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         if quarantine_cycles < 1:
@@ -201,6 +206,25 @@ class CheckDaemon:
         #: the schedule byte-identical to the polling pipelines (the
         #: metamorphic equivalence suite does).
         self.trap_priority = trap_priority
+        #: optional membership closure: when set, this daemon watches
+        #: only the named VMs instead of every hypervisor guest — how a
+        #: fleet shard scopes its daemon while sharing the hypervisor
+        #: with sibling shards. Must match the checker's own scope.
+        self.scope = scope
+        #: optional quorum lender ``(needed, exclude) -> [vm, ...]``:
+        #: when churn leaves this pool short of ``quorum_floor``, the
+        #: lender supplies votable reference VMs from *outside* the pool
+        #: (sibling shards with the same module fingerprint). Borrowed
+        #: VMs vote but are never admitted: their breakers, warm-up and
+        #: membership stay with their home shard.
+        self.lender = lender
+        #: when False the cycle leaves the simulated clock alone so an
+        #: outer scheduler (the fleet makespan model) can advance it
+        #: once for many concurrent shards
+        self.advance_clock = advance_clock
+        #: "pairwise" (the paper's O(t^2) vote) or "canonical" (the
+        #: O(t) clustering vote — what a large fleet shard wants)
+        self.pool_mode = pool_mode
         #: per-VM circuit breakers; ``quarantine_cycles`` keeps its old
         #: meaning as the breaker's base cool-down
         self.health = HealthRegistry(breaker or BreakerConfig(
@@ -208,6 +232,11 @@ class CheckDaemon:
             max_open_cycles=max(32, quarantine_cycles)))
         self.log = AlertLog()
         self.cycles_run = 0
+        #: pool checks completed / per-VM verdicts produced / borrowed
+        #: reference votes used (all cumulative, for the fleet metrics)
+        self.checks_run = 0
+        self.vm_checks_run = 0
+        self.borrowed_refs = 0
         self._modules: list[str] | None = None
         self._modules_cycle = 0
         self._force_rediscover = False
@@ -216,7 +245,7 @@ class CheckDaemon:
         #: VM name -> boot generation last seen; seeded from the pool at
         #: construction so cycle 0 does not treat every VM as new
         self._seen_generation: dict[str, int] = {
-            d.name: d.boot_generation for d in checker.hv.guests()}
+            d.name: d.boot_generation for d in self._member_domains()}
         #: every membership event observed: (sim time, event, vm) with
         #: event in {"admit", "evict", "reboot"}
         self.membership_log: list[tuple[float, str, str]] = []
@@ -232,6 +261,11 @@ class CheckDaemon:
         """Pool members able to vote: breaker allows, warm-up done."""
         return [vm for vm in self.checker.pool_vm_names()
                 if self.health.allowed(vm) and vm not in self._warmup]
+
+    def votable_vms(self) -> list[str]:
+        """Public view of the votable pool — what a sibling shard may
+        borrow as majority references when its own quorum starves."""
+        return self._active_vms()
 
     def _raise_alert(self, alert: Alert, new_alerts: list[Alert]) -> None:
         """Log + return an alert, and put it on the audit record."""
@@ -261,6 +295,24 @@ class CheckDaemon:
                           new_alerts)
 
     # -- membership ----------------------------------------------------------
+
+    def _member_domains(self) -> list:
+        """Domains this daemon is responsible for.
+
+        Unscoped, that is every hypervisor guest; scoped (fleet shard)
+        it is the scope's names resolved against the hypervisor — a
+        scoped name whose domain vanished is simply absent, which is
+        exactly what lets :meth:`_reconcile_membership` evict it.
+        """
+        if self.scope is None:
+            return list(self.checker.hv.guests())
+        domains = []
+        for name in self.scope():
+            try:
+                domains.append(self.checker.hv.domain(name))
+            except DomainNotFound:
+                continue        # vanished: reconcile will evict it
+        return domains
 
     def _note_membership(self, event: str, vm: str) -> None:
         self.membership_log.append(
@@ -295,7 +347,7 @@ class CheckDaemon:
         and re-warms before voting again.
         """
         current = {d.name: d.boot_generation
-                   for d in self.checker.hv.guests()}
+                   for d in self._member_domains()}
         for vm in sorted(set(self._seen_generation) - set(current)):
             self.evict_vm(vm)
         for vm, generation in current.items():
@@ -401,8 +453,30 @@ class CheckDaemon:
             self._reconcile_membership()
             self._warm_up_pending(new_alerts)
             active = self._active_vms()
+            borrowed: list[str] = []
+            if 0 < len(active) < self.quorum_floor \
+                    and self.lender is not None:
+                # Quorum starved but the pool is not empty: ask the
+                # lender for sibling references. Borrowed VMs vote this
+                # cycle only; they are never admitted here, and their
+                # breakers stay with their home pool. Target one voter
+                # *above* the floor: a two-voter pool can only tie on a
+                # mismatch (both flagged), while floor+1 lets the
+                # borrowed majority out-vote a tampered member.
+                needed = self.quorum_floor + 1 - len(active)
+                borrowed = [vm for vm in self.lender(needed, active)
+                            if vm not in active]
+                if borrowed:
+                    self.borrowed_refs += len(borrowed)
+                    if events.enabled:
+                        events.emit("quorum.borrowed",
+                                    pool=len(active),
+                                    borrowed=list(borrowed),
+                                    floor=self.quorum_floor)
+            voters = active + borrowed
+            own = set(active)
 
-            if len(active) >= self.quorum_floor:
+            if len(voters) >= self.quorum_floor and active:
                 modules = self._discover_modules(active)
                 schedule = self.policy.select(self.cycles_run, modules,
                                               self.log)
@@ -417,20 +491,26 @@ class CheckDaemon:
                     schedule = list(dict.fromkeys(urgent + list(schedule)))
                 for module in schedule:
                     try:
-                        report = self.checker.check_pool(module,
-                                                         vms=active).report
+                        report = self.checker.check_pool(
+                            module, vms=voters,
+                            mode=self.pool_mode).report
                     except InsufficientPool:
                         continue
+                    self.checks_run += 1
+                    self.vm_checks_run += len(report.verdicts)
                     for vm, reason in sorted(report.degraded.items()):
                         # Exhausted retry budgets and vanished domains
                         # indicate a sick VM; an "unreadable:" reason is a
                         # permanent failure of this one module (e.g. a decoy
                         # entry) — degrade the check, keep the VM voting.
-                        if reason.startswith(("retry-exhausted",
-                                              "unreachable")):
+                        # Borrowed voters' health is their home pool's
+                        # business, not ours.
+                        if vm in own and reason.startswith(
+                                ("retry-exhausted", "unreachable")):
                             self._trip_vm(vm, reason, new_alerts)
                     for vm in report.verdicts:
-                        self.health.record_success(vm)
+                        if vm in own:
+                            self.health.record_success(vm)
                     alarmed = not report.all_clean
                     if isinstance(self.policy, AdaptivePolicy):
                         self.policy.note_outcome(module, alarmed)
@@ -446,9 +526,15 @@ class CheckDaemon:
                                   tuple(regions),
                                   degraded=tuple(sorted(report.degraded))),
                             new_alerts)
-            elif len(self.checker.pool_vm_names()) > len(active):
-                # Churn (not pool size as provisioned) starved the
-                # quorum: degrade loudly, never crash the service.
+            elif self.scope is not None \
+                    or len(self.checker.pool_vm_names()) > len(active):
+                # Degrade loudly, never crash the service. Unscoped
+                # daemons alert only when *churn* (not pool size as
+                # provisioned) starved the quorum — a 1-VM testbed is
+                # the operator's choice, not an incident. A scoped
+                # (fleet-shard) daemon always alerts: the fleet placed
+                # this shard, so an unborrowable starved shard is an
+                # operational signal its operator needs to see.
                 self._raise_alert(
                     Alert(clock.now, "<pool>", (),
                           (f"quorum starved: {len(active)} votable "
@@ -475,12 +561,20 @@ class CheckDaemon:
                                 alerts=new_alerts,
                                 quarantined=len(self.health.open_vms()))
             record_breaker_states(obs.metrics, self.health)
-            record_membership(obs.metrics,
-                              pool_size=len(self.checker.pool_vm_names()),
-                              events=self.membership_log)
+            if self.scope is None:
+                # Scoped daemons share one registry with their sibling
+                # shards; the cumulative membership counters carry no
+                # per-pool label, so per-shard publication would fight
+                # over one series. The fleet publishes its own
+                # membership aggregates instead.
+                record_membership(
+                    obs.metrics,
+                    pool_size=len(self.checker.pool_vm_names()),
+                    events=self.membership_log)
             if self.chaos is not None and hasattr(self.chaos, "stats"):
                 record_chaos_stats(obs.metrics, self.chaos.stats)
-        clock.advance(self.interval)
+        if self.advance_clock:
+            clock.advance(self.interval)
         return new_alerts
 
     def _carve_sweep(self, active: list[str],

@@ -145,11 +145,24 @@ class IntegrityChecker:
 
         Synthesised ``PairComparison`` records cover reference↔VM pairs
         only (that is all this mode computes).
+
+        Base collisions: RVA adjustment is driven by byte *differences*,
+        so a VM that happens to share the reference's load base would
+        come back untouched — raw relocated bytes whose digests can
+        never match the RVA-normalised majority (a guaranteed false
+        positive once pools are large enough for slide collisions).
+        Such VMs are adjusted against a *partner* instead: the first
+        pool member whose base differs. A clean copy reaches the same
+        canonical bytes either way; only when every copy shares one
+        base is no adjustment possible, and then raw digests cluster
+        correctly on their own.
         """
         if not modules:
             return PoolReport(module_name="", vm_names=[], pairs=[],
                               verdicts={})
         reference = modules[0]
+        partner = next((m for m in modules[1:] if m.base != reference.base),
+                       None)
         names = [m.vm_name for m in modules]
 
         def region_vector(mod: ParsedModule, adjusted: dict[str, bytes],
@@ -168,22 +181,26 @@ class IntegrityChecker:
         pairs: list[PairComparison] = []
         ref_adjusted: dict[str, bytes] = {}
         for mod in modules[1:]:
+            counterpart = (reference if mod.base != reference.base
+                           else partner)
             adjusted: dict[str, bytes] = {}
             cost = self.costs.compare_per_pair
-            code_ref = {r.name: r for r in reference.code_regions}
+            code_ref = ({r.name: r for r in counterpart.code_regions}
+                        if counterpart is not None else {})
             for region in mod.code_regions:
                 ref_region = code_ref.get(region.name)
                 if ref_region is None:
                     continue
-                data_ref = reference.region_bytes(ref_region)
+                data_ref = counterpart.region_bytes(ref_region)
                 data_mod = mod.region_bytes(region)
                 if len(data_ref) != len(data_mod):
                     continue
                 adj_ref, adj_mod, _stats = self._adjust(
-                    data_ref, reference.base, data_mod, mod.base,
-                    max_rva=max(len(reference.image), len(mod.image)))
+                    data_ref, counterpart.base, data_mod, mod.base,
+                    max_rva=max(len(counterpart.image), len(mod.image)))
                 adjusted[region.name] = adj_mod
-                ref_adjusted.setdefault(region.name, adj_ref)
+                if counterpart is reference:
+                    ref_adjusted.setdefault(region.name, adj_ref)
                 cost += 2 * len(data_mod) * (self.costs.rva_scan_per_byte
                                              + self.costs.hash_per_byte)
             self._charge(cost)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, NamedTuple
+from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from ..errors import (DomainNotFound, InsufficientPool, IntrospectionFault,
                       ModuleNotLoadedError, RetryExhausted, TransientFault,
@@ -174,8 +174,15 @@ class ModChecker:
                  recheck_ttl: float | None = None,
                  manifest_capacity: int = 1024,
                  event_driven: bool = False,
-                 paranoia_every: int | None = 64) -> None:
+                 paranoia_every: int | None = 64,
+                 members: "Callable[[], list[str]] | None" = None) -> None:
         self.hv = hypervisor
+        #: optional membership closure: when set, the checker's pool is
+        #: whatever names the closure returns *right now* instead of
+        #: every guest on the hypervisor. This is how a fleet shard
+        #: scopes its checker to the shard's own VMs while sharing one
+        #: hypervisor with every sibling shard.
+        self.members = members
         if profile is None:
             guests = hypervisor.guests()
             if not guests:
@@ -766,7 +773,15 @@ class ModChecker:
         # Union of live sessions and retired baselines: a VM that was
         # evicted (and never re-attached) still publishes its folded
         # counters, so the cumulative series never loses a session tail.
+        # A scoped (fleet-shard) checker publishes only its *members*:
+        # a borrowed reference VM gets a session here too, but its
+        # per-VM series belongs to its home shard — two publishers on
+        # one label would drive the shared counter backwards.
+        members = set(self.members()) if self.members is not None else None
         for vm_name in sorted(set(self._vmis) | set(self._vmi_stats_base)):
+            if (members is not None and vm_name not in members
+                    and vm_name not in self._vmi_stats_base):
+                continue
             record_vmi_instance(metrics, vm_name, self._vmis.get(vm_name),
                                 base=self._vmi_stats_base.get(vm_name))
         injector = getattr(self.hv, "fault_injector", None)
@@ -787,6 +802,8 @@ class ModChecker:
     def pool_vm_names(self, vms: list[str] | None = None) -> list[str]:
         if vms is not None:
             return list(vms)
+        if self.members is not None:
+            return list(self.members())
         return [d.name for d in self.hv.guests()]
 
     # -- acquisition phase -------------------------------------------------------------

@@ -41,6 +41,14 @@ gate all speak the same names:
 ``modchecker_trap_fallbacks_total``          counter ``reason``
 ``modchecker_traps_total``                   counter ``outcome``
 ``modchecker_protected_frames``              gauge   (none)
+``modchecker_fleet_shards``                  gauge   (none)
+``modchecker_fleet_vms``                     gauge   (none)
+``modchecker_fleet_shard_size``              gauge   ``shard``
+``modchecker_fleet_cycle_seconds``           histo   (none)
+``modchecker_fleet_checks_total``            counter (none)
+``modchecker_fleet_vm_checks_total``         counter (none)
+``modchecker_fleet_borrowed_refs_total``     counter (none)
+``modchecker_fleet_shard_events_total``      counter ``event``
 ===========================================  ======  ========================
 
 Cumulative sources are published with :meth:`Counter.set_to` (they
@@ -60,7 +68,7 @@ __all__ = ["STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
            "record_fault_stats", "record_daemon_cycle",
            "record_breaker_states", "record_membership",
            "record_chaos_stats", "record_manifest_stats",
-           "record_trap_stats"]
+           "record_trap_stats", "record_fleet_cycle"]
 
 #: The pipeline stages of the Fig. 7/8 breakdown.
 STAGES = ("searcher", "parser", "checker")
@@ -303,6 +311,57 @@ def record_trap_stats(metrics, queue_stats, *, validations: int,
         "modchecker_protected_frames",
         "Guest frames currently write-protected across the pool").set(
             protected_frames)
+
+
+def record_fleet_cycle(metrics, stats, *, shard_sizes: dict,
+                       cycle_seconds: float) -> None:
+    """FleetStats + shard census -> fleet control-plane metrics.
+
+    ``stats`` is the fleet's cumulative
+    :class:`~repro.cloud.fleet.FleetStats` (hence ``set_to``);
+    ``shard_sizes`` maps shard name -> member count right now;
+    ``cycle_seconds`` is this round's simulated makespan.
+    """
+    metrics.gauge(
+        "modchecker_fleet_shards",
+        "Shards currently in the fleet").set(len(shard_sizes))
+    metrics.gauge(
+        "modchecker_fleet_vms",
+        "VMs currently placed across all shards").set(
+            sum(shard_sizes.values()))
+    size_gauge = metrics.gauge(
+        "modchecker_fleet_shard_size", "Members per shard")
+    for shard, size in sorted(shard_sizes.items()):
+        size_gauge.set(size, shard=shard)
+    metrics.histogram(
+        "modchecker_fleet_cycle_seconds",
+        "Simulated seconds per fleet scheduler round (makespan over "
+        "concurrent shards)").observe(cycle_seconds)
+    metrics.counter(
+        "modchecker_fleet_checks_total",
+        "Pool checks completed across all shards").set_to(
+            stats.checks_total)
+    metrics.counter(
+        "modchecker_fleet_vm_checks_total",
+        "Per-VM verdicts produced across all shards").set_to(
+            stats.vm_checks_total)
+    metrics.counter(
+        "modchecker_fleet_borrowed_refs_total",
+        "Reference votes borrowed from sibling shards").set_to(
+            stats.borrowed_refs_total)
+    events = metrics.counter(
+        "modchecker_fleet_shard_events_total",
+        "Shard lifecycle events by kind")
+    for event, count in sorted(stats.shard_events.items()):
+        events.set_to(count, event=event)
+    # The fleet owns the per-VM membership series: its scoped shard
+    # daemons share one registry and must not race on this counter, so
+    # they skip record_membership and the fleet sums their logs.
+    membership = metrics.counter(
+        "modchecker_membership_events_total",
+        "Pool membership events by kind")
+    for event, count in sorted(stats.membership_events.items()):
+        membership.set_to(count, event=event)
 
 
 def record_chaos_stats(metrics, chaos_stats) -> None:

@@ -32,6 +32,9 @@ rely on them:
 ``trap.protected``       a manifest's pages were write-protected
 ``trap.delivered``       coalesced write traps drained for one VM
 ``trap.fallback``        trap validation fell back to sweep work
+``fleet.cycle``          one fleet scheduler round over all shards
+``shard.changed``        a shard was created / retired / admitted / evicted
+``quorum.borrowed``      a starved shard borrowed sibling references
 =======================  ==============================================
 
 Correlation works through a context stack: the daemon mints one
@@ -70,6 +73,7 @@ EVENT_NAMES = (
     "chaos.applied", "alert.raised", "daemon.cycle",
     "manifest.hit", "manifest.invalidated",
     "trap.protected", "trap.delivered", "trap.fallback",
+    "fleet.cycle", "shard.changed", "quorum.borrowed",
 )
 
 

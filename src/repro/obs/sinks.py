@@ -1,0 +1,147 @@
+"""Telemetry sinks for the operational CLI (the ``--sink`` contract).
+
+Health-check CLIs compose into node pipelines by separating the *exit
+code* (the machine-readable verdict) from the *telemetry destination*:
+the check always exits OK/WARN/CRITICAL, and ``--sink`` says where the
+structured result record goes — nowhere by default, so a cron line
+stays quiet. Destinations take ``KEY=VALUE`` options via repeatable
+``--sink-opts`` flags.
+
+=============  =========================================================
+``do_nothing``  discard the record (the default; alias ``null``)
+``stdout``      print the record as one deterministic JSON line
+``jsonl``       append the record to ``path=FILE`` as a JSONL row
+``prometheus``  write the run's metrics registry to ``path=FILE`` in
+                Prometheus text format (plus the record as ``# HELP``
+                -style comments is *not* done — the registry already
+                carries the fleet series)
+=============  =========================================================
+
+:func:`parse_sink` maps a name + option mapping onto a :class:`Sink`;
+unknown names or missing/unknown options raise :class:`SinkError`,
+which the CLI turns into UNKNOWN (exit 3) before any work runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["Sink", "NullSink", "StdoutSink", "JsonlSink", "PromSink",
+           "SinkError", "parse_sink", "parse_sink_opts", "SINK_NAMES"]
+
+
+class SinkError(ValueError):
+    """Unknown sink name or invalid sink options (a usage error)."""
+
+
+class Sink:
+    """One telemetry destination for a check's result record."""
+
+    name = "sink"
+
+    def emit(self, record: dict) -> None:
+        """Deliver one structured result record."""
+        raise NotImplementedError
+
+    def finalize(self, obs) -> None:
+        """Flush anything derived from the run's observability bundle."""
+
+
+class NullSink(Sink):
+    """Discard everything (the default: exit codes carry the verdict)."""
+
+    name = "do_nothing"
+
+    def emit(self, record: dict) -> None:
+        pass
+
+
+class StdoutSink(Sink):
+    """One deterministic JSON line per record on stdout."""
+
+    name = "stdout"
+
+    def emit(self, record: dict) -> None:
+        print(json.dumps(record, sort_keys=True, separators=(",", ":")))
+
+
+class JsonlSink(Sink):
+    """Append records to a JSONL file (``path=FILE``)."""
+
+    name = "jsonl"
+
+    def __init__(self, path: str) -> None:
+        self.path = Path(path)
+
+    def emit(self, record: dict) -> None:
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+
+
+class PromSink(Sink):
+    """Write the run's metrics registry as Prometheus text (``path=FILE``).
+
+    The record itself is ignored: everything it summarises is already a
+    series in the registry (see the vocabulary in
+    :mod:`repro.obs.bridge`), and node exporters scrape files, not
+    JSON.
+    """
+
+    name = "prometheus"
+
+    def __init__(self, path: str) -> None:
+        self.path = Path(path)
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def finalize(self, obs) -> None:
+        obs.metrics.write_prometheus(self.path)
+
+
+#: The closed sink vocabulary (``null`` aliases ``do_nothing``).
+SINK_NAMES = ("do_nothing", "null", "stdout", "jsonl", "prometheus")
+
+
+def parse_sink_opts(pairs: list[str] | None) -> dict[str, str]:
+    """``KEY=VALUE`` strings (repeatable ``--sink-opts``) -> mapping."""
+    opts: dict[str, str] = {}
+    for pair in pairs or []:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SinkError(
+                f"--sink-opts takes KEY=VALUE, got {pair!r}")
+        opts[key] = value
+    return opts
+
+
+def parse_sink(name: str, opts: dict[str, str] | None = None) -> Sink:
+    """Resolve a ``--sink`` name + options to a live :class:`Sink`."""
+    opts = dict(opts or {})
+
+    def need(key: str) -> str:
+        try:
+            return opts.pop(key)
+        except KeyError:
+            raise SinkError(
+                f"sink {name!r} needs --sink-opts {key}=...") from None
+
+    if name in ("do_nothing", "null"):
+        sink: Sink = NullSink()
+    elif name == "stdout":
+        sink = StdoutSink()
+    elif name == "jsonl":
+        sink = JsonlSink(need("path"))
+    elif name == "prometheus":
+        sink = PromSink(need("path"))
+    else:
+        raise SinkError(
+            f"unknown sink {name!r} (choose from "
+            f"{', '.join(SINK_NAMES)})")
+    if opts:
+        raise SinkError(
+            f"sink {name!r} does not take option(s): "
+            f"{', '.join(sorted(opts))}")
+    return sink

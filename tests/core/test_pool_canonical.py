@@ -4,8 +4,12 @@ import pytest
 
 from repro.attacks import attack_for_experiment
 from repro.cloud import build_testbed
-from repro.core import ModChecker
+from repro.core import IntegrityChecker, ModChecker
+from repro.core.parser import ParsedModule
 from repro.guest import build_catalog
+from repro.guest.loader import map_file_to_memory
+from repro.pe.parser import PEImage
+from repro.pe.relocations import apply_relocations
 
 
 def _infected_tb(exp_id, n_vms=6, victim="Dom3"):
@@ -70,6 +74,69 @@ class TestCost:
         mc = ModChecker(tb.hypervisor, tb.profile)
         with pytest.raises(ValueError, match="unknown pool mode"):
             mc.check_pool("hal.dll", mode="quantum")
+
+
+class TestBaseCollisions:
+    """VMs whose random slide collides with the reference's base.
+
+    Regression for a fleet-scale false positive: adjustment is driven
+    by byte differences, so a copy loaded at the *same* base as the
+    reference came back raw (unadjusted) and could never match the
+    RVA-normalised majority. At 64-VM shards with ~256 possible slides,
+    collisions are routine — a pristine 10k-VM fleet raised ~100
+    integrity alerts before the partner-adjustment fix.
+    """
+
+    BASE = 0xF7040000
+
+    @staticmethod
+    def _copy_at(vm, base, tamper=False):
+        bp = build_catalog(seed=42)["ntoskrnl.exe"]
+        image = map_file_to_memory(bp.file_bytes)
+        apply_relocations(image, bp.fixup_rvas,
+                          base - bp.optional_header.image_base)
+        if tamper:
+            fixups = {o for r in bp.fixup_rvas for o in range(r, r + 4)}
+            text = next(r for r in PEImage(bytes(image)).code_regions()
+                        if r.name == ".text")
+            off = next(o for o in range(text.start + 16, text.end)
+                       if o not in fixups)
+            image[off] ^= 0xFF
+        pe = PEImage(bytes(image))
+        return ParsedModule(vm_name=vm, module_name=bp.name, base=base,
+                            image=bytes(image),
+                            header_regions=pe.header_regions(),
+                            code_regions=pe.code_regions())
+
+    def test_clean_copy_sharing_reference_base_not_flagged(self):
+        B = self.BASE
+        mods = [self._copy_at("Dom1", B),
+                self._copy_at("Dom2", B + 0x5000),
+                self._copy_at("Dom3", B + 0x9000),
+                self._copy_at("Dom4", B),          # collides with Dom1
+                self._copy_at("Dom5", B + 0x13000)]
+        report = IntegrityChecker().check_pool_canonical(mods)
+        assert report.all_clean
+
+    def test_tampered_copy_sharing_reference_base_still_flagged(self):
+        B = self.BASE
+        mods = [self._copy_at("Dom1", B),
+                self._copy_at("Dom2", B + 0x5000),
+                self._copy_at("Dom3", B + 0x9000),
+                self._copy_at("Dom4", B, tamper=True),
+                self._copy_at("Dom5", B + 0x13000)]
+        report = IntegrityChecker().check_pool_canonical(mods)
+        assert report.flagged() == ["Dom4"]
+        assert ".text" in report.mismatched_regions("Dom4")
+
+    def test_whole_pool_at_one_base(self):
+        # No partner exists; raw digests must still cluster correctly.
+        clean = [self._copy_at(f"Dom{i}", self.BASE) for i in range(1, 6)]
+        assert IntegrityChecker().check_pool_canonical(clean).all_clean
+        dirty = [self._copy_at(f"Dom{i}", self.BASE, tamper=(i == 3))
+                 for i in range(1, 6)]
+        assert IntegrityChecker().check_pool_canonical(
+            dirty).flagged() == ["Dom3"]
 
 
 class TestEdgeCases:

@@ -1,0 +1,94 @@
+"""Telemetry sink parsing and delivery (the CLI ``--sink`` contract)."""
+
+import json
+
+import pytest
+
+from repro.obs import make_observability
+from repro.obs.sinks import (SINK_NAMES, JsonlSink, NullSink, PromSink,
+                             SinkError, StdoutSink, parse_sink,
+                             parse_sink_opts)
+
+
+class TestParseOpts:
+    def test_none_is_empty(self):
+        assert parse_sink_opts(None) == {}
+
+    def test_pairs(self):
+        assert parse_sink_opts(["path=/tmp/x", "mode=append"]) \
+            == {"path": "/tmp/x", "mode": "append"}
+
+    def test_value_may_contain_equals(self):
+        assert parse_sink_opts(["path=a=b"]) == {"path": "a=b"}
+
+    @pytest.mark.parametrize("bad", ["path", "=value", "justakey"])
+    def test_malformed_pair_rejected(self, bad):
+        with pytest.raises(SinkError):
+            parse_sink_opts([bad])
+
+
+class TestParseSink:
+    def test_default_is_null(self):
+        assert isinstance(parse_sink("do_nothing"), NullSink)
+        assert isinstance(parse_sink("null"), NullSink)
+
+    def test_stdout(self):
+        assert isinstance(parse_sink("stdout"), StdoutSink)
+
+    def test_jsonl_needs_path(self):
+        with pytest.raises(SinkError, match="path"):
+            parse_sink("jsonl")
+        sink = parse_sink("jsonl", {"path": "/tmp/fleet.jsonl"})
+        assert isinstance(sink, JsonlSink)
+
+    def test_prometheus_needs_path(self):
+        with pytest.raises(SinkError, match="path"):
+            parse_sink("prometheus")
+        assert isinstance(
+            parse_sink("prometheus", {"path": "/tmp/m.prom"}), PromSink)
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(SinkError, match="unknown sink"):
+            parse_sink("carrier-pigeon")
+
+    def test_leftover_opts_rejected(self):
+        with pytest.raises(SinkError, match="does not take"):
+            parse_sink("stdout", {"path": "/tmp/x"})
+
+    def test_vocabulary_is_parseable(self):
+        for name in SINK_NAMES:
+            opts = {"path": "/tmp/x"} if name in ("jsonl",
+                                                  "prometheus") else {}
+            assert parse_sink(name, opts).name in (name, "do_nothing")
+
+
+class TestDelivery:
+    RECORD = {"check": "fleet", "status": "OK", "exit_code": 0}
+
+    def test_null_discards(self):
+        NullSink().emit(self.RECORD)        # must not raise
+
+    def test_stdout_emits_one_json_line(self, capsys):
+        StdoutSink().emit(self.RECORD)
+        out = capsys.readouterr().out
+        assert json.loads(out) == self.RECORD
+        assert out.count("\n") == 1
+
+    def test_jsonl_appends(self, tmp_path):
+        path = tmp_path / "fleet.jsonl"
+        sink = JsonlSink(str(path))
+        sink.emit(self.RECORD)
+        sink.emit({"check": "fleet", "status": "WARN", "exit_code": 1})
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert [r["exit_code"] for r in rows] == [0, 1]
+
+    def test_prometheus_writes_registry(self, tmp_path):
+        from repro.hypervisor.clock import SimClock
+        obs = make_observability(SimClock())
+        obs.metrics.counter("modchecker_test_total", "A test series").inc()
+        path = tmp_path / "fleet.prom"
+        sink = PromSink(str(path))
+        sink.emit(self.RECORD)              # records are not the payload
+        sink.finalize(obs)
+        assert "modchecker_test_total" in path.read_text()

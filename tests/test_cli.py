@@ -147,3 +147,85 @@ class TestDump:
         out = capsys.readouterr().out
         assert rc == 1
         assert "FLAGGED" in out
+
+
+class TestFleet:
+    """The fleet health check's OK/WARN/CRITICAL/UNKNOWN contract."""
+
+    def test_clean_fleet_exit_zero(self, capsys):
+        rc = main(["fleet", "--vms", "12", "--shard-size", "4",
+                   "--cycles", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fleet OK" in out
+        assert "shard(s)" in out
+
+    def test_killswitch_short_circuits_to_ok(self, capsys):
+        rc = main(["fleet", "--vms", "12", "--killswitch"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "killswitch active" in out
+        assert "cycle" not in out           # no checks ran
+
+    def test_tampered_fleet_exit_two(self, capsys):
+        rc = main(["fleet", "--vms", "12", "--shard-size", "4",
+                   "--cycles", "2", "--infect", "E1",
+                   "--victim", "Dom3"])
+        out = capsys.readouterr().out
+        assert rc == 2
+        assert "fleet CRITICAL" in out
+        assert "Dom3" in out
+
+    def test_degraded_fleet_exit_one(self, capsys):
+        rc = main(["fleet", "--vms", "12", "--shard-size", "4",
+                   "--cycles", "2", "--fault-rate", "0.35",
+                   "--retry", "0"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "fleet WARN" in out
+
+    def test_bad_sink_exit_three(self, capsys):
+        rc = main(["fleet", "--vms", "12", "--sink", "carrier-pigeon"])
+        err = capsys.readouterr().err
+        assert rc == 3
+        assert "fleet UNKNOWN" in err
+
+    def test_sink_opts_validated_before_any_work(self, capsys):
+        rc = main(["fleet", "--vms", "12", "--sink", "jsonl"])
+        captured = capsys.readouterr()
+        assert rc == 3
+        assert "path=" in captured.err
+        assert "cycle" not in captured.out
+
+    def test_stdout_sink_emits_record(self, capsys):
+        import json
+        rc = main(["fleet", "--vms", "12", "--shard-size", "4",
+                   "--cycles", "1", "--sink", "stdout"])
+        out = capsys.readouterr().out
+        record = next(json.loads(line) for line in out.splitlines()
+                      if line.startswith("{"))
+        assert rc == 0
+        assert record["check"] == "modchecker-fleet"
+        assert record["status"] == "OK"
+        assert record["exit_code"] == 0
+        assert record["vm_checks_total"] > 0
+
+    def test_jsonl_sink_writes_file(self, tmp_path):
+        import json
+        path = tmp_path / "fleet.jsonl"
+        rc = main(["fleet", "--vms", "12", "--shard-size", "4",
+                   "--cycles", "1", "--sink", "jsonl",
+                   "--sink-opts", f"path={path}"])
+        rows = [json.loads(line)
+                for line in path.read_text().splitlines()]
+        assert rc == 0
+        assert len(rows) == 1 and rows[0]["status"] == "OK"
+
+    def test_prometheus_sink_writes_fleet_series(self, tmp_path):
+        path = tmp_path / "fleet.prom"
+        rc = main(["fleet", "--vms", "12", "--shard-size", "4",
+                   "--cycles", "1", "--sink", "prometheus",
+                   "--sink-opts", f"path={path}"])
+        text = path.read_text()
+        assert rc == 0
+        assert "modchecker_fleet_vm_checks_total" in text

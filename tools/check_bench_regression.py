@@ -9,12 +9,20 @@ only a share *increase* beyond the tolerance fails; getting faster is
 not an error. Pass ``--absolute`` to compare raw mean seconds instead
 (useful on a dedicated box).
 
+``--fleet`` switches to the fleet-tier contract instead: the results
+file is the ``{"metrics": {...}}`` JSON the 10k-VM tier writes (see
+``benchmarks/test_scale.py``), every metric is a *simulated-clock*
+scalar (deterministic, so tight tolerances are safe), and the gate is
+direction-aware — ``checks_per_sec`` must not *drop*, latency metrics
+must not *rise*.
+
 Usage::
 
     python tools/check_bench_regression.py results.json            # gate
     python tools/check_bench_regression.py results.json --update   # rebase
     python tools/check_bench_regression.py results.json \
         --baseline benchmarks/baseline_substrate.json --tolerance 0.20
+    python tools/check_bench_regression.py fleet-metrics.json --fleet
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/schema
 error (missing baseline, benchmark set drift).
@@ -29,6 +37,14 @@ from pathlib import Path
 
 DEFAULT_BASELINE = (Path(__file__).resolve().parent.parent
                     / "benchmarks" / "baseline_substrate.json")
+DEFAULT_FLEET_BASELINE = (Path(__file__).resolve().parent.parent
+                          / "benchmarks" / "baseline_fleet.json")
+
+#: Which way each fleet metric is allowed to move. Throughput must not
+#: fall below baseline*(1-tolerance); anything else (latencies) must
+#: not rise above baseline*(1+tolerance). Unknown metrics default to
+#: lower-is-better, the safe direction for a latency-like scalar.
+FLEET_HIGHER_IS_BETTER = ("checks_per_sec",)
 
 
 def load_means(path: Path) -> dict[str, float]:
@@ -41,6 +57,48 @@ def load_means(path: Path) -> dict[str, float]:
     if not benches:
         raise SystemExit(f"error: {path} holds no benchmarks")
     return {b["name"]: float(b["stats"]["mean"]) for b in benches}
+
+
+def load_fleet_metrics(path: Path) -> dict[str, float]:
+    """Metric name -> simulated scalar, from the fleet tier's JSON."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    metrics = data.get("metrics")
+    if not metrics:
+        raise SystemExit(f"error: {path} holds no fleet metrics")
+    return {name: float(value) for name, value in metrics.items()}
+
+
+def compare_fleet(current: dict[str, float], baseline: dict[str, float],
+                  tolerance: float) -> list[str]:
+    """Direction-aware fleet gate; returns failure lines."""
+    failures = []
+    missing = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    if missing:
+        failures.append(f"metrics missing from run: {', '.join(missing)}")
+    if added:
+        failures.append(
+            f"metrics not in baseline (rebase with --update): "
+            f"{', '.join(added)}")
+    if failures:
+        return failures
+    for name in sorted(baseline):
+        if name in FLEET_HIGHER_IS_BETTER:
+            floor = baseline[name] * (1.0 - tolerance)
+            if current[name] < floor:
+                failures.append(
+                    f"{name}: {current[name]:.6g} < "
+                    f"{baseline[name]:.6g} -{tolerance:.0%}")
+        else:
+            ceiling = baseline[name] * (1.0 + tolerance)
+            if current[name] > ceiling:
+                failures.append(
+                    f"{name}: {current[name]:.6g} > "
+                    f"{baseline[name]:.6g} +{tolerance:.0%}")
+    return failures
 
 
 def shares(means: dict[str, float]) -> dict[str, float]:
@@ -89,9 +147,42 @@ def main(argv: list[str] | None = None) -> int:
                              "total (noisier across machines)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from these results")
+    parser.add_argument("--fleet", action="store_true",
+                        help="gate the fleet tier's simulated metrics "
+                             "JSON (direction-aware) instead of "
+                             "pytest-benchmark wall timings")
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         parser.error("--tolerance must be >= 0")
+
+    if args.fleet:
+        if args.baseline == DEFAULT_BASELINE:
+            args.baseline = DEFAULT_FLEET_BASELINE
+        metrics = load_fleet_metrics(args.results)
+        if args.update:
+            args.baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline.write_text(json.dumps(
+                {"metrics": dict(sorted(metrics.items()))},
+                indent=2, sort_keys=True) + "\n")
+            print(f"fleet baseline rebased: {args.baseline} "
+                  f"({len(metrics)} metrics)")
+            return 0
+        if not args.baseline.exists():
+            print(f"error: no fleet baseline at {args.baseline}; "
+                  f"create one with --update", file=sys.stderr)
+            return 2
+        baseline = load_fleet_metrics(args.baseline)
+        failures = compare_fleet(metrics, baseline, args.tolerance)
+        if failures:
+            print(f"fleet metric regression (tolerance "
+                  f"{args.tolerance:.0%}):")
+            for line in failures:
+                print(f"  {line}")
+            return 1 if not any("missing" in f or "not in baseline" in f
+                                for f in failures) else 2
+        print(f"fleet metrics within tolerance ({len(metrics)} checked, "
+              f"tolerance {args.tolerance:.0%})")
+        return 0
 
     means = load_means(args.results)
     if args.update:

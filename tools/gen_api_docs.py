@@ -49,9 +49,10 @@ MODULES = [
     "repro.perf.costmodel", "repro.perf.workload", "repro.perf.monitor",
     "repro.perf.timing",
     "repro.cloud.testbed", "repro.cloud.scenarios", "repro.cloud.chaos",
+    "repro.cloud.fleet",
     "repro.analysis.stats", "repro.analysis.tables", "repro.analysis.export",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.bridge",
-    "repro.obs.events",
+    "repro.obs.events", "repro.obs.sinks",
     "repro.forensics.diff", "repro.forensics.evidence",
     "repro.forensics.bundle",
 ]
