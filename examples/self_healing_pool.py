@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Self-healing pools: the restore-on-tamper repair engine end to end.
+
+Detection gives the operator a flagged clone; a repair policy closes
+the loop. This walkthrough runs the whole remediation ladder:
+
+  1. a runtime rootkit patches ``hal.dll`` in one guest — the checker
+     convicts it AND restores the clean bytes in place (relocations
+     re-applied at the victim's own base), then re-verifies;
+  2. a *racing* adversary re-patches behind every repair until its
+     rewrite budget runs dry — the retry budget wins, at a measurable
+     MTTR cost;
+  3. an LDR-blinding adversary aliases the victim's LDR entry at a
+     different module so acquisition reads valid-but-wrong bytes —
+     target attestation refuses to write anything;
+  4. under ``quarantine-on-repeat-failure`` a racing adversary that
+     outlasts the budget gets the VM quarantined, not ping-ponged.
+
+Run:  python examples/self_healing_pool.py
+"""
+
+from repro import ModChecker, build_testbed
+from repro.attacks import (LdrBlindingAttack, RacingWriterAttack,
+                           RuntimeCodePatchAttack)
+
+SEED = 2012
+
+
+def checker(tb, policy="repair", attempts=3):
+    return ModChecker(tb.hypervisor, tb.profile, repair_policy=policy,
+                      repair_max_attempts=attempts)
+
+
+def show(record):
+    mttr = (f", MTTR {record.mttr * 1e3:.2f} ms"
+            if record.mttr is not None else "")
+    print(f"  {record.vm_name}/{record.module_name}: {record.status}"
+          f" after {record.attempts} attempt(s),"
+          f" {record.bytes_written} byte(s) written,"
+          f" {record.raced_writes} raced write(s){mttr}"
+          + (f"\n    reason: {record.reason}" if record.reason else ""))
+
+
+def main() -> None:
+    print("== phase 1: patch -> verified in-place restore ==")
+    tb = build_testbed(4, seed=SEED)
+    mc = checker(tb)
+    RuntimeCodePatchAttack().apply(tb.hypervisor.domain("Dom2").kernel,
+                                   tb.catalog["hal.dll"])
+    out = mc.check_pool("hal.dll")
+    (rec,) = out.remediations
+    show(rec)
+    assert rec.status == "verified"
+    assert mc.check_pool("hal.dll").report.all_clean
+    print("  pool re-verified clean — the guest bytes are healed\n")
+
+    print("== phase 2: racing adversary loses to the retry budget ==")
+    tb = build_testbed(4, seed=SEED)
+    mc = checker(tb, attempts=4)
+    racer = RacingWriterAttack(rewrites=2)
+    racer.apply(tb.hypervisor.domain("Dom2").kernel, tb.catalog["hal.dll"])
+    racer.arm(tb.clock)                 # re-patches after every repair
+    (rec,) = mc.check_pool("hal.dll").remediations
+    show(rec)
+    assert rec.status == "verified" and rec.attempts == 3
+    print("  budget 2 < retry budget 4: degraded MTTR, same outcome\n")
+
+    print("== phase 3: LDR blinding -> attestation refuses to write ==")
+    tb = build_testbed(4, seed=SEED)
+    mc = checker(tb)
+    LdrBlindingAttack().apply(tb.hypervisor.domain("Dom2").kernel,
+                              tb.catalog["hal.dll"])
+    (rec,) = mc.check_pool("hal.dll").remediations
+    show(rec)
+    assert rec.aborted and rec.bytes_written == 0
+    print("  zero bytes written at the untrustworthy target\n")
+
+    print("== phase 4: an adversary that outlasts the budget is "
+          "quarantined ==")
+    tb = build_testbed(4, seed=SEED)
+    mc = checker(tb, policy="quarantine-on-repeat-failure", attempts=2)
+    racer = RacingWriterAttack(rewrites=10)
+    racer.apply(tb.hypervisor.domain("Dom2").kernel, tb.catalog["hal.dll"])
+    racer.arm(tb.clock)
+    (rec,) = mc.check_pool("hal.dll").remediations
+    show(rec)
+    assert rec.status == "quarantined"
+    print("  explicit escalation — never a silent failure\n")
+
+    stats = mc.repair.stats
+    print(f"summary (phase 4 engine): {stats.attempts} attempt(s), "
+          f"{stats.raced_writes} raced write(s), "
+          f"{stats.quarantined} quarantined")
+
+
+if __name__ == "__main__":
+    main()

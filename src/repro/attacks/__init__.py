@@ -10,8 +10,9 @@ from .dll_inject import DllInjectionAttack, INJECT_DLL_NAME, INJECT_EXPORT
 from .headers import (EntryPointRedirectAttack, SectionCharacteristicsAttack,
                       TimestampForgeryAttack)
 from .inline_hook import DEFAULT_PAYLOAD, InlineHookAttack
-from .memory import (IATHookAttack, LdrDecoyAttack, MemoryAttack,
-                     MemoryInfectionResult, RuntimeCodePatchAttack)
+from .memory import (IATHookAttack, LdrBlindingAttack, LdrDecoyAttack,
+                     MemoryAttack, MemoryInfectionResult,
+                     RacingWriterAttack, RuntimeCodePatchAttack)
 from .opcode import OpcodeReplacementAttack, SUB_ECX_1
 from .registry import (ATTACKS, EXPERIMENTS, attack_for_experiment,
                        make_attack, register_attack)
@@ -23,8 +24,8 @@ __all__ = [
     "EntryPointRedirectAttack", "SectionCharacteristicsAttack",
     "TimestampForgeryAttack",
     "DEFAULT_PAYLOAD", "InlineHookAttack",
-    "IATHookAttack", "LdrDecoyAttack", "MemoryAttack",
-    "MemoryInfectionResult", "RuntimeCodePatchAttack",
+    "IATHookAttack", "LdrBlindingAttack", "LdrDecoyAttack", "MemoryAttack",
+    "MemoryInfectionResult", "RacingWriterAttack", "RuntimeCodePatchAttack",
     "OpcodeReplacementAttack", "SUB_ECX_1",
     "ATTACKS", "EXPERIMENTS", "attack_for_experiment", "make_attack",
     "register_attack",

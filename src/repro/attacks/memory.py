@@ -19,7 +19,8 @@ from ..guest.kernel import GuestKernel
 from ..pe.builder import DriverBlueprint
 
 __all__ = ["MemoryInfectionResult", "MemoryAttack", "IATHookAttack",
-           "LdrDecoyAttack", "RuntimeCodePatchAttack"]
+           "LdrBlindingAttack", "LdrDecoyAttack", "RacingWriterAttack",
+           "RuntimeCodePatchAttack"]
 
 
 @dataclass
@@ -171,3 +172,130 @@ class RuntimeCodePatchAttack(MemoryAttack):
             expected_regions=(".text",),
             details={"va": va, "original": original.hex(),
                      "patch": self.patch.hex()})
+
+
+class RacingWriterAttack(RuntimeCodePatchAttack):
+    """A resident implant that re-tampers the module *during* repair.
+
+    The MemoryRanger threat model: the attacker still runs at ring 0, so
+    a one-shot restore is not a fix — the implant notices its patch is
+    gone and puts it back. :meth:`apply` plants the initial patch like
+    :class:`RuntimeCodePatchAttack`; :meth:`arm` then subscribes to the
+    simulated clock, and on every advance (i.e. whenever dom0 burns CPU
+    — fetching, hashing, writing) the implant checks its patch site and
+    rewrites it if someone cleaned it, up to ``rewrites`` times.
+
+    Because the repair engine keeps the target range write-protected for
+    the whole restore window, every rewrite lands on an armed frame and
+    is trapped — the engine sees ``raced_writes`` and retries. A budget
+    below the defender's ``max_attempts`` converges to verified clean;
+    at or above it, the engine escalates to quarantine. Both outcomes
+    are deterministic per seed: the race is driven by the cost model,
+    not host timing.
+    """
+
+    name = "racing-writer"
+
+    def __init__(self, offset_in_text: int = 0x20,
+                 patch: bytes = b"\xEB\xFE", rewrites: int = 2) -> None:
+        super().__init__(offset_in_text, patch)
+        self.rewrites = int(rewrites)
+        self.rewrites_done = 0
+        #: simulated timestamps of each successful re-tamper
+        self.rewrite_times: list[float] = []
+        self._kernel: GuestKernel | None = None
+        self._va: int | None = None
+        self._clock = None
+
+    def apply(self, kernel: GuestKernel, blueprint: DriverBlueprint,
+              ) -> MemoryInfectionResult:
+        result = super().apply(kernel, blueprint)
+        self._kernel = kernel
+        self._va = result.details["va"]
+        result.attack_name = self.name
+        result.details["rewrite_budget"] = self.rewrites
+        return result
+
+    def arm(self, clock) -> None:
+        """Start racing: re-tamper whenever the clock advances."""
+        if self._va is None:
+            raise AttackError("arm() before apply()")
+        if self._clock is None:
+            self._clock = clock
+            clock.on_advance.append(self._on_advance)
+
+    def disarm(self) -> None:
+        """Stop racing (the implant is killed / budget withdrawn)."""
+        if self._clock is not None:
+            self._clock.on_advance.remove(self._on_advance)
+            self._clock = None
+
+    def _on_advance(self, now: float) -> None:
+        if self.rewrites_done >= self.rewrites:
+            return
+        current = self._kernel.aspace.read(self._va, len(self.patch))
+        if bytes(current) == self.patch:
+            return                       # patch still in place — stay quiet
+        # Someone restored the clean bytes: put the hook back. This is a
+        # guest-side write, so if the repair engine has the frame armed
+        # it is trapped and counted as a raced write.
+        self._kernel.aspace.write(self._va, self.patch)
+        self.rewrites_done += 1
+        self.rewrite_times.append(now)
+
+
+class LdrBlindingAttack(MemoryAttack):
+    """Spoof the victim's LDR ``DllBase`` to blind restore-capable AV.
+
+    The AV-blinding trick from the MemoryRanger line of work: the
+    rootkit patches the victim's *real* ``LDR_DATA_TABLE_ENTRY`` so its
+    ``DllBase``/``SizeOfImage``/``EntryPoint`` describe a *different*,
+    fully mapped module. A checker that trusts the list reads a valid PE
+    (the alias's), votes the victim tampered (the bytes match nothing in
+    the pool), and — if it naively "restores" — writes the reference
+    image over the alias module, corrupting an innocent driver at the
+    attacker's chosen address.
+
+    The repair engine's attestation gates must refuse this target
+    (aliased base / size mismatch) and abort with an audit trail rather
+    than write anything.
+    """
+
+    name = "ldr-blinding"
+
+    def __init__(self, alias_module: str | None = None) -> None:
+        self.alias_module = alias_module
+
+    def apply(self, kernel: GuestKernel, blueprint: DriverBlueprint,
+              ) -> MemoryInfectionResult:
+        from ..guest.ldr import LIST_ENTRY_SIZE  # noqa: F401  (layout pkg)
+
+        victim = kernel.module(blueprint.name)
+        if self.alias_module is not None:
+            alias = kernel.module(self.alias_module)
+        else:
+            others = [m for n, m in sorted(kernel.modules.items())
+                      if n != blueprint.name]
+            if not others:
+                raise AttackError("no other module to alias")
+            alias = others[0]
+        layout = kernel.layout
+        entry_va = victim.ldr_entry_va
+        fields = ((layout.off_dllbase, alias.base),
+                  (layout.off_entrypoint, alias.entry_point),
+                  (layout.off_sizeofimage, alias.size_of_image))
+        for off, value in fields:
+            kernel.aspace.write(entry_va + off, struct.pack("<I", value))
+        vas = tuple(va for off, _ in fields
+                    for va in range(entry_va + off, entry_va + off + 4))
+        return MemoryInfectionResult(
+            attack_name=self.name, vm_name=kernel.name,
+            module_name=blueprint.name,
+            modified_vas=vas,
+            # the acquired alias image diverges from the pool copies in
+            # essentially every region; the optional header (sizes,
+            # entry point) is guaranteed to differ between builds
+            expected_regions=("IMAGE_OPTIONAL_HEADER",),
+            details={"ldr_entry_va": entry_va,
+                     "victim_base": victim.base,
+                     "alias": alias.name, "alias_base": alias.base})

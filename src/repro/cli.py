@@ -80,6 +80,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                             "every non-clean pool verdict")
         add_incremental(p)
 
+    def add_repair(p):
+        p.add_argument("--repair", nargs="?", const="repair", default=None,
+                       choices=["repair", "quarantine-on-repeat-failure"],
+                       metavar="POLICY",
+                       help="restore tampered modules in place from the "
+                            "majority reference and re-verify (bare "
+                            "--repair; POLICY=quarantine-on-repeat-"
+                            "failure additionally trips the VM's breaker "
+                            "when the retry budget runs out)")
+        p.add_argument("--repair-attempts", type=int, default=3,
+                       metavar="N",
+                       help="restore attempts per tampered module before "
+                            "giving up (default: 3)")
+
     def add_incremental(p):
         p.add_argument("--incremental", action="store_true",
                        help="skip copy/parse/compare for modules whose "
@@ -97,6 +111,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="cross-check one module")
     add_common(p_check)
+    add_repair(p_check)
     p_check.add_argument("--module", default="hal.dll")
     p_check.add_argument("--rva-mode", default="robust",
                          choices=["faithful", "robust", "vectorized"])
@@ -109,6 +124,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="check every loaded module")
     add_common(p_sweep)
+    add_repair(p_sweep)
 
     p_hidden = sub.add_parser("hidden", help="carve for DKOM-hidden modules")
     p_hidden.add_argument("--vms", type=int, default=3)
@@ -132,6 +148,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
 
     p_daemon = sub.add_parser("daemon", help="run periodic checking cycles")
     add_common(p_daemon)
+    add_repair(p_daemon)
     p_daemon.add_argument("--cycles", type=int, default=5)
     p_daemon.add_argument("--interval", type=float, default=60.0)
     p_daemon.add_argument("--churn-rate", type=float, default=0.0,
@@ -171,6 +188,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          help="capture an evidence bundle into DIR for "
                               "every non-clean pool verdict")
     add_incremental(p_chaos)
+    add_repair(p_chaos)
 
     p_explain = sub.add_parser(
         "explain",
@@ -188,6 +206,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "fleet",
         help="run the sharded fleet health check (OK/WARN/CRITICAL)")
     add_common(p_fleet)
+    add_repair(p_fleet)
     p_fleet.set_defaults(vms=24)
     p_fleet.add_argument("--shard-size", type=int, default=8,
                          help="max VMs per voting shard; same-key "
@@ -316,6 +335,29 @@ def _incremental_kwargs(args) -> dict:
             "event_driven": event_driven}
 
 
+def _repair_kwargs(args) -> dict:
+    """Map --repair/--repair-attempts to ModChecker kwargs."""
+    attempts = getattr(args, "repair_attempts", 3)
+    if attempts < 1:
+        raise SystemExit(f"error: --repair-attempts must be >= 1, "
+                         f"got {attempts}")
+    return {"repair_policy": getattr(args, "repair", None) or "detect-only",
+            "repair_max_attempts": attempts}
+
+
+def _print_remediations(remediations) -> None:
+    for rec in remediations:
+        line = (f"(repair) {rec.vm_name}/{rec.module_name}: "
+                f"{rec.status.upper()} after {rec.attempts} attempt(s), "
+                f"{rec.hunks_written} hunk(s)/{rec.bytes_written} byte(s) "
+                f"written, {rec.raced_writes} raced write(s)")
+        if rec.mttr is not None:
+            line += f"; MTTR {format_seconds(rec.mttr)}"
+        if rec.reason:
+            line += f"; {rec.reason}"
+        print(line)
+
+
 def cmd_check(args) -> int:
     tb, module = _build(args, args.module)
     module = module or args.module
@@ -323,9 +365,11 @@ def cmd_check(args) -> int:
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
                     hash_algorithm=args.hash, retry=_retry_policy(args),
-                    obs=obs, evidence=evidence, **_incremental_kwargs(args))
+                    obs=obs, evidence=evidence, **_incremental_kwargs(args),
+                    **_repair_kwargs(args))
     out = mc.check_pool(module, mode=args.pool_mode)
     report = out.report
+    _print_remediations(out.remediations)
     _export_obs(args, obs, evidence)
     rows = [[vm, f"{v.matches}/{v.comparisons}",
              "CLEAN" if v.clean else "FLAGGED",
@@ -345,7 +389,8 @@ def cmd_sweep(args) -> int:
     tb, _ = _build(args)
     obs = _obs_for(args, tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, **_incremental_kwargs(args))
+                    obs=obs, **_incremental_kwargs(args),
+                    **_repair_kwargs(args))
     outcomes = mc.check_all_modules()
     _export_obs(args, obs)
     rows = []
@@ -355,6 +400,7 @@ def cmd_sweep(args) -> int:
         dirty |= bool(flagged)
         rows.append([name, "CLEAN" if not flagged else "FLAGGED",
                      ",".join(flagged) or "-"])
+        _print_remediations(outcome.remediations)
     print(render_table(["module", "verdict", "flagged VMs"], rows,
                        title=f"catalog sweep over {args.vms} VMs"))
     return 1 if dirty else 0
@@ -453,12 +499,26 @@ def _chaos_engine(args, tb):
     return engine
 
 
+def _print_repair_summary(mc) -> None:
+    if mc.repair is None:
+        return
+    st = mc.repair.stats
+    line = (f"repair: {st.verified} verified, {st.failed} failed, "
+            f"{st.quarantined} quarantined "
+            f"({st.attempts} attempt(s), {st.raced_writes} raced write(s))")
+    if st.mttr_count:
+        line += (f"; MTTR mean {format_seconds(st.mttr_mean)} "
+                 f"max {format_seconds(st.mttr_max)}")
+    print(line)
+
+
 def cmd_daemon(args) -> int:
     tb, _ = _build(args)
     obs = _obs_for(args, tb.clock)
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, evidence=evidence, **_incremental_kwargs(args))
+                    obs=obs, evidence=evidence, **_incremental_kwargs(args),
+                    **_repair_kwargs(args))
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval,
                          chaos=_chaos_engine(args, tb))
@@ -474,6 +534,7 @@ def cmd_daemon(args) -> int:
             print(f"[{stamp:10.3f}s] quarantined: "
                   f"{', '.join(daemon.quarantined)}")
     _export_obs(args, obs, evidence)
+    _print_repair_summary(mc)
     print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
     return 1 if len(daemon.log) else 0
 
@@ -489,7 +550,8 @@ def cmd_chaos(args) -> int:
     obs = _obs_for(args, tb.clock)
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, evidence=evidence, **_incremental_kwargs(args))
+                    obs=obs, evidence=evidence, **_incremental_kwargs(args),
+                    **_repair_kwargs(args))
     engine = _chaos_engine(args, tb)
     if engine is None:
         raise SystemExit("error: chaos needs --churn-rate > 0")
@@ -523,6 +585,7 @@ def cmd_chaos(args) -> int:
     integrity = [a for a in daemon.log.alerts
                  if a.kind in ("integrity", "hidden-module", "decoy-entry")]
     degraded = len(daemon.log) - len(integrity)
+    _print_repair_summary(mc)
     print(f"{len(integrity)} integrity alert(s), {degraded} degraded "
           f"alert(s) over {args.cycles} cycles")
     if infected_vm is not None:
@@ -546,6 +609,12 @@ def cmd_fleet(args) -> int:
     integrity finding), 2 = CRITICAL (an integrity, hidden-module or
     decoy alert anywhere in the fleet), 3 = UNKNOWN (``--sink`` was
     misconfigured; nothing ran).
+
+    With ``--repair``, remediation outcomes count toward the status:
+    integrity findings where *every* repair ended verified clean
+    downgrade to WARN (the fleet self-healed; the operator still sees
+    the finding in the record), while any failed, aborted or
+    quarantined repair keeps the fleet CRITICAL.
     """
     from .obs import SinkError, parse_sink, parse_sink_opts
     from .obs.sinks import PromSink
@@ -595,7 +664,8 @@ def cmd_fleet(args) -> int:
                   chaos=_chaos_engine(args, tb), obs=obs,
                   checker_kwargs={"retry": _retry_policy(args),
                                   "evidence": evidence,
-                                  **_incremental_kwargs(args)})
+                                  **_incremental_kwargs(args),
+                                  **_repair_kwargs(args)})
     print(f"fleet: {args.vms} VM(s) in {len(fleet.shards)} shard(s), "
           f"{args.workers} worker(s)")
     for _ in range(args.cycles):
@@ -613,13 +683,18 @@ def cmd_fleet(args) -> int:
     degraded = [a for _, a in fleet.alert_log if a.kind == "degraded"]
     open_breakers = sum(len(s.daemon.health.open_vms())
                         for s in fleet.shards.values())
-    if integrity:
+    stats = fleet.stats
+    repairs_bad = (stats.repairs_failed_total
+                   + stats.repairs_quarantined_total)
+    self_healed = (args.repair is not None and integrity
+                   and stats.repairs_verified_total > 0
+                   and not repairs_bad)
+    if integrity and not self_healed:
         status, rc = "CRITICAL", 2
-    elif degraded or open_breakers:
+    elif integrity or degraded or open_breakers:
         status, rc = "WARN", 1
     else:
         status, rc = "OK", 0
-    stats = fleet.stats
     record = {
         "check": "modchecker-fleet",
         "status": status,
@@ -633,6 +708,9 @@ def cmd_fleet(args) -> int:
         "integrity_alerts": len(integrity),
         "degraded_alerts": len(degraded),
         "open_breakers": open_breakers,
+        "repairs_verified": stats.repairs_verified_total,
+        "repairs_failed": stats.repairs_failed_total,
+        "repairs_quarantined": stats.repairs_quarantined_total,
         "checks_per_sec": round(stats.checks_per_sec, 3),
         "p99_cycle_seconds": round(stats.p99_cycle_seconds, 6),
         "sim_seconds": round(tb.clock.now, 3),
@@ -640,12 +718,17 @@ def cmd_fleet(args) -> int:
     sink.emit(record)
     sink.finalize(obs)
     _export_obs(args, obs, evidence)
+    repair_note = ""
+    if args.repair is not None:
+        repair_note = (f", repairs: {stats.repairs_verified_total} "
+                       f"verified / {stats.repairs_failed_total} failed "
+                       f"/ {stats.repairs_quarantined_total} quarantined")
     print(f"fleet {status}: {record['vms']} VM(s) in "
           f"{record['shards']} shard(s); "
           f"{record['vm_checks_total']} VM-checks over "
           f"{stats.cycles} cycle(s), "
           f"{len(integrity)} integrity / {len(degraded)} degraded "
-          f"alert(s), {open_breakers} open breaker(s)")
+          f"alert(s), {open_breakers} open breaker(s){repair_note}")
     return rc
 
 

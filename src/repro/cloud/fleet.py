@@ -117,6 +117,11 @@ class FleetStats:
     vm_checks_total: int = 0
     borrowed_refs_total: int = 0
     alerts_total: int = 0
+    #: terminal remediation outcomes summed over every shard daemon
+    #: (only nonzero when ``checker_kwargs`` enables a repair policy)
+    repairs_verified_total: int = 0
+    repairs_failed_total: int = 0
+    repairs_quarantined_total: int = 0
     #: shard lifecycle events: created / retired / admitted / evicted
     shard_events: dict[str, int] = field(default_factory=dict)
     #: per-VM membership events summed over every shard daemon
@@ -160,6 +165,8 @@ class FleetCycleReport:
     shards: int
     vms: int
     borrowed: int
+    #: verified self-heals this round (``repaired`` alert kind)
+    repaired: int = 0
 
 
 class Fleet:
@@ -214,7 +221,9 @@ class Fleet:
         self._shard_seq: dict[ShardKey, int] = {}
         #: counters folded in from retired shards so fleet totals never
         #: run backwards (same idiom as ModChecker._vmi_stats_base)
-        self._retired = {"checks": 0, "vm_checks": 0, "borrows": 0}
+        self._retired = {"checks": 0, "vm_checks": 0, "borrows": 0,
+                         "repairs_verified": 0, "repairs_failed": 0,
+                         "repairs_quarantined": 0}
         self._retired_membership: dict[str, int] = {}
         self.reconcile()
 
@@ -266,6 +275,10 @@ class Fleet:
         self._retired["checks"] += shard.daemon.checks_run
         self._retired["vm_checks"] += shard.daemon.vm_checks_run
         self._retired["borrows"] += shard.daemon.borrowed_refs
+        self._retired["repairs_verified"] += shard.daemon.repairs_verified
+        self._retired["repairs_failed"] += shard.daemon.repairs_failed
+        self._retired["repairs_quarantined"] += \
+            shard.daemon.repairs_quarantined
         for _, event, _ in shard.daemon.membership_log:
             self._retired_membership[event] = \
                 self._retired_membership.get(event, 0) + 1
@@ -354,6 +367,15 @@ class Fleet:
             s.daemon.vm_checks_run for s in self.shards.values())
         self.stats.borrowed_refs_total = self._retired["borrows"] + sum(
             s.daemon.borrowed_refs for s in self.shards.values())
+        self.stats.repairs_verified_total = \
+            self._retired["repairs_verified"] + sum(
+                s.daemon.repairs_verified for s in self.shards.values())
+        self.stats.repairs_failed_total = \
+            self._retired["repairs_failed"] + sum(
+                s.daemon.repairs_failed for s in self.shards.values())
+        self.stats.repairs_quarantined_total = \
+            self._retired["repairs_quarantined"] + sum(
+                s.daemon.repairs_quarantined for s in self.shards.values())
         membership = dict(self._retired_membership)
         for shard in self.shards.values():
             for _, event, _ in shard.daemon.membership_log:
@@ -416,7 +438,8 @@ class Fleet:
         report = FleetCycleReport(
             cycle=self.cycles_run, duration=span, alerts=tuple(alerts),
             shards=len(admitted), vms=sum(s.size for s in admitted),
-            borrowed=borrowed)
+            borrowed=borrowed,
+            repaired=sum(1 for _, a in alerts if a.kind == "repaired"))
         if events.enabled:
             events.emit("fleet.cycle", cycle=self.cycles_run,
                         shards=report.shards, vms=report.vms,

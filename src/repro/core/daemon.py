@@ -237,6 +237,11 @@ class CheckDaemon:
         self.checks_run = 0
         self.vm_checks_run = 0
         self.borrowed_refs = 0
+        #: terminal remediation outcomes routed through the alert path
+        #: (cumulative; only nonzero with a repair-capable checker)
+        self.repairs_verified = 0
+        self.repairs_failed = 0
+        self.repairs_quarantined = 0
         self._modules: list[str] | None = None
         self._modules_cycle = 0
         self._force_rediscover = False
@@ -293,6 +298,42 @@ class CheckDaemon:
         self._raise_alert(Alert(self.checker.hv.clock.now, "<pool>", (vm,),
                                 (reason,), kind="degraded", degraded=(vm,)),
                           new_alerts)
+
+    def _handle_remediations(self, module: str, remediations: list,
+                             own: set, new_alerts: list[Alert]) -> None:
+        """Fold the repair engine's terminal records into the alert log.
+
+        A verified repair raises a ``repaired`` alert (the operator
+        should know the pool self-healed, not just that it alarmed); a
+        failed or aborted one raises ``repair-failed`` — never silent —
+        and a quarantined record additionally trips the VM's breaker so
+        the re-tampering guest stops voting until its cool-down probe.
+        Borrowed voters' breakers belong to their home pool, so only
+        ``own`` members are tripped here.
+        """
+        clock = self.checker.hv.clock
+        for rec in remediations:
+            if rec.status == "verified":
+                self.repairs_verified += 1
+                self._raise_alert(
+                    Alert(clock.now, module, (rec.vm_name,),
+                          tuple(rec.regions), kind="repaired"),
+                    new_alerts)
+                continue
+            reason = rec.reason or "repair retry budget exhausted"
+            if rec.status == "quarantined":
+                self.repairs_quarantined += 1
+                if rec.vm_name in own:
+                    self._trip_vm(rec.vm_name,
+                                  f"repair quarantine: {reason}",
+                                  new_alerts)
+            else:
+                self.repairs_failed += 1
+            self._raise_alert(
+                Alert(clock.now, module, (rec.vm_name,),
+                      (reason,), kind="repair-failed"
+                      if rec.status != "quarantined" else "repair-quarantined"),
+                new_alerts)
 
     # -- membership ----------------------------------------------------------
 
@@ -491,11 +532,11 @@ class CheckDaemon:
                     schedule = list(dict.fromkeys(urgent + list(schedule)))
                 for module in schedule:
                     try:
-                        report = self.checker.check_pool(
-                            module, vms=voters,
-                            mode=self.pool_mode).report
+                        outcome = self.checker.check_pool(
+                            module, vms=voters, mode=self.pool_mode)
                     except InsufficientPool:
                         continue
+                    report = outcome.report
                     self.checks_run += 1
                     self.vm_checks_run += len(report.verdicts)
                     for vm, reason in sorted(report.degraded.items()):
@@ -526,6 +567,8 @@ class CheckDaemon:
                                   tuple(regions),
                                   degraded=tuple(sorted(report.degraded))),
                             new_alerts)
+                    self._handle_remediations(module, outcome.remediations,
+                                              own, new_alerts)
             elif self.scope is not None \
                     or len(self.checker.pool_vm_names()) > len(active):
                 # Degrade loudly, never crash the service. Unscoped

@@ -27,8 +27,8 @@ from ..hypervisor.xen import Hypervisor
 from ..mem.physical import PAGE_SIZE
 from ..obs import (NULL_OBS, Observability, record_fault_stats,
                    record_manifest_stats, record_pool_report,
-                   record_stage_timings, record_trap_stats,
-                   record_vmi_instance)
+                   record_repair_stats, record_stage_timings,
+                   record_trap_stats, record_vmi_instance)
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..perf.timing import ComponentTimings
 from ..vmi.cache import CheckManifest, LRUCache, ManifestStore
@@ -131,11 +131,18 @@ class CheckOutcome:
 
 @dataclass
 class PoolOutcome:
-    """A full pool cross-check plus its timing breakdown."""
+    """A full pool cross-check plus its timing breakdown.
+
+    ``remediations`` carries one :class:`~repro.core.repair.
+    RemediationRecord` per flagged VM when a repair policy is active
+    (empty under ``detect-only`` and for the repair engine's own
+    re-verification checks).
+    """
 
     report: PoolReport
     timings: ComponentTimings
     per_vm_searcher: dict[str, float] = field(default_factory=dict)
+    remediations: list = field(default_factory=list)
 
 
 class FetchResult(NamedTuple):
@@ -175,6 +182,8 @@ class ModChecker:
                  manifest_capacity: int = 1024,
                  event_driven: bool = False,
                  paranoia_every: int | None = 64,
+                 repair_policy: str = "detect-only",
+                 repair_max_attempts: int = 3,
                  members: "Callable[[], list[str]] | None" = None) -> None:
         self.hv = hypervisor
         #: optional membership closure: when set, the checker's pool is
@@ -237,6 +246,26 @@ class ModChecker:
                                         hash_algorithm=hash_algorithm,
                                         cost_model=cost_model,
                                         charge=self._charge, obs=obs)
+        # Imported here, not at module top: repair pulls in the
+        # forensics package, whose bundle machinery reaches back into
+        # core types.
+        from .repair import REPAIR_POLICIES, RepairEngine
+        if repair_policy not in REPAIR_POLICIES:
+            raise ValueError(f"unknown repair policy {repair_policy!r}; "
+                             f"expected one of {REPAIR_POLICIES}")
+        #: "detect-only" keeps verdicts as alerts; "repair" and
+        #: "quarantine-on-repeat-failure" attach a RepairEngine that
+        #: writes flagged modules back to the majority's clean image
+        self.repair_policy = repair_policy
+        self.repair: RepairEngine | None = None
+        if repair_policy != "detect-only":
+            self.repair = RepairEngine(
+                self, max_attempts=repair_max_attempts,
+                quarantine=repair_policy == "quarantine-on-repeat-failure")
+        #: re-entrancy guard: the repair engine's re-verification runs
+        #: through check_pool and must not trigger nested remediation
+        #: (or a second evidence capture for the same incident)
+        self._in_repair = False
 
     def _charge(self, cpu_seconds: float) -> None:
         self.hv.charge_dom0(cpu_seconds)
@@ -510,8 +539,18 @@ class ModChecker:
         of several modules and an overflow taints every protection on
         the VM, so each drained trap updates *all* matching records.
         """
-        vm_name = vmi.domain.name
         traps, overflowed = vmi.drain_traps()
+        self.route_drained_traps(vmi.domain.name, traps, overflowed)
+
+    def route_drained_traps(self, vm_name: str, traps, overflowed: bool,
+                            ) -> None:
+        """Route traps a caller already drained into the protections.
+
+        The repair engine drains the ring itself (it needs the trap
+        list to count writes racing its armed window) and hands the
+        drain here so other modules' protections on the same VM still
+        observe those writes.
+        """
         if not traps and not overflowed:
             return
         for (rec_vm, _mod), rec in self._protections.items():
@@ -790,6 +829,8 @@ class ModChecker:
         if self.incremental:
             record_manifest_stats(metrics, self.manifests,
                                   pair_replays=self.pair_replays)
+        if self.repair is not None:
+            record_repair_stats(metrics, self.repair.stats)
         if self.event_driven:
             record_trap_stats(
                 metrics, self.hv.traps.stats,
@@ -991,17 +1032,35 @@ class ModChecker:
                             degraded=sorted(failed))
             # Forensics ride the alert path only: a clean report never
             # reaches capture, keeping evidence cost off the hot path.
-            if self.evidence is not None and not report.all_clean:
-                self.evidence.record(report, parsed, events=events,
-                                     check_id=cid or None,
-                                     captured_at=self.hv.clock.now)
+            # The repair engine's own re-verification checks are also
+            # excluded — the incident already has its bundle.
+            captured = None
+            if (self.evidence is not None and not report.all_clean
+                    and not self._in_repair):
+                captured = self.evidence.record(
+                    report, parsed, events=events, check_id=cid or None,
+                    captured_at=self.hv.clock.now)
                 self.obs.metrics.counter(
                     "modchecker_evidence_bundles_total",
                     "Evidence bundles captured for non-clean "
                     "verdicts").inc()
+            remediations: list = []
+            if (self.repair is not None and not self._in_repair
+                    and not report.all_clean):
+                self._in_repair = True
+                try:
+                    remediations = self.repair.remediate_pool(
+                        module_name, report, names,
+                        detected_at=self.hv.clock.now)
+                finally:
+                    self._in_repair = False
+                if captured is not None and remediations:
+                    self.evidence.attach_remediations(captured,
+                                                      remediations)
         self._record_outcome(module_name, timings, report)
         return PoolOutcome(report=report, timings=timings,
-                           per_vm_searcher=per_vm)
+                           per_vm_searcher=per_vm,
+                           remediations=remediations)
 
     # -- carving extension (defeats DKOM hiding) ------------------------------------
 

@@ -14,6 +14,7 @@ __all__ = [
     "AddressSpaceExhausted",
     "GuestError", "ModuleLoadError", "ModuleNotLoadedError",
     "HypervisorError", "DomainNotFound", "DomainStateError",
+    "WriteProtectedError",
     "VMIError", "VMIInitError", "SymbolNotFound", "IntrospectionFault",
     "TransientFault", "PagedOutFault", "DomainUnreachable", "RetryExhausted",
     "AttackError", "NoOpcodeCave",
@@ -106,6 +107,16 @@ class DomainNotFound(HypervisorError):
 
 class DomainStateError(HypervisorError):
     """Operation is invalid for the domain's current lifecycle state."""
+
+
+class WriteProtectedError(HypervisorError):
+    """An unprivileged write targeted a trap-protected guest frame.
+
+    Only the privileged remediation path (:meth:`Hypervisor.
+    write_guest_frame` with ``privileged=True``) may modify protected
+    frames; everything else must go through the guest's own write path
+    and take the trap.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -120,8 +120,13 @@ def _event_from_dict(doc: dict) -> Event:
 
 
 def bundle_to_dict(bundle: EvidenceBundle) -> dict:
-    """The bundle as a JSON-ready dict (bytes as hex, stable shapes)."""
-    return {
+    """The bundle as a JSON-ready dict (bytes as hex, stable shapes).
+
+    The ``remediations`` key is emitted only when the repair engine
+    attached records, so detect-only bundles — including every golden
+    file that predates the repair subsystem — keep their exact shape.
+    """
+    doc = {
         "format": BUNDLE_FORMAT,
         "bundle_id": bundle.bundle_id,
         "module_name": bundle.module_name,
@@ -136,10 +141,16 @@ def bundle_to_dict(bundle: EvidenceBundle) -> dict:
         "suspects": [_suspect_to_dict(s) for s in bundle.suspects],
         "timeline": [_event_to_dict(e) for e in bundle.timeline],
     }
+    if bundle.remediations:
+        doc["remediations"] = [r.to_dict() for r in bundle.remediations]
+    return doc
 
 
 def bundle_from_dict(doc: dict) -> EvidenceBundle:
     """Inverse of :func:`bundle_to_dict`."""
+    # Imported here, not at module top: repro.core.repair itself uses
+    # the forensic differ, and a top-level import would be circular.
+    from ..core.repair import RemediationRecord
     fmt = doc.get("format")
     if fmt != BUNDLE_FORMAT:
         raise ValueError(f"unsupported bundle format {fmt!r}; "
@@ -153,7 +164,9 @@ def bundle_from_dict(doc: dict) -> EvidenceBundle:
                   for vm, v in doc["verdicts"].items()},
         voting_matrix=list(doc["voting_matrix"]),
         suspects=[_suspect_from_dict(s) for s in doc["suspects"]],
-        timeline=[_event_from_dict(e) for e in doc["timeline"]])
+        timeline=[_event_from_dict(e) for e in doc["timeline"]],
+        remediations=[RemediationRecord.from_dict(r)
+                      for r in doc.get("remediations", [])])
 
 
 def write_bundle(bundle: EvidenceBundle, path: str | Path) -> Path:
@@ -273,6 +286,21 @@ def render_incident_report(bundle: EvidenceBundle) -> str:
             lines.append(f"  t={e.time:>12.6f}  {e.name:<20} {attrs}")
     else:
         lines.append("Correlated timeline: (no audit events captured)")
+    if bundle.remediations:
+        lines.append("")
+        lines.append("Remediation")
+        for r in bundle.remediations:
+            ref = f" from {r.reference_vm}" if r.reference_vm else ""
+            lines.append(f"  {r.vm_name:<12} {r.status.upper():<12} "
+                         f"attempt(s)={r.attempts} "
+                         f"hunks={r.hunks_written} "
+                         f"bytes={r.bytes_written} "
+                         f"raced={r.raced_writes}{ref}")
+            if r.mttr is not None:
+                lines.append(f"    verified clean after {r.mttr:.6f}s "
+                             f"(detect -> verified, simulated clock)")
+            if r.reason:
+                lines.append(f"    reason: {r.reason}")
     lines.append("")
     verdict = ("TAMPER CONFIRMED: "
                f"{bundle.unexplained_hunks} unexplained hunk(s)"

@@ -76,6 +76,10 @@ class EvidenceBundle:
     voting_matrix: list[dict] = field(default_factory=list)
     suspects: list[SuspectEvidence] = field(default_factory=list)
     timeline: list[Event] = field(default_factory=list)
+    #: terminal :class:`~repro.core.repair.RemediationRecord` entries
+    #: attached after the repair engine ran for this incident; empty
+    #: under the detect-only policy (and for bundles predating it)
+    remediations: list = field(default_factory=list)
 
     @property
     def unexplained_hunks(self) -> int:
@@ -194,11 +198,27 @@ class EvidenceRecorder:
             max_hunks_per_region=self.max_hunks_per_region)
         self.bundles.append(bundle)
         if self.out_dir is not None:
-            from .bundle import write_bundle
-            stem = bundle.bundle_id + (f"-{bundle.check_id}"
-                                       if bundle.check_id else "")
-            write_bundle(bundle, self.out_dir / f"{stem}.json")
+            self._persist(bundle)
         return bundle
+
+    def attach_remediations(self, bundle: EvidenceBundle,
+                            records: list) -> None:
+        """Attach the repair engine's terminal records to an incident.
+
+        Remediation necessarily happens *after* capture (the bundle
+        freezes the tampered state the repair engine then acts on), so
+        the records are grafted on and the persisted file — same
+        deterministic name — is rewritten to include them.
+        """
+        bundle.remediations = list(records)
+        if self.out_dir is not None:
+            self._persist(bundle)
+
+    def _persist(self, bundle: EvidenceBundle) -> None:
+        from .bundle import write_bundle
+        stem = bundle.bundle_id + (f"-{bundle.check_id}"
+                                   if bundle.check_id else "")
+        write_bundle(bundle, self.out_dir / f"{stem}.json")
 
     @property
     def last(self) -> EvidenceBundle | None:

@@ -13,10 +13,20 @@ __all__ = ["SimClock"]
 
 
 class SimClock:
-    """Monotonically increasing simulated time, in seconds."""
+    """Monotonically increasing simulated time, in seconds.
+
+    ``on_advance`` callbacks fire after every positive :meth:`advance`
+    with the new time — the simulation's only notion of "meanwhile".
+    Concurrent guest activity (a racing in-guest writer re-tampering a
+    module while dom0 repairs it) hangs off this hook: whenever the
+    defender's cost model burns simulated CPU, subscribed adversaries
+    get a turn. Callbacks must not advance the clock themselves.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
+        #: subscribers called as ``cb(now)`` after each positive advance
+        self.on_advance: list = []
 
     @property
     def now(self) -> float:
@@ -27,6 +37,9 @@ class SimClock:
         if dt < 0:
             raise ValueError(f"cannot advance clock by {dt}")
         self._now += dt
+        if dt > 0 and self.on_advance:
+            for cb in tuple(self.on_advance):
+                cb(self._now)
         return self._now
 
     class _Span:

@@ -22,7 +22,8 @@ from __future__ import annotations
 import copy
 import hashlib
 
-from ..errors import DomainNotFound, DomainStateError, DomainUnreachable
+from ..errors import (DomainNotFound, DomainStateError, DomainUnreachable,
+                      WriteProtectedError)
 from ..guest.kernel import GuestKernel
 from ..mem.physical import PAGE_SIZE
 from ..pe.builder import DriverBlueprint
@@ -287,6 +288,55 @@ class Hypervisor:
         if length < PAGE_SIZE:
             page = page[:length] + bytes(PAGE_SIZE - length)
         return hashlib.md5(page).digest()
+
+    def write_guest_frame(self, key: int | str, frame_no: int, data: bytes,
+                          offset: int = 0, *, privileged: bool = False) -> None:
+        """Write bytes into one guest frame from Dom0 (the repair path).
+
+        This is the *hypervisor-side* twin of :meth:`read_guest_frame`,
+        distinct from the guest's own ``aspace.write`` that attacks use:
+        it maps the frame writable into Dom0 and copies ``data`` in at
+        ``offset``. Lifecycle rules match guest reads (a PAUSED guest
+        can be written; MIGRATING/SHUTDOWN/destroyed raises
+        :class:`~repro.errors.DomainUnreachable`).
+
+        Interaction with write-protection traps is deliberate:
+
+        * an **unprivileged** write to a trap-protected frame is refused
+          with :class:`~repro.errors.WriteProtectedError` — protections
+          exist precisely to keep unauthorised writers out;
+        * a **privileged** write (the remediation engine) bypasses the
+          protection *and* the write observer, so it never delivers a
+          self-inflicted trap: the monitor that armed the frame would
+          otherwise see its own repair as tampering and invalidate the
+          manifest it just healed.
+        """
+        kernel = self._introspectable_kernel(key)
+        memory = kernel.memory
+        if not 0 <= frame_no < memory.n_frames:
+            raise DomainStateError(
+                f"frame {frame_no:#x} beyond installed memory")
+        if not 0 <= offset <= PAGE_SIZE:
+            raise ValueError(f"offset {offset:#x} outside frame")
+        if offset + len(data) > PAGE_SIZE:
+            raise ValueError("write crosses the frame boundary")
+        domain = self.domain(key)
+        protected = frame_no in domain.protected_frames
+        if protected and not privileged:
+            raise WriteProtectedError(
+                f"{domain.name} frame {frame_no:#x} is write-protected")
+        paddr = frame_no * PAGE_SIZE + offset
+        if privileged:
+            # Detach the observer for the duration: privileged writes
+            # are EPT-invisible by construction (the VMM writes through
+            # its own mapping, not the guest's protected one).
+            observer, memory.write_observer = memory.write_observer, None
+            try:
+                memory.write(paddr, data)
+            finally:
+                memory.write_observer = observer
+        else:
+            memory.write(paddr, data)
 
     # -- write protection (EPT-style, event-driven monitoring) ----------------------
 

@@ -27,8 +27,9 @@ from .bridge import (BREAKER_STATE_VALUES, STAGES, record_breaker_states,
                      record_chaos_stats, record_daemon_cycle,
                      record_fault_stats, record_fleet_cycle,
                      record_manifest_stats, record_membership,
-                     record_pool_report, record_stage_timings,
-                     record_trap_stats, record_vmi_instance)
+                     record_pool_report, record_repair_stats,
+                     record_stage_timings, record_trap_stats,
+                     record_vmi_instance)
 from .events import EVENT_NAMES, NULL_EVENTS, Event, EventLog, NullEventLog
 from .sinks import (SINK_NAMES, JsonlSink, NullSink, PromSink, Sink,
                     SinkError, StdoutSink, parse_sink, parse_sink_opts)
@@ -46,7 +47,7 @@ __all__ = [
     "record_pool_report", "record_vmi_instance", "record_fault_stats",
     "record_daemon_cycle", "record_breaker_states", "record_membership",
     "record_chaos_stats", "record_manifest_stats", "record_trap_stats",
-    "record_fleet_cycle",
+    "record_fleet_cycle", "record_repair_stats",
     "Sink", "NullSink", "StdoutSink", "JsonlSink", "PromSink",
     "SinkError", "parse_sink", "parse_sink_opts", "SINK_NAMES",
 ]

@@ -49,6 +49,12 @@ gate all speak the same names:
 ``modchecker_fleet_vm_checks_total``         counter (none)
 ``modchecker_fleet_borrowed_refs_total``     counter (none)
 ``modchecker_fleet_shard_events_total``      counter ``event``
+``modchecker_repair_attempts_total``         counter (none)
+``modchecker_repair_outcomes_total``         counter ``status``
+``modchecker_repair_hunks_written_total``    counter (none)
+``modchecker_repair_bytes_written_total``    counter (none)
+``modchecker_repair_raced_writes_total``     counter (none)
+``modchecker_repair_mttr_seconds``           gauge   ``stat``
 ===========================================  ======  ========================
 
 Cumulative sources are published with :meth:`Counter.set_to` (they
@@ -68,7 +74,8 @@ __all__ = ["STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
            "record_fault_stats", "record_daemon_cycle",
            "record_breaker_states", "record_membership",
            "record_chaos_stats", "record_manifest_stats",
-           "record_trap_stats", "record_fleet_cycle"]
+           "record_trap_stats", "record_fleet_cycle",
+           "record_repair_stats"]
 
 #: The pipeline stages of the Fig. 7/8 breakdown.
 STAGES = ("searcher", "parser", "checker")
@@ -362,6 +369,45 @@ def record_fleet_cycle(metrics, stats, *, shard_sizes: dict,
         "Pool membership events by kind")
     for event, count in sorted(stats.membership_events.items()):
         membership.set_to(count, event=event)
+
+
+def record_repair_stats(metrics, repair_stats) -> None:
+    """RepairStats -> remediation counters + the MTTR gauge family.
+
+    ``repair_stats`` is the engine's cumulative
+    :class:`~repro.core.repair.RepairStats` (hence ``set_to``); the
+    MTTR aggregates (mean/max over verified remediations, simulated
+    seconds from detection verdict to verified-clean re-check) publish
+    as a ``stat``-labelled gauge so dashboards can threshold on either.
+    """
+    metrics.counter(
+        "modchecker_repair_attempts_total",
+        "Write-back remediation attempts").set_to(repair_stats.attempts)
+    outcomes = metrics.counter(
+        "modchecker_repair_outcomes_total",
+        "Terminal remediation outcomes by status")
+    outcomes.set_to(repair_stats.verified, status="verified")
+    outcomes.set_to(repair_stats.failed, status="failed")
+    outcomes.set_to(repair_stats.quarantined, status="quarantined")
+    outcomes.set_to(repair_stats.aborted, status="aborted")
+    metrics.counter(
+        "modchecker_repair_hunks_written_total",
+        "Tamper/structural hunks written back to guests").set_to(
+            repair_stats.hunks_written)
+    metrics.counter(
+        "modchecker_repair_bytes_written_total",
+        "Guest bytes written back by the repair engine").set_to(
+            repair_stats.bytes_written)
+    metrics.counter(
+        "modchecker_repair_raced_writes_total",
+        "Guest writes trapped inside armed repair windows").set_to(
+            repair_stats.raced_writes)
+    mttr = metrics.gauge(
+        "modchecker_repair_mttr_seconds",
+        "Detect-to-verified-clean time over verified remediations "
+        "(simulated clock)")
+    mttr.set(repair_stats.mttr_mean, stat="mean")
+    mttr.set(repair_stats.mttr_max, stat="max")
 
 
 def record_chaos_stats(metrics, chaos_stats) -> None:

@@ -35,6 +35,10 @@ rely on them:
 ``fleet.cycle``          one fleet scheduler round over all shards
 ``shard.changed``        a shard was created / retired / admitted / evicted
 ``quorum.borrowed``      a starved shard borrowed sibling references
+``repair.attempted``     one write-back attempt of a remediation
+``repair.verified``      re-verification confirmed the repair clean
+``repair.failed``        a repair attempt failed re-verification
+``repair.quarantined``   retry budget spent; VM escalated to quarantine
 =======================  ==============================================
 
 Correlation works through a context stack: the daemon mints one
@@ -74,6 +78,8 @@ EVENT_NAMES = (
     "manifest.hit", "manifest.invalidated",
     "trap.protected", "trap.delivered", "trap.fallback",
     "fleet.cycle", "shard.changed", "quorum.borrowed",
+    "repair.attempted", "repair.verified", "repair.failed",
+    "repair.quarantined",
 )
 
 

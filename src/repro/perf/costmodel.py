@@ -58,6 +58,13 @@ class CostModel:
     # -- resilience (charged by the VMI retry layer) --------------------
     retry_probe: float = 8.0 * _US     # re-issue one failed guest read
 
+    # -- remediation (charged by the repair engine via VMI) -------------
+    #: privileged write of one guest frame's worth of bytes (map the
+    #: frame writable + copy in + flush); pricier than a protect but
+    #: cheaper than a full foreign-map copy-out, since the repair path
+    #: writes only the tampered hunks, not whole images
+    page_write: float = 18.0 * _US
+
     def searcher_page_cost(self, *, translated: bool, mapped: bool) -> float:
         """Cost of fetching one VA page (cache flags from the VMI layer)."""
         cost = self.small_read

@@ -199,7 +199,11 @@ class ManifestStore:
     metrics expose: ``absent``, ``generation``, ``ttl`` (from lookup)
     plus whatever reasons callers invalidate with (``page-delta``,
     ``entry-moved``, ``flagged``, ``admit``, ``evict``, ``breaker``,
-    ``migration``, ...).
+    ``migration``, ``repaired``, ...). ``repaired`` is the repair
+    engine dropping any manifest for a module it just wrote back to:
+    the pre-repair digests describe bytes that no longer exist, and the
+    post-repair re-verification recommits a fresh manifest only once
+    the pool votes the copy clean.
     """
 
     def __init__(self, capacity: int = 1024, *,

@@ -9,7 +9,9 @@ Faithful properties:
 * **page-granular access** — every virtual read translates each covered
   VA page by walking the *guest's own page tables* (read through the
   hypervisor like any other guest bytes), then maps the backing frame;
-* **read-only** — there is no write path at all;
+* **read-mostly** — the one write path, :meth:`VMIInstance.
+  write_va_range`, exists solely for the privileged remediation engine
+  and goes through the hypervisor's protected-frame rules;
 * **caches** — optional V2P and page caches as in libvmi, flushable
   between checking rounds;
 * **cost accounting** — each primitive charges the Dom0 CPU through the
@@ -63,6 +65,10 @@ class VMIStats:
     pages_unprotectable: int = 0
     #: coalesced write traps handed to this session by ``drain_traps``
     traps_drained: int = 0
+    #: frames written through the privileged remediation path
+    pages_written: int = 0
+    #: bytes written back by the remediation path
+    bytes_written: int = 0
 
     def snapshot(self) -> "VMIStats":
         return VMIStats(**vars(self))
@@ -377,6 +383,46 @@ class VMIInstance:
                     self.hv.unprotect_guest_frame(self.domain.domid, gfn)
             raise
         return tuple(gfns)
+
+    # -- privileged writes (remediation) ------------------------------------------
+
+    def write_va_range(self, vaddr: int, data: bytes) -> None:
+        """Write bytes over a kernel-VA range through the privileged path.
+
+        The remediation engine's only way into a guest: each covered
+        page is translated through the guest's own page tables (under
+        the retry policy, like any read) and written via
+        :meth:`Hypervisor.write_guest_frame` with ``privileged=True`` —
+        so trap-protected frames are written *without* delivering a
+        self-inflicted trap. Charges ``CostModel.page_write`` per
+        frame touched. Written frames are evicted from the page cache:
+        a subsequent read must see the repaired bytes, not the tampered
+        copy the cache may still hold.
+        """
+        length = len(data)
+        view = memoryview(data)
+        pos = 0
+        while pos < length:
+            va = vaddr + pos
+            n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
+
+            def put(v=va, p=pos, m=n) -> None:
+                try:
+                    pa = self.translate_kv2p(v)
+                except PageFault as exc:
+                    raise IntrospectionFault(
+                        f"{self.domain.name}: unmapped VA {v:#x}") from exc
+                frame_no = pa >> 12
+                self.hv.write_guest_frame(
+                    self.domain.domid, frame_no, bytes(view[p:p + m]),
+                    pa & _PAGE_MASK, privileged=True)
+                self.page_cache.pop(frame_no)
+
+            self._retrying(put, f"write VA page {va & ~_PAGE_MASK:#x}")
+            self.stats.pages_written += 1
+            self.stats.bytes_written += n
+            self.hv.charge_dom0(self.costs.page_write)
+            pos += n
 
     def drain_traps(self):
         """Drain this domain's pending write traps (one hypercall).

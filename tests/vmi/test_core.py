@@ -139,6 +139,10 @@ class TestCostAccounting:
 
 
 class TestReadOnly:
-    def test_no_write_api(self, vmi):
-        assert not any("write" in name for name in dir(vmi)
-                       if not name.startswith("_"))
+    def test_only_write_api_is_remediation_path(self, vmi):
+        """Introspection stays observational: the privileged
+        remediation write (``write_va_range``) is the single sanctioned
+        exception, so any other write-shaped surface is a regression."""
+        writers = {name for name in dir(vmi)
+                   if "write" in name and not name.startswith("_")}
+        assert writers == {"write_va_range"}

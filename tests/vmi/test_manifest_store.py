@@ -125,6 +125,18 @@ class TestManifestStore:
         assert store.invalidate(reason="breaker") == 2
         assert len(store) == 0
 
+    def test_invalidate_repaired_reason(self):
+        """The repair engine retires pre-repair digests under the
+        ``repaired`` reason so the taxonomy separates healing from
+        eviction and tamper churn."""
+        store = ManifestStore()
+        store.commit(_manifest(vm="Dom2", module="hal.dll"))
+        store.commit(_manifest(vm="Dom2", module="ntfs.sys"))
+        assert store.invalidate("Dom2", "hal.dll", reason="repaired") == 1
+        assert store.stats.invalidations == {"repaired": 1}
+        assert store.lookup("Dom2", "hal.dll",
+                            boot_generation=1, now=0.0) is None
+
     def test_invalidate_empty_is_silent(self):
         """An invalidation storm against an empty store must not
         pollute the reason counters with zero-count entries."""

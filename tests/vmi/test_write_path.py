@@ -1,0 +1,103 @@
+"""The privileged remediation write path: hypervisor + VMI layers.
+
+The repair engine writes through ``VMIInstance.write_va_range``, which
+must (a) bypass write-protection traps without disturbing them for
+guest-side writers, and (b) keep every cache and cost account honest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WriteProtectedError
+from repro.hypervisor.xen import Hypervisor
+from repro.mem.physical import PAGE_SIZE
+from repro.vmi import VMIInstance
+from repro.vmi.symbols import OSProfile
+
+
+@pytest.fixture
+def hv(catalog):
+    hypervisor = Hypervisor()
+    hypervisor.create_guest("Dom1", catalog, seed=1)
+    return hypervisor
+
+
+@pytest.fixture
+def vmi(hv):
+    profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+    return VMIInstance(hv, "Dom1", profile)
+
+
+def module_va(hv):
+    return hv.domain("Dom1").kernel.module("hal.dll").base
+
+
+class TestHypervisorFrameWrite:
+    def test_unprivileged_write_to_protected_frame_raises(self, hv, vmi):
+        va = module_va(hv)
+        (gfn, *_) = vmi.protect_va_range(va, PAGE_SIZE)
+        with pytest.raises(WriteProtectedError):
+            hv.write_guest_frame("Dom1", gfn, b"\x00" * 4)
+        # nothing was delivered either: the write never happened
+        assert hv.traps.pending("Dom1") == 0
+
+    def test_privileged_write_bypasses_trap_delivery(self, hv, vmi):
+        va = module_va(hv)
+        (gfn, *_) = vmi.protect_va_range(va, PAGE_SIZE)
+        original = hv.read_guest_frame("Dom1", gfn)[:4]
+        hv.write_guest_frame("Dom1", gfn, b"\xAA\xBB\xCC\xDD",
+                             privileged=True)
+        assert hv.traps.pending("Dom1") == 0
+        assert hv.read_guest_frame("Dom1", gfn)[:4] == b"\xAA\xBB\xCC\xDD"
+        # guest-side writes to the same frame still trap afterwards
+        hv.domain("Dom1").kernel.aspace.write(va, original)
+        assert hv.traps.pending("Dom1") == 1
+
+    def test_write_respects_offset_and_bounds(self, hv, vmi):
+        va = module_va(hv)
+        frame = vmi.translate_kv2p(va) // PAGE_SIZE
+        hv.write_guest_frame("Dom1", frame, b"\x55", offset=7)
+        assert hv.read_guest_frame("Dom1", frame)[7] == 0x55
+        with pytest.raises(ValueError):
+            hv.write_guest_frame("Dom1", frame, b"\x00" * 8,
+                                 offset=PAGE_SIZE - 4)
+
+
+class TestWriteVaRange:
+    def test_roundtrip_and_page_cache_invalidation(self, vmi, hv):
+        va = module_va(hv)
+        before = bytes(vmi.read_va(va, 64))            # warms page cache
+        payload = bytes(range(32))
+        vmi.write_va_range(va + 16, payload)
+        after = bytes(vmi.read_va(va, 64))
+        assert after[16:48] == payload
+        assert after[:16] == before[:16]
+        assert after[48:] == before[48:]
+
+    def test_spans_page_boundary(self, vmi, hv):
+        va = module_va(hv) + PAGE_SIZE - 8
+        payload = b"\x77" * 16                          # 8 + 8 across pages
+        vmi.write_va_range(va, payload)
+        assert bytes(vmi.read_va(va, 16)) == payload
+
+    def test_accounts_stats_and_charges_clock(self, vmi, hv):
+        va = module_va(hv)
+        t0 = hv.clock.now
+        vmi.write_va_range(va, b"\x01" * 10)
+        assert vmi.stats.pages_written == 1
+        assert vmi.stats.bytes_written == 10
+        assert hv.clock.now > t0
+
+    def test_write_through_protection_no_self_trap(self, vmi, hv):
+        va = module_va(hv)
+        vmi.protect_va_range(va, 2 * PAGE_SIZE)
+        vmi.write_va_range(va + 100, b"\x42" * 300)
+        traps, overflowed = vmi.drain_traps()
+        assert not traps and not overflowed
+
+    def test_empty_write_is_a_noop(self, vmi, hv):
+        t0 = hv.clock.now
+        vmi.write_va_range(module_va(hv), b"")
+        assert vmi.stats.pages_written == 0
+        assert hv.clock.now == t0
