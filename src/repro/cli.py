@@ -11,6 +11,7 @@ Drives the whole reproduction from a shell::
     modchecker chaos --vms 5 --cycles 20 --admit-infected 5
     modchecker explain --vms 4 --infect E1 --victim Dom3
     modchecker fleet --vms 64 --shard-size 16 --cycles 5
+    modchecker profile --scenario substrate --flame-out profile.folded
     modchecker experiment e1 fig7 ...      # the benchmark harness
 
 Exit status: 0 = no discrepancy, 1 = discrepancy detected (so the tool
@@ -21,6 +22,12 @@ node-pipeline contract instead: 0 = OK (healthy, or killswitch
 active), 1 = WARN (degraded availability, no integrity finding),
 2 = CRITICAL (integrity/hidden-module/decoy alert), 3 = UNKNOWN
 (bad ``--sink`` configuration).
+
+``--slo`` / ``--slo-config`` (on daemon, chaos, fleet) attach the SLO
+engine: the run additionally evaluates error budgets and multi-window
+burn rates, and the exit status is raised to the SLO verdict (budget
+exhausted -> 1/WARN, burn-rate critical -> 2/CRITICAL) — the same
+contract the fleet check speaks. See docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -79,6 +86,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="capture an evidence bundle into DIR for "
                             "every non-clean pool verdict")
         add_incremental(p)
+
+    def add_slo(p):
+        p.add_argument("--slo", action="store_true",
+                       help="track SLOs (cycle/detection latency, MTTR, "
+                            "coverage) with the default objectives and "
+                            "raise the exit status to the SLO verdict "
+                            "(budget exhausted=1, burn critical=2)")
+        p.add_argument("--slo-config", metavar="PATH",
+                       help="JSON SLO config (objectives, windows, burn "
+                            "thresholds); implies --slo. Schema in "
+                            "docs/OBSERVABILITY.md")
 
     def add_repair(p):
         p.add_argument("--repair", nargs="?", const="repair", default=None,
@@ -156,6 +174,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                           help="drive seeded lifecycle churn (reboots, "
                                "pauses, migrations, destroys, creates) "
                                "at scalar rate P between cycles")
+    add_slo(p_daemon)
 
     p_chaos = sub.add_parser(
         "chaos", help="soak the daemon under lifecycle churn")
@@ -189,6 +208,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                               "every non-clean pool verdict")
     add_incremental(p_chaos)
     add_repair(p_chaos)
+    add_slo(p_chaos)
 
     p_explain = sub.add_parser(
         "explain",
@@ -233,6 +253,31 @@ def build_arg_parser() -> argparse.ArgumentParser:
                          metavar="KEY=VALUE",
                          help="sink options (repeatable), e.g. "
                               "path=fleet.jsonl")
+    add_slo(p_fleet)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run a traced scenario and report where the simulated "
+             "microseconds went")
+    p_profile.add_argument("--scenario", default="substrate",
+                           choices=["substrate", "fleet"],
+                           help="substrate = sequential daemon sweeps "
+                                "(exclusive-time weights); fleet = the "
+                                "sharded scheduler (charged-CPU weights, "
+                                "since shard clocks are frozen under "
+                                "deferred charging)")
+    p_profile.add_argument("--vms", type=int, default=None,
+                           help="pool size (default: 6 substrate, "
+                                "24 fleet)")
+    p_profile.add_argument("--cycles", type=int, default=3)
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="hotspot rows to print")
+    p_profile.add_argument("--flame-out", metavar="PATH",
+                           help="write collapsed-stack text (feed to "
+                                "flamegraph.pl or speedscope)")
+    p_profile.add_argument("--json-out", metavar="PATH",
+                           help="write the machine-readable profile "
+                                "(modchecker-profile/1)")
 
     p_exp = sub.add_parser("experiment",
                            help="run paper experiments (harness)")
@@ -310,6 +355,43 @@ def _export_obs(args, obs, evidence=None) -> None:
     if evidence is not None and evidence.captures:
         print(f"(forensics) captured {evidence.captures} evidence "
               f"bundle(s) in {evidence.out_dir}")
+
+
+def _slo_engine(args, obs):
+    """Build an SloEngine when --slo / --slo-config asked for one."""
+    config_path = getattr(args, "slo_config", None)
+    if not (getattr(args, "slo", False) or config_path):
+        return None
+    from .obs.slo import SloConfig, SloEngine
+    if config_path:
+        try:
+            config = SloConfig.load(config_path)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    else:
+        config = SloConfig()
+    names = ", ".join(o.name for o in config.objectives)
+    print(f"(slo) tracking {names}; windows "
+          f"{config.fast_window:.0f}s/{config.slow_window:.0f}s, burn "
+          f"thresholds {config.fast_burn}x/{config.slow_burn}x")
+    return SloEngine(config, obs=obs)
+
+
+def _print_slo(status) -> int:
+    """Render an SloStatus; returns its exit-code contribution."""
+    if status is None:
+        return 0
+    for obj in status.objectives:
+        if not (obj.good or obj.bad):
+            continue
+        p99 = obj.quantiles.get(0.99, 0.0)
+        print(f"(slo) {obj.name}: {obj.state.upper()} "
+              f"budget={obj.budget_remaining:+.2f} "
+              f"burn={obj.fast_burn:.1f}x/{obj.slow_burn:.1f}x "
+              f"good/bad={obj.good}/{obj.bad} p99={p99:.4g}")
+    print(f"(slo) verdict: {status.state.upper()} "
+          f"(exit contribution {status.exit_code})")
+    return status.exit_code
 
 
 def _retry_policy(args):
@@ -521,7 +603,8 @@ def cmd_daemon(args) -> int:
                     **_repair_kwargs(args))
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval,
-                         chaos=_chaos_engine(args, tb))
+                         chaos=_chaos_engine(args, tb),
+                         slo=_slo_engine(args, obs))
     for cycle in range(args.cycles):
         alerts = daemon.run_cycle()
         stamp = tb.clock.now
@@ -536,7 +619,8 @@ def cmd_daemon(args) -> int:
     _export_obs(args, obs, evidence)
     _print_repair_summary(mc)
     print(f"{len(daemon.log)} alert(s) over {args.cycles} cycles")
-    return 1 if len(daemon.log) else 0
+    rc = 1 if len(daemon.log) else 0
+    return max(rc, _print_slo(daemon.last_slo_status))
 
 
 def cmd_chaos(args) -> int:
@@ -556,7 +640,8 @@ def cmd_chaos(args) -> int:
     if engine is None:
         raise SystemExit("error: chaos needs --churn-rate > 0")
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
-                         interval=args.interval, chaos=engine)
+                         interval=args.interval, chaos=engine,
+                         slo=_slo_engine(args, obs))
     infected_vm = None
     for cycle in range(args.cycles):
         if args.admit_infected is not None and cycle == args.admit_infected:
@@ -597,8 +682,10 @@ def cmd_chaos(args) -> int:
               f"{'DETECTED' if caught else 'MISSED'}"
               + (f" (+{len(spurious)} spurious alert(s))"
                  if spurious else ""))
-        return 0 if caught and not spurious else 1
-    return 1 if integrity else 0
+        rc = 0 if caught and not spurious else 1
+        return max(rc, _print_slo(daemon.last_slo_status))
+    rc = 1 if integrity else 0
+    return max(rc, _print_slo(daemon.last_slo_status))
 
 
 def cmd_fleet(args) -> int:
@@ -662,6 +749,7 @@ def cmd_fleet(args) -> int:
                   workers=args.workers, interval=args.interval,
                   borrow=not args.no_borrow,
                   chaos=_chaos_engine(args, tb), obs=obs,
+                  slo=_slo_engine(args, obs),
                   checker_kwargs={"retry": _retry_policy(args),
                                   "evidence": evidence,
                                   **_incremental_kwargs(args),
@@ -695,6 +783,12 @@ def cmd_fleet(args) -> int:
         status, rc = "WARN", 1
     else:
         status, rc = "OK", 0
+    slo_status = fleet.last_slo_status
+    if slo_status is not None and slo_status.exit_code > rc:
+        # the SLO verdict speaks the same contract and can only
+        # escalate: budget exhausted -> WARN, burn critical -> CRITICAL
+        rc = slo_status.exit_code
+        status = {0: "OK", 1: "WARN", 2: "CRITICAL"}[rc]
     record = {
         "check": "modchecker-fleet",
         "status": status,
@@ -715,6 +809,8 @@ def cmd_fleet(args) -> int:
         "p99_cycle_seconds": round(stats.p99_cycle_seconds, 6),
         "sim_seconds": round(tb.clock.now, 3),
     }
+    if slo_status is not None:
+        record["slo"] = slo_status.to_dict()
     sink.emit(record)
     sink.finalize(obs)
     _export_obs(args, obs, evidence)
@@ -729,7 +825,64 @@ def cmd_fleet(args) -> int:
           f"{stats.cycles} cycle(s), "
           f"{len(integrity)} integrity / {len(degraded)} degraded "
           f"alert(s), {open_breakers} open breaker(s){repair_note}")
+    _print_slo(slo_status)
     return rc
+
+
+def cmd_profile(args) -> int:
+    """Trace a canonical scenario and report the cost attribution.
+
+    ``substrate`` runs sequential daemon sweeps over a clone pool and
+    weighs nodes by exclusive simulated time; ``fleet`` runs the
+    sharded scheduler and weighs by charged Dom0 CPU (shard clocks are
+    frozen under deferred charging, so span durations there are zero).
+    Exit status 0 — profiling is reporting, not a gate.
+    """
+    from .obs import make_observability
+    from .obs.profiler import Profile
+    if args.scenario == "substrate":
+        vms = args.vms if args.vms is not None else 6
+        tb = build_testbed(vms, seed=args.seed)
+        obs = make_observability(tb.clock)
+        mc = ModChecker(tb.hypervisor, tb.profile, obs=obs)
+        daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3))
+        for _ in range(args.cycles):
+            daemon.run_cycle()
+        weight = "time"
+    else:
+        from .cloud import Fleet, build_fleet_testbed
+        vms = args.vms if args.vms is not None else 24
+        tb = build_fleet_testbed(vms, seed=args.seed)
+        obs = make_observability(tb.clock)
+        fleet = Fleet(tb.hypervisor, shard_size=8, obs=obs)
+        fleet.run(args.cycles)
+        weight = "cpu"
+
+    profile = Profile.from_tracer(obs.tracer)
+    rows = [[r["path"], str(r["calls"]), f"{r['exclusive'] * 1e3:.3f}",
+             f"{r['cpu'] * 1e3:.3f}", f"{r['share']:.1%}"]
+            for r in profile.hotspots(args.top, weight=weight)]
+    print(render_table(
+        ["call path", "calls", "excl ms", "cpu ms", "share"], rows,
+        title=f"{args.scenario}: top {len(rows)} hotspots by "
+              f"{'exclusive sim-time' if weight == 'time' else 'Dom0 CPU'}"
+              f" ({vms} VM(s), {args.cycles} cycle(s))"))
+    shares = (profile.stage_shares() if weight == "time"
+              else profile.op_shares())
+    breakdown = ", ".join(f"{name} {share:.1%}" for name, share in
+                          sorted(shares.items(), key=lambda kv: -kv[1]))
+    print(f"{'stage' if weight == 'time' else 'op'} shares: {breakdown}")
+    print(f"totals: {format_seconds(profile.total_seconds)} simulated, "
+          f"{format_seconds(profile.total_cpu_seconds)} Dom0 CPU charged "
+          f"across {len(obs.tracer.spans)} span(s)")
+    if args.flame_out:
+        profile.write_collapsed(args.flame_out, weight=weight)
+        print(f"(profile) wrote collapsed stacks to {args.flame_out} "
+              f"(flamegraph.pl {args.flame_out} > profile.svg)")
+    if args.json_out:
+        profile.write_json(args.json_out, scenario=args.scenario)
+        print(f"(profile) wrote JSON profile to {args.json_out}")
+    return 0
 
 
 def cmd_explain(args) -> int:
@@ -796,6 +949,7 @@ def main(argv: list[str] | None = None) -> int:
         "daemon": cmd_daemon,
         "chaos": cmd_chaos,
         "fleet": cmd_fleet,
+        "profile": cmd_profile,
         "explain": cmd_explain,
         "experiment": cmd_experiment,
     }

@@ -184,7 +184,8 @@ class Fleet:
                  obs: Observability = NULL_OBS,
                  per_cycle_modules: int = 1,
                  pool_mode: str = "canonical",
-                 checker_kwargs: dict | None = None) -> None:
+                 checker_kwargs: dict | None = None,
+                 slo=None) -> None:
         if shard_size < 1:
             raise ValueError("shard_size must be >= 1")
         if workers < 1:
@@ -211,6 +212,16 @@ class Fleet:
         #: extra kwargs for every shard's ModChecker (event_driven=...,
         #: retry=..., flush_caches_each_round=..., ...)
         self.checker_kwargs = dict(checker_kwargs or {})
+        #: optional :class:`~repro.obs.slo.SloEngine`. The fleet — not
+        #: the shard daemons — feeds it: shard clocks are frozen under
+        #: deferred charging, so per-shard cycle latency comes from the
+        #: deferred cost accumulator (stretched by Dom0 contention),
+        #: scoped by shard name so one burning shard cannot hide inside
+        #: a healthy fleet average.
+        self.slo = slo
+        #: the last :class:`~repro.obs.slo.SloStatus` evaluated (None
+        #: until the first round with an engine attached)
+        self.last_slo_status = None
         self.shards: dict[str, Shard] = {}
         #: VM name -> owning shard name (the fleet's placement truth)
         self._assignment: dict[str, str] = {}
@@ -408,11 +419,13 @@ class Fleet:
         borrowed_before = self._retired["borrows"] + sum(
             s.daemon.borrowed_refs for s in self.shards.values())
         costs: list[float] = []
+        ran: list[Shard] = []
         alerts: list[tuple[str, Alert]] = []
         with self.hv.deferred_charges() as acc:
             for shard in self._shards_sorted():
                 if not shard.admitted:
                     continue
+                ran.append(shard)
                 before = acc.total
                 try:
                     for alert in shard.daemon.run_cycle():
@@ -445,6 +458,24 @@ class Fleet:
                         shards=report.shards, vms=report.vms,
                         alerts=len(alerts), duration=span,
                         borrowed=borrowed)
+        if self.slo is not None:
+            now = clock.now
+            for shard, cost in zip(ran, costs):
+                # a shard's own simulated latency this round: its raw
+                # deferred Dom0 cost under the contention stretch
+                self.slo.record(shard.name, "cycle_latency",
+                                cost * factor, now)
+                if shard.size:
+                    votable = len(shard.daemon.votable_vms())
+                    self.slo.record(shard.name, "coverage",
+                                    votable / shard.size, now)
+            for shard_name, alert in alerts:
+                if alert.kind in ("integrity", "hidden-module"):
+                    # visible at round end; raisable at round start —
+                    # the makespan bounds the detection delay
+                    self.slo.record(shard_name, "detection_latency",
+                                    span, now)
+            self.last_slo_status = self.slo.evaluate(now)
         if self.obs.metrics.enabled:
             record_fleet_cycle(
                 self.obs.metrics, self.stats,

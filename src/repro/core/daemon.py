@@ -181,7 +181,8 @@ class CheckDaemon:
                  scope: Callable[[], list[str]] | None = None,
                  lender: Callable[[int, list[str]], list[str]] | None = None,
                  advance_clock: bool = True,
-                 pool_mode: str = "pairwise") -> None:
+                 pool_mode: str = "pairwise",
+                 slo=None, slo_scope: str = "daemon") -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         if quarantine_cycles < 1:
@@ -225,6 +226,17 @@ class CheckDaemon:
         #: "pairwise" (the paper's O(t^2) vote) or "canonical" (the
         #: O(t) clustering vote — what a large fleet shard wants)
         self.pool_mode = pool_mode
+        #: optional :class:`~repro.obs.slo.SloEngine`: when set, every
+        #: cycle feeds cycle latency / detection latency / MTTR /
+        #: coverage under ``slo_scope`` and re-evaluates burn rates. A
+        #: fleet does NOT pass this to its shard daemons — the shard
+        #: clocks are frozen under deferred charging, so the fleet
+        #: records per-shard signals itself from its cost model.
+        self.slo = slo
+        self.slo_scope = slo_scope
+        #: the last :class:`~repro.obs.slo.SloStatus` evaluated (None
+        #: until the first cycle with an engine attached)
+        self.last_slo_status = None
         #: per-VM circuit breakers; ``quarantine_cycles`` keeps its old
         #: meaning as the breaker's base cool-down
         self.health = HealthRegistry(breaker or BreakerConfig(
@@ -315,6 +327,9 @@ class CheckDaemon:
         for rec in remediations:
             if rec.status == "verified":
                 self.repairs_verified += 1
+                if self.slo is not None and rec.mttr is not None:
+                    self.slo.record(self.slo_scope, "mttr", rec.mttr,
+                                    clock.now)
                 self._raise_alert(
                     Alert(clock.now, module, (rec.vm_name,),
                           tuple(rec.regions), kind="repaired"),
@@ -598,6 +613,19 @@ class CheckDaemon:
                             alerts=len(new_alerts), pool=len(active),
                             quarantined=len(self.health.open_vms()))
         self.cycles_run += 1
+        if self.slo is not None:
+            now = clock.now
+            self.slo.record(self.slo_scope, "cycle_latency",
+                            now - cycle_start, now)
+            pool = self.checker.pool_vm_names()
+            if pool:
+                self.slo.record(self.slo_scope, "coverage",
+                                len(active) / len(pool), now)
+            for alert in new_alerts:
+                if alert.kind in ("integrity", "hidden-module"):
+                    self.slo.record(self.slo_scope, "detection_latency",
+                                    alert.time - cycle_start, now)
+            self.last_slo_status = self.slo.evaluate(now)
         if obs.metrics.enabled:
             record_daemon_cycle(obs.metrics,
                                 duration=clock.now - cycle_start,

@@ -28,18 +28,28 @@ from .bridge import (BREAKER_STATE_VALUES, STAGES, record_breaker_states,
                      record_fault_stats, record_fleet_cycle,
                      record_manifest_stats, record_membership,
                      record_pool_report, record_repair_stats,
-                     record_stage_timings, record_trap_stats,
-                     record_vmi_instance)
+                     record_slo_status, record_stage_timings,
+                     record_trap_stats, record_vmi_instance)
 from .events import EVENT_NAMES, NULL_EVENTS, Event, EventLog, NullEventLog
 from .sinks import (SINK_NAMES, JsonlSink, NullSink, PromSink, Sink,
                     SinkError, StdoutSink, parse_sink, parse_sink_opts)
 from .metrics import (DEFAULT_BUCKETS, NULL_METRICS, Counter, Gauge,
                       Histogram, MetricsRegistry, NullMetrics)
-from .trace import NULL_TRACER, SPAN_NAMES, NullTracer, Span, Tracer
+from .profiler import PATH_SEP, Profile, ProfileNode
+from .slo import (DEFAULT_OBJECTIVES, SLO_EXIT_CODES, LogHistogram,
+                  ObjectiveStatus, SloConfig, SloEngine, SloObjective,
+                  SloStatus, SloTracker)
+from .trace import (NULL_TRACER, OP_NAMES, SPAN_NAMES, Charge, NullTracer,
+                    Span, Tracer)
 
 __all__ = [
     "Observability", "NULL_OBS", "make_observability",
     "Tracer", "NullTracer", "NULL_TRACER", "Span", "SPAN_NAMES",
+    "Charge", "OP_NAMES",
+    "Profile", "ProfileNode", "PATH_SEP",
+    "LogHistogram", "SloObjective", "SloConfig", "SloTracker",
+    "SloEngine", "SloStatus", "ObjectiveStatus", "DEFAULT_OBJECTIVES",
+    "SLO_EXIT_CODES",
     "MetricsRegistry", "NullMetrics", "NULL_METRICS",
     "Counter", "Gauge", "Histogram", "DEFAULT_BUCKETS",
     "EventLog", "NullEventLog", "NULL_EVENTS", "Event", "EVENT_NAMES",
@@ -47,7 +57,7 @@ __all__ = [
     "record_pool_report", "record_vmi_instance", "record_fault_stats",
     "record_daemon_cycle", "record_breaker_states", "record_membership",
     "record_chaos_stats", "record_manifest_stats", "record_trap_stats",
-    "record_fleet_cycle", "record_repair_stats",
+    "record_fleet_cycle", "record_repair_stats", "record_slo_status",
     "Sink", "NullSink", "StdoutSink", "JsonlSink", "PromSink",
     "SinkError", "parse_sink", "parse_sink_opts", "SINK_NAMES",
 ]

@@ -55,6 +55,12 @@ gate all speak the same names:
 ``modchecker_repair_bytes_written_total``    counter (none)
 ``modchecker_repair_raced_writes_total``     counter (none)
 ``modchecker_repair_mttr_seconds``           gauge   ``stat``
+``modchecker_slo_state``                     gauge   ``objective``
+``modchecker_slo_budget_remaining``          gauge   ``objective``
+``modchecker_slo_burn_rate``                 gauge   ``objective``, ``window``
+``modchecker_slo_events_total``              counter ``objective``, ``outcome``
+``modchecker_slo_breaches_total``            counter ``objective``
+``modchecker_slo_latency``                   gauge   ``objective``, ``quantile``
 ===========================================  ======  ========================
 
 Cumulative sources are published with :meth:`Counter.set_to` (they
@@ -75,7 +81,7 @@ __all__ = ["STAGES", "BREAKER_STATE_VALUES", "record_stage_timings",
            "record_breaker_states", "record_membership",
            "record_chaos_stats", "record_manifest_stats",
            "record_trap_stats", "record_fleet_cycle",
-           "record_repair_stats"]
+           "record_repair_stats", "record_slo_status"]
 
 #: The pipeline stages of the Fig. 7/8 breakdown.
 STAGES = ("searcher", "parser", "checker")
@@ -408,6 +414,58 @@ def record_repair_stats(metrics, repair_stats) -> None:
         "(simulated clock)")
     mttr.set(repair_stats.mttr_mean, stat="mean")
     mttr.set(repair_stats.mttr_max, stat="max")
+
+
+#: Numeric encoding of SLO states for the state gauge (ordered by
+#: severity, mirroring the fleet exit-code contract 0/1/2).
+SLO_STATE_VALUES = {"ok": 0, "warn": 1, "critical": 2}
+
+
+def record_slo_status(metrics, status, *, breaches: dict) -> None:
+    """Pooled :class:`~repro.obs.slo.SloStatus` -> ``modchecker_slo_*``.
+
+    ``status`` is the engine's aggregate (worst state / min budget /
+    max burn across scopes); ``breaches`` maps objective name to the
+    cumulative count of breach *edges* (entries into critical), which
+    publishes via ``set_to``. The quantile gauges carry the HDR
+    histogram's p50/p90/p99/p999 — seconds for latency objectives, a
+    fraction for ``coverage``, hence the unitless metric name.
+    """
+    state_gauge = metrics.gauge(
+        "modchecker_slo_state",
+        "SLO state per objective (0=ok, 1=warn, 2=critical)")
+    budget_gauge = metrics.gauge(
+        "modchecker_slo_budget_remaining",
+        "Error budget remaining over the slow window (1=untouched)")
+    burn_gauge = metrics.gauge(
+        "modchecker_slo_burn_rate",
+        "Error-budget burn rate per alerting window")
+    events_counter = metrics.counter(
+        "modchecker_slo_events_total",
+        "Classified SLO events by outcome (lifetime totals)")
+    breach_counter = metrics.counter(
+        "modchecker_slo_breaches_total",
+        "Burn-rate breach edges (entries into critical)")
+    quantile_gauge = metrics.gauge(
+        "modchecker_slo_latency",
+        "HDR-histogram quantiles of the objective's signal")
+    for obj in status.objectives:
+        state_gauge.set(SLO_STATE_VALUES[obj.state], objective=obj.name)
+        budget_gauge.set(obj.budget_remaining, objective=obj.name)
+        burn_gauge.set(obj.fast_burn, objective=obj.name, window="fast")
+        burn_gauge.set(obj.slow_burn, objective=obj.name, window="slow")
+        # lifetime totals, not window counts: windows shrink as
+        # events age out and a counter must never go backwards
+        events_counter.set_to(obj.total_good, objective=obj.name,
+                              outcome="good")
+        events_counter.set_to(obj.total_bad, objective=obj.name,
+                              outcome="bad")
+        breach_counter.set_to(breaches.get(obj.name, 0),
+                              objective=obj.name)
+        for q, value in obj.quantiles.items():
+            quantile_gauge.set(
+                value, objective=obj.name,
+                quantile=f"p{str(q).replace('0.', '')}")
 
 
 def record_chaos_stats(metrics, chaos_stats) -> None:

@@ -39,6 +39,8 @@ rely on them:
 ``repair.verified``      re-verification confirmed the repair clean
 ``repair.failed``        a repair attempt failed re-verification
 ``repair.quarantined``   retry budget spent; VM escalated to quarantine
+``slo.breach``           an objective's burn rate went critical
+``slo.budget``           an objective's error budget was exhausted
 =======================  ==============================================
 
 Correlation works through a context stack: the daemon mints one
@@ -80,6 +82,7 @@ EVENT_NAMES = (
     "fleet.cycle", "shard.changed", "quorum.borrowed",
     "repair.attempted", "repair.verified", "repair.failed",
     "repair.quarantined",
+    "slo.breach", "slo.budget",
 )
 
 

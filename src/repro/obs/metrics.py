@@ -218,13 +218,21 @@ class Histogram(_Metric):
         return lines
 
     def _snapshot(self) -> list[dict]:
-        return [{"labels": dict(key),
-                 "buckets": {_format_value(b): n
-                             for b, n in zip(self.buckets,
-                                             sample.bucket_counts)},
-                 "inf": sample.bucket_counts[-1],
-                 "sum": sample.sum, "count": sample.count}
-                for key, sample in sorted(self._samples.items())]
+        # Cumulative le-keyed buckets, exactly like the Prometheus
+        # exposition (`+Inf` included) — a JSON snapshot and a scraped
+        # `_bucket` series must agree sample-for-sample, and raw
+        # per-bucket counts silently broke that round trip.
+        out: list[dict] = []
+        for key, sample in sorted(self._samples.items()):
+            buckets: dict[str, int] = {}
+            cumulative = 0
+            for bound, n in zip(self.buckets, sample.bucket_counts):
+                cumulative += n
+                buckets[_format_value(bound)] = cumulative
+            buckets["+Inf"] = cumulative + sample.bucket_counts[-1]
+            out.append({"labels": dict(key), "buckets": buckets,
+                        "sum": sample.sum, "count": sample.count})
+        return out
 
 
 class MetricsRegistry:

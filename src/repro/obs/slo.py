@@ -1,0 +1,528 @@
+"""SLO engine: HDR-style quantiles, error budgets, burn-rate alerts.
+
+The fleet exit-code contract (PR 7) answers *is the fleet healthy right
+now*; this module answers the operator's longer-horizon question: *is
+the service meeting its objectives over time, and how fast is it
+spending its error budget?* Three layers:
+
+:class:`LogHistogram`
+    An HDR-style log-bucketed histogram: bucket ``i`` covers
+    ``(min_value * growth**(i-1), min_value * growth**i]``, so any
+    recorded value is reproduced to a relative error bounded by the
+    bucket growth factor (``growth - 1``) at *every* quantile — unlike
+    the fixed-bucket Prometheus histograms in :mod:`repro.obs.metrics`,
+    whose p999 collapses to a bucket boundary. Histograms are sparse,
+    mergeable (merging per-shard histograms equals the pooled
+    histogram, exactly), and JSON-serialisable.
+
+:class:`SloTracker`
+    Per-scope (per shard, per daemon) sliding-window objective
+    tracking. Each :class:`SloObjective` names a signal
+    (``cycle_latency``, ``detection_latency``, ``mttr``,
+    ``coverage``), a threshold, and a goal (the required good
+    fraction). Every recorded value is classified good/bad against the
+    threshold and fed both the histogram and a sliding event window.
+
+:class:`SloEngine`
+    The roll-up: one tracker per scope, Google-SRE-style **multi-window
+    burn rates** (a fast 5-minute-equivalent and a slow 1-hour-
+    equivalent window on the *simulated* clock), error budgets over the
+    slow window, edge-triggered ``slo.breach`` / ``slo.budget`` audit
+    events and ``modchecker_slo_*`` metrics, and the mapping onto the
+    fleet exit-code contract: **budget exhausted → WARN (1), burn-rate
+    critical → CRITICAL (2)**. A burn rate of ``B`` means the scope is
+    spending error budget ``B×`` faster than the objective allows;
+    critical requires *both* windows over their thresholds, so a single
+    bad cycle long ago cannot page.
+
+Determinism: everything runs on simulated timestamps passed in by the
+caller, so for a fixed scenario seed the full alert sequence — breach
+edges included — is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .bridge import record_slo_status
+
+__all__ = ["LogHistogram", "SloObjective", "SloConfig", "ObjectiveStatus",
+           "SloStatus", "SloTracker", "SloEngine", "DEFAULT_OBJECTIVES",
+           "SLO_EXIT_CODES", "SLO_QUANTILES"]
+
+#: SLO state -> fleet exit-code contract (see ``modchecker fleet``).
+SLO_EXIT_CODES = {"ok": 0, "warn": 1, "critical": 2}
+
+#: The quantiles published per objective.
+SLO_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+class LogHistogram:
+    """Sparse log-bucketed histogram with bounded relative error.
+
+    ``growth`` is the geometric bucket width: any value is recalled to
+    within a factor of ``sqrt(growth)`` (relative error strictly below
+    ``growth - 1``). Bucket 0 is the underflow bucket for values at or
+    below ``min_value``. Two histograms with identical parameters merge
+    by adding bucket counts — exactly, so per-shard merging commutes
+    and associates.
+    """
+
+    __slots__ = ("min_value", "growth", "_log_growth", "counts",
+                 "count", "sum", "min_seen", "max_seen")
+
+    def __init__(self, *, min_value: float = 1e-6,
+                 growth: float = 1.05) -> None:
+        if min_value <= 0:
+            raise ValueError("min_value must be positive")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.min_value = float(min_value)
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self.counts: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min_seen = math.inf
+        self.max_seen = -math.inf
+
+    def _index(self, value: float) -> int:
+        if value <= self.min_value:
+            return 0
+        return max(1, math.ceil(
+            math.log(value / self.min_value) / self._log_growth))
+
+    def _representative(self, index: int) -> float:
+        if index == 0:
+            return self.min_value
+        # geometric midpoint of (min*g^(i-1), min*g^i]
+        return self.min_value * self.growth ** (index - 0.5)
+
+    def observe(self, value: float) -> None:
+        """Record one non-negative observation."""
+        if value < 0:
+            raise ValueError(f"negative observation {value!r}")
+        index = self._index(value)
+        self.counts[index] = self.counts.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        self.min_seen = min(self.min_seen, value)
+        self.max_seen = max(self.max_seen, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) to within the bucket error bound."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = q * (self.count - 1)
+        cumulative = 0
+        for index in sorted(self.counts):
+            cumulative += self.counts[index]
+            if cumulative > rank:
+                value = self._representative(index)
+                return min(max(value, self.min_seen), self.max_seen)
+        return self.max_seen                       # pragma: no cover
+
+    def quantiles(self, qs=SLO_QUANTILES) -> dict[float, float]:
+        return {q: self.quantile(q) for q in qs}
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram (in place); returns self."""
+        if (other.min_value != self.min_value
+                or other.growth != self.growth):
+            raise ValueError(
+                "cannot merge histograms with different bucket layouts")
+        for index, n in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        self.min_seen = min(self.min_seen, other.min_seen)
+        self.max_seen = max(self.max_seen, other.max_seen)
+        return self
+
+    def copy(self) -> "LogHistogram":
+        clone = LogHistogram(min_value=self.min_value, growth=self.growth)
+        clone.merge(self)
+        return clone
+
+    def to_dict(self) -> dict:
+        return {"min_value": self.min_value, "growth": self.growth,
+                "counts": {str(i): n
+                           for i, n in sorted(self.counts.items())},
+                "count": self.count, "sum": self.sum,
+                "min_seen": self.min_seen if self.count else None,
+                "max_seen": self.max_seen if self.count else None}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "LogHistogram":
+        hist = cls(min_value=doc["min_value"], growth=doc["growth"])
+        hist.counts = {int(i): int(n) for i, n in doc["counts"].items()}
+        hist.count = int(doc["count"])
+        hist.sum = float(doc["sum"])
+        hist.min_seen = (float(doc["min_seen"])
+                         if doc.get("min_seen") is not None else math.inf)
+        hist.max_seen = (float(doc["max_seen"])
+                         if doc.get("max_seen") is not None else -math.inf)
+        return hist
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One objective: a signal, a threshold and a required good rate."""
+
+    name: str
+    #: the good/bad threshold for recorded values (seconds for latency
+    #: objectives, a fraction for ``coverage``)
+    target: float
+    #: required fraction of good events (the SLO itself)
+    goal: float = 0.99
+    #: flip the comparison: ``coverage`` is good when *above* target
+    higher_is_better: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.goal < 1.0:
+            raise ValueError(f"goal must be in (0, 1), got {self.goal}")
+
+    def is_good(self, value: float) -> bool:
+        if self.higher_is_better:
+            return value >= self.target
+        return value <= self.target
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction (the error budget)."""
+        return 1.0 - self.goal
+
+
+#: Default objectives for the shipped pipeline signals.
+DEFAULT_OBJECTIVES = (
+    SloObjective("cycle_latency", target=30.0, goal=0.99),
+    SloObjective("detection_latency", target=120.0, goal=0.95),
+    SloObjective("mttr", target=600.0, goal=0.90),
+    SloObjective("coverage", target=0.8, goal=0.95,
+                 higher_is_better=True),
+)
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Objectives plus the multi-window burn-rate alerting policy."""
+
+    objectives: tuple[SloObjective, ...] = DEFAULT_OBJECTIVES
+    #: the fast ("5m-equivalent") burn window, simulated seconds
+    fast_window: float = 300.0
+    #: the slow ("1h-equivalent") window; also the budget window
+    slow_window: float = 3600.0
+    #: burn-rate thresholds (Google SRE workbook's 14.4x / 6x defaults)
+    fast_burn: float = 14.4
+    slow_burn: float = 6.0
+
+    def __post_init__(self) -> None:
+        if not self.objectives:
+            raise ValueError("need at least one objective")
+        if self.fast_window <= 0 or self.slow_window <= 0:
+            raise ValueError("windows must be positive")
+        if self.fast_window > self.slow_window:
+            raise ValueError("fast_window must not exceed slow_window")
+        names = [o.name for o in self.objectives]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate objective names in {names}")
+
+    def objective(self, name: str) -> SloObjective:
+        for obj in self.objectives:
+            if obj.name == name:
+                return obj
+        raise KeyError(f"no objective named {name!r}")
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SloConfig":
+        objectives = tuple(
+            SloObjective(
+                name=entry["name"], target=float(entry["target"]),
+                goal=float(entry.get("goal", 0.99)),
+                higher_is_better=bool(entry.get("higher_is_better",
+                                                False)))
+            for entry in doc.get("objectives", ()))
+        kwargs: dict = {}
+        if objectives:
+            kwargs["objectives"] = objectives
+        for key in ("fast_window", "slow_window", "fast_burn",
+                    "slow_burn"):
+            if key in doc:
+                kwargs[key] = float(doc[key])
+        return cls(**kwargs)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SloConfig":
+        """Parse a JSON config file (see docs/OBSERVABILITY.md)."""
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read SLO config {path}: {exc}") \
+                from exc
+        return cls.from_dict(doc)
+
+
+@dataclass(frozen=True)
+class ObjectiveStatus:
+    """One objective's evaluated health at one instant."""
+
+    name: str
+    state: str                      # "ok" | "warn" | "critical"
+    budget_remaining: float         # 1.0 = untouched, <= 0 = exhausted
+    fast_burn: float
+    slow_burn: float
+    good: int                       # events in the slow window
+    bad: int
+    #: lifetime totals (monotone — windows shrink, these never do, so
+    #: the ``modchecker_slo_events_total`` counter publishes from here)
+    total_good: int = 0
+    total_bad: int = 0
+    quantiles: dict[float, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "state": self.state,
+                "budget_remaining": self.budget_remaining,
+                "fast_burn": self.fast_burn, "slow_burn": self.slow_burn,
+                "good": self.good, "bad": self.bad,
+                "total_good": self.total_good,
+                "total_bad": self.total_bad,
+                "quantiles": {f"p{str(q).replace('0.', '')}": v
+                              for q, v in self.quantiles.items()}}
+
+
+_STATE_RANK = {"ok": 0, "warn": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """The engine's roll-up: per-objective statuses + worst state."""
+
+    time: float
+    objectives: tuple[ObjectiveStatus, ...]
+
+    @property
+    def state(self) -> str:
+        worst = "ok"
+        for obj in self.objectives:
+            if _STATE_RANK[obj.state] > _STATE_RANK[worst]:
+                worst = obj.state
+        return worst
+
+    @property
+    def exit_code(self) -> int:
+        """The fleet exit-code contract mapping of :attr:`state`."""
+        return SLO_EXIT_CODES[self.state]
+
+    def objective(self, name: str) -> ObjectiveStatus:
+        for obj in self.objectives:
+            if obj.name == name:
+                return obj
+        raise KeyError(f"no objective named {name!r}")
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "state": self.state,
+                "exit_code": self.exit_code,
+                "objectives": [o.to_dict() for o in self.objectives]}
+
+
+class _ObjectiveWindow:
+    """Sliding good/bad event window + quantile histogram for one scope."""
+
+    __slots__ = ("events", "hist", "total_good", "total_bad")
+
+    def __init__(self) -> None:
+        self.events: deque[tuple[float, bool]] = deque()
+        self.hist = LogHistogram()
+        self.total_good = 0
+        self.total_bad = 0
+
+    def prune(self, horizon: float) -> None:
+        while self.events and self.events[0][0] < horizon:
+            self.events.popleft()
+
+    def window(self, start: float, end: float) -> tuple[int, int]:
+        good = bad = 0
+        for time, ok in self.events:
+            if start < time <= end:
+                if ok:
+                    good += 1
+                else:
+                    bad += 1
+        return good, bad
+
+
+class SloTracker:
+    """Objective tracking for one scope (one shard / one daemon)."""
+
+    def __init__(self, config: SloConfig | None = None) -> None:
+        self.config = config or SloConfig()
+        self._windows: dict[str, _ObjectiveWindow] = {
+            obj.name: _ObjectiveWindow() for obj in self.config.objectives}
+
+    def record(self, name: str, value: float, now: float) -> bool:
+        """Classify + record one observation; returns good/bad."""
+        objective = self.config.objective(name)
+        window = self._windows[name]
+        good = objective.is_good(value)
+        window.events.append((now, good))
+        if good:
+            window.total_good += 1
+        else:
+            window.total_bad += 1
+        window.hist.observe(value)
+        window.prune(now - self.config.slow_window)
+        return good
+
+    def histogram(self, name: str) -> LogHistogram:
+        return self._windows[name].hist
+
+    def _burn(self, objective: SloObjective, window: _ObjectiveWindow,
+              now: float, span: float) -> float:
+        good, bad = window.window(now - span, now)
+        total = good + bad
+        if not total:
+            return 0.0
+        return (bad / total) / objective.budget
+
+    def evaluate(self, now: float) -> SloStatus:
+        """Evaluate every objective's budget + burn at time ``now``."""
+        cfg = self.config
+        statuses = []
+        for objective in cfg.objectives:
+            window = self._windows[objective.name]
+            window.prune(now - cfg.slow_window)
+            fast = self._burn(objective, window, now, cfg.fast_window)
+            slow = self._burn(objective, window, now, cfg.slow_window)
+            good, bad = window.window(now - cfg.slow_window, now)
+            budget = 1.0 - slow      # slow burn == budget spent fraction
+            if fast >= cfg.fast_burn and slow >= cfg.slow_burn:
+                state = "critical"
+            elif budget <= 0.0:
+                state = "warn"
+            else:
+                state = "ok"
+            statuses.append(ObjectiveStatus(
+                name=objective.name, state=state,
+                budget_remaining=budget, fast_burn=fast, slow_burn=slow,
+                good=good, bad=bad,
+                total_good=window.total_good,
+                total_bad=window.total_bad,
+                quantiles=window.hist.quantiles()))
+        return SloStatus(time=now, objectives=tuple(statuses))
+
+
+class SloEngine:
+    """Many scopes, one verdict: trackers + alert edges + publication.
+
+    One :class:`SloTracker` per scope (shards in a fleet; the single
+    ``"daemon"`` scope otherwise). :meth:`evaluate` re-evaluates every
+    scope, emits **edge-triggered** ``slo.breach`` (entering critical)
+    and ``slo.budget`` (budget newly exhausted) audit events, publishes
+    the aggregate ``modchecker_slo_*`` metrics, and returns a pooled
+    :class:`SloStatus` whose state is the *worst* scope state — one
+    burning shard must not hide inside a healthy average.
+    """
+
+    def __init__(self, config: SloConfig | None = None, *,
+                 obs=None) -> None:
+        from . import NULL_OBS      # circular-import guard
+        self.config = config or SloConfig()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.trackers: dict[str, SloTracker] = {}
+        self._names = {o.name for o in self.config.objectives}
+        #: (scope, objective) pairs currently critical / exhausted
+        self._critical: set[tuple[str, str]] = set()
+        self._exhausted: set[tuple[str, str]] = set()
+        #: cumulative breach edges per objective (for the counter)
+        self.breaches: dict[str, int] = {}
+
+    def tracker(self, scope: str) -> SloTracker:
+        tracker = self.trackers.get(scope)
+        if tracker is None:
+            tracker = self.trackers[scope] = SloTracker(self.config)
+        return tracker
+
+    def record(self, scope: str, name: str, value: float,
+               now: float) -> bool | None:
+        """Record one observation — or ignore it, if the config does
+        not track this signal (the pipeline feeds every signal it has;
+        the config chooses which become objectives)."""
+        if name not in self._names:
+            return None
+        return self.tracker(scope).record(name, value, now)
+
+    def _note_edges(self, scope: str, status: SloStatus) -> None:
+        events = self.obs.events
+        for obj in status.objectives:
+            key = (scope, obj.name)
+            if obj.state == "critical":
+                if key not in self._critical:
+                    self._critical.add(key)
+                    self.breaches[obj.name] = \
+                        self.breaches.get(obj.name, 0) + 1
+                    if events.enabled:
+                        events.emit("slo.breach", scope=scope,
+                                    objective=obj.name,
+                                    fast_burn=round(obj.fast_burn, 4),
+                                    slow_burn=round(obj.slow_burn, 4))
+            else:
+                self._critical.discard(key)
+            if obj.budget_remaining <= 0.0:
+                if key not in self._exhausted:
+                    self._exhausted.add(key)
+                    if events.enabled:
+                        events.emit("slo.budget", scope=scope,
+                                    objective=obj.name,
+                                    remaining=round(obj.budget_remaining,
+                                                    4))
+            else:
+                self._exhausted.discard(key)
+
+    def evaluate(self, now: float) -> SloStatus:
+        """Evaluate all scopes; emit edges + metrics; pooled status."""
+        cfg = self.config
+        scope_statuses: dict[str, SloStatus] = {}
+        for scope in sorted(self.trackers):
+            status = self.trackers[scope].evaluate(now)
+            self._note_edges(scope, status)
+            scope_statuses[scope] = status
+
+        pooled = []
+        for objective in cfg.objectives:
+            per_scope = [s.objective(objective.name)
+                         for s in scope_statuses.values()]
+            merged = LogHistogram()
+            for tracker in self.trackers.values():
+                merged.merge(tracker.histogram(objective.name))
+            good = sum(o.good for o in per_scope)
+            bad = sum(o.bad for o in per_scope)
+            worst = max(per_scope, key=lambda o: _STATE_RANK[o.state],
+                        default=None)
+            pooled.append(ObjectiveStatus(
+                name=objective.name,
+                state=worst.state if worst else "ok",
+                budget_remaining=min(
+                    (o.budget_remaining for o in per_scope), default=1.0),
+                fast_burn=max((o.fast_burn for o in per_scope),
+                              default=0.0),
+                slow_burn=max((o.slow_burn for o in per_scope),
+                              default=0.0),
+                good=good, bad=bad,
+                total_good=sum(o.total_good for o in per_scope),
+                total_bad=sum(o.total_bad for o in per_scope),
+                quantiles=merged.quantiles()))
+        status = SloStatus(time=now, objectives=tuple(pooled))
+        if self.obs.metrics.enabled:
+            record_slo_status(self.obs.metrics, status,
+                              breaches=self.breaches)
+        return status

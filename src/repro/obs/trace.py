@@ -36,13 +36,33 @@ from dataclasses import dataclass, field
 
 from ..hypervisor.clock import SimClock
 
-__all__ = ["SPAN_NAMES", "Span", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = ["SPAN_NAMES", "OP_NAMES", "Span", "Charge", "Tracer",
+           "NullTracer", "NULL_TRACER"]
 
 #: The span vocabulary emitted by the instrumented pipeline.
 SPAN_NAMES = (
     "vmi.read_page", "retry.attempt", "searcher.walk", "searcher.copy",
     "parser.parse", "checker.compare", "modchecker.fetch",
     "modchecker.check", "daemon.cycle",
+)
+
+#: The page-op vocabulary of cost-model charge records (closed, like
+#: :data:`SPAN_NAMES`). Each name maps one :class:`~repro.perf.costmodel.
+#: CostModel` charge site in :class:`~repro.vmi.core.VMIInstance`:
+#:
+#: ==================  ==================================================
+#: ``page_translate``  one guest page-table walk (``translate_walk``)
+#: ``page_copy``       one foreign-frame map + copy-out (``page_map``)
+#: ``page_checksum``   one hypervisor-side page digest
+#: ``page_protect``    one frame armed with EPT write-protection
+#: ``trap_deliver``    coalesced write traps drained (per-trap cost)
+#: ``page_write``      one privileged remediation frame write
+#: ``small_read``      one sub-page read / trap-ring poll
+#: ``retry_probe``     one re-issued read after a transient fault
+#: ==================  ==================================================
+OP_NAMES = (
+    "page_translate", "page_copy", "page_checksum", "page_protect",
+    "trap_deliver", "page_write", "small_read", "retry_probe",
 )
 
 
@@ -75,6 +95,24 @@ class Span:
         """Attach attributes after entry (e.g. counts known at exit)."""
         self.attrs.update(attrs)
         return self
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One cost-model charge, tagged with the innermost open span.
+
+    Charges are *flat* records of raw Dom0 CPU-seconds, independent of
+    the simulated clock's contention stretch — so they stay valid even
+    inside :meth:`~repro.hypervisor.xen.Hypervisor.deferred_charges`
+    contexts (fleet / parallel scheduling), where span durations are
+    zero because the clock is frozen. The profiler
+    (:mod:`repro.obs.profiler`) attributes each charge to a (vm,
+    module, op) triple by walking the tagged span's ancestry.
+    """
+
+    op: str
+    cpu: float
+    span_id: int | None
 
 
 class _SpanContext:
@@ -119,6 +157,8 @@ class Tracer:
         self.clock = clock
         #: every span ever started, in start order
         self.spans: list[Span] = []
+        #: every cost-model charge recorded, in emission order
+        self.charges: list[Charge] = []
         self._stack: list[Span] = []
         self._next_id = 0
 
@@ -150,6 +190,27 @@ class Tracer:
         """Open a span; ``with tracer.span(...) as s`` yields the Span."""
         return _SpanContext(self, name, attrs)
 
+    def charge(self, op: str, cpu: float) -> None:
+        """Record one cost-model charge against the innermost open span.
+
+        ``op`` must be in :data:`OP_NAMES`; ``cpu`` is raw Dom0
+        CPU-seconds (pre-contention). Hot call sites guard on
+        ``tracer.enabled`` so a disabled run never reaches here.
+        """
+        if op not in OP_NAMES:
+            raise ValueError(
+                f"unknown charge op {op!r}; the vocabulary is closed "
+                f"(see repro.obs.trace.OP_NAMES)")
+        span_id = self._stack[-1].span_id if self._stack else None
+        self.charges.append(Charge(op=op, cpu=cpu, span_id=span_id))
+
+    def total_by_op(self) -> dict[str, float]:
+        """Summed raw CPU-seconds per charge op."""
+        totals: dict[str, float] = {}
+        for c in self.charges:
+            totals[c.op] = totals.get(c.op, 0.0) + c.cpu
+        return totals
+
     @property
     def active(self) -> Span | None:
         """The innermost open span, if any."""
@@ -173,6 +234,7 @@ class Tracer:
 
     def clear(self) -> None:
         self.spans.clear()
+        self.charges.clear()
         self._stack.clear()
 
 
@@ -207,9 +269,16 @@ class NullTracer:
 
     enabled = False
     spans: list[Span] = []          # always empty; shared, never mutated
+    charges: list[Charge] = []      # likewise
 
     def span(self, name: str, **attrs: object) -> _NullSpanContext:
         return _NULL_SPAN
+
+    def charge(self, op: str, cpu: float) -> None:
+        pass
+
+    def total_by_op(self) -> dict[str, float]:
+        return {}
 
     @property
     def active(self) -> None:

@@ -130,6 +130,8 @@ class VMIInstance:
                 return cached | (vaddr & _PAGE_MASK)
         self.stats.translations += 1
         self.hv.charge_dom0(self.costs.translate_walk)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.charge("page_translate", self.costs.translate_walk)
         pa_page = self._walk(page_va)
         if self.enable_caches:
             self.v2p_cache.put(page_va, pa_page)
@@ -169,6 +171,7 @@ class VMIInstance:
             with self.obs.tracer.span("vmi.read_page",
                                       vm=self.domain.name, frame=frame_no):
                 self.hv.charge_dom0(self.costs.page_map)
+                self.obs.tracer.charge("page_copy", self.costs.page_map)
                 page = self.hv.read_guest_frame(self.domain.domid, frame_no)
         else:
             self.hv.charge_dom0(self.costs.page_map)
@@ -209,6 +212,9 @@ class VMIInstance:
                         f"{self.retry.max_attempts} attempts: {exc}") from exc
                 self.stats.retries += 1
                 self.hv.charge_dom0(self.costs.retry_probe)
+                if self.obs.tracer.enabled:
+                    self.obs.tracer.charge("retry_probe",
+                                           self.costs.retry_probe)
                 self.hv.clock.advance(self.retry.backoff(attempt))
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -227,6 +233,8 @@ class VMIInstance:
         self.stats.bytes_read += length
         self.stats.read_calls += 1
         self.hv.charge_dom0(self.costs.small_read)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.charge("small_read", self.costs.small_read)
         return bytes(out)
 
     # -- virtual reads ----------------------------------------------------------------
@@ -259,6 +267,8 @@ class VMIInstance:
         self.stats.bytes_read += length
         self.stats.read_calls += 1
         self.hv.charge_dom0(self.costs.small_read)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.charge("small_read", self.costs.small_read)
         return bytes(out)
 
     # -- incremental page sweep --------------------------------------------------
@@ -287,6 +297,8 @@ class VMIInstance:
                                               length)
         self.stats.pages_checksummed += 1
         self.hv.charge_dom0(self.costs.page_checksum)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.charge("page_checksum", self.costs.page_checksum)
         return digest
 
     def checksum_va_range(self, vaddr: int, length: int,
@@ -370,6 +382,9 @@ class VMIInstance:
                                                pa >> 12):
                     self.stats.pages_protected += 1
                     self.hv.charge_dom0(self.costs.page_protect)
+                    if self.obs.tracer.enabled:
+                        self.obs.tracer.charge("page_protect",
+                                               self.costs.page_protect)
                     gfns.append(pa >> 12)
                 else:
                     self.stats.pages_unprotectable += 1
@@ -422,6 +437,8 @@ class VMIInstance:
             self.stats.pages_written += 1
             self.stats.bytes_written += n
             self.hv.charge_dom0(self.costs.page_write)
+            if self.obs.tracer.enabled:
+                self.obs.tracer.charge("page_write", self.costs.page_write)
             pos += n
 
     def drain_traps(self):
@@ -437,6 +454,11 @@ class VMIInstance:
         self.stats.traps_drained += len(traps)
         self.hv.charge_dom0(self.costs.small_read
                             + len(traps) * self.costs.trap_deliver)
+        if self.obs.tracer.enabled:
+            self.obs.tracer.charge("small_read", self.costs.small_read)
+            if traps:
+                self.obs.tracer.charge(
+                    "trap_deliver", len(traps) * self.costs.trap_deliver)
         return traps, overflowed
 
     def read_u32(self, vaddr: int) -> int:

@@ -212,6 +212,34 @@ class TestSnapshots:
         hist = data["lat_seconds"]["samples"][0]
         assert hist["count"] == 1 and hist["sum"] == 0.5
 
+    def test_histogram_snapshot_buckets_are_cumulative_le_keyed(self):
+        """The JSON snapshot and the scraped `_bucket` series must
+        agree sample-for-sample: cumulative counts keyed by `le`
+        upper bounds, `+Inf` included."""
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v, stage="parser")
+        (sample,) = reg.snapshot()["lat_seconds"]["samples"]
+        assert sample["labels"] == {"stage": "parser"}
+        assert sample["buckets"] == {"0.1": 1, "1.0": 2, "+Inf": 3}
+        assert sample["count"] == 3
+        # every snapshot bucket matches its exposition line exactly
+        text = reg.to_prometheus()
+        for le, n in sample["buckets"].items():
+            assert (f'lat_seconds_bucket{{stage="parser",le="{le}"}} {n}'
+                    in text)
+
+    def test_histogram_snapshot_survives_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=(1.0,))
+        h.observe(0.5)
+        h.observe(2.0)
+        path = reg.write_json(tmp_path / "m.json")
+        (sample,) = json.loads(path.read_text())["lat_seconds"]["samples"]
+        assert sample["buckets"] == {"1.0": 1, "+Inf": 2}
+        assert sample["sum"] == 2.5 and sample["count"] == 2
+
     def test_write_prometheus(self, tmp_path):
         reg = MetricsRegistry()
         reg.gauge("g").set(2)

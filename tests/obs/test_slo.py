@@ -1,0 +1,303 @@
+"""SLO engine tests: HDR quantiles vs numpy, budgets, burn-rate alerts."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.hypervisor.clock import SimClock
+from repro.obs import make_observability
+from repro.obs.slo import (DEFAULT_OBJECTIVES, SLO_EXIT_CODES, SLO_QUANTILES,
+                           LogHistogram, SloConfig, SloEngine, SloObjective,
+                           SloTracker)
+
+GROWTH = 1.05
+
+
+def _distributions():
+    rng = np.random.default_rng(2012)
+    return {
+        "uniform": rng.uniform(0.001, 10.0, 5000),
+        "lognormal": rng.lognormal(mean=-2.0, sigma=1.0, size=5000),
+        # 2000/3000 split so no tested quantile lands in the gap
+        # between modes, where numpy interpolates across a region
+        # containing no samples and any histogram must disagree
+        "bimodal": np.concatenate([
+            rng.normal(0.01, 0.001, 2000).clip(min=1e-5),
+            rng.normal(1.0, 0.05, 3000).clip(min=1e-5)]),
+    }
+
+
+class TestLogHistogramAccuracy:
+    @pytest.mark.parametrize("name", ["uniform", "lognormal", "bimodal"])
+    def test_quantiles_within_growth_factor_of_numpy(self, name):
+        values = _distributions()[name]
+        hist = LogHistogram(growth=GROWTH)
+        for v in values:
+            hist.observe(float(v))
+        for q in SLO_QUANTILES:
+            exact = float(np.quantile(values, q))
+            got = hist.quantile(q)
+            assert abs(got - exact) / exact <= GROWTH - 1.0, \
+                f"{name} p{q}: {got} vs exact {exact}"
+
+    def test_extremes_stay_inside_the_observed_range(self):
+        hist = LogHistogram()
+        for v in (0.2, 3.0, 7.5):
+            hist.observe(v)
+        assert 0.2 <= hist.quantile(0.0) <= 0.2 * GROWTH
+        assert 7.5 / GROWTH <= hist.quantile(1.0) <= 7.5
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            assert 0.2 <= hist.quantile(q) <= 7.5
+
+    def test_mean_and_count_are_exact(self):
+        values = _distributions()["lognormal"]
+        hist = LogHistogram()
+        for v in values:
+            hist.observe(float(v))
+        assert hist.count == len(values)
+        assert abs(hist.mean - float(np.mean(values))) < 1e-9
+
+    def test_underflow_bucket_and_validation(self):
+        hist = LogHistogram(min_value=1e-3)
+        hist.observe(0.0)
+        assert hist.quantile(0.5) == 0.0         # clamped to min_seen
+        with pytest.raises(ValueError):
+            hist.observe(-1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            LogHistogram(growth=1.0)
+        with pytest.raises(ValueError):
+            LogHistogram(min_value=0.0)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert LogHistogram().quantile(0.99) == 0.0
+
+
+class TestLogHistogramMerge:
+    def test_merging_shards_equals_pooled(self):
+        values = _distributions()["bimodal"]
+        pooled = LogHistogram()
+        shards = [LogHistogram() for _ in range(3)]
+        for i, v in enumerate(values):
+            pooled.observe(float(v))
+            shards[i % 3].observe(float(v))
+        merged = LogHistogram()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged.counts == pooled.counts
+        assert merged.count == pooled.count
+        assert merged.min_seen == pooled.min_seen
+        assert merged.max_seen == pooled.max_seen
+        for q in SLO_QUANTILES:
+            assert merged.quantile(q) == pooled.quantile(q)
+
+    def test_merge_is_associative(self):
+        values = _distributions()["uniform"]
+        shards = [LogHistogram() for _ in range(3)]
+        for i, v in enumerate(values):
+            shards[i % 3].observe(float(v))
+        left = shards[0].copy().merge(shards[1]).merge(shards[2])
+        right = shards[1].copy().merge(shards[2]).merge(shards[0])
+        assert left.counts == right.counts
+        assert abs(left.sum - right.sum) < 1e-9
+
+    def test_layout_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LogHistogram(growth=1.05).merge(LogHistogram(growth=1.1))
+
+    def test_dict_round_trip(self):
+        hist = LogHistogram()
+        for v in (0.01, 0.5, 0.5, 12.0):
+            hist.observe(v)
+        clone = LogHistogram.from_dict(
+            json.loads(json.dumps(hist.to_dict())))
+        assert clone.counts == hist.counts
+        assert clone.count == hist.count
+        for q in SLO_QUANTILES:
+            assert clone.quantile(q) == hist.quantile(q)
+
+    def test_empty_dict_round_trip(self):
+        clone = LogHistogram.from_dict(LogHistogram().to_dict())
+        assert clone.count == 0
+        assert math.isinf(clone.min_seen)
+
+
+class TestConfig:
+    def test_objective_direction(self):
+        latency = SloObjective("cycle_latency", target=30.0)
+        assert latency.is_good(29.0) and not latency.is_good(31.0)
+        coverage = SloObjective("coverage", target=0.8,
+                                higher_is_better=True)
+        assert coverage.is_good(0.9) and not coverage.is_good(0.7)
+
+    def test_defaults_and_budget(self):
+        config = SloConfig()
+        assert config.objectives == DEFAULT_OBJECTIVES
+        assert abs(config.objective("cycle_latency").budget - 0.01) < 1e-12
+
+    def test_from_dict_overrides(self):
+        config = SloConfig.from_dict({
+            "objectives": [{"name": "cycle_latency", "target": 0.5,
+                            "goal": 0.9}],
+            "fast_window": 120, "fast_burn": 10})
+        assert len(config.objectives) == 1
+        assert config.fast_window == 120.0
+        assert config.fast_burn == 10.0
+        assert config.slow_window == 3600.0
+
+    def test_load_and_errors(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": [
+            {"name": "mttr", "target": 100, "goal": 0.5}]}))
+        assert SloConfig.load(path).objective("mttr").goal == 0.5
+        with pytest.raises(ValueError):
+            SloConfig.load(tmp_path / "missing.json")
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            SloConfig.load(path)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloObjective("x", target=1.0, goal=1.0)
+        with pytest.raises(ValueError):
+            SloConfig(objectives=())
+        with pytest.raises(ValueError):
+            SloConfig(fast_window=7200.0)       # exceeds slow_window
+        with pytest.raises(ValueError):
+            SloConfig(objectives=(
+                SloObjective("a", target=1.0),
+                SloObjective("a", target=2.0)))
+
+
+def _tight_config(**kwargs) -> SloConfig:
+    return SloConfig(objectives=(
+        SloObjective("cycle_latency", target=1.0, goal=0.99),), **kwargs)
+
+
+class TestTracker:
+    def test_all_good_is_ok_with_full_budget(self):
+        tracker = SloTracker(_tight_config())
+        for i in range(10):
+            tracker.record("cycle_latency", 0.5, now=float(i * 60))
+        status = tracker.evaluate(540.0)
+        obj = status.objective("cycle_latency")
+        assert obj.state == "ok"
+        assert obj.budget_remaining == 1.0
+        assert obj.fast_burn == 0.0 and obj.slow_burn == 0.0
+        assert status.exit_code == 0
+
+    def test_sustained_badness_is_critical_on_both_windows(self):
+        tracker = SloTracker(_tight_config())
+        for i in range(15):
+            tracker.record("cycle_latency", 5.0, now=float(i * 60))
+        status = tracker.evaluate(14 * 60.0)
+        obj = status.objective("cycle_latency")
+        # every event bad: burn = 1.0 / 0.01 = 100x on both windows
+        assert abs(obj.fast_burn - 100.0) < 1e-9
+        assert abs(obj.slow_burn - 100.0) < 1e-9
+        assert obj.state == "critical"
+        assert status.exit_code == SLO_EXIT_CODES["critical"]
+
+    def test_old_badness_alone_cannot_page(self):
+        # bad burst long ago, healthy since: fast window clean -> warn
+        # at most (budget still spent), never critical
+        tracker = SloTracker(_tight_config())
+        for i in range(5):
+            tracker.record("cycle_latency", 5.0, now=float(i))
+        for i in range(20):
+            tracker.record("cycle_latency", 0.1, now=500.0 + i * 10)
+        status = tracker.evaluate(700.0)
+        obj = status.objective("cycle_latency")
+        assert obj.fast_burn == 0.0
+        assert obj.slow_burn > 0.0
+        assert obj.state == "warn"              # budget gone, not burning
+        assert status.exit_code == 1
+
+    def test_events_age_out_of_the_slow_window(self):
+        tracker = SloTracker(_tight_config())
+        tracker.record("cycle_latency", 5.0, now=0.0)
+        status = tracker.evaluate(4000.0)
+        obj = status.objective("cycle_latency")
+        assert obj.good == 0 and obj.bad == 0
+        assert obj.state == "ok"
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(KeyError):
+            SloTracker(_tight_config()).record("nope", 1.0, 0.0)
+
+
+class TestEngine:
+    def test_breach_event_is_edge_triggered(self):
+        clock = SimClock()
+        obs = make_observability(clock)
+        engine = SloEngine(_tight_config(), obs=obs)
+        for i in range(10):
+            engine.record("daemon", "cycle_latency", 5.0, float(i * 60))
+        engine.evaluate(540.0)
+        engine.evaluate(600.0)                  # still critical: no re-fire
+        breaches = obs.events.by_name("slo.breach")
+        budgets = obs.events.by_name("slo.budget")
+        assert len(breaches) == 1
+        assert len(budgets) == 1
+        assert breaches[0].attrs["objective"] == "cycle_latency"
+        assert breaches[0].attrs["scope"] == "daemon"
+        assert engine.breaches == {"cycle_latency": 1}
+
+    def test_recovery_re_arms_the_edge(self):
+        clock = SimClock()
+        obs = make_observability(clock)
+        engine = SloEngine(_tight_config(), obs=obs)
+        for i in range(5):
+            engine.record("daemon", "cycle_latency", 5.0, float(i))
+        engine.evaluate(5.0)                     # critical: edge 1
+        engine.evaluate(4000.0)                  # events aged out: ok
+        for i in range(5):
+            engine.record("daemon", "cycle_latency", 5.0, 4100.0 + i)
+        engine.evaluate(4105.0)                  # critical again: edge 2
+        assert len(obs.events.by_name("slo.breach")) == 2
+        assert engine.breaches == {"cycle_latency": 2}
+
+    def test_worst_scope_wins_the_pooled_state(self):
+        engine = SloEngine(_tight_config())
+        for i in range(10):
+            engine.record("shard-a", "cycle_latency", 0.1, float(i * 60))
+            engine.record("shard-b", "cycle_latency", 5.0, float(i * 60))
+        status = engine.evaluate(540.0)
+        obj = status.objective("cycle_latency")
+        assert obj.state == "critical"           # shard-b burns
+        assert obj.good == 10 and obj.bad == 10  # pooled counts
+        assert status.exit_code == 2
+
+    def test_unconfigured_signal_is_ignored(self):
+        engine = SloEngine(_tight_config())
+        assert engine.record("daemon", "coverage", 0.5, 0.0) is None
+        assert engine.evaluate(1.0).state == "ok"
+
+    def test_metrics_published_on_evaluate(self):
+        clock = SimClock()
+        obs = make_observability(clock)
+        engine = SloEngine(_tight_config(), obs=obs)
+        for i in range(10):
+            engine.record("daemon", "cycle_latency", 5.0, float(i * 60))
+        engine.evaluate(540.0)
+        names = set(obs.metrics.snapshot())
+        assert {"modchecker_slo_state", "modchecker_slo_budget_remaining",
+                "modchecker_slo_burn_rate", "modchecker_slo_events_total",
+                "modchecker_slo_breaches_total",
+                "modchecker_slo_latency"} <= names
+        gauge = obs.metrics.gauge("modchecker_slo_state")
+        assert gauge.value(objective="cycle_latency") == 2
+
+    def test_status_to_dict_is_json_ready(self):
+        engine = SloEngine(_tight_config())
+        engine.record("daemon", "cycle_latency", 0.5, 0.0)
+        doc = json.loads(json.dumps(engine.evaluate(1.0).to_dict()))
+        assert doc["state"] == "ok" and doc["exit_code"] == 0
+        (obj,) = doc["objectives"]
+        assert obj["name"] == "cycle_latency"
+        assert "p99" in obj["quantiles"]

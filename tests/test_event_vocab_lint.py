@@ -18,9 +18,11 @@ class TestSourceTree:
         problems, used = vocab_lint.lint_sources(
             Path(__file__).resolve().parent.parent / "src")
         assert problems == []
-        # closed both ways: nothing outside the vocabulary is emitted,
-        # and every vocabulary name has a live emit site
-        assert used == set(vocab_lint.EVENT_NAMES)
+        # closed both ways: nothing outside a vocabulary is used, and
+        # every vocabulary name has a live literal call site
+        assert used["emit"] == set(vocab_lint.EVENT_NAMES)
+        assert used["span"] == set(vocab_lint.SPAN_NAMES)
+        assert used["charge"] == set(vocab_lint.OP_NAMES)
 
     def test_rogue_emit_site_is_caught(self, tmp_path):
         rogue = tmp_path / "rogue.py"
@@ -30,7 +32,23 @@ class TestSourceTree:
         assert len(problems) == 1
         assert "totally.madeup" in problems[0]
         assert "rogue.py:2" in problems[0]
-        assert "check.start" in used
+        assert "check.start" in used["emit"]
+
+    def test_rogue_span_and_charge_sites_are_caught(self, tmp_path):
+        rogue = tmp_path / "rogue.py"
+        rogue.write_text('with tracer.span(\n'
+                         '        "bogus.stage", vm="Dom1"):\n'
+                         '    tracer.charge("page_fax", 0.1)\n'
+                         'tracer.charge("page_copy", 0.1)\n')
+        problems, used = vocab_lint.lint_sources(tmp_path)
+        assert len(problems) == 2
+        assert any("bogus.stage" in p and "rogue.py:1" in p
+                   for p in problems)
+        assert any("page_fax" in p for p in problems)
+        assert "page_copy" in used["charge"]
+
+    def test_docstring_tables_are_complete(self):
+        assert vocab_lint.lint_docstring_tables() == []
 
 
 class TestJsonlLogs:

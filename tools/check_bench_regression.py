@@ -16,6 +16,17 @@ scalar (deterministic, so tight tolerances are safe), and the gate is
 direction-aware — ``checks_per_sec`` must not *drop*, latency metrics
 must not *rise*.
 
+``--profile`` gates cost *attribution* instead of cost: the results
+file is a ``modchecker profile --json-out`` document, and the check
+compares each stage's and each page-op's **share** of the simulated
+total against ``benchmarks/baseline_profile.json``. Shares are
+dimensionless fractions of a deterministic simulation, so the
+comparison is two-sided and uses an *absolute* drift tolerance
+(default 0.05): work silently migrating between stages is a regression
+even when the total stays flat. The baseline holds one entry per
+scenario (``substrate``, ``fleet``), matched via the document's
+``scenario`` key.
+
 Usage::
 
     python tools/check_bench_regression.py results.json            # gate
@@ -23,6 +34,7 @@ Usage::
     python tools/check_bench_regression.py results.json \
         --baseline benchmarks/baseline_substrate.json --tolerance 0.20
     python tools/check_bench_regression.py fleet-metrics.json --fleet
+    python tools/check_bench_regression.py profile.json --profile
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/schema
 error (missing baseline, benchmark set drift).
@@ -39,6 +51,8 @@ DEFAULT_BASELINE = (Path(__file__).resolve().parent.parent
                     / "benchmarks" / "baseline_substrate.json")
 DEFAULT_FLEET_BASELINE = (Path(__file__).resolve().parent.parent
                           / "benchmarks" / "baseline_fleet.json")
+DEFAULT_PROFILE_BASELINE = (Path(__file__).resolve().parent.parent
+                            / "benchmarks" / "baseline_profile.json")
 
 #: Which way each fleet metric is allowed to move. Throughput must not
 #: fall below baseline*(1-tolerance); anything else (latencies) must
@@ -101,6 +115,52 @@ def compare_fleet(current: dict[str, float], baseline: dict[str, float],
     return failures
 
 
+def load_profile(path: Path) -> tuple[str, dict[str, dict[str, float]]]:
+    """(scenario, {axis: {name: share}}) from a profiler JSON doc."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    if data.get("format") != "modchecker-profile/1":
+        raise SystemExit(
+            f"error: {path} is not a modchecker profile document")
+    scenario = data.get("scenario")
+    if not scenario:
+        raise SystemExit(f"error: {path} carries no scenario tag")
+    return scenario, {
+        axis: {name: float(v)
+               for name, v in data.get(axis, {}).items()}
+        for axis in ("stage_shares", "op_shares")}
+
+
+def compare_profile(current: dict[str, dict[str, float]],
+                    baseline: dict[str, dict[str, float]],
+                    tolerance: float) -> list[str]:
+    """Two-sided absolute share-drift gate; returns failure lines."""
+    failures = []
+    for axis in ("stage_shares", "op_shares"):
+        cur, base = current.get(axis, {}), baseline.get(axis, {})
+        missing = sorted(set(base) - set(cur))
+        added = sorted(set(cur) - set(base))
+        if missing:
+            failures.append(
+                f"{axis} missing from run: {', '.join(missing)}")
+        if added:
+            failures.append(
+                f"{axis} not in baseline (rebase with --update): "
+                f"{', '.join(added)}")
+        if missing or added:
+            continue
+        for name in sorted(base):
+            drift = cur[name] - base[name]
+            if abs(drift) > tolerance:
+                failures.append(
+                    f"{axis}/{name}: share {cur[name]:.4f} vs baseline "
+                    f"{base[name]:.4f} (drift {drift:+.4f} > "
+                    f"±{tolerance:.2f})")
+    return failures
+
+
 def shares(means: dict[str, float]) -> dict[str, float]:
     total = sum(means.values())
     if total <= 0:
@@ -140,8 +200,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("results", type=Path,
                         help="pytest-benchmark --benchmark-json output")
     parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
-    parser.add_argument("--tolerance", type=float, default=0.20,
-                        help="allowed one-sided increase (default 0.20)")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed drift (default 0.20 relative; "
+                             "0.05 absolute share under --profile)")
     parser.add_argument("--absolute", action="store_true",
                         help="compare raw mean seconds, not shares of "
                              "total (noisier across machines)")
@@ -151,9 +212,57 @@ def main(argv: list[str] | None = None) -> int:
                         help="gate the fleet tier's simulated metrics "
                              "JSON (direction-aware) instead of "
                              "pytest-benchmark wall timings")
+    parser.add_argument("--profile", action="store_true",
+                        help="gate a `modchecker profile --json-out` "
+                             "document's stage/op cost shares against "
+                             "the attribution baseline (two-sided "
+                             "absolute drift, default tolerance 0.05)")
     args = parser.parse_args(argv)
-    if args.tolerance < 0:
+    if args.tolerance is not None and args.tolerance < 0:
         parser.error("--tolerance must be >= 0")
+    if args.fleet and args.profile:
+        parser.error("--fleet and --profile are mutually exclusive")
+    if args.tolerance is None:
+        args.tolerance = 0.05 if args.profile else 0.20
+
+    if args.profile:
+        if args.baseline == DEFAULT_BASELINE:
+            args.baseline = DEFAULT_PROFILE_BASELINE
+        tolerance = args.tolerance
+        scenario, current = load_profile(args.results)
+        if args.update:
+            doc = {"scenarios": {}}
+            if args.baseline.exists():
+                doc = json.loads(args.baseline.read_text())
+            doc.setdefault("scenarios", {})[scenario] = current
+            args.baseline.parent.mkdir(parents=True, exist_ok=True)
+            args.baseline.write_text(
+                json.dumps(doc, indent=2, sort_keys=True) + "\n")
+            print(f"profile baseline rebased: {args.baseline} "
+                  f"[{scenario}]")
+            return 0
+        if not args.baseline.exists():
+            print(f"error: no profile baseline at {args.baseline}; "
+                  f"create one with --update", file=sys.stderr)
+            return 2
+        doc = json.loads(args.baseline.read_text())
+        baseline = doc.get("scenarios", {}).get(scenario)
+        if baseline is None:
+            print(f"error: baseline has no scenario {scenario!r}; "
+                  f"rebase with --update", file=sys.stderr)
+            return 2
+        failures = compare_profile(current, baseline, tolerance)
+        if failures:
+            print(f"cost-attribution drift [{scenario}] (tolerance "
+                  f"±{tolerance:.2f} absolute share):")
+            for line in failures:
+                print(f"  {line}")
+            return 1 if not any("missing" in f or "not in baseline" in f
+                                for f in failures) else 2
+        checked = sum(len(current[a]) for a in current)
+        print(f"cost attribution stable [{scenario}] ({checked} shares "
+              f"checked, tolerance ±{tolerance:.2f})")
+        return 0
 
     if args.fleet:
         if args.baseline == DEFAULT_BASELINE:

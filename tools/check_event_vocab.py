@@ -1,24 +1,26 @@
 #!/usr/bin/env python
-"""Lint the audit-event vocabulary.
+"""Lint the closed observability vocabularies.
 
-The event log's vocabulary is *closed*: every ``emit(...)`` site in the
-source tree and every record in an emitted JSONL audit log must use a
-name from ``repro.obs.events.EVENT_NAMES``. ``EventLog.emit`` enforces
-this at runtime; this linter enforces it statically (so a typo'd name
-fails CI even on a code path no test exercises) and on captured logs
-(so an archived artifact can be trusted without re-running anything).
+Three vocabularies are *closed*: audit-event names
+(``repro.obs.events.EVENT_NAMES``, used by ``emit(...)``), span names
+(``repro.obs.trace.SPAN_NAMES``, used by ``span(...)``) and page-op
+names (``repro.obs.trace.OP_NAMES``, used by ``charge(...)``). The
+runtime enforces each at its call layer; this linter enforces them
+statically (so a typo'd name fails CI even on a code path no test
+exercises) and on captured JSONL logs (so an archived artifact can be
+trusted without re-running anything).
 
 Usage::
 
     python tools/check_event_vocab.py                 # lint src/ sites
     python tools/check_event_vocab.py log.jsonl ...   # also lint logs
 
-Exit status 0 iff every emit site and every log record is in
-vocabulary, the source mentions every vocabulary name somewhere
-(a dead name means the vocabulary table in the docs is overstating
-what the pipeline can produce), and the vocabulary table in
-``repro.obs.events``'s module docstring documents every name (so a
-new family — e.g. the ``trap.*`` events — cannot land undocumented).
+Exit status 0 iff every literal ``emit``/``span``/``charge`` site and
+every log record is in vocabulary, the source uses every vocabulary
+name somewhere (a dead name means the docs overstate what the pipeline
+can produce), and the vocabulary tables in the ``repro.obs.events`` /
+``repro.obs.trace`` module docstrings document every name (so a new
+family — e.g. the ``slo.*`` events — cannot land undocumented).
 """
 
 from __future__ import annotations
@@ -32,40 +34,65 @@ ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.obs.events import EVENT_NAMES  # noqa: E402
+from repro.obs.trace import OP_NAMES, SPAN_NAMES  # noqa: E402
 
-# emit("name", ...) / emit('name', ...) with a literal first argument.
-EMIT_RE = re.compile(r"""\.emit\(\s*(['"])([^'"]+)\1""")
+#: (call, vocabulary, what) triples; each matches ``.call("name"`` /
+#: ``.call('name'`` with a literal first argument, across line breaks.
+VOCABULARIES = (
+    ("emit", frozenset(EVENT_NAMES), "event"),
+    ("span", frozenset(SPAN_NAMES), "span"),
+    ("charge", frozenset(OP_NAMES), "page-op"),
+)
 
 
-def lint_sources(src: Path) -> tuple[list[str], set[str]]:
-    """Return (violations, names actually emitted) for a source tree."""
+def _site_re(call: str) -> re.Pattern:
+    return re.compile(r"\." + call + r"""\(\s*(['"])([^'"]+)\1""")
+
+
+def lint_sources(src: Path) -> tuple[list[str], dict[str, set[str]]]:
+    """Return (violations, {call: names actually used}) for a tree."""
     problems: list[str] = []
-    used: set[str] = set()
+    used: dict[str, set[str]] = {call: set() for call, _, _ in
+                                 VOCABULARIES}
     for path in sorted(src.rglob("*.py")):
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            for match in EMIT_RE.finditer(line):
+        text = path.read_text()
+        shown = path.relative_to(ROOT) \
+            if path.is_relative_to(ROOT) else path
+        for call, vocabulary, what in VOCABULARIES:
+            for match in _site_re(call).finditer(text):
                 name = match.group(2)
-                used.add(name)
-                if name not in EVENT_NAMES:
-                    shown = path.relative_to(ROOT) \
-                        if path.is_relative_to(ROOT) else path
+                used[call].add(name)
+                if name not in vocabulary:
+                    lineno = text.count("\n", 0, match.start()) + 1
                     problems.append(
                         f"{shown}:{lineno}: "
-                        f"emit of out-of-vocabulary event {name!r}")
+                        f"{call} of out-of-vocabulary {what} {name!r}")
     return problems, used
 
 
-def lint_docstring_table() -> list[str]:
-    """Every vocabulary name must appear in the events-module docstring.
+def lint_docstring_tables() -> list[str]:
+    """Every vocabulary name must appear in its module's docstring.
 
-    The table there is the reference downstream docs link to; a name
-    in ``EVENT_NAMES`` but not in the table is a silent doc gap.
+    The tables there are the reference downstream docs link to; a name
+    in a vocabulary but not in its table is a silent doc gap.
     """
     import repro.obs.events as events_mod
-    doc = events_mod.__doc__ or ""
-    return [f"vocabulary name {name!r} missing from the "
-            f"repro.obs.events docstring table"
-            for name in EVENT_NAMES if f"``{name}``" not in doc]
+    import repro.obs.trace as trace_mod
+    problems = []
+    for names, mod, label in (
+            (EVENT_NAMES, events_mod, "repro.obs.events"),
+            (SPAN_NAMES, trace_mod, "repro.obs.trace"),
+            (OP_NAMES, trace_mod, "repro.obs.trace")):
+        doc = mod.__doc__ or ""
+        # OP_NAMES documents itself on the tuple, not the module doc
+        if names is OP_NAMES:
+            import inspect
+            doc += inspect.getsource(trace_mod)
+        problems.extend(
+            f"vocabulary name {name!r} missing from the "
+            f"{label} docstring table"
+            for name in names if f"``{name}``" not in doc)
+    return problems
 
 
 def lint_jsonl(path: Path) -> list[str]:
@@ -89,10 +116,12 @@ def lint_jsonl(path: Path) -> list[str]:
 
 def main(argv: list[str]) -> int:
     problems, used = lint_sources(ROOT / "src")
-    for dead in sorted(set(EVENT_NAMES) - used):
-        problems.append(f"vocabulary name {dead!r} is never emitted "
-                        f"anywhere under src/")
-    problems.extend(lint_docstring_table())
+    for call, vocabulary, what in VOCABULARIES:
+        for dead in sorted(vocabulary - used[call]):
+            problems.append(
+                f"{what} vocabulary name {dead!r} has no literal "
+                f"{call} site anywhere under src/")
+    problems.extend(lint_docstring_tables())
     logs = 0
     for arg in argv:
         path = Path(arg)
@@ -104,9 +133,11 @@ def main(argv: list[str]) -> int:
     for problem in problems:
         print(problem)
     if not problems:
-        print(f"event vocabulary OK: {len(used)} emit site name(s), "
-              f"{len(EVENT_NAMES)} vocabulary name(s), "
-              f"{logs} log(s) checked")
+        sites = ", ".join(
+            f"{len(used[call])} {call}" for call, _, _ in VOCABULARIES)
+        total = sum(len(v) for _, v, _ in VOCABULARIES)
+        print(f"vocabularies OK: {sites} site name(s), "
+              f"{total} vocabulary name(s), {logs} log(s) checked")
     return 1 if problems else 0
 
 

@@ -52,7 +52,8 @@ MODULES = [
     "repro.cloud.fleet",
     "repro.analysis.stats", "repro.analysis.tables", "repro.analysis.export",
     "repro.obs.trace", "repro.obs.metrics", "repro.obs.bridge",
-    "repro.obs.events", "repro.obs.sinks",
+    "repro.obs.events", "repro.obs.sinks", "repro.obs.profiler",
+    "repro.obs.slo",
     "repro.forensics.diff", "repro.forensics.evidence",
     "repro.forensics.bundle",
 ]
