@@ -7,6 +7,8 @@ modules. Useful when scaling experiments up (e.g. 100-VM pools).
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core import ModChecker, ModuleSearcher
 from repro.guest import GuestKernel, build_catalog
 from repro.hypervisor import Hypervisor
@@ -55,6 +57,57 @@ def test_bench_vmi_module_copy(benchmark, catalog):
 
     result = benchmark(copy)
     assert result.image[:2] == b"MZ"
+
+
+@pytest.fixture(scope="module")
+def image_env(catalog):
+    """A guest carrying a ~200-page driver image for the read pair.
+
+    The catalog modules are all ≤10 pages — small enough that fixed
+    per-call overhead swamps the per-page loop the batch path
+    eliminates — so the acquisition benchmarks read a deliberately
+    large image, the regime the vectorised path exists for.
+    """
+    big = build_driver("bigimage.sys", seed=9, n_functions=600,
+                       avg_function_size=800, data_size=0x40000)
+    cat = dict(catalog, **{"bigimage.sys": big})
+    hv = Hypervisor()
+    hv.create_guest("Dom1", cat, seed=1)
+    profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+    mod = hv.domain("Dom1").kernel.module("bigimage.sys")
+    return hv, profile, mod
+
+
+def test_bench_vmi_read_image_scalar(benchmark, image_env):
+    """The per-page reference loop over a large module image.
+
+    Paired with :func:`test_bench_vmi_read_image_batch` below: the
+    wall-clock tier (``check_bench_regression.py --wallclock``) gates
+    the *ratio* of these two means, which self-normalises across
+    runner speeds where absolute seconds cannot.
+    """
+    hv, profile, mod = image_env
+
+    def read():
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=False,
+                          batch=False)
+        return vmi.read_va(mod.base, mod.size_of_image)
+
+    image = benchmark(read)
+    assert image[:2] == b"MZ"
+
+
+def test_bench_vmi_read_image_batch(benchmark, image_env):
+    """The vectorised acquisition path over the same image."""
+    hv, profile, mod = image_env
+
+    def read():
+        vmi = VMIInstance(hv, "Dom1", profile, enable_caches=False,
+                          batch=True)
+        return vmi.read_va(mod.base, mod.size_of_image)
+
+    image = benchmark(read)
+    assert image[:2] == b"MZ"
 
 
 def test_bench_pool_check_scales(benchmark, tb15):

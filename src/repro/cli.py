@@ -85,6 +85,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
         p.add_argument("--evidence-out", metavar="DIR",
                        help="capture an evidence bundle into DIR for "
                             "every non-clean pool verdict")
+        add_batch(p)
         add_incremental(p)
 
     def add_slo(p):
@@ -97,6 +98,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="JSON SLO config (objectives, windows, burn "
                             "thresholds); implies --slo. Schema in "
                             "docs/OBSERVABILITY.md")
+
+    def add_batch(p):
+        p.add_argument("--no-batch", action="store_true",
+                       help="pin acquisition to the scalar per-page "
+                            "reference path instead of the vectorised "
+                            "batch reader (the differential harness's "
+                            "control arm; slower, same results)")
 
     def add_repair(p):
         p.add_argument("--repair", nargs="?", const="repair", default=None,
@@ -206,6 +214,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--evidence-out", metavar="DIR",
                          help="capture an evidence bundle into DIR for "
                               "every non-clean pool verdict")
+    add_batch(p_chaos)
     add_incremental(p_chaos)
     add_repair(p_chaos)
     add_slo(p_chaos)
@@ -417,6 +426,11 @@ def _incremental_kwargs(args) -> dict:
             "event_driven": event_driven}
 
 
+def _batch_kwargs(args) -> dict:
+    """Map --no-batch to ModChecker kwargs."""
+    return {"batch": not getattr(args, "no_batch", False)}
+
+
 def _repair_kwargs(args) -> dict:
     """Map --repair/--repair-attempts to ModChecker kwargs."""
     attempts = getattr(args, "repair_attempts", 3)
@@ -448,7 +462,7 @@ def cmd_check(args) -> int:
     mc = ModChecker(tb.hypervisor, tb.profile, rva_mode=args.rva_mode,
                     hash_algorithm=args.hash, retry=_retry_policy(args),
                     obs=obs, evidence=evidence, **_incremental_kwargs(args),
-                    **_repair_kwargs(args))
+                    **_repair_kwargs(args), **_batch_kwargs(args))
     out = mc.check_pool(module, mode=args.pool_mode)
     report = out.report
     _print_remediations(out.remediations)
@@ -472,7 +486,7 @@ def cmd_sweep(args) -> int:
     obs = _obs_for(args, tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
                     obs=obs, **_incremental_kwargs(args),
-                    **_repair_kwargs(args))
+                    **_repair_kwargs(args), **_batch_kwargs(args))
     outcomes = mc.check_all_modules()
     _export_obs(args, obs)
     rows = []
@@ -600,7 +614,7 @@ def cmd_daemon(args) -> int:
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
                     obs=obs, evidence=evidence, **_incremental_kwargs(args),
-                    **_repair_kwargs(args))
+                    **_repair_kwargs(args), **_batch_kwargs(args))
     daemon = CheckDaemon(mc, RoundRobinPolicy(per_cycle=3),
                          interval=args.interval,
                          chaos=_chaos_engine(args, tb),
@@ -635,7 +649,7 @@ def cmd_chaos(args) -> int:
     evidence = _evidence_for(args)
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
                     obs=obs, evidence=evidence, **_incremental_kwargs(args),
-                    **_repair_kwargs(args))
+                    **_repair_kwargs(args), **_batch_kwargs(args))
     engine = _chaos_engine(args, tb)
     if engine is None:
         raise SystemExit("error: chaos needs --churn-rate > 0")
@@ -753,7 +767,8 @@ def cmd_fleet(args) -> int:
                   checker_kwargs={"retry": _retry_policy(args),
                                   "evidence": evidence,
                                   **_incremental_kwargs(args),
-                                  **_repair_kwargs(args)})
+                                  **_repair_kwargs(args),
+                                  **_batch_kwargs(args)})
     print(f"fleet: {args.vms} VM(s) in {len(fleet.shards)} shard(s), "
           f"{args.workers} worker(s)")
     for _ in range(args.cycles):
@@ -905,7 +920,8 @@ def cmd_explain(args) -> int:
     obs = make_observability(tb.clock)
     recorder = EvidenceRecorder()
     mc = ModChecker(tb.hypervisor, tb.profile, retry=_retry_policy(args),
-                    obs=obs, evidence=recorder, **_incremental_kwargs(args))
+                    obs=obs, evidence=recorder, **_incremental_kwargs(args),
+                    **_batch_kwargs(args))
     out = mc.check_pool(module)
     _export_obs(args, obs)
     if recorder.last is None:

@@ -184,8 +184,13 @@ class ModChecker:
                  paranoia_every: int | None = 64,
                  repair_policy: str = "detect-only",
                  repair_max_attempts: int = 3,
+                 batch: bool = True,
                  members: "Callable[[], list[str]] | None" = None) -> None:
         self.hv = hypervisor
+        #: vectorised acquisition for every VMI session this checker
+        #: opens; ``batch=False`` pins the pool to the scalar reference
+        #: path (the differential harness's control arm)
+        self.batch = batch
         #: optional membership closure: when set, the checker's pool is
         #: whatever names the closure returns *right now* instead of
         #: every guest on the hypervisor. This is how a fleet shard
@@ -290,7 +295,8 @@ class ModChecker:
             vmi = VMIInstance(self.hv, vm_name, self.profile,
                               cost_model=self.costs,
                               enable_caches=self.enable_caches,
-                              retry=self.retry, obs=self.obs)
+                              retry=self.retry, batch=self.batch,
+                              obs=self.obs)
             self._vmis[vm_name] = vmi
         return vmi
 

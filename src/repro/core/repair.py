@@ -40,6 +40,14 @@ MTTR — detection verdict to verified-clean re-check, on the simulated
 clock — is recorded per remediation and aggregated in
 :class:`RepairStats`, which is the benchmark axis the repair ablation
 plots.
+
+The acquisition half of every attempt — re-copying the suspect and the
+majority reference before reconstruction, and the full re-verify after
+the write — rides the checker's VMI sessions, so on a ``batch=True``
+checker those multi-page image reads run on the vectorised acquisition
+path with results identical to the scalar reference loop; only the
+write-back itself stays per-page (it must interleave with the trap
+window frame by frame).
 """
 
 from __future__ import annotations

@@ -178,6 +178,14 @@ class ModuleSearcher:
         *as a whole* up to ``module_attempts`` times — a fresh walk-and-copy
         usually lands after a fault window has closed. Failing all attempts,
         the last fault propagates (the pool layer degrades the VM).
+
+        The image read itself goes through ``vmi.read_va``, so on a
+        ``batch=True`` session (the default) the whole multi-page copy
+        is served by the vectorised acquisition path — one walk pass,
+        one frame gather — with byte- and accounting-identical results
+        to the per-page loop (``batch=False``). The list *walk* that
+        finds the entry stays scalar either way: it is a pointer chase
+        of 4-byte reads, where batching has nothing to gather.
         """
         retry = getattr(self.vmi, "retry", None)
         attempts = retry.module_attempts if retry is not None else 1

@@ -22,6 +22,8 @@ from __future__ import annotations
 import copy
 import hashlib
 
+import numpy as np
+
 from ..errors import (DomainNotFound, DomainStateError, DomainUnreachable,
                       WriteProtectedError)
 from ..guest.kernel import GuestKernel
@@ -260,6 +262,46 @@ class Hypervisor:
                             length: int) -> bytes:
         """Arbitrary physical-range read (libvmi's ``read_pa``)."""
         return self._introspectable_kernel(key).memory.read(paddr, length)
+
+    def read_guest_frames(self, key: int | str, frame_nos) -> np.ndarray:
+        """Map many guest frames into Dom0 in one batched call.
+
+        The vectorised twin of :meth:`read_guest_frame`: one lifecycle
+        check, then a single :meth:`PhysicalMemory.gather_frames` copy
+        into a ``(n, PAGE_SIZE)`` uint8 matrix. Bytes are identical to
+        ``n`` scalar frame reads. Fault injectors interpose on the
+        scalar primitives only, so callers that need per-read fault
+        schedules (the VMI layer, when an injector is installed) must
+        not route through here — the batch path checks for an installed
+        injector and falls back to scalar reads.
+        """
+        return self._introspectable_kernel(key).memory.gather_frames(
+            frame_nos)
+
+    def checksum_guest_frames(self, key: int | str, frame_nos,
+                              lengths=None) -> list[bytes]:
+        """Digests of many guest frames, computed hypervisor-side.
+
+        Batched twin of :meth:`checksum_guest_frame`: one lifecycle
+        check and one frame gather, then an md5 per row — digest bytes
+        are identical to the scalar call. ``lengths`` (optional,
+        parallel to ``frame_nos``) scopes each digest to the first
+        ``lengths[i]`` bytes of its frame, zero-padded to a full page,
+        exactly as the scalar ``length`` argument does for short module
+        tails.
+        """
+        rows = self._introspectable_kernel(key).memory.gather_frames(
+            frame_nos)
+        if lengths is not None:
+            if len(lengths) != rows.shape[0]:
+                raise ValueError("lengths must parallel frame_nos")
+            for i, length in enumerate(lengths):
+                if not 0 < length <= PAGE_SIZE:
+                    raise ValueError(
+                        f"length {length} outside (0, {PAGE_SIZE}]")
+                if length < PAGE_SIZE:
+                    rows[i, length:] = 0
+        return [hashlib.md5(row).digest() for row in rows]
 
     def checksum_guest_frame(self, key: int | str, frame_no: int,
                              length: int = PAGE_SIZE) -> bytes:

@@ -70,6 +70,32 @@ class PhysicalMemory:
         assert frame is not None
         return frame
 
+    def gather_frames(self, frame_nos) -> np.ndarray:
+        """Copy many frames into one ``(n, PAGE_SIZE)`` uint8 matrix.
+
+        The batched-acquisition primitive: one bounds check over the
+        whole request, then one numpy row-copy per frame (untouched
+        frames read as zeros), with no intermediate ``bytes`` objects.
+        Duplicate frame numbers are allowed and copied once per
+        occurrence, mirroring a per-page read loop.
+        """
+        fnos = np.asarray(frame_nos, dtype=np.int64)
+        if fnos.ndim != 1:
+            raise ValueError("frame_nos must be one-dimensional")
+        if fnos.size and (int(fnos.min()) < 0
+                          or int(fnos.max()) >= self.n_frames):
+            bad = int(fnos[(fnos < 0) | (fnos >= self.n_frames)][0])
+            raise PhysicalAddressError(
+                f"frame {bad:#x} beyond installed memory "
+                f"({self.n_frames:#x} frames)")
+        out = np.zeros((fnos.size, PAGE_SIZE), dtype=np.uint8)
+        frames = self._frames
+        for i, frame_no in enumerate(fnos.tolist()):
+            frame = frames.get(frame_no)
+            if frame is not None:
+                out[i] = frame
+        return out
+
     # -- byte-level access ---------------------------------------------------------
 
     def read(self, paddr: int, length: int) -> bytes:
@@ -88,6 +114,29 @@ class PhysicalMemory:
                 out[pos:pos + n] = frame[offset:offset + n].tobytes()
             pos += n
         return bytes(out)
+
+    def read_into(self, paddr: int, out) -> None:
+        """Read ``len(out)`` bytes at ``paddr`` straight into ``out``.
+
+        ``out`` is any writable buffer (a ``memoryview`` slice of the
+        caller's output array, typically): frame contents are copied in
+        with numpy slice assignment, so no intermediate ``bytes`` object
+        is ever materialised — the allocation-free twin of :meth:`read`.
+        """
+        view = np.frombuffer(out, dtype=np.uint8)
+        length = view.size
+        if paddr < 0 or paddr + length > self.size:
+            raise PhysicalAddressError(
+                f"read [{paddr:#x}, {paddr + length:#x}) outside memory")
+        pos = 0
+        while pos < length:
+            addr = paddr + pos
+            frame_no, offset = addr >> PAGE_SHIFT, addr & (PAGE_SIZE - 1)
+            n = min(PAGE_SIZE - offset, length - pos)
+            frame = self._frame(frame_no, create=False)
+            view[pos:pos + n] = 0 if frame is None \
+                else frame[offset:offset + n]
+            pos += n
 
     def write(self, paddr: int, data: bytes) -> None:
         """Write ``data`` at physical address ``paddr``."""

@@ -15,6 +15,8 @@ gate all speak the same names:
 ``modchecker_vmi_pages_mapped_total``        counter ``vm``
 ``modchecker_vmi_bytes_read_total``          counter ``vm``
 ``modchecker_vmi_translations_total``        counter ``vm``
+``modchecker_vmi_batch_pages_total``         counter ``vm``
+``modchecker_vmi_batch_fallbacks_total``     counter ``vm``
 ``modchecker_cache_hits_total``              counter ``vm``, ``cache``
 ``modchecker_cache_hit_ratio``               gauge   ``vm``, ``cache``
 ``modchecker_vmi_transient_faults_total``    counter ``vm``
@@ -154,6 +156,14 @@ def record_vmi_instance(metrics, vm_name: str, vmi, base=None) -> None:
         "modchecker_vmi_translations_total",
         "Guest page-table walks performed").set_to(
             stats.translations, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_batch_pages_total",
+        "Pages served by the vectorised acquisition path").set_to(
+            stats.batch_pages, vm=vm_name)
+    metrics.counter(
+        "modchecker_vmi_batch_fallbacks_total",
+        "Batched calls that stood down to the scalar path").set_to(
+            stats.batch_fallbacks, vm=vm_name)
     hits = metrics.counter(
         "modchecker_cache_hits_total",
         "VMI cache hits (cumulative, never reset)")

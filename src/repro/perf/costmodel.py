@@ -74,6 +74,27 @@ class CostModel:
             cost += self.page_map
         return cost
 
+    def range_read_cost(self, *, walked: int, mapped: int) -> float:
+        """Aggregate cost of one batched VA-range read.
+
+        Identical by construction to what the scalar per-page loop
+        charges for the same read: ``walked`` translate walks plus
+        ``mapped`` foreign maps plus the one ``small_read`` every read
+        call pays. The batch path charges this in a single
+        ``charge_dom0`` call — same total, one contention-stretch.
+        """
+        return (walked * self.translate_walk + mapped * self.page_map
+                + self.small_read)
+
+    def range_checksum_cost(self, *, walked: int, pages: int) -> float:
+        """Aggregate cost of one batched page sweep over ``pages`` pages.
+
+        The batched twin of per-page ``translate_walk`` +
+        ``page_checksum`` charges (checksum sweeps pay no
+        ``small_read`` — they move digests, not bytes).
+        """
+        return walked * self.translate_walk + pages * self.page_checksum
+
 
 #: Shared default so every component prices work identically.
 DEFAULT_COST_MODEL = CostModel()

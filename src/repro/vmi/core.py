@@ -24,10 +24,12 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from ..errors import (IntrospectionFault, PageFault, RetryExhausted,
-                      TransientFault, VMIInitError)
+import numpy as np
+
+from ..errors import (IntrospectionFault, PageFault, PhysicalAddressError,
+                      RetryExhausted, TransientFault, VMIInitError)
 from ..hypervisor.xen import Hypervisor
-from ..mem.paging import LARGE_PAGE_SIZE, PDE_LARGE, PTE_PRESENT
+from ..mem.paging import LARGE_PAGE_SIZE, PDE_LARGE, PTE_PRESENT, walk_batch
 from ..mem.physical import PAGE_SIZE
 from ..obs import NULL_OBS, Observability
 from ..perf.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -35,9 +37,15 @@ from .cache import PageCache, V2PCache
 from .retry import RetryPolicy
 from .symbols import OSProfile
 
-__all__ = ["VMIStats", "VMIInstance"]
+__all__ = ["BATCH_MIN_PAGES", "VMIStats", "VMIInstance"]
 
 _PAGE_MASK = PAGE_SIZE - 1
+
+#: Minimum covered pages before ``read_va`` / the checksum sweeps
+#: dispatch to the vectorised path: below this the numpy setup costs
+#: more wall-clock than the per-page loop it replaces (the dominant
+#: small-read traffic — ``read_u32`` pointer chases — stays scalar).
+BATCH_MIN_PAGES = 4
 
 
 @dataclass
@@ -69,6 +77,15 @@ class VMIStats:
     pages_written: int = 0
     #: bytes written back by the remediation path
     bytes_written: int = 0
+    #: read/checksum calls served by the vectorised acquisition path
+    batch_reads: int = 0
+    #: pages covered by those batched calls (translation + data in one
+    #: numpy pass instead of a per-page loop)
+    batch_pages: int = 0
+    #: batched calls that stood down to the scalar reference path —
+    #: a hole, a transient fault, a wild mapping, or caches close
+    #: enough to capacity that LRU eviction order matters
+    batch_fallbacks: int = 0
 
     def snapshot(self) -> "VMIStats":
         return VMIStats(**vars(self))
@@ -82,9 +99,14 @@ class VMIInstance:
                  cost_model: CostModel = DEFAULT_COST_MODEL,
                  enable_caches: bool = True,
                  retry: RetryPolicy | None = None,
+                 batch: bool = True,
                  obs: Observability = NULL_OBS) -> None:
         self.hv = hypervisor
         self.obs = obs
+        #: route multi-page reads/sweeps through the vectorised
+        #: acquisition path; ``batch=False`` is the escape hatch that
+        #: pins every operation to the scalar reference implementation
+        self.batch = batch
         try:
             self.domain = hypervisor.domain(domain_key)
         except Exception as exc:
@@ -252,8 +274,48 @@ class VMIInstance:
         """Read a kernel-VA range, translating and mapping page by page.
 
         This is the loop the paper blames for Module-Searcher's cost:
-        one translation + one foreign mapping per covered page.
+        one translation + one foreign mapping per covered page. Ranges
+        covering at least :data:`BATCH_MIN_PAGES` pages are served by
+        the vectorised path (same bytes, same accounting — see
+        :meth:`read_va_range_batch`); everything else, and every read
+        on a ``batch=False`` instance or under an installed fault
+        injector, runs the scalar reference loop below.
         """
+        if length > 0 and self._batch_capable() \
+                and self._covered_pages(vaddr, length) >= BATCH_MIN_PAGES:
+            data = self._read_va_batch(vaddr, length)
+            if data is not None:
+                return data
+        return self._read_va_scalar(vaddr, length)
+
+    def read_va_range_batch(self, vaddr: int, length: int) -> bytes:
+        """Read a kernel-VA range through the vectorised path.
+
+        One :func:`~repro.mem.paging.walk_batch` pass translates every
+        covered page, one hypervisor gather maps every needed frame,
+        and the result is assembled with numpy slicing — no per-page
+        Python loop over hypervisor primitives, no intermediate
+        ``bytes`` per page. Bytes, faults, stats, cache hit/miss
+        series, and cost-model totals are identical to
+        :meth:`read_va`; the batched call is recorded in
+        ``stats.batch_reads`` / ``batch_pages``. Stands down to the
+        scalar reference loop (recorded in ``batch_fallbacks``)
+        whenever exact parity cannot be guaranteed structurally: a
+        fault injector is installed, the range holds a non-present
+        page (the scalar replay raises the identical
+        :class:`IntrospectionFault` with identical partial
+        accounting), a transient fault interrupts the pristine phase,
+        or an LRU cache is close enough to capacity that eviction
+        order inside the read would matter.
+        """
+        if length > 0 and self._batch_capable():
+            data = self._read_va_batch(vaddr, length)
+            if data is not None:
+                return data
+        return self._read_va_scalar(vaddr, length)
+
+    def _read_va_scalar(self, vaddr: int, length: int) -> bytes:
+        """The per-page reference loop (see :meth:`read_va`)."""
         out = bytearray(length)
         pos = 0
         while pos < length:
@@ -270,6 +332,183 @@ class VMIInstance:
         if self.obs.tracer.enabled:
             self.obs.tracer.charge("small_read", self.costs.small_read)
         return bytes(out)
+
+    # -- vectorised acquisition -------------------------------------------------
+
+    def _batch_capable(self) -> bool:
+        """Whether the vectorised path may run at all right now.
+
+        An installed fault injector interposes on the *scalar*
+        hypervisor primitives and draws one RNG value per guest read;
+        routing around it through the batched primitives would silently
+        change fault schedules, so under a live injector every
+        operation takes the per-page loop the injector knows how to
+        interfere with (the fault-parity tests hold by construction).
+        An *inert* injector — all rates zero, so it can never fault or
+        open a window — is observability-only and does not stand the
+        batch down (rate 0 must stay simulated-time invisible).
+        """
+        if not self.batch:
+            return False
+        injector = getattr(self.hv, "fault_injector", None)
+        if injector is None:
+            return True
+        config = getattr(injector, "config", None)
+        return config is not None and not config.any_faults
+
+    @staticmethod
+    def _covered_pages(vaddr: int, length: int) -> int:
+        return ((vaddr + length - 1) >> 12) - (vaddr >> 12) + 1
+
+    def _resolve_pages(self, page_vas: list[int]):
+        """Pristine per-page translation for the batch paths.
+
+        Consults the V2P cache through stats-neutral ``peek`` (a stale
+        cached translation must be *served*, exactly as the scalar hit
+        path serves it) and resolves the misses in one
+        :func:`walk_batch` pass over the guest's live page tables.
+        Returns ``(pa_pages, v2p_hit)`` — or ``None`` when the batch
+        must stand down: a miss page is non-present, or the walk hit a
+        transient fault / wild page-table pointer. Nothing has been
+        charged, counted, or cached at that point, so the scalar
+        replay is bit-identical, partial accounting and all.
+        """
+        n = len(page_vas)
+        pa_pages: list[int | None] = [None] * n
+        v2p_hit = [False] * n
+        miss_idx: list[int] = []
+        if self.enable_caches:
+            peek = self.v2p_cache.peek
+            for i, pv in enumerate(page_vas):
+                pa = peek(pv)
+                if pa is None:
+                    miss_idx.append(i)
+                else:
+                    pa_pages[i] = pa
+                    v2p_hit[i] = True
+        else:
+            miss_idx = list(range(n))
+        if miss_idx:
+            vas = np.array([page_vas[i] for i in miss_idx], dtype=np.int64)
+            domid = self.domain.domid
+            try:
+                frames, present, _ = walk_batch(
+                    lambda pa, ln: self.hv.read_guest_physical(domid, pa,
+                                                               ln),
+                    self.cr3, vas)
+            except (TransientFault, PhysicalAddressError):
+                return None
+            if not present.all():
+                return None
+            for j, i in enumerate(miss_idx):
+                pa_pages[i] = int(frames[j]) << 12
+        return pa_pages, v2p_hit
+
+    def _read_va_batch(self, vaddr: int, length: int) -> bytes | None:
+        """One attempt at a vectorised read; ``None`` = use scalar."""
+        first_page = vaddr & ~_PAGE_MASK
+        n_pages = self._covered_pages(vaddr, length)
+        page_vas = [first_page + i * PAGE_SIZE for i in range(n_pages)]
+        if self.enable_caches and (
+                len(self.v2p_cache) + n_pages > self.v2p_cache.capacity
+                or len(self.page_cache) + n_pages
+                > self.page_cache.capacity):
+            # A put inside this read could evict an entry this same
+            # read still needs; only the scalar loop replays LRU
+            # eviction order exactly, so stand down.
+            self.stats.batch_fallbacks += 1
+            return None
+        resolved = self._resolve_pages(page_vas)
+        if resolved is None:
+            self.stats.batch_fallbacks += 1
+            return None
+        pa_pages, v2p_hit = resolved
+        frame_nos = [pa >> 12 for pa in pa_pages]
+
+        # Decide which frames need a hypervisor gather (stats-neutral
+        # probes; cached frames are served from cache even when stale,
+        # exactly as the scalar hit path would).
+        fetch: list[int] = []
+        seen: set[int] = set()
+        peek = self.page_cache.peek if self.enable_caches else None
+        for f in frame_nos:
+            if f in seen or (peek is not None and peek(f) is not None):
+                continue
+            seen.add(f)
+            fetch.append(f)
+        try:
+            rows = self.hv.read_guest_frames(self.domain.domid, fetch) \
+                if fetch else None
+        except (TransientFault, PhysicalAddressError):
+            self.stats.batch_fallbacks += 1
+            return None
+        row_of = {f: i for i, f in enumerate(fetch)}
+
+        # Commit: replay counters and cache traffic in VA order, so
+        # hit/miss series and LRU state land exactly where the scalar
+        # loop leaves them. No hypervisor call can fail past here.
+        out = np.empty((n_pages, PAGE_SIZE), dtype=np.uint8)
+        stats = self.stats
+        walked = mapped = 0
+        for i, pv in enumerate(page_vas):
+            if v2p_hit[i]:
+                self.v2p_cache.get(pv)            # count hit + promote
+                stats.translation_cache_hits += 1
+            else:
+                if self.enable_caches:
+                    self.v2p_cache.get(pv)        # count the miss
+                    self.v2p_cache.put(pv, pa_pages[i])
+                stats.translations += 1
+                walked += 1
+            f = frame_nos[i]
+            if self.enable_caches:
+                cached = self.page_cache.get(f)
+                if cached is not None:
+                    stats.page_cache_hits += 1
+                    out[i] = np.frombuffer(cached, dtype=np.uint8)
+                    continue
+            stats.pages_mapped += 1
+            mapped += 1
+            row = rows[row_of[f]]
+            out[i] = row
+            if self.enable_caches:
+                self.page_cache.put(f, row.tobytes())
+        self._charge_batch_read(walked, mapped, n_pages)
+        stats.bytes_read += length
+        stats.read_calls += 1
+        start = vaddr & _PAGE_MASK
+        return out.reshape(-1)[start:start + length].tobytes()
+
+    def _charge_batch_read(self, walked: int, mapped: int,
+                           n_pages: int) -> None:
+        """Charge one batched read — same totals as the per-page loop.
+
+        The untraced fast path pays a single ``charge_dom0`` (one
+        contention stretch for the whole read); the traced path splits
+        the charges so each lands on its closed-vocabulary op, with
+        the ``page_copy`` share inside one aggregated ``vmi.read_page``
+        span (keeping the profiler's hotspot attribution on the same
+        path the scalar per-frame spans put it on).
+        """
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            self.hv.charge_dom0(
+                self.costs.range_read_cost(walked=walked, mapped=mapped))
+        else:
+            if walked:
+                self.hv.charge_dom0(walked * self.costs.translate_walk)
+                tracer.charge("page_translate",
+                              walked * self.costs.translate_walk)
+            if mapped:
+                with tracer.span("vmi.read_page", vm=self.domain.name,
+                                 pages=mapped, batch=True):
+                    self.hv.charge_dom0(mapped * self.costs.page_map)
+                    tracer.charge("page_copy",
+                                  mapped * self.costs.page_map)
+            self.hv.charge_dom0(self.costs.small_read)
+            tracer.charge("small_read", self.costs.small_read)
+        self.stats.batch_reads += 1
+        self.stats.batch_pages += n_pages
 
     # -- incremental page sweep --------------------------------------------------
 
@@ -313,8 +552,17 @@ class VMIInstance:
         under the same retry policy as ordinary reads. A range ending
         mid-page digests only the in-range bytes of the final frame
         (zero-padded), so co-resident neighbours past the tail cannot
-        perturb the digests.
+        perturb the digests. Sweeps covering at least
+        :data:`BATCH_MIN_PAGES` pages run vectorised (one walk pass
+        plus one hypervisor-side gather-and-digest call), standing
+        down to this scalar loop under the same rules as
+        :meth:`read_va_range_batch`.
         """
+        if length > 0 and self._batch_capable() \
+                and self._covered_pages(vaddr, length) >= BATCH_MIN_PAGES:
+            batched = self._checksum_va_batch(vaddr, length)
+            if batched is not None:
+                return tuple(batched)
         digests: list[bytes] = []
         pos = 0
         while pos < length:
@@ -325,6 +573,77 @@ class VMIInstance:
                                f"checksum page {va & ~_PAGE_MASK:#x}"))
             pos += n
         return tuple(digests)
+
+    def _checksum_va_batch(self, vaddr: int, length: int,
+                           ) -> list[bytes] | None:
+        """One attempt at a vectorised full sweep; ``None`` = scalar."""
+        page_vas: list[int] = []
+        lengths: list[int] = []
+        pos = 0
+        while pos < length:
+            va = vaddr + pos
+            n = min(PAGE_SIZE - (va & _PAGE_MASK), length - pos)
+            page_vas.append(va & ~_PAGE_MASK)
+            lengths.append(n)
+            pos += n
+        return self._checksum_pages_batch(page_vas, lengths)
+
+    def _checksum_pages_batch(self, page_vas: list[int],
+                              lengths: list[int]) -> list[bytes] | None:
+        """Shared vectorised core of both checksum sweeps.
+
+        Same phase discipline as :meth:`_read_va_batch`: stats-neutral
+        translation resolve, one pristine
+        :meth:`Hypervisor.checksum_guest_frames` hypercall (digests
+        are computed VMM-side, so the page cache stays bypassed in
+        both directions exactly as the scalar sweep demands), then a
+        commit pass that replays V2P traffic and charges aggregate
+        costs with scalar-identical totals.
+        """
+        n_pages = len(page_vas)
+        if self.enable_caches and (len(self.v2p_cache) + n_pages
+                                   > self.v2p_cache.capacity):
+            self.stats.batch_fallbacks += 1
+            return None
+        resolved = self._resolve_pages(page_vas)
+        if resolved is None:
+            self.stats.batch_fallbacks += 1
+            return None
+        pa_pages, v2p_hit = resolved
+        try:
+            digests = self.hv.checksum_guest_frames(
+                self.domain.domid, [pa >> 12 for pa in pa_pages], lengths)
+        except (TransientFault, PhysicalAddressError):
+            self.stats.batch_fallbacks += 1
+            return None
+        stats = self.stats
+        walked = 0
+        for i, pv in enumerate(page_vas):
+            if v2p_hit[i]:
+                self.v2p_cache.get(pv)            # count hit + promote
+                stats.translation_cache_hits += 1
+            else:
+                if self.enable_caches:
+                    self.v2p_cache.get(pv)        # count the miss
+                    self.v2p_cache.put(pv, pa_pages[i])
+                stats.translations += 1
+                walked += 1
+        stats.pages_checksummed += n_pages
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            self.hv.charge_dom0(self.costs.range_checksum_cost(
+                walked=walked, pages=n_pages))
+        else:
+            if walked:
+                self.hv.charge_dom0(walked * self.costs.translate_walk)
+                tracer.charge("page_translate",
+                              walked * self.costs.translate_walk)
+            self.hv.charge_dom0(n_pages * self.costs.page_checksum)
+            tracer.charge("page_checksum",
+                          n_pages * self.costs.page_checksum)
+        stats.batch_reads += 1
+        stats.batch_pages += n_pages
+        return digests
 
     def checksum_pages(self, vaddr: int, length: int,
                        indices) -> dict[int, bytes]:
@@ -337,8 +656,17 @@ class VMIInstance:
         """
         if vaddr & _PAGE_MASK:
             raise ValueError(f"vaddr {vaddr:#x} is not page-aligned")
+        wanted = sorted(set(indices))
+        if len(wanted) >= BATCH_MIN_PAGES and self._batch_capable() \
+                and all(0 <= idx * PAGE_SIZE < length for idx in wanted):
+            page_vas = [vaddr + idx * PAGE_SIZE for idx in wanted]
+            lengths = [min(PAGE_SIZE, length - idx * PAGE_SIZE)
+                       for idx in wanted]
+            digests = self._checksum_pages_batch(page_vas, lengths)
+            if digests is not None:
+                return dict(zip(wanted, digests))
         out: dict[int, bytes] = {}
-        for idx in sorted(set(indices)):
+        for idx in wanted:
             offset = idx * PAGE_SIZE
             if not 0 <= offset < length:
                 raise ValueError(f"page index {idx} outside range")

@@ -45,12 +45,13 @@ SEEDS = range(10)
 def _run(seed: int, *, incremental: bool, event_driven: bool = False,
          cycles: int = 8, churn_rate: float = 0.35,
          infected: dict | None = None, tamper_at: int | None = None,
-         trap_priority: bool = False):
+         trap_priority: bool = False, batch: bool = True):
     """One seeded daemon soak; returns (events, alerts, chaos kinds)."""
     tb = build_testbed(5, seed=seed, infected=infected)
     obs = make_observability(tb.clock)
     mc = ModChecker(tb.hypervisor, tb.profile, obs=obs,
-                    incremental=incremental, event_driven=event_driven)
+                    incremental=incremental, event_driven=event_driven,
+                    batch=batch)
     engine = ChaosEngine(tb.hypervisor,
                          ChaosConfig.from_churn_rate(churn_rate),
                          seed=seed, catalog=tb.catalog)
@@ -127,6 +128,33 @@ class TestTamperEquivalence:
         assert trap[0] == full[0]
         assert trap[1] == full[1]
         assert any("Dom2" in a[1] for a in fast[1])
+
+
+class TestBatchEquivalence:
+    """The vectorised acquisition path is a pure substrate swap: for
+    any seeded chaos trace, every pipeline mode must emit the same
+    verdict stream and alert list with ``batch=False`` (the scalar
+    reference loops) as with the default ``batch=True``."""
+
+    @pytest.mark.parametrize("seed", [0, 4, 8])
+    @pytest.mark.parametrize("mode", ["full", "incremental", "trap"])
+    def test_verdicts_identical_across_batch_arms(self, seed, mode):
+        kwargs = {"incremental": mode != "full",
+                  "event_driven": mode == "trap"}
+        batched = _run(seed, batch=True, **kwargs)
+        scalar = _run(seed, batch=False, **kwargs)
+        assert batched[0] == scalar[0]
+        assert batched[1] == scalar[1]
+
+    @pytest.mark.parametrize("seed", [1, 5])
+    def test_midstream_tamper_convicted_identically(self, seed):
+        batched = _run(seed, incremental=True, event_driven=True,
+                       churn_rate=0.0, tamper_at=4, batch=True)
+        scalar = _run(seed, incremental=True, event_driven=True,
+                      churn_rate=0.0, tamper_at=4, batch=False)
+        assert batched[0] == scalar[0]
+        assert batched[1] == scalar[1]
+        assert any("Dom2" in a[1] for a in batched[1])
 
 
 class TestTrapPriority:

@@ -100,3 +100,114 @@ class TestUpdate:
         assert run(results, baseline, "--update") == 0
         assert baseline.exists()
         assert run(results, baseline) == 0
+
+    def test_update_preserves_wallclock_section(self, tmp_path):
+        """Rebasing means must not drop the hand-written ratio tiers."""
+        baseline = tmp_path / "baseline.json"
+        doc = {"benchmarks": [{"name": n, "stats": {"mean": m}}
+                              for n, m in BASE.items()],
+               "wallclock": [{"name": "t", "numerator": "test_c",
+                              "denominator": "test_a", "min_ratio": 2.0}]}
+        baseline.write_text(json.dumps(doc))
+        results = write_results(tmp_path / "r.json",
+                                {n: m * 1.5 for n, m in BASE.items()})
+        assert run(results, baseline, "--update") == 0
+        rebased = json.loads(baseline.read_text())
+        assert rebased["wallclock"] == doc["wallclock"]
+
+
+class TestShareNoiseFloor:
+    """Sub-percent shares are jitter-immune; big shares stay gated."""
+
+    # test_tiny holds ~0.5% of the total: 20% of its own share is far
+    # below the drift the dominant benchmark's jitter imposes on it.
+    TINY_BASE = {"test_big": 0.695, "test_mid": 0.3, "test_tiny": 0.005}
+
+    def write_tiny_baseline(self, tmp_path):
+        return write_results(tmp_path / "baseline.json", self.TINY_BASE)
+
+    def test_tiny_share_jitter_passes(self, tmp_path):
+        baseline = self.write_tiny_baseline(tmp_path)
+        # +40% of its own (tiny) share — under the absolute floor.
+        noisy = dict(self.TINY_BASE, test_tiny=0.007)
+        results = write_results(tmp_path / "r.json", noisy)
+        assert run(results, baseline) == 0
+
+    def test_tiny_share_real_regression_fails(self, tmp_path):
+        baseline = self.write_tiny_baseline(tmp_path)
+        # 4x its own share clears the floor: a genuine slowdown.
+        slow = dict(self.TINY_BASE, test_tiny=0.020)
+        results = write_results(tmp_path / "r.json", slow)
+        assert run(results, baseline) == 1
+
+    def test_floor_does_not_loosen_big_shares(self, tmp_path):
+        baseline = self.write_tiny_baseline(tmp_path)
+        # +50% on a 30%-share benchmark dwarfs the floor; still fails.
+        slow = dict(self.TINY_BASE, test_mid=0.45)
+        results = write_results(tmp_path / "r.json", slow)
+        assert run(results, baseline) == 1
+
+    def test_floor_is_relative_mode_only(self, tmp_path):
+        baseline = self.write_tiny_baseline(tmp_path)
+        slow = dict(self.TINY_BASE, test_tiny=0.007)
+        results = write_results(tmp_path / "r.json", slow)
+        assert run(results, baseline, "--absolute") == 1
+
+
+class TestWallclockGate:
+    """Ratio tiers: real speedups gated machine-independently."""
+
+    def tiered_baseline(self, tmp_path, min_ratio=3.0):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "benchmarks": [{"name": n, "stats": {"mean": m}}
+                           for n, m in BASE.items()],
+            "wallclock": [{"name": "speedup",
+                           "numerator": "scalar", "denominator": "batch",
+                           "min_ratio": min_ratio}]}))
+        return baseline
+
+    def test_ratio_above_tier_passes(self, tmp_path):
+        baseline = self.tiered_baseline(tmp_path)
+        results = write_results(tmp_path / "r.json",
+                                {"scalar": 0.4, "batch": 0.1})
+        assert run(results, baseline, "--wallclock") == 0
+
+    def test_ratio_below_tier_fails(self, tmp_path):
+        baseline = self.tiered_baseline(tmp_path)
+        results = write_results(tmp_path / "r.json",
+                                {"scalar": 0.2, "batch": 0.1})
+        assert run(results, baseline, "--wallclock") == 1
+
+    def test_uniform_runner_speed_cancels_out(self, tmp_path):
+        """A 10x slower machine changes neither side of the ratio."""
+        baseline = self.tiered_baseline(tmp_path)
+        results = write_results(tmp_path / "r.json",
+                                {"scalar": 4.0, "batch": 1.0})
+        assert run(results, baseline, "--wallclock") == 0
+
+    def test_missing_pair_member_is_schema_error(self, tmp_path):
+        baseline = self.tiered_baseline(tmp_path)
+        results = write_results(tmp_path / "r.json", {"scalar": 0.4})
+        assert run(results, baseline, "--wallclock") == 2
+
+    def test_baseline_without_tiers_is_schema_error(self, tmp_path,
+                                                    baseline):
+        results = write_results(tmp_path / "r.json", BASE)
+        with pytest.raises(SystemExit):
+            run(results, baseline, "--wallclock")
+
+    def test_update_refused(self, tmp_path):
+        baseline = self.tiered_baseline(tmp_path)
+        results = write_results(tmp_path / "r.json",
+                                {"scalar": 0.4, "batch": 0.1})
+        with pytest.raises(SystemExit):
+            run(results, baseline, "--wallclock", "--update")
+
+    def test_repo_baseline_carries_batch_tier(self):
+        """The checked-in substrate baseline gates the batch speedup."""
+        baseline = Path(__file__).resolve().parent.parent / "benchmarks" \
+            / "baseline_substrate.json"
+        tiers = json.loads(baseline.read_text())["wallclock"]
+        assert any(t["min_ratio"] >= 3.0
+                   and "batch" in t["denominator"] for t in tiers)

@@ -1,0 +1,138 @@
+"""Batch-vs-scalar parity under fault injection.
+
+The vectorised acquisition path stands down whenever a *live* fault
+injector is installed (the injector interposes on the scalar
+hypervisor primitives and draws one RNG value per guest read, so
+routing around it would silently change fault schedules). These tests
+pin that contract from both sides: under a live injector the two arms
+are *bit-identical* — same bytes, same stats, same retries, same fault
+schedule, same simulated clock to the last ulp — and under an inert
+(all-rates-zero) injector the batch keeps running, because a config
+that can never fault must stay simulated-time invisible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud import build_testbed
+from repro.hypervisor import FaultConfig, FaultInjector
+from repro.mem.physical import PAGE_SIZE
+from repro.vmi import RetryPolicy, VMIInstance
+from repro.vmi.core import VMIStats
+
+SEED = 42
+#: generous budget so seeded transients recover instead of exhausting
+RETRY = RetryPolicy(max_attempts=6)
+STAT_FIELDS = list(vars(VMIStats()))
+
+
+def make_arm(*, batch, config, retry=RETRY):
+    tb = build_testbed(4, seed=SEED)
+    injector = FaultInjector(config, seed=SEED)
+    injector.install(tb.hypervisor)
+    vmi = VMIInstance(tb.hypervisor, "Dom1", tb.profile, retry=retry,
+                      batch=batch)
+    return tb, injector, vmi
+
+
+def module_of(tb, name="hal.dll"):
+    return tb.hypervisor.domain("Dom1").kernel.module(name)
+
+
+def assert_exact_parity(scalar_arm, batch_arm):
+    """Under a live injector parity is exact, clock included: both
+    arms execute the identical scalar loop."""
+    stb, sinj, svmi = scalar_arm
+    btb, binj, bvmi = batch_arm
+    for field in STAT_FIELDS:
+        assert getattr(bvmi.stats, field) == getattr(svmi.stats, field), \
+            f"VMIStats.{field} diverged"
+    assert vars(binj.stats) == vars(sinj.stats)
+    assert btb.hypervisor.clock.now == stb.hypervisor.clock.now
+
+
+class TestLiveInjectorParity:
+    CONFIG = FaultConfig(transient_rate=0.08, torn_page_rate=0.03)
+
+    def test_read_sequence_bit_identical(self):
+        scalar_arm = make_arm(batch=False, config=self.CONFIG)
+        batch_arm = make_arm(batch=True, config=self.CONFIG)
+        for tb, _, vmi in (scalar_arm, batch_arm):
+            mod = module_of(tb)
+            results = [vmi.read_va(mod.base, mod.size_of_image)
+                       for _ in range(3)]
+            vmi.flush_caches()
+            results.append(vmi.read_va(mod.base + 0x123, 5 * PAGE_SIZE))
+            tb.results = results
+        assert batch_arm[0].results == scalar_arm[0].results
+        assert_exact_parity(scalar_arm, batch_arm)
+        # the schedule actually exercised faults and recovery
+        assert batch_arm[2].stats.transient_faults > 0
+        assert batch_arm[2].stats.retries_recovered > 0
+
+    def test_checksum_sweep_bit_identical(self):
+        scalar_arm = make_arm(batch=False, config=self.CONFIG)
+        batch_arm = make_arm(batch=True, config=self.CONFIG)
+        for tb, _, vmi in (scalar_arm, batch_arm):
+            mod = module_of(tb)
+            tb.digests = [vmi.checksum_va_range(mod.base,
+                                                mod.size_of_image)
+                          for _ in range(3)]
+        assert batch_arm[0].digests == scalar_arm[0].digests
+        assert_exact_parity(scalar_arm, batch_arm)
+
+    def test_live_injector_stands_batch_down(self):
+        tb, _, vmi = make_arm(batch=True, config=self.CONFIG)
+        module = module_of(tb)
+        vmi.read_va(module.base, module.size_of_image)
+        assert vmi.stats.batch_reads == 0
+        assert vmi.stats.batch_pages == 0
+
+    def test_exhaustion_parity(self):
+        """Retry exhaustion raises identically on both arms."""
+        from repro.errors import RetryExhausted
+        config = FaultConfig(transient_rate=0.9)
+        tight = RetryPolicy(max_attempts=2)
+        messages = []
+        for batch in (False, True):
+            tb, _, vmi = make_arm(batch=batch, config=config, retry=tight)
+            mod = module_of(tb)
+            with pytest.raises(RetryExhausted) as exc:
+                for _ in range(50):
+                    vmi.read_va(mod.base, mod.size_of_image)
+                    vmi.flush_caches()
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+
+
+class TestInertInjector:
+    def test_inert_injector_keeps_batch_on(self):
+        tb, injector, vmi = make_arm(batch=True, config=FaultConfig())
+        mod = module_of(tb)
+        vmi.read_va(mod.base, mod.size_of_image)
+        assert vmi.stats.batch_reads == 1
+        assert injector.stats.injected == 0
+
+    def test_inert_injector_clock_matches_bare_batch_run(self):
+        """Rate 0 must be simulated-time invisible on the batch path."""
+        bare = build_testbed(4, seed=SEED)
+        bare_vmi = VMIInstance(bare.hypervisor, "Dom1", bare.profile,
+                               retry=RETRY, batch=True)
+        mod = module_of(bare)
+        bare_vmi.read_va(mod.base, mod.size_of_image)
+
+        tb, _, vmi = make_arm(batch=True, config=FaultConfig())
+        vmi.read_va(mod.base, mod.size_of_image)
+        assert tb.hypervisor.clock.now == bare.hypervisor.clock.now
+
+    def test_uninstall_reenables_batch(self):
+        tb, injector, vmi = make_arm(
+            batch=True, config=FaultConfig(transient_rate=0.05))
+        mod = module_of(tb)
+        vmi.read_va(mod.base, mod.size_of_image)
+        assert vmi.stats.batch_reads == 0
+        injector.uninstall()
+        vmi.flush_caches()
+        vmi.read_va(mod.base, mod.size_of_image)
+        assert vmi.stats.batch_reads == 1

@@ -1,0 +1,319 @@
+"""Differential harness: batched vs scalar VMI acquisition.
+
+Two hypervisors are built from the same seed — one introspected with
+``batch=False`` (the scalar reference loop), one with ``batch=True``
+(the vectorised path) — and driven through identical operation
+sequences. Everything observable must agree: returned bytes, digests,
+fault type and message, every non-batch ``VMIStats`` counter, both
+caches' hit/miss counters and LRU key order, and the simulated clock
+(to float tolerance: the batch pays one aggregated charge where the
+scalar loop pays n, so totals differ only in final-ulp association).
+"""
+
+import pytest
+
+from repro.errors import IntrospectionFault
+from repro.hypervisor import Hypervisor
+from repro.mem.physical import PAGE_SIZE
+from repro.obs import NULL_OBS, make_observability
+from repro.vmi import OSProfile, VMIInstance
+from repro.vmi.core import BATCH_MIN_PAGES, VMIStats
+
+SEED = 1
+#: fields every differential check compares exactly; the batch_*
+#: counters are the two arms' intentional difference
+STAT_FIELDS = [f for f in vars(VMIStats()) if not f.startswith("batch_")]
+
+
+def make_arm(catalog, *, batch, enable_caches=True, traced=False):
+    hv = Hypervisor()
+    hv.create_guest("Dom1", catalog, seed=SEED)
+    profile = OSProfile.from_guest(hv.domain("Dom1").kernel)
+    obs = make_observability(hv.clock) if traced else NULL_OBS
+    vmi = VMIInstance(hv, "Dom1", profile, enable_caches=enable_caches,
+                      batch=batch, obs=obs)
+    return hv, vmi
+
+
+def make_arms(catalog, **kwargs):
+    return (make_arm(catalog, batch=False, **kwargs),
+            make_arm(catalog, batch=True, **kwargs))
+
+
+def assert_parity(scalar_arm, batch_arm):
+    (shv, svmi), (bhv, bvmi) = scalar_arm, batch_arm
+    for field in STAT_FIELDS:
+        assert getattr(bvmi.stats, field) == getattr(svmi.stats, field), \
+            f"VMIStats.{field} diverged"
+    for name in ("v2p_cache", "page_cache"):
+        scache, bcache = getattr(svmi, name), getattr(bvmi, name)
+        assert bcache.hits == scache.hits, f"{name} hits diverged"
+        assert bcache.misses == scache.misses, f"{name} misses diverged"
+        assert bcache.keys() == scache.keys(), f"{name} LRU order diverged"
+    assert bhv.clock.now == pytest.approx(shv.clock.now, rel=1e-9)
+
+
+def run_both(arms, op):
+    """Apply ``op(vmi)`` on both arms; return (scalar, batch) results."""
+    (_, svmi), (_, bvmi) = arms
+    return op(svmi), op(bvmi)
+
+
+@pytest.fixture
+def module(catalog):
+    hv = Hypervisor()
+    hv.create_guest("Dom1", catalog, seed=SEED)
+    return hv.domain("Dom1").kernel.module("hal.dll")
+
+
+class TestReadParity:
+    def test_module_image_bytes_identical(self, catalog, module):
+        arms = make_arms(catalog)
+        scalar, batched = run_both(
+            arms, lambda v: v.read_va(module.base, module.size_of_image))
+        assert batched == scalar
+        assert_parity(*arms)
+        _, bvmi = arms[1]
+        assert bvmi.stats.batch_reads == 1
+        assert bvmi.stats.batch_fallbacks == 0
+
+    def test_unaligned_start_and_tail(self, catalog, module):
+        arms = make_arms(catalog)
+        scalar, batched = run_both(
+            arms,
+            lambda v: v.read_va(module.base + 0x123, 5 * PAGE_SIZE + 7))
+        assert batched == scalar
+        assert_parity(*arms)
+
+    def test_repeat_read_warm_caches(self, catalog, module):
+        """Second pass is all cache hits on both arms — same series."""
+        arms = make_arms(catalog)
+        for _ in range(2):
+            scalar, batched = run_both(
+                arms, lambda v: v.read_va(module.base, 6 * PAGE_SIZE))
+            assert batched == scalar
+        assert_parity(*arms)
+        _, bvmi = arms[1]
+        assert bvmi.stats.page_cache_hits >= 6
+
+    def test_caches_disabled(self, catalog, module):
+        arms = make_arms(catalog, enable_caches=False)
+        scalar, batched = run_both(
+            arms, lambda v: v.read_va(module.base, module.size_of_image))
+        assert batched == scalar
+        assert_parity(*arms)
+
+    def test_traced_charge_attribution(self, catalog, module):
+        """Under a live tracer both arms charge the same per-op totals."""
+        arms = make_arms(catalog, traced=True)
+        scalar, batched = run_both(
+            arms, lambda v: v.read_va(module.base, module.size_of_image))
+        assert batched == scalar
+        assert_parity(*arms)
+        (_, svmi), (_, bvmi) = arms
+        stotals = svmi.obs.tracer.total_by_op()
+        btotals = bvmi.obs.tracer.total_by_op()
+        assert set(btotals) == set(stotals)
+        for op, total in stotals.items():
+            assert btotals[op] == pytest.approx(total, rel=1e-9), op
+        # the profiler's hotspot attribution stays on vmi.read_page
+        assert any(s.name == "vmi.read_page"
+                   for s in bvmi.obs.tracer.finished_spans())
+
+    def test_stale_cache_served_identically(self, catalog, module):
+        """A stale cached page must be *served* by both arms alike."""
+        arms = make_arms(catalog)
+        run_both(arms, lambda v: v.read_va(module.base, 6 * PAGE_SIZE))
+        for hv, _ in arms:
+            hv.domain("Dom1").kernel.aspace.write(module.base, b"FRESHDATA")
+        scalar, batched = run_both(
+            arms, lambda v: v.read_va(module.base, 6 * PAGE_SIZE))
+        assert batched == scalar
+        assert scalar[:9] != b"FRESHDATA"          # both served stale bytes
+        assert_parity(*arms)
+
+    def test_read_va_range_batch_forces_small_ranges(self, catalog, module):
+        """The explicit batch entry point works below BATCH_MIN_PAGES."""
+        arms = make_arms(catalog)
+        (_, svmi), (_, bvmi) = arms
+        length = (BATCH_MIN_PAGES - 2) * PAGE_SIZE
+        scalar = svmi.read_va(module.base, length)
+        batched = bvmi.read_va_range_batch(module.base, length)
+        assert batched == scalar
+        assert_parity(*arms)
+        assert bvmi.stats.batch_reads == 1
+
+    def test_dispatch_threshold(self, catalog, module):
+        """Plain read_va stays scalar below BATCH_MIN_PAGES covered."""
+        _, vmi = make_arm(catalog, batch=True)
+        vmi.read_va(module.base, (BATCH_MIN_PAGES - 1) * PAGE_SIZE)
+        assert vmi.stats.batch_reads == 0
+        vmi.flush_caches()
+        vmi.read_va(module.base, BATCH_MIN_PAGES * PAGE_SIZE)
+        assert vmi.stats.batch_reads == 1
+
+
+class TestFaultParity:
+    def hole_in(self, hv, module, page_index):
+        kernel = hv.domain("Dom1").kernel
+        kernel.aspace.page_tables.unmap_page(
+            module.base + page_index * PAGE_SIZE)
+
+    def test_hole_mid_range(self, catalog, module):
+        """Both arms raise the identical fault with identical partial
+        accounting; the batch arm stands down before any side effect."""
+        arms = make_arms(catalog)
+        for hv, _ in arms:
+            self.hole_in(hv, module, 3)
+        excs = []
+        for _, vmi in arms:
+            with pytest.raises(IntrospectionFault) as exc:
+                vmi.read_va(module.base, 6 * PAGE_SIZE)
+            excs.append(exc.value)
+        assert str(excs[1]) == str(excs[0])
+        assert_parity(*arms)
+        _, bvmi = arms[1]
+        assert bvmi.stats.batch_fallbacks == 1
+        assert bvmi.stats.batch_reads == 0
+
+    def test_hole_on_first_page_unaligned_va(self, catalog, module):
+        """The fault names the *requested* unaligned VA for page 0."""
+        arms = make_arms(catalog)
+        for hv, _ in arms:
+            self.hole_in(hv, module, 0)
+        messages = []
+        for _, vmi in arms:
+            with pytest.raises(IntrospectionFault) as exc:
+                vmi.read_va(module.base + 0x42, 5 * PAGE_SIZE)
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+        assert f"{module.base + 0x42:#x}" in messages[0]
+        assert_parity(*arms)
+
+    def test_recovery_after_fault(self, catalog, module):
+        """After a fault both arms keep serving good ranges in lockstep."""
+        arms = make_arms(catalog)
+        for hv, _ in arms:
+            self.hole_in(hv, module, 5)
+        for _, vmi in arms:
+            with pytest.raises(IntrospectionFault):
+                vmi.read_va(module.base, 8 * PAGE_SIZE)
+        scalar, batched = run_both(
+            arms, lambda v: v.read_va(module.base, 5 * PAGE_SIZE))
+        assert batched == scalar
+        assert_parity(*arms)
+
+
+class TestChecksumParity:
+    def test_full_sweep_digests(self, catalog, module):
+        arms = make_arms(catalog)
+        scalar, batched = run_both(
+            arms,
+            lambda v: v.checksum_va_range(module.base,
+                                          module.size_of_image))
+        assert batched == scalar
+        assert_parity(*arms)
+        _, bvmi = arms[1]
+        assert bvmi.stats.batch_reads == 1
+        assert bvmi.stats.pages_checksummed == len(batched)
+
+    def test_partial_tail_masked(self, catalog, module):
+        """A range ending mid-page digests only the in-range bytes."""
+        arms = make_arms(catalog)
+        scalar, batched = run_both(
+            arms,
+            lambda v: v.checksum_va_range(module.base,
+                                          6 * PAGE_SIZE + 0x39))
+        assert batched == scalar
+        assert len(batched) == 7
+        assert_parity(*arms)
+
+    def test_unaligned_start(self, catalog, module):
+        arms = make_arms(catalog)
+        scalar, batched = run_both(
+            arms,
+            lambda v: v.checksum_va_range(module.base + 0x800,
+                                          5 * PAGE_SIZE))
+        assert batched == scalar
+        assert_parity(*arms)
+
+    def test_sweep_bypasses_page_cache(self, catalog, module):
+        """The batched sweep must not populate or read the page cache."""
+        _, vmi = make_arm(catalog, batch=True)
+        vmi.checksum_va_range(module.base, module.size_of_image)
+        assert len(vmi.page_cache) == 0
+        assert vmi.stats.page_cache_hits == 0
+
+    def test_checksum_pages_subset(self, catalog, module):
+        arms = make_arms(catalog)
+        indices = [0, 2, 3, 5, 6]
+        scalar, batched = run_both(
+            arms,
+            lambda v: v.checksum_pages(module.base, module.size_of_image,
+                                       indices))
+        assert batched == scalar
+        assert set(batched) == set(indices)
+        assert_parity(*arms)
+
+    def test_checksum_pages_invalid_index_raises_both(self, catalog,
+                                                      module):
+        arms = make_arms(catalog)
+        n_pages = -(-module.size_of_image // PAGE_SIZE)
+        bad = [0, 1, 2, 3, n_pages + 7]
+        for _, vmi in arms:
+            with pytest.raises(ValueError):
+                vmi.checksum_pages(module.base, module.size_of_image, bad)
+        assert_parity(*arms)
+
+    def test_digests_match_scalar_checksum_of_bytes(self, catalog, module):
+        """Sweep digests equal md5 of the actual guest bytes."""
+        import hashlib
+        hv, vmi = make_arm(catalog, batch=True)
+        digests = vmi.checksum_va_range(module.base, module.size_of_image)
+        image = hv.domain("Dom1").kernel.read_module_image("hal.dll")
+        for i, digest in enumerate(digests):
+            page = image[i * PAGE_SIZE:(i + 1) * PAGE_SIZE]
+            page += bytes(PAGE_SIZE - len(page))
+            assert digest == hashlib.md5(page).digest()
+
+
+class TestOperationMix:
+    """A randomised interleaving of every read-side operation."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_sequence(self, catalog, module, seed):
+        import random
+        rng = random.Random(seed)
+        arms = make_arms(catalog)
+        base, size = module.base, module.size_of_image
+        n_pages = -(-size // PAGE_SIZE)
+        for _ in range(25):
+            choice = rng.randrange(5)
+            if choice == 0:
+                start = rng.randrange(size - 1)
+                length = rng.randrange(1, size - start + 1)
+                scalar, batched = run_both(
+                    arms, lambda v, s=start, n=length: v.read_va(base + s,
+                                                                 n))
+            elif choice == 1:
+                offset = rng.randrange(size // 8) * 4
+                scalar, batched = run_both(
+                    arms, lambda v, o=offset: v.read_u32(base + o))
+            elif choice == 2:
+                start = rng.randrange(size - 1)
+                length = rng.randrange(1, size - start + 1)
+                scalar, batched = run_both(
+                    arms,
+                    lambda v, s=start, n=length: v.checksum_va_range(
+                        base + s, n))
+            elif choice == 3:
+                k = rng.randrange(1, n_pages + 1)
+                idx = rng.sample(range(n_pages), k)
+                scalar, batched = run_both(
+                    arms, lambda v, i=tuple(idx): v.checksum_pages(
+                        base, size, i))
+            else:
+                scalar, batched = run_both(
+                    arms, lambda v: v.flush_caches())
+            assert batched == scalar
+        assert_parity(*arms)
